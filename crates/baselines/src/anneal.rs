@@ -1,0 +1,238 @@
+//! Simulated annealing mapper — the `assign` baseline (Alfeld, Lepreau &
+//! Ricci, "A solver for the network testbed mapping problem", CCR 2003).
+//!
+//! `assign` searches the space of *complete* assignments, accepting
+//! cost-increasing moves with probability `exp(−Δ/T)` under a geometric
+//! cooling schedule. We use the constrained-embedding cost of
+//! [`crate::common::assignment_cost`] (violated edges + violated node
+//! constraints); cost zero is a feasible embedding. Two move types, as in
+//! `assign`: migrate one query node to a free host node, or swap the
+//! images of two query nodes.
+
+use crate::common::{assignment_cost, local_cost, BaselineResult};
+use netembed::{Mapping, Problem};
+use netgraph::NodeId;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Annealing schedule parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnealParams {
+    /// Initial temperature.
+    pub t0: f64,
+    /// Geometric cooling factor per epoch (0 < alpha < 1).
+    pub alpha: f64,
+    /// Moves per temperature epoch.
+    pub epoch_len: u32,
+    /// Total move budget.
+    pub max_iters: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealParams {
+    fn default() -> Self {
+        AnnealParams {
+            t0: 4.0,
+            alpha: 0.95,
+            epoch_len: 500,
+            max_iters: 200_000,
+            seed: 1,
+        }
+    }
+}
+
+/// Run simulated annealing. Stops early when a zero-cost (feasible)
+/// assignment is found.
+pub fn anneal(problem: &Problem<'_>, params: &AnnealParams) -> BaselineResult {
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let nq = problem.nq();
+    let nr = problem.nr();
+
+    // Random injective start: a partial Fisher-Yates over host ids.
+    let mut pool: Vec<NodeId> = (0..nr as u32).map(NodeId).collect();
+    for i in 0..nq {
+        let j = rng.random_range(i..nr);
+        pool.swap(i, j);
+    }
+    let mut assign: Vec<NodeId> = pool[..nq].to_vec();
+    let mut in_use: Vec<bool> = vec![false; nr];
+    for &r in &assign {
+        in_use[r.index()] = true;
+    }
+
+    let mut cost = assignment_cost(problem, &assign);
+    let mut best = assign.clone();
+    let mut best_cost = cost;
+    let mut t = params.t0;
+    let mut iters = 0u64;
+
+    'outer: while iters < params.max_iters && best_cost > 0 {
+        for _ in 0..params.epoch_len {
+            iters += 1;
+            if iters >= params.max_iters || best_cost == 0 {
+                break 'outer;
+            }
+            // Propose a move.
+            let swap_move = nq >= 2 && rng.random_bool(0.5);
+            if swap_move {
+                let a = rng.random_range(0..nq);
+                let mut b = rng.random_range(0..nq);
+                while b == a {
+                    b = rng.random_range(0..nq);
+                }
+                let (va, vb) = (NodeId(a as u32), NodeId(b as u32));
+                let before = local_cost(problem, &assign, va) + local_cost(problem, &assign, vb);
+                assign.swap(a, b);
+                let after = local_cost(problem, &assign, va) + local_cost(problem, &assign, vb);
+                if accept(before, after, t, &mut rng) {
+                    // Recompute exactly: `before`/`after` can double-count
+                    // an edge shared by the two swapped nodes, so they
+                    // steer acceptance but are not a safe running delta.
+                    cost = assignment_cost(problem, &assign);
+                } else {
+                    assign.swap(a, b);
+                    continue;
+                }
+            } else {
+                // Migrate one query node to a random free host node.
+                let a = rng.random_range(0..nq);
+                let va = NodeId(a as u32);
+                let old = assign[a];
+                // Draw a free host node.
+                let mut target;
+                let mut guard = 0;
+                loop {
+                    target = NodeId(rng.random_range(0..nr as u32));
+                    if !in_use[target.index()] || target == old {
+                        break;
+                    }
+                    guard += 1;
+                    if guard > 64 {
+                        break;
+                    }
+                }
+                if in_use[target.index()] {
+                    continue;
+                }
+                let before = local_cost(problem, &assign, va);
+                assign[a] = target;
+                let after = local_cost(problem, &assign, va);
+                if accept(before, after, t, &mut rng) {
+                    in_use[old.index()] = false;
+                    in_use[target.index()] = true;
+                    cost = assignment_cost(problem, &assign);
+                } else {
+                    assign[a] = old;
+                    continue;
+                }
+            }
+            if cost < best_cost {
+                best_cost = cost;
+                best.clone_from(&assign);
+                if best_cost == 0 {
+                    break 'outer;
+                }
+            }
+        }
+        t *= params.alpha;
+        if t < 1e-4 {
+            t = 1e-4; // floor: keep a trickle of exploration
+        }
+    }
+
+    BaselineResult {
+        mapping: Mapping::new(best),
+        cost: best_cost,
+        feasible: best_cost == 0,
+        iterations: iters,
+        elapsed: start.elapsed(),
+    }
+}
+
+fn accept(before: u64, after: u64, t: f64, rng: &mut StdRng) -> bool {
+    if after <= before {
+        return true;
+    }
+    let delta = (after - before) as f64;
+    rng.random_bool((-delta / t).exp().clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netembed::check_mapping;
+    use netgraph::{Direction, Network};
+
+    fn clique_host(n: usize) -> Network {
+        let mut h = Network::new(Direction::Undirected);
+        let ids: Vec<NodeId> = (0..n).map(|i| h.add_node(format!("h{i}"))).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let e = h.add_edge(ids[i], ids[j]);
+                h.set_edge_attr(e, "d", ((i + j) % 7 * 10) as f64);
+            }
+        }
+        h
+    }
+
+    fn ring_query(n: usize) -> Network {
+        let mut q = Network::new(Direction::Undirected);
+        let ids: Vec<NodeId> = (0..n).map(|i| q.add_node(format!("q{i}"))).collect();
+        for i in 0..n {
+            q.add_edge(ids[i], ids[(i + 1) % n]);
+        }
+        q
+    }
+
+    #[test]
+    fn solves_easy_feasible_instance() {
+        let h = clique_host(10);
+        let q = ring_query(4);
+        let p = Problem::new(&q, &h, "true").unwrap();
+        let r = anneal(&p, &AnnealParams::default());
+        assert!(r.feasible, "cost stuck at {}", r.cost);
+        check_mapping(&p, &r.mapping).unwrap();
+    }
+
+    #[test]
+    fn solves_constrained_instance() {
+        let h = clique_host(12);
+        let q = ring_query(4);
+        let p = Problem::new(&q, &h, "rEdge.d <= 30.0").unwrap();
+        let r = anneal(&p, &AnnealParams::default());
+        if r.feasible {
+            check_mapping(&p, &r.mapping).unwrap();
+        }
+        // Must at least have made progress from a random start.
+        assert!(r.cost <= 4);
+    }
+
+    #[test]
+    fn infeasible_instance_burns_budget() {
+        let h = clique_host(6);
+        let q = ring_query(4);
+        let p = Problem::new(&q, &h, "rEdge.d > 1e9").unwrap();
+        let params = AnnealParams {
+            max_iters: 5_000,
+            ..Default::default()
+        };
+        let r = anneal(&p, &params);
+        assert!(!r.feasible);
+        assert_eq!(r.iterations, 5_000); // no way to prove infeasibility
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let h = clique_host(8);
+        let q = ring_query(3);
+        let p = Problem::new(&q, &h, "true").unwrap();
+        let r1 = anneal(&p, &AnnealParams::default());
+        let r2 = anneal(&p, &AnnealParams::default());
+        assert_eq!(r1.mapping, r2.mapping);
+        assert_eq!(r1.iterations, r2.iterations);
+    }
+}

@@ -1,0 +1,155 @@
+//! Shared infrastructure for the baseline mappers: assignment cost and the
+//! common result type.
+
+use netembed::{Mapping, Problem};
+use netgraph::NodeId;
+use std::time::Duration;
+
+/// Result of a baseline run.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// The best assignment found (always complete, possibly infeasible).
+    pub mapping: Mapping,
+    /// Cost of that assignment (0 ⇒ feasible embedding).
+    pub cost: u64,
+    /// True when `cost == 0` (a feasible embedding was found).
+    pub feasible: bool,
+    /// Iterations / generations consumed.
+    pub iterations: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Cost of a complete assignment: the number of violated requirements.
+///
+/// * +1 per query edge whose endpoints' images have no host edge, or whose
+///   host edge fails the constraint expression;
+/// * +1 per query node whose image fails the node constraint.
+///
+/// Zero cost ⇔ feasible embedding (matches [`netembed::check_mapping`]).
+/// Constraint type-errors are treated as violations — metaheuristics have
+/// no error channel mid-schedule, and a malformed query then simply never
+/// reaches cost zero.
+pub fn assignment_cost(problem: &Problem<'_>, assign: &[NodeId]) -> u64 {
+    let mut cost = 0u64;
+    for q in problem.query.node_ids() {
+        match problem.node_ok(q, assign[q.index()]) {
+            Ok(true) => {}
+            _ => cost += 1,
+        }
+    }
+    for qe in problem.query.edge_refs() {
+        let rs = assign[qe.src.index()];
+        let rd = assign[qe.dst.index()];
+        match problem.host.find_edge(rs, rd) {
+            None => cost += 1,
+            Some(re) => match problem.edge_ok(qe.id, qe.src, qe.dst, re, rs, rd) {
+                Ok(true) => {}
+                _ => cost += 1,
+            },
+        }
+    }
+    cost
+}
+
+/// Incremental cost delta helpers would be the next optimization; the
+/// paper-era baselines recompute affected terms per move, which we mirror
+/// by recomputing only the terms touching the moved nodes.
+pub fn local_cost(problem: &Problem<'_>, assign: &[NodeId], v: NodeId) -> u64 {
+    let mut cost = 0u64;
+    match problem.node_ok(v, assign[v.index()]) {
+        Ok(true) => {}
+        _ => cost += 1,
+    }
+    let q = problem.query;
+    let mut seen_edges: Vec<netgraph::EdgeId> = Vec::new();
+    for &(_, e) in q.neighbors(v).iter().chain(q.in_neighbors(v)) {
+        if seen_edges.contains(&e) {
+            continue;
+        }
+        seen_edges.push(e);
+        let (qs, qd) = q.edge_endpoints(e);
+        let rs = assign[qs.index()];
+        let rd = assign[qd.index()];
+        match problem.host.find_edge(rs, rd) {
+            None => cost += 1,
+            Some(re) => match problem.edge_ok(e, qs, qd, re, rs, rd) {
+                Ok(true) => {}
+                _ => cost += 1,
+            },
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{Direction, Network};
+
+    fn nets() -> (Network, Network) {
+        let mut q = Network::new(Direction::Undirected);
+        let a = q.add_node("a");
+        let b = q.add_node("b");
+        let c = q.add_node("c");
+        q.add_edge(a, b);
+        q.add_edge(b, c);
+        let mut h = Network::new(Direction::Undirected);
+        let ids: Vec<NodeId> = (0..4).map(|i| h.add_node(format!("h{i}"))).collect();
+        for i in 0..4 {
+            let e = h.add_edge(ids[i], ids[(i + 1) % 4]);
+            h.set_edge_attr(e, "d", (10 * (i + 1)) as f64);
+        }
+        (q, h)
+    }
+
+    #[test]
+    fn zero_cost_iff_feasible() {
+        let (q, h) = nets();
+        let p = Problem::new(&q, &h, "true").unwrap();
+        // a→h0, b→h1, c→h2: edges (h0,h1), (h1,h2) exist → cost 0.
+        assert_eq!(
+            assignment_cost(&p, &[NodeId(0), NodeId(1), NodeId(2)]),
+            0
+        );
+        // a→h0, b→h2: no edge h0-h2 → cost 1; (h2,h1)? c→h1: edge h1-h2 ok.
+        assert_eq!(
+            assignment_cost(&p, &[NodeId(0), NodeId(2), NodeId(1)]),
+            1
+        );
+    }
+
+    #[test]
+    fn constraint_violations_counted() {
+        let (q, h) = nets();
+        let p = Problem::new(&q, &h, "rEdge.d <= 20.0").unwrap();
+        // (h0,h1)=10 ok, (h1,h2)=20 ok → 0.
+        assert_eq!(assignment_cost(&p, &[NodeId(0), NodeId(1), NodeId(2)]), 0);
+        // (h2,h3)=30 violates → 1.
+        assert_eq!(assignment_cost(&p, &[NodeId(1), NodeId(2), NodeId(3)]), 1);
+    }
+
+    #[test]
+    fn node_constraint_cost() {
+        let (q, mut h) = nets();
+        for i in 0..4 {
+            h.set_node_attr(NodeId(i), "cpu", i as f64);
+        }
+        let p = Problem::new(&q, &h, "rNode.cpu >= 1.0").unwrap();
+        // h0 has cpu 0 → node violation; both incident edges exist.
+        assert_eq!(assignment_cost(&p, &[NodeId(0), NodeId(1), NodeId(2)]), 1);
+    }
+
+    #[test]
+    fn local_cost_counts_touching_terms() {
+        let (q, h) = nets();
+        let p = Problem::new(&q, &h, "true").unwrap();
+        let assign = [NodeId(0), NodeId(2), NodeId(1)];
+        // b (index 1) touches both query edges; (a,b) missing → 1, (b,c) ok.
+        assert_eq!(local_cost(&p, &assign, NodeId(1)), 1);
+        // a touches only (a,b).
+        assert_eq!(local_cost(&p, &assign, NodeId(0)), 1);
+        // c touches only (b,c) which is fine.
+        assert_eq!(local_cost(&p, &assign, NodeId(2)), 0);
+    }
+}

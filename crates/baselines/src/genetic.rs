@@ -1,0 +1,262 @@
+//! Genetic-algorithm mapper — the `wanassign` baseline (White, Lepreau &
+//! Guruprasad, HotNets-I 2002; evaluated further in their 2002 OSDI paper).
+//!
+//! `wanassign` evolves a population of complete assignments. Chromosomes
+//! here are injective assignment vectors; fitness is the negated violation
+//! cost; selection is k-tournament; crossover copies a prefix from one
+//! parent and repairs the suffix to injectivity from the other parent's
+//! order (a standard permutation crossover restricted to the used host
+//! nodes); mutation migrates or swaps nodes. Elitism keeps the best
+//! chromosome. The paper reports wanassign handling only small networks
+//! (tens of nodes) with minutes-scale runtimes — the §VII-F bench
+//! reproduces that scalability gap.
+
+use crate::common::{assignment_cost, BaselineResult};
+use netembed::{Mapping, Problem};
+use netgraph::NodeId;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// GA parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneticParams {
+    /// Population size.
+    pub population: usize,
+    /// Generations budget.
+    pub generations: u64,
+    /// Tournament size for selection.
+    pub tournament: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneticParams {
+    fn default() -> Self {
+        GeneticParams {
+            population: 64,
+            generations: 400,
+            tournament: 3,
+            mutation_rate: 0.08,
+            seed: 1,
+        }
+    }
+}
+
+/// Run the genetic algorithm. Stops early on a feasible chromosome.
+pub fn genetic(problem: &Problem<'_>, params: &GeneticParams) -> BaselineResult {
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let nq = problem.nq();
+    let nr = problem.nr();
+
+    let random_chromosome = |rng: &mut StdRng| -> Vec<NodeId> {
+        let mut pool: Vec<NodeId> = (0..nr as u32).map(NodeId).collect();
+        for i in 0..nq {
+            let j = rng.random_range(i..nr);
+            pool.swap(i, j);
+        }
+        pool[..nq].to_vec()
+    };
+
+    let mut population: Vec<(Vec<NodeId>, u64)> = (0..params.population)
+        .map(|_| {
+            let c = random_chromosome(&mut rng);
+            let cost = assignment_cost(problem, &c);
+            (c, cost)
+        })
+        .collect();
+
+    let mut generations = 0u64;
+    let best_of = |pop: &[(Vec<NodeId>, u64)]| {
+        pop.iter()
+            .min_by_key(|(_, c)| *c)
+            .expect("non-empty population")
+            .clone()
+    };
+    let (mut best, mut best_cost) = best_of(&population);
+
+    while generations < params.generations && best_cost > 0 {
+        generations += 1;
+        let mut next: Vec<(Vec<NodeId>, u64)> = Vec::with_capacity(params.population);
+        // Elitism.
+        next.push((best.clone(), best_cost));
+        while next.len() < params.population {
+            let a = tournament(&population, params.tournament, &mut rng);
+            let b = tournament(&population, params.tournament, &mut rng);
+            let mut child = crossover(a, b, nq, &mut rng);
+            mutate(&mut child, nr, params.mutation_rate, &mut rng);
+            let cost = assignment_cost(problem, &child);
+            next.push((child, cost));
+        }
+        population = next;
+        let (gb, gc) = best_of(&population);
+        if gc < best_cost {
+            best = gb;
+            best_cost = gc;
+        }
+    }
+
+    BaselineResult {
+        mapping: Mapping::new(best),
+        cost: best_cost,
+        feasible: best_cost == 0,
+        iterations: generations,
+        elapsed: start.elapsed(),
+    }
+}
+
+fn tournament<'p>(
+    pop: &'p [(Vec<NodeId>, u64)],
+    k: usize,
+    rng: &mut StdRng,
+) -> &'p [NodeId] {
+    let mut best: Option<&(Vec<NodeId>, u64)> = None;
+    for _ in 0..k.max(1) {
+        let c = &pop[rng.random_range(0..pop.len())];
+        if best.is_none_or(|b| c.1 < b.1) {
+            best = Some(c);
+        }
+    }
+    &best.expect("k ≥ 1").0
+}
+
+/// Prefix from `a`, remainder filled with unused genes of `b` (then of the
+/// whole host id space) — keeps the chromosome injective.
+fn crossover(a: &[NodeId], b: &[NodeId], nq: usize, rng: &mut StdRng) -> Vec<NodeId> {
+    let cut = rng.random_range(0..=nq);
+    let mut child: Vec<NodeId> = a[..cut].to_vec();
+    let mut used: std::collections::HashSet<NodeId> = child.iter().copied().collect();
+    for &g in b {
+        if child.len() >= nq {
+            break;
+        }
+        if used.insert(g) {
+            child.push(g);
+        }
+    }
+    // Fallback fill from a's remainder (covers duplicates edge cases).
+    for &g in &a[cut.min(a.len())..] {
+        if child.len() >= nq {
+            break;
+        }
+        if used.insert(g) {
+            child.push(g);
+        }
+    }
+    debug_assert_eq!(child.len(), nq);
+    child
+}
+
+fn mutate(c: &mut [NodeId], nr: usize, rate: f64, rng: &mut StdRng) {
+    let nq = c.len();
+    for i in 0..nq {
+        if !rng.random_bool(rate.clamp(0.0, 1.0)) {
+            continue;
+        }
+        if nq >= 2 && rng.random_bool(0.5) {
+            let j = rng.random_range(0..nq);
+            c.swap(i, j);
+        } else {
+            // Migrate to a host node unused by this chromosome.
+            let mut guard = 0;
+            loop {
+                let t = NodeId(rng.random_range(0..nr as u32));
+                if !c.contains(&t) {
+                    c[i] = t;
+                    break;
+                }
+                guard += 1;
+                if guard > 32 {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netembed::check_mapping;
+    use netgraph::{Direction, Network};
+
+    fn clique_host(n: usize) -> Network {
+        let mut h = Network::new(Direction::Undirected);
+        let ids: Vec<NodeId> = (0..n).map(|i| h.add_node(format!("h{i}"))).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let e = h.add_edge(ids[i], ids[j]);
+                h.set_edge_attr(e, "d", ((i * j) % 6 * 10) as f64);
+            }
+        }
+        h
+    }
+
+    fn star_query(n: usize) -> Network {
+        let mut q = Network::new(Direction::Undirected);
+        let hub = q.add_node("hub");
+        for i in 1..n {
+            let l = q.add_node(format!("l{i}"));
+            q.add_edge(hub, l);
+        }
+        q
+    }
+
+    #[test]
+    fn solves_easy_instance() {
+        let h = clique_host(10);
+        let q = star_query(4);
+        let p = Problem::new(&q, &h, "true").unwrap();
+        let r = genetic(&p, &GeneticParams::default());
+        assert!(r.feasible, "cost stuck at {}", r.cost);
+        check_mapping(&p, &r.mapping).unwrap();
+    }
+
+    #[test]
+    fn chromosomes_stay_injective() {
+        let h = clique_host(8);
+        let q = star_query(5);
+        let p = Problem::new(&q, &h, "rEdge.d <= 20.0").unwrap();
+        let r = genetic(
+            &p,
+            &GeneticParams {
+                generations: 50,
+                ..Default::default()
+            },
+        );
+        let mut seen = std::collections::HashSet::new();
+        for (_, host) in r.mapping.iter() {
+            assert!(seen.insert(host), "duplicate host node in chromosome");
+        }
+    }
+
+    #[test]
+    fn infeasible_burns_generations() {
+        let h = clique_host(6);
+        let q = star_query(3);
+        let p = Problem::new(&q, &h, "rEdge.d > 1e9").unwrap();
+        let r = genetic(
+            &p,
+            &GeneticParams {
+                generations: 30,
+                ..Default::default()
+            },
+        );
+        assert!(!r.feasible);
+        assert_eq!(r.iterations, 30);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let h = clique_host(8);
+        let q = star_query(4);
+        let p = Problem::new(&q, &h, "true").unwrap();
+        let r1 = genetic(&p, &GeneticParams::default());
+        let r2 = genetic(&p, &GeneticParams::default());
+        assert_eq!(r1.mapping, r2.mapping);
+    }
+}

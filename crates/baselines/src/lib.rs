@@ -1,0 +1,32 @@
+//! # baselines — prior network-mapping techniques, re-implemented
+//!
+//! §II and §VII-F of the paper position NETEMBED against three families of
+//! earlier systems, none of which is available as reusable open source:
+//!
+//! * **`assign`** (Emulab/Netbed, Alfeld–Lepreau–Ricci 2003) — simulated
+//!   annealing over complete assignments → [`anneal()`];
+//! * **`wanassign`** (White et al. 2002) — a genetic algorithm → [`genetic()`];
+//! * **Zhu–Ammar 2006** — greedy assignment minimizing a *stress* metric on
+//!   host nodes/links → [`stress`].
+//!
+//! Each module implements the published algorithm skeleton against the same
+//! [`netembed::Problem`] interface the NETEMBED algorithms use, so the
+//! §VII-F comparison runs all five on identical workloads. The key
+//! qualitative differences the experiments reproduce:
+//!
+//! * the metaheuristics give **no completeness guarantee** — on feasible
+//!   instances they may fail, and on infeasible instances they can only
+//!   burn their full iteration budget;
+//! * their runtime scales with the iteration budget, not with the
+//!   constrainedness of the query, so tightly-constrained queries that ECF
+//!   solves in milliseconds still cost the full annealing schedule.
+
+pub mod anneal;
+pub mod common;
+pub mod genetic;
+pub mod stress;
+
+pub use anneal::{anneal, AnnealParams};
+pub use common::{assignment_cost, BaselineResult};
+pub use genetic::{genetic, GeneticParams};
+pub use stress::{stress_greedy, StressParams};

@@ -1,0 +1,74 @@
+//! Ablation: Lemma-1 node ordering (ascending candidate count) versus the
+//! alternatives, plus the LNS memo-cache toggle.
+
+use bench::{bench_planetlab, planted};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netembed::lns::LnsConfig;
+use netembed::{Algorithm, Engine, NodeOrder, Options, SearchMode};
+use std::hint::black_box;
+use std::time::Duration;
+use topogen::clique_query;
+
+fn abl_ordering(c: &mut Criterion) {
+    let host = bench_planetlab();
+    let mut group = c.benchmark_group("abl-order");
+    group.sample_size(10);
+    let wl = planted(&host, 12, 9000);
+    for (label, order) in [
+        ("ascending", NodeOrder::AscendingCandidates),
+        ("descending", NodeOrder::DescendingCandidates),
+        ("input", NodeOrder::InputOrder),
+        ("random", NodeOrder::Random(7)),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, 12), &wl, |b, wl| {
+            b.iter(|| {
+                let engine = Engine::new(&host);
+                let options = Options {
+                    algorithm: Algorithm::Ecf,
+                    mode: SearchMode::All,
+                    order,
+                    timeout: Some(Duration::from_secs(30)),
+                    ..Options::default()
+                };
+                black_box(
+                    engine
+                        .embed(&wl.query, &wl.constraint, &options)
+                        .map(|r| r.mappings.len())
+                        .unwrap_or(0),
+                )
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("abl-negcache");
+    group.sample_size(10);
+    let wl = clique_query(4, 10.0, 100.0);
+    for (label, memo) in [("memo-on", true), ("memo-off", false)] {
+        group.bench_with_input(BenchmarkId::new(label, 4), &wl, |b, wl| {
+            b.iter(|| {
+                let engine = Engine::new(&host);
+                let options = Options {
+                    algorithm: Algorithm::Lns,
+                    mode: SearchMode::First,
+                    lns: LnsConfig {
+                        memo_cache: memo,
+                        ..LnsConfig::default()
+                    },
+                    timeout: Some(Duration::from_secs(30)),
+                    ..Options::default()
+                };
+                black_box(
+                    engine
+                        .embed(&wl.query, &wl.constraint, &options)
+                        .map(|r| r.mappings.len())
+                        .unwrap_or(0),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, abl_ordering);
+criterion_main!(benches);

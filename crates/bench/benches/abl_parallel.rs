@@ -1,0 +1,29 @@
+//! Ablation: parallel ECF thread scaling on an all-matches workload.
+
+use bench::{bench_planetlab, embed_once, planted};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netembed::{Algorithm, SearchMode};
+use std::hint::black_box;
+
+fn abl_parallel(c: &mut Criterion) {
+    let host = bench_planetlab();
+    let mut group = c.benchmark_group("abl-par");
+    group.sample_size(10);
+    let wl = planted(&host, 14, 9500);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &wl, |b, wl| {
+            b.iter(|| {
+                black_box(embed_once(
+                    &host,
+                    wl,
+                    Algorithm::ParallelEcf { threads },
+                    SearchMode::All,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, abl_parallel);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig 8: per-algorithm search time vs query size on the PlanetLab-like
+//! host. Groups: ECF all/first (8a), RWB first (8b), LNS all/first (8c).
+
+use bench::{bench_planetlab, embed_once, planted};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netembed::{Algorithm, SearchMode};
+use std::hint::black_box;
+
+fn fig08(c: &mut Criterion) {
+    let host = bench_planetlab();
+    let sizes = [6usize, 10, 14, 18];
+    let mut group = c.benchmark_group("fig08");
+    group.sample_size(10);
+    for &n in &sizes {
+        let wl = planted(&host, n, 1000 + n as u64);
+        group.bench_with_input(BenchmarkId::new("8a-ECF-all", n), &wl, |b, wl| {
+            b.iter(|| black_box(embed_once(&host, wl, Algorithm::Ecf, SearchMode::All)))
+        });
+        group.bench_with_input(BenchmarkId::new("8a-ECF-first", n), &wl, |b, wl| {
+            b.iter(|| black_box(embed_once(&host, wl, Algorithm::Ecf, SearchMode::First)))
+        });
+        group.bench_with_input(BenchmarkId::new("8b-RWB-first", n), &wl, |b, wl| {
+            b.iter(|| black_box(embed_once(&host, wl, Algorithm::Rwb, SearchMode::First)))
+        });
+        group.bench_with_input(BenchmarkId::new("8c-LNS-all", n), &wl, |b, wl| {
+            b.iter(|| black_box(embed_once(&host, wl, Algorithm::Lns, SearchMode::All)))
+        });
+        group.bench_with_input(BenchmarkId::new("8c-LNS-first", n), &wl, |b, wl| {
+            b.iter(|| black_box(embed_once(&host, wl, Algorithm::Lns, SearchMode::First)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig08);
+criterion_main!(benches);

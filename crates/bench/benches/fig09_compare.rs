@@ -1,0 +1,44 @@
+//! Fig 9: three-algorithm comparison on identical PlanetLab workloads —
+//! (a) time until all matches, (b) time until the first match.
+
+use bench::{bench_planetlab, embed_once, planted};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netembed::{Algorithm, SearchMode};
+use std::hint::black_box;
+
+fn fig09(c: &mut Criterion) {
+    let host = bench_planetlab();
+    let algos = [
+        (Algorithm::Ecf, "ECF"),
+        (Algorithm::Rwb, "RWB"),
+        (Algorithm::Lns, "LNS"),
+    ];
+    let mut group = c.benchmark_group("fig09");
+    group.sample_size(10);
+    for &n in &[8usize, 14] {
+        let wl = planted(&host, n, 2000 + n as u64);
+        for (alg, label) in algos {
+            // (a): all matches (RWB is first-match by design, as in the paper).
+            let mode_all = if alg == Algorithm::Rwb {
+                SearchMode::First
+            } else {
+                SearchMode::All
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("9a-{label}"), n),
+                &wl,
+                |b, wl| b.iter(|| black_box(embed_once(&host, wl, alg, mode_all))),
+            );
+            // (b): first match.
+            group.bench_with_input(
+                BenchmarkId::new(format!("9b-{label}"), n),
+                &wl,
+                |b, wl| b.iter(|| black_box(embed_once(&host, wl, alg, SearchMode::First))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig09);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fig 10: feasible vs infeasible queries — same topology, poisoned
+//! windows. The interesting comparison is how fast each algorithm reaches
+//! a definitive "no match".
+
+use bench::{bench_planetlab, embed_once, planted};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netembed::{Algorithm, SearchMode};
+use std::hint::black_box;
+use topogen::make_infeasible;
+
+fn fig10(c: &mut Criterion) {
+    let host = bench_planetlab();
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    for &n in &[8usize, 14] {
+        let wl = planted(&host, n, 3000 + n as u64);
+        let bad = make_infeasible(&wl, 0.15, &mut topogen::rng(3100 + n as u64));
+        for (alg, label) in [
+            (Algorithm::Ecf, "ECF"),
+            (Algorithm::Rwb, "RWB"),
+            (Algorithm::Lns, "LNS"),
+        ] {
+            let mode = if alg == Algorithm::Rwb {
+                SearchMode::First
+            } else {
+                SearchMode::All
+            };
+            group.bench_with_input(BenchmarkId::new(format!("{label}-match"), n), &wl, |b, wl| {
+                b.iter(|| black_box(embed_once(&host, wl, alg, mode)))
+            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}-nomatch"), n),
+                &bad,
+                |b, bad| b.iter(|| black_box(embed_once(&host, bad, alg, mode))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

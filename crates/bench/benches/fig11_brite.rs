@@ -1,0 +1,37 @@
+//! Fig 11: mean (all-matches) search time on BRITE-like hosts of
+//! increasing size (paper: N = 1500/2000/2500, here scaled ×10 down).
+
+use bench::{bench_brite, embed_once, planted};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netembed::{Algorithm, SearchMode};
+use std::hint::black_box;
+
+fn fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    for host_n in [150usize, 200, 250] {
+        let host = bench_brite(host_n);
+        let n = host_n / 10;
+        let wl = planted(&host, n, 4000 + host_n as u64);
+        for (alg, label) in [
+            (Algorithm::Ecf, "ECF"),
+            (Algorithm::Rwb, "RWB"),
+            (Algorithm::Lns, "LNS"),
+        ] {
+            let mode = if alg == Algorithm::Rwb {
+                SearchMode::First
+            } else {
+                SearchMode::All
+            };
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("N{host_n}-q{n}")),
+                &wl,
+                |b, wl| b.iter(|| black_box(embed_once(&host, wl, alg, mode))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig11);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig 12: time to the *first* match on BRITE-like hosts.
+
+use bench::{bench_brite, embed_once, planted};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netembed::{Algorithm, SearchMode};
+use std::hint::black_box;
+
+fn fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    for host_n in [150usize, 200, 250] {
+        let host = bench_brite(host_n);
+        for frac in [0.1f64, 0.3] {
+            let n = ((host_n as f64) * frac) as usize;
+            let wl = planted(&host, n.max(4), 5000 + host_n as u64 + n as u64);
+            for (alg, label) in [
+                (Algorithm::Ecf, "ECF"),
+                (Algorithm::Rwb, "RWB"),
+                (Algorithm::Lns, "LNS"),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(label, format!("N{host_n}-q{n}")),
+                    &wl,
+                    |b, wl| {
+                        b.iter(|| black_box(embed_once(&host, wl, alg, SearchMode::First)))
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig12);
+criterion_main!(benches);

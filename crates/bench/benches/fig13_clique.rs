@@ -1,0 +1,54 @@
+//! Fig 13: clique queries with a 10–100 ms window — (a) enumerate all
+//! embeddings (bounded via UpTo to keep the bench finite, mirroring the
+//! paper's timeouts), (b) time to the first match, where LNS shines.
+
+use bench::{bench_planetlab, embed_once};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netembed::{Algorithm, Engine, Options, SearchMode};
+use std::hint::black_box;
+use std::time::Duration;
+use topogen::clique_query;
+
+fn fig13(c: &mut Criterion) {
+    let host = bench_planetlab();
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    for k in [3usize, 4, 5] {
+        let wl = clique_query(k, 10.0, 100.0);
+        // (a) bounded enumeration — the paper's all-matches runs time out
+        // on larger cliques; UpTo(5000) bounds the bench equivalently.
+        for (alg, label) in [(Algorithm::Ecf, "13a-ECF"), (Algorithm::Lns, "13a-LNS")] {
+            group.bench_with_input(BenchmarkId::new(label, k), &wl, |b, wl| {
+                b.iter(|| {
+                    let engine = Engine::new(&host);
+                    let options = Options {
+                        algorithm: alg,
+                        mode: SearchMode::UpTo(5000),
+                        timeout: Some(Duration::from_secs(20)),
+                        ..Options::default()
+                    };
+                    black_box(
+                        engine
+                            .embed(&wl.query, &wl.constraint, &options)
+                            .map(|r| r.mappings.len())
+                            .unwrap_or(0),
+                    )
+                })
+            });
+        }
+        // (b) first match.
+        for (alg, label) in [
+            (Algorithm::Ecf, "13b-ECF"),
+            (Algorithm::Rwb, "13b-RWB"),
+            (Algorithm::Lns, "13b-LNS"),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, k), &wl, |b, wl| {
+                b.iter(|| black_box(embed_once(&host, wl, alg, SearchMode::First)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig13);
+criterion_main!(benches);

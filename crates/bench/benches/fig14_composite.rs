@@ -1,0 +1,59 @@
+//! Fig 14: composite two-level queries — time to first match under
+//! (a) regular per-tier windows and (b) random windows from 25–175 ms.
+
+use bench::{bench_planetlab, embed_once};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netembed::{Algorithm, SearchMode};
+use std::hint::black_box;
+use topogen::{
+    assign_composite_windows, assign_random_windows, composite_query, CompositeSpec, Level,
+    QueryWorkload, CLIQUE_CONSTRAINT,
+};
+
+fn workload(groups: usize, group_size: usize, irregular: bool) -> QueryWorkload {
+    let mut q = composite_query(&CompositeSpec {
+        root: Level::Ring,
+        groups,
+        leaf: Level::Star,
+        group_size,
+    });
+    if irregular {
+        assign_random_windows(&mut q, 25.0, 175.0, 60.0, &mut topogen::rng(6000));
+    } else {
+        assign_composite_windows(&mut q, (75.0, 350.0), (1.0, 75.0));
+    }
+    QueryWorkload {
+        query: q,
+        ground_truth: None,
+        constraint: CLIQUE_CONSTRAINT.to_string(),
+    }
+}
+
+fn fig14(c: &mut Criterion) {
+    let host = bench_planetlab();
+    let mut group = c.benchmark_group("fig14");
+    group.sample_size(10);
+    for (groups, group_size) in [(3usize, 3usize), (4, 4)] {
+        let size = groups * group_size;
+        for (irr, tag) in [(false, "14a"), (true, "14b")] {
+            let wl = workload(groups, group_size, irr);
+            for (alg, label) in [
+                (Algorithm::Ecf, "ECF"),
+                (Algorithm::Rwb, "RWB"),
+                (Algorithm::Lns, "LNS"),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{tag}-{label}"), size),
+                    &wl,
+                    |b, wl| {
+                        b.iter(|| black_box(embed_once(&host, wl, alg, SearchMode::First)))
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig14);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Fig 15: result-type classification under a fixed timeout. The bench
+//! measures the cost of a budgeted run per workload class (the
+//! distribution itself is produced by `harness fig15`); it also prints the
+//! observed outcome once per class so regressions in classification are
+//! visible in the bench log.
+
+use bench::{bench_planetlab, planted};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netembed::{Algorithm, Engine, Options, SearchMode};
+use std::hint::black_box;
+use std::time::Duration;
+use topogen::{clique_query, make_infeasible, QueryWorkload};
+
+fn classes(host: &netgraph::Network) -> Vec<(&'static str, QueryWorkload)> {
+    let feasible = planted(host, 10, 7000);
+    let infeasible = make_infeasible(&feasible, 0.2, &mut topogen::rng(7001));
+    let clique = clique_query(4, 10.0, 100.0);
+    vec![
+        ("subgraph", feasible),
+        ("subgraph-infeasible", infeasible),
+        ("clique", clique),
+    ]
+}
+
+fn fig15(c: &mut Criterion) {
+    let host = bench_planetlab();
+    let mut group = c.benchmark_group("fig15");
+    group.sample_size(10);
+    let budget = Duration::from_millis(250);
+    for (class, wl) in classes(&host) {
+        // Print the classification once, outside the timing loop.
+        let engine = Engine::new(&host);
+        let options = Options {
+            algorithm: Algorithm::Ecf,
+            mode: SearchMode::All,
+            timeout: Some(budget),
+            ..Options::default()
+        };
+        if let Ok(r) = engine.embed(&wl.query, &wl.constraint, &options) {
+            eprintln!("fig15 class {class}: outcome = {}", r.outcome.label());
+        }
+        group.bench_with_input(BenchmarkId::new("budgeted-ECF", class), &wl, |b, wl| {
+            b.iter(|| {
+                let engine = Engine::new(&host);
+                black_box(
+                    engine
+                        .embed(&wl.query, &wl.constraint, &options)
+                        .map(|r| r.outcome.label())
+                        .unwrap_or("error"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig15);
+criterion_main!(benches);

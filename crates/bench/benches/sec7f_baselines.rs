@@ -1,0 +1,59 @@
+//! §VII-F: NETEMBED versus the re-implemented prior techniques on the same
+//! small planted instances. The expected shape: ECF/LNS answer in
+//! milliseconds; the metaheuristics pay their full schedules.
+
+use baselines::{anneal, genetic, stress_greedy, AnnealParams, GeneticParams, StressParams};
+use bench::{bench_planetlab, embed_once, planted};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netembed::{Algorithm, Problem, SearchMode};
+use std::hint::black_box;
+
+fn sec7f(c: &mut Criterion) {
+    let host = bench_planetlab();
+    let mut group = c.benchmark_group("sec7f");
+    group.sample_size(10);
+    for &n in &[6usize, 10] {
+        let wl = planted(&host, n, 8000 + n as u64);
+
+        group.bench_with_input(BenchmarkId::new("ECF-first", n), &wl, |b, wl| {
+            b.iter(|| black_box(embed_once(&host, wl, Algorithm::Ecf, SearchMode::First)))
+        });
+        group.bench_with_input(BenchmarkId::new("LNS-first", n), &wl, |b, wl| {
+            b.iter(|| black_box(embed_once(&host, wl, Algorithm::Lns, SearchMode::First)))
+        });
+
+        // Baselines, with paper-era budgets shrunk 10× to keep the bench
+        // finite; the ECF-vs-heuristic gap survives the shrink.
+        let sa_params = AnnealParams {
+            max_iters: 20_000,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("SA-assign", n), &wl, |b, wl| {
+            b.iter(|| {
+                let p = Problem::new(&wl.query, &host, &wl.constraint).unwrap();
+                black_box(anneal(&p, &sa_params).feasible)
+            })
+        });
+        let ga_params = GeneticParams {
+            generations: 40,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("GA-wanassign", n), &wl, |b, wl| {
+            b.iter(|| {
+                let p = Problem::new(&wl.query, &host, &wl.constraint).unwrap();
+                black_box(genetic(&p, &ga_params).feasible)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("Stress-ZhuAmmar", n), &wl, |b, wl| {
+            b.iter(|| {
+                let p = Problem::new(&wl.query, &host, &wl.constraint).unwrap();
+                let stress = vec![0u32; p.nr()];
+                black_box(stress_greedy(&p, &StressParams::default(), &stress).feasible)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sec7f);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Each `benches/figXX_*.rs` target regenerates one figure of the paper at
+//! a reduced, benchmark-friendly scale (Criterion needs many iterations
+//! per point, so the full 296-site trace would take hours). The harness
+//! binary (`cargo run -p harness --release -- <exp>`) produces the
+//! full-scale CSV series; these benches track regressions on the same
+//! workload shapes.
+
+use netembed::{Algorithm, Engine, Options, SearchMode};
+use netgraph::Network;
+use std::time::Duration;
+use topogen::{subgraph_query, PlanetlabParams, QueryWorkload, SubgraphParams};
+
+/// Benchmark-scale PlanetLab-like host (60 sites ≈ 1/5 of the trace).
+pub fn bench_planetlab() -> Network {
+    topogen::planetlab_like(
+        &PlanetlabParams {
+            sites: 60,
+            measured_prob: 0.66,
+            clusters: 4,
+        },
+        &mut topogen::rng(0xBEEF),
+    )
+}
+
+/// Benchmark-scale BRITE-like host.
+pub fn bench_brite(n: usize) -> Network {
+    topogen::brite_like(
+        &topogen::BriteParams::paper_default(n),
+        &mut topogen::rng(0xB17E),
+    )
+}
+
+/// Planted subgraph query of size `n`.
+pub fn planted(host: &Network, n: usize, seed: u64) -> QueryWorkload {
+    subgraph_query(
+        host,
+        &SubgraphParams {
+            n,
+            edge_keep: 0.3,
+            slack: 0.02,
+        },
+        &mut topogen::rng(seed),
+    )
+}
+
+/// One timed engine run (the unit every benchmark iterates).
+pub fn embed_once(
+    host: &Network,
+    wl: &QueryWorkload,
+    algorithm: Algorithm,
+    mode: SearchMode,
+) -> usize {
+    let engine = Engine::new(host);
+    let options = Options {
+        algorithm,
+        mode,
+        timeout: Some(Duration::from_secs(30)),
+        ..Options::default()
+    };
+    engine
+        .embed(&wl.query, &wl.constraint, &options)
+        .map(|r| r.mappings.len())
+        .unwrap_or(0)
+}

@@ -1,0 +1,373 @@
+//! Abstract syntax tree for constraint expressions, with a canonical
+//! pretty-printer (used by tests to check parse ∘ print = identity).
+
+use std::fmt;
+
+/// The six edge-context objects from Table I of the paper, plus the
+/// node-context objects `vNode`/`rNode` used by NETEMBED's node-constraint
+/// extension (evaluating constraints for isolated query nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Object {
+    /// Query (virtual) edge under consideration.
+    VEdge,
+    /// Hosting (real) edge under consideration.
+    REdge,
+    /// Source node of the query edge.
+    VSource,
+    /// Target node of the query edge.
+    VTarget,
+    /// Source node of the hosting edge.
+    RSource,
+    /// Target node of the hosting edge.
+    RTarget,
+    /// Query node (node-constraint context only).
+    VNode,
+    /// Hosting node (node-constraint context only).
+    RNode,
+}
+
+impl Object {
+    /// Parse an object name.
+    pub fn parse(name: &str) -> Option<Object> {
+        Some(match name {
+            "vEdge" => Object::VEdge,
+            "rEdge" => Object::REdge,
+            "vSource" => Object::VSource,
+            "vTarget" => Object::VTarget,
+            "rSource" => Object::RSource,
+            "rTarget" => Object::RTarget,
+            "vNode" => Object::VNode,
+            "rNode" => Object::RNode,
+            _ => return None,
+        })
+    }
+
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Object::VEdge => "vEdge",
+            Object::REdge => "rEdge",
+            Object::VSource => "vSource",
+            Object::VTarget => "vTarget",
+            Object::RSource => "rSource",
+            Object::RTarget => "rTarget",
+            Object::VNode => "vNode",
+            Object::RNode => "rNode",
+        }
+    }
+
+    /// True for the objects referring to the query (virtual) network.
+    pub fn is_virtual(self) -> bool {
+        matches!(
+            self,
+            Object::VEdge | Object::VSource | Object::VTarget | Object::VNode
+        )
+    }
+
+    /// True for edge-valued objects.
+    pub fn is_edge(self) -> bool {
+        matches!(self, Object::VEdge | Object::REdge)
+    }
+}
+
+/// Built-in functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Func {
+    /// `abs(x)` — absolute value.
+    Abs,
+    /// `sqrt(x)` — square root.
+    Sqrt,
+    /// `min(a, b)`.
+    Min,
+    /// `max(a, b)`.
+    Max,
+    /// `isBoundTo(v, r)` — true when the first argument is missing, or both
+    /// are present and equal (§VI-B of the paper).
+    IsBoundTo,
+    /// `has(x)` — true when the attribute reference is present
+    /// (NETEMBED extension; lets queries test optional attributes).
+    Has,
+}
+
+impl Func {
+    /// Parse a function name.
+    pub fn parse(name: &str) -> Option<Func> {
+        Some(match name {
+            "abs" => Func::Abs,
+            "sqrt" => Func::Sqrt,
+            "min" => Func::Min,
+            "max" => Func::Max,
+            "isBoundTo" => Func::IsBoundTo,
+            "has" => Func::Has,
+            _ => return None,
+        })
+    }
+
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Func::Abs => "abs",
+            Func::Sqrt => "sqrt",
+            Func::Min => "min",
+            Func::Max => "max",
+            Func::IsBoundTo => "isBoundTo",
+            Func::Has => "has",
+        }
+    }
+
+    /// Number of arguments the function takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Func::Abs | Func::Sqrt | Func::Has => 1,
+            Func::Min | Func::Max | Func::IsBoundTo => 2,
+        }
+    }
+}
+
+/// Binary operators, in Java precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `||`
+    Or,
+    /// `&&`
+    And,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+}
+
+impl BinOp {
+    /// Java-style precedence; higher binds tighter.
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne => 3,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 4,
+            BinOp::Add | BinOp::Sub => 5,
+            BinOp::Mul | BinOp::Div | BinOp::Rem => 6,
+        }
+    }
+
+    /// Operator spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Or => "||",
+            BinOp::And => "&&",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `!`
+    Not,
+    /// `-`
+    Neg,
+}
+
+/// Expression AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// Attribute reference `object.attr`.
+    Attr(Object, String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Function call.
+    Call(Func, Vec<Expr>),
+}
+
+impl Expr {
+    /// All attribute references `(object, name)` in the expression.
+    pub fn attr_refs(&self) -> Vec<(Object, &str)> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Attr(o, n) = e {
+                out.push((*o, n.as_str()));
+            }
+        });
+        out
+    }
+
+    /// True when the expression references node-context objects
+    /// (`vNode`/`rNode`).
+    pub fn uses_node_objects(&self) -> bool {
+        self.attr_refs()
+            .iter()
+            .any(|(o, _)| matches!(o, Object::VNode | Object::RNode))
+    }
+
+    /// Pre-order traversal. The callback receives references that live as
+    /// long as the expression itself.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Unary(_, e) => e.walk(f),
+            Expr::Binary(_, l, r) => {
+                l.walk(f);
+                r.walk(f);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent_prec: u8) -> fmt::Result {
+        match self {
+            Expr::Num(x) => {
+                if *x < 0.0 {
+                    write!(f, "({x})")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Expr::Str(s) => write!(f, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+            Expr::Bool(b) => write!(f, "{b}"),
+            Expr::Attr(o, n) => write!(f, "{}.{}", o.name(), n),
+            Expr::Unary(op, e) => {
+                match op {
+                    UnOp::Not => write!(f, "!")?,
+                    UnOp::Neg => write!(f, "-")?,
+                }
+                // Unary binds tighter than all binaries.
+                e.fmt_prec(f, 7)
+            }
+            Expr::Binary(op, l, r) => {
+                let p = op.precedence();
+                let need_paren = p < parent_prec;
+                if need_paren {
+                    write!(f, "(")?;
+                }
+                l.fmt_prec(f, p)?;
+                write!(f, " {} ", op.symbol())?;
+                // Left-associative: right child needs parens at equal prec.
+                r.fmt_prec(f, p + 1)?;
+                if need_paren {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Expr::Call(func, args) => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    a.fmt_prec(f, 0)?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_names_round_trip() {
+        for o in [
+            Object::VEdge,
+            Object::REdge,
+            Object::VSource,
+            Object::VTarget,
+            Object::RSource,
+            Object::RTarget,
+            Object::VNode,
+            Object::RNode,
+        ] {
+            assert_eq!(Object::parse(o.name()), Some(o));
+        }
+        assert_eq!(Object::parse("vedge"), None);
+    }
+
+    #[test]
+    fn func_metadata() {
+        assert_eq!(Func::parse("sqrt"), Some(Func::Sqrt));
+        assert_eq!(Func::IsBoundTo.arity(), 2);
+        assert_eq!(Func::Abs.arity(), 1);
+        assert_eq!(Func::parse("nope"), None);
+    }
+
+    #[test]
+    fn display_inserts_minimal_parens() {
+        // (a + b) * c needs parens; a + b * c does not.
+        let a = Expr::Attr(Object::VEdge, "a".into());
+        let b = Expr::Attr(Object::VEdge, "b".into());
+        let c = Expr::Attr(Object::VEdge, "c".into());
+        let sum = Expr::Binary(BinOp::Add, Box::new(a.clone()), Box::new(b.clone()));
+        let prod = Expr::Binary(BinOp::Mul, Box::new(sum), Box::new(c.clone()));
+        assert_eq!(prod.to_string(), "(vEdge.a + vEdge.b) * vEdge.c");
+        let prod2 = Expr::Binary(BinOp::Mul, Box::new(b), Box::new(c));
+        let sum2 = Expr::Binary(BinOp::Add, Box::new(a), Box::new(prod2));
+        assert_eq!(sum2.to_string(), "vEdge.a + vEdge.b * vEdge.c");
+    }
+
+    #[test]
+    fn attr_refs_collected() {
+        let e = Expr::Binary(
+            BinOp::And,
+            Box::new(Expr::Attr(Object::VSource, "x".into())),
+            Box::new(Expr::Call(
+                Func::IsBoundTo,
+                vec![
+                    Expr::Attr(Object::VNode, "bindTo".into()),
+                    Expr::Attr(Object::RNode, "name".into()),
+                ],
+            )),
+        );
+        let refs = e.attr_refs();
+        assert_eq!(refs.len(), 3);
+        assert!(e.uses_node_objects());
+    }
+}

@@ -1,0 +1,642 @@
+//! Compilation of parsed expressions against a (query, host) network pair,
+//! and the evaluator that runs on the embedding search's hot path.
+//!
+//! Compilation resolves every `object.attr` reference to an interned
+//! [`AttrId`] on the owning network's schema — attribute names are hashed
+//! once per query, not once per candidate pair. An attribute name that does
+//! not exist in the owning schema compiles to a reference that always
+//! evaluates to [`Value::Missing`] (the element can never carry it).
+
+use crate::ast::{BinOp, Expr, Func, Object, UnOp};
+use crate::value::{EvalError, Value};
+use netgraph::{AttrId, AttrValue, EdgeId, Network, NodeId};
+
+/// A compiled constraint expression, bound to one query/host schema pair.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    root: Node,
+    uses_node_objects: bool,
+    uses_edge_objects: bool,
+}
+
+/// Resolved expression node. Mirrors [`Expr`] with attribute references
+/// resolved to `(Object, Option<AttrId>)`.
+#[derive(Debug, Clone)]
+enum Node {
+    Num(f64),
+    Str(std::sync::Arc<str>),
+    Bool(bool),
+    Attr(Object, Option<AttrId>),
+    Unary(UnOp, Box<Node>),
+    Binary(BinOp, Box<Node>, Box<Node>),
+    Call(Func, Vec<Node>),
+}
+
+/// Evaluation context for edge constraints: one query edge mapped onto one
+/// host edge, with an explicit endpoint orientation. For undirected
+/// networks the engine evaluates both orientations of the host edge.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeCtx<'a> {
+    /// Query (virtual) network.
+    pub q: &'a Network,
+    /// Hosting (real) network.
+    pub r: &'a Network,
+    /// Query edge.
+    pub v_edge: EdgeId,
+    /// Query edge source.
+    pub v_src: NodeId,
+    /// Query edge target.
+    pub v_dst: NodeId,
+    /// Host edge.
+    pub r_edge: EdgeId,
+    /// Host node that `v_src` maps to.
+    pub r_src: NodeId,
+    /// Host node that `v_dst` maps to.
+    pub r_dst: NodeId,
+}
+
+/// Evaluation context for node constraints (isolated query nodes, or
+/// node-only attribute requirements).
+#[derive(Debug, Clone, Copy)]
+pub struct NodeCtx<'a> {
+    /// Query (virtual) network.
+    pub q: &'a Network,
+    /// Hosting (real) network.
+    pub r: &'a Network,
+    /// Query node.
+    pub v_node: NodeId,
+    /// Candidate host node.
+    pub r_node: NodeId,
+}
+
+impl Compiled {
+    /// Compile `expr` against the two networks' schemas.
+    pub fn new(expr: &Expr, q: &Network, r: &Network) -> Compiled {
+        fn resolve(expr: &Expr, q: &Network, r: &Network) -> Node {
+            match expr {
+                Expr::Num(x) => Node::Num(*x),
+                Expr::Str(s) => Node::Str(std::sync::Arc::from(s.as_str())),
+                Expr::Bool(b) => Node::Bool(*b),
+                Expr::Attr(o, name) => {
+                    let schema = if o.is_virtual() { q.schema() } else { r.schema() };
+                    Node::Attr(*o, schema.get(name))
+                }
+                Expr::Unary(op, e) => Node::Unary(*op, Box::new(resolve(e, q, r))),
+                Expr::Binary(op, l, m) => Node::Binary(
+                    *op,
+                    Box::new(resolve(l, q, r)),
+                    Box::new(resolve(m, q, r)),
+                ),
+                Expr::Call(f, args) => {
+                    Node::Call(*f, args.iter().map(|a| resolve(a, q, r)).collect())
+                }
+            }
+        }
+        let mut uses_node_objects = false;
+        let mut uses_edge_objects = false;
+        expr.walk(&mut |e| {
+            if let Expr::Attr(o, _) = e {
+                match o {
+                    Object::VNode | Object::RNode => uses_node_objects = true,
+                    _ => uses_edge_objects = true,
+                }
+            }
+        });
+        Compiled {
+            root: resolve(expr, q, r),
+            uses_node_objects,
+            uses_edge_objects,
+        }
+    }
+
+    /// True when the expression references `vNode`/`rNode`.
+    pub fn uses_node_objects(&self) -> bool {
+        self.uses_node_objects
+    }
+
+    /// True when the expression references any of the Table I edge-context
+    /// objects (`vEdge`, `rEdge`, `vSource`, …).
+    pub fn uses_edge_objects(&self) -> bool {
+        self.uses_edge_objects
+    }
+
+    /// Evaluate as an edge constraint. `Ok(true)` accepts the candidate
+    /// pair; `Ok(false)` rejects it (including `Missing` at the root);
+    /// `Err` reports a malformed query (type error or context misuse).
+    pub fn eval_edge(&self, ctx: &EdgeCtx<'_>) -> Result<bool, EvalError> {
+        let v = eval(&self.root, &Scope::Edge(ctx))?;
+        root_bool(v)
+    }
+
+    /// Evaluate as a node constraint.
+    pub fn eval_node(&self, ctx: &NodeCtx<'_>) -> Result<bool, EvalError> {
+        let v = eval(&self.root, &Scope::Node(ctx))?;
+        root_bool(v)
+    }
+}
+
+fn root_bool(v: Value) -> Result<bool, EvalError> {
+    match v {
+        Value::Bool(b) => Ok(b),
+        Value::Missing => Ok(false),
+        other => Err(EvalError::TypeMismatch {
+            op: "constraint root",
+            left: other.type_name(),
+            right: "",
+        }),
+    }
+}
+
+enum Scope<'c, 'a> {
+    Edge(&'c EdgeCtx<'a>),
+    Node(&'c NodeCtx<'a>),
+}
+
+fn load(scope: &Scope<'_, '_>, obj: Object, attr: Option<AttrId>) -> Result<Value, EvalError> {
+    let Some(attr) = attr else {
+        return Ok(Value::Missing);
+    };
+    let raw: Option<&AttrValue> = match scope {
+        Scope::Edge(c) => match obj {
+            Object::VEdge => c.q.edge_attr(c.v_edge, attr),
+            Object::REdge => c.r.edge_attr(c.r_edge, attr),
+            Object::VSource => c.q.node_attr(c.v_src, attr),
+            Object::VTarget => c.q.node_attr(c.v_dst, attr),
+            Object::RSource => c.r.node_attr(c.r_src, attr),
+            Object::RTarget => c.r.node_attr(c.r_dst, attr),
+            Object::VNode | Object::RNode => {
+                return Err(EvalError::ObjectUnavailable(obj));
+            }
+        },
+        Scope::Node(c) => match obj {
+            Object::VNode => c.q.node_attr(c.v_node, attr),
+            Object::RNode => c.r.node_attr(c.r_node, attr),
+            // The edge-context objects are meaningless when matching a
+            // lone node.
+            _ => return Err(EvalError::ObjectUnavailable(obj)),
+        },
+    };
+    Ok(match raw {
+        Some(AttrValue::Num(x)) => Value::Num(*x),
+        Some(AttrValue::Bool(b)) => Value::Bool(*b),
+        Some(AttrValue::Str(s)) => Value::Str(s.clone()),
+        None => Value::Missing,
+    })
+}
+
+fn eval(node: &Node, scope: &Scope<'_, '_>) -> Result<Value, EvalError> {
+    match node {
+        Node::Num(x) => Ok(Value::Num(*x)),
+        Node::Str(s) => Ok(Value::Str(s.clone())),
+        Node::Bool(b) => Ok(Value::Bool(*b)),
+        Node::Attr(o, a) => load(scope, *o, *a),
+        Node::Unary(op, e) => {
+            let v = eval(e, scope)?;
+            match (op, v) {
+                (_, Value::Missing) => Ok(Value::Missing),
+                (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+                (UnOp::Neg, Value::Num(x)) => Ok(Value::Num(-x)),
+                (UnOp::Not, v) => Err(EvalError::TypeMismatch {
+                    op: "!",
+                    left: v.type_name(),
+                    right: "",
+                }),
+                (UnOp::Neg, v) => Err(EvalError::TypeMismatch {
+                    op: "-",
+                    left: v.type_name(),
+                    right: "",
+                }),
+            }
+        }
+        Node::Binary(op, l, r) => eval_binary(*op, l, r, scope),
+        Node::Call(f, args) => eval_call(*f, args, scope),
+    }
+}
+
+fn eval_binary(
+    op: BinOp,
+    l: &Node,
+    r: &Node,
+    scope: &Scope<'_, '_>,
+) -> Result<Value, EvalError> {
+    // Kleene logic with short-circuiting for && and ||.
+    match op {
+        BinOp::And => {
+            let lv = eval(l, scope)?;
+            match lv {
+                Value::Bool(false) => return Ok(Value::Bool(false)),
+                Value::Bool(true) | Value::Missing => {}
+                other => {
+                    return Err(EvalError::TypeMismatch {
+                        op: "&&",
+                        left: other.type_name(),
+                        right: "",
+                    })
+                }
+            }
+            let rv = eval(r, scope)?;
+            return match (lv, rv) {
+                (_, Value::Bool(false)) => Ok(Value::Bool(false)),
+                (Value::Missing, _) | (_, Value::Missing) => Ok(Value::Missing),
+                (_, Value::Bool(true)) => Ok(Value::Bool(true)),
+                (_, other) => Err(EvalError::TypeMismatch {
+                    op: "&&",
+                    left: "bool",
+                    right: other.type_name(),
+                }),
+            };
+        }
+        BinOp::Or => {
+            let lv = eval(l, scope)?;
+            match lv {
+                Value::Bool(true) => return Ok(Value::Bool(true)),
+                Value::Bool(false) | Value::Missing => {}
+                other => {
+                    return Err(EvalError::TypeMismatch {
+                        op: "||",
+                        left: other.type_name(),
+                        right: "",
+                    })
+                }
+            }
+            let rv = eval(r, scope)?;
+            return match (lv, rv) {
+                (_, Value::Bool(true)) => Ok(Value::Bool(true)),
+                (Value::Missing, _) | (_, Value::Missing) => Ok(Value::Missing),
+                (_, Value::Bool(false)) => Ok(Value::Bool(false)),
+                (_, other) => Err(EvalError::TypeMismatch {
+                    op: "||",
+                    left: "bool",
+                    right: other.type_name(),
+                }),
+            };
+        }
+        _ => {}
+    }
+
+    let lv = eval(l, scope)?;
+    let rv = eval(r, scope)?;
+    if lv.is_missing() || rv.is_missing() {
+        return Ok(Value::Missing);
+    }
+    let mismatch = |op: &'static str| EvalError::TypeMismatch {
+        op,
+        left: lv.type_name(),
+        right: rv.type_name(),
+    };
+    match op {
+        BinOp::Eq | BinOp::Ne => {
+            let eq = match (&lv, &rv) {
+                (Value::Num(a), Value::Num(b)) => a == b,
+                (Value::Bool(a), Value::Bool(b)) => a == b,
+                (Value::Str(a), Value::Str(b)) => a == b,
+                _ => return Err(mismatch(op.symbol())),
+            };
+            Ok(Value::Bool(if op == BinOp::Eq { eq } else { !eq }))
+        }
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => match (&lv, &rv) {
+            (Value::Num(a), Value::Num(b)) => Ok(Value::Bool(match op {
+                BinOp::Lt => a < b,
+                BinOp::Le => a <= b,
+                BinOp::Gt => a > b,
+                BinOp::Ge => a >= b,
+                _ => unreachable!(),
+            })),
+            _ => Err(mismatch(op.symbol())),
+        },
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => match (&lv, &rv) {
+            (Value::Num(a), Value::Num(b)) => Ok(Value::Num(match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                // Division by zero follows IEEE 754 (±inf / NaN), exactly
+                // as Java doubles behave in the original implementation.
+                BinOp::Div => a / b,
+                BinOp::Rem => a % b,
+                _ => unreachable!(),
+            })),
+            _ => Err(mismatch(op.symbol())),
+        },
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+    }
+}
+
+fn eval_call(f: Func, args: &[Node], scope: &Scope<'_, '_>) -> Result<Value, EvalError> {
+    match f {
+        Func::IsBoundTo => {
+            // isBoundTo(v, r): vacuously true when the first (query-side)
+            // value is absent; false when present but the host-side value
+            // is absent; equality otherwise (§VI-B).
+            let a = eval(&args[0], scope)?;
+            if a.is_missing() {
+                return Ok(Value::Bool(true));
+            }
+            let b = eval(&args[1], scope)?;
+            if b.is_missing() {
+                return Ok(Value::Bool(false));
+            }
+            let eq = match (&a, &b) {
+                (Value::Num(x), Value::Num(y)) => x == y,
+                (Value::Bool(x), Value::Bool(y)) => x == y,
+                (Value::Str(x), Value::Str(y)) => x == y,
+                _ => {
+                    return Err(EvalError::TypeMismatch {
+                        op: "isBoundTo",
+                        left: a.type_name(),
+                        right: b.type_name(),
+                    })
+                }
+            };
+            Ok(Value::Bool(eq))
+        }
+        Func::Has => {
+            let a = eval(&args[0], scope)?;
+            Ok(Value::Bool(!a.is_missing()))
+        }
+        Func::Abs | Func::Sqrt => {
+            let a = eval(&args[0], scope)?;
+            match a {
+                Value::Missing => Ok(Value::Missing),
+                Value::Num(x) => Ok(Value::Num(if f == Func::Abs {
+                    x.abs()
+                } else {
+                    // Negative input yields NaN, like Java's Math.sqrt;
+                    // NaN comparisons are false, so the pair is rejected.
+                    x.sqrt()
+                })),
+                other => Err(EvalError::TypeMismatch {
+                    op: f.name(),
+                    left: other.type_name(),
+                    right: "",
+                }),
+            }
+        }
+        Func::Min | Func::Max => {
+            let a = eval(&args[0], scope)?;
+            let b = eval(&args[1], scope)?;
+            match (&a, &b) {
+                (Value::Missing, _) | (_, Value::Missing) => Ok(Value::Missing),
+                (Value::Num(x), Value::Num(y)) => Ok(Value::Num(if f == Func::Min {
+                    x.min(*y)
+                } else {
+                    x.max(*y)
+                })),
+                _ => Err(EvalError::TypeMismatch {
+                    op: f.name(),
+                    left: a.type_name(),
+                    right: b.type_name(),
+                }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use netgraph::Direction;
+
+    /// Two-node, one-edge query and host fixtures.
+    fn fixtures() -> (Network, Network) {
+        let mut q = Network::new(Direction::Undirected);
+        let a = q.add_node("qa");
+        let b = q.add_node("qb");
+        let e = q.add_edge(a, b);
+        q.set_edge_attr(e, "avgDelay", 100.0);
+        q.set_node_attr(a, "osType", "linux");
+        q.set_node_attr(a, "x", 0.0);
+        q.set_node_attr(a, "y", 0.0);
+        q.set_node_attr(b, "x", 30.0);
+        q.set_node_attr(b, "y", 40.0);
+
+        let mut r = Network::new(Direction::Undirected);
+        let u = r.add_node("ru");
+        let v = r.add_node("rv");
+        let f = r.add_edge(u, v);
+        r.set_edge_attr(f, "avgDelay", 95.0);
+        r.set_edge_attr(f, "minDelay", 80.0);
+        r.set_edge_attr(f, "maxDelay", 120.0);
+        r.set_node_attr(u, "osType", "linux");
+        r.set_node_attr(v, "osType", "freebsd");
+        (q, r)
+    }
+
+    fn edge_ctx<'a>(q: &'a Network, r: &'a Network) -> EdgeCtx<'a> {
+        EdgeCtx {
+            q,
+            r,
+            v_edge: EdgeId(0),
+            v_src: NodeId(0),
+            v_dst: NodeId(1),
+            r_edge: EdgeId(0),
+            r_src: NodeId(0),
+            r_dst: NodeId(1),
+        }
+    }
+
+    fn eval_edge_expr(src: &str, q: &Network, r: &Network) -> Result<bool, EvalError> {
+        let e = parse(src).unwrap();
+        Compiled::new(&e, q, r).eval_edge(&edge_ctx(q, r))
+    }
+
+    #[test]
+    fn paper_delay_window_matches() {
+        let (q, r) = fixtures();
+        // 100 ∈ [0.9·95, 1.1·95] = [85.5, 104.5] → true
+        assert_eq!(
+            eval_edge_expr(
+                "vEdge.avgDelay>=0.90*rEdge.avgDelay && vEdge.avgDelay<=1.10*rEdge.avgDelay",
+                &q,
+                &r
+            ),
+            Ok(true)
+        );
+    }
+
+    #[test]
+    fn paper_min_max_window() {
+        let (q, r) = fixtures();
+        assert_eq!(
+            eval_edge_expr(
+                "vEdge.avgDelay>=rEdge.minDelay && vEdge.avgDelay<=rEdge.maxDelay",
+                &q,
+                &r
+            ),
+            Ok(true)
+        );
+        assert_eq!(
+            eval_edge_expr("vEdge.avgDelay>=rEdge.maxDelay", &q, &r),
+            Ok(false)
+        );
+    }
+
+    #[test]
+    fn paper_is_bound_to_os_type() {
+        let (q, r) = fixtures();
+        // qa has osType=linux; ru has linux → true in this orientation.
+        assert_eq!(
+            eval_edge_expr("isBoundTo(vSource.osType, rSource.osType)", &q, &r),
+            Ok(true)
+        );
+        // qb has no osType → vacuously true.
+        assert_eq!(
+            eval_edge_expr("isBoundTo(vTarget.osType, rTarget.osType)", &q, &r),
+            Ok(true)
+        );
+        // Force mismatch: qa=linux vs rTarget=freebsd.
+        assert_eq!(
+            eval_edge_expr("isBoundTo(vSource.osType, rTarget.osType)", &q, &r),
+            Ok(false)
+        );
+    }
+
+    #[test]
+    fn is_bound_to_missing_host_side() {
+        let (q, r) = fixtures();
+        // Query side present, host side attribute name unknown → false.
+        assert_eq!(
+            eval_edge_expr("isBoundTo(vSource.osType, rSource.nonexistent)", &q, &r),
+            Ok(false)
+        );
+    }
+
+    #[test]
+    fn paper_geo_distance() {
+        let (q, r) = fixtures();
+        // Distance between (0,0) and (30,40) is 50 < 100.
+        assert_eq!(
+            eval_edge_expr(
+                "sqrt( (vSource.x-vTarget.x)*(vSource.x-vTarget.x) + \
+                 (vSource.y-vTarget.y)*(vSource.y-vTarget.y) ) < 100.0",
+                &q,
+                &r
+            ),
+            Ok(true)
+        );
+    }
+
+    #[test]
+    fn missing_attr_rejects_candidate() {
+        let (q, r) = fixtures();
+        assert_eq!(eval_edge_expr("vEdge.bandwidth > 10", &q, &r), Ok(false));
+        // But disjunction with a true arm still matches (Kleene).
+        assert_eq!(
+            eval_edge_expr("vEdge.bandwidth > 10 || true", &q, &r),
+            Ok(true)
+        );
+        // Conjunction with false short-circuits to false, not missing.
+        assert_eq!(
+            eval_edge_expr("false && vEdge.bandwidth > 10", &q, &r),
+            Ok(false)
+        );
+    }
+
+    #[test]
+    fn has_function() {
+        let (q, r) = fixtures();
+        assert_eq!(eval_edge_expr("has(vEdge.avgDelay)", &q, &r), Ok(true));
+        assert_eq!(eval_edge_expr("has(vEdge.bandwidth)", &q, &r), Ok(false));
+        assert_eq!(
+            eval_edge_expr("!has(vEdge.bandwidth) || vEdge.bandwidth > 5", &q, &r),
+            Ok(true)
+        );
+    }
+
+    #[test]
+    fn arithmetic_and_functions() {
+        let (q, r) = fixtures();
+        assert_eq!(
+            eval_edge_expr("abs(vEdge.avgDelay - rEdge.avgDelay) <= 5.0", &q, &r),
+            Ok(true)
+        );
+        assert_eq!(
+            eval_edge_expr("min(vEdge.avgDelay, rEdge.avgDelay) == 95.0", &q, &r),
+            Ok(true)
+        );
+        assert_eq!(
+            eval_edge_expr("max(vEdge.avgDelay, rEdge.avgDelay) == 100.0", &q, &r),
+            Ok(true)
+        );
+        assert_eq!(eval_edge_expr("10.0 % 3.0 == 1.0", &q, &r), Ok(true));
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let (q, r) = fixtures();
+        assert!(eval_edge_expr("vSource.osType > 3", &q, &r).is_err());
+        assert!(eval_edge_expr("1 + true == 2", &q, &r).is_err());
+        assert!(eval_edge_expr("!5 == true", &q, &r).is_err());
+        assert!(eval_edge_expr("vEdge.avgDelay", &q, &r).is_err()); // root not bool
+        assert!(eval_edge_expr("\"a\" == 1", &q, &r).is_err());
+    }
+
+    #[test]
+    fn node_context_eval() {
+        let (q, r) = fixtures();
+        let e = parse("isBoundTo(vNode.osType, rNode.osType)").unwrap();
+        let c = Compiled::new(&e, &q, &r);
+        assert!(c.uses_node_objects());
+        let ctx = NodeCtx {
+            q: &q,
+            r: &r,
+            v_node: NodeId(0), // linux
+            r_node: NodeId(0), // linux
+        };
+        assert_eq!(c.eval_node(&ctx), Ok(true));
+        let ctx2 = NodeCtx {
+            q: &q,
+            r: &r,
+            v_node: NodeId(0),
+            r_node: NodeId(1), // freebsd
+        };
+        assert_eq!(c.eval_node(&ctx2), Ok(false));
+    }
+
+    #[test]
+    fn context_misuse_is_an_error() {
+        let (q, r) = fixtures();
+        // Edge object in node context.
+        let e = parse("vEdge.avgDelay > 0").unwrap();
+        let c = Compiled::new(&e, &q, &r);
+        let ctx = NodeCtx {
+            q: &q,
+            r: &r,
+            v_node: NodeId(0),
+            r_node: NodeId(0),
+        };
+        assert!(matches!(
+            c.eval_node(&ctx),
+            Err(EvalError::ObjectUnavailable(Object::VEdge))
+        ));
+        // Node object in edge context.
+        let e = parse("vNode.x > 0").unwrap();
+        let c = Compiled::new(&e, &q, &r);
+        assert!(matches!(
+            c.eval_edge(&edge_ctx(&q, &r)),
+            Err(EvalError::ObjectUnavailable(Object::VNode))
+        ));
+    }
+
+    #[test]
+    fn division_by_zero_is_ieee() {
+        let (q, r) = fixtures();
+        assert_eq!(eval_edge_expr("1.0 / 0.0 > 100.0", &q, &r), Ok(true));
+        // 0/0 = NaN, NaN > x is false.
+        assert_eq!(eval_edge_expr("0.0 / 0.0 > 100.0", &q, &r), Ok(false));
+    }
+
+    #[test]
+    fn sqrt_of_negative_rejects() {
+        let (q, r) = fixtures();
+        assert_eq!(eval_edge_expr("sqrt(0.0 - 4.0) >= 0.0", &q, &r), Ok(false));
+    }
+
+    #[test]
+    fn unknown_attr_name_compiles_to_missing() {
+        let (q, r) = fixtures();
+        let e = parse("vEdge.neverDeclared == 1").unwrap();
+        let c = Compiled::new(&e, &q, &r);
+        assert_eq!(c.eval_edge(&edge_ctx(&q, &r)), Ok(false));
+    }
+}

@@ -1,0 +1,440 @@
+//! Recursive-descent parser with Java operator precedence (§VI-B: "basically
+//! follows the rules of Java for creating boolean expressions"). Replaces
+//! the paper's CUP-generated parser.
+
+use crate::ast::{BinOp, Expr, Func, Object, UnOp};
+use crate::token::{lex, LexError, Token, TokenKind};
+use std::fmt;
+
+/// Parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// Unexpected token (or end of input).
+    Unexpected {
+        /// Byte offset.
+        offset: usize,
+        /// What was found.
+        found: String,
+        /// What was expected.
+        expected: String,
+    },
+    /// Unknown object name in `name.attr` position.
+    UnknownObject {
+        /// Byte offset.
+        offset: usize,
+        /// The unrecognized name.
+        name: String,
+    },
+    /// Unknown function name.
+    UnknownFunction {
+        /// Byte offset.
+        offset: usize,
+        /// The unrecognized name.
+        name: String,
+    },
+    /// Function called with the wrong number of arguments.
+    Arity {
+        /// Function involved.
+        func: Func,
+        /// Arguments supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected {
+                offset,
+                found,
+                expected,
+            } => write!(
+                f,
+                "parse error at byte {offset}: found {found}, expected {expected}"
+            ),
+            ParseError::UnknownObject { offset, name } => write!(
+                f,
+                "parse error at byte {offset}: unknown object `{name}` \
+                 (expected vEdge, rEdge, vSource, vTarget, rSource, rTarget, vNode or rNode)"
+            ),
+            ParseError::UnknownFunction { offset, name } => {
+                write!(f, "parse error at byte {offset}: unknown function `{name}`")
+            }
+            ParseError::Arity { func, got } => write!(
+                f,
+                "function {} takes {} argument(s), got {got}",
+                func.name(),
+                func.arity()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// Parse a complete constraint expression.
+pub fn parse(src: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        src_len: src.len(),
+    };
+    let expr = p.parse_or()?;
+    if let Some(t) = p.peek() {
+        return Err(ParseError::Unexpected {
+            offset: t.start,
+            found: t.kind.to_string(),
+            expected: "end of expression".into(),
+        });
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    src_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn unexpected(&self, expected: &str) -> ParseError {
+        match self.peek() {
+            Some(t) => ParseError::Unexpected {
+                offset: t.start,
+                found: t.kind.to_string(),
+                expected: expected.into(),
+            },
+            None => ParseError::Unexpected {
+                offset: self.src_len,
+                found: "end of input".into(),
+                expected: expected.into(),
+            },
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if &t.kind == kind => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while matches!(self.peek().map(|t| &t.kind), Some(TokenKind::OrOr)) {
+            self.pos += 1;
+            let rhs = self.parse_and()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_equality()?;
+        while matches!(self.peek().map(|t| &t.kind), Some(TokenKind::AndAnd)) {
+            self.pos += 1;
+            let rhs = self.parse_equality()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_equality(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_relational()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::EqEq) => BinOp::Eq,
+                Some(TokenKind::NotEq) => BinOp::Ne,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_relational()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_relational(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_additive()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Lt) => BinOp::Lt,
+                Some(TokenKind::Le) => BinOp::Le,
+                Some(TokenKind::Gt) => BinOp::Gt,
+                Some(TokenKind::Ge) => BinOp::Ge,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_additive()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Plus) => BinOp::Add,
+                Some(TokenKind::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Star) => BinOp::Mul,
+                Some(TokenKind::Slash) => BinOp::Div,
+                Some(TokenKind::Percent) => BinOp::Rem,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().map(|t| &t.kind) {
+            Some(TokenKind::Not) => {
+                self.pos += 1;
+                let e = self.parse_unary()?;
+                Ok(Expr::Unary(UnOp::Not, Box::new(e)))
+            }
+            Some(TokenKind::Minus) => {
+                self.pos += 1;
+                let e = self.parse_unary()?;
+                Ok(Expr::Unary(UnOp::Neg, Box::new(e)))
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        let tok = match self.advance() {
+            Some(t) => t,
+            None => return Err(self.unexpected("an expression")),
+        };
+        match tok.kind {
+            TokenKind::Number(x) => Ok(Expr::Num(x)),
+            TokenKind::Str(s) => Ok(Expr::Str(s)),
+            TokenKind::True => Ok(Expr::Bool(true)),
+            TokenKind::False => Ok(Expr::Bool(false)),
+            TokenKind::LParen => {
+                let e = self.parse_or()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                match self.peek().map(|t| &t.kind) {
+                    Some(TokenKind::Dot) => {
+                        self.pos += 1;
+                        let attr = match self.advance() {
+                            Some(Token {
+                                kind: TokenKind::Ident(a),
+                                ..
+                            }) => a,
+                            // Allow keywords as attribute names (`x.true`
+                            // is unlikely but harmless to reject instead).
+                            _ => return Err(self.unexpected("an attribute name after `.`")),
+                        };
+                        let obj = Object::parse(&name).ok_or(ParseError::UnknownObject {
+                            offset: tok.start,
+                            name: name.clone(),
+                        })?;
+                        Ok(Expr::Attr(obj, attr))
+                    }
+                    Some(TokenKind::LParen) => {
+                        self.pos += 1;
+                        let func = Func::parse(&name).ok_or(ParseError::UnknownFunction {
+                            offset: tok.start,
+                            name: name.clone(),
+                        })?;
+                        let mut args = Vec::new();
+                        if !matches!(self.peek().map(|t| &t.kind), Some(TokenKind::RParen)) {
+                            loop {
+                                args.push(self.parse_or()?);
+                                if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Comma)) {
+                                    self.pos += 1;
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&TokenKind::RParen, "`)` after arguments")?;
+                        if args.len() != func.arity() {
+                            return Err(ParseError::Arity {
+                                func,
+                                got: args.len(),
+                            });
+                        }
+                        Ok(Expr::Call(func, args))
+                    }
+                    _ => Err(ParseError::Unexpected {
+                        offset: tok.start,
+                        found: name,
+                        expected: "`.attr` or `(args)` after identifier".into(),
+                    }),
+                }
+            }
+            other => Err(ParseError::Unexpected {
+                offset: tok.start,
+                found: other.to_string(),
+                expected: "an expression".into(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_delay_window() {
+        let e = parse(
+            "vEdge.avgDelay>=0.90*rEdge.avgDelay && vEdge.avgDelay<=1.10*rEdge.avgDelay",
+        )
+        .unwrap();
+        assert_eq!(
+            e.to_string(),
+            "vEdge.avgDelay >= 0.9 * rEdge.avgDelay && vEdge.avgDelay <= 1.1 * rEdge.avgDelay"
+        );
+    }
+
+    #[test]
+    fn paper_example_min_max() {
+        parse("vEdge.avgDelay>=rEdge.minDelay && vEdge.avgDelay<=rEdge.maxDelay").unwrap();
+    }
+
+    #[test]
+    fn paper_example_is_bound_to() {
+        let e = parse("isBoundTo(vSource.osType, rSource.osType)").unwrap();
+        assert!(matches!(e, Expr::Call(Func::IsBoundTo, _)));
+    }
+
+    #[test]
+    fn paper_example_geo_distance() {
+        parse(
+            "sqrt( (vSource.x-vTarget.x)*(vSource.x-vTarget.x) + \
+             (vSource.y-vTarget.y)*(vSource.y-vTarget.y) ) < 100.0",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn precedence_and_over_or() {
+        let e = parse("true || false && false").unwrap();
+        // Must parse as true || (false && false) — i.e. Or at the root.
+        assert!(matches!(e, Expr::Binary(BinOp::Or, _, _)));
+    }
+
+    #[test]
+    fn precedence_mul_over_add_over_cmp() {
+        let e = parse("1 + 2 * 3 < 10 - 1").unwrap();
+        match e {
+            Expr::Binary(BinOp::Lt, l, r) => {
+                assert!(matches!(*l, Expr::Binary(BinOp::Add, _, _)));
+                assert!(matches!(*r, Expr::Binary(BinOp::Sub, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_associativity() {
+        let e = parse("10 - 4 - 3").unwrap();
+        // (10 - 4) - 3
+        match e {
+            Expr::Binary(BinOp::Sub, l, r) => {
+                assert!(matches!(*l, Expr::Binary(BinOp::Sub, _, _)));
+                assert_eq!(*r, Expr::Num(3.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_operators() {
+        let e = parse("!!true").unwrap();
+        assert!(matches!(e, Expr::Unary(UnOp::Not, _)));
+        let e = parse("--2").unwrap();
+        assert!(matches!(e, Expr::Unary(UnOp::Neg, _)));
+        let e = parse("-vEdge.d + 1").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn rejects_bad_syntax() {
+        assert!(matches!(
+            parse("bogus.attr"),
+            Err(ParseError::UnknownObject { .. })
+        ));
+        assert!(matches!(
+            parse("frobnicate(1)"),
+            Err(ParseError::UnknownFunction { .. })
+        ));
+        assert!(matches!(
+            parse("abs(1, 2)"),
+            Err(ParseError::Arity { func: Func::Abs, got: 2 })
+        ));
+        assert!(matches!(
+            parse("sqrt()"),
+            Err(ParseError::Arity { func: Func::Sqrt, got: 0 })
+        ));
+        assert!(parse("1 +").is_err());
+        assert!(parse("(1 + 2").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("vEdge").is_err()); // bare object is not a value
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        for src in [
+            "vEdge.avgDelay >= 0.9 * rEdge.avgDelay",
+            "!(vSource.a == rSource.a) || min(1, 2) < 3",
+            "abs(vEdge.d - rEdge.d) / rEdge.d <= 0.1",
+            "isBoundTo(vSource.bindTo, rSource.name) && true",
+            "1 + 2 - 3 * 4 / 5 % 6 >= -7",
+        ] {
+            let e1 = parse(src).unwrap();
+            let printed = e1.to_string();
+            let e2 = parse(&printed).unwrap();
+            assert_eq!(e1, e2, "round trip failed for `{src}` → `{printed}`");
+        }
+    }
+}

@@ -1,0 +1,473 @@
+//! Tokens and the hand-written lexer for the constraint expression language.
+//!
+//! The paper's implementation used JFlex; this is the equivalent
+//! from-scratch tokenizer. The language follows Java lexical rules for the
+//! subset it supports: identifiers, decimal literals, string literals,
+//! boolean/relational/arithmetic operators, parentheses, commas, and the
+//! member-access dot.
+
+use std::fmt;
+
+/// A lexical token with its byte span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Start byte offset in the source.
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Numeric literal (integer or decimal, optional exponent).
+    Number(f64),
+    /// Double-quoted string literal, unescaped.
+    Str(String),
+    /// `true`.
+    True,
+    /// `false`.
+    False,
+    /// Identifier (object or function name, attribute name after `.`).
+    Ident(String),
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Number(x) => write!(f, "{x}"),
+            TokenKind::Str(s) => write!(f, "\"{s}\""),
+            TokenKind::True => write!(f, "true"),
+            TokenKind::False => write!(f, "false"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::AndAnd => write!(f, "&&"),
+            TokenKind::OrOr => write!(f, "||"),
+            TokenKind::Not => write!(f, "!"),
+            TokenKind::EqEq => write!(f, "=="),
+            TokenKind::NotEq => write!(f, "!="),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Percent => write!(f, "%"),
+        }
+    }
+}
+
+/// Lexing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `src` completely.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+
+    macro_rules! push {
+        ($kind:expr, $start:expr, $end:expr) => {
+            out.push(Token {
+                kind: $kind,
+                start: $start,
+                end: $end,
+            })
+        };
+    }
+
+    while pos < bytes.len() {
+        let c = bytes[pos];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                pos += 1;
+            }
+            b'(' => {
+                push!(TokenKind::LParen, pos, pos + 1);
+                pos += 1;
+            }
+            b')' => {
+                push!(TokenKind::RParen, pos, pos + 1);
+                pos += 1;
+            }
+            b',' => {
+                push!(TokenKind::Comma, pos, pos + 1);
+                pos += 1;
+            }
+            b'.' => {
+                // A dot starting a number like `.5` is not Java-legal for
+                // this language; dots are member access only.
+                push!(TokenKind::Dot, pos, pos + 1);
+                pos += 1;
+            }
+            b'+' => {
+                push!(TokenKind::Plus, pos, pos + 1);
+                pos += 1;
+            }
+            b'-' => {
+                push!(TokenKind::Minus, pos, pos + 1);
+                pos += 1;
+            }
+            b'*' => {
+                push!(TokenKind::Star, pos, pos + 1);
+                pos += 1;
+            }
+            b'/' => {
+                push!(TokenKind::Slash, pos, pos + 1);
+                pos += 1;
+            }
+            b'%' => {
+                push!(TokenKind::Percent, pos, pos + 1);
+                pos += 1;
+            }
+            b'&' => {
+                if bytes.get(pos + 1) == Some(&b'&') {
+                    push!(TokenKind::AndAnd, pos, pos + 2);
+                    pos += 2;
+                } else {
+                    return Err(LexError {
+                        offset: pos,
+                        message: "expected `&&` (bitwise `&` is not supported)".into(),
+                    });
+                }
+            }
+            b'|' => {
+                if bytes.get(pos + 1) == Some(&b'|') {
+                    push!(TokenKind::OrOr, pos, pos + 2);
+                    pos += 2;
+                } else {
+                    return Err(LexError {
+                        offset: pos,
+                        message: "expected `||` (bitwise `|` is not supported)".into(),
+                    });
+                }
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    push!(TokenKind::NotEq, pos, pos + 2);
+                    pos += 2;
+                } else {
+                    push!(TokenKind::Not, pos, pos + 1);
+                    pos += 1;
+                }
+            }
+            b'=' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    push!(TokenKind::EqEq, pos, pos + 2);
+                    pos += 2;
+                } else {
+                    return Err(LexError {
+                        offset: pos,
+                        message: "expected `==` (assignment is not supported)".into(),
+                    });
+                }
+            }
+            b'<' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    push!(TokenKind::Le, pos, pos + 2);
+                    pos += 2;
+                } else {
+                    push!(TokenKind::Lt, pos, pos + 1);
+                    pos += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    push!(TokenKind::Ge, pos, pos + 2);
+                    pos += 2;
+                } else {
+                    push!(TokenKind::Gt, pos, pos + 1);
+                    pos += 1;
+                }
+            }
+            b'"' => {
+                let start = pos;
+                pos += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(pos) {
+                        Some(b'"') => {
+                            pos += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            let esc = bytes.get(pos + 1).copied().ok_or(LexError {
+                                offset: pos,
+                                message: "unterminated escape".into(),
+                            })?;
+                            s.push(match esc {
+                                b'"' => '"',
+                                b'\\' => '\\',
+                                b'n' => '\n',
+                                b't' => '\t',
+                                other => {
+                                    return Err(LexError {
+                                        offset: pos,
+                                        message: format!(
+                                            "unsupported escape `\\{}`",
+                                            other as char
+                                        ),
+                                    })
+                                }
+                            });
+                            pos += 2;
+                        }
+                        Some(&c) => {
+                            // Multi-byte UTF-8 sequences are copied verbatim.
+                            if c < 0x80 {
+                                s.push(c as char);
+                                pos += 1;
+                            } else {
+                                let ch_str = &src[pos..];
+                                let ch = ch_str.chars().next().unwrap();
+                                s.push(ch);
+                                pos += ch.len_utf8();
+                            }
+                        }
+                        None => {
+                            return Err(LexError {
+                                offset: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                push!(TokenKind::Str(s), start, pos);
+            }
+            b'0'..=b'9' => {
+                let start = pos;
+                while matches!(bytes.get(pos), Some(b'0'..=b'9')) {
+                    pos += 1;
+                }
+                // Fractional part: a dot followed by a digit. A dot followed
+                // by anything else is member access (e.g. `2.x` is invalid
+                // later but lexes as Number Dot Ident).
+                if bytes.get(pos) == Some(&b'.')
+                    && matches!(bytes.get(pos + 1), Some(b'0'..=b'9'))
+                {
+                    pos += 1;
+                    while matches!(bytes.get(pos), Some(b'0'..=b'9')) {
+                        pos += 1;
+                    }
+                }
+                if matches!(bytes.get(pos), Some(b'e' | b'E')) {
+                    let mut p = pos + 1;
+                    if matches!(bytes.get(p), Some(b'+' | b'-')) {
+                        p += 1;
+                    }
+                    if matches!(bytes.get(p), Some(b'0'..=b'9')) {
+                        pos = p;
+                        while matches!(bytes.get(pos), Some(b'0'..=b'9')) {
+                            pos += 1;
+                        }
+                    }
+                }
+                let text = &src[start..pos];
+                let value: f64 = text.parse().map_err(|_| LexError {
+                    offset: start,
+                    message: format!("bad number `{text}`"),
+                })?;
+                push!(TokenKind::Number(value), start, pos);
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = pos;
+                while matches!(bytes.get(pos), Some(c) if c.is_ascii_alphanumeric() || *c == b'_')
+                {
+                    pos += 1;
+                }
+                let text = &src[start..pos];
+                let kind = match text {
+                    "true" => TokenKind::True,
+                    "false" => TokenKind::False,
+                    _ => TokenKind::Ident(text.to_string()),
+                };
+                push!(kind, start, pos);
+            }
+            other => {
+                return Err(LexError {
+                    offset: pos,
+                    message: format!("unexpected character `{}`", other as char),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("&& || ! == != < <= > >= + - * / %"),
+            vec![
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Not,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Percent,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("0 42 3.5 0.90 1e3 2.5E-2"),
+            vec![
+                TokenKind::Number(0.0),
+                TokenKind::Number(42.0),
+                TokenKind::Number(3.5),
+                TokenKind::Number(0.90),
+                TokenKind::Number(1000.0),
+                TokenKind::Number(0.025),
+            ]
+        );
+    }
+
+    #[test]
+    fn member_access_vs_decimal() {
+        // `vEdge.avgDelay` must lex as Ident Dot Ident, not a number.
+        assert_eq!(
+            kinds("vEdge.avgDelay"),
+            vec![
+                TokenKind::Ident("vEdge".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("avgDelay".into()),
+            ]
+        );
+        // `2.e` is Number(2) Dot Ident(e).
+        assert_eq!(
+            kinds("2.e"),
+            vec![
+                TokenKind::Number(2.0),
+                TokenKind::Dot,
+                TokenKind::Ident("e".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            kinds(r#""linux-2.6" "a\"b" "tab\tend""#),
+            vec![
+                TokenKind::Str("linux-2.6".into()),
+                TokenKind::Str("a\"b".into()),
+                TokenKind::Str("tab\tend".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("true false isBoundTo _x a1"),
+            vec![
+                TokenKind::True,
+                TokenKind::False,
+                TokenKind::Ident("isBoundTo".into()),
+                TokenKind::Ident("_x".into()),
+                TokenKind::Ident("a1".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_fragment_lexes() {
+        let src = "vEdge.avgDelay>=0.90*rEdge.avgDelay && vEdge.avgDelay<=1.10*rEdge.avgDelay";
+        // vEdge . avgDelay >= 0.90 * rEdge . avgDelay && (9 tokens) repeated
+        // with <= and 1.10 on the other side (9 more), plus the `&&`.
+        assert_eq!(lex(src).unwrap().len(), 19);
+    }
+
+    #[test]
+    fn spans_are_correct() {
+        let toks = lex("ab <= 1.5").unwrap();
+        assert_eq!((toks[0].start, toks[0].end), (0, 2));
+        assert_eq!((toks[1].start, toks[1].end), (3, 5));
+        assert_eq!((toks[2].start, toks[2].end), (6, 9));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+        assert!(lex("a = b").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a # b").is_err());
+        assert!(lex(r#""bad \q escape""#).is_err());
+    }
+}

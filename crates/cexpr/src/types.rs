@@ -1,0 +1,269 @@
+//! Static type checking for constraint expressions.
+//!
+//! Attribute types are not declared in the expression language (they come
+//! from GraphML `<key>` declarations at runtime), so full static typing is
+//! impossible — but a large class of mistakes *is* decidable from the
+//! expression alone: comparing a string literal with a number, negating a
+//! string, using an arithmetic result as a boolean, or a non-boolean
+//! constraint root. The service runs this lint when a query is submitted
+//! so malformed constraints fail fast with a good message instead of
+//! surfacing as a mid-search evaluation error.
+//!
+//! The lattice is `Num | Bool | Str | Unknown` — attribute references are
+//! `Unknown` and unify with anything.
+
+use crate::ast::{BinOp, Expr, Func, UnOp};
+use std::fmt;
+
+/// Static type of a (sub)expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// Definitely numeric.
+    Num,
+    /// Definitely boolean.
+    Bool,
+    /// Definitely a string.
+    Str,
+    /// Attribute reference — type known only at evaluation time.
+    Unknown,
+}
+
+impl Ty {
+    fn compatible(self, other: Ty) -> bool {
+        self == Ty::Unknown || other == Ty::Unknown || self == other
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Ty::Num => "num",
+            Ty::Bool => "bool",
+            Ty::Str => "string",
+            Ty::Unknown => "attribute",
+        }
+    }
+}
+
+/// A definite static type error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// Human-readable description, including the offending subexpression.
+    pub message: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Type-check `expr` as a constraint (root must be able to be boolean).
+/// Returns the inferred root type on success.
+pub fn check_constraint(expr: &Expr) -> Result<Ty, TypeError> {
+    let ty = infer(expr)?;
+    if !ty.compatible(Ty::Bool) {
+        return Err(TypeError {
+            message: format!(
+                "constraint root `{expr}` has type {}, expected bool",
+                ty.name()
+            ),
+        });
+    }
+    Ok(ty)
+}
+
+/// Infer the type of `expr`, rejecting definite mismatches.
+pub fn infer(expr: &Expr) -> Result<Ty, TypeError> {
+    match expr {
+        Expr::Num(_) => Ok(Ty::Num),
+        Expr::Str(_) => Ok(Ty::Str),
+        Expr::Bool(_) => Ok(Ty::Bool),
+        Expr::Attr(..) => Ok(Ty::Unknown),
+        Expr::Unary(op, e) => {
+            let t = infer(e)?;
+            let want = match op {
+                UnOp::Not => Ty::Bool,
+                UnOp::Neg => Ty::Num,
+            };
+            if !t.compatible(want) {
+                return Err(TypeError {
+                    message: format!(
+                        "operator `{}` applied to {} in `{expr}`",
+                        if *op == UnOp::Not { "!" } else { "-" },
+                        t.name()
+                    ),
+                });
+            }
+            Ok(want)
+        }
+        Expr::Binary(op, l, r) => {
+            let lt = infer(l)?;
+            let rt = infer(r)?;
+            match op {
+                BinOp::And | BinOp::Or => {
+                    for (t, side) in [(lt, "left"), (rt, "right")] {
+                        if !t.compatible(Ty::Bool) {
+                            return Err(TypeError {
+                                message: format!(
+                                    "{side} operand of `{}` has type {} in `{expr}`",
+                                    op.symbol(),
+                                    t.name()
+                                ),
+                            });
+                        }
+                    }
+                    Ok(Ty::Bool)
+                }
+                BinOp::Eq | BinOp::Ne => {
+                    if !lt.compatible(rt) {
+                        return Err(TypeError {
+                            message: format!(
+                                "`{}` compares {} with {} in `{expr}`",
+                                op.symbol(),
+                                lt.name(),
+                                rt.name()
+                            ),
+                        });
+                    }
+                    Ok(Ty::Bool)
+                }
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    for (t, side) in [(lt, "left"), (rt, "right")] {
+                        if !t.compatible(Ty::Num) {
+                            return Err(TypeError {
+                                message: format!(
+                                    "{side} operand of `{}` has type {} in `{expr}`",
+                                    op.symbol(),
+                                    t.name()
+                                ),
+                            });
+                        }
+                    }
+                    Ok(Ty::Bool)
+                }
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
+                    for (t, side) in [(lt, "left"), (rt, "right")] {
+                        if !t.compatible(Ty::Num) {
+                            return Err(TypeError {
+                                message: format!(
+                                    "{side} operand of `{}` has type {} in `{expr}`",
+                                    op.symbol(),
+                                    t.name()
+                                ),
+                            });
+                        }
+                    }
+                    Ok(Ty::Num)
+                }
+            }
+        }
+        Expr::Call(f, args) => {
+            match f {
+                Func::Abs | Func::Sqrt => {
+                    let t = infer(&args[0])?;
+                    if !t.compatible(Ty::Num) {
+                        return Err(TypeError {
+                            message: format!(
+                                "`{}` applied to {} in `{expr}`",
+                                f.name(),
+                                t.name()
+                            ),
+                        });
+                    }
+                    Ok(Ty::Num)
+                }
+                Func::Min | Func::Max => {
+                    for a in args {
+                        let t = infer(a)?;
+                        if !t.compatible(Ty::Num) {
+                            return Err(TypeError {
+                                message: format!(
+                                    "`{}` applied to {} in `{expr}`",
+                                    f.name(),
+                                    t.name()
+                                ),
+                            });
+                        }
+                    }
+                    Ok(Ty::Num)
+                }
+                Func::IsBoundTo => {
+                    let lt = infer(&args[0])?;
+                    let rt = infer(&args[1])?;
+                    if !lt.compatible(rt) {
+                        return Err(TypeError {
+                            message: format!(
+                                "`isBoundTo` compares {} with {} in `{expr}`",
+                                lt.name(),
+                                rt.name()
+                            ),
+                        });
+                    }
+                    Ok(Ty::Bool)
+                }
+                Func::Has => {
+                    // `has` accepts anything (it tests presence).
+                    infer(&args[0])?;
+                    Ok(Ty::Bool)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn ok(src: &str) -> Ty {
+        check_constraint(&parse(src).unwrap()).unwrap()
+    }
+
+    fn err(src: &str) -> String {
+        check_constraint(&parse(src).unwrap()).unwrap_err().message
+    }
+
+    #[test]
+    fn paper_examples_all_check() {
+        ok("vEdge.avgDelay>=0.90*rEdge.avgDelay && vEdge.avgDelay<=1.10*rEdge.avgDelay");
+        ok("vEdge.avgDelay>=rEdge.minDelay && vEdge.avgDelay<=rEdge.maxDelay");
+        ok("isBoundTo(vSource.osType, rSource.osType)");
+        ok("sqrt((vSource.x-vTarget.x)*(vSource.x-vTarget.x)) < 100.0");
+    }
+
+    #[test]
+    fn attrs_are_unknown_and_unify() {
+        // Attribute vs string, attribute vs number: both fine statically.
+        ok("vSource.osType == \"linux\"");
+        ok("vSource.cpu > 4");
+        assert_eq!(ok("true"), Ty::Bool);
+    }
+
+    #[test]
+    fn definite_mismatches_rejected() {
+        assert!(err("\"a\" == 1").contains("compares string with num"));
+        assert!(err("1 + true > 0").contains("`+`"));
+        assert!(err("!5 == true").contains("`!`"));
+        assert!(err("true < false").contains("`<`"));
+        assert!(err("sqrt(\"x\") > 0").contains("sqrt"));
+        assert!(err("min(1, true) > 0").contains("min"));
+        assert!(err("isBoundTo(\"a\", 1)").contains("isBoundTo"));
+        assert!(err("true && 3 > 2 && 7").contains("operand of `&&`"));
+    }
+
+    #[test]
+    fn non_boolean_root_rejected() {
+        assert!(err("1 + 2").contains("expected bool"));
+        assert!(err("\"just a string\"").contains("expected bool"));
+        // Attribute root is Unknown — allowed (could be a boolean attr).
+        ok("vSource.enabled");
+    }
+
+    #[test]
+    fn negation_of_comparison_ok() {
+        assert_eq!(ok("!(vEdge.d > 3)"), Ty::Bool);
+        assert_eq!(ok("-vEdge.d < 0"), Ty::Bool);
+    }
+}

@@ -1,0 +1,248 @@
+//! `netembed` — the command-line face of the embedding service.
+//!
+//! ```text
+//! netembed embed   --host h.graphml --query q.graphml --constraint EXPR [opts]
+//! netembed gen     planetlab|brite|clique|ring|star --out h.graphml [opts]
+//! netembed inspect net.graphml
+//! ```
+//!
+//! `embed` reads both networks from GraphML (§VI-A), runs the selected
+//! algorithm (§V) and prints each feasible mapping as `query=host` pairs.
+//! Exit codes: 0 mappings found, 1 definitively infeasible, 2 usage or
+//! input error, 3 inconclusive (timeout with nothing found).
+
+use netembed::{Algorithm, Engine, Options, Outcome, SearchMode};
+use netgraph::Network;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+netembed — NETEMBED network embedding service CLI
+
+USAGE:
+  netembed embed --host FILE --query FILE --constraint EXPR
+                 [--algorithm ecf|rwb|lns|par] [--threads N]
+                 [--mode all|first|N] [--timeout-ms N] [--seed N] [--quiet]
+  netembed gen   planetlab|brite|waxman|clique|ring|star
+                 [--nodes N] [--seed N] --out FILE
+  netembed inspect FILE
+
+EXIT CODES (embed): 0 found, 1 infeasible, 2 error, 3 inconclusive
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("embed") => cmd_embed(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn load_network(path: &str) -> Result<Network, String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    graphml::from_str(&doc).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_embed(args: &[String]) -> ExitCode {
+    let (Some(host_path), Some(query_path), Some(constraint)) = (
+        flag_value(args, "--host"),
+        flag_value(args, "--query"),
+        flag_value(args, "--constraint"),
+    ) else {
+        eprintln!("embed requires --host, --query and --constraint\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let host = match load_network(&host_path) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let query = match load_network(&query_path) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let threads: usize = flag_value(args, "--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let algorithm = match flag_value(args, "--algorithm").as_deref() {
+        None | Some("ecf") => Algorithm::Ecf,
+        Some("rwb") => Algorithm::Rwb,
+        Some("lns") => Algorithm::Lns,
+        Some("par") => Algorithm::ParallelEcf { threads },
+        Some(other) => {
+            eprintln!("unknown algorithm `{other}` (ecf|rwb|lns|par)");
+            return ExitCode::from(2);
+        }
+    };
+    let mode = match flag_value(args, "--mode").as_deref() {
+        None | Some("all") => SearchMode::All,
+        Some("first") => SearchMode::First,
+        Some(n) => match n.parse::<usize>() {
+            Ok(k) if k >= 1 => SearchMode::UpTo(k),
+            _ => {
+                eprintln!("bad --mode `{n}` (all|first|N)");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let timeout = flag_value(args, "--timeout-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis);
+    let seed = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let quiet = has_flag(args, "--quiet");
+
+    let engine = Engine::new(&host);
+    let options = Options {
+        algorithm,
+        mode,
+        timeout,
+        seed,
+        ..Options::default()
+    };
+    let result = match engine.embed(&query, &constraint, &options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if !quiet {
+        eprintln!(
+            "# {} mapping(s), outcome: {}, elapsed: {:?}, visited: {}, evals: {}",
+            result.mappings.len(),
+            result.outcome.label(),
+            result.stats.elapsed,
+            result.stats.nodes_visited,
+            result.stats.constraint_evals,
+        );
+    }
+    for m in &result.mappings {
+        let row: Vec<String> = m
+            .iter()
+            .map(|(q, r)| format!("{}={}", query.node_name(q), host.node_name(r)))
+            .collect();
+        println!("{}", row.join(" "));
+    }
+    match result.outcome {
+        _ if !result.mappings.is_empty() => ExitCode::SUCCESS,
+        Outcome::Complete(_) => ExitCode::from(1),
+        _ => ExitCode::from(3),
+    }
+}
+
+fn cmd_gen(args: &[String]) -> ExitCode {
+    let Some(kind) = args.first() else {
+        eprintln!("gen requires a generator name\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let Some(out) = flag_value(args, "--out") else {
+        eprintln!("gen requires --out FILE");
+        return ExitCode::from(2);
+    };
+    let nodes: usize = flag_value(args, "--nodes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let mut rng = topogen::rng(seed);
+
+    let net = match kind.as_str() {
+        "planetlab" => topogen::planetlab_like(
+            &topogen::PlanetlabParams {
+                sites: nodes,
+                ..topogen::PlanetlabParams::default()
+            },
+            &mut rng,
+        ),
+        "brite" => topogen::brite_like(&topogen::BriteParams::paper_default(nodes), &mut rng),
+        "waxman" => topogen::brite_like(
+            &topogen::BriteParams {
+                mode: topogen::BriteMode::Waxman,
+                ..topogen::BriteParams::paper_default(nodes)
+            },
+            &mut rng,
+        ),
+        "clique" => topogen::regular::clique(nodes),
+        "ring" => topogen::regular::ring(nodes),
+        "star" => topogen::regular::star(nodes),
+        other => {
+            eprintln!("unknown generator `{other}`");
+            return ExitCode::from(2);
+        }
+    };
+    let doc = graphml::to_string(&net);
+    if let Err(e) = std::fs::write(&out, doc) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "# wrote {} ({} nodes, {} edges)",
+        out,
+        net.node_count(),
+        net.edge_count()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_inspect(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("inspect requires a file");
+        return ExitCode::from(2);
+    };
+    let net = match load_network(path) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("name:        {}", net.name());
+    println!(
+        "direction:   {}",
+        if net.is_undirected() { "undirected" } else { "directed" }
+    );
+    println!("nodes:       {}", net.node_count());
+    println!("edges:       {}", net.edge_count());
+    println!("density:     {:.4}", netgraph::metrics::density(&net));
+    println!("mean degree: {:.2}", netgraph::metrics::mean_degree(&net));
+    println!("max degree:  {}", netgraph::metrics::max_degree(&net));
+    println!(
+        "connected:   {}",
+        netgraph::algo::is_connected(&net)
+    );
+    let mut attrs: Vec<&str> = net.schema().iter().map(|(_, n)| n).collect();
+    attrs.sort();
+    println!("attributes:  {}", attrs.join(", "));
+    ExitCode::SUCCESS
+}

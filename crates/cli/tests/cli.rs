@@ -1,0 +1,160 @@
+//! End-to-end tests of the `netembed` binary: generate → inspect → embed,
+//! exercising the documented exit codes.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_netembed-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("netembed-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("binary runs")
+}
+
+#[test]
+fn gen_inspect_embed_pipeline() {
+    let host = tmp("host.graphml");
+    let query = tmp("query.graphml");
+
+    // Generate a host.
+    let out = run(&[
+        "gen",
+        "planetlab",
+        "--nodes",
+        "30",
+        "--seed",
+        "5",
+        "--out",
+        host.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Generate a small query (a ring) and write windows into it by hand:
+    // reuse gen + a direct GraphML fixture instead.
+    let qdoc = r#"<graphml>
+      <key id="k1" for="edge" attr.name="dmin" attr.type="double"/>
+      <key id="k2" for="edge" attr.name="dmax" attr.type="double"/>
+      <graph id="q" edgedefault="undirected">
+        <node id="a"/><node id="b"/>
+        <edge source="a" target="b">
+          <data key="k1">1.0</data><data key="k2">400.0</data>
+        </edge>
+      </graph></graphml>"#;
+    std::fs::write(&query, qdoc).unwrap();
+
+    // Inspect the host.
+    let out = run(&["inspect", host.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("nodes:       30"), "{text}");
+    assert!(text.contains("undirected"));
+
+    // Embed: generous window ⇒ many mappings, exit code 0.
+    let out = run(&[
+        "embed",
+        "--host",
+        host.to_str().unwrap(),
+        "--query",
+        query.to_str().unwrap(),
+        "--constraint",
+        "rEdge.avgDelay >= vEdge.dmin && rEdge.avgDelay <= vEdge.dmax",
+        "--mode",
+        "3",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let lines: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    assert_eq!(lines.len(), 3);
+    assert!(lines[0].contains("a=site"));
+
+    // Infeasible constraint ⇒ exit code 1 (definitive no).
+    let out = run(&[
+        "embed",
+        "--host",
+        host.to_str().unwrap(),
+        "--query",
+        query.to_str().unwrap(),
+        "--constraint",
+        "rEdge.avgDelay > 1e9",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+
+    // Every algorithm flag works.
+    for alg in ["ecf", "rwb", "lns", "par"] {
+        let out = run(&[
+            "embed",
+            "--host",
+            host.to_str().unwrap(),
+            "--query",
+            query.to_str().unwrap(),
+            "--constraint",
+            "rEdge.avgDelay <= 400.0",
+            "--algorithm",
+            alg,
+            "--mode",
+            "first",
+            "--quiet",
+        ]);
+        assert_eq!(out.status.code(), Some(0), "algorithm {alg}");
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout).lines().count(),
+            1,
+            "algorithm {alg}"
+        );
+    }
+
+    std::fs::remove_file(&host).ok();
+    std::fs::remove_file(&query).ok();
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    assert_eq!(run(&[]).status.code(), Some(2));
+    assert_eq!(run(&["embed"]).status.code(), Some(2));
+    assert_eq!(run(&["gen", "bogus", "--out", "/tmp/x"]).status.code(), Some(2));
+    assert_eq!(run(&["inspect", "/nonexistent/file.graphml"]).status.code(), Some(2));
+    // Bad constraint syntax.
+    let host = tmp("host2.graphml");
+    let out = run(&[
+        "gen", "ring", "--nodes", "5", "--out", host.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let out = run(&[
+        "embed",
+        "--host",
+        host.to_str().unwrap(),
+        "--query",
+        host.to_str().unwrap(),
+        "--constraint",
+        "1 +",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_file(&host).ok();
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = run(&["--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn gen_all_generators() {
+    for kind in ["brite", "waxman", "clique", "ring", "star"] {
+        let f = tmp(&format!("{kind}.graphml"));
+        let out = run(&["gen", kind, "--nodes", "12", "--out", f.to_str().unwrap()]);
+        assert!(out.status.success(), "{kind}: {}", String::from_utf8_lossy(&out.stderr));
+        // Round-trips through the parser.
+        let doc = std::fs::read_to_string(&f).unwrap();
+        let net = graphml::from_str(&doc).unwrap();
+        assert_eq!(net.node_count(), 12, "{kind}");
+        std::fs::remove_file(&f).ok();
+    }
+}

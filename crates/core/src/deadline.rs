@@ -1,0 +1,154 @@
+//! Timeout machinery: NETEMBED trades completeness for timely convergence
+//! (§II, design goal 2) by letting every search run under a deadline.
+//!
+//! The searches poll the deadline on a stride (checking `Instant::now()` at
+//! every tree node would dominate the hot loop) and also honour an external
+//! cancellation flag so the parallel search can stop all workers as soon as
+//! one of them finds what the caller asked for.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many cheap polls between `Instant::now()` checks.
+const POLL_STRIDE: u32 = 256;
+
+/// A deadline plus cooperative-cancellation flag. Cloning shares the
+/// cancellation flag (used by the parallel search) but each clone keeps its
+/// own poll counter.
+#[derive(Debug, Clone)]
+pub struct Deadline {
+    start: Instant,
+    limit: Option<Duration>,
+    cancel: Arc<AtomicBool>,
+    poll: u32,
+    expired_seen: bool,
+}
+
+impl Deadline {
+    /// A deadline `limit` from now. `None` never expires (but can still be
+    /// cancelled).
+    pub fn new(limit: Option<Duration>) -> Self {
+        Deadline {
+            start: Instant::now(),
+            limit,
+            cancel: Arc::new(AtomicBool::new(false)),
+            poll: 0,
+            expired_seen: false,
+        }
+    }
+
+    /// A deadline that never expires.
+    pub fn unlimited() -> Self {
+        Self::new(None)
+    }
+
+    /// Elapsed time since construction.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Request cancellation (affects all clones).
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// True when cancelled or past the time limit. Cheap: only checks the
+    /// clock once every `POLL_STRIDE` (256) calls. Once expiry has been
+    /// observed it stays expired.
+    #[inline]
+    pub fn expired(&mut self) -> bool {
+        if self.expired_seen {
+            return true;
+        }
+        self.poll = self.poll.wrapping_add(1);
+        // Check the clock on the very first poll (so zero/expired budgets
+        // are caught before any work) and then once per stride.
+        if self.poll != 1 && !self.poll.is_multiple_of(POLL_STRIDE) {
+            return false;
+        }
+        self.check_now()
+    }
+
+    /// Unconditional check (used at phase boundaries).
+    pub fn check_now(&mut self) -> bool {
+        if self.expired_seen {
+            return true;
+        }
+        if self.cancel.load(Ordering::Relaxed) {
+            self.expired_seen = true;
+            return true;
+        }
+        if let Some(limit) = self.limit {
+            if self.start.elapsed() >= limit {
+                self.expired_seen = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether this deadline has observed expiry (without re-checking).
+    pub fn was_expired(&self) -> bool {
+        self.expired_seen
+    }
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let mut d = Deadline::unlimited();
+        for _ in 0..10_000 {
+            assert!(!d.expired());
+        }
+    }
+
+    #[test]
+    fn zero_limit_expires() {
+        let mut d = Deadline::new(Some(Duration::from_secs(0)));
+        assert!(d.check_now());
+        assert!(d.was_expired());
+        // Sticky.
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn cancellation_shared_across_clones() {
+        let mut a = Deadline::unlimited();
+        let mut b = a.clone();
+        a.cancel();
+        assert!(b.check_now());
+        assert!(a.check_now());
+    }
+
+    #[test]
+    fn strided_poll_eventually_observes_limit() {
+        let mut d = Deadline::new(Some(Duration::from_millis(1)));
+        std::thread::sleep(Duration::from_millis(5));
+        let mut seen = false;
+        for _ in 0..2 * POLL_STRIDE {
+            if d.expired() {
+                seen = true;
+                break;
+            }
+        }
+        assert!(seen);
+    }
+
+    #[test]
+    fn elapsed_monotonic() {
+        let d = Deadline::unlimited();
+        let e1 = d.elapsed();
+        let e2 = d.elapsed();
+        assert!(e2 >= e1);
+    }
+}

@@ -1,0 +1,347 @@
+//! The high-level embedding API: pick an algorithm, a search mode and a
+//! timeout, get back mappings + outcome + statistics.
+//!
+//! [`Engine`] is the in-process form of the NETEMBED mapping service
+//! (component 2 of Figure 1); the `service` crate wraps it with model
+//! management, reservations and negotiation.
+
+use crate::deadline::Deadline;
+use crate::ecf;
+use crate::lns::{self, LnsConfig};
+use crate::mapping::Mapping;
+use crate::order::NodeOrder;
+use crate::outcome::Outcome;
+use crate::parallel;
+use crate::problem::{Problem, ProblemError};
+use crate::rwb;
+use crate::sink::{CollectAll, CollectUpTo};
+use crate::stats::SearchStats;
+use netgraph::Network;
+use std::time::Duration;
+
+/// Which search algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Exhaustive search with constraint filtering (§V-A).
+    Ecf,
+    /// Random walk with backtracking (§V-B).
+    Rwb,
+    /// Lazy neighborhood search (§V-C).
+    Lns,
+    /// ECF with the root level parallelized over the given thread count.
+    ParallelEcf {
+        /// Worker threads.
+        threads: usize,
+    },
+}
+
+/// How many embeddings to look for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Enumerate every feasible embedding.
+    All,
+    /// Stop at the first feasible embedding.
+    First,
+    /// Stop after `k` feasible embeddings.
+    UpTo(usize),
+}
+
+/// Engine options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Algorithm to run.
+    pub algorithm: Algorithm,
+    /// Search mode.
+    pub mode: SearchMode,
+    /// Wall-clock budget; `None` = unlimited.
+    pub timeout: Option<Duration>,
+    /// Query-node ordering (ECF/RWB only).
+    pub order: NodeOrder,
+    /// RNG seed (RWB only).
+    pub seed: u64,
+    /// LNS heuristics (LNS only).
+    pub lns: LnsConfig,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            algorithm: Algorithm::Ecf,
+            mode: SearchMode::All,
+            timeout: None,
+            order: NodeOrder::default(),
+            seed: 0,
+            lns: LnsConfig::default(),
+        }
+    }
+}
+
+/// The result of one embedding run.
+#[derive(Debug, Clone)]
+pub struct EmbedResult {
+    /// The embeddings found (order is algorithm-dependent).
+    pub mappings: Vec<Mapping>,
+    /// §VII-E classification of the result.
+    pub outcome: Outcome,
+    /// Search statistics (timings, visited nodes, evaluations).
+    pub stats: SearchStats,
+}
+
+/// An embedding engine bound to one hosting network.
+pub struct Engine<'a> {
+    host: &'a Network,
+}
+
+impl<'a> Engine<'a> {
+    /// Create an engine for `host`.
+    pub fn new(host: &'a Network) -> Self {
+        Engine { host }
+    }
+
+    /// The hosting network.
+    pub fn host(&self) -> &Network {
+        self.host
+    }
+
+    /// Embed `query` under `constraint` (§VI-B source text).
+    pub fn embed(
+        &self,
+        query: &Network,
+        constraint: &str,
+        options: &Options,
+    ) -> Result<EmbedResult, ProblemError> {
+        let problem = Problem::new(query, self.host, constraint)?;
+        Self::run(&problem, options)
+    }
+
+    /// Embed a pre-built problem (lets callers supply separate edge and
+    /// node expressions via [`Problem::with_exprs`]).
+    pub fn run(problem: &Problem<'_>, options: &Options) -> Result<EmbedResult, ProblemError> {
+        let mut deadline = Deadline::new(options.timeout);
+        let mut stats = SearchStats::default();
+
+        let (mappings, end) = match options.algorithm {
+            Algorithm::Ecf => match options.mode {
+                SearchMode::All => {
+                    let mut sink = CollectAll::default();
+                    let end =
+                        ecf::search(problem, options.order, &mut deadline, &mut sink, &mut stats)?;
+                    (sink.solutions, end)
+                }
+                SearchMode::First | SearchMode::UpTo(_) => {
+                    let k = match options.mode {
+                        SearchMode::UpTo(k) => k,
+                        _ => 1,
+                    };
+                    let mut sink = CollectUpTo::new(k);
+                    let end =
+                        ecf::search(problem, options.order, &mut deadline, &mut sink, &mut stats)?;
+                    (sink.solutions, end)
+                }
+            },
+            Algorithm::Rwb => {
+                let limit = match options.mode {
+                    SearchMode::All => usize::MAX,
+                    SearchMode::First => 1,
+                    SearchMode::UpTo(k) => k,
+                };
+                rwb::search(
+                    problem,
+                    options.seed,
+                    limit,
+                    options.order,
+                    &mut deadline,
+                    &mut stats,
+                )?
+            }
+            Algorithm::Lns => match options.mode {
+                SearchMode::All => {
+                    let mut sink = CollectAll::default();
+                    let end =
+                        lns::search(problem, &options.lns, &mut deadline, &mut sink, &mut stats)?;
+                    (sink.solutions, end)
+                }
+                SearchMode::First | SearchMode::UpTo(_) => {
+                    let k = match options.mode {
+                        SearchMode::UpTo(k) => k,
+                        _ => 1,
+                    };
+                    let mut sink = CollectUpTo::new(k);
+                    let end =
+                        lns::search(problem, &options.lns, &mut deadline, &mut sink, &mut stats)?;
+                    (sink.solutions, end)
+                }
+            },
+            Algorithm::ParallelEcf { threads } => {
+                let limit = match options.mode {
+                    SearchMode::All => None,
+                    SearchMode::First => Some(1),
+                    SearchMode::UpTo(k) => Some(k),
+                };
+                parallel::search(
+                    problem,
+                    threads,
+                    limit,
+                    options.order,
+                    &mut deadline,
+                    &mut stats,
+                )?
+            }
+        };
+        let outcome = Outcome::classify(end, mappings.clone());
+        Ok(EmbedResult {
+            mappings,
+            outcome,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{Direction, NodeId};
+
+    fn host() -> Network {
+        let mut h = Network::new(Direction::Undirected);
+        let ids: Vec<NodeId> = (0..5).map(|i| h.add_node(format!("h{i}"))).collect();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                let e = h.add_edge(ids[i], ids[j]);
+                h.set_edge_attr(e, "d", ((i + j) * 10) as f64);
+            }
+        }
+        h
+    }
+
+    fn edge_query() -> Network {
+        let mut q = Network::new(Direction::Undirected);
+        let a = q.add_node("a");
+        let b = q.add_node("b");
+        q.add_edge(a, b);
+        q
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_feasibility_and_count() {
+        let h = host();
+        let q = edge_query();
+        let engine = Engine::new(&h);
+        let constraint = "rEdge.d <= 30.0";
+
+        let ecf = engine
+            .embed(&q, constraint, &Options::default())
+            .unwrap();
+        let lns = engine
+            .embed(
+                &q,
+                constraint,
+                &Options {
+                    algorithm: Algorithm::Lns,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let par = engine
+            .embed(
+                &q,
+                constraint,
+                &Options {
+                    algorithm: Algorithm::ParallelEcf { threads: 3 },
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(ecf.mappings.len(), lns.mappings.len());
+        assert_eq!(ecf.mappings.len(), par.mappings.len());
+        assert!(matches!(ecf.outcome, Outcome::Complete(_)));
+    }
+
+    #[test]
+    fn first_mode_returns_one() {
+        let h = host();
+        let q = edge_query();
+        let engine = Engine::new(&h);
+        for algorithm in [
+            Algorithm::Ecf,
+            Algorithm::Rwb,
+            Algorithm::Lns,
+            Algorithm::ParallelEcf { threads: 2 },
+        ] {
+            let r = engine
+                .embed(
+                    &q,
+                    "true",
+                    &Options {
+                        algorithm,
+                        mode: SearchMode::First,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(r.mappings.len(), 1, "algorithm {algorithm:?}");
+            assert!(matches!(r.outcome, Outcome::Partial(_)));
+        }
+    }
+
+    #[test]
+    fn up_to_mode_caps_solutions() {
+        let h = host();
+        let q = edge_query();
+        let engine = Engine::new(&h);
+        let r = engine
+            .embed(
+                &q,
+                "true",
+                &Options {
+                    mode: SearchMode::UpTo(3),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(r.mappings.len(), 3);
+    }
+
+    #[test]
+    fn infeasible_is_complete_empty() {
+        let h = host();
+        let q = edge_query();
+        let engine = Engine::new(&h);
+        let r = engine
+            .embed(&q, "rEdge.d > 1e9", &Options::default())
+            .unwrap();
+        assert!(r.outcome.definitively_infeasible());
+        assert!(r.mappings.is_empty());
+    }
+
+    #[test]
+    fn parse_error_propagates() {
+        let h = host();
+        let q = edge_query();
+        let engine = Engine::new(&h);
+        assert!(matches!(
+            engine.embed(&q, "1 +", &Options::default()),
+            Err(ProblemError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn timeout_classifies_inconclusive_or_partial() {
+        let h = host();
+        let q = edge_query();
+        let engine = Engine::new(&h);
+        let r = engine
+            .embed(
+                &q,
+                "true",
+                &Options {
+                    timeout: Some(Duration::ZERO),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        // With a zero budget the filter build aborts immediately.
+        assert!(matches!(r.outcome, Outcome::Inconclusive));
+        assert!(r.stats.timed_out);
+    }
+}

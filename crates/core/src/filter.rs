@@ -1,0 +1,359 @@
+//! The sparse 3-D filter matrix of §V-A.
+//!
+//! During ECF/RWB's first stage the constraint expression is applied to
+//! every (query edge, host edge) pair. Each match `(q1 → r1, q2 → r2)`
+//! populates two cells:
+//!
+//! ```text
+//! F[(q1, r1, q2)] ← r2        F[(q2, r2, q1)] ← r1
+//! ```
+//!
+//! so that during the second stage, the candidates for the next query node
+//! `vi` given its already-mapped neighbors `vj → rj` are the intersection
+//! of the cells `F[(vj, rj, vi)]` minus the already-used host nodes —
+//! the paper's expression (2).
+//!
+//! For directed graphs only the matching orientation is recorded
+//! (footnote 3): the forward map covers query edges `vj → vi` and a reverse
+//! map covers `vi → vj`, and the search intersects whichever apply. This
+//! replaces the paper's negative filter `F̄` with an exact equivalent: both
+//! encode "which reverse-direction candidates are (in)admissible", and a
+//! positive encoding needs no subtraction pass.
+
+use crate::deadline::Deadline;
+use crate::problem::{Problem, ProblemError};
+use crate::stats::SearchStats;
+use netgraph::{NodeBitSet, NodeId};
+use rustc_hash::FxHashMap;
+
+/// Key of one filter cell: `(v, r, v′)` with ids packed as `u32`.
+type CellKey = (u32, u32, u32);
+
+/// The constructed filter state for one problem.
+pub struct FilterMatrix {
+    /// `fwd[(vj, rj, vi)]`: candidates for `vi` via query edge `vj → vi`
+    /// (for undirected problems this holds both orientations).
+    fwd: FxHashMap<CellKey, Vec<NodeId>>,
+    /// `rev[(vj, rj, vi)]`: candidates for `vi` via query edge `vi → vj`
+    /// (directed problems only).
+    rev: FxHashMap<CellKey, Vec<NodeId>>,
+    /// Per-query-node base candidate set (expression (1) of the paper):
+    /// every host node that appears in at least one edge match per incident
+    /// edge, or that passes the node constraint for edge-less query nodes.
+    base: Vec<NodeBitSet>,
+    /// `base[v].len()`, precomputed for the Lemma-1 ordering.
+    counts: Vec<usize>,
+    /// Whether construction was cut short by the deadline. A truncated
+    /// filter must not be searched (results would be incomplete).
+    truncated: bool,
+}
+
+impl FilterMatrix {
+    /// First-stage filter construction. Evaluates the constraint for every
+    /// (query edge, host edge) pair, polling `deadline`; on expiry returns
+    /// a matrix flagged [`FilterMatrix::truncated`].
+    ///
+    /// Counter updates land in `stats` (`constraint_evals`,
+    /// `filter_cells`).
+    pub fn build(
+        problem: &Problem<'_>,
+        deadline: &mut Deadline,
+        stats: &mut SearchStats,
+    ) -> Result<FilterMatrix, ProblemError> {
+        let nq = problem.nq();
+        let nr = problem.nr();
+        let undirected = problem.query.is_undirected();
+
+        let mut fwd: FxHashMap<CellKey, Vec<NodeId>> = FxHashMap::default();
+        let mut rev: FxHashMap<CellKey, Vec<NodeId>> = FxHashMap::default();
+
+        // Node-admissibility pass: which (v, r) pairs can possibly map.
+        // Two sound prunes apply before any constraint evaluation:
+        // degree (every query edge maps to a distinct host edge, so the
+        // host node needs at least the query node's degree — in/out
+        // separately for directed graphs) and then the node constraint.
+        let mut node_pass: Vec<NodeBitSet> = Vec::with_capacity(nq);
+        for v in problem.query.node_ids() {
+            let mut set = NodeBitSet::new(nr);
+            let (v_out, v_in) = (
+                problem.query.neighbors(v).len(),
+                problem.query.in_neighbors(v).len(),
+            );
+            for r in problem.host.node_ids() {
+                if problem.host.neighbors(r).len() < v_out
+                    || problem.host.in_neighbors(r).len() < v_in
+                {
+                    continue;
+                }
+                if problem.has_node_expr() {
+                    stats.constraint_evals += 1;
+                    if !problem.node_ok(v, r)? {
+                        continue;
+                    }
+                }
+                set.insert(r);
+            }
+            node_pass.push(set);
+        }
+
+        let mut base: Vec<NodeBitSet> = (0..nq).map(|_| NodeBitSet::new(nr)).collect();
+        let mut truncated = false;
+
+        'outer: for qe in problem.query.edge_refs() {
+            let (a, b) = (qe.src, qe.dst);
+            for he in problem.host.edge_refs() {
+                if deadline.expired() {
+                    truncated = true;
+                    break 'outer;
+                }
+                let (u, v) = (he.src, he.dst);
+                // Orientation 1: a→u, b→v.
+                if node_pass[a.index()].contains(u) && node_pass[b.index()].contains(v) {
+                    stats.constraint_evals += 1;
+                    if problem.edge_ok(qe.id, a, b, he.id, u, v)? {
+                        push_cell(&mut fwd, (a.0, u.0, b.0), v);
+                        if undirected {
+                            push_cell(&mut fwd, (b.0, v.0, a.0), u);
+                        } else {
+                            push_cell(&mut rev, (b.0, v.0, a.0), u);
+                        }
+                        base[a.index()].insert(u);
+                        base[b.index()].insert(v);
+                    }
+                }
+                // Orientation 2 (undirected hosts only): a→v, b→u.
+                if undirected
+                    && node_pass[a.index()].contains(v)
+                    && node_pass[b.index()].contains(u)
+                {
+                    stats.constraint_evals += 1;
+                    if problem.edge_ok(qe.id, a, b, he.id, v, u)? {
+                        push_cell(&mut fwd, (a.0, v.0, b.0), u);
+                        push_cell(&mut fwd, (b.0, u.0, a.0), v);
+                        base[a.index()].insert(v);
+                        base[b.index()].insert(u);
+                    }
+                }
+            }
+        }
+
+        // Edge-less query nodes (degree 0): their base set is the node-
+        // admissible set — topology imposes nothing.
+        for v in problem.query.node_ids() {
+            if problem.query.total_degree(v) == 0 {
+                base[v.index()] = node_pass[v.index()].clone();
+            }
+        }
+
+        // Sort every cell so the search can use binary-search membership
+        // tests, and deduplicate (a host edge scanned in two orientations
+        // cannot produce duplicates, but directed multi-edges could).
+        for cell in fwd.values_mut().chain(rev.values_mut()) {
+            cell.sort_unstable();
+            cell.dedup();
+        }
+
+        let counts: Vec<usize> = base.iter().map(|s| s.len()).collect();
+        stats.filter_cells = (fwd.len() + rev.len()) as u64;
+        Ok(FilterMatrix {
+            fwd,
+            rev,
+            base,
+            counts,
+            truncated,
+        })
+    }
+
+    /// True when construction hit the deadline; search must not run.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Candidate count for query node `v` (the Lemma-1 sort key).
+    #[inline]
+    pub fn candidate_count(&self, v: NodeId) -> usize {
+        self.counts[v.index()]
+    }
+
+    /// Base candidate set for query node `v` (expression (1)).
+    #[inline]
+    pub fn base(&self, v: NodeId) -> &NodeBitSet {
+        &self.base[v.index()]
+    }
+
+    /// Cell `F[(vj, rj, vi)]` for query edge `vj → vi` (or the undirected
+    /// edge `{vj, vi}`): candidates for `vi`. Empty slice when absent.
+    #[inline]
+    pub fn fwd_cell(&self, vj: NodeId, rj: NodeId, vi: NodeId) -> &[NodeId] {
+        self.fwd
+            .get(&(vj.0, rj.0, vi.0))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Reverse cell for query edge `vi → vj` in directed problems:
+    /// candidates for `vi` given `vj → rj`.
+    #[inline]
+    pub fn rev_cell(&self, vj: NodeId, rj: NodeId, vi: NodeId) -> &[NodeId] {
+        self.rev
+            .get(&(vj.0, rj.0, vi.0))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Total number of materialized cells (space metric for §V-C).
+    pub fn cell_count(&self) -> usize {
+        self.fwd.len() + self.rev.len()
+    }
+
+    /// Total number of candidate entries across cells.
+    pub fn entry_count(&self) -> usize {
+        self.fwd.values().chain(self.rev.values()).map(Vec::len).sum()
+    }
+}
+
+#[inline]
+fn push_cell(map: &mut FxHashMap<CellKey, Vec<NodeId>>, key: CellKey, value: NodeId) {
+    map.entry(key).or_default().push(value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{Direction, Network};
+
+    /// Host: path u - v - w with delays 5, 50; query: single edge.
+    fn fixture() -> (Network, Network) {
+        let mut q = Network::new(Direction::Undirected);
+        let a = q.add_node("a");
+        let b = q.add_node("b");
+        q.add_edge(a, b);
+        let mut h = Network::new(Direction::Undirected);
+        let u = h.add_node("u");
+        let v = h.add_node("v");
+        let w = h.add_node("w");
+        let e1 = h.add_edge(u, v);
+        h.set_edge_attr(e1, "d", 5.0);
+        let e2 = h.add_edge(v, w);
+        h.set_edge_attr(e2, "d", 50.0);
+        (q, h)
+    }
+
+    fn build(q: &Network, h: &Network, c: &str) -> (FilterMatrix, SearchStats) {
+        let p = Problem::new(q, h, c).unwrap();
+        let mut d = Deadline::unlimited();
+        let mut s = SearchStats::default();
+        let f = FilterMatrix::build(&p, &mut d, &mut s).unwrap();
+        (f, s)
+    }
+
+    #[test]
+    fn both_orientations_recorded_for_undirected() {
+        let (q, h) = fixture();
+        let (f, stats) = build(&q, &h, "rEdge.d < 10.0");
+        // Only edge (u,v) matches; both orientations of the query edge.
+        let (a, b) = (NodeId(0), NodeId(1));
+        let (u, v) = (NodeId(0), NodeId(1));
+        assert_eq!(f.fwd_cell(a, u, b), &[v]);
+        assert_eq!(f.fwd_cell(a, v, b), &[u]);
+        assert_eq!(f.fwd_cell(b, u, a), &[v]);
+        assert_eq!(f.fwd_cell(b, v, a), &[u]);
+        assert!(f.fwd_cell(a, NodeId(2), b).is_empty());
+        // Base candidates: {u, v} for both query nodes.
+        assert_eq!(f.candidate_count(a), 2);
+        assert_eq!(f.candidate_count(b), 2);
+        // 2 host edges × 2 orientations = 4 evals.
+        assert_eq!(stats.constraint_evals, 4);
+        assert!(!f.truncated());
+    }
+
+    #[test]
+    fn unconstrained_query_matches_everything() {
+        let (q, h) = fixture();
+        let (f, _) = build(&q, &h, "true");
+        let (a, b) = (NodeId(0), NodeId(1));
+        assert_eq!(f.candidate_count(a), 3);
+        assert_eq!(f.candidate_count(b), 3);
+        // v's cell given a→v must contain both u and w.
+        assert_eq!(f.fwd_cell(a, NodeId(1), b), &[NodeId(0), NodeId(2)]);
+        // Cells: (a, r, b) and (b, r, a) for r ∈ {u, v, w} = 6 distinct
+        // cells; the two cells anchored at v hold two candidates each.
+        assert_eq!(f.cell_count(), 6);
+    }
+
+    #[test]
+    fn node_constraint_prunes_candidates() {
+        let (q, mut h) = fixture();
+        h.set_node_attr(NodeId(0), "cpu", 8.0);
+        h.set_node_attr(NodeId(1), "cpu", 1.0);
+        h.set_node_attr(NodeId(2), "cpu", 8.0);
+        let p = Problem::new(&q, &h, "rNode.cpu >= 4.0").unwrap();
+        let mut d = Deadline::unlimited();
+        let mut s = SearchStats::default();
+        let f = FilterMatrix::build(&p, &mut d, &mut s).unwrap();
+        // v (cpu 1) excluded ⇒ no host edge has both endpoints admissible
+        // ⇒ no cells at all.
+        assert_eq!(f.cell_count(), 0);
+        assert_eq!(f.candidate_count(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn directed_uses_rev_cells() {
+        let mut q = Network::new(Direction::Directed);
+        let a = q.add_node("a");
+        let b = q.add_node("b");
+        q.add_edge(a, b);
+        let mut h = Network::new(Direction::Directed);
+        let u = h.add_node("u");
+        let v = h.add_node("v");
+        h.add_edge(u, v);
+        let (f, _) = build(&q, &h, "true");
+        // a→u admits b→v via fwd; b→v admits a→u via rev.
+        assert_eq!(f.fwd_cell(a, u, b), &[v]);
+        assert_eq!(f.rev_cell(b, v, a), &[u]);
+        // The wrong orientation is absent.
+        assert!(f.fwd_cell(a, v, b).is_empty());
+        assert!(f.rev_cell(b, u, a).is_empty());
+    }
+
+    #[test]
+    fn isolated_query_node_base_is_node_admissible_set() {
+        let mut q = Network::new(Direction::Undirected);
+        q.add_node("lone");
+        let (_, h) = fixture();
+        let (f, _) = build(&q, &h, "true");
+        assert_eq!(f.candidate_count(NodeId(0)), 3);
+    }
+
+    #[test]
+    fn deadline_truncates_construction() {
+        let (q, h) = fixture();
+        let p = Problem::new(&q, &h, "true").unwrap();
+        let mut d = Deadline::new(Some(std::time::Duration::ZERO));
+        // Force immediate observation.
+        d.check_now();
+        let mut s = SearchStats::default();
+        let f = FilterMatrix::build(&p, &mut d, &mut s).unwrap();
+        assert!(f.truncated());
+    }
+
+    #[test]
+    fn type_error_surfaces() {
+        let (q, h) = fixture();
+        let p = Problem::new(&q, &h, "rEdge.d == \"fast\"").unwrap();
+        let mut d = Deadline::unlimited();
+        let mut s = SearchStats::default();
+        assert!(matches!(
+            FilterMatrix::build(&p, &mut d, &mut s),
+            Err(ProblemError::Eval(_))
+        ));
+    }
+
+    #[test]
+    fn entry_count_counts_candidates() {
+        let (q, h) = fixture();
+        let (f, _) = build(&q, &h, "true");
+        // Each of the 8 cells holds exactly one candidate here.
+        assert_eq!(f.entry_count(), 8);
+    }
+}

@@ -1,0 +1,86 @@
+//! # netembed — the network embedding engine
+//!
+//! This crate implements the paper's contribution: three complete-and-
+//! correct search algorithms for embedding a constrained *query (virtual)
+//! network* into a *hosting (real) network*, plus the machinery around them
+//! (candidate filters, node orderings, deadlines, outcome classification,
+//! and an independent mapping verifier).
+//!
+//! ## Algorithms (§V of the paper)
+//!
+//! * [`ecf`] — **Exhaustive search with Constraint Filtering**: builds the
+//!   sparse 3-D filter matrix `F[(v, r, v′)] → {r′}` by evaluating the
+//!   constraint expression for every (query edge, host edge) pair, orders
+//!   query nodes ascending by candidate count (Lemma 1), and runs a DFS of
+//!   the permutation tree that intersects filters at every extension.
+//!   Complete: finds *all* feasible embeddings.
+//! * [`rwb`] — **Random Walk with Backtracking**: the same filters, but
+//!   candidates are tried in random order and the search stops at the first
+//!   feasible embedding.
+//! * [`lns`] — **Lazy Neighborhood Search**: keeps no global filter state
+//!   (worst-case filter space is O(n⁵), §V-C); instead grows a covered set
+//!   from a maximum-degree seed, always extending by the neighbor with the
+//!   most links into the covered set and checking connecting edges lazily.
+//! * [`parallel`] — a parallel ECF that fans the root level of the
+//!   permutation tree out over a thread pool (the paper's "distributed
+//!   implementation" direction, §VIII).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use netembed::{Engine, Options, Algorithm, SearchMode};
+//! use netgraph::{Direction, Network};
+//!
+//! // Host: a triangle with delays.
+//! let mut host = Network::new(Direction::Undirected);
+//! let (a, b, c) = (host.add_node("a"), host.add_node("b"), host.add_node("c"));
+//! for (u, v, d) in [(a, b, 10.0), (b, c, 20.0), (a, c, 30.0)] {
+//!     let e = host.add_edge(u, v);
+//!     host.set_edge_attr(e, "avgDelay", d);
+//! }
+//!
+//! // Query: one edge requesting avgDelay ≤ 15.
+//! let mut query = Network::new(Direction::Undirected);
+//! let (x, y) = (query.add_node("x"), query.add_node("y"));
+//! query.add_edge(x, y);
+//!
+//! let engine = Engine::new(&host);
+//! let result = engine
+//!     .embed(&query, "rEdge.avgDelay <= 15.0", &Options::default())
+//!     .unwrap();
+//! // Only the (a, b) edge qualifies, in both orientations.
+//! assert_eq!(result.mappings.len(), 2);
+//!
+//! // First-match mode with a different algorithm:
+//! let opts = Options { algorithm: Algorithm::Lns, mode: SearchMode::First, ..Default::default() };
+//! let result = engine.embed(&query, "rEdge.avgDelay <= 15.0", &opts).unwrap();
+//! assert_eq!(result.mappings.len(), 1);
+//! ```
+
+pub mod automorph;
+pub mod deadline;
+pub mod ecf;
+pub mod engine;
+pub mod filter;
+pub mod lns;
+pub mod mapping;
+pub mod order;
+pub mod outcome;
+pub mod parallel;
+pub mod pathmap;
+pub mod problem;
+pub mod rwb;
+pub mod sink;
+pub mod stats;
+pub mod verify;
+
+pub use deadline::Deadline;
+pub use engine::{Algorithm, EmbedResult, Engine, Options, SearchMode};
+pub use filter::FilterMatrix;
+pub use mapping::Mapping;
+pub use order::NodeOrder;
+pub use outcome::Outcome;
+pub use problem::{Problem, ProblemError};
+pub use sink::{CollectAll, CollectUpTo, CountOnly, SinkControl, SolutionSink};
+pub use stats::SearchStats;
+pub use verify::{check_mapping, VerifyError};

@@ -1,0 +1,114 @@
+//! The [`Mapping`] type: an injective assignment of query nodes to host
+//! nodes (§IV of the paper, "q → r").
+
+use netgraph::{Network, NodeId};
+use std::fmt;
+
+/// A complete mapping: `assign[q.index()]` is the host node for query node
+/// `q`. Injective by construction of the search algorithms; [`crate::verify`]
+/// re-checks it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Mapping {
+    assign: Vec<NodeId>,
+}
+
+impl Mapping {
+    /// Build from a dense assignment vector.
+    pub fn new(assign: Vec<NodeId>) -> Self {
+        Mapping { assign }
+    }
+
+    /// Host node for query node `q`.
+    #[inline]
+    pub fn get(&self, q: NodeId) -> NodeId {
+        self.assign[q.index()]
+    }
+
+    /// Number of mapped query nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// True for the empty mapping.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.assign.is_empty()
+    }
+
+    /// Iterate `(query node, host node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.assign
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (NodeId(i as u32), r))
+    }
+
+    /// Raw assignment slice.
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.assign
+    }
+
+    /// Render with node names: `"x -> siteA, y -> siteB"`.
+    pub fn display<'a>(&'a self, query: &'a Network, host: &'a Network) -> MappingDisplay<'a> {
+        MappingDisplay {
+            mapping: self,
+            query,
+            host,
+        }
+    }
+}
+
+/// Human-readable mapping rendering (see [`Mapping::display`]).
+pub struct MappingDisplay<'a> {
+    mapping: &'a Mapping,
+    query: &'a Network,
+    host: &'a Network,
+}
+
+impl fmt::Display for MappingDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (q, r)) in self.mapping.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(
+                f,
+                "{} -> {}",
+                self.query.node_name(q),
+                self.host.node_name(r)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::Direction;
+
+    #[test]
+    fn accessors() {
+        let m = Mapping::new(vec![NodeId(5), NodeId(2)]);
+        assert_eq!(m.get(NodeId(0)), NodeId(5));
+        assert_eq!(m.get(NodeId(1)), NodeId(2));
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        let pairs: Vec<_> = m.iter().collect();
+        assert_eq!(pairs, vec![(NodeId(0), NodeId(5)), (NodeId(1), NodeId(2))]);
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let mut q = Network::new(Direction::Undirected);
+        q.add_node("x");
+        q.add_node("y");
+        let mut h = Network::new(Direction::Undirected);
+        for i in 0..3 {
+            h.add_node(format!("site{i}"));
+        }
+        let m = Mapping::new(vec![NodeId(2), NodeId(0)]);
+        assert_eq!(m.display(&q, &h).to_string(), "x -> site2, y -> site0");
+    }
+}

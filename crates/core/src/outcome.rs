@@ -1,0 +1,126 @@
+//! Result-quality classification — §VII-E of the paper.
+//!
+//! A NETEMBED run returns one of three result types:
+//!
+//! 1. **Complete** — the algorithm terminated before its timeout; the
+//!    returned set is the complete set of feasible embeddings (possibly
+//!    empty, which is a definitive "impossible to embed").
+//! 2. **Partial** — the algorithm timed out after finding some (but not
+//!    necessarily all) feasible embeddings. RWB in first-match mode always
+//!    returns at most a partial set by design (footnote 7).
+//! 3. **Inconclusive** — the timeout expired with no feasible embedding
+//!    found; whether one exists is unknown.
+
+use crate::ecf::SearchEnd;
+use crate::mapping::Mapping;
+
+/// Classified result of an embedding run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Every feasible embedding (empty ⇒ definitively infeasible).
+    Complete(Vec<Mapping>),
+    /// Some feasible embeddings; more may exist.
+    Partial(Vec<Mapping>),
+    /// Timed out with nothing found; feasibility unknown.
+    Inconclusive,
+}
+
+impl Outcome {
+    /// Classify a finished run.
+    ///
+    /// `end` is how the search stopped; `mappings` is what it found.
+    /// A sink-initiated stop counts as partial: the search was cut short
+    /// deliberately, so unexplored embeddings may remain.
+    pub fn classify(end: SearchEnd, mappings: Vec<Mapping>) -> Outcome {
+        match end {
+            SearchEnd::Exhausted => Outcome::Complete(mappings),
+            SearchEnd::SinkStop => Outcome::Partial(mappings),
+            SearchEnd::Timeout => {
+                if mappings.is_empty() {
+                    Outcome::Inconclusive
+                } else {
+                    Outcome::Partial(mappings)
+                }
+            }
+        }
+    }
+
+    /// The mappings found, regardless of classification.
+    pub fn mappings(&self) -> &[Mapping] {
+        match self {
+            Outcome::Complete(m) | Outcome::Partial(m) => m,
+            Outcome::Inconclusive => &[],
+        }
+    }
+
+    /// True when at least one embedding was found.
+    pub fn found_any(&self) -> bool {
+        !self.mappings().is_empty()
+    }
+
+    /// True for a definitive infeasibility answer.
+    pub fn definitively_infeasible(&self) -> bool {
+        matches!(self, Outcome::Complete(m) if m.is_empty())
+    }
+
+    /// Short label used by the Fig-15 experiment ("all", "some", "none").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Complete(m) if m.is_empty() => "none (definitive)",
+            Outcome::Complete(_) => "all",
+            Outcome::Partial(_) => "some",
+            Outcome::Inconclusive => "inconclusive",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::NodeId;
+
+    fn m() -> Mapping {
+        Mapping::new(vec![NodeId(0)])
+    }
+
+    #[test]
+    fn classification_matrix() {
+        assert_eq!(
+            Outcome::classify(SearchEnd::Exhausted, vec![m()]),
+            Outcome::Complete(vec![m()])
+        );
+        assert_eq!(
+            Outcome::classify(SearchEnd::Exhausted, vec![]),
+            Outcome::Complete(vec![])
+        );
+        assert_eq!(
+            Outcome::classify(SearchEnd::SinkStop, vec![m()]),
+            Outcome::Partial(vec![m()])
+        );
+        assert_eq!(
+            Outcome::classify(SearchEnd::Timeout, vec![m()]),
+            Outcome::Partial(vec![m()])
+        );
+        assert_eq!(
+            Outcome::classify(SearchEnd::Timeout, vec![]),
+            Outcome::Inconclusive
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let complete_empty = Outcome::Complete(vec![]);
+        assert!(complete_empty.definitively_infeasible());
+        assert!(!complete_empty.found_any());
+        assert_eq!(complete_empty.label(), "none (definitive)");
+
+        let partial = Outcome::Partial(vec![m()]);
+        assert!(partial.found_any());
+        assert_eq!(partial.mappings().len(), 1);
+        assert_eq!(partial.label(), "some");
+
+        assert_eq!(Outcome::Inconclusive.mappings().len(), 0);
+        assert_eq!(Outcome::Inconclusive.label(), "inconclusive");
+        assert_eq!(Outcome::Complete(vec![m()]).label(), "all");
+    }
+}

@@ -1,0 +1,273 @@
+//! Parallel ECF: fan the root of the permutation tree out over threads.
+//!
+//! The paper notes (§III, §VIII) that the NETEMBED service can be
+//! replicated and ultimately distributed. Within one machine the natural
+//! parallelization of ECF partitions the *root level* of the permutation
+//! tree: each worker owns a disjoint slice of the first query node's
+//! candidate list and runs the ordinary sequential DFS below it. Subtrees
+//! are completely independent (they share only the read-only filter
+//! matrix), so the decomposition is embarrassingly parallel; the only
+//! cross-worker coordination is the shared cancellation flag used for
+//! first-match mode and deadline expiry.
+
+use crate::deadline::Deadline;
+use crate::ecf::{candidates_at, run_dfs, SearchEnd};
+use crate::filter::FilterMatrix;
+use crate::mapping::Mapping;
+use crate::order::{compute_order, predecessors, NodeOrder};
+use crate::problem::{Problem, ProblemError};
+use crate::sink::{SinkControl, SolutionSink};
+use crate::stats::SearchStats;
+use netgraph::{NodeBitSet, NodeId};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Parallel all-matches / up-to-k search.
+///
+/// `limit = None` enumerates everything; `Some(k)` stops all workers as
+/// soon as `k` solutions have been found globally (the merged result is
+/// truncated to `k`; *which* k solutions are returned depends on thread
+/// scheduling, exactly like the paper's timeout-based partial results).
+pub fn search(
+    problem: &Problem<'_>,
+    threads: usize,
+    limit: Option<usize>,
+    order: NodeOrder,
+    deadline: &mut Deadline,
+    stats: &mut SearchStats,
+) -> Result<(Vec<Mapping>, SearchEnd), ProblemError> {
+    assert!(threads >= 1, "need at least one thread");
+    let start = std::time::Instant::now();
+    let filter = FilterMatrix::build(problem, deadline, stats)?;
+    if filter.truncated() {
+        stats.timed_out = true;
+        stats.elapsed = start.elapsed();
+        return Ok((Vec::new(), SearchEnd::Timeout));
+    }
+    let node_order = compute_order(problem.query, &filter, order);
+    let preds = predecessors(problem.query, &node_order);
+
+    // Root candidates (expression (1)).
+    let assign = vec![NodeId(u32::MAX); problem.nq()];
+    let used = NodeBitSet::new(problem.nr());
+    let roots = candidates_at(&filter, &node_order, &preds, 0, &assign, &used);
+
+    if roots.is_empty() {
+        stats.elapsed = start.elapsed();
+        return Ok((Vec::new(), SearchEnd::Exhausted));
+    }
+
+    let workers = threads.min(roots.len());
+    let found = AtomicU64::new(0);
+    let limit_u64 = limit.map(|k| k as u64);
+
+    // A sink that collects locally and observes the global counter.
+    struct WorkerSink<'s> {
+        local: Vec<Mapping>,
+        found: &'s AtomicU64,
+        limit: Option<u64>,
+        deadline: Deadline,
+    }
+    impl SolutionSink for WorkerSink<'_> {
+        fn report(&mut self, mapping: &Mapping) -> SinkControl {
+            let n = self.found.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(k) = self.limit {
+                if n > k {
+                    // Someone else already hit the limit; drop and stop.
+                    return SinkControl::Stop;
+                }
+                self.local.push(mapping.clone());
+                if n == k {
+                    self.deadline.cancel();
+                    return SinkControl::Stop;
+                }
+                return SinkControl::Continue;
+            }
+            self.local.push(mapping.clone());
+            SinkControl::Continue
+        }
+    }
+
+    let mut merged: Vec<Mapping> = Vec::new();
+    let mut ends: Vec<SearchEnd> = Vec::new();
+    let shared_deadline = deadline.clone();
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            // Strided partition spreads "hot" root candidates evenly.
+            let my_roots: Vec<NodeId> = roots
+                .iter()
+                .copied()
+                .skip(w)
+                .step_by(workers)
+                .collect();
+            let filter = &filter;
+            let node_order = &node_order;
+            let preds = &preds;
+            let found = &found;
+            let dl = shared_deadline.clone();
+            handles.push(scope.spawn(move |_| {
+                let mut sink = WorkerSink {
+                    local: Vec::new(),
+                    found,
+                    limit: limit_u64,
+                    deadline: dl.clone(),
+                };
+                let mut my_dl = dl;
+                let mut my_stats = SearchStats::default();
+                let end = run_dfs(
+                    problem,
+                    filter,
+                    node_order,
+                    preds,
+                    &mut my_dl,
+                    &mut sink,
+                    &mut my_stats,
+                    None,
+                    Some(&my_roots),
+                );
+                (sink.local, end, my_stats)
+            }));
+        }
+        for h in handles {
+            let (local, end, wstats) = h.join().expect("worker panicked");
+            merged.extend(local);
+            ends.push(end);
+            stats.merge(&wstats);
+        }
+    })
+    .expect("scope failure");
+
+    // Aggregate ends. If the global limit was reached, workers observe a
+    // cancelled deadline and report Timeout — reclassify as SinkStop.
+    let limit_hit = limit_u64.is_some_and(|k| found.load(Ordering::Relaxed) >= k);
+    let end = if limit_hit {
+        SearchEnd::SinkStop
+    } else if ends.contains(&SearchEnd::Timeout) {
+        SearchEnd::Timeout
+    } else if ends.contains(&SearchEnd::SinkStop) {
+        SearchEnd::SinkStop
+    } else {
+        SearchEnd::Exhausted
+    };
+    if let Some(k) = limit {
+        merged.truncate(k);
+    }
+    stats.solutions = merged.len() as u64;
+    stats.timed_out = end == SearchEnd::Timeout;
+    stats.elapsed = start.elapsed();
+    Ok((merged, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecf;
+    use crate::sink::CollectAll;
+    use crate::verify::check_mapping;
+    use netgraph::{Direction, Network};
+
+    fn grid_host(n: usize) -> Network {
+        // Clique host with varied delays — lots of embeddings.
+        let mut h = Network::new(Direction::Undirected);
+        let ids: Vec<NodeId> = (0..n).map(|i| h.add_node(format!("h{i}"))).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let e = h.add_edge(ids[i], ids[j]);
+                h.set_edge_attr(e, "d", ((i * 7 + j * 3) % 50) as f64);
+            }
+        }
+        h
+    }
+
+    fn ring_query(n: usize) -> Network {
+        let mut q = Network::new(Direction::Undirected);
+        let ids: Vec<NodeId> = (0..n).map(|i| q.add_node(format!("q{i}"))).collect();
+        for i in 0..n {
+            q.add_edge(ids[i], ids[(i + 1) % n]);
+        }
+        q
+    }
+
+    #[test]
+    fn parallel_matches_sequential_solution_set() {
+        let h = grid_host(8);
+        let q = ring_query(4);
+        let p = Problem::new(&q, &h, "rEdge.d <= 30.0").unwrap();
+
+        // Sequential reference.
+        let mut sink = CollectAll::default();
+        let mut seq_stats = SearchStats::default();
+        let mut dl = Deadline::unlimited();
+        ecf::search(&p, NodeOrder::default(), &mut dl, &mut sink, &mut seq_stats).unwrap();
+        let mut seq: Vec<Mapping> = sink.solutions;
+
+        // Parallel.
+        let mut par_stats = SearchStats::default();
+        let mut dl2 = Deadline::unlimited();
+        let (mut par, end) =
+            search(&p, 4, None, NodeOrder::default(), &mut dl2, &mut par_stats).unwrap();
+        assert_eq!(end, SearchEnd::Exhausted);
+
+        let key = |m: &Mapping| m.as_slice().to_vec();
+        seq.sort_by_key(key);
+        par.sort_by_key(key);
+        assert_eq!(seq, par);
+        for m in &par {
+            check_mapping(&p, m).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_thread_equals_sequential() {
+        let h = grid_host(6);
+        let q = ring_query(3);
+        let p = Problem::new(&q, &h, "true").unwrap();
+        let mut stats = SearchStats::default();
+        let mut dl = Deadline::unlimited();
+        let (sols, end) = search(&p, 1, None, NodeOrder::default(), &mut dl, &mut stats).unwrap();
+        assert_eq!(end, SearchEnd::Exhausted);
+        // K6 hosts all 6·5·4 = 120 oriented triangles... as a ring of 3 the
+        // count equals the number of ordered 3-subsets = 120.
+        assert_eq!(sols.len(), 120);
+    }
+
+    #[test]
+    fn limit_stops_early() {
+        let h = grid_host(8);
+        let q = ring_query(3);
+        let p = Problem::new(&q, &h, "true").unwrap();
+        let mut stats = SearchStats::default();
+        let mut dl = Deadline::unlimited();
+        let (sols, end) = search(&p, 4, Some(5), NodeOrder::default(), &mut dl, &mut stats)
+            .unwrap();
+        assert_eq!(end, SearchEnd::SinkStop);
+        assert_eq!(sols.len(), 5);
+        for m in &sols {
+            check_mapping(&p, m).unwrap();
+        }
+    }
+
+    #[test]
+    fn infeasible_parallel_is_definitive() {
+        let h = grid_host(6);
+        let q = ring_query(3);
+        let p = Problem::new(&q, &h, "rEdge.d > 1e9").unwrap();
+        let mut stats = SearchStats::default();
+        let mut dl = Deadline::unlimited();
+        let (sols, end) = search(&p, 4, None, NodeOrder::default(), &mut dl, &mut stats).unwrap();
+        assert!(sols.is_empty());
+        assert_eq!(end, SearchEnd::Exhausted);
+    }
+
+    #[test]
+    fn more_threads_than_roots_is_fine() {
+        let h = grid_host(4);
+        let q = ring_query(3);
+        let p = Problem::new(&q, &h, "true").unwrap();
+        let mut stats = SearchStats::default();
+        let mut dl = Deadline::unlimited();
+        let (sols, _) = search(&p, 64, None, NodeOrder::default(), &mut dl, &mut stats).unwrap();
+        assert_eq!(sols.len(), 4 * 3 * 2);
+    }
+}

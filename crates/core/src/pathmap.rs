@@ -1,0 +1,740 @@
+//! Link→path embedding — the paper's first "current and future work" item
+//! (§VIII): *"allow many-to-one mappings between virtual and real nodes
+//! (e.g., by mapping a link in the query network to a path in the real
+//! network)"*.
+//!
+//! A virtual link may now be realized by a host *path* of up to
+//! `max_hops` edges, provided the path's aggregated metric satisfies the
+//! link's requested window. Aggregation follows standard VNE practice:
+//! additive metrics (delay) are summed along the path; capacity metrics
+//! (bandwidth) take the path minimum. Because the general constraint
+//! language of §VI-B is defined over *edges*, path admissibility uses the
+//! workspace's delay-window convention instead: query edges carry
+//! `dmin`/`dmax` attributes bounding the aggregated cost attribute
+//! (`avgDelay` by default) — exactly the convention every experiment
+//! workload already uses.
+//!
+//! The search is LNS-shaped (grow a covered set, extend by the most-
+//! constrained neighbor) since filter matrices over all node *pairs* would
+//! square the already-large edge-candidate space. Query **nodes** remain
+//! injectively mapped; intermediate relay nodes of different paths may be
+//! shared, which matches the paper's testbed semantics (relays forward
+//! traffic, they are not allocated).
+
+use crate::deadline::Deadline;
+use crate::ecf::SearchEnd;
+use crate::mapping::Mapping;
+use cexpr::{parse, Compiled, NodeCtx, ParseError};
+use netgraph::{AttrValue, EdgeId, Network, NodeBitSet, NodeId};
+use rustc_hash::FxHashMap;
+use std::time::Instant;
+
+/// Candidate host node → the witness path per already-anchored query edge.
+type CandidateWitnesses = FxHashMap<NodeId, Vec<(EdgeId, Vec<NodeId>)>>;
+
+/// How path admissibility is judged.
+#[derive(Debug, Clone)]
+pub struct PathPolicy {
+    /// Maximum number of host edges a virtual link may span (≥ 1).
+    pub max_hops: usize,
+    /// Host edge attribute summed along the path (additive metric).
+    pub cost_attr: String,
+    /// Query edge attributes bounding the aggregated cost: `(lo, hi)`.
+    /// A missing `lo` means 0, a missing `hi` means unbounded.
+    pub window_attrs: (String, String),
+    /// Optional capacity rule: `(host_attr, query_attr)` — the minimum of
+    /// `host_attr` along the path must be ≥ the query edge's `query_attr`.
+    pub capacity: Option<(String, String)>,
+}
+
+impl Default for PathPolicy {
+    fn default() -> Self {
+        PathPolicy {
+            max_hops: 3,
+            cost_attr: "avgDelay".into(),
+            window_attrs: ("dmin".into(), "dmax".into()),
+            capacity: None,
+        }
+    }
+}
+
+/// A complete link→path embedding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathMapping {
+    /// Injective node mapping (query node → host node).
+    pub nodes: Mapping,
+    /// For every query edge, the witness host path (node sequence from the
+    /// image of the edge's source to the image of its target).
+    pub paths: Vec<(EdgeId, Vec<NodeId>)>,
+}
+
+/// Errors from path-embedding runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathMapError {
+    /// `max_hops` must be at least 1.
+    ZeroHops,
+    /// The optional node constraint failed to parse.
+    Parse(ParseError),
+    /// Node-constraint evaluation raised a type error.
+    Eval(cexpr::EvalError),
+    /// Query larger than host (no injective node mapping exists).
+    QueryLargerThanHost,
+}
+
+impl std::fmt::Display for PathMapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathMapError::ZeroHops => write!(f, "max_hops must be at least 1"),
+            PathMapError::Parse(e) => write!(f, "{e}"),
+            PathMapError::Eval(e) => write!(f, "{e}"),
+            PathMapError::QueryLargerThanHost => {
+                write!(f, "query has more nodes than the host")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathMapError {}
+
+/// Find up to `limit` link→path embeddings of `query` into `host`.
+///
+/// `node_constraint` optionally restricts node placement with a
+/// `vNode`/`rNode` expression (§VI-B extension), e.g.
+/// `isBoundTo(vNode.osType, rNode.osType)`.
+pub fn search_paths(
+    query: &Network,
+    host: &Network,
+    policy: &PathPolicy,
+    node_constraint: Option<&str>,
+    limit: usize,
+    deadline: &mut Deadline,
+) -> Result<(Vec<PathMapping>, SearchEnd), PathMapError> {
+    if policy.max_hops == 0 {
+        return Err(PathMapError::ZeroHops);
+    }
+    if query.node_count() > host.node_count() {
+        return Err(PathMapError::QueryLargerThanHost);
+    }
+    let node_expr = match node_constraint {
+        Some(src) => Some(Compiled::new(
+            &parse(src).map_err(PathMapError::Parse)?,
+            query,
+            host,
+        )),
+        None => None,
+    };
+    let started = Instant::now();
+    let mut state = State {
+        query,
+        host,
+        policy,
+        node_expr,
+        assign: vec![NodeId(u32::MAX); query.node_count()],
+        covered: vec![false; query.node_count()],
+        covered_links: vec![0; query.node_count()],
+        used: NodeBitSet::new(host.node_count()),
+        depth: 0,
+        paths: FxHashMap::default(),
+        results: Vec::new(),
+        limit: limit.max(1),
+    };
+    let end = state.extend(deadline)?;
+    let _ = started;
+    Ok((state.results, end))
+}
+
+/// Check a [`PathMapping`] independently (tests + service safety net).
+pub fn check_path_mapping(
+    query: &Network,
+    host: &Network,
+    policy: &PathPolicy,
+    pm: &PathMapping,
+) -> Result<(), String> {
+    if pm.nodes.len() != query.node_count() {
+        return Err("wrong node-mapping length".into());
+    }
+    let mut used = NodeBitSet::new(host.node_count());
+    for (_, r) in pm.nodes.iter() {
+        if used.contains(r) {
+            return Err(format!("host node {r} used twice"));
+        }
+        used.insert(r);
+    }
+    if pm.paths.len() != query.edge_count() {
+        return Err("missing witness paths".into());
+    }
+    for (qe, path) in &pm.paths {
+        let (qs, qd) = query.edge_endpoints(*qe);
+        if path.first() != Some(&pm.nodes.get(qs)) || path.last() != Some(&pm.nodes.get(qd)) {
+            return Err(format!("path endpoints wrong for query edge {qe}"));
+        }
+        if path.len() < 2 || path.len() - 1 > policy.max_hops {
+            return Err(format!("path length out of bounds for query edge {qe}"));
+        }
+        let mut cost = 0.0;
+        let mut min_cap = f64::INFINITY;
+        for w in path.windows(2) {
+            let Some(he) = host.find_edge(w[0], w[1]) else {
+                return Err(format!("missing host edge {} - {}", w[0], w[1]));
+            };
+            cost += host
+                .edge_attr_by_name(he, &policy.cost_attr)
+                .and_then(AttrValue::as_num)
+                .unwrap_or(0.0);
+            if let Some((host_attr, _)) = &policy.capacity {
+                min_cap = min_cap.min(
+                    host.edge_attr_by_name(he, host_attr)
+                        .and_then(AttrValue::as_num)
+                        .unwrap_or(0.0),
+                );
+            }
+        }
+        let (lo, hi) = window_of(query, *qe, policy);
+        if cost < lo - 1e-9 || cost > hi + 1e-9 {
+            return Err(format!(
+                "path cost {cost} outside window [{lo}, {hi}] for query edge {qe}"
+            ));
+        }
+        if let Some((_, query_attr)) = &policy.capacity {
+            let need = query
+                .edge_attr_by_name(*qe, query_attr)
+                .and_then(AttrValue::as_num)
+                .unwrap_or(0.0);
+            if min_cap < need {
+                return Err(format!(
+                    "path capacity {min_cap} below requested {need} for query edge {qe}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn window_of(query: &Network, qe: EdgeId, policy: &PathPolicy) -> (f64, f64) {
+    let lo = query
+        .edge_attr_by_name(qe, &policy.window_attrs.0)
+        .and_then(AttrValue::as_num)
+        .unwrap_or(0.0);
+    let hi = query
+        .edge_attr_by_name(qe, &policy.window_attrs.1)
+        .and_then(AttrValue::as_num)
+        .unwrap_or(f64::INFINITY);
+    (lo, hi)
+}
+
+struct State<'a> {
+    query: &'a Network,
+    host: &'a Network,
+    policy: &'a PathPolicy,
+    node_expr: Option<Compiled>,
+    assign: Vec<NodeId>,
+    covered: Vec<bool>,
+    covered_links: Vec<u32>,
+    used: NodeBitSet,
+    depth: usize,
+    /// Witness path per query edge for the current partial mapping.
+    paths: FxHashMap<u32, Vec<NodeId>>,
+    results: Vec<PathMapping>,
+    limit: usize,
+}
+
+impl State<'_> {
+    fn node_ok(&self, v: NodeId, r: NodeId) -> Result<bool, PathMapError> {
+        match &self.node_expr {
+            None => Ok(true),
+            Some(c) => c
+                .eval_node(&NodeCtx {
+                    q: self.query,
+                    r: self.host,
+                    v_node: v,
+                    r_node: r,
+                })
+                .map_err(PathMapError::Eval),
+        }
+    }
+
+    fn pick_next(&self) -> NodeId {
+        let q = self.query;
+        q.node_ids()
+            .filter(|v| !self.covered[v.index()])
+            .max_by_key(|&v| (self.covered_links[v.index()], q.total_degree(v), std::cmp::Reverse(v)))
+            .expect("uncovered node exists")
+    }
+
+    /// All admissible `(target, witness path rc→target)` pairs for the
+    /// query edge `qe` anchored at host node `rc` (which hosts the covered
+    /// endpoint). Paths are enumerated outward from `rc`; cost pruning cuts
+    /// branches that already exceed the window's upper bound.
+    fn admissible_targets(
+        &self,
+        qe: EdgeId,
+        rc: NodeId,
+        reverse: bool,
+    ) -> FxHashMap<NodeId, Vec<NodeId>> {
+        let (lo, hi) = window_of(self.query, qe, self.policy);
+        let cap_need = self.policy.capacity.as_ref().map(|(_, qattr)| {
+            self.query
+                .edge_attr_by_name(qe, qattr)
+                .and_then(AttrValue::as_num)
+                .unwrap_or(0.0)
+        });
+        let mut found: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
+        let mut stack = vec![rc];
+        let mut on_path = NodeBitSet::new(self.host.node_count());
+        on_path.insert(rc);
+        self.dfs_targets(
+            &mut stack, &mut on_path, 0.0, f64::INFINITY, lo, hi, cap_need, reverse, &mut found,
+        );
+        found
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs_targets(
+        &self,
+        stack: &mut Vec<NodeId>,
+        on_path: &mut NodeBitSet,
+        cost: f64,
+        min_cap: f64,
+        lo: f64,
+        hi: f64,
+        cap_need: Option<f64>,
+        reverse: bool,
+        found: &mut FxHashMap<NodeId, Vec<NodeId>>,
+    ) {
+        let u = *stack.last().expect("non-empty");
+        // For directed hosts a query edge vc→vn anchored at the covered
+        // source walks out-edges; anchored at the covered target (reverse)
+        // it walks in-edges. Undirected hosts treat both alike.
+        let neighbors = if reverse {
+            self.host.in_neighbors(u)
+        } else {
+            self.host.neighbors(u)
+        };
+        for &(v, e) in neighbors {
+            if on_path.contains(v) {
+                continue;
+            }
+            let step = self
+                .host
+                .edge_attr_by_name(e, &self.policy.cost_attr)
+                .and_then(AttrValue::as_num)
+                .unwrap_or(0.0);
+            let new_cost = cost + step;
+            if new_cost > hi + 1e-9 {
+                continue; // additive, non-negative: no path below can recover
+            }
+            let new_cap = match &self.policy.capacity {
+                Some((host_attr, _)) => min_cap.min(
+                    self.host
+                        .edge_attr_by_name(e, host_attr)
+                        .and_then(AttrValue::as_num)
+                        .unwrap_or(0.0),
+                ),
+                None => min_cap,
+            };
+            if let Some(need) = cap_need {
+                if new_cap < need {
+                    continue;
+                }
+            }
+            stack.push(v);
+            if new_cost >= lo - 1e-9 {
+                // Keep the first (shortest-discovered) witness per target.
+                found.entry(v).or_insert_with(|| {
+                    let mut p = stack.clone();
+                    if reverse {
+                        p.reverse();
+                    }
+                    p
+                });
+            }
+            if stack.len() - 1 < self.policy.max_hops {
+                on_path.insert(v);
+                self.dfs_targets(
+                    stack, on_path, new_cost, new_cap, lo, hi, cap_need, reverse, found,
+                );
+                on_path.remove(v);
+            }
+            stack.pop();
+        }
+    }
+
+    fn extend(&mut self, deadline: &mut Deadline) -> Result<SearchEnd, PathMapError> {
+        if deadline.expired() {
+            return Ok(SearchEnd::Timeout);
+        }
+        if self.depth == self.query.node_count() {
+            let mut paths: Vec<(EdgeId, Vec<NodeId>)> = self
+                .paths
+                .iter()
+                .map(|(e, p)| (EdgeId(*e), p.clone()))
+                .collect();
+            paths.sort_by_key(|(e, _)| *e);
+            self.results.push(PathMapping {
+                nodes: Mapping::new(self.assign.clone()),
+                paths,
+            });
+            return Ok(if self.results.len() >= self.limit {
+                SearchEnd::SinkStop
+            } else {
+                SearchEnd::Exhausted
+            });
+        }
+
+        let vn = self.pick_next();
+        // Anchors: covered neighbors with the query edge connecting them.
+        let mut anchors: Vec<(NodeId, EdgeId, bool)> = Vec::new();
+        for &(nb, e) in self.query.neighbors(vn) {
+            if self.covered[nb.index()] {
+                // Query edge stored with some orientation; path must run
+                // image(src) → image(dst). vn side: if vn is the stored
+                // source, the anchor (covered dst) explores reverse.
+                let (qs, _) = self.query.edge_endpoints(e);
+                anchors.push((nb, e, qs == vn));
+            }
+        }
+        if !self.query.is_undirected() {
+            for &(nb, e) in self.query.in_neighbors(vn) {
+                if self.covered[nb.index()] && !anchors.iter().any(|(_, ae, _)| *ae == e) {
+                    let (qs, _) = self.query.edge_endpoints(e);
+                    anchors.push((nb, e, qs == vn));
+                }
+            }
+        }
+
+        // Candidate targets: intersection of per-anchor admissible sets.
+        let mut candidate_paths: Option<CandidateWitnesses> = None;
+        if anchors.is_empty() {
+            let mut map = FxHashMap::default();
+            for r in self.host.node_ids() {
+                if !self.used.contains(r) && self.node_ok(vn, r)? {
+                    map.insert(r, Vec::new());
+                }
+            }
+            candidate_paths = Some(map);
+        } else {
+            for (nb, e, vn_is_source) in &anchors {
+                let rc = self.assign[nb.index()];
+                // If vn is the stored source, paths run r → rc, i.e. from
+                // the anchor's perspective we walk host edges in reverse.
+                let targets = self.admissible_targets(*e, rc, *vn_is_source);
+                let mut next: CandidateWitnesses = FxHashMap::default();
+                match &candidate_paths {
+                    None => {
+                        for (r, path) in targets {
+                            if !self.used.contains(r) && self.node_ok(vn, r)? {
+                                next.insert(r, vec![(*e, path)]);
+                            }
+                        }
+                    }
+                    Some(prev) => {
+                        for (r, mut witness) in prev.clone() {
+                            if let Some(path) = targets.get(&r) {
+                                witness.push((*e, path.clone()));
+                                next.insert(r, witness);
+                            }
+                        }
+                    }
+                }
+                candidate_paths = Some(next);
+                if candidate_paths.as_ref().is_some_and(FxHashMap::is_empty) {
+                    break;
+                }
+            }
+        }
+
+        let candidates = candidate_paths.unwrap_or_default();
+        let mut keys: Vec<NodeId> = candidates.keys().copied().collect();
+        keys.sort();
+        for r in keys {
+            let witness = &candidates[&r];
+            // Cover vn → r.
+            self.covered[vn.index()] = true;
+            self.assign[vn.index()] = r;
+            self.used.insert(r);
+            self.depth += 1;
+            for &(nb, _) in self.query.neighbors(vn).iter().chain(self.query.in_neighbors(vn)) {
+                self.covered_links[nb.index()] += 1;
+            }
+            for (e, p) in witness {
+                self.paths.insert(e.0, p.clone());
+            }
+
+            let end = self.extend(deadline)?;
+
+            for (e, _) in witness {
+                self.paths.remove(&e.0);
+            }
+            for &(nb, _) in self.query.neighbors(vn).iter().chain(self.query.in_neighbors(vn)) {
+                self.covered_links[nb.index()] -= 1;
+            }
+            self.depth -= 1;
+            self.used.remove(r);
+            self.assign[vn.index()] = NodeId(u32::MAX);
+            self.covered[vn.index()] = false;
+
+            match end {
+                SearchEnd::Exhausted => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(SearchEnd::Exhausted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::Direction;
+
+    /// Host: a line u0-u1-u2-u3 with 10ms per hop.
+    fn line_host() -> Network {
+        let mut h = Network::new(Direction::Undirected);
+        let ids: Vec<NodeId> = (0..4).map(|i| h.add_node(format!("u{i}"))).collect();
+        for w in ids.windows(2) {
+            let e = h.add_edge(w[0], w[1]);
+            h.set_edge_attr(e, "avgDelay", 10.0);
+        }
+        h
+    }
+
+    fn edge_query(lo: f64, hi: f64) -> Network {
+        let mut q = Network::new(Direction::Undirected);
+        let a = q.add_node("a");
+        let b = q.add_node("b");
+        let e = q.add_edge(a, b);
+        q.set_edge_attr(e, "dmin", lo);
+        q.set_edge_attr(e, "dmax", hi);
+        q
+    }
+
+    fn run(
+        q: &Network,
+        h: &Network,
+        policy: &PathPolicy,
+        limit: usize,
+    ) -> Vec<PathMapping> {
+        let mut dl = Deadline::unlimited();
+        let (sols, _) = search_paths(q, h, policy, None, limit, &mut dl).unwrap();
+        for pm in &sols {
+            check_path_mapping(q, h, policy, pm).unwrap();
+        }
+        sols
+    }
+
+    #[test]
+    fn single_hop_paths_match_plain_embedding() {
+        let h = line_host();
+        let q = edge_query(0.0, 15.0);
+        let policy = PathPolicy {
+            max_hops: 1,
+            ..PathPolicy::default()
+        };
+        let sols = run(&q, &h, &policy, usize::MAX);
+        // 3 host edges × 2 orientations.
+        assert_eq!(sols.len(), 6);
+        for s in &sols {
+            assert_eq!(s.paths[0].1.len(), 2);
+        }
+    }
+
+    #[test]
+    fn multi_hop_unlocks_distant_endpoints() {
+        let h = line_host();
+        // Window 15..25 ms: no single 10ms hop qualifies, but any 2-hop
+        // path (20ms) does.
+        let q = edge_query(15.0, 25.0);
+        let one_hop = run(
+            &q,
+            &h,
+            &PathPolicy {
+                max_hops: 1,
+                ..PathPolicy::default()
+            },
+            usize::MAX,
+        );
+        assert!(one_hop.is_empty());
+        let two_hop = run(
+            &q,
+            &h,
+            &PathPolicy {
+                max_hops: 2,
+                ..PathPolicy::default()
+            },
+            usize::MAX,
+        );
+        // 2-hop pairs on the line: (u0,u2), (u1,u3) × 2 orientations.
+        assert_eq!(two_hop.len(), 4);
+        for s in &two_hop {
+            assert_eq!(s.paths[0].1.len(), 3); // 2 hops = 3 nodes
+        }
+    }
+
+    #[test]
+    fn cost_upper_bound_prunes() {
+        let h = line_host();
+        // Window up to 35: 1-, 2- and 3-hop paths all qualify.
+        let q = edge_query(0.0, 35.0);
+        let sols = run(
+            &q,
+            &h,
+            &PathPolicy {
+                max_hops: 3,
+                ..PathPolicy::default()
+            },
+            usize::MAX,
+        );
+        // Pairs: adjacent (3), dist-2 (2), dist-3 (1) = 6, × 2 orientations.
+        assert_eq!(sols.len(), 12);
+    }
+
+    #[test]
+    fn capacity_minimum_respected() {
+        let mut h = line_host();
+        // Middle edge has low bandwidth.
+        h.set_edge_attr(netgraph::EdgeId(0), "bw", 100.0);
+        h.set_edge_attr(netgraph::EdgeId(1), "bw", 5.0);
+        h.set_edge_attr(netgraph::EdgeId(2), "bw", 100.0);
+        let mut q = edge_query(15.0, 25.0);
+        q.set_edge_attr(netgraph::EdgeId(0), "bw", 50.0);
+        let policy = PathPolicy {
+            max_hops: 2,
+            capacity: Some(("bw".into(), "bw".into())),
+            ..PathPolicy::default()
+        };
+        let sols = run(&q, &h, &policy, usize::MAX);
+        // Every 2-hop path crosses the middle edge (bw 5 < 50): none left.
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn node_constraint_applies() {
+        let mut h = line_host();
+        for i in 0..4 {
+            h.set_node_attr(NodeId(i), "cpu", if i == 0 || i == 2 { 8.0 } else { 1.0 });
+        }
+        let q = edge_query(15.0, 25.0);
+        let policy = PathPolicy {
+            max_hops: 2,
+            ..PathPolicy::default()
+        };
+        let mut dl = Deadline::unlimited();
+        let (sols, _) = search_paths(
+            &q,
+            &h,
+            &policy,
+            Some("rNode.cpu >= 4.0"),
+            usize::MAX,
+            &mut dl,
+        )
+        .unwrap();
+        // Only (u0, u2) qualifies on cpu; path u0-u1-u2 relays through u1
+        // (cpu 1) which is fine — relays are not allocated.
+        assert_eq!(sols.len(), 2);
+        for s in &sols {
+            for (_, r) in s.nodes.iter() {
+                assert!(r == NodeId(0) || r == NodeId(2));
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_query_via_paths() {
+        // Host: a 6-cycle, 10ms hops. A triangle query with 2-hop windows
+        // embeds as three 2-hop paths around the cycle.
+        let mut h = Network::new(Direction::Undirected);
+        let ids: Vec<NodeId> = (0..6).map(|i| h.add_node(format!("u{i}"))).collect();
+        for i in 0..6 {
+            let e = h.add_edge(ids[i], ids[(i + 1) % 6]);
+            h.set_edge_attr(e, "avgDelay", 10.0);
+        }
+        let mut q = Network::new(Direction::Undirected);
+        let qs: Vec<NodeId> = (0..3).map(|i| q.add_node(format!("q{i}"))).collect();
+        for i in 0..3 {
+            let e = q.add_edge(qs[i], qs[(i + 1) % 3]);
+            q.set_edge_attr(e, "dmin", 15.0);
+            q.set_edge_attr(e, "dmax", 25.0);
+        }
+        let policy = PathPolicy {
+            max_hops: 2,
+            ..PathPolicy::default()
+        };
+        let sols = run(&q, &h, &policy, usize::MAX);
+        // Placements on alternating cycle nodes: 2 phase choices × 3! node
+        // orders… just assert existence + verification (done in run()).
+        assert!(!sols.is_empty());
+    }
+
+    #[test]
+    fn directed_paths_respect_orientation() {
+        let mut h = Network::new(Direction::Directed);
+        let a = h.add_node("a");
+        let b = h.add_node("b");
+        let c = h.add_node("c");
+        for (u, v) in [(a, b), (b, c)] {
+            let e = h.add_edge(u, v);
+            h.set_edge_attr(e, "avgDelay", 10.0);
+        }
+        let mut q = Network::new(Direction::Directed);
+        let x = q.add_node("x");
+        let y = q.add_node("y");
+        let e = q.add_edge(x, y);
+        q.set_edge_attr(e, "dmin", 15.0);
+        q.set_edge_attr(e, "dmax", 25.0);
+        let policy = PathPolicy {
+            max_hops: 2,
+            ..PathPolicy::default()
+        };
+        let mut dl = Deadline::unlimited();
+        let (sols, _) = search_paths(&q, &h, &policy, None, usize::MAX, &mut dl).unwrap();
+        // Only a→b→c in the forward direction.
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].nodes.get(x), a);
+        assert_eq!(sols[0].nodes.get(y), c);
+        assert_eq!(sols[0].paths[0].1, vec![a, b, c]);
+        check_path_mapping(&q, &h, &policy, &sols[0]).unwrap();
+    }
+
+    #[test]
+    fn limit_and_errors() {
+        let h = line_host();
+        let q = edge_query(0.0, 15.0);
+        let policy = PathPolicy::default();
+        let mut dl = Deadline::unlimited();
+        let (sols, end) = search_paths(&q, &h, &policy, None, 2, &mut dl).unwrap();
+        assert_eq!(sols.len(), 2);
+        assert_eq!(end, SearchEnd::SinkStop);
+
+        let bad = PathPolicy {
+            max_hops: 0,
+            ..PathPolicy::default()
+        };
+        assert!(matches!(
+            search_paths(&q, &h, &bad, None, 1, &mut dl),
+            Err(PathMapError::ZeroHops)
+        ));
+        assert!(matches!(
+            search_paths(&q, &h, &policy, Some("1 +"), 1, &mut dl),
+            Err(PathMapError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn checker_rejects_corrupt_mappings() {
+        let h = line_host();
+        let q = edge_query(0.0, 15.0);
+        let policy = PathPolicy::default();
+        let mut dl = Deadline::unlimited();
+        let (sols, _) = search_paths(&q, &h, &policy, None, 1, &mut dl).unwrap();
+        let good = &sols[0];
+        // Corrupt the witness path.
+        let mut bad = good.clone();
+        bad.paths[0].1 = vec![NodeId(0), NodeId(3)]; // not a host edge
+        assert!(check_path_mapping(&q, &h, &policy, &bad).is_err());
+        // Corrupt injectivity.
+        let mut bad2 = good.clone();
+        let first = bad2.nodes.as_slice()[0];
+        bad2.nodes = Mapping::new(vec![first, first]);
+        assert!(check_path_mapping(&q, &h, &policy, &bad2).is_err());
+    }
+}

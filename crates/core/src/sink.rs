@@ -1,0 +1,145 @@
+//! Solution sinks: the searches stream feasible embeddings through a
+//! [`SolutionSink`] instead of buffering them, so all-matches runs over
+//! under-constrained queries (thousands of embeddings, §VII-D) do not pay
+//! for storage they may not need, and first-match runs can stop the search
+//! the moment the first solution arrives.
+
+use crate::mapping::Mapping;
+
+/// What the search should do after a solution was reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkControl {
+    /// Keep searching.
+    Continue,
+    /// Stop the search; the caller has everything it wants.
+    Stop,
+}
+
+/// Receiver of feasible embeddings.
+pub trait SolutionSink {
+    /// Called once per feasible embedding found.
+    fn report(&mut self, mapping: &Mapping) -> SinkControl;
+}
+
+/// Collects every solution.
+#[derive(Debug, Default)]
+pub struct CollectAll {
+    /// Solutions collected so far.
+    pub solutions: Vec<Mapping>,
+}
+
+impl SolutionSink for CollectAll {
+    fn report(&mut self, mapping: &Mapping) -> SinkControl {
+        self.solutions.push(mapping.clone());
+        SinkControl::Continue
+    }
+}
+
+/// Collects up to `limit` solutions, then stops the search.
+#[derive(Debug)]
+pub struct CollectUpTo {
+    /// Solutions collected so far.
+    pub solutions: Vec<Mapping>,
+    limit: usize,
+}
+
+impl CollectUpTo {
+    /// Stop after `limit` solutions (`limit = 1` is first-match mode).
+    pub fn new(limit: usize) -> Self {
+        assert!(limit >= 1, "limit must be positive");
+        CollectUpTo {
+            solutions: Vec::new(),
+            limit,
+        }
+    }
+}
+
+impl SolutionSink for CollectUpTo {
+    fn report(&mut self, mapping: &Mapping) -> SinkControl {
+        self.solutions.push(mapping.clone());
+        if self.solutions.len() >= self.limit {
+            SinkControl::Stop
+        } else {
+            SinkControl::Continue
+        }
+    }
+}
+
+/// Counts solutions without storing them (used when enumerating complete
+/// solution sets that would not fit in memory).
+#[derive(Debug, Default)]
+pub struct CountOnly {
+    /// Number of solutions seen.
+    pub count: u64,
+}
+
+impl SolutionSink for CountOnly {
+    fn report(&mut self, _mapping: &Mapping) -> SinkControl {
+        self.count += 1;
+        SinkControl::Continue
+    }
+}
+
+/// Adapter invoking a closure per solution.
+pub struct FnSink<F: FnMut(&Mapping) -> SinkControl>(pub F);
+
+impl<F: FnMut(&Mapping) -> SinkControl> SolutionSink for FnSink<F> {
+    fn report(&mut self, mapping: &Mapping) -> SinkControl {
+        (self.0)(mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::NodeId;
+
+    fn m(i: u32) -> Mapping {
+        Mapping::new(vec![NodeId(i)])
+    }
+
+    #[test]
+    fn collect_all_never_stops() {
+        let mut s = CollectAll::default();
+        for i in 0..5 {
+            assert_eq!(s.report(&m(i)), SinkControl::Continue);
+        }
+        assert_eq!(s.solutions.len(), 5);
+    }
+
+    #[test]
+    fn collect_up_to_stops_at_limit() {
+        let mut s = CollectUpTo::new(2);
+        assert_eq!(s.report(&m(0)), SinkControl::Continue);
+        assert_eq!(s.report(&m(1)), SinkControl::Stop);
+        assert_eq!(s.solutions.len(), 2);
+    }
+
+    #[test]
+    fn count_only_counts() {
+        let mut s = CountOnly::default();
+        for i in 0..7 {
+            s.report(&m(i));
+        }
+        assert_eq!(s.count, 7);
+    }
+
+    #[test]
+    fn fn_sink_delegates() {
+        let mut seen = 0;
+        {
+            let mut s = FnSink(|_: &Mapping| {
+                seen += 1;
+                if seen >= 3 {
+                    SinkControl::Stop
+                } else {
+                    SinkControl::Continue
+                }
+            });
+            assert_eq!(s.report(&m(0)), SinkControl::Continue);
+            assert_eq!(s.report(&m(1)), SinkControl::Continue);
+            assert_eq!(s.report(&m(2)), SinkControl::Stop);
+        }
+        assert_eq!(seen, 3);
+    }
+}

@@ -1,0 +1,75 @@
+//! Search statistics: the instrumentation behind every figure in the
+//! paper's evaluation (visited nodes, constraint evaluations, prunes,
+//! elapsed time, timeout status).
+
+use std::time::Duration;
+
+/// Counters collected by one search run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchStats {
+    /// Permutation-tree nodes visited (ECF/RWB) or covered-set extensions
+    /// attempted (LNS).
+    pub nodes_visited: u64,
+    /// Constraint-expression evaluations (filter construction + lazy
+    /// checks).
+    pub constraint_evals: u64,
+    /// Branches pruned because the candidate set became empty.
+    pub prunes: u64,
+    /// Feasible embeddings reported to the sink.
+    pub solutions: u64,
+    /// Filter cells materialized (0 for LNS — that is its point).
+    pub filter_cells: u64,
+    /// Wall-clock time of the whole run (filter construction + search).
+    pub elapsed: Duration,
+    /// True when the deadline expired before the search space was
+    /// exhausted.
+    pub timed_out: bool,
+}
+
+impl SearchStats {
+    /// Merge counters from a worker (parallel search).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.constraint_evals += other.constraint_evals;
+        self.prunes += other.prunes;
+        self.solutions += other.solutions;
+        self.filter_cells = self.filter_cells.max(other.filter_cells);
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.timed_out |= other.timed_out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SearchStats {
+            nodes_visited: 10,
+            constraint_evals: 100,
+            prunes: 5,
+            solutions: 1,
+            filter_cells: 50,
+            elapsed: Duration::from_millis(20),
+            timed_out: false,
+        };
+        let b = SearchStats {
+            nodes_visited: 7,
+            constraint_evals: 30,
+            prunes: 2,
+            solutions: 0,
+            filter_cells: 60,
+            elapsed: Duration::from_millis(35),
+            timed_out: true,
+        };
+        a.merge(&b);
+        assert_eq!(a.nodes_visited, 17);
+        assert_eq!(a.constraint_evals, 130);
+        assert_eq!(a.prunes, 7);
+        assert_eq!(a.solutions, 1);
+        assert_eq!(a.filter_cells, 60); // max, filters are shared
+        assert_eq!(a.elapsed, Duration::from_millis(35)); // max, wall-clock
+        assert!(a.timed_out);
+    }
+}

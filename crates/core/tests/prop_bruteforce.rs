@@ -1,0 +1,189 @@
+//! Brute-force oracle: on tiny random instances, enumerate *every*
+//! injective assignment, keep those that pass the independent verifier,
+//! and demand that ECF / LNS / parallel ECF return exactly that set.
+//! This pins the algorithms to the problem definition (§IV) with no
+//! shared code between oracle and search beyond the verifier.
+
+use netembed::{check_mapping, Algorithm, Engine, Mapping, Options, Problem, SearchMode};
+use netgraph::{Direction, Network, NodeId};
+use proptest::prelude::*;
+
+/// Random undirected host with delay attributes.
+fn arb_instance() -> impl Strategy<Value = (Network, Network, String)> {
+    (3usize..7)
+        .prop_flat_map(|nr| (Just(nr), 2..nr.min(5)))
+        .prop_flat_map(|(nr, nq)| {
+        let host_edges = proptest::collection::vec(
+            ((0..nr as u32), (0..nr as u32), 0u32..100),
+            0..nr * (nr - 1) / 2 + 3,
+        );
+        let query_edges =
+            proptest::collection::vec(((0..nq as u32), (0..nq as u32)), 0..nq * 2);
+        let threshold = 10u32..90;
+        (
+            Just(nr),
+            Just(nq),
+            host_edges,
+            query_edges,
+            threshold,
+        )
+            .prop_map(|(nr, nq, hedges, qedges, thr)| {
+                let mut host = Network::new(Direction::Undirected);
+                for i in 0..nr {
+                    host.add_node(format!("h{i}"));
+                }
+                for (u, v, d) in hedges {
+                    let (u, v) = (NodeId(u % nr as u32), NodeId(v % nr as u32));
+                    if u != v && !host.has_edge(u, v) {
+                        let e = host.add_edge(u, v);
+                        host.set_edge_attr(e, "d", d as f64);
+                    }
+                }
+                let mut query = Network::new(Direction::Undirected);
+                for i in 0..nq {
+                    query.add_node(format!("q{i}"));
+                }
+                for (u, v) in qedges {
+                    let (u, v) = (NodeId(u % nq as u32), NodeId(v % nq as u32));
+                    if u != v && !query.has_edge(u, v) {
+                        query.add_edge(u, v);
+                    }
+                }
+                let constraint = format!("rEdge.d <= {thr}.0");
+                (host, query, constraint)
+            })
+    })
+}
+
+/// All injective assignments of `nq` query nodes to `nr` host nodes.
+fn all_injective(nq: usize, nr: usize) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(nq);
+    let mut used = vec![false; nr];
+    fn rec(
+        nq: usize,
+        nr: usize,
+        current: &mut Vec<NodeId>,
+        used: &mut [bool],
+        out: &mut Vec<Vec<NodeId>>,
+    ) {
+        if current.len() == nq {
+            out.push(current.clone());
+            return;
+        }
+        for r in 0..nr {
+            if !used[r] {
+                used[r] = true;
+                current.push(NodeId(r as u32));
+                rec(nq, nr, current, used, out);
+                current.pop();
+                used[r] = false;
+            }
+        }
+    }
+    rec(nq, nr, &mut current, &mut used, &mut out);
+    out
+}
+
+fn sorted(mut v: Vec<Mapping>) -> Vec<Mapping> {
+    v.sort_by_key(|m| m.as_slice().to_vec());
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn search_equals_bruteforce((host, query, constraint) in arb_instance()) {
+        let problem = Problem::new(&query, &host, &constraint).unwrap();
+
+        // Oracle: filter all injective assignments through the verifier.
+        let oracle: Vec<Mapping> = all_injective(query.node_count(), host.node_count())
+            .into_iter()
+            .map(Mapping::new)
+            .filter(|m| check_mapping(&problem, m).is_ok())
+            .collect();
+        let oracle = sorted(oracle);
+
+        let engine = Engine::new(&host);
+        for algorithm in [Algorithm::Ecf, Algorithm::Lns, Algorithm::ParallelEcf { threads: 2 }] {
+            let got = engine
+                .embed(&query, &constraint, &Options {
+                    algorithm,
+                    mode: SearchMode::All,
+                    ..Options::default()
+                })
+                .unwrap();
+            let got = sorted(got.mappings);
+            prop_assert_eq!(
+                &got, &oracle,
+                "{:?} disagrees with brute force on nq={} nr={} constraint={}",
+                algorithm, query.node_count(), host.node_count(), constraint
+            );
+        }
+
+        // RWB: feasibility agreement + membership.
+        let rwb = engine
+            .embed(&query, &constraint, &Options {
+                algorithm: Algorithm::Rwb,
+                mode: SearchMode::First,
+                ..Options::default()
+            })
+            .unwrap();
+        prop_assert_eq!(rwb.mappings.is_empty(), oracle.is_empty());
+        if let Some(m) = rwb.mappings.first() {
+            prop_assert!(oracle.contains(m));
+        }
+    }
+
+    #[test]
+    fn directed_search_equals_bruteforce(
+        nr in 3usize..6,
+        nq in 2usize..4,
+        hedges in proptest::collection::vec(((0u32..6), (0u32..6)), 1..14),
+        qedges in proptest::collection::vec(((0u32..4), (0u32..4)), 1..5),
+    ) {
+        let mut host = Network::new(Direction::Directed);
+        for i in 0..nr {
+            host.add_node(format!("h{i}"));
+        }
+        for (u, v) in hedges {
+            let (u, v) = (NodeId(u % nr as u32), NodeId(v % nr as u32));
+            if u != v && !host.has_edge(u, v) {
+                host.add_edge(u, v);
+            }
+        }
+        let mut query = Network::new(Direction::Directed);
+        for i in 0..nq {
+            query.add_node(format!("q{i}"));
+        }
+        for (u, v) in qedges {
+            let (u, v) = (NodeId(u % nq as u32), NodeId(v % nq as u32));
+            if u != v && !query.has_edge(u, v) {
+                query.add_edge(u, v);
+            }
+        }
+        let problem = Problem::new(&query, &host, "true").unwrap();
+        let oracle: Vec<Mapping> = all_injective(nq, nr)
+            .into_iter()
+            .map(Mapping::new)
+            .filter(|m| check_mapping(&problem, m).is_ok())
+            .collect();
+        let oracle = sorted(oracle);
+
+        let engine = Engine::new(&host);
+        for algorithm in [Algorithm::Ecf, Algorithm::Lns] {
+            let got = sorted(
+                engine
+                    .embed(&query, "true", &Options {
+                        algorithm,
+                        mode: SearchMode::All,
+                        ..Options::default()
+                    })
+                    .unwrap()
+                    .mappings,
+            );
+            prop_assert_eq!(&got, &oracle, "{:?} differs on a directed instance", algorithm);
+        }
+    }
+}

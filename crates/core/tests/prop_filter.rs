@@ -1,0 +1,147 @@
+//! Property tests for the ECF filter matrix (§V-A): symmetry of cell
+//! contents, consistency of the base candidate sets, and the exactness of
+//! the filter against direct constraint evaluation.
+
+use netembed::{Deadline, FilterMatrix, Problem, SearchStats};
+use netgraph::{Direction, Network, NodeId};
+use proptest::prelude::*;
+
+fn build_nets(
+    nr: usize,
+    hedges: &[(u32, u32, u32)],
+    nq: usize,
+    qedges: &[(u32, u32)],
+) -> (Network, Network) {
+    let mut host = Network::new(Direction::Undirected);
+    for i in 0..nr {
+        host.add_node(format!("h{i}"));
+    }
+    for &(u, v, d) in hedges {
+        let (u, v) = (NodeId(u % nr as u32), NodeId(v % nr as u32));
+        if u != v && !host.has_edge(u, v) {
+            let e = host.add_edge(u, v);
+            host.set_edge_attr(e, "d", d as f64);
+        }
+    }
+    let mut query = Network::new(Direction::Undirected);
+    for i in 0..nq {
+        query.add_node(format!("q{i}"));
+    }
+    for &(u, v) in qedges {
+        let (u, v) = (NodeId(u % nq as u32), NodeId(v % nq as u32));
+        if u != v && !query.has_edge(u, v) {
+            query.add_edge(u, v);
+        }
+    }
+    (host, query)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Undirected symmetry: r′ ∈ F[(v, r, v′)] ⇔ r ∈ F[(v′, r′, v)].
+    #[test]
+    fn undirected_cells_are_symmetric(
+        nr in 3usize..8,
+        hedges in proptest::collection::vec((0u32..8, 0u32..8, 0u32..50), 1..20),
+        nq in 2usize..5,
+        qedges in proptest::collection::vec((0u32..5, 0u32..5), 1..8),
+        thr in 5u32..45,
+    ) {
+        let (host, query) = build_nets(nr, &hedges, nq, &qedges);
+        prop_assume!(query.node_count() <= host.node_count());
+        let constraint = format!("rEdge.d <= {thr}.0");
+        let problem = Problem::new(&query, &host, &constraint).unwrap();
+        let mut dl = Deadline::unlimited();
+        let mut stats = SearchStats::default();
+        let filter = FilterMatrix::build(&problem, &mut dl, &mut stats).unwrap();
+
+        for qe in query.edge_refs() {
+            let (a, b) = (qe.src, qe.dst);
+            for r in host.node_ids() {
+                for rp in filter.fwd_cell(a, r, b) {
+                    let back = filter.fwd_cell(b, *rp, a);
+                    prop_assert!(
+                        back.binary_search(&r).is_ok(),
+                        "cell symmetry broken: {r} in F[({b},{rp},{a})] missing"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Exactness: r′ ∈ F[(v, r, v′)] exactly when the host edge (r, r′)
+    /// exists and the constraint accepts the oriented pair.
+    #[test]
+    fn cells_match_direct_evaluation(
+        nr in 3usize..7,
+        hedges in proptest::collection::vec((0u32..7, 0u32..7, 0u32..50), 1..16),
+        thr in 5u32..45,
+    ) {
+        let (host, query) = build_nets(nr, &hedges, 2, &[(0, 1)]);
+        let constraint = format!("rEdge.d <= {thr}.0");
+        let problem = Problem::new(&query, &host, &constraint).unwrap();
+        let mut dl = Deadline::unlimited();
+        let mut stats = SearchStats::default();
+        let filter = FilterMatrix::build(&problem, &mut dl, &mut stats).unwrap();
+        let (a, b) = (NodeId(0), NodeId(1));
+        let qe = netgraph::EdgeId(0);
+        for r in host.node_ids() {
+            for rp in host.node_ids() {
+                if r == rp {
+                    continue;
+                }
+                let in_cell = filter.fwd_cell(a, r, b).binary_search(&rp).is_ok();
+                let direct = problem
+                    .pair_ok(qe, a, b, r, rp)
+                    .unwrap();
+                prop_assert_eq!(
+                    in_cell, direct,
+                    "cell/direct disagree for ({}, {})", r, rp
+                );
+            }
+        }
+    }
+
+    /// Base candidate sets: a host node is a base candidate for a query
+    /// node iff it appears in some cell anchored at that node — and the
+    /// Lemma-1 count matches the set size.
+    #[test]
+    fn base_sets_consistent_with_cells(
+        nr in 3usize..8,
+        hedges in proptest::collection::vec((0u32..8, 0u32..8, 0u32..50), 1..20),
+        nq in 2usize..4,
+        qedges in proptest::collection::vec((0u32..4, 0u32..4), 1..6),
+        thr in 5u32..45,
+    ) {
+        let (host, query) = build_nets(nr, &hedges, nq, &qedges);
+        prop_assume!(query.node_count() <= host.node_count());
+        let constraint = format!("rEdge.d <= {thr}.0");
+        let problem = Problem::new(&query, &host, &constraint).unwrap();
+        let mut dl = Deadline::unlimited();
+        let mut stats = SearchStats::default();
+        let filter = FilterMatrix::build(&problem, &mut dl, &mut stats).unwrap();
+
+        for v in query.node_ids() {
+            prop_assert_eq!(filter.candidate_count(v), filter.base(v).len());
+            if query.total_degree(v) == 0 {
+                // Isolated node: everything is a candidate under an
+                // edge-only constraint.
+                prop_assert_eq!(filter.candidate_count(v), host.node_count());
+                continue;
+            }
+            for r in host.node_ids() {
+                let in_base = filter.base(v).contains(r);
+                // In some cell anchored at (v, r)?
+                let mut in_cell = false;
+                for &(nb, _) in query.neighbors(v) {
+                    if !filter.fwd_cell(v, r, nb).is_empty() {
+                        in_cell = true;
+                        break;
+                    }
+                }
+                prop_assert_eq!(in_base, in_cell, "base/cell disagree at ({}, {})", v, r);
+            }
+        }
+    }
+}

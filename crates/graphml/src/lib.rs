@@ -1,0 +1,687 @@
+//! # graphml — network (de)serialization for NETEMBED
+//!
+//! The paper (§VI-A) adopts GraphML as the network description format for
+//! both hosting and query networks, because it carries arbitrary typed
+//! attributes on nodes and edges. This crate implements a reader and writer
+//! for the subset of GraphML that NETEMBED uses:
+//!
+//! * `<key>` declarations with `for` ∈ {`node`, `edge`, `all`} and
+//!   `attr.type` ∈ {`boolean`, `int`, `long`, `float`, `double`, `string`};
+//! * one `<graph>` per document with `edgedefault` ∈ {`directed`,
+//!   `undirected`};
+//! * `<node>`/`<edge>` elements with `<data>` children and optional
+//!   `<default>` values on keys.
+//!
+//! The XML layer is the built-in [`xml`] module — no external XML
+//! dependency, as required by the reproduction's from-scratch policy.
+
+pub mod xml;
+
+use netgraph::{AttrValue, Direction, Network, NetworkBuilder, NodeId};
+use rustc_hash_shim::FxHashMap;
+use std::fmt;
+use xml::{escape_attr, escape_text, XmlEvent, XmlParser};
+
+// Tiny shim so this crate only depends on netgraph; netgraph re-exports its
+// hasher through the std HashMap API surface we need.
+mod rustc_hash_shim {
+    pub type FxHashMap<K, V> = std::collections::HashMap<K, V>;
+}
+
+/// GraphML attribute types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GmlType {
+    /// `boolean`.
+    Bool,
+    /// `int`, `long`, `float`, or `double` — all carried as `f64`.
+    Num,
+    /// `string`.
+    Str,
+}
+
+impl GmlType {
+    fn parse(s: &str) -> Option<GmlType> {
+        match s {
+            "boolean" => Some(GmlType::Bool),
+            "int" | "long" | "float" | "double" => Some(GmlType::Num),
+            "string" => Some(GmlType::Str),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            GmlType::Bool => "boolean",
+            GmlType::Num => "double",
+            GmlType::Str => "string",
+        }
+    }
+}
+
+/// Which elements a key applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GmlDomain {
+    /// Nodes only.
+    Node,
+    /// Edges only.
+    Edge,
+    /// Both.
+    All,
+}
+
+/// Errors from GraphML parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphmlError {
+    /// Underlying XML was malformed.
+    Xml(xml::XmlError),
+    /// Structural violation of the GraphML schema subset.
+    Schema(String),
+    /// A `<data>` value failed to parse under its declared type.
+    BadValue {
+        /// Key id whose value failed.
+        key: String,
+        /// The raw text.
+        value: String,
+    },
+    /// Graph-level error (duplicate node ids, bad endpoints, …).
+    Graph(String),
+}
+
+impl fmt::Display for GraphmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphmlError::Xml(e) => write!(f, "{e}"),
+            GraphmlError::Schema(m) => write!(f, "GraphML schema error: {m}"),
+            GraphmlError::BadValue { key, value } => {
+                write!(f, "bad value for key `{key}`: `{value}`")
+            }
+            GraphmlError::Graph(m) => write!(f, "graph error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphmlError {}
+
+impl From<xml::XmlError> for GraphmlError {
+    fn from(e: xml::XmlError) -> Self {
+        GraphmlError::Xml(e)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct KeyDecl {
+    name: String,
+    domain: GmlDomain,
+    ty: GmlType,
+    default: Option<AttrValue>,
+}
+
+fn parse_value(ty: GmlType, text: &str, key: &str) -> Result<AttrValue, GraphmlError> {
+    let text = text.trim();
+    match ty {
+        GmlType::Bool => match text {
+            "true" | "1" => Ok(AttrValue::Bool(true)),
+            "false" | "0" => Ok(AttrValue::Bool(false)),
+            _ => Err(GraphmlError::BadValue {
+                key: key.to_string(),
+                value: text.to_string(),
+            }),
+        },
+        GmlType::Num => text.parse::<f64>().map(AttrValue::Num).map_err(|_| {
+            GraphmlError::BadValue {
+                key: key.to_string(),
+                value: text.to_string(),
+            }
+        }),
+        GmlType::Str => Ok(AttrValue::str(text)),
+    }
+}
+
+/// Parse a GraphML document into a [`Network`].
+///
+/// The first `<graph>` element is read; any further graphs are rejected
+/// (NETEMBED models exactly one network per document).
+pub fn from_str(doc: &str) -> Result<Network, GraphmlError> {
+    let mut parser = XmlParser::new(doc);
+    let mut keys: FxHashMap<String, KeyDecl> = FxHashMap::default();
+    let mut builder: Option<NetworkBuilder> = None;
+    let mut node_ids: FxHashMap<String, NodeId> = FxHashMap::default();
+    let mut graphs_seen = 0usize;
+
+    // Element stack for structural validation.
+    let mut stack: Vec<String> = Vec::new();
+    // Pending <data> context: (element kind, element id).
+    enum Target {
+        Node(NodeId),
+        Edge(netgraph::EdgeId),
+    }
+    let mut current: Option<Target> = None;
+    let mut pending_data_key: Option<String> = None;
+    let mut data_had_text = false;
+    let mut pending_default_key: Option<String> = None;
+    let mut last_key_id: Option<String> = None;
+
+    while let Some(ev) = parser.next_event()? {
+        match ev {
+            XmlEvent::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                let local = local_name(&name);
+                match local {
+                    "graphml" => {}
+                    "key" => {
+                        let id = get_attr(&attrs, "id")
+                            .ok_or_else(|| GraphmlError::Schema("<key> missing id".into()))?;
+                        let attr_name = get_attr(&attrs, "attr.name").unwrap_or_else(|| id.clone());
+                        let domain = match get_attr(&attrs, "for").as_deref() {
+                            Some("node") => GmlDomain::Node,
+                            Some("edge") => GmlDomain::Edge,
+                            Some("all") | None => GmlDomain::All,
+                            Some(other) => {
+                                return Err(GraphmlError::Schema(format!(
+                                    "unsupported key domain `{other}`"
+                                )))
+                            }
+                        };
+                        let ty = match get_attr(&attrs, "attr.type") {
+                            Some(t) => GmlType::parse(&t).ok_or_else(|| {
+                                GraphmlError::Schema(format!("unsupported attr.type `{t}`"))
+                            })?,
+                            None => GmlType::Str,
+                        };
+                        keys.insert(
+                            id.clone(),
+                            KeyDecl {
+                                name: attr_name,
+                                domain,
+                                ty,
+                                default: None,
+                            },
+                        );
+                        last_key_id = Some(id);
+                    }
+                    "default" => {
+                        pending_default_key = last_key_id.clone();
+                        if pending_default_key.is_none() {
+                            return Err(GraphmlError::Schema(
+                                "<default> outside of <key>".into(),
+                            ));
+                        }
+                    }
+                    "graph" => {
+                        graphs_seen += 1;
+                        if graphs_seen > 1 {
+                            return Err(GraphmlError::Schema(
+                                "multiple <graph> elements are not supported".into(),
+                            ));
+                        }
+                        let dir = match get_attr(&attrs, "edgedefault").as_deref() {
+                            Some("directed") => Direction::Directed,
+                            Some("undirected") | None => Direction::Undirected,
+                            Some(other) => {
+                                return Err(GraphmlError::Schema(format!(
+                                    "unsupported edgedefault `{other}`"
+                                )))
+                            }
+                        };
+                        let mut b = NetworkBuilder::new(dir);
+                        if let Some(id) = get_attr(&attrs, "id") {
+                            b = b.name(id);
+                        }
+                        builder = Some(b);
+                    }
+                    "node" => {
+                        let b = builder
+                            .as_mut()
+                            .ok_or_else(|| GraphmlError::Schema("<node> outside <graph>".into()))?;
+                        let id = get_attr(&attrs, "id")
+                            .ok_or_else(|| GraphmlError::Schema("<node> missing id".into()))?;
+                        let nid = b
+                            .add_node(id.clone())
+                            .map_err(|e| GraphmlError::Graph(e.to_string()))?;
+                        node_ids.insert(id, nid);
+                        // Apply node-domain defaults.
+                        for decl in keys.values() {
+                            if matches!(decl.domain, GmlDomain::Node | GmlDomain::All) {
+                                if let Some(d) = &decl.default {
+                                    b.set_node_attr(nid, &decl.name, d.clone());
+                                }
+                            }
+                        }
+                        current = Some(Target::Node(nid));
+                    }
+                    "edge" => {
+                        let b = builder
+                            .as_mut()
+                            .ok_or_else(|| GraphmlError::Schema("<edge> outside <graph>".into()))?;
+                        let s = get_attr(&attrs, "source")
+                            .ok_or_else(|| GraphmlError::Schema("<edge> missing source".into()))?;
+                        let t = get_attr(&attrs, "target")
+                            .ok_or_else(|| GraphmlError::Schema("<edge> missing target".into()))?;
+                        let &sid = node_ids.get(&s).ok_or_else(|| {
+                            GraphmlError::Graph(format!("edge source `{s}` not declared"))
+                        })?;
+                        let &tid = node_ids.get(&t).ok_or_else(|| {
+                            GraphmlError::Graph(format!("edge target `{t}` not declared"))
+                        })?;
+                        let eid = b
+                            .add_edge(sid, tid)
+                            .map_err(|e| GraphmlError::Graph(e.to_string()))?;
+                        for decl in keys.values() {
+                            if matches!(decl.domain, GmlDomain::Edge | GmlDomain::All) {
+                                if let Some(d) = &decl.default {
+                                    b.set_edge_attr(eid, &decl.name, d.clone());
+                                }
+                            }
+                        }
+                        current = Some(Target::Edge(eid));
+                    }
+                    "data" => {
+                        let key = get_attr(&attrs, "key")
+                            .ok_or_else(|| GraphmlError::Schema("<data> missing key".into()))?;
+                        if current.is_none() {
+                            return Err(GraphmlError::Schema(
+                                "<data> outside <node>/<edge>".into(),
+                            ));
+                        }
+                        pending_data_key = Some(key);
+                        data_had_text = false;
+                    }
+                    other => {
+                        return Err(GraphmlError::Schema(format!(
+                            "unexpected element <{other}>"
+                        )))
+                    }
+                }
+                if !self_closing {
+                    stack.push(local.to_string());
+                } else {
+                    // Self-closing <node/> / <edge/> still terminate scope.
+                    if local == "node" || local == "edge" {
+                        current = None;
+                    }
+                    if local == "data" {
+                        pending_data_key = None;
+                    }
+                }
+            }
+            XmlEvent::EndTag { name } => {
+                let local = local_name(&name).to_string();
+                match stack.pop() {
+                    Some(open) if open == local => {}
+                    Some(open) => {
+                        return Err(GraphmlError::Schema(format!(
+                            "mismatched tags: <{open}> closed by </{local}>"
+                        )))
+                    }
+                    None => {
+                        return Err(GraphmlError::Schema(format!(
+                            "stray closing tag </{local}>"
+                        )))
+                    }
+                }
+                match local.as_str() {
+                    "node" | "edge" => current = None,
+                    "data" => {
+                        // `<data key="k"></data>` carries an empty value.
+                        if let (Some(kid), false) = (pending_data_key.take(), data_had_text) {
+                            let decl = keys.get(&kid).ok_or_else(|| {
+                                GraphmlError::Schema(format!(
+                                    "<data> references undeclared key `{kid}`"
+                                ))
+                            })?;
+                            let value = parse_value(decl.ty, "", &kid)?;
+                            let b = builder.as_mut().expect("data implies graph");
+                            match &current {
+                                Some(Target::Node(n)) => b.set_node_attr(*n, &decl.name, value),
+                                Some(Target::Edge(e)) => b.set_edge_attr(*e, &decl.name, value),
+                                None => {}
+                            }
+                        }
+                        pending_data_key = None;
+                    }
+                    "default" => pending_default_key = None,
+                    "key" => last_key_id = None,
+                    _ => {}
+                }
+            }
+            XmlEvent::Text(text) => {
+                if let Some(kid) = &pending_default_key {
+                    let decl = keys.get_mut(kid).expect("validated above");
+                    decl.default = Some(parse_value(decl.ty, &text, kid)?);
+                } else if let Some(kid) = pending_data_key.clone() {
+                    data_had_text = true;
+                    let decl = keys.get(&kid).ok_or_else(|| {
+                        GraphmlError::Schema(format!("<data> references undeclared key `{kid}`"))
+                    })?;
+                    let value = parse_value(decl.ty, &text, &kid)?;
+                    let b = builder.as_mut().expect("data implies graph");
+                    match &current {
+                        Some(Target::Node(n)) => {
+                            if decl.domain == GmlDomain::Edge {
+                                return Err(GraphmlError::Schema(format!(
+                                    "edge key `{kid}` used on a node"
+                                )));
+                            }
+                            b.set_node_attr(*n, &decl.name, value);
+                        }
+                        Some(Target::Edge(e)) => {
+                            if decl.domain == GmlDomain::Node {
+                                return Err(GraphmlError::Schema(format!(
+                                    "node key `{kid}` used on an edge"
+                                )));
+                            }
+                            b.set_edge_attr(*e, &decl.name, value);
+                        }
+                        None => unreachable!("pending_data_key implies a target"),
+                    }
+                }
+                // Other stray text (inside <graphml> etc.) is ignored.
+            }
+        }
+    }
+    if !stack.is_empty() {
+        return Err(GraphmlError::Schema(format!(
+            "unclosed element <{}>",
+            stack.last().unwrap()
+        )));
+    }
+    let builder = builder.ok_or_else(|| GraphmlError::Schema("no <graph> element".into()))?;
+    Ok(builder.build())
+}
+
+fn get_attr(attrs: &[(String, String)], name: &str) -> Option<String> {
+    attrs
+        .iter()
+        .find(|(k, _)| local_name(k) == name || k == name)
+        .map(|(_, v)| v.clone())
+}
+
+fn local_name(name: &str) -> &str {
+    match name.rfind(':') {
+        Some(i) => &name[i + 1..],
+        None => name,
+    }
+}
+
+/// Serialize a [`Network`] to a GraphML document.
+///
+/// Keys are synthesized from the attribute usage in the network: for every
+/// attribute name used on nodes a node-domain key is emitted, and likewise
+/// for edges. The attribute *type* is taken from the first value observed;
+/// if later values disagree the key is promoted to `string` and every value
+/// is written in display form.
+pub fn to_string(net: &Network) -> String {
+    // Gather (name, domain) → type.
+    let mut node_keys: Vec<(String, GmlType)> = Vec::new();
+    let mut edge_keys: Vec<(String, GmlType)> = Vec::new();
+
+    let record = |keys: &mut Vec<(String, GmlType)>, name: &str, v: &AttrValue| {
+        let ty = match v {
+            AttrValue::Bool(_) => GmlType::Bool,
+            AttrValue::Num(_) => GmlType::Num,
+            AttrValue::Str(_) => GmlType::Str,
+        };
+        match keys.iter_mut().find(|(n, _)| n == name) {
+            Some((_, t)) => {
+                if *t != ty {
+                    *t = GmlType::Str;
+                }
+            }
+            None => keys.push((name.to_string(), ty)),
+        }
+    };
+
+    for n in net.node_ids() {
+        for (aid, v) in net.node_attrs(n) {
+            record(&mut node_keys, net.schema().name(aid), v);
+        }
+    }
+    for e in net.edge_refs() {
+        for (aid, v) in net.edge_attrs(e.id) {
+            record(&mut edge_keys, net.schema().name(aid), v);
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    out.push_str("<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n");
+    for (i, (name, ty)) in node_keys.iter().enumerate() {
+        out.push_str(&format!(
+            "  <key id=\"dn{i}\" for=\"node\" attr.name=\"{}\" attr.type=\"{}\"/>\n",
+            escape_attr(name),
+            ty.name()
+        ));
+    }
+    for (i, (name, ty)) in edge_keys.iter().enumerate() {
+        out.push_str(&format!(
+            "  <key id=\"de{i}\" for=\"edge\" attr.name=\"{}\" attr.type=\"{}\"/>\n",
+            escape_attr(name),
+            ty.name()
+        ));
+    }
+    let edgedefault = if net.is_undirected() {
+        "undirected"
+    } else {
+        "directed"
+    };
+    let gname = if net.name().is_empty() {
+        "G"
+    } else {
+        net.name()
+    };
+    out.push_str(&format!(
+        "  <graph id=\"{}\" edgedefault=\"{edgedefault}\">\n",
+        escape_attr(gname)
+    ));
+
+    let key_idx = |keys: &[(String, GmlType)], name: &str| -> usize {
+        keys.iter().position(|(n, _)| n == name).expect("recorded")
+    };
+
+    for n in net.node_ids() {
+        let attrs: Vec<_> = net.node_attrs(n).collect();
+        if attrs.is_empty() {
+            out.push_str(&format!(
+                "    <node id=\"{}\"/>\n",
+                escape_attr(net.node_name(n))
+            ));
+        } else {
+            out.push_str(&format!(
+                "    <node id=\"{}\">\n",
+                escape_attr(net.node_name(n))
+            ));
+            for (aid, v) in attrs {
+                let name = net.schema().name(aid);
+                let i = key_idx(&node_keys, name);
+                out.push_str(&format!(
+                    "      <data key=\"dn{i}\">{}</data>\n",
+                    escape_text(&format_value(v, node_keys[i].1))
+                ));
+            }
+            out.push_str("    </node>\n");
+        }
+    }
+    for e in net.edge_refs() {
+        let s = escape_attr(net.node_name(e.src));
+        let t = escape_attr(net.node_name(e.dst));
+        let attrs: Vec<_> = net.edge_attrs(e.id).collect();
+        if attrs.is_empty() {
+            out.push_str(&format!("    <edge source=\"{s}\" target=\"{t}\"/>\n"));
+        } else {
+            out.push_str(&format!("    <edge source=\"{s}\" target=\"{t}\">\n"));
+            for (aid, v) in attrs {
+                let name = net.schema().name(aid);
+                let i = key_idx(&edge_keys, name);
+                out.push_str(&format!(
+                    "      <data key=\"de{i}\">{}</data>\n",
+                    escape_text(&format_value(v, edge_keys[i].1))
+                ));
+            }
+            out.push_str("    </edge>\n");
+        }
+    }
+    out.push_str("  </graph>\n</graphml>\n");
+    out
+}
+
+fn format_value(v: &AttrValue, declared: GmlType) -> String {
+    match (v, declared) {
+        // Promoted-to-string keys write every value in display form.
+        (_, GmlType::Str) => v.to_string(),
+        (AttrValue::Num(x), _) => {
+            // Use enough precision for f64 round-trip.
+            format!("{x:?}")
+        }
+        (other, _) => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"<?xml version="1.0"?>
+<graphml>
+  <key id="d0" for="node" attr.name="osType" attr.type="string"/>
+  <key id="d1" for="edge" attr.name="avgDelay" attr.type="double"/>
+  <key id="d2" for="node" attr.name="up" attr.type="boolean">
+    <default>true</default>
+  </key>
+  <graph id="plab" edgedefault="undirected">
+    <node id="n0"><data key="d0">linux-2.6</data></node>
+    <node id="n1"/>
+    <edge source="n0" target="n1"><data key="d1">42.5</data></edge>
+  </graph>
+</graphml>"#;
+
+    #[test]
+    fn parse_basic_document() {
+        let net = from_str(DOC).unwrap();
+        assert_eq!(net.name(), "plab");
+        assert!(net.is_undirected());
+        assert_eq!(net.node_count(), 2);
+        assert_eq!(net.edge_count(), 1);
+        let n0 = net.node_by_name("n0").unwrap();
+        assert_eq!(
+            net.node_attr_by_name(n0, "osType").and_then(AttrValue::as_str),
+            Some("linux-2.6")
+        );
+        // Default applied to both nodes.
+        let n1 = net.node_by_name("n1").unwrap();
+        assert_eq!(
+            net.node_attr_by_name(n1, "up").and_then(AttrValue::as_bool),
+            Some(true)
+        );
+        let e = net.find_edge(n0, n1).unwrap();
+        assert_eq!(
+            net.edge_attr_by_name(e, "avgDelay").and_then(AttrValue::as_num),
+            Some(42.5)
+        );
+    }
+
+    #[test]
+    fn directed_graph() {
+        let doc = r#"<graphml><graph edgedefault="directed">
+            <node id="a"/><node id="b"/>
+            <edge source="a" target="b"/>
+        </graph></graphml>"#;
+        let net = from_str(doc).unwrap();
+        assert!(!net.is_undirected());
+        let (a, b) = (
+            net.node_by_name("a").unwrap(),
+            net.node_by_name("b").unwrap(),
+        );
+        assert!(net.has_edge(a, b));
+        assert!(!net.has_edge(b, a));
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_and_attrs() {
+        let net = from_str(DOC).unwrap();
+        let doc2 = to_string(&net);
+        let net2 = from_str(&doc2).unwrap();
+        assert_eq!(net.node_count(), net2.node_count());
+        assert_eq!(net.edge_count(), net2.edge_count());
+        for n in net.node_ids() {
+            let name = net.node_name(n);
+            let m = net2.node_by_name(name).unwrap();
+            for (aid, v) in net.node_attrs(n) {
+                let aname = net.schema().name(aid);
+                assert_eq!(net2.node_attr_by_name(m, aname), Some(v), "attr {aname}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(matches!(
+            from_str("<graphml></graphml>"),
+            Err(GraphmlError::Schema(_))
+        ));
+        assert!(matches!(
+            from_str("<graphml><graph><node id=\"a\"/><node id=\"a\"/></graph></graphml>"),
+            Err(GraphmlError::Graph(_))
+        ));
+        assert!(matches!(
+            from_str("<graphml><graph><edge source=\"x\" target=\"y\"/></graph></graphml>"),
+            Err(GraphmlError::Graph(_))
+        ));
+        assert!(matches!(
+            from_str(
+                r#"<graphml><key id="k" for="edge" attr.name="d" attr.type="double"/>
+                   <graph><node id="a"><data key="k">1.0</data></node></graph></graphml>"#
+            ),
+            Err(GraphmlError::Schema(_))
+        ));
+        assert!(matches!(
+            from_str(
+                r#"<graphml><key id="k" for="node" attr.name="d" attr.type="double"/>
+                   <graph><node id="a"><data key="k">oops</data></node></graph></graphml>"#
+            ),
+            Err(GraphmlError::BadValue { .. })
+        ));
+        // Mismatched tags.
+        assert!(from_str("<graphml><graph><node id=\"a\"></graph></graphml>").is_err());
+        // Two graphs.
+        assert!(from_str("<graphml><graph></graph><graph></graph></graphml>").is_err());
+    }
+
+    #[test]
+    fn undeclared_data_key_rejected() {
+        let doc = r#"<graphml><graph>
+            <node id="a"><data key="nope">1</data></node>
+        </graph></graphml>"#;
+        assert!(matches!(from_str(doc), Err(GraphmlError::Schema(_))));
+    }
+
+    #[test]
+    fn namespaced_document_accepted() {
+        let doc = r#"<g:graphml xmlns:g="http://graphml.graphdrawing.org/xmlns">
+            <g:graph g:id="x" edgedefault="undirected">
+              <g:node g:id="a"/><g:node g:id="b"/>
+              <g:edge source="a" target="b"/>
+            </g:graph></g:graphml>"#;
+        let net = from_str(doc).unwrap();
+        assert_eq!(net.node_count(), 2);
+        assert_eq!(net.edge_count(), 1);
+    }
+
+    #[test]
+    fn float_precision_round_trips() {
+        let mut b = NetworkBuilder::new(Direction::Undirected);
+        let a = b.add_node("a").unwrap();
+        let c = b.add_node("b").unwrap();
+        b.add_edge_with(a, c, &[("d", AttrValue::Num(0.1 + 0.2))])
+            .unwrap();
+        let net = b.build();
+        let net2 = from_str(&to_string(&net)).unwrap();
+        let e = net2.find_edge(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(
+            net2.edge_attr_by_name(e, "d").and_then(AttrValue::as_num),
+            Some(0.1 + 0.2)
+        );
+    }
+}

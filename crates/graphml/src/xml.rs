@@ -1,0 +1,415 @@
+//! A minimal, dependency-free XML pull parser.
+//!
+//! GraphML documents (§VI-A of the paper) use a small, regular subset of
+//! XML: declarations, comments, elements with attributes, and character
+//! data. This tokenizer supports exactly that subset plus CDATA sections and
+//! the five predefined entities. It does not support DTDs, processing
+//! instructions beyond the XML declaration, or namespaces (namespace
+//! prefixes are preserved verbatim in names).
+
+use std::fmt;
+
+/// One XML event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<name attr="v" …>`; `self_closing` is true for `<name … />`.
+    StartTag {
+        /// Element name.
+        name: String,
+        /// Attributes in document order.
+        attrs: Vec<(String, String)>,
+        /// True for self-closing tags.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Element name.
+        name: String,
+    },
+    /// Character data between tags (entity-decoded, never empty).
+    Text(String),
+}
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset into the document where the error was detected.
+    pub offset: usize,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Pull parser over a complete document string.
+pub struct XmlParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    /// Create a parser over `input`.
+    pub fn new(input: &'a str) -> Self {
+        XmlParser {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        XmlError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_until(&mut self, pat: &str) -> Result<(), XmlError> {
+        let hay = &self.input[self.pos..];
+        match find_sub(hay, pat.as_bytes()) {
+            Some(i) => {
+                self.pos += i + pat.len();
+                Ok(())
+            }
+            None => Err(self.err(format!("unterminated construct, expected `{pat}`"))),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn read_attr_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let raw = &self.input[start..self.pos];
+                self.pos += 1;
+                return decode_entities(raw).map_err(|m| XmlError {
+                    offset: start,
+                    message: m,
+                });
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated attribute value"))
+    }
+
+    /// Next event, or `None` at end of document.
+    pub fn next_event(&mut self) -> Result<Option<XmlEvent>, XmlError> {
+        loop {
+            if self.pos >= self.input.len() {
+                return Ok(None);
+            }
+            if self.peek() == Some(b'<') {
+                if self.starts_with("<!--") {
+                    self.skip_until("-->")?;
+                    continue;
+                }
+                if self.starts_with("<?") {
+                    self.skip_until("?>")?;
+                    continue;
+                }
+                if self.starts_with("<![CDATA[") {
+                    let start = self.pos + "<![CDATA[".len();
+                    let hay = &self.input[start..];
+                    let end = find_sub(hay, b"]]>")
+                        .ok_or_else(|| self.err("unterminated CDATA section"))?;
+                    let text = String::from_utf8_lossy(&hay[..end]).into_owned();
+                    self.pos = start + end + 3;
+                    if text.is_empty() {
+                        continue;
+                    }
+                    return Ok(Some(XmlEvent::Text(text)));
+                }
+                if self.starts_with("<!") {
+                    // DOCTYPE or similar declaration — skip to closing '>'.
+                    self.skip_until(">")?;
+                    continue;
+                }
+                if self.starts_with("</") {
+                    self.pos += 2;
+                    self.skip_ws();
+                    let name = self.read_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected `>` after closing tag name"));
+                    }
+                    self.pos += 1;
+                    return Ok(Some(XmlEvent::EndTag { name }));
+                }
+                // Start tag.
+                self.pos += 1;
+                let name = self.read_name()?;
+                let mut attrs = Vec::new();
+                loop {
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b'>') => {
+                            self.pos += 1;
+                            return Ok(Some(XmlEvent::StartTag {
+                                name,
+                                attrs,
+                                self_closing: false,
+                            }));
+                        }
+                        Some(b'/') => {
+                            self.pos += 1;
+                            if self.peek() != Some(b'>') {
+                                return Err(self.err("expected `>` after `/`"));
+                            }
+                            self.pos += 1;
+                            return Ok(Some(XmlEvent::StartTag {
+                                name,
+                                attrs,
+                                self_closing: true,
+                            }));
+                        }
+                        Some(_) => {
+                            let aname = self.read_name()?;
+                            self.skip_ws();
+                            if self.peek() != Some(b'=') {
+                                return Err(self.err("expected `=` in attribute"));
+                            }
+                            self.pos += 1;
+                            self.skip_ws();
+                            let value = self.read_attr_value()?;
+                            attrs.push((aname, value));
+                        }
+                        None => return Err(self.err("unterminated start tag")),
+                    }
+                }
+            }
+            // Character data up to the next '<'.
+            let start = self.pos;
+            while self.pos < self.input.len() && self.peek() != Some(b'<') {
+                self.pos += 1;
+            }
+            let raw = &self.input[start..self.pos];
+            let text = decode_entities(raw).map_err(|m| XmlError {
+                offset: start,
+                message: m,
+            })?;
+            if text.trim().is_empty() {
+                continue;
+            }
+            return Ok(Some(XmlEvent::Text(text)));
+        }
+    }
+}
+
+fn find_sub(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || hay.len() < needle.len() {
+        return None;
+    }
+    (0..=hay.len() - needle.len()).find(|&i| &hay[i..i + needle.len()] == needle)
+}
+
+/// Decode the five predefined entities plus numeric character references.
+fn decode_entities(raw: &[u8]) -> Result<String, String> {
+    let s = String::from_utf8_lossy(raw);
+    if !s.contains('&') {
+        return Ok(s.into_owned());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s.as_ref();
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| "unterminated entity reference".to_string())?;
+        let ent = &rest[1..semi];
+        match ent {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                let code = u32::from_str_radix(&ent[2..], 16)
+                    .map_err(|_| format!("bad numeric entity `&{ent};`"))?;
+                out.push(char::from_u32(code).ok_or("invalid character reference")?);
+            }
+            _ if ent.starts_with('#') => {
+                let code: u32 = ent[1..]
+                    .parse()
+                    .map_err(|_| format!("bad numeric entity `&{ent};`"))?;
+                out.push(char::from_u32(code).ok_or("invalid character reference")?);
+            }
+            _ => return Err(format!("unknown entity `&{ent};`")),
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Escape text for use inside an XML text node.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape text for use inside a double-quoted attribute value.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(doc: &str) -> Vec<XmlEvent> {
+        let mut p = XmlParser::new(doc);
+        let mut out = Vec::new();
+        while let Some(e) = p.next_event().unwrap() {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn basic_document() {
+        let evs = events(r#"<?xml version="1.0"?><a x="1"><b/>hi</a>"#);
+        assert_eq!(
+            evs,
+            vec![
+                XmlEvent::StartTag {
+                    name: "a".into(),
+                    attrs: vec![("x".into(), "1".into())],
+                    self_closing: false
+                },
+                XmlEvent::StartTag {
+                    name: "b".into(),
+                    attrs: vec![],
+                    self_closing: true
+                },
+                XmlEvent::Text("hi".into()),
+                XmlEvent::EndTag { name: "a".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_whitespace_skipped() {
+        let evs = events("<a>\n  <!-- note -->\n  <b></b>\n</a>");
+        assert_eq!(evs.len(), 4);
+    }
+
+    #[test]
+    fn entity_decoding() {
+        let evs = events(r#"<a k="&lt;&amp;&quot;">x &gt; y &#65;&#x42;</a>"#);
+        match &evs[0] {
+            XmlEvent::StartTag { attrs, .. } => assert_eq!(attrs[0].1, "<&\""),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(evs[1], XmlEvent::Text("x > y AB".into()));
+    }
+
+    #[test]
+    fn cdata_passthrough() {
+        let evs = events("<a><![CDATA[1 < 2 && 3]]></a>");
+        assert_eq!(evs[1], XmlEvent::Text("1 < 2 && 3".into()));
+    }
+
+    #[test]
+    fn single_quoted_attrs_and_doctype() {
+        let evs = events("<!DOCTYPE graphml><g id='q'/>");
+        assert_eq!(
+            evs[0],
+            XmlEvent::StartTag {
+                name: "g".into(),
+                attrs: vec![("id".into(), "q".into())],
+                self_closing: true
+            }
+        );
+    }
+
+    #[test]
+    fn errors_reported() {
+        let mut p = XmlParser::new("<a x=>");
+        assert!(p.next_event().is_err());
+        let mut p = XmlParser::new("<a>&bogus;</a>");
+        p.next_event().unwrap();
+        assert!(p.next_event().is_err());
+        let mut p = XmlParser::new("<!-- never closed");
+        assert!(p.next_event().is_err());
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        let nasty = r#"a<b&c>"d'"#;
+        let doc = format!("<t k=\"{}\">{}</t>", escape_attr(nasty), escape_text(nasty));
+        let evs = events(&doc);
+        match &evs[0] {
+            XmlEvent::StartTag { attrs, .. } => assert_eq!(attrs[0].1, nasty),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(evs[1], XmlEvent::Text(nasty.into()));
+    }
+
+    #[test]
+    fn namespace_prefix_preserved() {
+        let evs = events("<g:node g:id=\"n0\"/>");
+        match &evs[0] {
+            XmlEvent::StartTag { name, attrs, .. } => {
+                assert_eq!(name, "g:node");
+                assert_eq!(attrs[0].0, "g:id");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Property test: GraphML serialization round-trips arbitrary networks.
+
+use graphml::{from_str, to_string};
+use netgraph::{AttrValue, Direction, Network, NodeId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum V {
+    N(f64),
+    B(bool),
+    S(String),
+}
+
+fn arb_value() -> impl Strategy<Value = V> {
+    prop_oneof![
+        // Finite floats only: NaN does not round-trip by equality, and the
+        // embedding service never produces NaN measurements.
+        (-1e9f64..1e9f64).prop_map(V::N),
+        any::<bool>().prop_map(V::B),
+        "[a-zA-Z0-9 <>&\"_.-]{0,12}".prop_map(V::S),
+    ]
+}
+
+fn to_attr(v: &V) -> AttrValue {
+    match v {
+        V::N(x) => AttrValue::Num(*x),
+        V::B(b) => AttrValue::Bool(*b),
+        V::S(s) => AttrValue::str(s.trim()), // data values are trimmed on parse
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn round_trip(
+        n in 2usize..20,
+        directed in any::<bool>(),
+        edges in proptest::collection::vec((0u32..20, 0u32..20), 0..40),
+        node_attrs in proptest::collection::vec((0u32..20, 0usize..3, arb_value()), 0..20),
+        edge_attrs in proptest::collection::vec((any::<prop::sample::Index>(), 0usize..3, arb_value()), 0..20),
+    ) {
+        let dir = if directed { Direction::Directed } else { Direction::Undirected };
+        let mut g = Network::new(dir);
+        g.set_name("t");
+        for i in 0..n {
+            g.add_node(format!("n{i}"));
+        }
+        for (u, v) in edges {
+            let (u, v) = (NodeId(u % n as u32), NodeId(v % n as u32));
+            if u != v && !g.has_edge(u, v) {
+                g.add_edge(u, v);
+            }
+        }
+        // Attribute names: a0, a1, a2 per kind. Using the same small name
+        // pool across elements keeps types consistent per (name, domain)
+        // only when values agree — so constrain each name to one value kind
+        // by deriving the name from the kind.
+        for (node, slot, v) in node_attrs {
+            let node = NodeId(node % n as u32);
+            let name = format!("n{}{}", slot, kind_tag(&v));
+            g.set_node_attr(node, &name, to_attr(&v));
+        }
+        let ecount = g.edge_count();
+        if ecount > 0 {
+            for (ix, slot, v) in edge_attrs {
+                let e = netgraph::EdgeId(ix.index(ecount) as u32);
+                let name = format!("e{}{}", slot, kind_tag(&v));
+                g.set_edge_attr(e, &name, to_attr(&v));
+            }
+        }
+
+        let doc = to_string(&g);
+        let g2 = from_str(&doc).unwrap();
+
+        prop_assert_eq!(g.node_count(), g2.node_count());
+        prop_assert_eq!(g.edge_count(), g2.edge_count());
+        prop_assert_eq!(g.is_undirected(), g2.is_undirected());
+
+        for node in g.node_ids() {
+            let name = g.node_name(node);
+            let m = g2.node_by_name(name).unwrap();
+            for (aid, v) in g.node_attrs(node) {
+                let aname = g.schema().name(aid);
+                prop_assert_eq!(g2.node_attr_by_name(m, aname), Some(v), "node attr {}", aname);
+            }
+        }
+        for e in g.edge_refs() {
+            let s2 = g2.node_by_name(g.node_name(e.src)).unwrap();
+            let t2 = g2.node_by_name(g.node_name(e.dst)).unwrap();
+            let e2 = g2.find_edge(s2, t2).unwrap();
+            for (aid, v) in g.edge_attrs(e.id) {
+                let aname = g.schema().name(aid);
+                prop_assert_eq!(g2.edge_attr_by_name(e2, aname), Some(v), "edge attr {}", aname);
+            }
+        }
+    }
+}
+
+fn kind_tag(v: &V) -> &'static str {
+    match v {
+        V::N(_) => "num",
+        V::B(_) => "bool",
+        V::S(_) => "str",
+    }
+}

@@ -1,0 +1,334 @@
+//! Basic graph algorithms used by the generators and the embedding search:
+//! BFS, connectivity, connected components, and degree orderings.
+
+use crate::graph::{Network, NodeId};
+use std::collections::VecDeque;
+
+/// Breadth-first traversal from `start`, returning visited nodes in visit
+/// order. Directed graphs follow out-edges only.
+pub fn bfs_order(net: &Network, start: NodeId) -> Vec<NodeId> {
+    let n = net.node_count();
+    let mut seen = vec![false; n];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &(v, _) in net.neighbors(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// BFS distances (hop counts) from `start`; `None` for unreachable nodes.
+pub fn bfs_distances(net: &Network, start: NodeId) -> Vec<Option<u32>> {
+    let n = net.node_count();
+    let mut dist: Vec<Option<u32>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    dist[start.index()] = Some(0);
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].unwrap();
+        for &(v, _) in net.neighbors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// True when every node is reachable from node 0 following edges in both
+/// directions (weak connectivity for directed graphs). Empty graphs are
+/// connected by convention.
+pub fn is_connected(net: &Network) -> bool {
+    let n = net.node_count();
+    if n == 0 {
+        return true;
+    }
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    seen[0] = true;
+    queue.push_back(NodeId(0));
+    let mut count = 1;
+    while let Some(u) = queue.pop_front() {
+        for &(v, _) in net.neighbors(u).iter().chain(net.in_neighbors(u)) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                count += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    count == n
+}
+
+/// Weakly connected components; each inner vector lists the member nodes of
+/// one component in ascending id order.
+pub fn connected_components(net: &Network) -> Vec<Vec<NodeId>> {
+    let n = net.node_count();
+    let mut comp: Vec<Option<usize>> = vec![None; n];
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+    for s in 0..n {
+        if comp[s].is_some() {
+            continue;
+        }
+        let cid = components.len();
+        let mut members = Vec::new();
+        let mut queue = VecDeque::new();
+        comp[s] = Some(cid);
+        queue.push_back(NodeId(s as u32));
+        while let Some(u) = queue.pop_front() {
+            members.push(u);
+            for &(v, _) in net.neighbors(u).iter().chain(net.in_neighbors(u)) {
+                if comp[v.index()].is_none() {
+                    comp[v.index()] = Some(cid);
+                    queue.push_back(v);
+                }
+            }
+        }
+        members.sort();
+        components.push(members);
+    }
+    components
+}
+
+/// Node ids sorted by descending total degree (ties by ascending id).
+/// Used by LNS to seed the covered set with the most-connected query node.
+pub fn nodes_by_degree_desc(net: &Network) -> Vec<NodeId> {
+    let mut ids: Vec<NodeId> = net.node_ids().collect();
+    ids.sort_by_key(|&v| (std::cmp::Reverse(net.total_degree(v)), v));
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Direction;
+
+    fn cycle(n: usize) -> Network {
+        let mut g = Network::new(Direction::Undirected);
+        let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(format!("n{i}"))).collect();
+        for i in 0..n {
+            g.add_edge(ids[i], ids[(i + 1) % n]);
+        }
+        g
+    }
+
+    #[test]
+    fn bfs_visits_all_in_connected_graph() {
+        let g = cycle(6);
+        let order = bfs_order(&g, NodeId(0));
+        assert_eq!(order.len(), 6);
+        assert_eq!(order[0], NodeId(0));
+    }
+
+    #[test]
+    fn bfs_distances_on_cycle() {
+        let g = cycle(6);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[3], Some(3)); // antipodal on a 6-cycle
+        assert_eq!(d[5], Some(1));
+    }
+
+    #[test]
+    fn connectivity_detects_split() {
+        let mut g = cycle(4);
+        g.add_node("island");
+        assert!(!is_connected(&g));
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[1], vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn connectivity_of_connected_and_empty() {
+        assert!(is_connected(&cycle(5)));
+        let empty = Network::new(Direction::Undirected);
+        assert!(is_connected(&empty));
+        assert!(connected_components(&empty).is_empty());
+    }
+
+    #[test]
+    fn directed_weak_connectivity() {
+        let mut g = Network::new(Direction::Directed);
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(b, a); // only edge points *into* a
+        assert!(is_connected(&g)); // weakly connected
+        let d = bfs_distances(&g, a);
+        assert_eq!(d[b.index()], None); // but b unreachable along out-edges
+    }
+
+    #[test]
+    fn degree_ordering() {
+        let mut g = Network::new(Direction::Undirected);
+        let hub = g.add_node("hub");
+        let leaves: Vec<NodeId> = (0..3).map(|i| g.add_node(format!("l{i}"))).collect();
+        for &l in &leaves {
+            g.add_edge(hub, l);
+        }
+        g.add_edge(leaves[0], leaves[1]);
+        let order = nodes_by_degree_desc(&g);
+        assert_eq!(order[0], hub);
+        // leaves 0 and 1 have degree 2, leaf 2 degree 1.
+        assert_eq!(order[3], leaves[2]);
+    }
+}
+
+/// Enumerate all simple paths from `src` to `dst` with at most `max_hops`
+/// edges, invoking `visit` with each path's node sequence (including both
+/// endpoints). Used by the link→path embedding extension, where a virtual
+/// link may map onto a short host path (§VIII of the NETEMBED paper).
+///
+/// The hop bound keeps enumeration tractable; callers choose `max_hops`
+/// small (2–4). `visit` returning `false` aborts the enumeration early.
+pub fn for_each_simple_path(
+    net: &Network,
+    src: NodeId,
+    dst: NodeId,
+    max_hops: usize,
+    visit: &mut impl FnMut(&[NodeId]) -> bool,
+) {
+    if max_hops == 0 || src == dst {
+        return;
+    }
+    let mut stack: Vec<NodeId> = vec![src];
+    let mut on_path = vec![false; net.node_count()];
+    on_path[src.index()] = true;
+    let mut keep_going = true;
+    dfs_paths(net, dst, max_hops, &mut stack, &mut on_path, visit, &mut keep_going);
+}
+
+fn dfs_paths(
+    net: &Network,
+    dst: NodeId,
+    max_hops: usize,
+    stack: &mut Vec<NodeId>,
+    on_path: &mut [bool],
+    visit: &mut impl FnMut(&[NodeId]) -> bool,
+    keep_going: &mut bool,
+) {
+    if !*keep_going {
+        return;
+    }
+    let u = *stack.last().expect("non-empty stack");
+    for &(v, _) in net.neighbors(u) {
+        if !*keep_going {
+            return;
+        }
+        if v == dst {
+            stack.push(v);
+            if !visit(stack) {
+                *keep_going = false;
+            }
+            stack.pop();
+            continue;
+        }
+        if stack.len() < max_hops && !on_path[v.index()] {
+            on_path[v.index()] = true;
+            stack.push(v);
+            dfs_paths(net, dst, max_hops, stack, on_path, visit, keep_going);
+            stack.pop();
+            on_path[v.index()] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod path_tests {
+    use super::*;
+    use crate::graph::Direction;
+
+    fn diamond() -> Network {
+        // a - b - d and a - c - d plus direct a - d.
+        let mut g = Network::new(Direction::Undirected);
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b);
+        g.add_edge(b, d);
+        g.add_edge(a, c);
+        g.add_edge(c, d);
+        g.add_edge(a, d);
+        g
+    }
+
+    fn collect_paths(net: &Network, s: NodeId, t: NodeId, hops: usize) -> Vec<Vec<NodeId>> {
+        let mut out = Vec::new();
+        for_each_simple_path(net, s, t, hops, &mut |p| {
+            out.push(p.to_vec());
+            true
+        });
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn finds_all_bounded_paths() {
+        let g = diamond();
+        let (a, d) = (NodeId(0), NodeId(3));
+        let one_hop = collect_paths(&g, a, d, 1);
+        assert_eq!(one_hop, vec![vec![a, d]]);
+        let two_hop = collect_paths(&g, a, d, 2);
+        assert_eq!(two_hop.len(), 3); // direct + via b + via c
+        for p in &two_hop {
+            assert_eq!(p.first(), Some(&a));
+            assert_eq!(p.last(), Some(&d));
+        }
+    }
+
+    #[test]
+    fn paths_are_simple() {
+        let g = diamond();
+        let paths = collect_paths(&g, NodeId(0), NodeId(3), 4);
+        for p in &paths {
+            let mut seen = std::collections::HashSet::new();
+            for n in p {
+                assert!(seen.insert(*n), "repeated node in path {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn early_abort() {
+        let g = diamond();
+        let mut count = 0;
+        for_each_simple_path(&g, NodeId(0), NodeId(3), 4, &mut |_| {
+            count += 1;
+            count < 2
+        });
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn zero_hops_and_self_target_yield_nothing() {
+        let g = diamond();
+        assert!(collect_paths(&g, NodeId(0), NodeId(3), 0).is_empty());
+        assert!(collect_paths(&g, NodeId(0), NodeId(0), 3).is_empty());
+    }
+
+    #[test]
+    fn directed_paths_follow_orientation() {
+        let mut g = Network::new(Direction::Directed);
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(c, a); // back edge: no a→…→c path may use it
+        let paths = collect_paths(&g, a, c, 3);
+        assert_eq!(paths, vec![vec![a, b, c]]);
+        let none = collect_paths(&g, c, b, 1);
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! Typed, interned attributes for nodes and edges.
+//!
+//! GraphML (§VI-A of the paper) attaches arbitrary typed key/value data to
+//! nodes and edges. We intern attribute *names* per network into small dense
+//! [`AttrId`]s so that the constraint-expression evaluator never hashes a
+//! string on the search hot path: expression compilation resolves
+//! `vEdge.avgDelay` to an `AttrId` once, and evaluation scans an inline
+//! vector of `(AttrId, AttrValue)` pairs.
+
+use rustc_hash::FxHashMap;
+use smallvec::SmallVec;
+use std::fmt;
+use std::sync::Arc;
+
+/// Dense identifier of an attribute name within one [`AttrSchema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// Index into schema tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The value of a node or edge attribute.
+///
+/// GraphML's `int`/`long`/`float`/`double` all map to [`AttrValue::Num`]
+/// (constraint expressions are evaluated in `f64`, matching the paper's
+/// Java implementation); `boolean` maps to [`AttrValue::Bool`]; `string`
+/// maps to [`AttrValue::Str`]. Strings are reference-counted so cloning an
+/// attribute map (e.g. when sampling a subgraph query from a host network)
+/// does not copy string payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Numeric value (measurements: delay, bandwidth, loss rate, …).
+    Num(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Categorical value (OS type, link technology, node name bindings, …).
+    Str(Arc<str>),
+}
+
+impl AttrValue {
+    /// Construct a string attribute.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        AttrValue::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Numeric view; `None` for non-numeric values.
+    #[inline]
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            AttrValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Boolean view; `None` for non-boolean values.
+    #[inline]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            AttrValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// String view; `None` for non-string values.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Name of the value's type, for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            AttrValue::Num(_) => "num",
+            AttrValue::Bool(_) => "bool",
+            AttrValue::Str(_) => "string",
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Num(x) => write!(f, "{x}"),
+            AttrValue::Bool(b) => write!(f, "{b}"),
+            AttrValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(x: f64) -> Self {
+        AttrValue::Num(x)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(x: i64) -> Self {
+        AttrValue::Num(x as f64)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(b: bool) -> Self {
+        AttrValue::Bool(b)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::str(s)
+    }
+}
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Str(Arc::from(s.as_str()))
+    }
+}
+
+/// Per-network registry of attribute names.
+///
+/// Both nodes and edges share one schema: an attribute called `delay` on a
+/// node and on an edge get the same [`AttrId`]. This matches GraphML, where
+/// a `<key>` declaration may apply to either domain.
+#[derive(Debug, Default, Clone)]
+pub struct AttrSchema {
+    names: Vec<Arc<str>>,
+    by_name: FxHashMap<Arc<str>, AttrId>,
+}
+
+impl AttrSchema {
+    /// Empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its id (stable across repeated calls).
+    pub fn intern(&mut self, name: &str) -> AttrId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let arc: Arc<str> = Arc::from(name);
+        let id = AttrId(u16::try_from(self.names.len()).expect("more than 65535 attribute names"));
+        self.names.push(arc.clone());
+        self.by_name.insert(arc, id);
+        id
+    }
+
+    /// Look up an already-interned name.
+    #[inline]
+    pub fn get(&self, name: &str) -> Option<AttrId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name for `id`.
+    #[inline]
+    pub fn name(&self, id: AttrId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned names.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no names are interned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (AttrId(i as u16), n.as_ref()))
+    }
+}
+
+/// Attribute storage for one node or edge.
+///
+/// Stored inline for up to four attributes — the workloads in the paper use
+/// one to three attributes per element (min/avg/max delay), so the common
+/// case never heap-allocates. Kept sorted by [`AttrId`] so lookup is a short
+/// linear scan with early exit and maps compare structurally.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct AttrMap {
+    entries: SmallVec<[(AttrId, AttrValue); 4]>,
+}
+
+impl AttrMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace the value for `id`.
+    pub fn set(&mut self, id: AttrId, value: AttrValue) {
+        match self.entries.binary_search_by_key(&id, |(k, _)| *k) {
+            Ok(pos) => self.entries[pos].1 = value,
+            Err(pos) => self.entries.insert(pos, (id, value)),
+        }
+    }
+
+    /// Value for `id`, if present.
+    #[inline]
+    pub fn get(&self, id: AttrId) -> Option<&AttrValue> {
+        // Attribute maps are tiny (≤ 4 in the inline case); a linear scan
+        // with early exit on the sorted keys beats binary search here.
+        for (k, v) in &self.entries {
+            if *k == id {
+                return Some(v);
+            }
+            if *k > id {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Remove the value for `id`, returning it if present.
+    pub fn remove(&mut self, id: AttrId) -> Option<AttrValue> {
+        match self.entries.binary_search_by_key(&id, |(k, _)| *k) {
+            Ok(pos) => Some(self.entries.remove(pos).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Number of attributes present.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no attributes are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate `(id, value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &AttrValue)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_stable() {
+        let mut s = AttrSchema::new();
+        let a = s.intern("avgDelay");
+        let b = s.intern("minDelay");
+        assert_ne!(a, b);
+        assert_eq!(s.intern("avgDelay"), a);
+        assert_eq!(s.name(a), "avgDelay");
+        assert_eq!(s.get("minDelay"), Some(b));
+        assert_eq!(s.get("maxDelay"), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn schema_iter_in_id_order() {
+        let mut s = AttrSchema::new();
+        let ids: Vec<AttrId> = ["a", "b", "c"].iter().map(|n| s.intern(n)).collect();
+        let seen: Vec<(AttrId, String)> =
+            s.iter().map(|(i, n)| (i, n.to_string())).collect();
+        assert_eq!(
+            seen,
+            vec![
+                (ids[0], "a".to_string()),
+                (ids[1], "b".to_string()),
+                (ids[2], "c".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn attr_map_set_get_replace() {
+        let mut m = AttrMap::new();
+        m.set(AttrId(3), AttrValue::Num(1.5));
+        m.set(AttrId(1), AttrValue::Bool(true));
+        m.set(AttrId(3), AttrValue::Num(2.5));
+        assert_eq!(m.get(AttrId(3)).and_then(AttrValue::as_num), Some(2.5));
+        assert_eq!(m.get(AttrId(1)).and_then(AttrValue::as_bool), Some(true));
+        assert_eq!(m.get(AttrId(0)), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn attr_map_iter_sorted() {
+        let mut m = AttrMap::new();
+        for id in [5u16, 2, 9, 0] {
+            m.set(AttrId(id), AttrValue::Num(id as f64));
+        }
+        let keys: Vec<u16> = m.iter().map(|(k, _)| k.0).collect();
+        assert_eq!(keys, vec![0, 2, 5, 9]);
+    }
+
+    #[test]
+    fn attr_map_remove() {
+        let mut m = AttrMap::new();
+        m.set(AttrId(1), AttrValue::str("linux"));
+        assert_eq!(m.remove(AttrId(1)).as_ref().and_then(AttrValue::as_str), Some("linux"));
+        assert_eq!(m.remove(AttrId(1)), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn value_views_and_types() {
+        assert_eq!(AttrValue::Num(4.0).as_num(), Some(4.0));
+        assert_eq!(AttrValue::Num(4.0).as_bool(), None);
+        assert_eq!(AttrValue::Bool(false).as_bool(), Some(false));
+        assert_eq!(AttrValue::str("x").as_str(), Some("x"));
+        assert_eq!(AttrValue::from(3i64).as_num(), Some(3.0));
+        assert_eq!(AttrValue::from("s").type_name(), "string");
+        assert_eq!(AttrValue::from(true).type_name(), "bool");
+        assert_eq!(format!("{}", AttrValue::Num(1.25)), "1.25");
+    }
+}

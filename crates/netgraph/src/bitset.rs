@@ -1,0 +1,267 @@
+//! A fixed-capacity bitset over node indices.
+//!
+//! Candidate sets in the embedding search are subsets of the hosting
+//! network's nodes. The hosting networks in the paper top out at a few
+//! thousand nodes, so a flat `u64`-block bitset gives allocation-free,
+//! branch-light intersection/difference — the inner loop of the ECF filter
+//! evaluation (§V-A, expression (2)).
+
+use crate::graph::NodeId;
+
+/// Fixed-capacity set of [`NodeId`]s backed by `u64` blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeBitSet {
+    blocks: Vec<u64>,
+    capacity: usize,
+}
+
+impl NodeBitSet {
+    /// Empty set able to hold ids `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        NodeBitSet {
+            blocks: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Set holding every id in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        for b in &mut s.blocks {
+            *b = u64::MAX;
+        }
+        s.trim();
+        s
+    }
+
+    /// Build from an iterator of ids.
+    pub fn from_iter(capacity: usize, ids: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut s = Self::new(capacity);
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// Capacity this set was created with.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Zero out bits beyond `capacity` in the last block.
+    #[inline]
+    fn trim(&mut self) {
+        let rem = self.capacity % 64;
+        if rem != 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Insert `id`. Panics if out of capacity.
+    #[inline]
+    pub fn insert(&mut self, id: NodeId) {
+        let i = id.index();
+        debug_assert!(i < self.capacity, "id {i} out of capacity {}", self.capacity);
+        self.blocks[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Remove `id`.
+    #[inline]
+    pub fn remove(&mut self, id: NodeId) {
+        let i = id.index();
+        if i < self.capacity {
+            self.blocks[i / 64] &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: NodeId) -> bool {
+        let i = id.index();
+        i < self.capacity && (self.blocks[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of ids present.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// True when the set holds no ids.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        for b in &mut self.blocks {
+            *b = 0;
+        }
+    }
+
+    /// In-place intersection with `other`.
+    #[inline]
+    pub fn intersect_with(&mut self, other: &NodeBitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place union with `other`.
+    #[inline]
+    pub fn union_with(&mut self, other: &NodeBitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place difference: remove every id present in `other`.
+    #[inline]
+    pub fn subtract(&mut self, other: &NodeBitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !*b;
+        }
+    }
+
+    /// Intersect with a sorted candidate list, keeping only listed ids.
+    pub fn retain_sorted(&mut self, keep: &[NodeId]) {
+        let mut filtered = NodeBitSet::new(self.capacity);
+        for &id in keep {
+            if self.contains(id) {
+                filtered.insert(id);
+            }
+        }
+        *self = filtered;
+    }
+
+    /// Iterate ids in ascending order.
+    pub fn iter(&self) -> BitIter<'_> {
+        BitIter {
+            set: self,
+            block_idx: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// First (smallest) id present.
+    pub fn first(&self) -> Option<NodeId> {
+        self.iter().next()
+    }
+}
+
+/// Ascending iterator over a [`NodeBitSet`].
+pub struct BitIter<'a> {
+    set: &'a NodeBitSet,
+    block_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                return Some(NodeId((self.block_idx * 64 + bit) as u32));
+            }
+            self.block_idx += 1;
+            if self.block_idx >= self.set.blocks.len() {
+                return None;
+            }
+            self.current = self.set.blocks[self.block_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeBitSet {
+    type Item = NodeId;
+    type IntoIter = BitIter<'a>;
+    fn into_iter(self) -> BitIter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().copied().map(NodeId).collect()
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = NodeBitSet::new(130);
+        s.insert(NodeId(0));
+        s.insert(NodeId(64));
+        s.insert(NodeId(129));
+        assert!(s.contains(NodeId(0)));
+        assert!(s.contains(NodeId(64)));
+        assert!(s.contains(NodeId(129)));
+        assert!(!s.contains(NodeId(1)));
+        assert_eq!(s.len(), 3);
+        s.remove(NodeId(64));
+        assert!(!s.contains(NodeId(64)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn full_respects_capacity() {
+        let s = NodeBitSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(NodeId(69)));
+        assert!(!s.contains(NodeId(70)));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a0 = NodeBitSet::from_iter(100, ids(&[1, 5, 64, 99]));
+        let b = NodeBitSet::from_iter(100, ids(&[5, 64, 70]));
+
+        let mut inter = a0.clone();
+        inter.intersect_with(&b);
+        assert_eq!(inter.iter().collect::<Vec<_>>(), ids(&[5, 64]));
+
+        let mut uni = a0.clone();
+        uni.union_with(&b);
+        assert_eq!(uni.iter().collect::<Vec<_>>(), ids(&[1, 5, 64, 70, 99]));
+
+        let mut diff = a0.clone();
+        diff.subtract(&b);
+        assert_eq!(diff.iter().collect::<Vec<_>>(), ids(&[1, 99]));
+    }
+
+    #[test]
+    fn iter_ascending_across_blocks() {
+        let s = NodeBitSet::from_iter(200, ids(&[199, 0, 63, 64, 128]));
+        assert_eq!(s.iter().collect::<Vec<_>>(), ids(&[0, 63, 64, 128, 199]));
+        assert_eq!(s.first(), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn empty_and_clear() {
+        let mut s = NodeBitSet::from_iter(10, ids(&[3]));
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.first(), None);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn retain_sorted_keeps_intersection() {
+        let mut s = NodeBitSet::from_iter(32, ids(&[1, 2, 3, 8]));
+        s.retain_sorted(&ids(&[2, 8, 9]));
+        assert_eq!(s.iter().collect::<Vec<_>>(), ids(&[2, 8]));
+    }
+}

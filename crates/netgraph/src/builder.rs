@@ -1,0 +1,156 @@
+//! Checked, fluent construction of [`Network`] values.
+//!
+//! [`Network::add_node`]/[`Network::add_edge`] panic on misuse; the builder
+//! returns [`GraphError`]s instead, which matters when the input comes from
+//! a user-supplied GraphML document rather than from our own generators.
+
+use crate::attr::AttrValue;
+use crate::graph::{Direction, EdgeId, Network, NodeId};
+use crate::GraphError;
+
+/// Checked builder for [`Network`].
+#[derive(Debug)]
+pub struct NetworkBuilder {
+    net: Network,
+    allow_self_loops_rejected: bool,
+}
+
+impl NetworkBuilder {
+    /// Start a builder for the given edge interpretation.
+    pub fn new(direction: Direction) -> Self {
+        NetworkBuilder {
+            net: Network::new(direction),
+            allow_self_loops_rejected: true,
+        }
+    }
+
+    /// Name the network.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.net.set_name(name);
+        self
+    }
+
+    /// Add a node, failing on duplicate names.
+    pub fn add_node(&mut self, name: impl Into<String>) -> Result<NodeId, GraphError> {
+        let name = name.into();
+        if self.net.node_by_name(&name).is_some() {
+            return Err(GraphError::DuplicateNodeName(name));
+        }
+        Ok(self.net.add_node(name))
+    }
+
+    /// Add a node and set attributes in one call.
+    pub fn add_node_with(
+        &mut self,
+        name: impl Into<String>,
+        attrs: &[(&str, AttrValue)],
+    ) -> Result<NodeId, GraphError> {
+        let id = self.add_node(name)?;
+        for (k, v) in attrs {
+            self.net.set_node_attr(id, k, v.clone());
+        }
+        Ok(id)
+    }
+
+    /// Add an edge, failing on bad endpoints, self-loops and duplicates.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId) -> Result<EdgeId, GraphError> {
+        if src.index() >= self.net.node_count() {
+            return Err(GraphError::InvalidNode(src));
+        }
+        if dst.index() >= self.net.node_count() {
+            return Err(GraphError::InvalidNode(dst));
+        }
+        if src == dst && self.allow_self_loops_rejected {
+            return Err(GraphError::SelfLoop(src));
+        }
+        if self.net.has_edge(src, dst) {
+            return Err(GraphError::DuplicateEdge(src, dst));
+        }
+        Ok(self.net.add_edge(src, dst))
+    }
+
+    /// Add an edge and set attributes in one call.
+    pub fn add_edge_with(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        attrs: &[(&str, AttrValue)],
+    ) -> Result<EdgeId, GraphError> {
+        let id = self.add_edge(src, dst)?;
+        for (k, v) in attrs {
+            self.net.set_edge_attr(id, k, v.clone());
+        }
+        Ok(id)
+    }
+
+    /// Set an attribute on an existing node.
+    pub fn set_node_attr(&mut self, node: NodeId, name: &str, value: impl Into<AttrValue>) {
+        self.net.set_node_attr(node, name, value);
+    }
+
+    /// Set an attribute on an existing edge.
+    pub fn set_edge_attr(&mut self, edge: EdgeId, name: &str, value: impl Into<AttrValue>) {
+        self.net.set_edge_attr(edge, name, value);
+    }
+
+    /// Read access to the network under construction.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Finish, returning the built network.
+    pub fn build(self) -> Network {
+        self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_happy_path() {
+        let mut b = NetworkBuilder::new(Direction::Undirected).name("t");
+        let a = b.add_node("a").unwrap();
+        let c = b
+            .add_node_with("c", &[("cpu", AttrValue::Num(4.0))])
+            .unwrap();
+        b.add_edge_with(a, c, &[("avgDelay", AttrValue::Num(3.0))])
+            .unwrap();
+        let g = b.build();
+        assert_eq!(g.name(), "t");
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(
+            g.node_attr_by_name(c, "cpu").and_then(AttrValue::as_num),
+            Some(4.0)
+        );
+    }
+
+    #[test]
+    fn builder_rejects_duplicates_and_bad_ids() {
+        let mut b = NetworkBuilder::new(Direction::Undirected);
+        let a = b.add_node("a").unwrap();
+        let c = b.add_node("c").unwrap();
+        assert_eq!(
+            b.add_node("a"),
+            Err(GraphError::DuplicateNodeName("a".into()))
+        );
+        b.add_edge(a, c).unwrap();
+        assert_eq!(b.add_edge(c, a), Err(GraphError::DuplicateEdge(c, a)));
+        assert_eq!(b.add_edge(a, a), Err(GraphError::SelfLoop(a)));
+        assert_eq!(
+            b.add_edge(a, NodeId(9)),
+            Err(GraphError::InvalidNode(NodeId(9)))
+        );
+    }
+
+    #[test]
+    fn directed_builder_allows_reverse_edge() {
+        let mut b = NetworkBuilder::new(Direction::Directed);
+        let a = b.add_node("a").unwrap();
+        let c = b.add_node("c").unwrap();
+        b.add_edge(a, c).unwrap();
+        assert!(b.add_edge(c, a).is_ok());
+    }
+}

@@ -1,0 +1,72 @@
+//! # netgraph — attributed graph substrate for NETEMBED
+//!
+//! This crate provides the graph data model shared by every other crate in
+//! the NETEMBED workspace: hosting (real) networks and query (virtual)
+//! networks are both [`Network`] values.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Cheap id-based access.** Nodes and edges are dense `u32` indices
+//!    ([`NodeId`], [`EdgeId`]); adjacency is a flat CSR-like structure so the
+//!    embedding search can iterate neighbors without hashing or pointer
+//!    chasing.
+//! 2. **Typed, interned attributes.** Node/edge attributes (delay,
+//!    bandwidth, OS type, …) carry an [`attr::AttrValue`] and are keyed by an
+//!    [`attr::AttrId`] interned per network in an [`attr::AttrSchema`]. The
+//!    constraint-expression compiler resolves names to ids once, so attribute
+//!    lookup during the search is a scan of a tiny inline vector.
+//! 3. **Directed and undirected graphs.** The paper's filter-matrix
+//!    construction differs for the two cases (§V-A, footnote 3), so the
+//!    distinction is a first-class property of the network.
+//!
+//! The crate also provides small graph algorithms used by the generators and
+//! by the Lazy Neighborhood Search (connectivity, BFS, degree statistics) and
+//! a cache-friendly bitset ([`bitset::NodeBitSet`]) used for candidate sets.
+
+pub mod algo;
+pub mod attr;
+pub mod bitset;
+pub mod builder;
+pub mod graph;
+pub mod metrics;
+
+pub use attr::{AttrId, AttrSchema, AttrValue};
+pub use bitset::NodeBitSet;
+pub use builder::NetworkBuilder;
+pub use graph::{Direction, EdgeId, EdgeRef, Network, NodeId};
+
+/// Errors produced by graph construction and mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node name was registered twice.
+    DuplicateNodeName(String),
+    /// An edge endpoint refers to a node id that does not exist.
+    InvalidNode(NodeId),
+    /// An edge between the two endpoints already exists.
+    DuplicateEdge(NodeId, NodeId),
+    /// A self-loop was requested but the builder forbids them.
+    SelfLoop(NodeId),
+    /// Attribute value type conflicts with a previously recorded type.
+    AttrTypeConflict {
+        /// Attribute name whose type conflicted.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::DuplicateNodeName(n) => write!(f, "duplicate node name: {n}"),
+            GraphError::InvalidNode(id) => write!(f, "invalid node id: {}", id.index()),
+            GraphError::DuplicateEdge(a, b) => {
+                write!(f, "duplicate edge: ({}, {})", a.index(), b.index())
+            }
+            GraphError::SelfLoop(id) => write!(f, "self loop on node {}", id.index()),
+            GraphError::AttrTypeConflict { name } => {
+                write!(f, "attribute type conflict for `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -1,0 +1,181 @@
+//! Topology metrics used to sanity-check generated networks against the
+//! shapes reported in the paper (edge density of the PlanetLab trace,
+//! power-law-ish degree distribution of BRITE graphs, …).
+
+use crate::algo::bfs_distances;
+use crate::graph::{Network, NodeId};
+
+/// Edge density: |E| divided by the maximum possible edge count for the
+/// graph's direction mode. Zero for graphs with fewer than two nodes.
+pub fn density(net: &Network) -> f64 {
+    let n = net.node_count() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let max = if net.is_undirected() {
+        n * (n - 1.0) / 2.0
+    } else {
+        n * (n - 1.0)
+    };
+    net.edge_count() as f64 / max
+}
+
+/// Histogram of total degrees: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(net: &Network) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in net.node_ids() {
+        let d = net.total_degree(v);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Mean total degree.
+pub fn mean_degree(net: &Network) -> f64 {
+    let n = net.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: usize = net.node_ids().map(|v| net.total_degree(v)).sum();
+    total as f64 / n as f64
+}
+
+/// Maximum total degree.
+pub fn max_degree(net: &Network) -> usize {
+    net.node_ids()
+        .map(|v| net.total_degree(v))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Exact hop-count diameter via all-sources BFS; `None` when the graph is
+/// disconnected or empty. Quadratic — fine for the network sizes in the
+/// paper's evaluation, and only used in tests/reports.
+pub fn diameter(net: &Network) -> Option<u32> {
+    let n = net.node_count();
+    if n == 0 {
+        return None;
+    }
+    let mut best = 0u32;
+    for s in net.node_ids() {
+        let dist = bfs_distances(net, s);
+        for d in dist {
+            match d {
+                Some(x) => best = best.max(x),
+                None => return None,
+            }
+        }
+    }
+    Some(best)
+}
+
+/// Approximate diameter from `samples` BFS sources (deterministic stride
+/// sampling). Lower bound of the true diameter.
+pub fn diameter_sampled(net: &Network, samples: usize) -> Option<u32> {
+    let n = net.node_count();
+    if n == 0 || samples == 0 {
+        return None;
+    }
+    let stride = (n / samples.min(n)).max(1);
+    let mut best = 0u32;
+    for s in (0..n).step_by(stride) {
+        let dist = bfs_distances(net, NodeId(s as u32));
+        for d in dist.into_iter().flatten() {
+            best = best.max(d);
+        }
+    }
+    Some(best)
+}
+
+/// Global clustering coefficient (transitivity) for undirected graphs:
+/// 3·triangles / open-or-closed triplets. Returns 0 when no triplets exist.
+pub fn clustering_coefficient(net: &Network) -> f64 {
+    assert!(net.is_undirected(), "clustering defined for undirected graphs");
+    let mut triangles = 0usize;
+    let mut triplets = 0usize;
+    for v in net.node_ids() {
+        let d = net.degree(v);
+        triplets += d * d.saturating_sub(1) / 2;
+        let ns = net.neighbors(v);
+        for i in 0..ns.len() {
+            for j in (i + 1)..ns.len() {
+                if net.has_edge(ns[i].0, ns[j].0) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if triplets == 0 {
+        return 0.0;
+    }
+    // Each triangle is counted once at each of its three vertices.
+    triangles as f64 / triplets as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Direction;
+
+    fn clique(n: usize) -> Network {
+        let mut g = Network::new(Direction::Undirected);
+        let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(format!("n{i}"))).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(ids[i], ids[j]);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn clique_metrics() {
+        let g = clique(5);
+        assert!((density(&g) - 1.0).abs() < 1e-12);
+        assert_eq!(mean_degree(&g), 4.0);
+        assert_eq!(max_degree(&g), 4);
+        assert_eq!(diameter(&g), Some(1));
+        assert!((clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_metrics() {
+        let mut g = Network::new(Direction::Undirected);
+        let ids: Vec<NodeId> = (0..4).map(|i| g.add_node(format!("n{i}"))).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        assert_eq!(diameter(&g), Some(3));
+        assert_eq!(clustering_coefficient(&g), 0.0);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist, vec![0, 2, 2]); // two endpoints deg 1, two inner deg 2
+    }
+
+    #[test]
+    fn disconnected_diameter_is_none() {
+        let mut g = clique(3);
+        g.add_node("island");
+        assert_eq!(diameter(&g), None);
+    }
+
+    #[test]
+    fn sampled_diameter_lower_bounds_exact() {
+        let g = clique(8);
+        let exact = diameter(&g).unwrap();
+        let approx = diameter_sampled(&g, 3).unwrap();
+        assert!(approx <= exact);
+        assert_eq!(approx, 1);
+    }
+
+    #[test]
+    fn empty_graph_metrics() {
+        let g = Network::new(Direction::Undirected);
+        assert_eq!(density(&g), 0.0);
+        assert_eq!(mean_degree(&g), 0.0);
+        assert_eq!(diameter(&g), None);
+        assert_eq!(diameter_sampled(&g, 4), None);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the graph substrate.
+
+use netgraph::{algo, bitset::NodeBitSet, Direction, Network, NodeId};
+use proptest::prelude::*;
+
+/// Strategy: a random undirected graph as (node_count, edge list).
+fn arb_graph(max_n: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2..max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..n * 3);
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32)]) -> Network {
+    let mut g = Network::new(Direction::Undirected);
+    for i in 0..n {
+        g.add_node(format!("n{i}"));
+    }
+    for &(u, v) in edges {
+        let (u, v) = (NodeId(u), NodeId(v));
+        if u != v && !g.has_edge(u, v) {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+proptest! {
+    #[test]
+    fn handshake_lemma((n, edges) in arb_graph(40)) {
+        let g = build(n, &edges);
+        let degree_sum: usize = g.node_ids().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn components_partition_nodes((n, edges) in arb_graph(40)) {
+        let g = build(n, &edges);
+        let comps = algo::connected_components(&g);
+        let total: usize = comps.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.node_count());
+        // Each node appears exactly once.
+        let mut seen = vec![false; g.node_count()];
+        for c in &comps {
+            for &v in c {
+                prop_assert!(!seen[v.index()]);
+                seen[v.index()] = true;
+            }
+        }
+        prop_assert_eq!(comps.len() == 1, algo::is_connected(&g));
+    }
+
+    #[test]
+    fn bfs_reaches_exactly_the_component((n, edges) in arb_graph(40)) {
+        let g = build(n, &edges);
+        let comps = algo::connected_components(&g);
+        let start = comps[0][0];
+        let order = algo::bfs_order(&g, start);
+        prop_assert_eq!(order.len(), comps[0].len());
+    }
+
+    #[test]
+    fn induced_subgraph_edge_subset((n, edges) in arb_graph(30), pick in proptest::collection::vec(any::<prop::sample::Index>(), 1..10)) {
+        let g = build(n, &edges);
+        let mut keep: Vec<NodeId> = pick
+            .iter()
+            .map(|ix| NodeId(ix.index(g.node_count()) as u32))
+            .collect();
+        keep.sort();
+        keep.dedup();
+        let (sub, origin) = g.induced_subgraph(&keep);
+        prop_assert_eq!(sub.node_count(), keep.len());
+        // Every subgraph edge corresponds to a host edge between the origins.
+        for e in sub.edge_refs() {
+            let (s, d) = (origin[e.src.index()], origin[e.dst.index()]);
+            prop_assert!(g.has_edge(s, d));
+        }
+        // Every host edge between kept nodes is present in the subgraph.
+        let mut expected = 0;
+        for (i, &u) in keep.iter().enumerate() {
+            for &v in keep.iter().skip(i + 1) {
+                if g.has_edge(u, v) {
+                    expected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(sub.edge_count(), expected);
+    }
+
+    #[test]
+    fn bitset_matches_btreeset(ops in proptest::collection::vec((0u32..256, any::<bool>()), 0..200)) {
+        let mut bs = NodeBitSet::new(256);
+        let mut model = std::collections::BTreeSet::new();
+        for (id, insert) in ops {
+            if insert {
+                bs.insert(NodeId(id));
+                model.insert(id);
+            } else {
+                bs.remove(NodeId(id));
+                model.remove(&id);
+            }
+        }
+        prop_assert_eq!(bs.len(), model.len());
+        let got: Vec<u32> = bs.iter().map(|n| n.0).collect();
+        let want: Vec<u32> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bitset_demorgan(a in proptest::collection::btree_set(0u32..128, 0..64),
+                       b in proptest::collection::btree_set(0u32..128, 0..64)) {
+        let sa = NodeBitSet::from_iter(128, a.iter().map(|&i| NodeId(i)));
+        let sb = NodeBitSet::from_iter(128, b.iter().map(|&i| NodeId(i)));
+        // a \ b == a ∩ complement(b)
+        let mut diff = sa.clone();
+        diff.subtract(&sb);
+        let mut comp_b = NodeBitSet::full(128);
+        comp_b.subtract(&sb);
+        let mut inter = sa.clone();
+        inter.intersect_with(&comp_b);
+        prop_assert_eq!(diff, inter);
+    }
+}

@@ -1,0 +1,302 @@
+//! # service — the NETEMBED mapping service
+//!
+//! §III of the paper describes NETEMBED as a long-running service
+//! (Figure 1) with three components:
+//!
+//! 1. a **model of the real network**, maintained by a monitoring service
+//!    or resource manager → [`registry::ModelRegistry`] plus the
+//!    [`monitor::MonitorSim`] churn simulator;
+//! 2. the **mapping service** where applications submit queries and get
+//!    back lists of possible mappings → [`NetEmbedService`], with the
+//!    interactive requirement-adjustment loop in [`negotiate()`];
+//! 3. an optional **resource reservation system** that adjusts the model
+//!    when mappings are allocated → [`reservation::ReservationManager`].
+//!
+//! Every mapping handed to a client is re-validated with
+//! [`netembed::check_mapping`] — the service never returns an embedding it
+//! cannot prove feasible against the current model.
+
+pub mod monitor;
+pub mod negotiate;
+pub mod partition;
+pub mod registry;
+pub mod reservation;
+pub mod schedule;
+
+pub use monitor::{MonitorSim, MonitorParams};
+pub use negotiate::{negotiate, NegotiationOutcome};
+pub use partition::{Locality, PartitionedHost, PartitionedResponse};
+pub use registry::ModelRegistry;
+pub use reservation::{Reservation, ReservationError, ReservationManager};
+pub use schedule::{Allocation, ScheduledEmbedding, ScheduleError, Scheduler, Tick};
+
+use netembed::{Engine, Mapping, Options, Outcome, ProblemError, SearchStats};
+use netgraph::Network;
+use std::fmt;
+use std::sync::Arc;
+
+/// A query submitted to the service.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// Name of the hosting-network model to embed into.
+    pub host: String,
+    /// The query (virtual) network.
+    pub query: Network,
+    /// Constraint expression source (§VI-B).
+    pub constraint: String,
+    /// Engine options (algorithm, mode, timeout, …).
+    pub options: Options,
+}
+
+/// A service response: the §VII-E-classified outcome plus statistics.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// Classified result.
+    pub outcome: Outcome,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+impl QueryResponse {
+    /// The mappings found (empty for inconclusive results).
+    pub fn mappings(&self) -> &[Mapping] {
+        self.outcome.mappings()
+    }
+}
+
+/// Service-level errors.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// No model registered under the requested name.
+    UnknownHost(String),
+    /// The embedding engine rejected the problem.
+    Problem(ProblemError),
+    /// A produced mapping failed independent verification — an engine bug
+    /// surfaced; the response is withheld.
+    VerificationFailed(netembed::VerifyError),
+    /// GraphML parse failure (when loading models from documents).
+    Graphml(graphml::GraphmlError),
+    /// The constraint failed the static type lint (§VI-B language).
+    BadConstraint(cexpr::TypeError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownHost(h) => write!(f, "unknown hosting network `{h}`"),
+            ServiceError::Problem(e) => write!(f, "{e}"),
+            ServiceError::VerificationFailed(e) => {
+                write!(f, "internal error: produced mapping failed verification: {e}")
+            }
+            ServiceError::Graphml(e) => write!(f, "{e}"),
+            ServiceError::BadConstraint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<ProblemError> for ServiceError {
+    fn from(e: ProblemError) -> Self {
+        ServiceError::Problem(e)
+    }
+}
+
+impl From<graphml::GraphmlError> for ServiceError {
+    fn from(e: graphml::GraphmlError) -> Self {
+        ServiceError::Graphml(e)
+    }
+}
+
+/// The mapping service.
+pub struct NetEmbedService {
+    registry: ModelRegistry,
+}
+
+impl NetEmbedService {
+    /// A service with an empty model registry.
+    pub fn new() -> Self {
+        NetEmbedService {
+            registry: ModelRegistry::new(),
+        }
+    }
+
+    /// The model registry (register/update hosting networks here).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Register a hosting network from a GraphML document.
+    pub fn register_graphml(&self, name: &str, doc: &str) -> Result<(), ServiceError> {
+        let net = graphml::from_str(doc)?;
+        self.registry.register(name, net);
+        Ok(())
+    }
+
+    /// Submit a query (§III component 2).
+    pub fn submit(&self, request: &QueryRequest) -> Result<QueryResponse, ServiceError> {
+        let host: Arc<Network> = self
+            .registry
+            .get(&request.host)
+            .ok_or_else(|| ServiceError::UnknownHost(request.host.clone()))?;
+        // Pre-flight lint: definite type errors fail fast with a precise
+        // message instead of surfacing mid-search.
+        if let Ok(expr) = cexpr::parse(&request.constraint) {
+            cexpr::check_constraint(&expr).map_err(ServiceError::BadConstraint)?;
+        }
+        let engine = Engine::new(&host);
+        let result = engine.embed(&request.query, &request.constraint, &request.options)?;
+
+        // Safety net: independently verify every mapping before returning.
+        let problem =
+            netembed::Problem::new(&request.query, &host, &request.constraint)?;
+        for m in &result.mappings {
+            netembed::check_mapping(&problem, m).map_err(ServiceError::VerificationFailed)?;
+        }
+        Ok(QueryResponse {
+            outcome: result.outcome,
+            stats: result.stats,
+        })
+    }
+}
+
+impl Default for NetEmbedService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::Direction;
+
+    fn triangle_host() -> Network {
+        let mut h = Network::new(Direction::Undirected);
+        let a = h.add_node("a");
+        let b = h.add_node("b");
+        let c = h.add_node("c");
+        for (u, v, d) in [(a, b, 10.0), (b, c, 20.0), (a, c, 30.0)] {
+            let e = h.add_edge(u, v);
+            h.set_edge_attr(e, "avgDelay", d);
+        }
+        h
+    }
+
+    fn edge_query() -> Network {
+        let mut q = Network::new(Direction::Undirected);
+        let x = q.add_node("x");
+        let y = q.add_node("y");
+        q.add_edge(x, y);
+        q
+    }
+
+    #[test]
+    fn submit_round_trip() {
+        let svc = NetEmbedService::new();
+        svc.registry().register("plab", triangle_host());
+        let resp = svc
+            .submit(&QueryRequest {
+                host: "plab".into(),
+                query: edge_query(),
+                constraint: "rEdge.avgDelay <= 15.0".into(),
+                options: Options::default(),
+            })
+            .unwrap();
+        assert_eq!(resp.mappings().len(), 2);
+        assert!(matches!(resp.outcome, Outcome::Complete(_)));
+    }
+
+    #[test]
+    fn unknown_host_rejected() {
+        let svc = NetEmbedService::new();
+        let err = svc
+            .submit(&QueryRequest {
+                host: "nope".into(),
+                query: edge_query(),
+                constraint: "true".into(),
+                options: Options::default(),
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::UnknownHost(_)));
+    }
+
+    #[test]
+    fn register_from_graphml() {
+        let svc = NetEmbedService::new();
+        let doc = r#"<graphml>
+          <key id="d" for="edge" attr.name="avgDelay" attr.type="double"/>
+          <graph id="g" edgedefault="undirected">
+            <node id="a"/><node id="b"/>
+            <edge source="a" target="b"><data key="d">5.0</data></edge>
+          </graph></graphml>"#;
+        svc.register_graphml("g", doc).unwrap();
+        let resp = svc
+            .submit(&QueryRequest {
+                host: "g".into(),
+                query: edge_query(),
+                constraint: "rEdge.avgDelay < 10.0".into(),
+                options: Options::default(),
+            })
+            .unwrap();
+        assert_eq!(resp.mappings().len(), 2);
+    }
+
+    #[test]
+    fn malformed_graphml_rejected() {
+        let svc = NetEmbedService::new();
+        assert!(matches!(
+            svc.register_graphml("bad", "<graphml><nope/></graphml>"),
+            Err(ServiceError::Graphml(_))
+        ));
+    }
+
+    #[test]
+    fn model_update_changes_answers() {
+        let svc = NetEmbedService::new();
+        svc.registry().register("h", triangle_host());
+        let req = QueryRequest {
+            host: "h".into(),
+            query: edge_query(),
+            constraint: "rEdge.avgDelay <= 15.0".into(),
+            options: Options::default(),
+        };
+        assert_eq!(svc.submit(&req).unwrap().mappings().len(), 2);
+        // Monitoring update: all delays jump.
+        let mut updated = triangle_host();
+        for e in updated.edge_refs().collect::<Vec<_>>() {
+            updated.set_edge_attr(e.id, "avgDelay", 100.0);
+        }
+        svc.registry().register("h", updated);
+        assert_eq!(svc.submit(&req).unwrap().mappings().len(), 0);
+    }
+}
+
+#[cfg(test)]
+mod lint_tests {
+    use super::*;
+    use netgraph::{Direction, Network};
+
+    #[test]
+    fn statically_ill_typed_constraint_rejected_at_submit() {
+        let svc = NetEmbedService::new();
+        let mut h = Network::new(Direction::Undirected);
+        let a = h.add_node("a");
+        let b = h.add_node("b");
+        h.add_edge(a, b);
+        svc.registry().register("h", h);
+        let mut q = Network::new(Direction::Undirected);
+        let x = q.add_node("x");
+        let y = q.add_node("y");
+        q.add_edge(x, y);
+        let err = svc
+            .submit(&QueryRequest {
+                host: "h".into(),
+                query: q,
+                constraint: "\"fast\" == 1".into(),
+                options: Options::default(),
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::BadConstraint(_)), "{err}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Interactive requirement negotiation.
+//!
+//! §III: "An interactive service would facilitate the adjustment
+//! (negotiation) of the requirements if the query cannot be satisfied."
+//! §VI-B adds that keeping the constraint expression separate from the
+//! topology lets a user "begin with more stringent constraints and relax
+//! them if there is no compliant mapping". This module automates that
+//! loop: the caller supplies a constraint *template* parameterized by a
+//! relaxation level, and `negotiate` walks the levels in order until a
+//! feasible embedding appears (or the levels run out).
+
+use netembed::{Engine, Mapping, Options, Outcome, ProblemError};
+use netgraph::Network;
+
+/// Result of a negotiation run.
+#[derive(Debug, Clone)]
+pub enum NegotiationOutcome {
+    /// Satisfied at `levels[index]`; the mappings found there.
+    Satisfied {
+        /// Index into the supplied levels.
+        index: usize,
+        /// The relaxation level value.
+        level: f64,
+        /// Feasible mappings at that level.
+        mappings: Vec<Mapping>,
+    },
+    /// Every level failed definitively (complete-empty results).
+    Exhausted,
+    /// A level timed out without finding anything — feasibility unknown,
+    /// negotiation stops to respect the time budget.
+    Inconclusive {
+        /// Level index that timed out.
+        index: usize,
+    },
+}
+
+/// Try `levels` in order, building the constraint with `template` and
+/// running the engine until one level yields at least one embedding.
+pub fn negotiate(
+    host: &Network,
+    query: &Network,
+    levels: &[f64],
+    options: &Options,
+    template: impl Fn(f64) -> String,
+) -> Result<NegotiationOutcome, ProblemError> {
+    let engine = Engine::new(host);
+    for (index, &level) in levels.iter().enumerate() {
+        let constraint = template(level);
+        let result = engine.embed(query, &constraint, options)?;
+        match result.outcome {
+            Outcome::Complete(mappings) | Outcome::Partial(mappings)
+                if !mappings.is_empty() =>
+            {
+                return Ok(NegotiationOutcome::Satisfied {
+                    index,
+                    level,
+                    mappings,
+                });
+            }
+            Outcome::Inconclusive => {
+                return Ok(NegotiationOutcome::Inconclusive { index });
+            }
+            _ => {} // definitive empty: relax further
+        }
+    }
+    Ok(NegotiationOutcome::Exhausted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{Direction, NodeId};
+
+    fn host() -> Network {
+        let mut h = Network::new(Direction::Undirected);
+        let ids: Vec<NodeId> = (0..4).map(|i| h.add_node(format!("h{i}"))).collect();
+        for (i, d) in [25.0, 35.0, 45.0, 55.0].iter().enumerate() {
+            let e = h.add_edge(ids[i], ids[(i + 1) % 4]);
+            h.set_edge_attr(e, "avgDelay", *d);
+        }
+        h
+    }
+
+    fn edge_query() -> Network {
+        let mut q = Network::new(Direction::Undirected);
+        let a = q.add_node("a");
+        let b = q.add_node("b");
+        q.add_edge(a, b);
+        q
+    }
+
+    #[test]
+    fn relaxation_finds_first_feasible_level() {
+        let h = host();
+        let q = edge_query();
+        // Levels are delay budgets: 10 and 20 fail, 30 admits d=25.
+        let out = negotiate(&h, &q, &[10.0, 20.0, 30.0, 60.0], &Options::default(), |lvl| {
+            format!("rEdge.avgDelay <= {lvl}")
+        })
+        .unwrap();
+        match out {
+            NegotiationOutcome::Satisfied {
+                index,
+                level,
+                mappings,
+            } => {
+                assert_eq!(index, 2);
+                assert_eq!(level, 30.0);
+                assert_eq!(mappings.len(), 2); // d=25 edge, two orientations
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_when_nothing_fits() {
+        let h = host();
+        let q = edge_query();
+        let out = negotiate(&h, &q, &[1.0, 2.0], &Options::default(), |lvl| {
+            format!("rEdge.avgDelay <= {lvl}")
+        })
+        .unwrap();
+        assert!(matches!(out, NegotiationOutcome::Exhausted));
+    }
+
+    #[test]
+    fn parse_error_propagates() {
+        let h = host();
+        let q = edge_query();
+        assert!(negotiate(&h, &q, &[1.0], &Options::default(), |_| "1 +".to_string()).is_err());
+    }
+
+    #[test]
+    fn tightest_satisfiable_window_is_reported() {
+        let h = host();
+        let q = edge_query();
+        // Percent-style relaxation around 40ms, as in the paper's ±10%
+        // example: widen until the 35/45 edges fall inside.
+        let out = negotiate(
+            &h,
+            &q,
+            &[0.01, 0.05, 0.15, 0.5],
+            &Options::default(),
+            |tol| {
+                format!(
+                    "rEdge.avgDelay >= {} && rEdge.avgDelay <= {}",
+                    40.0 * (1.0 - tol),
+                    40.0 * (1.0 + tol)
+                )
+            },
+        )
+        .unwrap();
+        match out {
+            NegotiationOutcome::Satisfied { index, .. } => assert_eq!(index, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The network-model store (§III component 1).
+//!
+//! The service keeps "an up-to-date copy of the model" per hosting
+//! network; a monitoring pipeline (or the [`crate::monitor`] simulator)
+//! replaces models as measurements arrive. Readers get an `Arc` snapshot,
+//! so in-flight queries are never affected by a concurrent update —
+//! exactly the semantics a replicated NETEMBED deployment needs.
+
+use netgraph::Network;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Thread-safe named store of hosting-network models.
+pub struct ModelRegistry {
+    models: RwLock<HashMap<String, Arc<Network>>>,
+}
+
+impl ModelRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        ModelRegistry {
+            models: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Register or replace the model for `name`.
+    pub fn register(&self, name: &str, model: Network) {
+        self.models
+            .write()
+            .insert(name.to_string(), Arc::new(model));
+    }
+
+    /// Snapshot of the model for `name`.
+    pub fn get(&self, name: &str) -> Option<Arc<Network>> {
+        self.models.read().get(name).cloned()
+    }
+
+    /// Remove a model; returns it if present.
+    pub fn remove(&self, name: &str) -> Option<Arc<Network>> {
+        self.models.write().remove(name)
+    }
+
+    /// Apply `update` to a copy of the current model and atomically swap
+    /// the result in. Returns false when `name` is unknown. This is the
+    /// reservation system's hook (§III component 3): allocate → adjust.
+    pub fn update(&self, name: &str, update: impl FnOnce(&mut Network)) -> bool {
+        let mut guard = self.models.write();
+        let Some(current) = guard.get(name) else {
+            return false;
+        };
+        let mut copy = (**current).clone();
+        update(&mut copy);
+        guard.insert(name.to_string(), Arc::new(copy));
+        true
+    }
+
+    /// Registered model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.models.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.read().len()
+    }
+
+    /// True when no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.models.read().is_empty()
+    }
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::Direction;
+
+    fn net(n: usize) -> Network {
+        let mut g = Network::new(Direction::Undirected);
+        for i in 0..n {
+            g.add_node(format!("n{i}"));
+        }
+        g
+    }
+
+    #[test]
+    fn register_get_remove() {
+        let reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        reg.register("a", net(3));
+        reg.register("b", net(5));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.get("a").unwrap().node_count(), 3);
+        assert_eq!(reg.names(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(reg.remove("a").unwrap().node_count(), 3);
+        assert!(reg.get("a").is_none());
+    }
+
+    #[test]
+    fn snapshots_survive_updates() {
+        let reg = ModelRegistry::new();
+        reg.register("m", net(2));
+        let snapshot = reg.get("m").unwrap();
+        reg.register("m", net(9));
+        // Old snapshot is unaffected; new readers see the update.
+        assert_eq!(snapshot.node_count(), 2);
+        assert_eq!(reg.get("m").unwrap().node_count(), 9);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let reg = ModelRegistry::new();
+        reg.register("m", net(2));
+        let ok = reg.update("m", |n| {
+            n.add_node("extra");
+        });
+        assert!(ok);
+        assert_eq!(reg.get("m").unwrap().node_count(), 3);
+        assert!(!reg.update("missing", |_| {}));
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        use std::thread;
+        let reg = std::sync::Arc::new(ModelRegistry::new());
+        reg.register("m", net(1));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let reg = reg.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..50 {
+                    if t % 2 == 0 {
+                        reg.register("m", net((i % 7) + 1));
+                    } else {
+                        let snap = reg.get("m").unwrap();
+                        assert!(snap.node_count() >= 1);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! Embedding + scheduling — the paper's second "future work" item (§VIII):
+//! *"the embedding problem must be tightly integrated with the scheduling
+//! problem — to find a window of time (or the closest window of time) in
+//! which some feasible embedding is available"*, motivated by the SNBENCH
+//! shared sensor-network infrastructure.
+//!
+//! Time is modelled in abstract ticks. A [`Scheduler`] keeps a calendar of
+//! committed, time-bounded allocations, each deducting capacity attributes
+//! from host nodes for its lifetime. `find_window` sweeps the candidate
+//! start times (now plus every moment the resource picture changes — i.e.
+//! the end of each committed allocation), reconstructs the residual-
+//! capacity model at that time, and runs the embedding engine until a
+//! feasible window is found.
+
+use netembed::{Engine, Mapping, Options, ProblemError, SearchMode};
+use netgraph::{AttrValue, Network, NodeId};
+use std::fmt;
+
+/// Abstract time tick.
+pub type Tick = u64;
+
+/// A committed, time-bounded allocation.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Allocation id.
+    pub id: u64,
+    /// First tick the resources are held.
+    pub start: Tick,
+    /// First tick after release (half-open interval `[start, end)`).
+    pub end: Tick,
+    /// Per-host-node capacity deductions `(node, attr, amount)`.
+    pub deductions: Vec<(NodeId, String, f64)>,
+}
+
+/// Scheduling errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// Engine rejected the query.
+    Problem(String),
+    /// The requested duration is zero.
+    ZeroDuration,
+    /// No feasible window within the horizon.
+    NoWindow {
+        /// The horizon searched up to.
+        horizon: Tick,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Problem(e) => write!(f, "{e}"),
+            ScheduleError::ZeroDuration => write!(f, "requested duration is zero"),
+            ScheduleError::NoWindow { horizon } => {
+                write!(f, "no feasible window up to tick {horizon}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl From<ProblemError> for ScheduleError {
+    fn from(e: ProblemError) -> Self {
+        ScheduleError::Problem(e.to_string())
+    }
+}
+
+/// A granted window: when to start, and the embedding that fits there.
+#[derive(Debug, Clone)]
+pub struct ScheduledEmbedding {
+    /// Allocation id in the calendar.
+    pub id: u64,
+    /// Start tick of the window.
+    pub start: Tick,
+    /// End tick (exclusive).
+    pub end: Tick,
+    /// The node mapping valid in that window.
+    pub mapping: Mapping,
+}
+
+/// The embedding-aware scheduler.
+pub struct Scheduler {
+    /// Base (unloaded) hosting network.
+    base: Network,
+    /// Capacity attributes managed over time (e.g. `["cpu"]`).
+    capacities: Vec<String>,
+    calendar: Vec<Allocation>,
+    next_id: u64,
+}
+
+impl Scheduler {
+    /// A scheduler over `base` managing the listed capacity attributes.
+    pub fn new(base: Network, capacities: &[&str]) -> Self {
+        Scheduler {
+            base,
+            capacities: capacities.iter().map(|s| s.to_string()).collect(),
+            calendar: Vec::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Committed allocations, sorted by start tick.
+    pub fn calendar(&self) -> &[Allocation] {
+        &self.calendar
+    }
+
+    /// The residual-capacity model at tick `t`: base capacities minus the
+    /// deductions of every allocation active at `t`.
+    pub fn model_at(&self, t: Tick) -> Network {
+        let mut model = self.base.clone();
+        for alloc in &self.calendar {
+            if alloc.start <= t && t < alloc.end {
+                for (node, attr, amount) in &alloc.deductions {
+                    let current = model
+                        .node_attr_by_name(*node, attr)
+                        .and_then(AttrValue::as_num)
+                        .unwrap_or(0.0);
+                    model.set_node_attr(*node, attr, current - amount);
+                }
+            }
+        }
+        model
+    }
+
+    /// Candidate start times in `[from, horizon)`: `from` itself plus the
+    /// end of every allocation (the only moments capacity increases).
+    fn candidate_starts(&self, from: Tick, horizon: Tick) -> Vec<Tick> {
+        let mut starts = vec![from];
+        for a in &self.calendar {
+            if a.end > from && a.end < horizon {
+                starts.push(a.end);
+            }
+        }
+        starts.sort_unstable();
+        starts.dedup();
+        starts
+    }
+
+    /// True when the residual model stays feasible for `mapping`'s demands
+    /// during the whole `[start, end)` window.
+    fn window_has_capacity(
+        &self,
+        query: &Network,
+        mapping: &Mapping,
+        start: Tick,
+        end: Tick,
+    ) -> bool {
+        // Capacity only changes at allocation boundaries inside the window.
+        let mut checkpoints = vec![start];
+        for a in &self.calendar {
+            if a.start > start && a.start < end {
+                checkpoints.push(a.start);
+            }
+        }
+        for t in checkpoints {
+            let model = self.model_at(t);
+            for (q, r) in mapping.iter() {
+                for attr in &self.capacities {
+                    let Some(need) = query
+                        .node_attr_by_name(q, attr)
+                        .and_then(AttrValue::as_num)
+                    else {
+                        continue;
+                    };
+                    let avail = model
+                        .node_attr_by_name(r, attr)
+                        .and_then(AttrValue::as_num)
+                        .unwrap_or(0.0);
+                    if avail < need {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Find the earliest window of `duration` ticks in `[from, horizon)`
+    /// where `query` embeds under `constraint` with capacity to spare, and
+    /// commit it to the calendar.
+    ///
+    /// The constraint should include the capacity comparison (e.g.
+    /// `rNode.cpu >= vNode.cpu`) so the *embedding* search already honours
+    /// residual capacities; the scheduler additionally re-checks capacity
+    /// at every boundary inside the window (an embedding found at `t` must
+    /// survive allocations that *start* mid-window).
+    pub fn find_window(
+        &mut self,
+        query: &Network,
+        constraint: &str,
+        duration: Tick,
+        from: Tick,
+        horizon: Tick,
+        options: &Options,
+    ) -> Result<ScheduledEmbedding, ScheduleError> {
+        if duration == 0 {
+            return Err(ScheduleError::ZeroDuration);
+        }
+        let mut options = options.clone();
+        options.mode = SearchMode::UpTo(16); // a few candidates to re-check
+        for start in self.candidate_starts(from, horizon) {
+            if start + duration > horizon {
+                break;
+            }
+            let model = self.model_at(start);
+            let engine = Engine::new(&model);
+            let result = engine.embed(query, constraint, &options)?;
+            for mapping in &result.mappings {
+                if self.window_has_capacity(query, mapping, start, start + duration) {
+                    let deductions = self.plan_deductions(query, mapping);
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    let alloc = Allocation {
+                        id,
+                        start,
+                        end: start + duration,
+                        deductions,
+                    };
+                    let pos = self
+                        .calendar
+                        .binary_search_by_key(&start, |a| a.start)
+                        .unwrap_or_else(|p| p);
+                    self.calendar.insert(pos, alloc);
+                    return Ok(ScheduledEmbedding {
+                        id,
+                        start,
+                        end: start + duration,
+                        mapping: mapping.clone(),
+                    });
+                }
+            }
+        }
+        Err(ScheduleError::NoWindow { horizon })
+    }
+
+    /// Cancel a committed allocation. Returns true when found.
+    pub fn cancel(&mut self, id: u64) -> bool {
+        match self.calendar.iter().position(|a| a.id == id) {
+            Some(i) => {
+                self.calendar.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn plan_deductions(&self, query: &Network, mapping: &Mapping) -> Vec<(NodeId, String, f64)> {
+        let mut out = Vec::new();
+        for (q, r) in mapping.iter() {
+            for attr in &self.capacities {
+                if let Some(need) = query
+                    .node_attr_by_name(q, attr)
+                    .and_then(AttrValue::as_num)
+                {
+                    if need > 0.0 {
+                        out.push((r, attr.clone(), need));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::Direction;
+
+    /// 4 hosts, 4 cpu each, fully wired.
+    fn base() -> Network {
+        let mut h = Network::new(Direction::Undirected);
+        let ids: Vec<NodeId> = (0..4).map(|i| h.add_node(format!("h{i}"))).collect();
+        for &n in &ids {
+            h.set_node_attr(n, "cpu", 4.0);
+        }
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                h.add_edge(ids[i], ids[j]);
+            }
+        }
+        h
+    }
+
+    /// 2-node query needing `demand` cpu per node.
+    fn q(demand: f64) -> Network {
+        let mut q = Network::new(Direction::Undirected);
+        let a = q.add_node("a");
+        let b = q.add_node("b");
+        q.add_edge(a, b);
+        q.set_node_attr(a, "cpu", demand);
+        q.set_node_attr(b, "cpu", demand);
+        q
+    }
+
+    const CAP: &str = "rNode.cpu >= vNode.cpu";
+
+    #[test]
+    fn immediate_window_when_unloaded() {
+        let mut s = Scheduler::new(base(), &["cpu"]);
+        let w = s
+            .find_window(&q(3.0), CAP, 10, 0, 100, &Options::default())
+            .unwrap();
+        assert_eq!(w.start, 0);
+        assert_eq!(w.end, 10);
+        assert_eq!(s.calendar().len(), 1);
+    }
+
+    #[test]
+    fn saturated_now_waits_for_release() {
+        let mut s = Scheduler::new(base(), &["cpu"]);
+        // Two big slices occupy all four hosts until tick 20.
+        for _ in 0..2 {
+            let w = s
+                .find_window(&q(3.0), CAP, 20, 0, 100, &Options::default())
+                .unwrap();
+            assert_eq!(w.start, 0);
+        }
+        // Third request cannot fit before tick 20.
+        let w = s
+            .find_window(&q(3.0), CAP, 10, 0, 100, &Options::default())
+            .unwrap();
+        assert_eq!(w.start, 20);
+    }
+
+    #[test]
+    fn partial_load_allows_small_queries_now() {
+        let mut s = Scheduler::new(base(), &["cpu"]);
+        s.find_window(&q(3.0), CAP, 50, 0, 100, &Options::default())
+            .unwrap();
+        // 1-cpu residual on two hosts, 4 on the others: a 2-cpu query fits
+        // immediately on the unloaded pair.
+        let w = s
+            .find_window(&q(2.0), CAP, 10, 0, 100, &Options::default())
+            .unwrap();
+        assert_eq!(w.start, 0);
+    }
+
+    #[test]
+    fn no_window_within_horizon() {
+        let mut s = Scheduler::new(base(), &["cpu"]);
+        // Demand exceeds total capacity: never feasible.
+        let err = s
+            .find_window(&q(9.0), CAP, 10, 0, 50, &Options::default())
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::NoWindow { horizon: 50 }));
+        // Feasible demand but the duration does not fit the horizon.
+        for _ in 0..2 {
+            s.find_window(&q(3.0), CAP, 40, 0, 100, &Options::default())
+                .unwrap();
+        }
+        let err = s
+            .find_window(&q(3.0), CAP, 70, 0, 100, &Options::default())
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::NoWindow { .. }));
+    }
+
+    #[test]
+    fn cancellation_frees_the_window() {
+        let mut s = Scheduler::new(base(), &["cpu"]);
+        let mut ids = Vec::new();
+        for _ in 0..2 {
+            ids.push(
+                s.find_window(&q(3.0), CAP, 30, 0, 100, &Options::default())
+                    .unwrap()
+                    .id,
+            );
+        }
+        let late = s
+            .find_window(&q(3.0), CAP, 10, 0, 100, &Options::default())
+            .unwrap();
+        assert_eq!(late.start, 30);
+        assert!(s.cancel(ids[0]));
+        assert!(!s.cancel(ids[0])); // double cancel
+        let now = s
+            .find_window(&q(3.0), CAP, 10, 0, 100, &Options::default())
+            .unwrap();
+        assert_eq!(now.start, 0);
+    }
+
+    #[test]
+    fn mid_window_allocation_start_respected() {
+        let mut s = Scheduler::new(base(), &["cpu"]);
+        // Allocation A: [10, 40) occupying two hosts heavily. Committed
+        // first with an artificial calendar entry.
+        let w1 = s
+            .find_window(&q(3.0), CAP, 30, 10, 100, &Options::default())
+            .unwrap();
+        assert_eq!(w1.start, 10);
+        // A long window starting at 0 must survive A starting at tick 10 —
+        // i.e. it must avoid A's two hosts even though they are free at 0.
+        let w2 = s
+            .find_window(&q(3.0), CAP, 30, 0, 100, &Options::default())
+            .unwrap();
+        assert_eq!(w2.start, 0);
+        let a_hosts: std::collections::HashSet<NodeId> =
+            w1.mapping.iter().map(|(_, r)| r).collect();
+        for (_, r) in w2.mapping.iter() {
+            assert!(
+                !a_hosts.contains(&r),
+                "window 2 overlaps allocation 1's hosts"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_duration_rejected() {
+        let mut s = Scheduler::new(base(), &["cpu"]);
+        assert!(matches!(
+            s.find_window(&q(1.0), CAP, 0, 0, 10, &Options::default()),
+            Err(ScheduleError::ZeroDuration)
+        ));
+    }
+
+    #[test]
+    fn model_at_reflects_calendar() {
+        let mut s = Scheduler::new(base(), &["cpu"]);
+        let w = s
+            .find_window(&q(3.0), CAP, 10, 5, 100, &Options::default())
+            .unwrap();
+        assert_eq!(w.start, 5);
+        let before = s.model_at(0);
+        let during = s.model_at(7);
+        let after = s.model_at(20);
+        let host0 = w.mapping.iter().next().unwrap().1;
+        let cpu = |m: &Network| {
+            m.node_attr_by_name(host0, "cpu")
+                .and_then(AttrValue::as_num)
+                .unwrap()
+        };
+        assert_eq!(cpu(&before), 4.0);
+        assert_eq!(cpu(&during), 1.0);
+        assert_eq!(cpu(&after), 4.0);
+    }
+}

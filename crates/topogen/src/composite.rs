@@ -1,0 +1,211 @@
+//! Composite (two-level hierarchical) query topologies — §VII-D.
+//!
+//! A composite query has a regular root-level structure (ring, star or
+//! clique) whose vertices are themselves regular structures; root-level
+//! links connect the *gateway* (first) node of each group. The paper
+//! motivates these with multicast trees, DHTs and ring overlays.
+//!
+//! Each edge is tagged with a numeric `tier` attribute (0 = root level,
+//! 1 = leaf level) so [`crate::workload`] can assign per-level delay
+//! windows (75–350 ms inter-site, 1–75 ms intra-site in the paper's
+//! "regular constraints" variant).
+
+use netgraph::{Direction, Network, NodeId};
+
+/// Shape of one level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Cycle.
+    Ring,
+    /// Hub and spokes (hub is the gateway).
+    Star,
+    /// Complete graph.
+    Clique,
+}
+
+/// Two-level composite specification.
+#[derive(Debug, Clone, Copy)]
+pub struct CompositeSpec {
+    /// Root-level shape (how groups interconnect).
+    pub root: Level,
+    /// Number of groups. Ring needs ≥ 3, star/clique ≥ 2.
+    pub groups: usize,
+    /// Leaf-level shape (structure within each group).
+    pub leaf: Level,
+    /// Nodes per group. Ring needs ≥ 3, star/clique ≥ 2; 1 collapses the
+    /// group to a single gateway node.
+    pub group_size: usize,
+}
+
+impl CompositeSpec {
+    /// Total node count of the composite query.
+    pub fn node_count(&self) -> usize {
+        self.groups * self.group_size
+    }
+}
+
+/// Build the composite query topology. Edges carry `tier` (0 root, 1 leaf).
+pub fn composite_query(spec: &CompositeSpec) -> Network {
+    assert!(spec.groups >= min_size(spec.root), "too few groups for root shape");
+    assert!(
+        spec.group_size == 1 || spec.group_size >= min_size(spec.leaf),
+        "group_size too small for leaf shape"
+    );
+    let mut g = Network::new(Direction::Undirected);
+    g.set_name(format!(
+        "composite-{:?}x{}-{:?}x{}",
+        spec.root, spec.groups, spec.leaf, spec.group_size
+    ));
+    // Nodes: group k occupies ids [k*group_size, (k+1)*group_size).
+    for k in 0..spec.groups {
+        for i in 0..spec.group_size {
+            g.add_node(format!("g{k}n{i}"));
+        }
+    }
+    let gateway = |k: usize| NodeId((k * spec.group_size) as u32);
+    let member = |k: usize, i: usize| NodeId((k * spec.group_size + i) as u32);
+
+    // Leaf level.
+    if spec.group_size > 1 {
+        for k in 0..spec.groups {
+            match spec.leaf {
+                Level::Ring => {
+                    for i in 0..spec.group_size {
+                        let e = g.add_edge(member(k, i), member(k, (i + 1) % spec.group_size));
+                        g.set_edge_attr(e, "tier", 1.0);
+                    }
+                }
+                Level::Star => {
+                    for i in 1..spec.group_size {
+                        let e = g.add_edge(gateway(k), member(k, i));
+                        g.set_edge_attr(e, "tier", 1.0);
+                    }
+                }
+                Level::Clique => {
+                    for i in 0..spec.group_size {
+                        for j in (i + 1)..spec.group_size {
+                            let e = g.add_edge(member(k, i), member(k, j));
+                            g.set_edge_attr(e, "tier", 1.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Root level over gateways.
+    match spec.root {
+        Level::Ring => {
+            for k in 0..spec.groups {
+                let e = g.add_edge(gateway(k), gateway((k + 1) % spec.groups));
+                g.set_edge_attr(e, "tier", 0.0);
+            }
+        }
+        Level::Star => {
+            for k in 1..spec.groups {
+                let e = g.add_edge(gateway(0), gateway(k));
+                g.set_edge_attr(e, "tier", 0.0);
+            }
+        }
+        Level::Clique => {
+            for a in 0..spec.groups {
+                for b in (a + 1)..spec.groups {
+                    let e = g.add_edge(gateway(a), gateway(b));
+                    g.set_edge_attr(e, "tier", 0.0);
+                }
+            }
+        }
+    }
+    g
+}
+
+fn min_size(level: Level) -> usize {
+    match level {
+        Level::Ring => 3,
+        Level::Star | Level::Clique => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{algo, AttrValue};
+
+    fn tier_count(g: &Network, tier: f64) -> usize {
+        g.edge_refs()
+            .filter(|e| {
+                g.edge_attr_by_name(e.id, "tier").and_then(AttrValue::as_num) == Some(tier)
+            })
+            .count()
+    }
+
+    #[test]
+    fn ring_of_stars() {
+        let spec = CompositeSpec {
+            root: Level::Ring,
+            groups: 4,
+            leaf: Level::Star,
+            group_size: 5,
+        };
+        let g = composite_query(&spec);
+        assert_eq!(g.node_count(), 20);
+        // Leaf: 4 stars × 4 edges; root: ring of 4.
+        assert_eq!(tier_count(&g, 1.0), 16);
+        assert_eq!(tier_count(&g, 0.0), 4);
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn star_of_rings() {
+        let spec = CompositeSpec {
+            root: Level::Star,
+            groups: 3,
+            leaf: Level::Ring,
+            group_size: 3,
+        };
+        let g = composite_query(&spec);
+        assert_eq!(g.node_count(), 9);
+        assert_eq!(tier_count(&g, 1.0), 9); // 3 rings of 3
+        assert_eq!(tier_count(&g, 0.0), 2); // star over 3 gateways
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn clique_of_cliques() {
+        let spec = CompositeSpec {
+            root: Level::Clique,
+            groups: 3,
+            leaf: Level::Clique,
+            group_size: 4,
+        };
+        let g = composite_query(&spec);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(tier_count(&g, 1.0), 3 * 6);
+        assert_eq!(tier_count(&g, 0.0), 3);
+    }
+
+    #[test]
+    fn singleton_groups_collapse_to_root_shape() {
+        let spec = CompositeSpec {
+            root: Level::Ring,
+            groups: 5,
+            leaf: Level::Clique,
+            group_size: 1,
+        };
+        let g = composite_query(&spec);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(tier_count(&g, 0.0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "too few groups")]
+    fn tiny_root_ring_panics() {
+        composite_query(&CompositeSpec {
+            root: Level::Ring,
+            groups: 2,
+            leaf: Level::Star,
+            group_size: 2,
+        });
+    }
+}

@@ -1,0 +1,225 @@
+//! GT-ITM-style transit-stub hierarchical topologies.
+//!
+//! §VI-A cites GT-ITM \[19\] among the topology sources NETEMBED must
+//! interoperate with. The transit-stub model builds an Internet-like
+//! two-level structure: a small connected *transit* core whose routers
+//! each anchor several *stub* domains (random connected subnetworks).
+//! Transit links carry wide-area delays; stub links carry LAN-scale
+//! delays; stub→transit uplinks sit in between. The result is sparser and
+//! more tree-like than the PlanetLab mesh, giving the experiments a third
+//! host-topology regime.
+
+use netgraph::{Direction, Network, NodeId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Transit-stub parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TransitStubParams {
+    /// Number of transit routers (core size).
+    pub transit: usize,
+    /// Stub domains attached to each transit router.
+    pub stubs_per_transit: usize,
+    /// Nodes per stub domain.
+    pub stub_size: usize,
+    /// Probability of an extra intra-stub edge beyond the spanning path.
+    pub stub_extra_edge_prob: f64,
+}
+
+impl Default for TransitStubParams {
+    fn default() -> Self {
+        TransitStubParams {
+            transit: 4,
+            stubs_per_transit: 3,
+            stub_size: 8,
+            stub_extra_edge_prob: 0.3,
+        }
+    }
+}
+
+impl TransitStubParams {
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.transit + self.transit * self.stubs_per_transit * self.stub_size
+    }
+}
+
+/// Generate a transit-stub network.
+///
+/// Node attributes: `tier` (`"transit"` or `"stub"`), `domain` (numeric
+/// stub-domain id, −1 for transit). Edge attributes: `minDelay`,
+/// `avgDelay`, `maxDelay` (transit 20–80 ms, uplink 5–20 ms, stub 0.5–5 ms)
+/// and `tier` (`0` transit, `1` uplink, `2` stub).
+pub fn transit_stub(params: &TransitStubParams, rng: &mut StdRng) -> Network {
+    assert!(params.transit >= 1 && params.stub_size >= 1);
+    let mut g = Network::new(Direction::Undirected);
+    g.set_name(format!(
+        "transit-stub-{}x{}x{}",
+        params.transit, params.stubs_per_transit, params.stub_size
+    ));
+
+    let delay_edge = |g: &mut Network, u: NodeId, v: NodeId, lo: f64, hi: f64, tier: f64, rng: &mut StdRng| {
+        let avg = rng.random_range(lo..hi);
+        let e = g.add_edge(u, v);
+        g.set_edge_attr(e, "avgDelay", avg);
+        g.set_edge_attr(e, "minDelay", avg * rng.random_range(0.85..0.98));
+        g.set_edge_attr(e, "maxDelay", avg * rng.random_range(1.02..1.3));
+        g.set_edge_attr(e, "tier", tier);
+    };
+
+    // Transit core: a ring plus random chords (connected, redundant).
+    let transit: Vec<NodeId> = (0..params.transit)
+        .map(|i| {
+            let n = g.add_node(format!("t{i}"));
+            g.set_node_attr(n, "tier", "transit");
+            g.set_node_attr(n, "domain", -1.0);
+            n
+        })
+        .collect();
+    if params.transit > 1 {
+        for i in 0..params.transit {
+            let j = (i + 1) % params.transit;
+            if !g.has_edge(transit[i], transit[j]) {
+                delay_edge(&mut g, transit[i], transit[j], 20.0, 80.0, 0.0, rng);
+            }
+        }
+        for i in 0..params.transit {
+            for j in (i + 2)..params.transit {
+                if !g.has_edge(transit[i], transit[j]) && rng.random_bool(0.25) {
+                    delay_edge(&mut g, transit[i], transit[j], 20.0, 80.0, 0.0, rng);
+                }
+            }
+        }
+    }
+
+    // Stub domains.
+    let mut domain = 0.0f64;
+    for &t in &transit {
+        for _s in 0..params.stubs_per_transit {
+            let members: Vec<NodeId> = (0..params.stub_size)
+                .map(|k| {
+                    let n = g.add_node(format!("d{}n{k}", domain as i64));
+                    g.set_node_attr(n, "tier", "stub");
+                    g.set_node_attr(n, "domain", domain);
+                    n
+                })
+                .collect();
+            // Spanning path keeps the stub connected.
+            for w in members.windows(2) {
+                delay_edge(&mut g, w[0], w[1], 0.5, 5.0, 2.0, rng);
+            }
+            // Extra LAN edges.
+            for i in 0..members.len() {
+                for j in (i + 2)..members.len() {
+                    if rng.random_bool(params.stub_extra_edge_prob.clamp(0.0, 1.0)) {
+                        delay_edge(&mut g, members[i], members[j], 0.5, 5.0, 2.0, rng);
+                    }
+                }
+            }
+            // Uplink: the stub's first node to its transit router.
+            delay_edge(&mut g, members[0], t, 5.0, 20.0, 1.0, rng);
+            domain += 1.0;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+    use netgraph::{algo, AttrValue};
+
+    #[test]
+    fn structure_and_connectivity() {
+        let p = TransitStubParams::default();
+        let g = transit_stub(&p, &mut rng(1));
+        assert_eq!(g.node_count(), p.node_count());
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn tiers_have_disjoint_delay_scales() {
+        let g = transit_stub(&TransitStubParams::default(), &mut rng(2));
+        for e in g.edge_refs() {
+            let tier = g
+                .edge_attr_by_name(e.id, "tier")
+                .and_then(AttrValue::as_num)
+                .unwrap();
+            let avg = g
+                .edge_attr_by_name(e.id, "avgDelay")
+                .and_then(AttrValue::as_num)
+                .unwrap();
+            match tier as i64 {
+                0 => assert!((20.0..80.0).contains(&avg), "transit delay {avg}"),
+                1 => assert!((5.0..20.0).contains(&avg), "uplink delay {avg}"),
+                2 => assert!((0.5..5.0).contains(&avg), "stub delay {avg}"),
+                other => panic!("unexpected tier {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn domains_are_labelled() {
+        let p = TransitStubParams {
+            transit: 2,
+            stubs_per_transit: 2,
+            stub_size: 3,
+            stub_extra_edge_prob: 0.0,
+        };
+        let g = transit_stub(&p, &mut rng(3));
+        let mut domains = std::collections::BTreeSet::new();
+        let mut transit_count = 0;
+        for v in g.node_ids() {
+            let d = g
+                .node_attr_by_name(v, "domain")
+                .and_then(AttrValue::as_num)
+                .unwrap();
+            if d < 0.0 {
+                transit_count += 1;
+            } else {
+                domains.insert(d as i64);
+            }
+        }
+        assert_eq!(transit_count, 2);
+        assert_eq!(domains.len(), 4);
+    }
+
+    #[test]
+    fn single_transit_degenerate_case() {
+        let p = TransitStubParams {
+            transit: 1,
+            stubs_per_transit: 2,
+            stub_size: 2,
+            stub_extra_edge_prob: 0.5,
+        };
+        let g = transit_stub(&p, &mut rng(4));
+        assert!(algo::is_connected(&g));
+        assert_eq!(g.node_count(), 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = TransitStubParams::default();
+        let a = transit_stub(&p, &mut rng(9));
+        let b = transit_stub(&p, &mut rng(9));
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn usable_as_embedding_host() {
+        // Sanity: subgraph queries sampled from a transit-stub host embed.
+        let g = transit_stub(&TransitStubParams::default(), &mut rng(10));
+        let wl = crate::workload::subgraph_query(
+            &g,
+            &crate::workload::SubgraphParams {
+                n: 6,
+                edge_keep: 1.0,
+                slack: 0.05,
+            },
+            &mut rng(11),
+        );
+        assert!(netgraph::algo::is_connected(&wl.query));
+        assert!(wl.ground_truth.is_some());
+    }
+}

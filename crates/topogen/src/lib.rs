@@ -1,0 +1,48 @@
+//! # topogen — topology and workload generation for NETEMBED
+//!
+//! The paper's evaluation (§VII-A) draws hosting networks from two sources
+//! — the PlanetLab all-pairs ping trace and the BRITE topology generator —
+//! and builds query networks three ways: random connected subgraphs of the
+//! host, regular topologies (cliques, rings, stars), and synthetic
+//! irregular topologies. Neither the trace nor BRITE itself can be bundled,
+//! so this crate regenerates statistically equivalent inputs from scratch:
+//!
+//! * [`planetlab`] — a synthetic all-pairs delay mesh with the trace's
+//!   shape: 296 sites, ≈29k edges (a near-clique), heavy-tailed RTTs with
+//!   per-edge `minDelay`/`avgDelay`/`maxDelay`, geographic clustering.
+//! * [`brite`] — BRITE's Barabási–Albert mode (incremental growth with
+//!   preferential attachment, giving E ≈ m·N like the paper's
+//!   N=1500/E=3030) plus a Waxman mode.
+//! * [`regular`] — rings, stars, cliques, lines, trees, grids.
+//! * [`composite`] — the paper's two-level hierarchical queries (§VII-D).
+//! * [`workload`] — query samplers and constraint synthesis: random
+//!   connected subgraph queries with delay windows (feasible by
+//!   construction), infeasible variants, and clique queries.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod brite;
+pub mod composite;
+pub mod hierarchical;
+pub mod planetlab;
+pub mod regular;
+pub mod workload;
+
+pub use brite::{brite_like, BriteMode, BriteParams};
+pub use composite::{composite_query, CompositeSpec, Level};
+pub use hierarchical::{transit_stub, TransitStubParams};
+pub use planetlab::{planetlab_like, PlanetlabParams};
+pub use regular::{clique, grid, line, ring, star, tree};
+pub use workload::{
+    assign_composite_windows, assign_random_windows, clique_query, make_infeasible,
+    subgraph_query, QueryWorkload, SubgraphParams, CLIQUE_CONSTRAINT, SUBGRAPH_CONSTRAINT,
+};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic RNG from a 64-bit seed — every generator entry point takes
+/// a seed rather than an `Rng` so experiment scripts stay reproducible.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,205 @@
+//! Synthetic PlanetLab-like all-pairs delay mesh.
+//!
+//! The paper's PlanetLab host network comes from the all-pairs ping trace
+//! \[21\]: 296 sites, 28,996 measured edges (≈66% of all pairs — "the
+//! underlying graph is not a clique" because some daemons were down), and
+//! per-edge minimum/average/maximum RTTs. The trace is no longer served, so
+//! this module synthesizes a mesh with the same structural signature:
+//!
+//! * sites grouped into geographic clusters ("continents"), giving a
+//!   bimodal RTT distribution: small intra-cluster delays (1–75 ms) and
+//!   large inter-cluster delays (75–350 ms);
+//! * a measured-pair probability < 1 so the graph is dense but not
+//!   complete;
+//! * `minDelay ≤ avgDelay ≤ maxDelay` with multiplicative jitter.
+//!
+//! The paper's three constraint windows depend on this distribution:
+//! 10–100 ms must be matched by thousands of edges (§VII-D reports ≈6,700),
+//! 25–175 ms must contain ≈70% of edges, and 1–75/75–350 must both be
+//! abundant. `delay_fraction_in` lets tests assert those calibrations.
+
+use netgraph::{AttrValue, Direction, Network};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Parameters of the synthetic trace.
+#[derive(Debug, Clone)]
+pub struct PlanetlabParams {
+    /// Number of sites (paper: 296).
+    pub sites: usize,
+    /// Probability that a site pair was measured (paper: 28996 edges of
+    /// 43660 possible ⇒ ≈0.664).
+    pub measured_prob: f64,
+    /// Number of geographic clusters.
+    pub clusters: usize,
+}
+
+impl Default for PlanetlabParams {
+    fn default() -> Self {
+        PlanetlabParams {
+            sites: 296,
+            measured_prob: 28_996.0 / (296.0 * 295.0 / 2.0),
+            clusters: 6,
+        }
+    }
+}
+
+/// Generate the synthetic PlanetLab-like hosting network.
+///
+/// Node attributes: `cluster` (numeric cluster id), `cpu`, `mem`,
+/// `osType`, and `name` is `"siteN"`. Edge attributes: `minDelay`,
+/// `avgDelay`, `maxDelay` in milliseconds.
+pub fn planetlab_like(params: &PlanetlabParams, rng: &mut StdRng) -> Network {
+    let mut g = Network::new(Direction::Undirected);
+    g.set_name(format!("planetlab-{}", params.sites));
+
+    // Cluster centres on a ring of the "globe": pairwise inter-cluster
+    // base delays of 60–280 ms, intra-cluster 2–40 ms.
+    let clusters: Vec<usize> = (0..params.sites)
+        .map(|_| rng.random_range(0..params.clusters))
+        .collect();
+
+    // Fixed per-cluster-pair base delay so the distribution is coherent.
+    let k = params.clusters;
+    let mut base = vec![vec![0.0f64; k]; k];
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..k {
+        for j in i..k {
+            let d = if i == j {
+                rng.random_range(4.0..20.0)
+            } else {
+                // Ring distance drives the base inter-cluster RTT.
+                // Calibrated so that ≈70% of all links fall in the
+                // 25–175 ms window and ≈25% in 10–100 ms, matching the
+                // fractions the paper quotes for its constraint windows.
+                let ring = (j - i).min(k - (j - i)) as f64;
+                65.0 + ring * 35.0 + rng.random_range(-10.0..10.0)
+            };
+            base[i][j] = d;
+            base[j][i] = d;
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..params.sites {
+        let id = g.add_node(format!("site{i}"));
+        g.set_node_attr(id, "cluster", clusters[i] as f64);
+        g.set_node_attr(id, "cpu", rng.random_range(1..=8) as f64);
+        g.set_node_attr(id, "mem", [512.0, 1024.0, 2048.0, 4096.0][rng.random_range(0..4)]);
+        let os = ["linux-2.6", "linux-2.4", "freebsd-5"][rng.random_range(0..3)];
+        g.set_node_attr(id, "osType", os);
+    }
+
+    for i in 0..params.sites {
+        for j in (i + 1)..params.sites {
+            if !rng.random_bool(params.measured_prob.clamp(0.0, 1.0)) {
+                continue;
+            }
+            let b = base[clusters[i]][clusters[j]];
+            // Per-pair spread around the cluster base plus jitter.
+            let avg = (b * rng.random_range(0.75..1.35)).max(1.0);
+            let min = avg * rng.random_range(0.85..0.98);
+            let max = avg * rng.random_range(1.02..1.45);
+            let e = g.add_edge(netgraph::NodeId(i as u32), netgraph::NodeId(j as u32));
+            g.set_edge_attr(e, "minDelay", min);
+            g.set_edge_attr(e, "avgDelay", avg);
+            g.set_edge_attr(e, "maxDelay", max);
+        }
+    }
+    g
+}
+
+/// Fraction of edges whose `avgDelay` lies within `[lo, hi]` — used to
+/// calibrate the synthetic trace against the edge counts the paper quotes
+/// for its constraint windows.
+pub fn delay_fraction_in(net: &Network, lo: f64, hi: f64) -> f64 {
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for e in net.edge_refs() {
+        if let Some(d) = net.edge_attr_by_name(e.id, "avgDelay").and_then(AttrValue::as_num) {
+            total += 1;
+            if d >= lo && d <= hi {
+                hits += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+    use netgraph::algo;
+
+    #[test]
+    fn shape_matches_trace() {
+        let g = planetlab_like(&PlanetlabParams::default(), &mut rng(1));
+        assert_eq!(g.node_count(), 296);
+        // ≈ 0.664 of 43,660 pairs: allow sampling noise.
+        let e = g.edge_count();
+        assert!(
+            (28_000..=30_000).contains(&e),
+            "edge count {e} far from the trace's 28,996"
+        );
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn delay_windows_are_populated_like_the_paper() {
+        let g = planetlab_like(&PlanetlabParams::default(), &mut rng(2));
+        // §VII-D: about 6,700 edges in 10–100 ms on 28,996 → ≈23%.
+        let f_10_100 = delay_fraction_in(&g, 10.0, 100.0);
+        assert!(
+            (0.10..=0.45).contains(&f_10_100),
+            "10-100ms fraction {f_10_100}"
+        );
+        // §VII-D: 25–175 ms contains about 70% of links.
+        let f_25_175 = delay_fraction_in(&g, 25.0, 175.0);
+        assert!(
+            (0.5..=0.85).contains(&f_25_175),
+            "25-175ms fraction {f_25_175}"
+        );
+        // Both composite ranges must be abundant.
+        assert!(delay_fraction_in(&g, 1.0, 75.0) > 0.1);
+        assert!(delay_fraction_in(&g, 75.0, 350.0) > 0.3);
+    }
+
+    #[test]
+    fn delays_ordered() {
+        let g = planetlab_like(&PlanetlabParams::default(), &mut rng(3));
+        for e in g.edge_refs() {
+            let get = |n: &str| {
+                g.edge_attr_by_name(e.id, n)
+                    .and_then(AttrValue::as_num)
+                    .unwrap()
+            };
+            assert!(get("minDelay") <= get("avgDelay"));
+            assert!(get("avgDelay") <= get("maxDelay"));
+            assert!(get("minDelay") > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = planetlab_like(&PlanetlabParams::default(), &mut rng(5));
+        let b = planetlab_like(&PlanetlabParams::default(), &mut rng(5));
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn small_instance_for_tests() {
+        let p = PlanetlabParams {
+            sites: 40,
+            measured_prob: 0.8,
+            clusters: 3,
+        };
+        let g = planetlab_like(&p, &mut rng(6));
+        assert_eq!(g.node_count(), 40);
+        assert!(algo::is_connected(&g));
+    }
+}

@@ -1,0 +1,168 @@
+//! Regular query topologies: rings, stars, cliques, lines, trees, grids.
+//!
+//! The paper uses regular topologies as worst-case queries (§VII-D): with
+//! uniform constraints, every permutation of a partial match is also a
+//! partial match, so the search cannot exploit asymmetry. These builders
+//! produce bare topologies; attribute assignment is the caller's job (see
+//! [`crate::workload`]).
+
+use netgraph::{Direction, Network, NodeId};
+
+/// A cycle of `n ≥ 3` nodes.
+pub fn ring(n: usize) -> Network {
+    assert!(n >= 3, "a ring needs at least 3 nodes");
+    let mut g = named(format!("ring-{n}"), n);
+    for i in 0..n {
+        g.add_edge(NodeId(i as u32), NodeId(((i + 1) % n) as u32));
+    }
+    g
+}
+
+/// A star: node 0 is the hub, nodes `1..n` are leaves. `n ≥ 2`.
+pub fn star(n: usize) -> Network {
+    assert!(n >= 2, "a star needs at least 2 nodes");
+    let mut g = named(format!("star-{n}"), n);
+    for i in 1..n {
+        g.add_edge(NodeId(0), NodeId(i as u32));
+    }
+    g
+}
+
+/// A complete graph on `n ≥ 2` nodes.
+pub fn clique(n: usize) -> Network {
+    assert!(n >= 2, "a clique needs at least 2 nodes");
+    let mut g = named(format!("clique-{n}"), n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(NodeId(i as u32), NodeId(j as u32));
+        }
+    }
+    g
+}
+
+/// A path of `n ≥ 2` nodes.
+pub fn line(n: usize) -> Network {
+    assert!(n >= 2, "a line needs at least 2 nodes");
+    let mut g = named(format!("line-{n}"), n);
+    for i in 0..n - 1 {
+        g.add_edge(NodeId(i as u32), NodeId((i + 1) as u32));
+    }
+    g
+}
+
+/// A complete `arity`-ary tree with `depth` levels below the root
+/// (`depth = 0` is a single node).
+pub fn tree(arity: usize, depth: usize) -> Network {
+    assert!(arity >= 1, "tree arity must be at least 1");
+    let n = if arity == 1 {
+        depth + 1
+    } else {
+        (arity.pow(depth as u32 + 1) - 1) / (arity - 1)
+    };
+    let mut g = named(format!("tree-{arity}x{depth}"), n);
+    // Children of node i are a·i+1 ... a·i+a (heap layout).
+    for i in 0..n {
+        for c in 1..=arity {
+            let child = arity * i + c;
+            if child < n {
+                g.add_edge(NodeId(i as u32), NodeId(child as u32));
+            }
+        }
+    }
+    g
+}
+
+/// A `w × h` grid (4-neighborhood).
+pub fn grid(w: usize, h: usize) -> Network {
+    assert!(w >= 1 && h >= 1 && w * h >= 2, "grid needs at least 2 nodes");
+    let mut g = named(format!("grid-{w}x{h}"), w * h);
+    let at = |x: usize, y: usize| NodeId((y * w + x) as u32);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                g.add_edge(at(x, y), at(x + 1, y));
+            }
+            if y + 1 < h {
+                g.add_edge(at(x, y), at(x, y + 1));
+            }
+        }
+    }
+    g
+}
+
+fn named(name: String, n: usize) -> Network {
+    let mut g = Network::new(Direction::Undirected);
+    g.set_name(name);
+    for i in 0..n {
+        g.add_node(format!("q{i}"));
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{algo, metrics};
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(8);
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 8);
+        assert!(g.node_ids().all(|v| g.degree(v) == 2));
+        assert!(algo::is_connected(&g));
+        assert_eq!(metrics::diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.degree(NodeId(0)), 5);
+        assert!((1..6).all(|i| g.degree(NodeId(i)) == 1));
+    }
+
+    #[test]
+    fn clique_shape() {
+        let g = clique(5);
+        assert_eq!(g.edge_count(), 10);
+        assert!((metrics::density(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn line_shape() {
+        let g = line(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(metrics::diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn tree_shapes() {
+        let g = tree(2, 3); // 15 nodes
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.edge_count(), 14);
+        assert!(algo::is_connected(&g));
+        let unary = tree(1, 4); // a path of 5
+        assert_eq!(unary.node_count(), 5);
+        assert_eq!(unary.edge_count(), 4);
+        let single = tree(3, 0);
+        assert_eq!(single.node_count(), 1);
+        assert_eq!(single.edge_count(), 0);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // Edges: h*(w-1) + w*(h-1) = 4*2 + 3*3 = 17.
+        assert_eq!(g.edge_count(), 17);
+        assert!(algo::is_connected(&g));
+        assert_eq!(metrics::diameter(&g), Some(5)); // (3-1)+(4-1)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_panics() {
+        ring(2);
+    }
+}

@@ -1,0 +1,433 @@
+//! Query workload synthesis: the three query-generation approaches of
+//! §VII-A plus the feasible/infeasible derivation of §VII-B.
+//!
+//! ## Conventions
+//!
+//! Query edges carry a requested delay window as `dmin`/`dmax` attributes.
+//! Two standard constraint expressions relate them to host edges:
+//!
+//! * [`SUBGRAPH_CONSTRAINT`] — "the real link delay range is within the
+//!   specified query-link delay range" (§VII-B):
+//!   `rEdge.minDelay >= vEdge.dmin && rEdge.maxDelay <= vEdge.dmax`.
+//! * [`CLIQUE_CONSTRAINT`] — "end-to-end delay between 10 and 100 ms"
+//!   (§VII-D): `rEdge.avgDelay >= vEdge.dmin && rEdge.avgDelay <= vEdge.dmax`.
+
+use netgraph::{AttrValue, Network, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Constraint for subgraph-sampled queries: the host link's measured delay
+/// range must lie within the query link's requested window.
+pub const SUBGRAPH_CONSTRAINT: &str =
+    "rEdge.minDelay >= vEdge.dmin && rEdge.maxDelay <= vEdge.dmax";
+
+/// Constraint for regular/clique/composite queries: the host link's average
+/// delay must fall inside the requested window.
+pub const CLIQUE_CONSTRAINT: &str =
+    "rEdge.avgDelay >= vEdge.dmin && rEdge.avgDelay <= vEdge.dmax";
+
+/// A generated query plus everything needed to run and check it.
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    /// The query (virtual) network with `dmin`/`dmax` edge attributes.
+    pub query: Network,
+    /// For each query node (by index), the host node it was sampled from.
+    /// `None` for synthetic queries with no planted embedding.
+    pub ground_truth: Option<Vec<NodeId>>,
+    /// The constraint expression to use with this query.
+    pub constraint: String,
+}
+
+/// Parameters for connected-subgraph query sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct SubgraphParams {
+    /// Number of query nodes.
+    pub n: usize,
+    /// Fraction of non-spanning-tree induced edges to keep in `[0, 1]`
+    /// (the paper varies E per N; 1.0 keeps the full induced subgraph).
+    pub edge_keep: f64,
+    /// Slack applied to the sampled window: `dmin = minDelay·(1−slack)`,
+    /// `dmax = maxDelay·(1+slack)`. Larger slack under-constrains the
+    /// query (more candidate links per query link).
+    pub slack: f64,
+}
+
+impl Default for SubgraphParams {
+    fn default() -> Self {
+        SubgraphParams {
+            n: 20,
+            edge_keep: 0.5,
+            slack: 0.01,
+        }
+    }
+}
+
+/// Sample a random connected subgraph of `host` as a query (§VII-A,
+/// approach 1). The query is feasible by construction: the identity
+/// mapping onto the sampled nodes satisfies [`SUBGRAPH_CONSTRAINT`].
+///
+/// Panics if `host` has fewer than `params.n` nodes or the connected
+/// component of the random start is too small.
+pub fn subgraph_query(host: &Network, params: &SubgraphParams, rng: &mut StdRng) -> QueryWorkload {
+    assert!(params.n >= 2, "query needs at least 2 nodes");
+    assert!(
+        host.node_count() >= params.n,
+        "host smaller than requested query"
+    );
+    // Grow a connected node set from a random start by repeatedly picking
+    // a random frontier node.
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(params.n);
+    let mut in_set = vec![false; host.node_count()];
+    let mut frontier: Vec<NodeId> = Vec::new();
+    let start = NodeId(rng.random_range(0..host.node_count() as u32));
+    chosen.push(start);
+    in_set[start.index()] = true;
+    for &(nb, _) in host.neighbors(start) {
+        if !in_set[nb.index()] {
+            frontier.push(nb);
+        }
+    }
+    while chosen.len() < params.n {
+        assert!(
+            !frontier.is_empty(),
+            "host component smaller than requested query size"
+        );
+        let i = rng.random_range(0..frontier.len());
+        let v = frontier.swap_remove(i);
+        if in_set[v.index()] {
+            continue;
+        }
+        in_set[v.index()] = true;
+        chosen.push(v);
+        for &(nb, _) in host.neighbors(v) {
+            if !in_set[nb.index()] {
+                frontier.push(nb);
+            }
+        }
+    }
+
+    let (induced, origin) = host.induced_subgraph(&chosen);
+    let query = thin_edges(&induced, params.edge_keep, rng);
+    let query = attach_windows(&query, host, &origin, params.slack);
+    QueryWorkload {
+        query,
+        ground_truth: Some(origin),
+        constraint: SUBGRAPH_CONSTRAINT.to_string(),
+    }
+}
+
+/// Keep a spanning tree plus `keep` fraction of the remaining edges.
+fn thin_edges(g: &Network, keep: f64, rng: &mut StdRng) -> Network {
+    if keep >= 1.0 {
+        return g.clone();
+    }
+    // Build a BFS spanning tree edge set.
+    let order = netgraph::algo::bfs_order(g, NodeId(0));
+    let mut in_tree = vec![false; g.edge_count()];
+    let mut visited = vec![false; g.node_count()];
+    visited[0] = true;
+    for &u in &order {
+        for &(v, e) in g.neighbors(u) {
+            if !visited[v.index()] {
+                visited[v.index()] = true;
+                in_tree[e.index()] = true;
+            }
+        }
+    }
+    let mut out = Network::new(g.direction());
+    out.set_name(g.name().to_string());
+    for v in g.node_ids() {
+        let nv = out.add_node(g.node_name(v).to_string());
+        for (aid, val) in g.node_attrs(v) {
+            let name = g.schema().name(aid).to_string();
+            out.set_node_attr(nv, &name, val.clone());
+        }
+    }
+    for e in g.edge_refs() {
+        if in_tree[e.id.index()] || rng.random_bool(keep.clamp(0.0, 1.0)) {
+            let ne = out.add_edge(e.src, e.dst);
+            for (aid, val) in g.edge_attrs(e.id) {
+                let name = g.schema().name(aid).to_string();
+                out.set_edge_attr(ne, &name, val.clone());
+            }
+        }
+    }
+    out
+}
+
+/// For every query edge, set `dmin`/`dmax` from the corresponding host
+/// edge's measured range, widened by `slack`.
+fn attach_windows(query: &Network, host: &Network, origin: &[NodeId], slack: f64) -> Network {
+    let mut q = query.clone();
+    for e in query.edge_refs() {
+        let hu = origin[e.src.index()];
+        let hv = origin[e.dst.index()];
+        let he = host
+            .find_edge(hu, hv)
+            .expect("query edge sampled from host edge");
+        let min = host
+            .edge_attr_by_name(he, "minDelay")
+            .and_then(AttrValue::as_num)
+            .unwrap_or(1.0);
+        let max = host
+            .edge_attr_by_name(he, "maxDelay")
+            .and_then(AttrValue::as_num)
+            .unwrap_or(min);
+        q.set_edge_attr(e.id, "dmin", min * (1.0 - slack));
+        q.set_edge_attr(e.id, "dmax", max * (1.0 + slack));
+    }
+    q
+}
+
+/// Derive an infeasible query from a feasible one (§VII-B): perturb the
+/// delay windows of `fraction` of the edges (at least one) to values no
+/// host link can satisfy. Topology is unchanged.
+pub fn make_infeasible(workload: &QueryWorkload, fraction: f64, rng: &mut StdRng) -> QueryWorkload {
+    let mut q = workload.query.clone();
+    let mut edges: Vec<netgraph::EdgeId> = q.edge_refs().map(|e| e.id).collect();
+    edges.shuffle(rng);
+    let k = ((edges.len() as f64 * fraction).ceil() as usize).clamp(1, edges.len());
+    for &e in edges.iter().take(k) {
+        // An empty window far above any measured delay: nothing matches.
+        q.set_edge_attr(e, "dmin", 1.0e7);
+        q.set_edge_attr(e, "dmax", 1.0e7 + 1.0);
+    }
+    QueryWorkload {
+        query: q,
+        ground_truth: None,
+        constraint: workload.constraint.clone(),
+    }
+}
+
+/// Clique query of `k` nodes whose edges all request an `avgDelay` in
+/// `[lo, hi]` (§VII-D uses 10–100 ms). Use with [`CLIQUE_CONSTRAINT`].
+pub fn clique_query(k: usize, lo: f64, hi: f64) -> QueryWorkload {
+    let mut q = crate::regular::clique(k);
+    for e in q.edge_refs().collect::<Vec<_>>() {
+        q.set_edge_attr(e.id, "dmin", lo);
+        q.set_edge_attr(e.id, "dmax", hi);
+    }
+    QueryWorkload {
+        query: q,
+        ground_truth: None,
+        constraint: CLIQUE_CONSTRAINT.to_string(),
+    }
+}
+
+/// Assign per-tier delay windows to a composite query (§VII-D, "regular
+/// constraints"): root-tier edges get `[root_lo, root_hi]`, leaf-tier edges
+/// get `[leaf_lo, leaf_hi]`.
+pub fn assign_composite_windows(
+    query: &mut Network,
+    (root_lo, root_hi): (f64, f64),
+    (leaf_lo, leaf_hi): (f64, f64),
+) {
+    for e in query.edge_refs().collect::<Vec<_>>() {
+        let tier = query
+            .edge_attr_by_name(e.id, "tier")
+            .and_then(AttrValue::as_num)
+            .unwrap_or(0.0);
+        let (lo, hi) = if tier == 0.0 {
+            (root_lo, root_hi)
+        } else {
+            (leaf_lo, leaf_hi)
+        };
+        query.set_edge_attr(e.id, "dmin", lo);
+        query.set_edge_attr(e.id, "dmax", hi);
+    }
+}
+
+/// Assign random delay windows (§VII-D, "irregular constraints"): each edge
+/// gets a window of width `width` whose centre is drawn uniformly from
+/// `[lo + width/2, hi − width/2]`.
+pub fn assign_random_windows(query: &mut Network, lo: f64, hi: f64, width: f64, rng: &mut StdRng) {
+    assert!(hi - lo >= width, "range narrower than window width");
+    for e in query.edge_refs().collect::<Vec<_>>() {
+        let centre = rng.random_range((lo + width / 2.0)..=(hi - width / 2.0));
+        query.set_edge_attr(e.id, "dmin", centre - width / 2.0);
+        query.set_edge_attr(e.id, "dmax", centre + width / 2.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planetlab::{planetlab_like, PlanetlabParams};
+    use crate::rng;
+    use netgraph::algo;
+
+    fn small_host(seed: u64) -> Network {
+        planetlab_like(
+            &PlanetlabParams {
+                sites: 60,
+                measured_prob: 0.7,
+                clusters: 3,
+            },
+            &mut rng(seed),
+        )
+    }
+
+    #[test]
+    fn subgraph_query_is_connected_and_grounded() {
+        let host = small_host(11);
+        let wl = subgraph_query(
+            &host,
+            &SubgraphParams {
+                n: 12,
+                edge_keep: 0.5,
+                slack: 0.01,
+            },
+            &mut rng(12),
+        );
+        assert_eq!(wl.query.node_count(), 12);
+        assert!(algo::is_connected(&wl.query));
+        let gt = wl.ground_truth.as_ref().unwrap();
+        assert_eq!(gt.len(), 12);
+        // Ground truth satisfies the window on every query edge.
+        for e in wl.query.edge_refs() {
+            let (hu, hv) = (gt[e.src.index()], gt[e.dst.index()]);
+            let he = host.find_edge(hu, hv).expect("host edge exists");
+            let hmin = host
+                .edge_attr_by_name(he, "minDelay")
+                .and_then(AttrValue::as_num)
+                .unwrap();
+            let hmax = host
+                .edge_attr_by_name(he, "maxDelay")
+                .and_then(AttrValue::as_num)
+                .unwrap();
+            let dmin = wl
+                .query
+                .edge_attr_by_name(e.id, "dmin")
+                .and_then(AttrValue::as_num)
+                .unwrap();
+            let dmax = wl
+                .query
+                .edge_attr_by_name(e.id, "dmax")
+                .and_then(AttrValue::as_num)
+                .unwrap();
+            assert!(dmin <= hmin && hmax <= dmax);
+        }
+    }
+
+    #[test]
+    fn edge_keep_thins_edges_but_keeps_connectivity() {
+        let host = small_host(13);
+        let full = subgraph_query(
+            &host,
+            &SubgraphParams {
+                n: 15,
+                edge_keep: 1.0,
+                slack: 0.01,
+            },
+            &mut rng(14),
+        );
+        let thin = subgraph_query(
+            &host,
+            &SubgraphParams {
+                n: 15,
+                edge_keep: 0.0,
+                slack: 0.01,
+            },
+            &mut rng(14),
+        );
+        assert!(thin.query.edge_count() <= full.query.edge_count());
+        // keep=0 leaves exactly a spanning tree.
+        assert_eq!(thin.query.edge_count(), 14);
+        assert!(algo::is_connected(&thin.query));
+    }
+
+    #[test]
+    fn infeasible_keeps_topology() {
+        let host = small_host(15);
+        let wl = subgraph_query(&host, &SubgraphParams::default(), &mut rng(16));
+        let bad = make_infeasible(&wl, 0.2, &mut rng(17));
+        assert_eq!(bad.query.node_count(), wl.query.node_count());
+        assert_eq!(bad.query.edge_count(), wl.query.edge_count());
+        assert!(bad.ground_truth.is_none());
+        // At least one edge got the impossible window.
+        let poisoned = bad
+            .query
+            .edge_refs()
+            .filter(|e| {
+                bad.query
+                    .edge_attr_by_name(e.id, "dmin")
+                    .and_then(AttrValue::as_num)
+                    .unwrap()
+                    > 1e6
+            })
+            .count();
+        assert!(poisoned >= 1);
+    }
+
+    #[test]
+    fn clique_query_windows() {
+        let wl = clique_query(5, 10.0, 100.0);
+        assert_eq!(wl.query.node_count(), 5);
+        assert_eq!(wl.query.edge_count(), 10);
+        for e in wl.query.edge_refs() {
+            assert_eq!(
+                wl.query
+                    .edge_attr_by_name(e.id, "dmin")
+                    .and_then(AttrValue::as_num),
+                Some(10.0)
+            );
+        }
+        assert_eq!(wl.constraint, CLIQUE_CONSTRAINT);
+    }
+
+    #[test]
+    fn composite_window_assignment() {
+        use crate::composite::{composite_query, CompositeSpec, Level};
+        let mut q = composite_query(&CompositeSpec {
+            root: Level::Ring,
+            groups: 3,
+            leaf: Level::Star,
+            group_size: 3,
+        });
+        assign_composite_windows(&mut q, (75.0, 350.0), (1.0, 75.0));
+        for e in q.edge_refs() {
+            let tier = q
+                .edge_attr_by_name(e.id, "tier")
+                .and_then(AttrValue::as_num)
+                .unwrap();
+            let dmin = q
+                .edge_attr_by_name(e.id, "dmin")
+                .and_then(AttrValue::as_num)
+                .unwrap();
+            if tier == 0.0 {
+                assert_eq!(dmin, 75.0);
+            } else {
+                assert_eq!(dmin, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn random_window_assignment_in_range() {
+        let mut q = crate::regular::ring(6);
+        assign_random_windows(&mut q, 25.0, 175.0, 50.0, &mut rng(18));
+        for e in q.edge_refs() {
+            let dmin = q
+                .edge_attr_by_name(e.id, "dmin")
+                .and_then(AttrValue::as_num)
+                .unwrap();
+            let dmax = q
+                .edge_attr_by_name(e.id, "dmax")
+                .and_then(AttrValue::as_num)
+                .unwrap();
+            assert!(dmin >= 25.0 - 1e-9);
+            assert!(dmax <= 175.0 + 1e-9);
+            assert!((dmax - dmin - 50.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn subgraph_sampling_deterministic() {
+        let host = small_host(19);
+        let a = subgraph_query(&host, &SubgraphParams::default(), &mut rng(20));
+        let b = subgraph_query(&host, &SubgraphParams::default(), &mut rng(20));
+        assert_eq!(a.ground_truth, b.ground_truth);
+        assert_eq!(a.query.edge_count(), b.query.edge_count());
+    }
+}

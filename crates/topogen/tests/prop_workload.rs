@@ -1,0 +1,114 @@
+//! Property tests for workload generation: planted queries are always
+//! connected, window-consistent with their ground truth, and generators
+//! respect their structural contracts.
+
+use netgraph::{algo, AttrValue};
+use proptest::prelude::*;
+use topogen::{
+    brite_like, make_infeasible, planetlab_like, subgraph_query, BriteParams, PlanetlabParams,
+    SubgraphParams,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn planted_queries_are_connected_and_window_consistent(
+        seed in 0u64..10_000,
+        n in 3usize..14,
+        keep in 0.0f64..1.0,
+    ) {
+        let host = planetlab_like(
+            &PlanetlabParams { sites: 30, measured_prob: 0.7, clusters: 3 },
+            &mut topogen::rng(seed),
+        );
+        let wl = subgraph_query(
+            &host,
+            &SubgraphParams { n, edge_keep: keep, slack: 0.02 },
+            &mut topogen::rng(seed + 1),
+        );
+        prop_assert_eq!(wl.query.node_count(), n);
+        prop_assert!(algo::is_connected(&wl.query));
+        // Spanning tree lower bound, induced-subgraph upper bound.
+        prop_assert!(wl.query.edge_count() >= n - 1);
+
+        let gt = wl.ground_truth.as_ref().unwrap();
+        // Ground truth nodes are distinct.
+        let set: std::collections::HashSet<_> = gt.iter().collect();
+        prop_assert_eq!(set.len(), n);
+        // Every query edge's window contains its host edge's range.
+        for e in wl.query.edge_refs() {
+            let he = host.find_edge(gt[e.src.index()], gt[e.dst.index()]).unwrap();
+            let get = |net: &netgraph::Network, id, name: &str| {
+                net.edge_attr_by_name(id, name).and_then(AttrValue::as_num).unwrap()
+            };
+            prop_assert!(get(&wl.query, e.id, "dmin") <= get(&host, he, "minDelay"));
+            prop_assert!(get(&wl.query, e.id, "dmax") >= get(&host, he, "maxDelay"));
+        }
+    }
+
+    #[test]
+    fn infeasible_variant_preserves_topology_and_poisons_windows(
+        seed in 0u64..10_000,
+        frac in 0.05f64..1.0,
+    ) {
+        let host = planetlab_like(
+            &PlanetlabParams { sites: 25, measured_prob: 0.7, clusters: 3 },
+            &mut topogen::rng(seed),
+        );
+        let wl = subgraph_query(
+            &host,
+            &SubgraphParams { n: 6, edge_keep: 0.5, slack: 0.02 },
+            &mut topogen::rng(seed + 1),
+        );
+        let bad = make_infeasible(&wl, frac, &mut topogen::rng(seed + 2));
+        prop_assert_eq!(bad.query.node_count(), wl.query.node_count());
+        prop_assert_eq!(bad.query.edge_count(), wl.query.edge_count());
+        for e in wl.query.edge_refs() {
+            prop_assert!(bad.query.has_edge(e.src, e.dst));
+        }
+        let poisoned = bad
+            .query
+            .edge_refs()
+            .filter(|e| {
+                bad.query
+                    .edge_attr_by_name(e.id, "dmin")
+                    .and_then(AttrValue::as_num)
+                    .unwrap()
+                    > 1e6
+            })
+            .count();
+        let expected = ((bad.query.edge_count() as f64 * frac).ceil() as usize)
+            .min(bad.query.edge_count());
+        prop_assert_eq!(poisoned, expected);
+    }
+
+    #[test]
+    fn brite_ba_edge_count_formula(n in 10usize..200) {
+        let g = brite_like(&BriteParams::paper_default(n), &mut topogen::rng(n as u64));
+        // Seed clique C(3,2)=3 edges + 2 per additional node, minus any
+        // shortfall when the attachment loop cannot find 2 distinct
+        // targets (rare). Allow a small deficit.
+        let expect = 3 + 2 * (n - 3);
+        prop_assert!(g.edge_count() <= expect);
+        prop_assert!(g.edge_count() + 4 >= expect, "edge deficit too large: {} vs {}", g.edge_count(), expect);
+        prop_assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn planetlab_connected_and_delay_ordered(seed in 0u64..5_000) {
+        let g = planetlab_like(
+            &PlanetlabParams { sites: 25, measured_prob: 0.6, clusters: 3 },
+            &mut topogen::rng(seed),
+        );
+        prop_assert!(algo::is_connected(&g));
+        for e in g.edge_refs() {
+            let get = |name: &str| {
+                g.edge_attr_by_name(e.id, name).and_then(AttrValue::as_num).unwrap()
+            };
+            prop_assert!(get("minDelay") <= get("avgDelay"));
+            prop_assert!(get("avgDelay") <= get("maxDelay"));
+            prop_assert!(get("minDelay") > 0.0);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! A DHT directory ring under network churn.
+//!
+//! §III's peer-to-peer scenario: the "directory nodes" of a distributed
+//! hash table need bounded pairwise delays. We embed a delay-constrained
+//! ring into a PlanetLab-like overlay, then let the monitoring simulator
+//! drift the measured delays; every few epochs the application re-checks
+//! its placement and re-embeds when the constraints no longer hold — the
+//! "adjust the mapping dynamically, as the application needs change" loop.
+//!
+//! Run with: `cargo run -p harness --release --example p2p_ring`
+
+use netembed::{Algorithm, Mapping, Options, Problem, SearchMode};
+use netgraph::Network;
+use service::{MonitorParams, MonitorSim, NetEmbedService, QueryRequest};
+use topogen::{assign_random_windows, regular, PlanetlabParams};
+
+fn ring_query() -> Network {
+    let mut q = regular::ring(6);
+    // Directory links should sit in the overlay's common delay band.
+    assign_random_windows(&mut q, 25.0, 175.0, 120.0, &mut topogen::rng(3));
+    q
+}
+
+fn main() {
+    let svc = NetEmbedService::new();
+    let host = topogen::planetlab_like(
+        &PlanetlabParams {
+            sites: 60,
+            measured_prob: 0.75,
+            clusters: 4,
+        },
+        &mut topogen::rng(21),
+    );
+    svc.registry().register("overlay", host);
+
+    let ring = ring_query();
+    let constraint = topogen::CLIQUE_CONSTRAINT; // avgDelay within window
+    let options = Options {
+        algorithm: Algorithm::Lns, // regular topology: LNS is the right tool (§VII-D)
+        mode: SearchMode::First,
+        timeout: Some(std::time::Duration::from_secs(3)),
+        ..Options::default()
+    };
+
+    let mut monitor = MonitorSim::new(MonitorParams {
+        delay_jitter: 0.25,
+        flap_prob: 0.0,
+        seed: 9,
+    });
+
+    let mut placement: Option<Mapping> = None;
+    let mut re_embeddings = 0u32;
+
+    for epoch in 0..12 {
+        // Is the current placement still valid against the live model?
+        let model = svc.registry().get("overlay").unwrap();
+        let still_valid = placement.as_ref().is_some_and(|m| {
+            let p = Problem::new(&ring, &model, constraint).expect("valid constraint");
+            netembed::check_mapping(&p, m).is_ok()
+        });
+
+        if !still_valid {
+            let resp = svc
+                .submit(&QueryRequest {
+                    host: "overlay".into(),
+                    query: ring.clone(),
+                    constraint: constraint.into(),
+                    options: options.clone(),
+                })
+                .expect("well-formed query");
+            match resp.mappings().first() {
+                Some(m) => {
+                    re_embeddings += 1;
+                    println!(
+                        "epoch {epoch:2}: re-embedded ring -> [{}]",
+                        m.iter()
+                            .map(|(_, r)| model.node_name(r).to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    placement = Some(m.clone());
+                }
+                None => {
+                    println!("epoch {epoch:2}: no feasible ring under current delays");
+                    placement = None;
+                }
+            }
+        } else {
+            println!("epoch {epoch:2}: placement still satisfies all delay windows");
+        }
+
+        // The network drifts.
+        monitor.tick(svc.registry(), "overlay");
+    }
+
+    println!("\ntotal re-embeddings over 12 epochs: {re_embeddings}");
+}

@@ -1,0 +1,79 @@
+//! Quickstart: embed a constrained virtual network into a small host.
+//!
+//! Builds a 6-node hosting network with measured link delays, writes a
+//! 3-node query with per-link delay windows, and asks the engine for every
+//! feasible embedding with each of the paper's three algorithms.
+//!
+//! Run with: `cargo run -p harness --release --example quickstart`
+
+use netembed::{Algorithm, Engine, Options, SearchMode};
+use netgraph::{Direction, Network};
+
+fn main() {
+    // --- Hosting network: a ring of 6 sites with a chord -----------------
+    let mut host = Network::new(Direction::Undirected);
+    let sites: Vec<_> = (0..6).map(|i| host.add_node(format!("site{i}"))).collect();
+    let delays = [12.0, 48.0, 25.0, 80.0, 15.0, 33.0];
+    for i in 0..6 {
+        let e = host.add_edge(sites[i], sites[(i + 1) % 6]);
+        host.set_edge_attr(e, "avgDelay", delays[i]);
+    }
+    let chord = host.add_edge(sites[0], sites[3]);
+    host.set_edge_attr(chord, "avgDelay", 20.0);
+
+    // --- Query network: a path x—y—z with requested delay windows --------
+    let mut query = Network::new(Direction::Undirected);
+    let x = query.add_node("x");
+    let y = query.add_node("y");
+    let z = query.add_node("z");
+    for (u, v, lo, hi) in [(x, y, 10.0, 30.0), (y, z, 10.0, 50.0)] {
+        let e = query.add_edge(u, v);
+        query.set_edge_attr(e, "dmin", lo);
+        query.set_edge_attr(e, "dmax", hi);
+    }
+
+    // The constraint expression relates query windows to host delays
+    // (§VI-B of the paper — same dot-notation objects as Table I).
+    let constraint = "rEdge.avgDelay >= vEdge.dmin && rEdge.avgDelay <= vEdge.dmax";
+
+    let engine = Engine::new(&host);
+
+    println!("host: {} nodes, {} edges", host.node_count(), host.edge_count());
+    println!("query: path x-y-z with delay windows\nconstraint: {constraint}\n");
+
+    for (algorithm, name) in [
+        (Algorithm::Ecf, "ECF (exhaustive + filtering)"),
+        (Algorithm::Rwb, "RWB (random walk, first match)"),
+        (Algorithm::Lns, "LNS (lazy neighborhood)"),
+    ] {
+        let mode = if algorithm == Algorithm::Rwb {
+            SearchMode::First
+        } else {
+            SearchMode::All
+        };
+        let result = engine
+            .embed(
+                &query,
+                constraint,
+                &Options {
+                    algorithm,
+                    mode,
+                    ..Options::default()
+                },
+            )
+            .expect("well-formed problem");
+        println!(
+            "{name}: {} embedding(s) in {:?} [{}]",
+            result.mappings.len(),
+            result.stats.elapsed,
+            result.outcome.label(),
+        );
+        for m in result.mappings.iter().take(4) {
+            println!("    {}", m.display(&query, &host));
+        }
+        if result.mappings.len() > 4 {
+            println!("    … and {} more", result.mappings.len() - 4);
+        }
+        println!();
+    }
+}

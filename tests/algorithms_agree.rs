@@ -1,0 +1,121 @@
+//! Cross-algorithm agreement: ECF, RWB, LNS and parallel ECF must agree on
+//! feasibility, and the complete algorithms must agree on the *entire*
+//! solution set. This is the completeness/correctness claim of §V checked
+//! empirically across randomized instances.
+
+use netembed::{Algorithm, Engine, Mapping, Options, SearchMode};
+use proptest::prelude::*;
+use topogen::{make_infeasible, subgraph_query, PlanetlabParams, SubgraphParams};
+
+fn solution_set(
+    host: &netgraph::Network,
+    query: &netgraph::Network,
+    constraint: &str,
+    algorithm: Algorithm,
+) -> Vec<Mapping> {
+    let engine = Engine::new(host);
+    let mut res = engine
+        .embed(
+            query,
+            constraint,
+            &Options {
+                algorithm,
+                mode: SearchMode::All,
+                ..Options::default()
+            },
+        )
+        .expect("well-formed problem");
+    res.mappings.sort_by_key(|m| m.as_slice().to_vec());
+    res.mappings
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// On planted (feasible) instances all three complete algorithms
+    /// enumerate identical solution sets, and RWB finds something.
+    #[test]
+    fn complete_algorithms_enumerate_identical_sets(seed in 0u64..500) {
+        let host = topogen::planetlab_like(
+            &PlanetlabParams { sites: 22, measured_prob: 0.7, clusters: 3 },
+            &mut topogen::rng(seed),
+        );
+        let wl = subgraph_query(
+            &host,
+            &SubgraphParams { n: 5, edge_keep: 0.6, slack: 0.03 },
+            &mut topogen::rng(seed + 1),
+        );
+
+        let ecf = solution_set(&host, &wl.query, &wl.constraint, Algorithm::Ecf);
+        let lns = solution_set(&host, &wl.query, &wl.constraint, Algorithm::Lns);
+        let par = solution_set(&host, &wl.query, &wl.constraint, Algorithm::ParallelEcf { threads: 3 });
+
+        prop_assert!(!ecf.is_empty(), "planted instance must be feasible");
+        prop_assert_eq!(&ecf, &lns, "ECF vs LNS solution sets differ");
+        prop_assert_eq!(&ecf, &par, "ECF vs parallel ECF solution sets differ");
+
+        // RWB (first match) must find a member of the complete set.
+        let engine = Engine::new(&host);
+        let rwb = engine
+            .embed(&wl.query, &wl.constraint, &Options {
+                algorithm: Algorithm::Rwb,
+                mode: SearchMode::First,
+                seed,
+                ..Options::default()
+            })
+            .unwrap();
+        prop_assert_eq!(rwb.mappings.len(), 1);
+        prop_assert!(ecf.contains(&rwb.mappings[0]));
+
+        // Every reported mapping passes independent verification.
+        let problem = netembed::Problem::new(&wl.query, &host, &wl.constraint).unwrap();
+        for m in &ecf {
+            netembed::check_mapping(&problem, m).unwrap();
+        }
+    }
+
+    /// On poisoned (infeasible) instances every algorithm returns a
+    /// definitive empty result — no false positives, no hangs.
+    #[test]
+    fn infeasible_instances_agree(seed in 0u64..500) {
+        let host = topogen::planetlab_like(
+            &PlanetlabParams { sites: 20, measured_prob: 0.7, clusters: 3 },
+            &mut topogen::rng(seed + 9000),
+        );
+        let wl = subgraph_query(
+            &host,
+            &SubgraphParams { n: 5, edge_keep: 0.6, slack: 0.02 },
+            &mut topogen::rng(seed + 9001),
+        );
+        let bad = make_infeasible(&wl, 0.3, &mut topogen::rng(seed + 9002));
+
+        for algorithm in [Algorithm::Ecf, Algorithm::Rwb, Algorithm::Lns,
+                          Algorithm::ParallelEcf { threads: 2 }] {
+            let engine = Engine::new(&host);
+            let res = engine
+                .embed(&bad.query, &bad.constraint, &Options {
+                    algorithm,
+                    mode: SearchMode::All,
+                    ..Options::default()
+                })
+                .unwrap();
+            prop_assert!(res.mappings.is_empty(), "{algorithm:?} found a mapping on a poisoned instance");
+            prop_assert!(res.outcome.definitively_infeasible(),
+                "{algorithm:?} did not return a definitive no");
+        }
+    }
+
+    /// Solution sets of automorphic queries are closed under the query's
+    /// automorphisms: for a triangle query, the solution count must be a
+    /// multiple of |Aut(K3)| = 6.
+    #[test]
+    fn automorphism_closure_for_triangle(seed in 0u64..200) {
+        let host = topogen::planetlab_like(
+            &PlanetlabParams { sites: 18, measured_prob: 0.8, clusters: 2 },
+            &mut topogen::rng(seed + 400),
+        );
+        let wl = topogen::clique_query(3, 10.0, 200.0);
+        let sols = solution_set(&host, &wl.query, &wl.constraint, Algorithm::Ecf);
+        prop_assert_eq!(sols.len() % 6, 0, "triangle solutions not closed under automorphism");
+    }
+}

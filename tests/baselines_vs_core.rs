@@ -1,0 +1,148 @@
+//! Baselines vs the NETEMBED engine: the qualitative §VII-F claims.
+
+use baselines::{anneal, genetic, stress_greedy, AnnealParams, GeneticParams, StressParams};
+use netembed::{Engine, Options, Problem, SearchMode};
+use topogen::{make_infeasible, subgraph_query, PlanetlabParams, SubgraphParams};
+
+fn planted(seed: u64, n: usize) -> (netgraph::Network, topogen::QueryWorkload) {
+    let host = topogen::planetlab_like(
+        &PlanetlabParams {
+            sites: 30,
+            measured_prob: 0.75,
+            clusters: 3,
+        },
+        &mut topogen::rng(seed),
+    );
+    let wl = subgraph_query(
+        &host,
+        &SubgraphParams {
+            n,
+            edge_keep: 0.8,
+            slack: 0.05,
+        },
+        &mut topogen::rng(seed + 1),
+    );
+    (host, wl)
+}
+
+#[test]
+fn baseline_solutions_pass_independent_verification() {
+    let (host, wl) = planted(300, 6);
+    let p = Problem::new(&wl.query, &host, &wl.constraint).unwrap();
+
+    let sa = anneal(&p, &AnnealParams::default());
+    if sa.feasible {
+        netembed::check_mapping(&p, &sa.mapping).expect("SA mapping must verify");
+    }
+    let ga = genetic(&p, &GeneticParams::default());
+    if ga.feasible {
+        netembed::check_mapping(&p, &ga.mapping).expect("GA mapping must verify");
+    }
+    let stress = vec![0u32; p.nr()];
+    let sg = stress_greedy(&p, &StressParams::default(), &stress);
+    if sg.feasible {
+        netembed::check_mapping(&p, &sg.mapping).expect("stress mapping must verify");
+    }
+    // At least one of the heuristics should crack this easy instance.
+    assert!(
+        sa.feasible || ga.feasible || sg.feasible,
+        "all baselines failed an easy planted instance"
+    );
+}
+
+#[test]
+fn ecf_is_definitive_on_infeasible_while_heuristics_burn_budget() {
+    let (host, wl) = planted(301, 6);
+    let bad = make_infeasible(&wl, 0.5, &mut topogen::rng(302));
+    let p = Problem::new(&bad.query, &host, &bad.constraint).unwrap();
+
+    // ECF: definitive empty answer.
+    let engine = Engine::new(&host);
+    let res = engine
+        .embed(&bad.query, &bad.constraint, &Options::default())
+        .unwrap();
+    assert!(res.outcome.definitively_infeasible());
+
+    // Heuristics: cannot prove anything; they exhaust their budgets.
+    let sa = anneal(
+        &p,
+        &AnnealParams {
+            max_iters: 3_000,
+            ..Default::default()
+        },
+    );
+    assert!(!sa.feasible);
+    assert_eq!(sa.iterations, 3_000);
+    let ga = genetic(
+        &p,
+        &GeneticParams {
+            generations: 25,
+            ..Default::default()
+        },
+    );
+    assert!(!ga.feasible);
+    assert_eq!(ga.iterations, 25);
+}
+
+#[test]
+fn ecf_first_match_agrees_with_baseline_feasibility_on_easy_instances() {
+    for seed in 0..5u64 {
+        let (host, wl) = planted(310 + seed, 5);
+        let engine = Engine::new(&host);
+        let ecf = engine
+            .embed(
+                &wl.query,
+                &wl.constraint,
+                &Options {
+                    mode: SearchMode::First,
+                    ..Options::default()
+                },
+            )
+            .unwrap();
+        // Planted instances are always feasible; ECF must find one.
+        assert_eq!(ecf.mappings.len(), 1, "seed {seed}");
+    }
+}
+
+#[test]
+fn stress_greedy_balances_load_where_ecf_does_not_try_to() {
+    // Zhu–Ammar's goal is load balancing across successive virtual
+    // networks. Run three placements and check the stress spread.
+    let host = topogen::planetlab_like(
+        &PlanetlabParams {
+            sites: 24,
+            measured_prob: 0.9,
+            clusters: 2,
+        },
+        &mut topogen::rng(320),
+    );
+    let wl = subgraph_query(
+        &host,
+        &SubgraphParams {
+            n: 4,
+            edge_keep: 1.0,
+            slack: 1.0, // loose: many placements available
+        },
+        &mut topogen::rng(321),
+    );
+    let p = Problem::new(&wl.query, &host, &wl.constraint).unwrap();
+    let mut stress = vec![0u32; p.nr()];
+    for seed in 0..3 {
+        let r = stress_greedy(
+            &p,
+            &StressParams {
+                seed,
+                ..Default::default()
+            },
+            &stress,
+        );
+        if r.feasible {
+            baselines::stress::apply_stress(&mut stress, &r.mapping);
+        }
+    }
+    let max_load = *stress.iter().max().unwrap();
+    assert!(
+        max_load <= 2,
+        "stress-greedy concentrated load: {stress:?}"
+    );
+}

@@ -1,0 +1,184 @@
+//! Integration tests for the §VIII extension features working together:
+//! link→path mapping, time-window scheduling, partitioned processing and
+//! automorphism compression.
+
+use netembed::automorph::{compress_orbits, query_automorphisms};
+use netembed::pathmap::{check_path_mapping, search_paths, PathPolicy};
+use netembed::{Deadline, Engine, Options};
+use netgraph::{Direction, Network, NodeId};
+use service::{Locality, PartitionedHost, Scheduler};
+use topogen::{transit_stub, TransitStubParams};
+
+fn fabric(seed: u64) -> Network {
+    let mut f = transit_stub(
+        &TransitStubParams {
+            transit: 3,
+            stubs_per_transit: 2,
+            stub_size: 4,
+            stub_extra_edge_prob: 0.5,
+        },
+        &mut topogen::rng(seed),
+    );
+    for n in f.node_ids().collect::<Vec<_>>() {
+        f.set_node_attr(n, "cpu", 4.0);
+    }
+    f
+}
+
+#[test]
+fn path_mapping_beats_plain_embedding_on_sparse_fabric() {
+    let host = fabric(60);
+    // A triangle with generous delay windows: the sparse transit-stub
+    // fabric has very few host triangles, so plain embedding usually
+    // fails where 2-hop path mapping succeeds.
+    let mut q = Network::new(Direction::Undirected);
+    let ids: Vec<NodeId> = (0..3).map(|i| q.add_node(format!("q{i}"))).collect();
+    for i in 0..3 {
+        let e = q.add_edge(ids[i], ids[(i + 1) % 3]);
+        q.set_edge_attr(e, "dmin", 0.0);
+        q.set_edge_attr(e, "dmax", 200.0);
+    }
+
+    let policy = PathPolicy {
+        max_hops: 3,
+        ..PathPolicy::default()
+    };
+    let mut dl = Deadline::unlimited();
+    let (paths, _) = search_paths(&q, &host, &policy, None, 1, &mut dl).unwrap();
+    assert!(
+        !paths.is_empty(),
+        "path mapping must find a placement on the fabric"
+    );
+    check_path_mapping(&q, &host, &policy, &paths[0]).unwrap();
+}
+
+#[test]
+fn scheduler_serializes_conflicting_jobs() {
+    // A deliberately tiny fabric (7 nodes) so eight 2-node jobs cannot all
+    // run concurrently.
+    let mut small = transit_stub(
+        &TransitStubParams {
+            transit: 1,
+            stubs_per_transit: 2,
+            stub_size: 3,
+            stub_extra_edge_prob: 0.5,
+        },
+        &mut topogen::rng(61),
+    );
+    for n in small.node_ids().collect::<Vec<_>>() {
+        small.set_node_attr(n, "cpu", 4.0);
+    }
+    let mut scheduler = Scheduler::new(small, &["cpu"]);
+    let mut job = Network::new(Direction::Undirected);
+    let a = job.add_node("a");
+    let b = job.add_node("b");
+    job.add_edge(a, b);
+    job.set_node_attr(a, "cpu", 4.0); // takes a whole host node
+    job.set_node_attr(b, "cpu", 4.0);
+    let constraint = "rNode.cpu >= vNode.cpu && rEdge.avgDelay <= 10.0";
+
+    // Stub LANs have ≤ 5ms links; each stub has 4 nodes. Saturate.
+    let mut windows = Vec::new();
+    for _ in 0..8 {
+        let w = scheduler
+            .find_window(&job, constraint, 25, 0, 1_000, &Options::default())
+            .expect("eventually a window exists");
+        windows.push(w);
+    }
+    // All grants are capacity-consistent (pairwise overlapping grants
+    // never share a host node).
+    for i in 0..windows.len() {
+        for j in (i + 1)..windows.len() {
+            let (wi, wj) = (&windows[i], &windows[j]);
+            let overlap = wi.start < wj.end && wj.start < wi.end;
+            if overlap {
+                let hosts_i: std::collections::HashSet<NodeId> =
+                    wi.mapping.iter().map(|(_, r)| r).collect();
+                for (_, r) in wj.mapping.iter() {
+                    assert!(
+                        !hosts_i.contains(&r),
+                        "overlapping windows share host {r}"
+                    );
+                }
+            }
+        }
+    }
+    // At least one job had to wait (a stub LAN holds at most 2 such jobs).
+    assert!(
+        windows.iter().any(|w| w.start > 0),
+        "saturation never forced a later window"
+    );
+}
+
+#[test]
+fn partitioned_fabric_answers_stub_queries_locally() {
+    let host = fabric(62);
+    let partitioned = PartitionedHost::new(host, "domain");
+    // 6 stub domains + the transit "-1" region.
+    assert_eq!(partitioned.region_count(), 7);
+
+    // An intra-LAN edge query (≤ 5ms) lives inside one stub domain.
+    let mut q = Network::new(Direction::Undirected);
+    let a = q.add_node("a");
+    let b = q.add_node("b");
+    q.add_edge(a, b);
+    let resp = partitioned
+        .submit(&q, "rEdge.avgDelay <= 5.0", &Options::default())
+        .unwrap();
+    assert!(matches!(resp.locality, Locality::Region(_)), "{:?}", resp.locality);
+    assert!(resp.outcome.found_any());
+
+    // A wide-area query (≥ 20ms) needs transit links: global tier.
+    let resp = partitioned
+        .submit(&q, "rEdge.avgDelay >= 20.0", &Options::default())
+        .unwrap();
+    assert!(resp.outcome.found_any());
+}
+
+#[test]
+fn automorphism_compression_matches_engine_counts() {
+    // Ring query into a clique host: solutions = orbits × |Aut(ring)|.
+    let mut host = Network::new(Direction::Undirected);
+    let ids: Vec<NodeId> = (0..6).map(|i| host.add_node(format!("h{i}"))).collect();
+    for i in 0..6 {
+        for j in (i + 1)..6 {
+            host.add_edge(ids[i], ids[j]);
+        }
+    }
+    let ring = topogen::regular::ring(4);
+    let engine = Engine::new(&host);
+    let res = engine.embed(&ring, "true", &Options::default()).unwrap();
+
+    let autos = query_automorphisms(&ring, 1_000);
+    assert_eq!(autos.order(), 8); // D4
+    let orbits = compress_orbits(&res.mappings, &autos);
+    // Every orbit is full (host is symmetric), so count × 8 = total.
+    assert_eq!(orbits.len() * 8, res.mappings.len());
+    for o in &orbits {
+        assert_eq!(o.size, 8);
+    }
+}
+
+#[test]
+fn scheduler_plus_partition_round_trip() {
+    // Schedule against the residual model of a partitioned fabric: take
+    // the model at t=0, partition it, and check both views agree on an
+    // easy query's feasibility.
+    let base = fabric(63);
+    let scheduler = Scheduler::new(base.clone(), &["cpu"]);
+    let model = scheduler.model_at(0);
+    let partitioned = PartitionedHost::new(model.clone(), "domain");
+
+    let mut q = Network::new(Direction::Undirected);
+    let a = q.add_node("a");
+    let b = q.add_node("b");
+    q.add_edge(a, b);
+
+    let flat = Engine::new(&model)
+        .embed(&q, "rEdge.avgDelay <= 5.0", &Options::default())
+        .unwrap();
+    let part = partitioned
+        .submit(&q, "rEdge.avgDelay <= 5.0", &Options::default())
+        .unwrap();
+    assert_eq!(flat.mappings.is_empty(), !part.outcome.found_any());
+}

@@ -1,0 +1,268 @@
+//! Scaled-down versions of the paper's evaluation scenarios (§VII),
+//! asserting the qualitative claims rather than absolute timings.
+
+use netembed::{Algorithm, Engine, Options, Outcome, SearchMode};
+use std::time::Duration;
+use topogen::{
+    assign_composite_windows, clique_query, composite_query, make_infeasible, subgraph_query,
+    CompositeSpec, Level, PlanetlabParams, SubgraphParams, CLIQUE_CONSTRAINT,
+};
+
+fn small_planetlab(seed: u64) -> netgraph::Network {
+    topogen::planetlab_like(
+        &PlanetlabParams {
+            sites: 40,
+            measured_prob: 0.7,
+            clusters: 4,
+        },
+        &mut topogen::rng(seed),
+    )
+}
+
+/// §VII-B: subgraph queries always embed (they were sampled from the
+/// host), and the time to first match is no greater than all-matches.
+#[test]
+fn subgraph_queries_always_feasible() {
+    let host = small_planetlab(500);
+    for n in [5usize, 8, 12] {
+        let wl = subgraph_query(
+            &host,
+            &SubgraphParams {
+                n,
+                edge_keep: 0.4,
+                slack: 0.02,
+            },
+            &mut topogen::rng(501 + n as u64),
+        );
+        let engine = Engine::new(&host);
+        let all = engine
+            .embed(&wl.query, &wl.constraint, &Options::default())
+            .unwrap();
+        assert!(!all.mappings.is_empty(), "n={n}");
+        let first = engine
+            .embed(
+                &wl.query,
+                &wl.constraint,
+                &Options {
+                    mode: SearchMode::First,
+                    ..Options::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(first.mappings.len(), 1);
+        assert!(
+            first.stats.nodes_visited <= all.stats.nodes_visited,
+            "first-match visited more nodes than all-matches"
+        );
+    }
+}
+
+/// §VII-B (Fig 10): infeasible variants terminate with a definitive no.
+#[test]
+fn infeasible_variants_definitive_for_all_algorithms() {
+    let host = small_planetlab(510);
+    let wl = subgraph_query(
+        &host,
+        &SubgraphParams {
+            n: 8,
+            edge_keep: 0.4,
+            slack: 0.02,
+        },
+        &mut topogen::rng(511),
+    );
+    let bad = make_infeasible(&wl, 0.2, &mut topogen::rng(512));
+    for algorithm in [Algorithm::Ecf, Algorithm::Rwb, Algorithm::Lns] {
+        let engine = Engine::new(&host);
+        let res = engine
+            .embed(
+                &bad.query,
+                &bad.constraint,
+                &Options {
+                    algorithm,
+                    ..Options::default()
+                },
+            )
+            .unwrap();
+        assert!(res.outcome.definitively_infeasible(), "{algorithm:?}");
+    }
+}
+
+/// §VII-D (Fig 13): small cliques with the 10–100 ms window embed, and
+/// LNS finds the first clique match while enumerating-all on larger
+/// cliques becomes expensive (we check the solution explosion).
+#[test]
+fn clique_queries_solution_explosion() {
+    let host = small_planetlab(520);
+    let engine = Engine::new(&host);
+    let mut counts = Vec::new();
+    for k in [2usize, 3, 4] {
+        let wl = clique_query(k, 10.0, 150.0);
+        let res = engine
+            .embed(
+                &wl.query,
+                &wl.constraint,
+                &Options {
+                    timeout: Some(Duration::from_secs(20)),
+                    ..Options::default()
+                },
+            )
+            .unwrap();
+        counts.push(res.mappings.len());
+    }
+    // Monotone explosive growth (k=2 counts each edge twice, etc.).
+    assert!(counts[0] > 0);
+    assert!(counts[1] > counts[0]);
+    // Clique solution sets are automorphism-closed: k! divides the count.
+    assert_eq!(counts[1] % 6, 0);
+    assert_eq!(counts[2] % 24, 0);
+}
+
+/// §VII-D (Fig 13b/14): on regular, under-constrained queries LNS's
+/// first-match search visits far fewer states than ECF's, because it
+/// needs no filter-matrix pass over every (query edge, host edge) pair.
+#[test]
+fn lns_cheaper_to_first_match_on_cliques() {
+    let host = small_planetlab(530);
+    let engine = Engine::new(&host);
+    let wl = clique_query(4, 10.0, 150.0);
+    let ecf = engine
+        .embed(
+            &wl.query,
+            &wl.constraint,
+            &Options {
+                mode: SearchMode::First,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+    let lns = engine
+        .embed(
+            &wl.query,
+            &wl.constraint,
+            &Options {
+                algorithm: Algorithm::Lns,
+                mode: SearchMode::First,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(ecf.mappings.len(), 1);
+    assert_eq!(lns.mappings.len(), 1);
+    assert!(
+        lns.stats.constraint_evals < ecf.stats.constraint_evals,
+        "LNS evals {} !< ECF evals {}",
+        lns.stats.constraint_evals,
+        ecf.stats.constraint_evals
+    );
+}
+
+/// §VII-D (Fig 14): composite queries embed under the regular per-tier
+/// windows, and every returned placement respects both tiers.
+#[test]
+fn composite_queries_embed_with_tier_windows() {
+    let host = small_planetlab(540);
+    let spec = CompositeSpec {
+        root: Level::Ring,
+        groups: 3,
+        leaf: Level::Star,
+        group_size: 3,
+    };
+    let mut q = composite_query(&spec);
+    assign_composite_windows(&mut q, (75.0, 350.0), (1.0, 75.0));
+    let engine = Engine::new(&host);
+    let res = engine
+        .embed(
+            &q,
+            CLIQUE_CONSTRAINT,
+            &Options {
+                algorithm: Algorithm::Lns,
+                mode: SearchMode::First,
+                timeout: Some(Duration::from_secs(20)),
+                ..Options::default()
+            },
+        )
+        .unwrap();
+    if let Some(m) = res.mappings.first() {
+        // Independent verification re-checks the tier windows per edge.
+        let p = netembed::Problem::new(&q, &host, CLIQUE_CONSTRAINT).unwrap();
+        netembed::check_mapping(&p, m).unwrap();
+    } else {
+        // Small hosts occasionally cannot fit 9 nodes with both tiers;
+        // that must then be a *definitive* no, not a timeout.
+        assert!(matches!(res.outcome, Outcome::Complete(_)));
+    }
+}
+
+/// §VII-E (Fig 15): timeout classification — a microscopic budget yields
+/// Inconclusive on a large query, a generous budget yields Complete.
+#[test]
+fn outcome_classification_tracks_budget() {
+    let host = small_planetlab(550);
+    let wl = subgraph_query(
+        &host,
+        &SubgraphParams {
+            n: 10,
+            edge_keep: 0.5,
+            slack: 0.05,
+        },
+        &mut topogen::rng(551),
+    );
+    let engine = Engine::new(&host);
+    let tight = engine
+        .embed(
+            &wl.query,
+            &wl.constraint,
+            &Options {
+                timeout: Some(Duration::ZERO),
+                ..Options::default()
+            },
+        )
+        .unwrap();
+    assert!(matches!(tight.outcome, Outcome::Inconclusive));
+    let generous = engine
+        .embed(
+            &wl.query,
+            &wl.constraint,
+            &Options {
+                timeout: Some(Duration::from_secs(30)),
+                ..Options::default()
+            },
+        )
+        .unwrap();
+    assert!(matches!(generous.outcome, Outcome::Complete(_)));
+}
+
+/// §VIII: parallel ECF returns the identical solution set on a paper-like
+/// workload.
+#[test]
+fn parallel_ecf_equals_sequential_on_planetlab_workload() {
+    let host = small_planetlab(560);
+    let wl = subgraph_query(
+        &host,
+        &SubgraphParams {
+            n: 7,
+            edge_keep: 0.6,
+            slack: 0.03,
+        },
+        &mut topogen::rng(561),
+    );
+    let engine = Engine::new(&host);
+    let mut seq = engine
+        .embed(&wl.query, &wl.constraint, &Options::default())
+        .unwrap()
+        .mappings;
+    let mut par = engine
+        .embed(
+            &wl.query,
+            &wl.constraint,
+            &Options {
+                algorithm: Algorithm::ParallelEcf { threads: 4 },
+                ..Options::default()
+            },
+        )
+        .unwrap()
+        .mappings;
+    seq.sort_by_key(|m| m.as_slice().to_vec());
+    par.sort_by_key(|m| m.as_slice().to_vec());
+    assert_eq!(seq, par);
+}

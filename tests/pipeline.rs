@@ -1,0 +1,112 @@
+//! End-to-end pipeline: generate → serialize (GraphML) → parse → embed →
+//! verify, crossing every crate boundary in the workspace.
+
+use netembed::{Engine, Options, SearchMode};
+use topogen::{subgraph_query, PlanetlabParams, SubgraphParams};
+
+#[test]
+fn generate_serialize_parse_embed_verify() {
+    // Generate a host and a planted query.
+    let host = topogen::planetlab_like(
+        &PlanetlabParams {
+            sites: 40,
+            measured_prob: 0.75,
+            clusters: 3,
+        },
+        &mut topogen::rng(100),
+    );
+    let wl = subgraph_query(
+        &host,
+        &SubgraphParams {
+            n: 8,
+            edge_keep: 0.4,
+            slack: 0.02,
+        },
+        &mut topogen::rng(101),
+    );
+
+    // Round-trip both networks through GraphML.
+    let host2 = graphml::from_str(&graphml::to_string(&host)).expect("host round-trip");
+    let query2 = graphml::from_str(&graphml::to_string(&wl.query)).expect("query round-trip");
+    assert_eq!(host.node_count(), host2.node_count());
+    assert_eq!(host.edge_count(), host2.edge_count());
+    assert_eq!(wl.query.edge_count(), query2.edge_count());
+
+    // Embed the parsed query into the parsed host.
+    let engine = Engine::new(&host2);
+    let result = engine
+        .embed(&query2, &wl.constraint, &Options::default())
+        .expect("well-formed problem");
+    assert!(
+        !result.mappings.is_empty(),
+        "planted query must embed after GraphML round-trip"
+    );
+
+    // Verify every mapping independently.
+    let problem = netembed::Problem::new(&query2, &host2, &wl.constraint).unwrap();
+    for m in &result.mappings {
+        netembed::check_mapping(&problem, m).expect("engine returned infeasible mapping");
+    }
+}
+
+#[test]
+fn planted_ground_truth_is_among_ecf_solutions() {
+    let host = topogen::planetlab_like(
+        &PlanetlabParams {
+            sites: 30,
+            measured_prob: 0.8,
+            clusters: 3,
+        },
+        &mut topogen::rng(102),
+    );
+    let wl = subgraph_query(
+        &host,
+        &SubgraphParams {
+            n: 6,
+            edge_keep: 1.0,
+            slack: 0.01,
+        },
+        &mut topogen::rng(103),
+    );
+    let gt = wl.ground_truth.clone().expect("planted query");
+    let engine = Engine::new(&host);
+    let result = engine
+        .embed(&wl.query, &wl.constraint, &Options::default())
+        .unwrap();
+    let found = result
+        .mappings
+        .iter()
+        .any(|m| m.as_slice() == gt.as_slice());
+    assert!(found, "ECF all-matches must include the planted embedding");
+}
+
+#[test]
+fn brite_host_pipeline() {
+    let host = topogen::brite_like(
+        &topogen::BriteParams::paper_default(120),
+        &mut topogen::rng(104),
+    );
+    let wl = subgraph_query(
+        &host,
+        &SubgraphParams {
+            n: 10,
+            edge_keep: 1.0,
+            slack: 0.05,
+        },
+        &mut topogen::rng(105),
+    );
+    let engine = Engine::new(&host);
+    let result = engine
+        .embed(
+            &wl.query,
+            &wl.constraint,
+            &Options {
+                mode: SearchMode::First,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(result.mappings.len(), 1);
+    let problem = netembed::Problem::new(&wl.query, &host, &wl.constraint).unwrap();
+    netembed::check_mapping(&problem, &result.mappings[0]).unwrap();
+}
