@@ -108,15 +108,9 @@ mod tests {
         let (q, h) = nets();
         let p = Problem::new(&q, &h, "true").unwrap();
         // a→h0, b→h1, c→h2: edges (h0,h1), (h1,h2) exist → cost 0.
-        assert_eq!(
-            assignment_cost(&p, &[NodeId(0), NodeId(1), NodeId(2)]),
-            0
-        );
+        assert_eq!(assignment_cost(&p, &[NodeId(0), NodeId(1), NodeId(2)]), 0);
         // a→h0, b→h2: no edge h0-h2 → cost 1; (h2,h1)? c→h1: edge h1-h2 ok.
-        assert_eq!(
-            assignment_cost(&p, &[NodeId(0), NodeId(2), NodeId(1)]),
-            1
-        );
+        assert_eq!(assignment_cost(&p, &[NodeId(0), NodeId(2), NodeId(1)]), 1);
     }
 
     #[test]

@@ -109,11 +109,7 @@ pub fn genetic(problem: &Problem<'_>, params: &GeneticParams) -> BaselineResult 
     }
 }
 
-fn tournament<'p>(
-    pop: &'p [(Vec<NodeId>, u64)],
-    k: usize,
-    rng: &mut StdRng,
-) -> &'p [NodeId] {
+fn tournament<'p>(pop: &'p [(Vec<NodeId>, u64)], k: usize, rng: &mut StdRng) -> &'p [NodeId] {
     let mut best: Option<&(Vec<NodeId>, u64)> = None;
     for _ in 0..k.max(1) {
         let c = &pop[rng.random_range(0..pop.len())];

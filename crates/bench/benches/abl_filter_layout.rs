@@ -1,0 +1,236 @@
+//! Ablation: hash-map filter layout (the seed) vs. the CSR-arena layout,
+//! on the paper's clique (fig 13) and BRITE (fig 11) scenarios.
+//!
+//! Three measurements per scenario:
+//!
+//! * **build** — first-stage filter construction only
+//!   (`HashFilterMatrix::build` vs `FilterMatrix::build`);
+//! * **search** — second stage only, over a prebuilt filter: the seed's
+//!   allocating, hash-probing, `binary_search`-intersecting DFS vs. the
+//!   allocation-free word-level CSR DFS. Both traverse the identical
+//!   Lemma-1 order and see identical solution prefixes;
+//! * **embed** — end-to-end bounded enumeration (build + search).
+//!
+//! Besides the stdout report, results land machine-readably in
+//! `BENCH_filter.json` at the workspace root (committed, so the perf
+//! trajectory of later PRs has a baseline). Run with:
+//!
+//! ```text
+//! cargo bench -p bench --bench abl_filter_layout
+//! ```
+
+use bench::{bench_brite, bench_planetlab, planted};
+use netembed::filter::reference::{self, HashFilterMatrix};
+use netembed::order::{compute_order, predecessors};
+use netembed::{ecf, CollectUpTo, Deadline, FilterMatrix, NodeOrder, Problem, SearchStats};
+use netgraph::Network;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+use topogen::{clique_query, QueryWorkload};
+
+/// Bounded enumeration cap (mirrors fig13's `UpTo` bound; keeps clique
+/// scenarios finite).
+const MATCH_CAP: usize = 2000;
+/// Samples per measurement; the median is reported.
+const SAMPLES: usize = 21;
+
+fn median_ns(mut f: impl FnMut() -> u64) -> u64 {
+    // One untimed warm-up run absorbs first-touch effects (page faults,
+    // lazily grown buffers) before sampling starts.
+    black_box(f());
+    let mut times: Vec<u64> = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        black_box(f());
+        times.push(t.elapsed().as_nanos() as u64);
+    }
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+struct Row {
+    name: String,
+    nq: usize,
+    nr: usize,
+    solutions: usize,
+    build_hash_ns: u64,
+    build_csr_ns: u64,
+    search_hash_ns: u64,
+    search_csr_ns: u64,
+    embed_hash_ns: u64,
+    embed_csr_ns: u64,
+}
+
+fn run_scenario(name: &str, host: &Network, wl: &QueryWorkload) -> Row {
+    let problem = Problem::new(&wl.query, host, &wl.constraint).expect("valid scenario");
+
+    let build_hash_ns = median_ns(|| {
+        let mut dl = Deadline::unlimited();
+        let mut stats = SearchStats::default();
+        let f = HashFilterMatrix::build(&problem, &mut dl, &mut stats).unwrap();
+        f.cell_count() as u64
+    });
+    let build_csr_ns = median_ns(|| {
+        let mut dl = Deadline::unlimited();
+        let mut stats = SearchStats::default();
+        let f = FilterMatrix::build(&problem, &mut dl, &mut stats).unwrap();
+        f.cell_count() as u64
+    });
+
+    let embed_hash = || {
+        let mut dl = Deadline::unlimited();
+        let mut stats = SearchStats::default();
+        let filter = HashFilterMatrix::build(&problem, &mut dl, &mut stats).unwrap();
+        // Candidate counts are layout-independent, so ordering from the
+        // hash filter yields the exact order the CSR search uses.
+        let order = compute_order(&wl.query, &filter, NodeOrder::AscendingCandidates);
+        let preds = predecessors(&wl.query, &order);
+        reference::search_up_to(&problem, &filter, &order, &preds, MATCH_CAP).len()
+    };
+    let embed_csr = || {
+        let mut sink = CollectUpTo::new(MATCH_CAP);
+        let mut stats = SearchStats::default();
+        let mut dl = Deadline::unlimited();
+        ecf::search(
+            &problem,
+            NodeOrder::AscendingCandidates,
+            &mut dl,
+            &mut sink,
+            &mut stats,
+        )
+        .unwrap();
+        sink.solutions.len()
+    };
+
+    // Sanity: both layouts must enumerate the same bounded solution set.
+    let (n_hash, n_csr) = (embed_hash(), embed_csr());
+    assert_eq!(n_hash, n_csr, "{name}: layouts disagree on solution count");
+
+    // Search-only: both filters prebuilt outside the timer; each side
+    // computes the (identical, layout-independent) Lemma-1 order inside
+    // its timer, from its own filter.
+    let mut dl = Deadline::unlimited();
+    let mut s = SearchStats::default();
+    let hash_filter = HashFilterMatrix::build(&problem, &mut dl, &mut s).unwrap();
+    let csr_filter = FilterMatrix::build(&problem, &mut dl, &mut s).unwrap();
+    let search_hash_ns = median_ns(|| {
+        let order = compute_order(&wl.query, &hash_filter, NodeOrder::AscendingCandidates);
+        let preds = predecessors(&wl.query, &order);
+        reference::search_up_to(&problem, &hash_filter, &order, &preds, MATCH_CAP).len() as u64
+    });
+    let search_csr_ns = median_ns(|| {
+        let mut sink = CollectUpTo::new(MATCH_CAP);
+        let mut stats = SearchStats::default();
+        let mut dl = Deadline::unlimited();
+        ecf::search_prebuilt(
+            &problem,
+            &csr_filter,
+            NodeOrder::AscendingCandidates,
+            &mut dl,
+            &mut sink,
+            &mut stats,
+        );
+        sink.solutions.len() as u64
+    });
+
+    let embed_hash_ns = median_ns(|| embed_hash() as u64);
+    let embed_csr_ns = median_ns(|| embed_csr() as u64);
+
+    let row = Row {
+        name: name.to_string(),
+        nq: wl.query.node_count(),
+        nr: host.node_count(),
+        solutions: n_csr,
+        build_hash_ns,
+        build_csr_ns,
+        search_hash_ns,
+        search_csr_ns,
+        embed_hash_ns,
+        embed_csr_ns,
+    };
+    println!(
+        "{:<24} nq={:<3} nr={:<4} sols={:<5} build {:>9} -> {:>9} ns ({:.2}x)   search {:>9} -> {:>9} ns ({:.2}x)   embed {:>10} -> {:>10} ns ({:.2}x)",
+        row.name,
+        row.nq,
+        row.nr,
+        row.solutions,
+        row.build_hash_ns,
+        row.build_csr_ns,
+        row.build_hash_ns as f64 / row.build_csr_ns.max(1) as f64,
+        row.search_hash_ns,
+        row.search_csr_ns,
+        row.search_hash_ns as f64 / row.search_csr_ns.max(1) as f64,
+        row.embed_hash_ns,
+        row.embed_csr_ns,
+        row.embed_hash_ns as f64 / row.embed_csr_ns.max(1) as f64,
+    );
+    row
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(rows: &[Row], path: &PathBuf) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"abl_filter_layout\",\n");
+    out.push_str("  \"unit\": \"ns (median)\",\n");
+    out.push_str(&format!("  \"samples\": {SAMPLES},\n"));
+    out.push_str(&format!("  \"match_cap\": {MATCH_CAP},\n"));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"nq\": {}, \"nr\": {}, \"solutions\": {}, \
+             \"build_hashmap_ns\": {}, \"build_csr_ns\": {}, \
+             \"search_hashmap_ns\": {}, \"search_csr_ns\": {}, \
+             \"embed_hashmap_ns\": {}, \"embed_csr_ns\": {}, \
+             \"build_speedup\": {:.3}, \"search_speedup\": {:.3}, \
+             \"embed_speedup\": {:.3}}}{}\n",
+            json_escape(&r.name),
+            r.nq,
+            r.nr,
+            r.solutions,
+            r.build_hash_ns,
+            r.build_csr_ns,
+            r.search_hash_ns,
+            r.search_csr_ns,
+            r.embed_hash_ns,
+            r.embed_csr_ns,
+            r.build_hash_ns as f64 / r.build_csr_ns.max(1) as f64,
+            r.search_hash_ns as f64 / r.search_csr_ns.max(1) as f64,
+            r.embed_hash_ns as f64 / r.embed_csr_ns.max(1) as f64,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write BENCH_filter.json");
+}
+
+fn main() {
+    let mut rows = Vec::new();
+
+    // Fig 13 scenario: clique queries with a 10–100 ms window over the
+    // PlanetLab-like host.
+    let planetlab = bench_planetlab();
+    for k in [3usize, 4, 5] {
+        let wl = clique_query(k, 10.0, 100.0);
+        rows.push(run_scenario(&format!("fig13-clique-k{k}"), &planetlab, &wl));
+    }
+
+    // Fig 11 scenario: planted subgraph queries over BRITE-like hosts.
+    for host_n in [150usize, 250] {
+        let host = bench_brite(host_n);
+        let n = host_n / 10;
+        let wl = planted(&host, n, 4000 + host_n as u64);
+        rows.push(run_scenario(
+            &format!("fig11-brite-N{host_n}-q{n}"),
+            &host,
+            &wl,
+        ));
+    }
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_filter.json");
+    write_json(&rows, &path);
+    println!("\nwrote {}", path.display());
+}

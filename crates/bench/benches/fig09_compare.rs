@@ -24,17 +24,13 @@ fn fig09(c: &mut Criterion) {
             } else {
                 SearchMode::All
             };
-            group.bench_with_input(
-                BenchmarkId::new(format!("9a-{label}"), n),
-                &wl,
-                |b, wl| b.iter(|| black_box(embed_once(&host, wl, alg, mode_all))),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("9a-{label}"), n), &wl, |b, wl| {
+                b.iter(|| black_box(embed_once(&host, wl, alg, mode_all)))
+            });
             // (b): first match.
-            group.bench_with_input(
-                BenchmarkId::new(format!("9b-{label}"), n),
-                &wl,
-                |b, wl| b.iter(|| black_box(embed_once(&host, wl, alg, SearchMode::First))),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("9b-{label}"), n), &wl, |b, wl| {
+                b.iter(|| black_box(embed_once(&host, wl, alg, SearchMode::First)))
+            });
         }
     }
     group.finish();

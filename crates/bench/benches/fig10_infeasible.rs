@@ -25,9 +25,11 @@ fn fig10(c: &mut Criterion) {
             } else {
                 SearchMode::All
             };
-            group.bench_with_input(BenchmarkId::new(format!("{label}-match"), n), &wl, |b, wl| {
-                b.iter(|| black_box(embed_once(&host, wl, alg, mode)))
-            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}-match"), n),
+                &wl,
+                |b, wl| b.iter(|| black_box(embed_once(&host, wl, alg, mode))),
+            );
             group.bench_with_input(
                 BenchmarkId::new(format!("{label}-nomatch"), n),
                 &bad,

@@ -21,9 +21,7 @@ fn fig12(c: &mut Criterion) {
                 group.bench_with_input(
                     BenchmarkId::new(label, format!("N{host_n}-q{n}")),
                     &wl,
-                    |b, wl| {
-                        b.iter(|| black_box(embed_once(&host, wl, alg, SearchMode::First)))
-                    },
+                    |b, wl| b.iter(|| black_box(embed_once(&host, wl, alg, SearchMode::First))),
                 );
             }
         }

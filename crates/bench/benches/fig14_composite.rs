@@ -45,9 +45,7 @@ fn fig14(c: &mut Criterion) {
                 group.bench_with_input(
                     BenchmarkId::new(format!("{tag}-{label}"), size),
                     &wl,
-                    |b, wl| {
-                        b.iter(|| black_box(embed_once(&host, wl, alg, SearchMode::First)))
-                    },
+                    |b, wl| b.iter(|| black_box(embed_once(&host, wl, alg, SearchMode::First))),
                 );
             }
         }

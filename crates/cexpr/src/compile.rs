@@ -78,15 +78,17 @@ impl Compiled {
                 Expr::Str(s) => Node::Str(std::sync::Arc::from(s.as_str())),
                 Expr::Bool(b) => Node::Bool(*b),
                 Expr::Attr(o, name) => {
-                    let schema = if o.is_virtual() { q.schema() } else { r.schema() };
+                    let schema = if o.is_virtual() {
+                        q.schema()
+                    } else {
+                        r.schema()
+                    };
                     Node::Attr(*o, schema.get(name))
                 }
                 Expr::Unary(op, e) => Node::Unary(*op, Box::new(resolve(e, q, r))),
-                Expr::Binary(op, l, m) => Node::Binary(
-                    *op,
-                    Box::new(resolve(l, q, r)),
-                    Box::new(resolve(m, q, r)),
-                ),
+                Expr::Binary(op, l, m) => {
+                    Node::Binary(*op, Box::new(resolve(l, q, r)), Box::new(resolve(m, q, r)))
+                }
                 Expr::Call(f, args) => {
                     Node::Call(*f, args.iter().map(|a| resolve(a, q, r)).collect())
                 }
@@ -213,12 +215,7 @@ fn eval(node: &Node, scope: &Scope<'_, '_>) -> Result<Value, EvalError> {
     }
 }
 
-fn eval_binary(
-    op: BinOp,
-    l: &Node,
-    r: &Node,
-    scope: &Scope<'_, '_>,
-) -> Result<Value, EvalError> {
+fn eval_binary(op: BinOp, l: &Node, r: &Node, scope: &Scope<'_, '_>) -> Result<Value, EvalError> {
     // Kleene logic with short-circuiting for && and ||.
     match op {
         BinOp::And => {

@@ -325,10 +325,8 @@ mod tests {
 
     #[test]
     fn paper_example_delay_window() {
-        let e = parse(
-            "vEdge.avgDelay>=0.90*rEdge.avgDelay && vEdge.avgDelay<=1.10*rEdge.avgDelay",
-        )
-        .unwrap();
+        let e = parse("vEdge.avgDelay>=0.90*rEdge.avgDelay && vEdge.avgDelay<=1.10*rEdge.avgDelay")
+            .unwrap();
         assert_eq!(
             e.to_string(),
             "vEdge.avgDelay >= 0.9 * rEdge.avgDelay && vEdge.avgDelay <= 1.1 * rEdge.avgDelay"
@@ -409,11 +407,17 @@ mod tests {
         ));
         assert!(matches!(
             parse("abs(1, 2)"),
-            Err(ParseError::Arity { func: Func::Abs, got: 2 })
+            Err(ParseError::Arity {
+                func: Func::Abs,
+                got: 2
+            })
         ));
         assert!(matches!(
             parse("sqrt()"),
-            Err(ParseError::Arity { func: Func::Sqrt, got: 0 })
+            Err(ParseError::Arity {
+                func: Func::Sqrt,
+                got: 0
+            })
         ));
         assert!(parse("1 +").is_err());
         assert!(parse("(1 + 2").is_err());

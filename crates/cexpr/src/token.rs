@@ -299,8 +299,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 // Fractional part: a dot followed by a digit. A dot followed
                 // by anything else is member access (e.g. `2.x` is invalid
                 // later but lexes as Number Dot Ident).
-                if bytes.get(pos) == Some(&b'.')
-                    && matches!(bytes.get(pos + 1), Some(b'0'..=b'9'))
+                if bytes.get(pos) == Some(&b'.') && matches!(bytes.get(pos + 1), Some(b'0'..=b'9'))
                 {
                     pos += 1;
                     while matches!(bytes.get(pos), Some(b'0'..=b'9')) {
@@ -328,8 +327,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = pos;
-                while matches!(bytes.get(pos), Some(c) if c.is_ascii_alphanumeric() || *c == b'_')
-                {
+                while matches!(bytes.get(pos), Some(c) if c.is_ascii_alphanumeric() || *c == b'_') {
                     pos += 1;
                 }
                 let text = &src[start..pos];

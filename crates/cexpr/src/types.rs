@@ -164,11 +164,7 @@ pub fn infer(expr: &Expr) -> Result<Ty, TypeError> {
                     let t = infer(&args[0])?;
                     if !t.compatible(Ty::Num) {
                         return Err(TypeError {
-                            message: format!(
-                                "`{}` applied to {} in `{expr}`",
-                                f.name(),
-                                t.name()
-                            ),
+                            message: format!("`{}` applied to {} in `{expr}`", f.name(), t.name()),
                         });
                     }
                     Ok(Ty::Num)

@@ -34,10 +34,11 @@ fn arb_num_expr() -> impl Strategy<Value = Expr> {
                 inner.clone()
             )
                 .prop_map(|(op, a, b)| Expr::Binary(op, Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
             inner.clone().prop_map(|e| Expr::Call(Func::Abs, vec![e])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Call(Func::Min, vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Call(Func::Min, vec![a, b])),
         ]
     })
 }
@@ -70,7 +71,9 @@ fn arb_bool_expr() -> impl Strategy<Value = Expr> {
                 Box::new(a),
                 Box::new(b)
             )),
-            inner.clone().prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
         ]
     })
 }

@@ -230,17 +230,18 @@ fn cmd_inspect(args: &[String]) -> ExitCode {
     println!("name:        {}", net.name());
     println!(
         "direction:   {}",
-        if net.is_undirected() { "undirected" } else { "directed" }
+        if net.is_undirected() {
+            "undirected"
+        } else {
+            "directed"
+        }
     );
     println!("nodes:       {}", net.node_count());
     println!("edges:       {}", net.edge_count());
     println!("density:     {:.4}", netgraph::metrics::density(&net));
     println!("mean degree: {:.2}", netgraph::metrics::mean_degree(&net));
     println!("max degree:  {}", netgraph::metrics::max_degree(&net));
-    println!(
-        "connected:   {}",
-        netgraph::algo::is_connected(&net)
-    );
+    println!("connected:   {}", netgraph::algo::is_connected(&net));
     let mut attrs: Vec<&str> = net.schema().iter().map(|(_, n)| n).collect();
     attrs.sort();
     println!("attributes:  {}", attrs.join(", "));

@@ -34,7 +34,11 @@ fn gen_inspect_embed_pipeline() {
         "--out",
         host.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // Generate a small query (a ring) and write windows into it by hand:
     // reuse gen + a direct GraphML fixture instead.
@@ -68,7 +72,12 @@ fn gen_inspect_embed_pipeline() {
         "--mode",
         "3",
     ]);
-    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let lines: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
     assert_eq!(lines.len(), 3);
     assert!(lines[0].contains("a=site"));
@@ -117,12 +126,23 @@ fn gen_inspect_embed_pipeline() {
 fn usage_errors_exit_2() {
     assert_eq!(run(&[]).status.code(), Some(2));
     assert_eq!(run(&["embed"]).status.code(), Some(2));
-    assert_eq!(run(&["gen", "bogus", "--out", "/tmp/x"]).status.code(), Some(2));
-    assert_eq!(run(&["inspect", "/nonexistent/file.graphml"]).status.code(), Some(2));
+    assert_eq!(
+        run(&["gen", "bogus", "--out", "/tmp/x"]).status.code(),
+        Some(2)
+    );
+    assert_eq!(
+        run(&["inspect", "/nonexistent/file.graphml"]).status.code(),
+        Some(2)
+    );
     // Bad constraint syntax.
     let host = tmp("host2.graphml");
     let out = run(&[
-        "gen", "ring", "--nodes", "5", "--out", host.to_str().unwrap(),
+        "gen",
+        "ring",
+        "--nodes",
+        "5",
+        "--out",
+        host.to_str().unwrap(),
     ]);
     assert!(out.status.success());
     let out = run(&[
@@ -150,7 +170,11 @@ fn gen_all_generators() {
     for kind in ["brite", "waxman", "clique", "ring", "star"] {
         let f = tmp(&format!("{kind}.graphml"));
         let out = run(&["gen", kind, "--nodes", "12", "--out", f.to_str().unwrap()]);
-        assert!(out.status.success(), "{kind}: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{kind}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         // Round-trips through the parser.
         let doc = std::fs::read_to_string(&f).unwrap();
         let net = graphml::from_str(&doc).unwrap();

@@ -7,12 +7,22 @@
 //! host nodes already in use. Every leaf at depth `N_Q` is a feasible
 //! embedding and is streamed to the caller's [`SolutionSink`].
 //!
+//! The inner loop is allocation-free: the DFS owns one [`Frame`] per
+//! depth, preallocated up front and reused across the entire traversal.
+//! Each frame carries the candidate list for its level plus two scratch
+//! bitsets; [`fill_candidates`] computes expression (2) by intersecting
+//! the predecessors' filter cells word-by-word into the frame's scratch
+//! mask (dense cells contribute their bitset mirrors directly, sparse
+//! cells are staged through the second scratch), subtracting `used`, and
+//! unpacking the surviving bits into the frame's candidate `Vec`. No
+//! hashing, no `binary_search` probes, no per-descent heap allocation.
+//!
 //! The same DFS core also powers RWB (candidates visited in random order,
 //! sink stops at the first solution) and the parallel search (the root
 //! candidate list is partitioned across workers).
 
 use crate::deadline::Deadline;
-use crate::filter::FilterMatrix;
+use crate::filter::{CellView, FilterMatrix};
 use crate::mapping::Mapping;
 use crate::order::{compute_order, predecessors, NodeOrder, Pred};
 use crate::problem::Problem;
@@ -45,19 +55,71 @@ pub fn search(
 ) -> Result<SearchEnd, crate::problem::ProblemError> {
     let start = std::time::Instant::now();
     let filter = FilterMatrix::build(problem, deadline, stats)?;
+    let end = search_prebuilt(problem, &filter, order, deadline, sink, stats);
+    stats.elapsed = start.elapsed();
+    Ok(end)
+}
+
+/// The second stage alone: order nodes and run the DFS over an already
+/// constructed filter. Lets callers amortize one filter build across
+/// several searches (different orders, sinks, or deadlines) and gives the
+/// `abl_filter_layout` ablation a search-only measurement. `stats.elapsed`
+/// covers only this call.
+pub fn search_prebuilt(
+    problem: &Problem<'_>,
+    filter: &FilterMatrix,
+    order: NodeOrder,
+    deadline: &mut Deadline,
+    sink: &mut dyn SolutionSink,
+    stats: &mut SearchStats,
+) -> SearchEnd {
+    let start = std::time::Instant::now();
     if filter.truncated() {
         stats.timed_out = true;
         stats.elapsed = start.elapsed();
-        return Ok(SearchEnd::Timeout);
+        return SearchEnd::Timeout;
     }
-    let node_order = compute_order(problem.query, &filter, order);
+    let node_order = compute_order(problem.query, filter, order);
     let preds = predecessors(problem.query, &node_order);
     let end = run_dfs(
-        problem, &filter, &node_order, &preds, deadline, sink, stats, None, None,
+        problem,
+        filter,
+        &node_order,
+        &preds,
+        deadline,
+        sink,
+        stats,
+        None,
+        None,
     );
     stats.timed_out |= end == SearchEnd::Timeout;
     stats.elapsed = start.elapsed();
-    Ok(end)
+    end
+}
+
+/// Per-depth reusable DFS state: the candidate list for this level plus
+/// the scratch bitsets [`fill_candidates`] intersects into. Allocated
+/// once per depth at search start, reused for every subtree visited at
+/// that depth.
+pub(crate) struct Frame {
+    candidates: Vec<NodeId>,
+    next: usize,
+    /// Intersection mask: ends up holding expression (2)'s result.
+    mask: NodeBitSet,
+    /// Staging mask for sparse cells (no bitset mirror): the cell's
+    /// slice is splatted here, then ANDed into `mask` word-by-word.
+    stage: NodeBitSet,
+}
+
+impl Frame {
+    fn new(nr: usize) -> Frame {
+        Frame {
+            candidates: Vec::new(),
+            next: 0,
+            mask: NodeBitSet::new(nr),
+            stage: NodeBitSet::new(nr),
+        }
+    }
 }
 
 /// The DFS core. `shuffle` randomizes candidate order at every level
@@ -80,40 +142,38 @@ pub(crate) fn run_dfs(
     let mut assign: Vec<NodeId> = vec![NodeId(u32::MAX); problem.nq()];
     let mut used = NodeBitSet::new(nr);
 
-    // Explicit stack of candidate lists per depth avoids recursion and
-    // lets us reuse buffers.
-    struct Frame {
-        candidates: Vec<NodeId>,
-        next: usize,
-    }
-    let mut frames: Vec<Frame> = Vec::with_capacity(nq);
+    // One reusable frame per depth: the whole traversal allocates nothing
+    // beyond this arena (candidate Vecs grow to their high-water mark and
+    // stay).
+    let mut frames: Vec<Frame> = (0..nq).map(|_| Frame::new(nr)).collect();
+    let mut depth = 0usize;
 
-    let root_candidates = match root_override {
-        Some(list) => list.to_vec(),
-        None => candidates_at(filter, order, preds, 0, &assign, &used),
-    };
-    let mut first = Frame {
-        candidates: root_candidates,
-        next: 0,
-    };
-    if let Some(rng) = shuffle.as_deref_mut() {
-        first.candidates.shuffle(rng);
+    match root_override {
+        Some(list) => {
+            frames[0].candidates.clear();
+            frames[0].candidates.extend_from_slice(list);
+        }
+        None => {
+            fill_candidates(filter, order, preds, 0, &assign, &used, &mut frames[0]);
+        }
     }
-    frames.push(first);
+    frames[0].next = 0;
+    if let Some(rng) = shuffle.as_deref_mut() {
+        frames[0].candidates.shuffle(rng);
+    }
 
     loop {
         if deadline.expired() {
             return SearchEnd::Timeout;
         }
-        let depth = frames.len() - 1;
-        let frame = frames.last_mut().expect("non-empty stack");
+        let frame = &mut frames[depth];
         if frame.next >= frame.candidates.len() {
             // Exhausted this level: backtrack.
-            frames.pop();
-            if frames.is_empty() {
+            if depth == 0 {
                 return SearchEnd::Exhausted;
             }
-            let vq = order[frames.len() - 1];
+            depth -= 1;
+            let vq = order[depth];
             let r = assign[vq.index()];
             used.remove(r);
             assign[vq.index()] = NodeId(u32::MAX);
@@ -139,68 +199,104 @@ pub(crate) fn run_dfs(
         // Descend.
         assign[vq.index()] = r;
         used.insert(r);
-        let mut next_candidates =
-            candidates_at(filter, order, preds, depth + 1, &assign, &used);
-        if next_candidates.is_empty() {
+        let next_frame = &mut frames[depth + 1];
+        if !fill_candidates(filter, order, preds, depth + 1, &assign, &used, next_frame) {
             stats.prunes += 1;
             used.remove(r);
             assign[vq.index()] = NodeId(u32::MAX);
             continue;
         }
         if let Some(rng) = shuffle.as_deref_mut() {
-            next_candidates.shuffle(rng);
+            next_frame.candidates.shuffle(rng);
         }
-        frames.push(Frame {
-            candidates: next_candidates,
-            next: 0,
-        });
+        next_frame.next = 0;
+        depth += 1;
     }
 }
 
-/// Expression (1)/(2): the candidate host nodes for the query node at
-/// `depth`, given the current partial assignment.
-pub(crate) fn candidates_at(
+/// Expression (1)/(2) into `frame.candidates`, via the frame's scratch
+/// masks: no heap allocation, no hashing, no per-candidate searches.
+/// Returns `false` when the candidate set is empty.
+pub(crate) fn fill_candidates(
     filter: &FilterMatrix,
     order: &[NodeId],
     preds: &[Vec<Pred>],
     depth: usize,
     assign: &[NodeId],
     used: &NodeBitSet,
-) -> Vec<NodeId> {
+    frame: &mut Frame,
+) -> bool {
     let vi = order[depth];
     let plist = &preds[depth];
+    frame.candidates.clear();
+    let mask = &mut frame.mask;
+
     if plist.is_empty() {
         // Expression (1): base candidates minus used. This covers the root
         // node, isolated nodes, and the first node of later components.
-        return filter
-            .base(vi)
-            .iter()
-            .filter(|r| !used.contains(*r))
-            .collect();
+        mask.clear_and_copy_from(filter.base(vi));
+        mask.subtract(used);
+        mask.collect_into(&mut frame.candidates);
+        return !frame.candidates.is_empty();
     }
-    // Gather one filter cell per predecessor edge; the candidate set is
-    // their intersection minus used. Pick the smallest cell as the base to
-    // minimize membership probes.
-    let mut cells: Vec<&[NodeId]> = Vec::with_capacity(plist.len());
-    for p in plist {
+
+    // Expression (2): intersect one filter cell per predecessor edge,
+    // minus used — one pass, one view fetch per predecessor. The first
+    // cell seeds the mask (a sparse splat is bounded by CELL_DENSE_MIN
+    // elements; anything larger carries a bitset mirror and word-copies),
+    // the rest AND in word-by-word, bailing as soon as the mask empties.
+    let cell_of = |p: &Pred| -> CellView<'_> {
         let rj = assign[p.node.index()];
         debug_assert_ne!(rj, NodeId(u32::MAX), "predecessor must be assigned");
-        let cell = if p.forward {
-            filter.fwd_cell(p.node, rj, vi)
+        if p.forward {
+            filter.fwd_view(p.node, rj, vi)
         } else {
-            filter.rev_cell(p.node, rj, vi)
-        };
-        if cell.is_empty() {
-            return Vec::new();
+            filter.rev_view(p.node, rj, vi)
         }
-        cells.push(cell);
+    };
+
+    for (i, p) in plist.iter().enumerate() {
+        let cell = cell_of(p);
+        if cell.slice.is_empty() {
+            return false;
+        }
+        if i == 0 {
+            match cell.bits {
+                Some(bits) => mask.clear_and_copy_from(bits),
+                None => mask.clear_and_insert_all(cell.slice),
+            }
+            continue;
+        }
+        match cell.bits {
+            Some(bits) => mask.intersect_with(bits),
+            None => {
+                frame.stage.clear_and_insert_all(cell.slice);
+                mask.intersect_with(&frame.stage);
+            }
+        }
+        if mask.is_empty() {
+            return false;
+        }
     }
-    cells.sort_by_key(|c| c.len());
-    let (base, rest) = cells.split_first().expect("at least one cell");
-    base.iter()
-        .copied()
-        .filter(|r| !used.contains(*r) && rest.iter().all(|c| c.binary_search(r).is_ok()))
-        .collect()
+    mask.subtract(used);
+    mask.collect_into(&mut frame.candidates);
+    !frame.candidates.is_empty()
+}
+
+/// Root-level candidates (expression (1) for `order[0]`), as a fresh
+/// `Vec`: used by the parallel search to partition the root across
+/// workers. Not on the hot path.
+pub(crate) fn root_candidates(
+    problem: &Problem<'_>,
+    filter: &FilterMatrix,
+    order: &[NodeId],
+    preds: &[Vec<Pred>],
+) -> Vec<NodeId> {
+    let assign = vec![NodeId(u32::MAX); problem.nq()];
+    let used = NodeBitSet::new(problem.nr());
+    let mut frame = Frame::new(problem.nr());
+    fill_candidates(filter, order, preds, 0, &assign, &used, &mut frame);
+    frame.candidates
 }
 
 #[cfg(test)]
@@ -225,8 +321,14 @@ mod tests {
         let mut sink = CollectAll::default();
         let mut stats = SearchStats::default();
         let mut dl = Deadline::unlimited();
-        let end = search(&p, NodeOrder::AscendingCandidates, &mut dl, &mut sink, &mut stats)
-            .unwrap();
+        let end = search(
+            &p,
+            NodeOrder::AscendingCandidates,
+            &mut dl,
+            &mut sink,
+            &mut stats,
+        )
+        .unwrap();
         (sink.solutions, stats, end)
     }
 

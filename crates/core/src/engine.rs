@@ -229,9 +229,7 @@ mod tests {
         let engine = Engine::new(&h);
         let constraint = "rEdge.d <= 30.0";
 
-        let ecf = engine
-            .embed(&q, constraint, &Options::default())
-            .unwrap();
+        let ecf = engine.embed(&q, constraint, &Options::default()).unwrap();
         let lns = engine
             .embed(
                 &q,

@@ -1,4 +1,4 @@
-//! The sparse 3-D filter matrix of §V-A.
+//! The 3-D constraint filter matrix of §V-A, stored as a flat CSR arena.
 //!
 //! During ECF/RWB's first stage the constraint expression is applied to
 //! every (query edge, host edge) pair. Each match `(q1 → r1, q2 → r2)`
@@ -13,30 +13,239 @@
 //! of the cells `F[(vj, rj, vi)]` minus the already-used host nodes —
 //! the paper's expression (2).
 //!
+//! ## Storage layout
+//!
+//! A cell key `(vj, rj, vi)` is sparse in `vj × vi` (only query-edge pairs
+//! exist) but dense in `rj` (any admissible host node can anchor a cell).
+//! The matrix exploits that shape instead of hashing:
+//!
+//! * the ordered query pairs `(vj, vi)` that can ever hold cells are known
+//!   before any constraint is evaluated (one per directed query edge, two
+//!   per undirected edge), so a dense `nq × nq` table maps `(vj, vi)` to a
+//!   small *pair slot* — or to "no cells" for non-adjacent pairs;
+//! * per pair slot, a CSR offset row indexed by `rj` points into one
+//!   contiguous candidate arena (`Vec<NodeId>`, each cell's span sorted
+//!   ascending).
+//!
+//! [`FilterMatrix::fwd_cell`]/[`FilterMatrix::rev_cell`] are therefore two
+//! array indexings and a slice borrow — O(1), no hashing, no pointer
+//! chasing — and construction is two passes: evaluate-and-collect, then
+//! counting-sort into the arena. Cells holding at least
+//! [`CELL_DENSE_MIN`] candidates additionally materialize a
+//! [`NodeBitSet`] mirror ([`FilterMatrix::fwd_view`]), which the search's
+//! inner loop intersects word-by-word into per-depth scratch masks (see
+//! `ecf::fill_candidates`) — the hot path allocates nothing and probes no
+//! hash table.
+//!
 //! For directed graphs only the matching orientation is recorded
-//! (footnote 3): the forward map covers query edges `vj → vi` and a reverse
-//! map covers `vi → vj`, and the search intersects whichever apply. This
-//! replaces the paper's negative filter `F̄` with an exact equivalent: both
-//! encode "which reverse-direction candidates are (in)admissible", and a
-//! positive encoding needs no subtraction pass.
+//! (footnote 3): the forward table covers query edges `vj → vi` and a
+//! reverse table covers `vi → vj`, and the search intersects whichever
+//! apply. This replaces the paper's negative filter `F̄` with an exact
+//! equivalent: both encode "which reverse-direction candidates are
+//! (in)admissible", and a positive encoding needs no subtraction pass.
+//!
+//! The seed's `FxHashMap`-keyed implementation survives as
+//! [`reference::HashFilterMatrix`] for the `abl_filter_layout` ablation
+//! benchmark and the layout-equivalence property test
+//! (`tests/prop_layout.rs`).
 
 use crate::deadline::Deadline;
 use crate::problem::{Problem, ProblemError};
 use crate::stats::SearchStats;
 use netgraph::{NodeBitSet, NodeId};
-use rustc_hash::FxHashMap;
 
-/// Key of one filter cell: `(v, r, v′)` with ids packed as `u32`.
-type CellKey = (u32, u32, u32);
+/// Cells with at least this many candidates also materialize a bitset
+/// mirror for word-level intersection. Below it, staging the (short)
+/// sorted slice into a scratch mask is cheaper than carrying `nr` bits
+/// per cell through construction.
+pub const CELL_DENSE_MIN: usize = 16;
+
+/// A filter cell, in both representations the search can consume.
+#[derive(Clone, Copy)]
+pub struct CellView<'a> {
+    /// The cell's candidates, sorted ascending. Empty when the cell is
+    /// absent.
+    pub slice: &'a [NodeId],
+    /// Bitset mirror, present when `slice.len() >= CELL_DENSE_MIN`.
+    pub bits: Option<&'a NodeBitSet>,
+}
+
+/// One direction's cells: pair-slot table + CSR offsets + arena.
+struct CellTable {
+    nq: usize,
+    nr: usize,
+    /// `slot[vj * nq + vi]`: dense pair slot, or `u32::MAX` when the
+    /// ordered pair `(vj, vi)` has no cells in this direction.
+    slot: Vec<u32>,
+    /// `offsets[s * (nr + 1) + rj] .. offsets[s * (nr + 1) + rj + 1]`:
+    /// the arena span of cell `(vj, rj, vi)` with pair slot `s`.
+    offsets: Vec<u32>,
+    /// All candidates, cell spans sorted ascending.
+    arena: Vec<NodeId>,
+    /// `bit_idx[s * nr + rj]`: index into `bits`, or `u32::MAX`.
+    bit_idx: Vec<u32>,
+    /// Bitset mirrors of the dense cells.
+    bits: Vec<NodeBitSet>,
+    /// Number of non-empty cells, counted once during construction.
+    ncells: usize,
+}
+
+impl CellTable {
+    /// Pair-slot lookup for `(vj, vi)`.
+    #[inline]
+    fn pair(&self, vj: NodeId, vi: NodeId) -> u32 {
+        self.slot[vj.index() * self.nq + vi.index()]
+    }
+
+    #[inline]
+    fn cell(&self, vj: NodeId, rj: NodeId, vi: NodeId) -> &[NodeId] {
+        let s = self.pair(vj, vi);
+        if s == u32::MAX {
+            return &[];
+        }
+        let row = s as usize * (self.nr + 1) + rj.index();
+        &self.arena[self.offsets[row] as usize..self.offsets[row + 1] as usize]
+    }
+
+    #[inline]
+    fn view(&self, vj: NodeId, rj: NodeId, vi: NodeId) -> CellView<'_> {
+        let s = self.pair(vj, vi);
+        if s == u32::MAX {
+            return CellView {
+                slice: &[],
+                bits: None,
+            };
+        }
+        let row = s as usize * (self.nr + 1) + rj.index();
+        let slice = &self.arena[self.offsets[row] as usize..self.offsets[row + 1] as usize];
+        let bi = self.bit_idx[s as usize * self.nr + rj.index()];
+        CellView {
+            slice,
+            bits: (bi != u32::MAX).then(|| &self.bits[bi as usize]),
+        }
+    }
+
+    /// Number of non-empty cells (cached at construction; O(1) like the
+    /// hash layout's map length).
+    fn cell_count(&self) -> usize {
+        self.ncells
+    }
+}
+
+/// Streams `(cell row, candidate)` hits during evaluation, then
+/// counting-sorts them into a [`CellTable`].
+struct CellTableBuilder {
+    nq: usize,
+    nr: usize,
+    slot: Vec<u32>,
+    slots: u32,
+    hits: Vec<(u64, NodeId)>,
+}
+
+impl CellTableBuilder {
+    fn new(nq: usize, nr: usize) -> Self {
+        CellTableBuilder {
+            nq,
+            nr,
+            slot: vec![u32::MAX; nq * nq],
+            slots: 0,
+            hits: Vec::new(),
+        }
+    }
+
+    /// Register the ordered query pair `(vj, vi)` as cell-bearing.
+    fn add_pair(&mut self, vj: NodeId, vi: NodeId) {
+        let idx = vj.index() * self.nq + vi.index();
+        if self.slot[idx] == u32::MAX {
+            self.slot[idx] = self.slots;
+            self.slots += 1;
+        }
+    }
+
+    /// Record `r2 ∈ F[(vj, rj, vi)]`. The pair must have been added.
+    #[inline]
+    fn push(&mut self, vj: NodeId, rj: NodeId, vi: NodeId, r2: NodeId) {
+        let s = self.slot[vj.index() * self.nq + vi.index()];
+        debug_assert_ne!(s, u32::MAX, "cell pushed for unregistered pair");
+        self.hits
+            .push((s as u64 * self.nr as u64 + rj.index() as u64, r2));
+    }
+
+    fn finish(self) -> CellTable {
+        let rows = self.slots as usize * self.nr;
+        // Counting sort the hits by cell row.
+        let mut counts = vec![0u32; rows];
+        for &(row, _) in &self.hits {
+            counts[row as usize] += 1;
+        }
+        // Per-slot offset rows of length nr + 1 (the extra slot closes the
+        // last cell of each pair).
+        let mut offsets = vec![0u32; self.slots as usize * (self.nr + 1)];
+        let mut running = 0u32;
+        for s in 0..self.slots as usize {
+            let obase = s * (self.nr + 1);
+            for rj in 0..self.nr {
+                offsets[obase + rj] = running;
+                running += counts[s * self.nr + rj];
+            }
+            offsets[obase + self.nr] = running;
+        }
+        let mut arena = vec![NodeId(u32::MAX); self.hits.len()];
+        let mut cursor: Vec<u32> = (0..rows)
+            .map(|row| offsets[row / self.nr * (self.nr + 1) + row % self.nr])
+            .collect();
+        for &(row, r2) in &self.hits {
+            let c = &mut cursor[row as usize];
+            arena[*c as usize] = r2;
+            *c += 1;
+        }
+        // Sort each cell span so the search and external callers can rely
+        // on ascending order. Host edges are unique per node pair, so a
+        // span cannot contain duplicates.
+        let mut bit_idx = vec![u32::MAX; rows];
+        let mut bits: Vec<NodeBitSet> = Vec::new();
+        let mut ncells = 0usize;
+        for s in 0..self.slots as usize {
+            let obase = s * (self.nr + 1);
+            for rj in 0..self.nr {
+                let (lo, hi) = (
+                    offsets[obase + rj] as usize,
+                    offsets[obase + rj + 1] as usize,
+                );
+                if lo == hi {
+                    continue;
+                }
+                ncells += 1;
+                let span = &mut arena[lo..hi];
+                span.sort_unstable();
+                debug_assert!(span.windows(2).all(|w| w[0] < w[1]), "duplicate candidates");
+                if span.len() >= CELL_DENSE_MIN {
+                    bit_idx[s * self.nr + rj] = bits.len() as u32;
+                    bits.push(NodeBitSet::from_iter(self.nr, span.iter().copied()));
+                }
+            }
+        }
+        CellTable {
+            nq: self.nq,
+            nr: self.nr,
+            slot: self.slot,
+            offsets,
+            arena,
+            bit_idx,
+            bits,
+            ncells,
+        }
+    }
+}
 
 /// The constructed filter state for one problem.
 pub struct FilterMatrix {
     /// `fwd[(vj, rj, vi)]`: candidates for `vi` via query edge `vj → vi`
     /// (for undirected problems this holds both orientations).
-    fwd: FxHashMap<CellKey, Vec<NodeId>>,
+    fwd: CellTable,
     /// `rev[(vj, rj, vi)]`: candidates for `vi` via query edge `vi → vj`
     /// (directed problems only).
-    rev: FxHashMap<CellKey, Vec<NodeId>>,
+    rev: CellTable,
     /// Per-query-node base candidate set (expression (1) of the paper):
     /// every host node that appears in at least one edge match per incident
     /// edge, or that passes the node constraint for edge-less query nodes.
@@ -48,13 +257,53 @@ pub struct FilterMatrix {
     truncated: bool,
 }
 
+/// Node-admissibility prefilter: which `(v, r)` pairs can possibly map.
+/// Two sound prunes apply before any constraint evaluation: degree (every
+/// query edge maps to a distinct host edge, so the host node needs at
+/// least the query node's degree — in/out separately for directed graphs)
+/// and then the node constraint.
+pub(crate) fn node_admissible(
+    problem: &Problem<'_>,
+    stats: &mut SearchStats,
+) -> Result<Vec<NodeBitSet>, ProblemError> {
+    let nr = problem.nr();
+    let mut node_pass: Vec<NodeBitSet> = Vec::with_capacity(problem.nq());
+    for v in problem.query.node_ids() {
+        let mut set = NodeBitSet::new(nr);
+        let (v_out, v_in) = (
+            problem.query.neighbors(v).len(),
+            problem.query.in_neighbors(v).len(),
+        );
+        for r in problem.host.node_ids() {
+            if problem.host.neighbors(r).len() < v_out || problem.host.in_neighbors(r).len() < v_in
+            {
+                continue;
+            }
+            if problem.has_node_expr() {
+                stats.constraint_evals += 1;
+                if !problem.node_ok(v, r)? {
+                    continue;
+                }
+            }
+            set.insert(r);
+        }
+        node_pass.push(set);
+    }
+    Ok(node_pass)
+}
+
 impl FilterMatrix {
     /// First-stage filter construction. Evaluates the constraint for every
     /// (query edge, host edge) pair, polling `deadline`; on expiry returns
     /// a matrix flagged [`FilterMatrix::truncated`].
     ///
     /// Counter updates land in `stats` (`constraint_evals`,
-    /// `filter_cells`).
+    /// `filter_cells`). Every *considered orientation* of a (query edge,
+    /// host edge) pair whose endpoints pass the node prefilter bumps
+    /// `constraint_evals` — including, for directed problems, the reverse
+    /// orientation that direction alone rejects (the paper's F̄ pass) —
+    /// so directed and undirected runs of the same topology report
+    /// comparable totals.
     pub fn build(
         problem: &Problem<'_>,
         deadline: &mut Deadline,
@@ -64,36 +313,19 @@ impl FilterMatrix {
         let nr = problem.nr();
         let undirected = problem.query.is_undirected();
 
-        let mut fwd: FxHashMap<CellKey, Vec<NodeId>> = FxHashMap::default();
-        let mut rev: FxHashMap<CellKey, Vec<NodeId>> = FxHashMap::default();
+        let node_pass = node_admissible(problem, stats)?;
 
-        // Node-admissibility pass: which (v, r) pairs can possibly map.
-        // Two sound prunes apply before any constraint evaluation:
-        // degree (every query edge maps to a distinct host edge, so the
-        // host node needs at least the query node's degree — in/out
-        // separately for directed graphs) and then the node constraint.
-        let mut node_pass: Vec<NodeBitSet> = Vec::with_capacity(nq);
-        for v in problem.query.node_ids() {
-            let mut set = NodeBitSet::new(nr);
-            let (v_out, v_in) = (
-                problem.query.neighbors(v).len(),
-                problem.query.in_neighbors(v).len(),
-            );
-            for r in problem.host.node_ids() {
-                if problem.host.neighbors(r).len() < v_out
-                    || problem.host.in_neighbors(r).len() < v_in
-                {
-                    continue;
-                }
-                if problem.has_node_expr() {
-                    stats.constraint_evals += 1;
-                    if !problem.node_ok(v, r)? {
-                        continue;
-                    }
-                }
-                set.insert(r);
+        // The cell-bearing ordered pairs are exactly the query edges (both
+        // orientations when undirected), known before evaluation starts.
+        let mut fwd = CellTableBuilder::new(nq, nr);
+        let mut rev = CellTableBuilder::new(nq, nr);
+        for qe in problem.query.edge_refs() {
+            fwd.add_pair(qe.src, qe.dst);
+            if undirected {
+                fwd.add_pair(qe.dst, qe.src);
+            } else {
+                rev.add_pair(qe.dst, qe.src);
             }
-            node_pass.push(set);
         }
 
         let mut base: Vec<NodeBitSet> = (0..nq).map(|_| NodeBitSet::new(nr)).collect();
@@ -111,25 +343,27 @@ impl FilterMatrix {
                 if node_pass[a.index()].contains(u) && node_pass[b.index()].contains(v) {
                     stats.constraint_evals += 1;
                     if problem.edge_ok(qe.id, a, b, he.id, u, v)? {
-                        push_cell(&mut fwd, (a.0, u.0, b.0), v);
+                        fwd.push(a, u, b, v);
                         if undirected {
-                            push_cell(&mut fwd, (b.0, v.0, a.0), u);
+                            fwd.push(b, v, a, u);
                         } else {
-                            push_cell(&mut rev, (b.0, v.0, a.0), u);
+                            rev.push(b, v, a, u);
                         }
                         base[a.index()].insert(u);
                         base[b.index()].insert(v);
                     }
                 }
-                // Orientation 2 (undirected hosts only): a→v, b→u.
-                if undirected
-                    && node_pass[a.index()].contains(v)
-                    && node_pass[b.index()].contains(u)
-                {
+                // Orientation 2: a→v, b→u. A real evaluation for
+                // undirected hosts; for directed hosts the orientation is
+                // rejected by direction alone, but it is still one
+                // considered orientation of the scan, so the counter is
+                // bumped either way to keep directed and undirected eval
+                // totals comparable.
+                if node_pass[a.index()].contains(v) && node_pass[b.index()].contains(u) {
                     stats.constraint_evals += 1;
-                    if problem.edge_ok(qe.id, a, b, he.id, v, u)? {
-                        push_cell(&mut fwd, (a.0, v.0, b.0), u);
-                        push_cell(&mut fwd, (b.0, u.0, a.0), v);
+                    if undirected && problem.edge_ok(qe.id, a, b, he.id, v, u)? {
+                        fwd.push(a, v, b, u);
+                        fwd.push(b, u, a, v);
                         base[a.index()].insert(v);
                         base[b.index()].insert(u);
                     }
@@ -145,16 +379,10 @@ impl FilterMatrix {
             }
         }
 
-        // Sort every cell so the search can use binary-search membership
-        // tests, and deduplicate (a host edge scanned in two orientations
-        // cannot produce duplicates, but directed multi-edges could).
-        for cell in fwd.values_mut().chain(rev.values_mut()) {
-            cell.sort_unstable();
-            cell.dedup();
-        }
-
+        let fwd = fwd.finish();
+        let rev = rev.finish();
         let counts: Vec<usize> = base.iter().map(|s| s.len()).collect();
-        stats.filter_cells = (fwd.len() + rev.len()) as u64;
+        stats.filter_cells = (fwd.cell_count() + rev.cell_count()) as u64;
         Ok(FilterMatrix {
             fwd,
             rev,
@@ -182,39 +410,308 @@ impl FilterMatrix {
     }
 
     /// Cell `F[(vj, rj, vi)]` for query edge `vj → vi` (or the undirected
-    /// edge `{vj, vi}`): candidates for `vi`. Empty slice when absent.
+    /// edge `{vj, vi}`): candidates for `vi`, sorted ascending. Empty
+    /// slice when absent. O(1): two table indexings, no hashing.
     #[inline]
     pub fn fwd_cell(&self, vj: NodeId, rj: NodeId, vi: NodeId) -> &[NodeId] {
-        self.fwd
-            .get(&(vj.0, rj.0, vi.0))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.fwd.cell(vj, rj, vi)
     }
 
     /// Reverse cell for query edge `vi → vj` in directed problems:
-    /// candidates for `vi` given `vj → rj`.
+    /// candidates for `vi` given `vj → rj`. O(1), as for
+    /// [`FilterMatrix::fwd_cell`].
     #[inline]
     pub fn rev_cell(&self, vj: NodeId, rj: NodeId, vi: NodeId) -> &[NodeId] {
-        self.rev
-            .get(&(vj.0, rj.0, vi.0))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.rev.cell(vj, rj, vi)
     }
 
-    /// Total number of materialized cells (space metric for §V-C).
+    /// [`CellView`] of a forward cell: slice plus bitset mirror when the
+    /// cell is dense. The search's intersection loop consumes these.
+    #[inline]
+    pub fn fwd_view(&self, vj: NodeId, rj: NodeId, vi: NodeId) -> CellView<'_> {
+        self.fwd.view(vj, rj, vi)
+    }
+
+    /// [`CellView`] of a reverse cell.
+    #[inline]
+    pub fn rev_view(&self, vj: NodeId, rj: NodeId, vi: NodeId) -> CellView<'_> {
+        self.rev.view(vj, rj, vi)
+    }
+
+    /// Total number of materialized (non-empty) cells (space metric for
+    /// §V-C).
     pub fn cell_count(&self) -> usize {
-        self.fwd.len() + self.rev.len()
+        self.fwd.cell_count() + self.rev.cell_count()
     }
 
     /// Total number of candidate entries across cells.
     pub fn entry_count(&self) -> usize {
-        self.fwd.values().chain(self.rev.values()).map(Vec::len).sum()
+        self.fwd.arena.len() + self.rev.arena.len()
     }
 }
 
-#[inline]
-fn push_cell(map: &mut FxHashMap<CellKey, Vec<NodeId>>, key: CellKey, value: NodeId) {
-    map.entry(key).or_default().push(value);
+#[doc(hidden)]
+pub mod reference {
+    //! The seed's `FxHashMap`-keyed filter, kept verbatim (plus the same
+    //! orientation-2 eval accounting as the CSR build) as the baseline
+    //! for the `abl_filter_layout` ablation benchmark and as the oracle
+    //! for the layout-equivalence property test. Not part of the public
+    //! API.
+
+    use super::*;
+    use crate::mapping::Mapping;
+    use crate::order::Pred;
+    use rustc_hash::FxHashMap;
+
+    /// Key of one filter cell: `(v, r, v′)` with ids packed as `u32`.
+    type CellKey = (u32, u32, u32);
+
+    /// Hash-map-backed filter matrix (the pre-CSR layout).
+    pub struct HashFilterMatrix {
+        fwd: FxHashMap<CellKey, Vec<NodeId>>,
+        rev: FxHashMap<CellKey, Vec<NodeId>>,
+        base: Vec<NodeBitSet>,
+        counts: Vec<usize>,
+        truncated: bool,
+    }
+
+    impl HashFilterMatrix {
+        /// Build with hash-map cells; counters mirror
+        /// [`FilterMatrix::build`] exactly.
+        pub fn build(
+            problem: &Problem<'_>,
+            deadline: &mut Deadline,
+            stats: &mut SearchStats,
+        ) -> Result<HashFilterMatrix, ProblemError> {
+            let nq = problem.nq();
+            let nr = problem.nr();
+            let undirected = problem.query.is_undirected();
+
+            let mut fwd: FxHashMap<CellKey, Vec<NodeId>> = FxHashMap::default();
+            let mut rev: FxHashMap<CellKey, Vec<NodeId>> = FxHashMap::default();
+            let node_pass = node_admissible(problem, stats)?;
+
+            let mut base: Vec<NodeBitSet> = (0..nq).map(|_| NodeBitSet::new(nr)).collect();
+            let mut truncated = false;
+
+            'outer: for qe in problem.query.edge_refs() {
+                let (a, b) = (qe.src, qe.dst);
+                for he in problem.host.edge_refs() {
+                    if deadline.expired() {
+                        truncated = true;
+                        break 'outer;
+                    }
+                    let (u, v) = (he.src, he.dst);
+                    if node_pass[a.index()].contains(u) && node_pass[b.index()].contains(v) {
+                        stats.constraint_evals += 1;
+                        if problem.edge_ok(qe.id, a, b, he.id, u, v)? {
+                            push_cell(&mut fwd, (a.0, u.0, b.0), v);
+                            if undirected {
+                                push_cell(&mut fwd, (b.0, v.0, a.0), u);
+                            } else {
+                                push_cell(&mut rev, (b.0, v.0, a.0), u);
+                            }
+                            base[a.index()].insert(u);
+                            base[b.index()].insert(v);
+                        }
+                    }
+                    if node_pass[a.index()].contains(v) && node_pass[b.index()].contains(u) {
+                        stats.constraint_evals += 1;
+                        if undirected && problem.edge_ok(qe.id, a, b, he.id, v, u)? {
+                            push_cell(&mut fwd, (a.0, v.0, b.0), u);
+                            push_cell(&mut fwd, (b.0, u.0, a.0), v);
+                            base[a.index()].insert(v);
+                            base[b.index()].insert(u);
+                        }
+                    }
+                }
+            }
+
+            for v in problem.query.node_ids() {
+                if problem.query.total_degree(v) == 0 {
+                    base[v.index()] = node_pass[v.index()].clone();
+                }
+            }
+
+            for cell in fwd.values_mut().chain(rev.values_mut()) {
+                cell.sort_unstable();
+                cell.dedup();
+            }
+
+            let counts: Vec<usize> = base.iter().map(|s| s.len()).collect();
+            stats.filter_cells = (fwd.len() + rev.len()) as u64;
+            Ok(HashFilterMatrix {
+                fwd,
+                rev,
+                base,
+                counts,
+                truncated,
+            })
+        }
+
+        /// See [`FilterMatrix::truncated`].
+        pub fn truncated(&self) -> bool {
+            self.truncated
+        }
+
+        /// See [`FilterMatrix::candidate_count`].
+        #[inline]
+        pub fn candidate_count(&self, v: NodeId) -> usize {
+            self.counts[v.index()]
+        }
+
+        /// See [`FilterMatrix::base`].
+        #[inline]
+        pub fn base(&self, v: NodeId) -> &NodeBitSet {
+            &self.base[v.index()]
+        }
+
+        /// See [`FilterMatrix::fwd_cell`]. One hash probe per call.
+        #[inline]
+        pub fn fwd_cell(&self, vj: NodeId, rj: NodeId, vi: NodeId) -> &[NodeId] {
+            self.fwd
+                .get(&(vj.0, rj.0, vi.0))
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
+        }
+
+        /// See [`FilterMatrix::rev_cell`]. One hash probe per call.
+        #[inline]
+        pub fn rev_cell(&self, vj: NodeId, rj: NodeId, vi: NodeId) -> &[NodeId] {
+            self.rev
+                .get(&(vj.0, rj.0, vi.0))
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
+        }
+
+        /// See [`FilterMatrix::cell_count`].
+        pub fn cell_count(&self) -> usize {
+            self.fwd.len() + self.rev.len()
+        }
+
+        /// See [`FilterMatrix::entry_count`].
+        pub fn entry_count(&self) -> usize {
+            self.fwd
+                .values()
+                .chain(self.rev.values())
+                .map(Vec::len)
+                .sum()
+        }
+    }
+
+    #[inline]
+    fn push_cell(map: &mut FxHashMap<CellKey, Vec<NodeId>>, key: CellKey, value: NodeId) {
+        map.entry(key).or_default().push(value);
+    }
+
+    /// The seed's candidate computation: gather one hash-probed cell per
+    /// predecessor, allocate a fresh `Vec`, and intersect via
+    /// `binary_search` membership tests.
+    pub fn candidates_at(
+        filter: &HashFilterMatrix,
+        order: &[NodeId],
+        preds: &[Vec<Pred>],
+        depth: usize,
+        assign: &[NodeId],
+        used: &NodeBitSet,
+    ) -> Vec<NodeId> {
+        let vi = order[depth];
+        let plist = &preds[depth];
+        if plist.is_empty() {
+            return filter
+                .base(vi)
+                .iter()
+                .filter(|r| !used.contains(*r))
+                .collect();
+        }
+        let mut cells: Vec<&[NodeId]> = Vec::with_capacity(plist.len());
+        for p in plist {
+            let rj = assign[p.node.index()];
+            let cell = if p.forward {
+                filter.fwd_cell(p.node, rj, vi)
+            } else {
+                filter.rev_cell(p.node, rj, vi)
+            };
+            if cell.is_empty() {
+                return Vec::new();
+            }
+            cells.push(cell);
+        }
+        cells.sort_by_key(|c| c.len());
+        let (base, rest) = cells.split_first().expect("at least one cell");
+        base.iter()
+            .copied()
+            .filter(|r| !used.contains(*r) && rest.iter().all(|c| c.binary_search(r).is_ok()))
+            .collect()
+    }
+
+    /// ECF over the hash filter with the seed's per-descent allocation
+    /// pattern, enumerating up to `limit` feasible mappings (in the same
+    /// ascending candidate order as the CSR search, so bounded runs of
+    /// the two layouts see identical solution prefixes). Used by the
+    /// ablation bench (hashmap side) and the equivalence property test.
+    pub fn search_up_to(
+        problem: &Problem<'_>,
+        filter: &HashFilterMatrix,
+        order: &[NodeId],
+        preds: &[Vec<Pred>],
+        limit: usize,
+    ) -> Vec<Mapping> {
+        let mut assign = vec![NodeId(u32::MAX); problem.nq()];
+        let mut used = NodeBitSet::new(problem.nr());
+        let mut out = Vec::new();
+        #[allow(clippy::too_many_arguments)]
+        fn go(
+            filter: &HashFilterMatrix,
+            order: &[NodeId],
+            preds: &[Vec<Pred>],
+            depth: usize,
+            assign: &mut Vec<NodeId>,
+            used: &mut NodeBitSet,
+            out: &mut Vec<Mapping>,
+            limit: usize,
+        ) {
+            if out.len() >= limit {
+                return;
+            }
+            if depth == order.len() {
+                out.push(Mapping::new(assign.clone()));
+                return;
+            }
+            let vq = order[depth];
+            for r in candidates_at(filter, order, preds, depth, assign, used) {
+                assign[vq.index()] = r;
+                used.insert(r);
+                go(filter, order, preds, depth + 1, assign, used, out, limit);
+                used.remove(r);
+                assign[vq.index()] = NodeId(u32::MAX);
+                if out.len() >= limit {
+                    break;
+                }
+            }
+        }
+        go(
+            filter,
+            order,
+            preds,
+            0,
+            &mut assign,
+            &mut used,
+            &mut out,
+            limit,
+        );
+        out
+    }
+
+    /// Every feasible mapping ([`search_up_to`] without a bound).
+    pub fn search_all(
+        problem: &Problem<'_>,
+        filter: &HashFilterMatrix,
+        order: &[NodeId],
+        preds: &[Vec<Pred>],
+    ) -> Vec<Mapping> {
+        search_up_to(problem, filter, order, preds, usize::MAX)
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +814,27 @@ mod tests {
     }
 
     #[test]
+    fn directed_and_undirected_eval_counts_comparable() {
+        // Directed host 2-cycle u⇄v, directed query a→b: every node
+        // passes the degree prefilter, so each of the 2 host edges
+        // accounts 2 considered orientations — 4 evals, exactly like the
+        // undirected twin (1 undirected host edge would account 2; the
+        // 2-cycle doubles it). Before the fix the directed run reported
+        // 2, making eval counts incomparable across directedness.
+        let mut q = Network::new(Direction::Directed);
+        let a = q.add_node("a");
+        let b = q.add_node("b");
+        q.add_edge(a, b);
+        let mut h = Network::new(Direction::Directed);
+        let u = h.add_node("u");
+        let v = h.add_node("v");
+        h.add_edge(u, v);
+        h.add_edge(v, u);
+        let (_, stats) = build(&q, &h, "true");
+        assert_eq!(stats.constraint_evals, 4);
+    }
+
+    #[test]
     fn isolated_query_node_base_is_node_admissible_set() {
         let mut q = Network::new(Direction::Undirected);
         q.add_node("lone");
@@ -355,5 +873,58 @@ mod tests {
         let (f, _) = build(&q, &h, "true");
         // Each of the 8 cells holds exactly one candidate here.
         assert_eq!(f.entry_count(), 8);
+    }
+
+    #[test]
+    fn dense_cells_grow_bitset_mirrors() {
+        // Star host: hub adjacent to many leaves ⇒ the cells anchored at
+        // the hub are dense and must carry bitset mirrors agreeing with
+        // their slices; leaf-anchored cells are sparse and must not.
+        let mut h = Network::new(Direction::Undirected);
+        let hub = h.add_node("hub");
+        let leaves: Vec<NodeId> = (0..CELL_DENSE_MIN + 4)
+            .map(|i| h.add_node(format!("l{i}")))
+            .collect();
+        for &l in &leaves {
+            h.add_edge(hub, l);
+        }
+        let mut q = Network::new(Direction::Undirected);
+        let a = q.add_node("a");
+        let b = q.add_node("b");
+        q.add_edge(a, b);
+        let (f, _) = build(&q, &h, "true");
+        let dense = f.fwd_view(a, hub, b);
+        assert_eq!(dense.slice.len(), leaves.len());
+        let bits = dense.bits.expect("dense cell must have a bitset mirror");
+        assert_eq!(bits.iter().collect::<Vec<_>>(), dense.slice);
+        let sparse = f.fwd_view(a, leaves[0], b);
+        assert_eq!(sparse.slice, &[hub]);
+        assert!(sparse.bits.is_none());
+        // Absent cells are empty in both representations.
+        let absent = f.fwd_view(b, leaves[0], a);
+        assert_eq!(absent.slice, &[hub]); // the symmetric orientation exists
+        let no_pair = f.rev_view(a, hub, b);
+        assert!(no_pair.slice.is_empty() && no_pair.bits.is_none());
+    }
+
+    #[test]
+    fn csr_matches_reference_on_fixture() {
+        let (q, h) = fixture();
+        let p = Problem::new(&q, &h, "rEdge.d < 60.0").unwrap();
+        let mut d = Deadline::unlimited();
+        let (mut s1, mut s2) = (SearchStats::default(), SearchStats::default());
+        let csr = FilterMatrix::build(&p, &mut d, &mut s1).unwrap();
+        let href = reference::HashFilterMatrix::build(&p, &mut d, &mut s2).unwrap();
+        assert_eq!(s1.constraint_evals, s2.constraint_evals);
+        assert_eq!(csr.cell_count(), href.cell_count());
+        assert_eq!(csr.entry_count(), href.entry_count());
+        for vj in q.node_ids() {
+            for vi in q.node_ids() {
+                for rj in h.node_ids() {
+                    assert_eq!(csr.fwd_cell(vj, rj, vi), href.fwd_cell(vj, rj, vi));
+                    assert_eq!(csr.rev_cell(vj, rj, vi), href.rev_cell(vj, rj, vi));
+                }
+            }
+        }
     }
 }

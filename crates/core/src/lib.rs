@@ -9,11 +9,17 @@
 //! ## Algorithms (§V of the paper)
 //!
 //! * [`ecf`] — **Exhaustive search with Constraint Filtering**: builds the
-//!   sparse 3-D filter matrix `F[(v, r, v′)] → {r′}` by evaluating the
+//!   3-D filter matrix `F[(v, r, v′)] → {r′}` by evaluating the
 //!   constraint expression for every (query edge, host edge) pair, orders
 //!   query nodes ascending by candidate count (Lemma 1), and runs a DFS of
 //!   the permutation tree that intersects filters at every extension.
-//!   Complete: finds *all* feasible embeddings.
+//!   Complete: finds *all* feasible embeddings. The filter is stored as a
+//!   flat CSR arena — a dense `(vj, vi)` pair table over per-`rj` offset
+//!   rows into one contiguous candidate vector — so cell lookup is O(1)
+//!   with no hashing, and dense cells carry bitset mirrors that the DFS
+//!   intersects word-by-word into per-depth reusable scratch masks
+//!   (zero allocation on the hot path). See [`filter`] for the layout and
+//!   `benches/abl_filter_layout.rs` for the hashmap-vs-CSR ablation.
 //! * [`rwb`] — **Random Walk with Backtracking**: the same filters, but
 //!   candidates are tried in random order and the search stops at the first
 //!   feasible embedding.

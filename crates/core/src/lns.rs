@@ -81,6 +81,15 @@ struct LnsState<'p, 'a> {
     /// (v_edge, r_src, r_dst) → MEMO_OK / MEMO_FAIL. `r_src` is the host
     /// node assigned to the query edge's stored source endpoint.
     memo: FxHashMap<(u32, u32, u32), u8>,
+    /// Reusable per-depth candidate buffers: recursion at depth `d` takes
+    /// buffer `d`, fills it, iterates it, and puts it back — no
+    /// allocation after each depth's first visit.
+    cand_bufs: Vec<Vec<NodeId>>,
+    /// Reusable anchor list for [`LnsState::fill_candidates`] (taken and
+    /// restored around the call to sidestep field borrows).
+    anchors: Vec<(NodeId, NodeId)>,
+    /// Reusable dedup mask for the anchor-adjacency scan.
+    seen: NodeBitSet,
 }
 
 impl<'p, 'a> LnsState<'p, 'a> {
@@ -95,6 +104,9 @@ impl<'p, 'a> LnsState<'p, 'a> {
             used: NodeBitSet::new(problem.nr()),
             depth: 0,
             memo: FxHashMap::default(),
+            cand_bufs: (0..nq).map(|_| Vec::new()).collect(),
+            anchors: Vec::new(),
+            seen: NodeBitSet::new(problem.nr()),
         }
     }
 
@@ -189,9 +201,7 @@ impl<'p, 'a> LnsState<'p, 'a> {
             }
         }
         stats.constraint_evals += 1;
-        let ok = self
-            .problem
-            .pair_ok(netgraph::EdgeId(qe), qs, qd, rs, rd)?;
+        let ok = self.problem.pair_ok(netgraph::EdgeId(qe), qs, qd, rs, rd)?;
         if self.config.memo_cache {
             self.memo
                 .insert((qe, rs.0, rd.0), if ok { MEMO_OK } else { MEMO_FAIL });
@@ -199,17 +209,24 @@ impl<'p, 'a> LnsState<'p, 'a> {
         Ok(ok)
     }
 
-    /// Candidate host nodes for `vn` given the current covered set.
-    fn candidates(
+    /// Candidate host nodes for `vn` given the current covered set,
+    /// appended to `out` (cleared first). Scratch state (`anchors`,
+    /// `seen`) is reused across calls.
+    fn fill_candidates(
         &mut self,
         vn: NodeId,
+        out: &mut Vec<NodeId>,
         stats: &mut SearchStats,
-    ) -> Result<Vec<NodeId>, ProblemError> {
+    ) -> Result<(), ProblemError> {
+        out.clear();
         let q = self.problem.query;
         let r_net = self.problem.host;
 
-        // Covered neighbors of vn with their host images.
-        let mut anchors: Vec<(NodeId, NodeId)> = Vec::new();
+        // Covered neighbors of vn with their host images. The buffer is
+        // taken out of `self` (and restored before returning) because the
+        // loop below needs `&mut self` for the memoized edge checks.
+        let mut anchors = std::mem::take(&mut self.anchors);
+        anchors.clear();
         for &(nb, _) in q.neighbors(vn).iter().chain(q.in_neighbors(vn)) {
             if self.covered[nb.index()] {
                 let pair = (nb, self.assign[nb.index()]);
@@ -223,11 +240,9 @@ impl<'p, 'a> LnsState<'p, 'a> {
         // edges at its image, so deg_host(r) ≥ deg_query(vn) (per
         // direction for directed graphs).
         let (vn_out, vn_in) = (q.neighbors(vn).len(), q.in_neighbors(vn).len());
-        let degree_ok = |r: NodeId| {
-            r_net.neighbors(r).len() >= vn_out && r_net.in_neighbors(r).len() >= vn_in
-        };
+        let degree_ok =
+            |r: NodeId| r_net.neighbors(r).len() >= vn_out && r_net.in_neighbors(r).len() >= vn_in;
 
-        let mut out = Vec::new();
         if anchors.is_empty() {
             // New component / isolated node: scan all unused host nodes.
             for r in r_net.node_ids() {
@@ -239,15 +254,14 @@ impl<'p, 'a> LnsState<'p, 'a> {
                     out.push(r);
                 }
             }
-            return Ok(out);
+            self.anchors = anchors;
+            return Ok(());
         }
 
         // Enumerate from the anchor whose host node has the smallest
         // adjacency — every candidate must be a host-neighbor of all
         // anchors anyway.
-        let (&(_, base_rc), _) = anchors
-            .split_first()
-            .expect("non-empty anchors");
+        let (&(_, base_rc), _) = anchors.split_first().expect("non-empty anchors");
         let mut base_rc = base_rc;
         let mut best_len = usize::MAX;
         for &(_, rc) in &anchors {
@@ -258,14 +272,14 @@ impl<'p, 'a> LnsState<'p, 'a> {
             }
         }
 
-        let mut seen = NodeBitSet::new(self.problem.nr());
+        self.seen.clear();
         let neighbor_lists = [r_net.neighbors(base_rc), r_net.in_neighbors(base_rc)];
         for list in neighbor_lists {
             for &(r, _) in list {
-                if self.used.contains(r) || seen.contains(r) || !degree_ok(r) {
+                if self.used.contains(r) || self.seen.contains(r) || !degree_ok(r) {
                     continue;
                 }
-                seen.insert(r);
+                self.seen.insert(r);
                 stats.constraint_evals += 1;
                 if !self.problem.node_ok(vn, r)? {
                     continue;
@@ -282,7 +296,8 @@ impl<'p, 'a> LnsState<'p, 'a> {
                 }
             }
         }
-        Ok(out)
+        self.anchors = anchors;
+        Ok(())
     }
 
     /// Recursive extension (step 5..16 of Figure 7).
@@ -304,22 +319,31 @@ impl<'p, 'a> LnsState<'p, 'a> {
             });
         }
         let vn = self.pick_next();
-        let candidates = self.candidates(vn, stats)?;
-        if candidates.is_empty() {
-            stats.prunes += 1;
-            return Ok(SearchEnd::Exhausted);
-        }
-        for r in candidates {
-            stats.nodes_visited += 1;
-            self.cover(vn, r);
-            let end = self.extend(deadline, sink, stats)?;
-            self.uncover(vn, r);
-            match end {
-                SearchEnd::Exhausted => {}
-                other => return Ok(other),
+        // Take this depth's reusable buffer for the duration of the
+        // candidate iteration (recursion uses the deeper buffers).
+        let here = self.depth;
+        let mut candidates = std::mem::take(&mut self.cand_bufs[here]);
+        let result = (|| -> Result<SearchEnd, ProblemError> {
+            self.fill_candidates(vn, &mut candidates, stats)?;
+            if candidates.is_empty() {
+                stats.prunes += 1;
+                return Ok(SearchEnd::Exhausted);
             }
-        }
-        Ok(SearchEnd::Exhausted)
+            for &r in &candidates {
+                stats.nodes_visited += 1;
+                self.cover(vn, r);
+                let end = self.extend(deadline, sink, stats)?;
+                self.uncover(vn, r);
+                match end {
+                    SearchEnd::Exhausted => {}
+                    other => return Ok(other),
+                }
+            }
+            Ok(SearchEnd::Exhausted)
+        })();
+        candidates.clear();
+        self.cand_bufs[here] = candidates;
+        result
     }
 
     fn cover(&mut self, v: NodeId, r: NodeId) {
@@ -449,8 +473,14 @@ mod tests {
         let mut sink2 = CollectUpTo::new(1);
         let mut stats2 = SearchStats::default();
         let mut dl2 = Deadline::unlimited();
-        let end2 = search(&p2, &LnsConfig::default(), &mut dl2, &mut sink2, &mut stats2)
-            .unwrap();
+        let end2 = search(
+            &p2,
+            &LnsConfig::default(),
+            &mut dl2,
+            &mut sink2,
+            &mut stats2,
+        )
+        .unwrap();
         assert_eq!(end2, SearchEnd::SinkStop);
         assert_eq!(sink2.solutions.len(), 1);
     }

@@ -12,15 +12,37 @@
 //! The alternatives exist for the `abl-order` ablation, which validates
 //! Lemma 1 empirically.
 
-use crate::filter::FilterMatrix;
+use crate::filter::{reference::HashFilterMatrix, FilterMatrix};
 use netgraph::{Network, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+/// Anything that can report per-query-node candidate counts (the Lemma-1
+/// sort key). Implemented by both filter layouts so the ordering is
+/// layout-independent — the equivalence property test and the
+/// `abl_filter_layout` ablation order both searches identically.
+pub trait CandidateCounts {
+    /// Number of base candidates for query node `v` (expression (1)).
+    fn candidate_count(&self, v: NodeId) -> usize;
+}
+
+impl CandidateCounts for FilterMatrix {
+    #[inline]
+    fn candidate_count(&self, v: NodeId) -> usize {
+        FilterMatrix::candidate_count(self, v)
+    }
+}
+
+impl CandidateCounts for HashFilterMatrix {
+    #[inline]
+    fn candidate_count(&self, v: NodeId) -> usize {
+        HashFilterMatrix::candidate_count(self, v)
+    }
+}
+
 /// Ordering strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum NodeOrder {
     /// Lemma-1: ascending candidate count, connectivity-aware (default).
     #[default]
@@ -33,9 +55,12 @@ pub enum NodeOrder {
     Random(u64),
 }
 
-
 /// Compute the processing order of the query nodes.
-pub fn compute_order(query: &Network, filter: &FilterMatrix, strategy: NodeOrder) -> Vec<NodeId> {
+pub fn compute_order<C: CandidateCounts + ?Sized>(
+    query: &Network,
+    filter: &C,
+    strategy: NodeOrder,
+) -> Vec<NodeId> {
     let nq = query.node_count();
     match strategy {
         NodeOrder::InputOrder => query.node_ids().collect(),
@@ -238,8 +263,20 @@ mod tests {
         let order = vec![NodeId(1), NodeId(0), NodeId(2)]; // b, a, c
         let preds = predecessors(&q, &order);
         assert!(preds[0].is_empty());
-        assert_eq!(preds[1], vec![Pred { node: NodeId(1), forward: true }]);
-        assert_eq!(preds[2], vec![Pred { node: NodeId(1), forward: true }]);
+        assert_eq!(
+            preds[1],
+            vec![Pred {
+                node: NodeId(1),
+                forward: true
+            }]
+        );
+        assert_eq!(
+            preds[2],
+            vec![Pred {
+                node: NodeId(1),
+                forward: true
+            }]
+        );
         let _ = f;
     }
 
@@ -255,9 +292,21 @@ mod tests {
         let preds = predecessors(&q, &order);
         assert!(preds[0].is_empty());
         // b's predecessor a via edge a→b: forward.
-        assert_eq!(preds[1], vec![Pred { node: a, forward: true }]);
+        assert_eq!(
+            preds[1],
+            vec![Pred {
+                node: a,
+                forward: true
+            }]
+        );
         // c's predecessor b via edge c→b: reverse (edge from vi=c to b).
-        assert_eq!(preds[2], vec![Pred { node: b, forward: false }]);
+        assert_eq!(
+            preds[2],
+            vec![Pred {
+                node: b,
+                forward: false
+            }]
+        );
     }
 
     #[test]
@@ -286,6 +335,9 @@ mod tests {
         let comp2: Vec<usize> = vec![pos(c), pos(d)];
         let c1 = (comp1.iter().min().unwrap(), comp1.iter().max().unwrap());
         let c2 = (comp2.iter().min().unwrap(), comp2.iter().max().unwrap());
-        assert!(c1.1 < c2.0 || c2.1 < c1.0, "components interleaved: {order:?}");
+        assert!(
+            c1.1 < c2.0 || c2.1 < c1.0,
+            "components interleaved: {order:?}"
+        );
     }
 }

@@ -11,14 +11,14 @@
 //! first-match mode and deadline expiry.
 
 use crate::deadline::Deadline;
-use crate::ecf::{candidates_at, run_dfs, SearchEnd};
+use crate::ecf::{root_candidates, run_dfs, SearchEnd};
 use crate::filter::FilterMatrix;
 use crate::mapping::Mapping;
 use crate::order::{compute_order, predecessors, NodeOrder};
 use crate::problem::{Problem, ProblemError};
 use crate::sink::{SinkControl, SolutionSink};
 use crate::stats::SearchStats;
-use netgraph::{NodeBitSet, NodeId};
+use netgraph::NodeId;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Parallel all-matches / up-to-k search.
@@ -47,9 +47,7 @@ pub fn search(
     let preds = predecessors(problem.query, &node_order);
 
     // Root candidates (expression (1)).
-    let assign = vec![NodeId(u32::MAX); problem.nq()];
-    let used = NodeBitSet::new(problem.nr());
-    let roots = candidates_at(&filter, &node_order, &preds, 0, &assign, &used);
+    let roots = root_candidates(problem, &filter, &node_order, &preds);
 
     if roots.is_empty() {
         stats.elapsed = start.elapsed();
@@ -95,12 +93,7 @@ pub fn search(
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             // Strided partition spreads "hot" root candidates evenly.
-            let my_roots: Vec<NodeId> = roots
-                .iter()
-                .copied()
-                .skip(w)
-                .step_by(workers)
-                .collect();
+            let my_roots: Vec<NodeId> = roots.iter().copied().skip(w).step_by(workers).collect();
             let filter = &filter;
             let node_order = &node_order;
             let preds = &preds;
@@ -239,8 +232,8 @@ mod tests {
         let p = Problem::new(&q, &h, "true").unwrap();
         let mut stats = SearchStats::default();
         let mut dl = Deadline::unlimited();
-        let (sols, end) = search(&p, 4, Some(5), NodeOrder::default(), &mut dl, &mut stats)
-            .unwrap();
+        let (sols, end) =
+            search(&p, 4, Some(5), NodeOrder::default(), &mut dl, &mut stats).unwrap();
         assert_eq!(end, SearchEnd::SinkStop);
         assert_eq!(sols.len(), 5);
         for m in &sols {

@@ -257,7 +257,13 @@ impl State<'_> {
         let q = self.query;
         q.node_ids()
             .filter(|v| !self.covered[v.index()])
-            .max_by_key(|&v| (self.covered_links[v.index()], q.total_degree(v), std::cmp::Reverse(v)))
+            .max_by_key(|&v| {
+                (
+                    self.covered_links[v.index()],
+                    q.total_degree(v),
+                    std::cmp::Reverse(v),
+                )
+            })
             .expect("uncovered node exists")
     }
 
@@ -283,7 +289,15 @@ impl State<'_> {
         let mut on_path = NodeBitSet::new(self.host.node_count());
         on_path.insert(rc);
         self.dfs_targets(
-            &mut stack, &mut on_path, 0.0, f64::INFINITY, lo, hi, cap_need, reverse, &mut found,
+            &mut stack,
+            &mut on_path,
+            0.0,
+            f64::INFINITY,
+            lo,
+            hi,
+            cap_need,
+            reverse,
+            &mut found,
         );
         found
     }
@@ -453,7 +467,12 @@ impl State<'_> {
             self.assign[vn.index()] = r;
             self.used.insert(r);
             self.depth += 1;
-            for &(nb, _) in self.query.neighbors(vn).iter().chain(self.query.in_neighbors(vn)) {
+            for &(nb, _) in self
+                .query
+                .neighbors(vn)
+                .iter()
+                .chain(self.query.in_neighbors(vn))
+            {
                 self.covered_links[nb.index()] += 1;
             }
             for (e, p) in witness {
@@ -465,7 +484,12 @@ impl State<'_> {
             for (e, _) in witness {
                 self.paths.remove(&e.0);
             }
-            for &(nb, _) in self.query.neighbors(vn).iter().chain(self.query.in_neighbors(vn)) {
+            for &(nb, _) in self
+                .query
+                .neighbors(vn)
+                .iter()
+                .chain(self.query.in_neighbors(vn))
+            {
                 self.covered_links[nb.index()] -= 1;
             }
             self.depth -= 1;
@@ -508,12 +532,7 @@ mod tests {
         q
     }
 
-    fn run(
-        q: &Network,
-        h: &Network,
-        policy: &PathPolicy,
-        limit: usize,
-    ) -> Vec<PathMapping> {
+    fn run(q: &Network, h: &Network, policy: &PathPolicy, limit: usize) -> Vec<PathMapping> {
         let mut dl = Deadline::unlimited();
         let (sols, _) = search_paths(q, h, policy, None, limit, &mut dl).unwrap();
         for pm in &sols {

@@ -102,8 +102,7 @@ mod tests {
         let p = Problem::new(&q, &h, "true").unwrap();
         let mut stats = SearchStats::default();
         let mut dl = Deadline::unlimited();
-        let (sols, end) =
-            search(&p, 42, 1, NodeOrder::default(), &mut dl, &mut stats).unwrap();
+        let (sols, end) = search(&p, 42, 1, NodeOrder::default(), &mut dl, &mut stats).unwrap();
         assert_eq!(sols.len(), 1);
         assert_eq!(end, crate::ecf::SearchEnd::SinkStop);
         check_mapping(&p, &sols[0]).unwrap();
@@ -118,8 +117,7 @@ mod tests {
         for seed in 0..20 {
             let mut stats = SearchStats::default();
             let mut dl = Deadline::unlimited();
-            let (sols, _) =
-                search(&p, seed, 1, NodeOrder::default(), &mut dl, &mut stats).unwrap();
+            let (sols, _) = search(&p, seed, 1, NodeOrder::default(), &mut dl, &mut stats).unwrap();
             found.insert(sols[0].clone());
         }
         // With 8·2·… possible embeddings, 20 random walks should not all
@@ -134,8 +132,7 @@ mod tests {
         let p = Problem::new(&q, &h, "rEdge.d > 1e6").unwrap();
         let mut stats = SearchStats::default();
         let mut dl = Deadline::unlimited();
-        let (sols, end) =
-            search(&p, 7, 1, NodeOrder::default(), &mut dl, &mut stats).unwrap();
+        let (sols, end) = search(&p, 7, 1, NodeOrder::default(), &mut dl, &mut stats).unwrap();
         assert!(sols.is_empty());
         // Exhausted (not timeout): a definitive "no solution".
         assert_eq!(end, crate::ecf::SearchEnd::Exhausted);

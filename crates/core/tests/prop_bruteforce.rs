@@ -13,46 +13,41 @@ fn arb_instance() -> impl Strategy<Value = (Network, Network, String)> {
     (3usize..7)
         .prop_flat_map(|nr| (Just(nr), 2..nr.min(5)))
         .prop_flat_map(|(nr, nq)| {
-        let host_edges = proptest::collection::vec(
-            ((0..nr as u32), (0..nr as u32), 0u32..100),
-            0..nr * (nr - 1) / 2 + 3,
-        );
-        let query_edges =
-            proptest::collection::vec(((0..nq as u32), (0..nq as u32)), 0..nq * 2);
-        let threshold = 10u32..90;
-        (
-            Just(nr),
-            Just(nq),
-            host_edges,
-            query_edges,
-            threshold,
-        )
-            .prop_map(|(nr, nq, hedges, qedges, thr)| {
-                let mut host = Network::new(Direction::Undirected);
-                for i in 0..nr {
-                    host.add_node(format!("h{i}"));
-                }
-                for (u, v, d) in hedges {
-                    let (u, v) = (NodeId(u % nr as u32), NodeId(v % nr as u32));
-                    if u != v && !host.has_edge(u, v) {
-                        let e = host.add_edge(u, v);
-                        host.set_edge_attr(e, "d", d as f64);
+            let host_edges = proptest::collection::vec(
+                ((0..nr as u32), (0..nr as u32), 0u32..100),
+                0..nr * (nr - 1) / 2 + 3,
+            );
+            let query_edges =
+                proptest::collection::vec(((0..nq as u32), (0..nq as u32)), 0..nq * 2);
+            let threshold = 10u32..90;
+            (Just(nr), Just(nq), host_edges, query_edges, threshold).prop_map(
+                |(nr, nq, hedges, qedges, thr)| {
+                    let mut host = Network::new(Direction::Undirected);
+                    for i in 0..nr {
+                        host.add_node(format!("h{i}"));
                     }
-                }
-                let mut query = Network::new(Direction::Undirected);
-                for i in 0..nq {
-                    query.add_node(format!("q{i}"));
-                }
-                for (u, v) in qedges {
-                    let (u, v) = (NodeId(u % nq as u32), NodeId(v % nq as u32));
-                    if u != v && !query.has_edge(u, v) {
-                        query.add_edge(u, v);
+                    for (u, v, d) in hedges {
+                        let (u, v) = (NodeId(u % nr as u32), NodeId(v % nr as u32));
+                        if u != v && !host.has_edge(u, v) {
+                            let e = host.add_edge(u, v);
+                            host.set_edge_attr(e, "d", d as f64);
+                        }
                     }
-                }
-                let constraint = format!("rEdge.d <= {thr}.0");
-                (host, query, constraint)
-            })
-    })
+                    let mut query = Network::new(Direction::Undirected);
+                    for i in 0..nq {
+                        query.add_node(format!("q{i}"));
+                    }
+                    for (u, v) in qedges {
+                        let (u, v) = (NodeId(u % nq as u32), NodeId(v % nq as u32));
+                        if u != v && !query.has_edge(u, v) {
+                            query.add_edge(u, v);
+                        }
+                    }
+                    let constraint = format!("rEdge.d <= {thr}.0");
+                    (host, query, constraint)
+                },
+            )
+        })
 }
 
 /// All injective assignments of `nq` query nodes to `nr` host nodes.

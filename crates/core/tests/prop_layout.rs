@@ -1,0 +1,186 @@
+//! Layout-equivalence property tests: the CSR-arena [`FilterMatrix`] and
+//! the seed's hash-map reference (`filter::reference::HashFilterMatrix`)
+//! must agree cell-for-cell on random problems, and the allocation-free
+//! DFS over the CSR filter must enumerate exactly the solution set of the
+//! reference search — the two layouts are interchangeable up to speed.
+
+use netembed::filter::reference::{self, HashFilterMatrix};
+use netembed::order::{compute_order, predecessors};
+use netembed::{CollectAll, Deadline, FilterMatrix, Mapping, NodeOrder, Problem, SearchStats};
+use netgraph::{Direction, Network, NodeId};
+use proptest::prelude::*;
+
+/// Build a host/query pair from raw edge lists (self-loops and duplicate
+/// edges are dropped; node indices wrap).
+fn build_nets(
+    dir: Direction,
+    nr: usize,
+    hedges: &[(u32, u32, u32)],
+    nq: usize,
+    qedges: &[(u32, u32)],
+) -> (Network, Network) {
+    let mut host = Network::new(dir);
+    for i in 0..nr {
+        host.add_node(format!("h{i}"));
+    }
+    for &(u, v, d) in hedges {
+        let (u, v) = (NodeId(u % nr as u32), NodeId(v % nr as u32));
+        if u != v && !host.has_edge(u, v) {
+            let e = host.add_edge(u, v);
+            host.set_edge_attr(e, "d", d as f64);
+        }
+    }
+    let mut query = Network::new(dir);
+    for i in 0..nq {
+        query.add_node(format!("q{i}"));
+    }
+    for &(u, v) in qedges {
+        let (u, v) = (NodeId(u % nq as u32), NodeId(v % nq as u32));
+        if u != v && !query.has_edge(u, v) {
+            query.add_edge(u, v);
+        }
+    }
+    (host, query)
+}
+
+/// Assert both layouts agree on every observable of the filter stage.
+fn assert_filters_equal(
+    query: &Network,
+    host: &Network,
+    csr: &FilterMatrix,
+    href: &HashFilterMatrix,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(csr.cell_count(), href.cell_count());
+    prop_assert_eq!(csr.entry_count(), href.entry_count());
+    for v in query.node_ids() {
+        prop_assert_eq!(csr.candidate_count(v), href.candidate_count(v));
+        prop_assert_eq!(csr.base(v), href.base(v), "base set mismatch at {}", v);
+    }
+    for vj in query.node_ids() {
+        for vi in query.node_ids() {
+            for rj in host.node_ids() {
+                prop_assert_eq!(
+                    csr.fwd_cell(vj, rj, vi),
+                    href.fwd_cell(vj, rj, vi),
+                    "fwd cell ({}, {}, {})",
+                    vj,
+                    rj,
+                    vi
+                );
+                prop_assert_eq!(
+                    csr.rev_cell(vj, rj, vi),
+                    href.rev_cell(vj, rj, vi),
+                    "rev cell ({}, {}, {})",
+                    vj,
+                    rj,
+                    vi
+                );
+                // The bitset mirror, when present, must agree with the
+                // slice it mirrors.
+                let view = csr.fwd_view(vj, rj, vi);
+                if let Some(bits) = view.bits {
+                    prop_assert_eq!(&bits.iter().collect::<Vec<_>>(), &view.slice);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn sorted_mappings(mut v: Vec<Mapping>) -> Vec<Mapping> {
+    v.sort_by_key(|m| m.as_slice().to_vec());
+    v
+}
+
+fn check_case(
+    dir: Direction,
+    nr: usize,
+    hedges: &[(u32, u32, u32)],
+    nq: usize,
+    qedges: &[(u32, u32)],
+    thr: u32,
+) -> Result<(), TestCaseError> {
+    let (host, query) = build_nets(dir, nr, hedges, nq, qedges);
+    prop_assume!(query.node_count() <= host.node_count());
+    let constraint = format!("rEdge.d <= {thr}.0");
+    let problem = Problem::new(&query, &host, &constraint).unwrap();
+
+    let mut dl = Deadline::unlimited();
+    let mut s_csr = SearchStats::default();
+    let mut s_ref = SearchStats::default();
+    let csr = FilterMatrix::build(&problem, &mut dl, &mut s_csr).unwrap();
+    let href = HashFilterMatrix::build(&problem, &mut dl, &mut s_ref).unwrap();
+
+    // Identical candidate sets and identical eval accounting.
+    prop_assert_eq!(s_csr.constraint_evals, s_ref.constraint_evals);
+    prop_assert_eq!(s_csr.filter_cells, s_ref.filter_cells);
+    assert_filters_equal(&query, &host, &csr, &href)?;
+
+    // Identical ECF solution sets, traversing in the same Lemma-1 order.
+    let order = compute_order(&query, &csr, NodeOrder::AscendingCandidates);
+    let preds = predecessors(&query, &order);
+    let ref_sols = reference::search_all(&problem, &href, &order, &preds);
+
+    let mut sink = CollectAll::default();
+    let mut stats = SearchStats::default();
+    let mut dl2 = Deadline::unlimited();
+    netembed::ecf::search(
+        &problem,
+        NodeOrder::AscendingCandidates,
+        &mut dl2,
+        &mut sink,
+        &mut stats,
+    )
+    .unwrap();
+
+    prop_assert_eq!(
+        sorted_mappings(sink.solutions),
+        sorted_mappings(ref_sols),
+        "solution sets diverge"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Undirected problems: cells, bases, stats, and full solution sets
+    /// agree between the CSR and hash-map layouts.
+    #[test]
+    fn csr_equals_reference_undirected(
+        nr in 3usize..8,
+        hedges in proptest::collection::vec((0u32..8, 0u32..8, 0u32..50), 1..20),
+        nq in 2usize..5,
+        qedges in proptest::collection::vec((0u32..5, 0u32..5), 1..8),
+        thr in 5u32..45,
+    ) {
+        check_case(Direction::Undirected, nr, &hedges, nq, &qedges, thr)?;
+    }
+
+    /// Directed problems exercise the reverse-cell table as well.
+    #[test]
+    fn csr_equals_reference_directed(
+        nr in 3usize..8,
+        hedges in proptest::collection::vec((0u32..8, 0u32..8, 0u32..50), 1..20),
+        nq in 2usize..5,
+        qedges in proptest::collection::vec((0u32..5, 0u32..5), 1..8),
+        thr in 5u32..45,
+    ) {
+        check_case(Direction::Directed, nr, &hedges, nq, &qedges, thr)?;
+    }
+
+    /// Dense unconstrained problems push cells past the bitset-mirror
+    /// threshold, exercising the word-level intersection path end to end.
+    #[test]
+    fn csr_equals_reference_dense(
+        nr in 17usize..24,
+        nq in 2usize..4,
+        qedges in proptest::collection::vec((0u32..4, 0u32..4), 1..5),
+    ) {
+        // Complete host graph: every cell anchored anywhere is dense.
+        let hedges: Vec<(u32, u32, u32)> = (0..nr as u32)
+            .flat_map(|u| ((u + 1)..nr as u32).map(move |v| (u, v, 10)))
+            .collect();
+        check_case(Direction::Undirected, nr, &hedges, nq, &qedges, 45)?;
+    }
+}

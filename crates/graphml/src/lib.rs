@@ -127,12 +127,14 @@ fn parse_value(ty: GmlType, text: &str, key: &str) -> Result<AttrValue, GraphmlE
                 value: text.to_string(),
             }),
         },
-        GmlType::Num => text.parse::<f64>().map(AttrValue::Num).map_err(|_| {
-            GraphmlError::BadValue {
-                key: key.to_string(),
-                value: text.to_string(),
-            }
-        }),
+        GmlType::Num => {
+            text.parse::<f64>()
+                .map(AttrValue::Num)
+                .map_err(|_| GraphmlError::BadValue {
+                    key: key.to_string(),
+                    value: text.to_string(),
+                })
+        }
         GmlType::Str => Ok(AttrValue::str(text)),
     }
 }
@@ -205,9 +207,7 @@ pub fn from_str(doc: &str) -> Result<Network, GraphmlError> {
                     "default" => {
                         pending_default_key = last_key_id.clone();
                         if pending_default_key.is_none() {
-                            return Err(GraphmlError::Schema(
-                                "<default> outside of <key>".into(),
-                            ));
+                            return Err(GraphmlError::Schema("<default> outside of <key>".into()));
                         }
                     }
                     "graph" => {
@@ -566,7 +566,8 @@ mod tests {
         assert_eq!(net.edge_count(), 1);
         let n0 = net.node_by_name("n0").unwrap();
         assert_eq!(
-            net.node_attr_by_name(n0, "osType").and_then(AttrValue::as_str),
+            net.node_attr_by_name(n0, "osType")
+                .and_then(AttrValue::as_str),
             Some("linux-2.6")
         );
         // Default applied to both nodes.
@@ -577,7 +578,8 @@ mod tests {
         );
         let e = net.find_edge(n0, n1).unwrap();
         assert_eq!(
-            net.edge_attr_by_name(e, "avgDelay").and_then(AttrValue::as_num),
+            net.edge_attr_by_name(e, "avgDelay")
+                .and_then(AttrValue::as_num),
             Some(42.5)
         );
     }

@@ -6,8 +6,8 @@ use crate::common::{mean_ci, run_once, Config, Sample};
 use netembed::lns::LnsConfig;
 use netembed::{Algorithm, Engine, NodeOrder, Options, SearchMode};
 use topogen::{
-    assign_composite_windows, clique_query, composite_query, subgraph_query, CompositeSpec,
-    Level, SubgraphParams, CLIQUE_CONSTRAINT,
+    assign_composite_windows, clique_query, composite_query, subgraph_query, CompositeSpec, Level,
+    SubgraphParams, CLIQUE_CONSTRAINT,
 };
 
 /// `abl-order`: empirical Lemma 1 — ECF all-matches under four node

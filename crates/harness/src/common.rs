@@ -64,7 +64,10 @@ impl Config {
     /// A BRITE-like host of (scaled) `full_n` nodes.
     pub fn brite(&self, full_n: usize) -> Network {
         let n = self.scaled(full_n, 50);
-        topogen::brite_like(&BriteParams::paper_default(n), &mut topogen::rng(self.seed ^ 0xB17E))
+        topogen::brite_like(
+            &BriteParams::paper_default(n),
+            &mut topogen::rng(self.seed ^ 0xB17E),
+        )
     }
 }
 

@@ -126,7 +126,15 @@ pub fn fig10(cfg: &Config) {
             let match_samples: Vec<Sample> = queries
                 .iter()
                 .map(|wl| {
-                    run_once(&host, &wl.query, &wl.constraint, alg, mode, cfg.timeout, cfg.seed)
+                    run_once(
+                        &host,
+                        &wl.query,
+                        &wl.constraint,
+                        alg,
+                        mode,
+                        cfg.timeout,
+                        cfg.seed,
+                    )
                 })
                 .collect();
             emit("fig10", &format!("{label}-match"), n, &match_samples);
@@ -135,7 +143,15 @@ pub fn fig10(cfg: &Config) {
                 .enumerate()
                 .map(|(i, wl)| {
                     let bad = make_infeasible(wl, 0.15, &mut topogen::rng(cfg.seed + i as u64));
-                    run_once(&host, &bad.query, &bad.constraint, alg, mode, cfg.timeout, cfg.seed)
+                    run_once(
+                        &host,
+                        &bad.query,
+                        &bad.constraint,
+                        alg,
+                        mode,
+                        cfg.timeout,
+                        cfg.seed,
+                    )
                 })
                 .collect();
             emit("fig10", &format!("{label}-nomatch"), n, &nomatch_samples);
@@ -214,7 +230,14 @@ pub fn fig13(first_match: bool, cfg: &Config) {
                             seed,
                         )
                     } else {
-                        crate::common::run_counting(&host, &wl.query, &wl.constraint, alg, cfg.timeout, seed)
+                        crate::common::run_counting(
+                            &host,
+                            &wl.query,
+                            &wl.constraint,
+                            alg,
+                            cfg.timeout,
+                            seed,
+                        )
                     }
                 })
                 .collect();
@@ -248,7 +271,13 @@ fn composite_workloads(cfg: &Config, irregular: bool) -> Vec<(usize, QueryWorklo
         }
         let mut q = composite_query(&spec);
         if irregular {
-            assign_random_windows(&mut q, 25.0, 175.0, 60.0, &mut topogen::rng(cfg.seed + i as u64));
+            assign_random_windows(
+                &mut q,
+                25.0,
+                175.0,
+                60.0,
+                &mut topogen::rng(cfg.seed + i as u64),
+            );
         } else {
             assign_composite_windows(&mut q, (75.0, 350.0), (1.0, 75.0));
         }
@@ -302,7 +331,10 @@ pub fn fig14(irregular: bool, cfg: &Config) {
 /// Figure 15: probability distribution of result types (§VII-E) across the
 /// workload classes, under a fixed (short) timeout.
 pub fn fig15(cfg: &Config) {
-    println!("# fig15: outcome distribution under timeout {:?}", cfg.timeout);
+    println!(
+        "# fig15: outcome distribution under timeout {:?}",
+        cfg.timeout
+    );
     println!("experiment,series,class,p_all,p_some,p_none,p_inconclusive,n");
     let host = cfg.planetlab();
 
@@ -323,11 +355,17 @@ pub fn fig15(cfg: &Config) {
     classes.push(("clique", cliques));
     classes.push((
         "composite-regular",
-        composite_workloads(cfg, false).into_iter().map(|(_, w)| w).collect(),
+        composite_workloads(cfg, false)
+            .into_iter()
+            .map(|(_, w)| w)
+            .collect(),
     ));
     classes.push((
         "composite-irregular",
-        composite_workloads(cfg, true).into_iter().map(|(_, w)| w).collect(),
+        composite_workloads(cfg, true)
+            .into_iter()
+            .map(|(_, w)| w)
+            .collect(),
     ));
 
     for (class, workloads) in &classes {

@@ -110,9 +110,24 @@ fn run(exp: &str, cfg: &Config) {
         "abl-lns" => ablations::abl_lns(cfg),
         "all" => {
             for e in [
-                "fig8a", "fig8b", "fig8c", "fig9a", "fig9b", "fig10", "fig11", "fig12",
-                "fig13a", "fig13b", "fig14a", "fig14b", "fig15", "sec7f", "abl-order",
-                "abl-negcache", "abl-par", "abl-lns",
+                "fig8a",
+                "fig8b",
+                "fig8c",
+                "fig9a",
+                "fig9b",
+                "fig10",
+                "fig11",
+                "fig12",
+                "fig13a",
+                "fig13b",
+                "fig14a",
+                "fig14b",
+                "fig15",
+                "sec7f",
+                "abl-order",
+                "abl-negcache",
+                "abl-par",
+                "abl-lns",
             ] {
                 run(e, cfg);
                 println!();

@@ -205,7 +205,15 @@ pub fn for_each_simple_path(
     let mut on_path = vec![false; net.node_count()];
     on_path[src.index()] = true;
     let mut keep_going = true;
-    dfs_paths(net, dst, max_hops, &mut stack, &mut on_path, visit, &mut keep_going);
+    dfs_paths(
+        net,
+        dst,
+        max_hops,
+        &mut stack,
+        &mut on_path,
+        visit,
+        &mut keep_going,
+    );
 }
 
 fn dfs_paths(

@@ -271,8 +271,7 @@ mod tests {
     fn schema_iter_in_id_order() {
         let mut s = AttrSchema::new();
         let ids: Vec<AttrId> = ["a", "b", "c"].iter().map(|n| s.intern(n)).collect();
-        let seen: Vec<(AttrId, String)> =
-            s.iter().map(|(i, n)| (i, n.to_string())).collect();
+        let seen: Vec<(AttrId, String)> = s.iter().map(|(i, n)| (i, n.to_string())).collect();
         assert_eq!(
             seen,
             vec![
@@ -309,7 +308,10 @@ mod tests {
     fn attr_map_remove() {
         let mut m = AttrMap::new();
         m.set(AttrId(1), AttrValue::str("linux"));
-        assert_eq!(m.remove(AttrId(1)).as_ref().and_then(AttrValue::as_str), Some("linux"));
+        assert_eq!(
+            m.remove(AttrId(1)).as_ref().and_then(AttrValue::as_str),
+            Some("linux")
+        );
         assert_eq!(m.remove(AttrId(1)), None);
         assert!(m.is_empty());
     }

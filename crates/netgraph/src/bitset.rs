@@ -64,7 +64,11 @@ impl NodeBitSet {
     #[inline]
     pub fn insert(&mut self, id: NodeId) {
         let i = id.index();
-        debug_assert!(i < self.capacity, "id {i} out of capacity {}", self.capacity);
+        debug_assert!(
+            i < self.capacity,
+            "id {i} out of capacity {}",
+            self.capacity
+        );
         self.blocks[i / 64] |= 1u64 << (i % 64);
     }
 
@@ -100,6 +104,46 @@ impl NodeBitSet {
     pub fn clear(&mut self) {
         for b in &mut self.blocks {
             *b = 0;
+        }
+    }
+
+    /// Become an exact copy of `other` without reallocating (capacities
+    /// must match). This is the reset step of the search's per-depth
+    /// scratch masks: one `memcpy`-shaped block copy instead of
+    /// `clear` + per-element inserts.
+    #[inline]
+    pub fn clear_and_copy_from(&mut self, other: &NodeBitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.blocks.copy_from_slice(&other.blocks);
+    }
+
+    /// Clear, then insert every id in `ids`.
+    #[inline]
+    pub fn clear_and_insert_all(&mut self, ids: &[NodeId]) {
+        self.clear();
+        for &id in ids {
+            self.insert(id);
+        }
+    }
+
+    /// The raw `u64` blocks, for word-at-a-time consumers.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Append the ids of every set bit to `out` in ascending order,
+    /// without clearing `out`. Word-level iteration: zero blocks cost one
+    /// branch each.
+    #[inline]
+    pub fn collect_into(&self, out: &mut Vec<NodeId>) {
+        for (bi, &block) in self.blocks.iter().enumerate() {
+            let mut w = block;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                out.push(NodeId((bi * 64 + bit) as u32));
+                w &= w - 1;
+            }
         }
     }
 
@@ -263,5 +307,29 @@ mod tests {
         let mut s = NodeBitSet::from_iter(32, ids(&[1, 2, 3, 8]));
         s.retain_sorted(&ids(&[2, 8, 9]));
         assert_eq!(s.iter().collect::<Vec<_>>(), ids(&[2, 8]));
+    }
+
+    #[test]
+    fn clear_and_copy_from_matches_source() {
+        let src = NodeBitSet::from_iter(130, ids(&[0, 64, 129]));
+        let mut dst = NodeBitSet::from_iter(130, ids(&[5, 6]));
+        dst.clear_and_copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn clear_and_insert_all_replaces_contents() {
+        let mut s = NodeBitSet::from_iter(70, ids(&[1, 2]));
+        s.clear_and_insert_all(&ids(&[64, 69]));
+        assert_eq!(s.iter().collect::<Vec<_>>(), ids(&[64, 69]));
+    }
+
+    #[test]
+    fn collect_into_appends_ascending() {
+        let s = NodeBitSet::from_iter(200, ids(&[199, 0, 63, 64]));
+        let mut out = vec![NodeId(7)];
+        s.collect_into(&mut out);
+        assert_eq!(out, ids(&[7, 0, 63, 64, 199]));
+        assert_eq!(s.words().len(), 200usize.div_ceil(64));
     }
 }

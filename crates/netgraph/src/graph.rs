@@ -442,7 +442,8 @@ mod tests {
             Some("linux-2.6")
         );
         assert_eq!(
-            g.edge_attr_by_name(e, "avgDelay").and_then(AttrValue::as_num),
+            g.edge_attr_by_name(e, "avgDelay")
+                .and_then(AttrValue::as_num),
             Some(12.5)
         );
         assert_eq!(g.node_attr_by_name(a, "missing"), None);
@@ -494,7 +495,8 @@ mod tests {
             .find_edge(sub.node_by_name("v0").unwrap(), b)
             .expect("edge v0-v1 kept");
         assert_eq!(
-            sub.edge_attr_by_name(e, "avgDelay").and_then(AttrValue::as_num),
+            sub.edge_attr_by_name(e, "avgDelay")
+                .and_then(AttrValue::as_num),
             Some(1.0)
         );
     }

@@ -93,7 +93,10 @@ pub fn diameter_sampled(net: &Network, samples: usize) -> Option<u32> {
 /// Global clustering coefficient (transitivity) for undirected graphs:
 /// 3·triangles / open-or-closed triplets. Returns 0 when no triplets exist.
 pub fn clustering_coefficient(net: &Network) -> f64 {
-    assert!(net.is_undirected(), "clustering defined for undirected graphs");
+    assert!(
+        net.is_undirected(),
+        "clustering defined for undirected graphs"
+    );
     let mut triangles = 0usize;
     let mut triplets = 0usize;
     for v in net.node_ids() {

@@ -23,12 +23,12 @@ pub mod registry;
 pub mod reservation;
 pub mod schedule;
 
-pub use monitor::{MonitorSim, MonitorParams};
+pub use monitor::{MonitorParams, MonitorSim};
 pub use negotiate::{negotiate, NegotiationOutcome};
 pub use partition::{Locality, PartitionedHost, PartitionedResponse};
 pub use registry::ModelRegistry;
 pub use reservation::{Reservation, ReservationError, ReservationManager};
-pub use schedule::{Allocation, ScheduledEmbedding, ScheduleError, Scheduler, Tick};
+pub use schedule::{Allocation, ScheduleError, ScheduledEmbedding, Scheduler, Tick};
 
 use netembed::{Engine, Mapping, Options, Outcome, ProblemError, SearchStats};
 use netgraph::Network;
@@ -86,7 +86,10 @@ impl fmt::Display for ServiceError {
             ServiceError::UnknownHost(h) => write!(f, "unknown hosting network `{h}`"),
             ServiceError::Problem(e) => write!(f, "{e}"),
             ServiceError::VerificationFailed(e) => {
-                write!(f, "internal error: produced mapping failed verification: {e}")
+                write!(
+                    f,
+                    "internal error: produced mapping failed verification: {e}"
+                )
             }
             ServiceError::Graphml(e) => write!(f, "{e}"),
             ServiceError::BadConstraint(e) => write!(f, "{e}"),
@@ -148,8 +151,7 @@ impl NetEmbedService {
         let result = engine.embed(&request.query, &request.constraint, &request.options)?;
 
         // Safety net: independently verify every mapping before returning.
-        let problem =
-            netembed::Problem::new(&request.query, &host, &request.constraint)?;
+        let problem = netembed::Problem::new(&request.query, &host, &request.constraint)?;
         for m in &result.mappings {
             netembed::check_mapping(&problem, m).map_err(ServiceError::VerificationFailed)?;
         }

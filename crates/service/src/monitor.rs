@@ -73,7 +73,9 @@ impl MonitorSim {
         registry.update(model, |net| {
             for e in net.edge_refs().collect::<Vec<_>>() {
                 for attr in DELAY_ATTRS {
-                    if let Some(d) = net.edge_attr_by_name(e.id, attr).and_then(AttrValue::as_num)
+                    if let Some(d) = net
+                        .edge_attr_by_name(e.id, attr)
+                        .and_then(AttrValue::as_num)
                     {
                         let factor = 1.0 + rng.random_range(-jitter..=jitter);
                         net.set_edge_attr(e.id, attr, (d * factor).max(0.01));
@@ -212,6 +214,9 @@ mod tests {
             }
         }
         assert!(matched_initially);
-        assert!(lost_later, "15% jitter never left the ±1% window in 20 ticks");
+        assert!(
+            lost_later,
+            "15% jitter never left the ±1% window in 20 ticks"
+        );
     }
 }

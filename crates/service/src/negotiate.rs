@@ -48,9 +48,7 @@ pub fn negotiate(
         let constraint = template(level);
         let result = engine.embed(query, &constraint, options)?;
         match result.outcome {
-            Outcome::Complete(mappings) | Outcome::Partial(mappings)
-                if !mappings.is_empty() =>
-            {
+            Outcome::Complete(mappings) | Outcome::Partial(mappings) if !mappings.is_empty() => {
                 return Ok(NegotiationOutcome::Satisfied {
                     index,
                     level,
@@ -94,9 +92,13 @@ mod tests {
         let h = host();
         let q = edge_query();
         // Levels are delay budgets: 10 and 20 fail, 30 admits d=25.
-        let out = negotiate(&h, &q, &[10.0, 20.0, 30.0, 60.0], &Options::default(), |lvl| {
-            format!("rEdge.avgDelay <= {lvl}")
-        })
+        let out = negotiate(
+            &h,
+            &q,
+            &[10.0, 20.0, 30.0, 60.0],
+            &Options::default(),
+            |lvl| format!("rEdge.avgDelay <= {lvl}"),
+        )
         .unwrap();
         match out {
             NegotiationOutcome::Satisfied {

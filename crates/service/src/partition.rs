@@ -174,9 +174,7 @@ impl PartitionedHost {
 }
 
 /// Join-all helper (std threads; the probe fan-out is coarse-grained).
-fn crossbeam_scope<T>(
-    fill: impl FnOnce(&mut Vec<std::thread::JoinHandle<T>>),
-) -> Vec<T> {
+fn crossbeam_scope<T>(fill: impl FnOnce(&mut Vec<std::thread::JoinHandle<T>>)) -> Vec<T> {
     let mut handles = Vec::new();
     fill(&mut handles);
     handles
@@ -256,8 +254,7 @@ mod tests {
         let mappings = resp.outcome.mappings();
         assert!(!mappings.is_empty());
         // Global ids must be valid in the full host; verify independently.
-        let problem =
-            netembed::Problem::new(&q, p.full(), "rEdge.d <= 10.0").unwrap();
+        let problem = netembed::Problem::new(&q, p.full(), "rEdge.d <= 10.0").unwrap();
         for m in mappings {
             netembed::check_mapping(&problem, m).unwrap();
         }
@@ -273,7 +270,9 @@ mod tests {
         let a = q.add_node("a");
         let b = q.add_node("b");
         q.add_edge(a, b);
-        let resp = p.submit(&q, "rEdge.d >= 50.0", &Options::default()).unwrap();
+        let resp = p
+            .submit(&q, "rEdge.d >= 50.0", &Options::default())
+            .unwrap();
         assert_eq!(resp.locality, Locality::Global);
         assert_eq!(resp.outcome.mappings().len(), 2); // bridge, 2 orientations
         assert!(matches!(resp.outcome, Outcome::Complete(_)));

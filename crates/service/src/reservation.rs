@@ -103,9 +103,7 @@ impl ReservationManager {
         let mut deductions: Vec<(NodeId, String, f64)> = Vec::new();
         for (q, r) in mapping.iter() {
             for &attr in capacities {
-                let Some(demand) = query
-                    .node_attr_by_name(q, attr)
-                    .and_then(AttrValue::as_num)
+                let Some(demand) = query.node_attr_by_name(q, attr).and_then(AttrValue::as_num)
                 else {
                     continue;
                 };
@@ -165,11 +163,7 @@ impl ReservationManager {
     }
 
     /// Release a reservation, restoring capacities.
-    pub fn release(
-        &self,
-        registry: &ModelRegistry,
-        ticket: u64,
-    ) -> Result<(), ReservationError> {
+    pub fn release(&self, registry: &ModelRegistry, ticket: u64) -> Result<(), ReservationError> {
         let reservation = {
             let mut active = self.active.lock();
             let idx = active

@@ -157,9 +157,7 @@ impl Scheduler {
             let model = self.model_at(t);
             for (q, r) in mapping.iter() {
                 for attr in &self.capacities {
-                    let Some(need) = query
-                        .node_attr_by_name(q, attr)
-                        .and_then(AttrValue::as_num)
+                    let Some(need) = query.node_attr_by_name(q, attr).and_then(AttrValue::as_num)
                     else {
                         continue;
                     };
@@ -249,10 +247,7 @@ impl Scheduler {
         let mut out = Vec::new();
         for (q, r) in mapping.iter() {
             for attr in &self.capacities {
-                if let Some(need) = query
-                    .node_attr_by_name(q, attr)
-                    .and_then(AttrValue::as_num)
-                {
+                if let Some(need) = query.node_attr_by_name(q, attr).and_then(AttrValue::as_num) {
                     if need > 0.0 {
                         out.push((r, attr.clone(), need));
                     }

@@ -85,8 +85,7 @@ pub fn brite_like(params: &BriteParams, rng: &mut StdRng) -> Network {
         g.set_node_attr(id, "x", x);
         g.set_node_attr(id, "y", y);
         g.set_node_attr(id, "cpu", rng.random_range(1..=16) as f64);
-        let os = ["linux-2.6", "linux-2.4", "freebsd-5", "solaris-9"]
-            [rng.random_range(0..4)];
+        let os = ["linux-2.6", "linux-2.4", "freebsd-5", "solaris-9"][rng.random_range(0..4)];
         g.set_node_attr(id, "osType", os);
     }
 

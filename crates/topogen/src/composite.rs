@@ -46,7 +46,10 @@ impl CompositeSpec {
 
 /// Build the composite query topology. Edges carry `tier` (0 root, 1 leaf).
 pub fn composite_query(spec: &CompositeSpec) -> Network {
-    assert!(spec.groups >= min_size(spec.root), "too few groups for root shape");
+    assert!(
+        spec.groups >= min_size(spec.root),
+        "too few groups for root shape"
+    );
     assert!(
         spec.group_size == 1 || spec.group_size >= min_size(spec.leaf),
         "group_size too small for leaf shape"
@@ -134,7 +137,9 @@ mod tests {
     fn tier_count(g: &Network, tier: f64) -> usize {
         g.edge_refs()
             .filter(|e| {
-                g.edge_attr_by_name(e.id, "tier").and_then(AttrValue::as_num) == Some(tier)
+                g.edge_attr_by_name(e.id, "tier")
+                    .and_then(AttrValue::as_num)
+                    == Some(tier)
             })
             .count()
     }

@@ -58,14 +58,15 @@ pub fn transit_stub(params: &TransitStubParams, rng: &mut StdRng) -> Network {
         params.transit, params.stubs_per_transit, params.stub_size
     ));
 
-    let delay_edge = |g: &mut Network, u: NodeId, v: NodeId, lo: f64, hi: f64, tier: f64, rng: &mut StdRng| {
-        let avg = rng.random_range(lo..hi);
-        let e = g.add_edge(u, v);
-        g.set_edge_attr(e, "avgDelay", avg);
-        g.set_edge_attr(e, "minDelay", avg * rng.random_range(0.85..0.98));
-        g.set_edge_attr(e, "maxDelay", avg * rng.random_range(1.02..1.3));
-        g.set_edge_attr(e, "tier", tier);
-    };
+    let delay_edge =
+        |g: &mut Network, u: NodeId, v: NodeId, lo: f64, hi: f64, tier: f64, rng: &mut StdRng| {
+            let avg = rng.random_range(lo..hi);
+            let e = g.add_edge(u, v);
+            g.set_edge_attr(e, "avgDelay", avg);
+            g.set_edge_attr(e, "minDelay", avg * rng.random_range(0.85..0.98));
+            g.set_edge_attr(e, "maxDelay", avg * rng.random_range(1.02..1.3));
+            g.set_edge_attr(e, "tier", tier);
+        };
 
     // Transit core: a ring plus random chords (connected, redundant).
     let transit: Vec<NodeId> = (0..params.transit)

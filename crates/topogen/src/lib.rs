@@ -34,8 +34,8 @@ pub use hierarchical::{transit_stub, TransitStubParams};
 pub use planetlab::{planetlab_like, PlanetlabParams};
 pub use regular::{clique, grid, line, ring, star, tree};
 pub use workload::{
-    assign_composite_windows, assign_random_windows, clique_query, make_infeasible,
-    subgraph_query, QueryWorkload, SubgraphParams, CLIQUE_CONSTRAINT, SUBGRAPH_CONSTRAINT,
+    assign_composite_windows, assign_random_windows, clique_query, make_infeasible, subgraph_query,
+    QueryWorkload, SubgraphParams, CLIQUE_CONSTRAINT, SUBGRAPH_CONSTRAINT,
 };
 
 use rand::rngs::StdRng;

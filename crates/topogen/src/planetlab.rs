@@ -85,7 +85,11 @@ pub fn planetlab_like(params: &PlanetlabParams, rng: &mut StdRng) -> Network {
         let id = g.add_node(format!("site{i}"));
         g.set_node_attr(id, "cluster", clusters[i] as f64);
         g.set_node_attr(id, "cpu", rng.random_range(1..=8) as f64);
-        g.set_node_attr(id, "mem", [512.0, 1024.0, 2048.0, 4096.0][rng.random_range(0..4)]);
+        g.set_node_attr(
+            id,
+            "mem",
+            [512.0, 1024.0, 2048.0, 4096.0][rng.random_range(0..4)],
+        );
         let os = ["linux-2.6", "linux-2.4", "freebsd-5"][rng.random_range(0..3)];
         g.set_node_attr(id, "osType", os);
     }
@@ -116,7 +120,10 @@ pub fn delay_fraction_in(net: &Network, lo: f64, hi: f64) -> f64 {
     let mut hits = 0usize;
     let mut total = 0usize;
     for e in net.edge_refs() {
-        if let Some(d) = net.edge_attr_by_name(e.id, "avgDelay").and_then(AttrValue::as_num) {
+        if let Some(d) = net
+            .edge_attr_by_name(e.id, "avgDelay")
+            .and_then(AttrValue::as_num)
+        {
             total += 1;
             if d >= lo && d <= hi {
                 hits += 1;

@@ -74,7 +74,10 @@ pub fn tree(arity: usize, depth: usize) -> Network {
 
 /// A `w × h` grid (4-neighborhood).
 pub fn grid(w: usize, h: usize) -> Network {
-    assert!(w >= 1 && h >= 1 && w * h >= 2, "grid needs at least 2 nodes");
+    assert!(
+        w >= 1 && h >= 1 && w * h >= 2,
+        "grid needs at least 2 nodes"
+    );
     let mut g = named(format!("grid-{w}x{h}"), w * h);
     let at = |x: usize, y: usize| NodeId((y * w + x) as u32);
     for y in 0..h {

@@ -24,8 +24,7 @@ pub const SUBGRAPH_CONSTRAINT: &str =
 
 /// Constraint for regular/clique/composite queries: the host link's average
 /// delay must fall inside the requested window.
-pub const CLIQUE_CONSTRAINT: &str =
-    "rEdge.avgDelay >= vEdge.dmin && rEdge.avgDelay <= vEdge.dmax";
+pub const CLIQUE_CONSTRAINT: &str = "rEdge.avgDelay >= vEdge.dmin && rEdge.avgDelay <= vEdge.dmax";
 
 /// A generated query plus everything needed to run and check it.
 #[derive(Debug, Clone)]

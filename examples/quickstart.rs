@@ -38,7 +38,11 @@ fn main() {
 
     let engine = Engine::new(&host);
 
-    println!("host: {} nodes, {} edges", host.node_count(), host.edge_count());
+    println!(
+        "host: {} nodes, {} edges",
+        host.node_count(),
+        host.edge_count()
+    );
     println!("query: path x-y-z with delay windows\nconstraint: {constraint}\n");
 
     for (algorithm, name) in [

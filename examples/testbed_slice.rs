@@ -63,7 +63,8 @@ fn main() {
     // Ship the testbed description through GraphML, as a deployment would.
     let testbed = build_testbed();
     let doc = graphml::to_string(&testbed);
-    svc.register_graphml("testbed", &doc).expect("valid GraphML");
+    svc.register_graphml("testbed", &doc)
+        .expect("valid GraphML");
     println!(
         "testbed registered from GraphML ({} bytes): {} nodes, {} links",
         doc.len(),
@@ -124,8 +125,5 @@ fn main() {
             }
         }
     }
-    println!(
-        "\nactive reservations: {}",
-        reservations.active_count()
-    );
+    println!("\nactive reservations: {}", reservations.active_count());
 }

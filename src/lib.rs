@@ -1,0 +1,3 @@
+//! The workspace-root package exists to host the cross-crate integration
+//! tests (`tests/`) and runnable examples (`examples/`); it exports
+//! nothing itself. See the `netembed` crate for the library entry point.

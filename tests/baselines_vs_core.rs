@@ -141,8 +141,5 @@ fn stress_greedy_balances_load_where_ecf_does_not_try_to() {
         }
     }
     let max_load = *stress.iter().max().unwrap();
-    assert!(
-        max_load <= 2,
-        "stress-greedy concentrated load: {stress:?}"
-    );
+    assert!(max_load <= 2, "stress-greedy concentrated load: {stress:?}");
 }

@@ -56,9 +56,7 @@ fn paper_example_percentage_window() {
     // vEdge.avgDelay=100 within [0.9r, 1.1r] ⇒ r ∈ [90.9, 111.1]:
     // only the (siteA,siteB) edge (avg 100). Both orientations, and the
     // osType binding is not part of this constraint.
-    let n = count(
-        "vEdge.avgDelay>=0.90*rEdge.avgDelay && vEdge.avgDelay<=1.10*rEdge.avgDelay",
-    );
+    let n = count("vEdge.avgDelay>=0.90*rEdge.avgDelay && vEdge.avgDelay<=1.10*rEdge.avgDelay");
     assert_eq!(n, 2);
 }
 

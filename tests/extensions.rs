@@ -95,10 +95,7 @@ fn scheduler_serializes_conflicting_jobs() {
                 let hosts_i: std::collections::HashSet<NodeId> =
                     wi.mapping.iter().map(|(_, r)| r).collect();
                 for (_, r) in wj.mapping.iter() {
-                    assert!(
-                        !hosts_i.contains(&r),
-                        "overlapping windows share host {r}"
-                    );
+                    assert!(!hosts_i.contains(&r), "overlapping windows share host {r}");
                 }
             }
         }
@@ -125,7 +122,11 @@ fn partitioned_fabric_answers_stub_queries_locally() {
     let resp = partitioned
         .submit(&q, "rEdge.avgDelay <= 5.0", &Options::default())
         .unwrap();
-    assert!(matches!(resp.locality, Locality::Region(_)), "{:?}", resp.locality);
+    assert!(
+        matches!(resp.locality, Locality::Region(_)),
+        "{:?}",
+        resp.locality
+    );
     assert!(resp.outcome.found_any());
 
     // A wide-area query (≥ 20ms) needs transit links: global tier.

@@ -13,7 +13,11 @@ fn host_with_capacity() -> Network {
     let nodes: Vec<NodeId> = (0..8).map(|i| h.add_node(format!("h{i}"))).collect();
     for (i, &n) in nodes.iter().enumerate() {
         h.set_node_attr(n, "cpu", 4.0);
-        h.set_node_attr(n, "osType", if i % 2 == 0 { "linux-2.6" } else { "freebsd-5" });
+        h.set_node_attr(
+            n,
+            "osType",
+            if i % 2 == 0 { "linux-2.6" } else { "freebsd-5" },
+        );
     }
     for i in 0..8 {
         for j in (i + 1)..8 {
@@ -70,7 +74,10 @@ fn reserve_until_exhaustion_then_release() {
     // Release one slice and retry.
     mgr.release(svc.registry(), tickets[0]).unwrap();
     let resp = svc.submit(&request).unwrap();
-    assert!(!resp.mappings().is_empty(), "capacity restored after release");
+    assert!(
+        !resp.mappings().is_empty(),
+        "capacity restored after release"
+    );
 }
 
 #[test]
@@ -148,7 +155,8 @@ fn os_binding_respected_end_to_end() {
     for m in resp.mappings() {
         for (_, r) in m.iter() {
             assert_eq!(
-                host.node_attr_by_name(r, "osType").and_then(AttrValue::as_str),
+                host.node_attr_by_name(r, "osType")
+                    .and_then(AttrValue::as_str),
                 Some("linux-2.6"),
                 "os binding violated"
             );

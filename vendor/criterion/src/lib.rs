@@ -1,0 +1,242 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro/API surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_with_input, finish}`,
+//! `Bencher::iter`, `BenchmarkId`, `black_box`) backed by a simple
+//! wall-clock measurement loop: per sample, enough iterations to fill a
+//! small time budget, reporting min/median/mean over samples.
+//!
+//! It is intentionally not statistically rigorous — no outlier analysis,
+//! no warm-up modelling — but it is honest (real executions, monotonic
+//! clock) and fast, which is what an offline CI needs. Set
+//! `CRITERION_FILTER=substring` to run a subset of benchmark ids.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id, matching criterion's display form.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id from a bare parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Measurement settings shared by a group.
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_count: usize,
+    /// Target wall-clock budget per sample; iterations are batched to
+    /// reach it so per-iteration timer overhead stays negligible.
+    sample_budget: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_count: 10,
+            sample_budget: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Top-level bench context, handed to every `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Read environment configuration (`CRITERION_FILTER`).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::var("CRITERION_FILTER")
+            .ok()
+            .filter(|s| !s.is_empty());
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: Settings::default(),
+            filter: self.filter.clone(),
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    settings: Settings,
+    filter: Option<String>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples to record per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_count = n.max(2);
+        self
+    }
+
+    /// Soft wall-clock budget per sample.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.sample_budget = d / self.settings.sample_count.max(1) as u32;
+        self
+    }
+
+    /// Run one benchmark over `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id.id);
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            settings: self.settings,
+            samples: Vec::new(),
+        };
+        f(&mut bencher, input);
+        bencher.report(&full_id);
+        self
+    }
+
+    /// Run one benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into());
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            settings: self.settings,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&full_id);
+        self
+    }
+
+    /// End the group (report separator).
+    pub fn finish(&mut self) {}
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    settings: Settings,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure `routine`: one warm-up call to size the batch, then
+    /// `sample_count` timed batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up & batch sizing: time one call.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let iters =
+            (self.settings.sample_budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+
+        self.samples.clear();
+        for _ in 0..self.settings.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<56} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{id:<56} min {:>12?}   median {:>12?}   mean {:>12?}   ({} samples)",
+            min,
+            median,
+            mean,
+            sorted.len()
+        );
+    }
+}
+
+/// Define a bench group runner function from bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` from bench group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

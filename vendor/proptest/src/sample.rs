@@ -1,0 +1,52 @@
+//! Sampling helpers (`prop::sample`).
+
+use crate::strategy::{AnyStrategy, Arbitrary, Strategy};
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// An index into a collection of not-yet-known size: stores raw entropy
+/// and maps it into `[0, len)` on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Resolve against a collection of `len` elements. Panics if `len`
+    /// is zero (matching real proptest).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index(0)");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Strategy for AnyStrategy<Index> {
+    type Value = Index;
+    fn generate(&self, rng: &mut TestRng) -> Index {
+        Index(rng.next_u64())
+    }
+}
+
+impl Arbitrary for Index {
+    type Strategy = AnyStrategy<Index>;
+    fn arbitrary() -> Self::Strategy {
+        AnyStrategy {
+            _marker: PhantomData,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn index_maps_into_bounds() {
+        let mut rng = TestRng::from_seed(3);
+        let s = any::<Index>();
+        for len in [1usize, 2, 7, 1000] {
+            for _ in 0..50 {
+                assert!(s.generate(&mut rng).index(len) < len);
+            }
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! The [`Strategy`] trait and the combinators/primitive strategies the
+//! workspace's tests use.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// produces a value directly from the RNG.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate an intermediate value, then generate from a strategy
+    /// derived from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Recursive strategies: `self` is the leaf; `recurse` builds one
+    /// level from the strategy for the level below. `_desired_size` and
+    /// `_expected_branch_size` are accepted for API compatibility; depth
+    /// alone bounds recursion here.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let mut current = self.boxed();
+        for _ in 0..depth {
+            current = recurse(current).boxed();
+        }
+        current
+    }
+
+    /// Type-erased, cheaply clonable form.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy {
+            gen: Arc::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// Type-erased strategy (`Arc`-backed, clonable).
+pub struct BoxedStrategy<T> {
+    gen: Arc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Arc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_flat_map` combinator.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice between strategies ([`crate::prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Union over the given arms (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                ((self.start as i128) + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128) - (lo as i128) + 1;
+                ((lo as i128) + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + (hi - lo) * rng.unit_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// String strategy from a regex-like pattern. Supports the subset the
+/// workspace uses: a single character class with optional `{lo,hi}`
+/// repetition (e.g. `"[a-z0-9 .-]{0,12}"`); any other pattern is treated
+/// as a literal string (backslash escapes removed).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let bytes: Vec<char> = pattern.chars().collect();
+    if bytes.first() != Some(&'[') {
+        // Literal pattern: strip escapes.
+        return pattern.replace('\\', "");
+    }
+    let close = bytes
+        .iter()
+        .position(|&c| c == ']')
+        .expect("unterminated character class in string strategy");
+    // Expand the class into a flat alphabet.
+    let class = &bytes[1..close];
+    let mut alphabet: Vec<char> = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        let c = class[i];
+        if c == '\\' && i + 1 < class.len() {
+            alphabet.push(class[i + 1]);
+            i += 2;
+        } else if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (c as u32, class[i + 2] as u32);
+            assert!(lo <= hi, "inverted range in character class");
+            for cp in lo..=hi {
+                alphabet.push(char::from_u32(cp).expect("valid class range"));
+            }
+            i += 3;
+        } else {
+            alphabet.push(c);
+            i += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty character class");
+    // Repetition suffix.
+    let rest: String = bytes[close + 1..].iter().collect();
+    let (lo, hi) = parse_repeat(&rest);
+    let len = if lo == hi {
+        lo
+    } else {
+        lo + rng.below(hi - lo + 1)
+    };
+    (0..len)
+        .map(|_| alphabet[rng.below(alphabet.len())])
+        .collect()
+}
+
+fn parse_repeat(suffix: &str) -> (usize, usize) {
+    let s = suffix.trim();
+    if s.is_empty() {
+        return (1, 1);
+    }
+    if s == "*" {
+        return (0, 8);
+    }
+    if s == "+" {
+        return (1, 8);
+    }
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition `{s}` in string strategy"));
+    match inner.split_once(',') {
+        Some((a, b)) => (
+            a.trim().parse().expect("repeat lower bound"),
+            b.trim().parse().expect("repeat upper bound"),
+        ),
+        None => {
+            let n = inner.trim().parse().expect("repeat count");
+            (n, n)
+        }
+    }
+}
+
+/// Types with a canonical strategy ([`any`]).
+pub trait Arbitrary {
+    /// The canonical strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// Construct the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy behind `any::<bool>()` and friends.
+pub struct AnyStrategy<T> {
+    pub(crate) _marker: PhantomData<T>,
+}
+
+impl Strategy for AnyStrategy<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyStrategy<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyStrategy {
+            _marker: PhantomData,
+        }
+    }
+}
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy { _marker: PhantomData }
+            }
+        }
+    )*};
+}
+
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(42)
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let (a, b, c) = (0u32..8, 3usize..=5, -1.5f64..2.5).generate(&mut r);
+            assert!(a < 8);
+            assert!((3..=5).contains(&b));
+            assert!((-1.5..2.5).contains(&c));
+        }
+    }
+
+    #[test]
+    fn map_flat_map_recursive() {
+        let mut r = rng();
+        let s = (1u32..4).prop_flat_map(|n| (Just(n), 0u32..n));
+        for _ in 0..100 {
+            let (n, k) = s.generate(&mut r);
+            assert!(k < n);
+        }
+        // Depth-bounded recursion terminates and mixes leaves and nodes.
+        enum T {
+            Leaf(#[allow(dead_code)] u32),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf(_) => 0,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = (0u32..10)
+            .prop_map(T::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+            });
+        for _ in 0..50 {
+            assert!(depth(&s.generate(&mut r)) <= 3);
+        }
+    }
+
+    #[test]
+    fn union_picks_every_arm() {
+        let mut r = rng();
+        let s = crate::prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.generate(&mut r) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+
+    #[test]
+    fn string_pattern_class_and_repeat() {
+        let mut r = rng();
+        let s = "[a-c0-1 _.-]{0,12}";
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut r);
+            assert!(v.len() <= 12);
+            assert!(
+                v.chars().all(|c| "abc01 _.-".contains(c)),
+                "bad char in {v:?}"
+            );
+        }
+    }
+}

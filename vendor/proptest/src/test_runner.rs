@@ -1,0 +1,194 @@
+//! Case driver: config, RNG, and the run loop behind [`crate::proptest!`].
+
+/// Configuration for one `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the offline tier-1 suite
+        // quick while still exercising a meaningful sample.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is violated.
+    Fail(String),
+    /// Precondition not met (`prop_assume!`): retry with a fresh case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Rejection with a reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Deterministic generator feeding strategies: the vendored `rand`
+/// crate's `StdRng` (real proptest also builds on `rand`), plus the two
+/// convenience draws strategies use.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// Generator for one case.
+    pub fn from_seed(seed: u64) -> Self {
+        use rand::SeedableRng;
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.inner.next_u64()
+    }
+
+    /// Uniform usize in `[0, bound)`.
+    #[inline]
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0)");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runs the case loop for one test function.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    /// Runner for the named test. The case stream is a deterministic
+    /// function of the test name unless `PROPTEST_SEED` overrides it.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let mut base_seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for b in name.bytes() {
+            base_seed ^= b as u64;
+            base_seed = base_seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        if let Ok(env) = std::env::var("PROPTEST_SEED") {
+            if let Ok(s) = env.trim().parse::<u64>() {
+                base_seed ^= s;
+            }
+        }
+        TestRunner {
+            config,
+            name,
+            base_seed,
+        }
+    }
+
+    /// Run cases until `config.cases` pass; panic on the first failure.
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut attempt = 0u64;
+        let max_attempts = (self.config.cases as u64).saturating_mul(20).max(100);
+        while passed < self.config.cases {
+            if attempt >= max_attempts {
+                panic!(
+                    "proptest '{}': too many rejected cases ({} attempts, {} passed)",
+                    self.name, attempt, passed
+                );
+            }
+            let seed = self
+                .base_seed
+                .wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = TestRng::from_seed(seed);
+            attempt += 1;
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => continue,
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "proptest '{}' failed at case {} (attempt seed {:#x}): {}\n\
+                     (no shrinking in the offline stand-in; rerun with \
+                     PROPTEST_SEED to explore nearby cases)",
+                    self.name, passed, seed, msg
+                ),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut n = 0;
+        TestRunner::new(ProptestConfig::with_cases(17), "t").run(|_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn rejects_do_not_count() {
+        let mut rejected = false;
+        let mut passed = 0;
+        TestRunner::new(ProptestConfig::with_cases(5), "t2").run(|rng| {
+            if !rejected && rng.next_u64() % 2 == 0 {
+                rejected = true;
+                return Err(TestCaseError::reject("flip"));
+            }
+            passed += 1;
+            Ok(())
+        });
+        assert_eq!(passed, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failure_panics() {
+        TestRunner::new(ProptestConfig::with_cases(3), "t3")
+            .run(|_| Err(TestCaseError::fail("boom")));
+    }
+
+    #[test]
+    fn deterministic_stream_per_name() {
+        let collect = || {
+            let mut v = Vec::new();
+            TestRunner::new(ProptestConfig::with_cases(4), "same").run(|rng| {
+                v.push(rng.next_u64());
+                Ok(())
+            });
+            v
+        };
+        assert_eq!(collect(), collect());
+    }
+}

@@ -1,0 +1,160 @@
+//! Offline stand-in for the `smallvec` crate.
+//!
+//! Provides the `SmallVec<[T; N]>` type with the subset of the real API the
+//! workspace uses. Storage is a plain `Vec` (no inline-on-stack
+//! optimization) — identical semantics, slightly more allocation. The
+//! inline capacity parameter is kept so call sites compile unchanged.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Marker trait tying `[T; N]` to its element type.
+pub trait Array {
+    /// Element type of the backing array.
+    type Item;
+}
+
+impl<T, const N: usize> Array for [T; N] {
+    type Item = T;
+}
+
+/// Vec-backed stand-in for `smallvec::SmallVec`.
+pub struct SmallVec<A: Array> {
+    inner: Vec<A::Item>,
+}
+
+impl<A: Array> SmallVec<A> {
+    /// Empty vector.
+    pub fn new() -> Self {
+        SmallVec { inner: Vec::new() }
+    }
+
+    /// Empty vector with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        SmallVec {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Append an element.
+    pub fn push(&mut self, value: A::Item) {
+        self.inner.push(value);
+    }
+
+    /// Remove and return the last element.
+    pub fn pop(&mut self) -> Option<A::Item> {
+        self.inner.pop()
+    }
+
+    /// Insert an element at `index`, shifting the tail right.
+    pub fn insert(&mut self, index: usize, value: A::Item) {
+        self.inner.insert(index, value);
+    }
+
+    /// Remove and return the element at `index`, shifting the tail left.
+    pub fn remove(&mut self, index: usize) -> A::Item {
+        self.inner.remove(index)
+    }
+
+    /// Keep only elements matching the predicate.
+    pub fn retain(&mut self, f: impl FnMut(&mut A::Item) -> bool) {
+        self.inner.retain_mut(f);
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Array> Deref for SmallVec<A> {
+    type Target = [A::Item];
+    fn deref(&self) -> &[A::Item] {
+        &self.inner
+    }
+}
+
+impl<A: Array> DerefMut for SmallVec<A> {
+    fn deref_mut(&mut self) -> &mut [A::Item] {
+        &mut self.inner
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A>
+where
+    A::Item: Clone,
+{
+    fn clone(&self) -> Self {
+        SmallVec {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<A: Array> PartialEq for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.inner == other.inner
+    }
+}
+
+impl<A: Array> Eq for SmallVec<A> where A::Item: Eq {}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        SmallVec {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<A: Array> Extend<A::Item> for SmallVec<A> {
+    fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
+        self.inner.extend(iter);
+    }
+}
+
+impl<A: Array> IntoIterator for SmallVec<A> {
+    type Item = A::Item;
+    type IntoIter = std::vec::IntoIter<A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = std::slice::Iter<'a, A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_slice_ops() {
+        let mut v: SmallVec<[(u16, f64); 4]> = SmallVec::new();
+        v.push((1, 1.0));
+        v.push((2, 2.0));
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.iter().count(), 2);
+        assert_eq!(v[0].0, 1);
+        v.retain(|e| e.0 == 2);
+        assert_eq!(v.len(), 1);
+    }
+}
