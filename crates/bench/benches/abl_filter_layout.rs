@@ -1,14 +1,21 @@
 //! Ablation: hash-map filter layout (the seed) vs. the CSR-arena layout,
 //! on the paper's clique (fig 13) and BRITE (fig 11) scenarios.
 //!
-//! Three measurements per scenario:
+//! Five measurements per scenario:
 //!
 //! * **build** — first-stage filter construction only
 //!   (`HashFilterMatrix::build` vs `FilterMatrix::build`);
+//! * **build_par** — the same construction via `FilterMatrix::build_par`
+//!   at [`PAR_THREADS`] threads (bitwise-identical output; the JSON also
+//!   records the machine's core count, since the speedup is bounded by
+//!   physical parallelism);
 //! * **search** — second stage only, over a prebuilt filter: the seed's
 //!   allocating, hash-probing, `binary_search`-intersecting DFS vs. the
 //!   allocation-free word-level CSR DFS. Both traverse the identical
 //!   Lemma-1 order and see identical solution prefixes;
+//! * **scratch_reuse** — the CSR search again, but through one caller-held
+//!   `SearchScratch` reused across runs (the service batch path), vs. the
+//!   fresh-arena-per-call `search_csr` series;
 //! * **embed** — end-to-end bounded enumeration (build + search).
 //!
 //! Besides the stdout report, results land machine-readably in
@@ -22,7 +29,9 @@
 use bench::{bench_brite, bench_planetlab, planted};
 use netembed::filter::reference::{self, HashFilterMatrix};
 use netembed::order::{compute_order, predecessors};
-use netembed::{ecf, CollectUpTo, Deadline, FilterMatrix, NodeOrder, Problem, SearchStats};
+use netembed::{
+    ecf, CollectUpTo, Deadline, FilterMatrix, NodeOrder, Problem, SearchScratch, SearchStats,
+};
 use netgraph::Network;
 use std::hint::black_box;
 use std::path::PathBuf;
@@ -34,6 +43,8 @@ use topogen::{clique_query, QueryWorkload};
 const MATCH_CAP: usize = 2000;
 /// Samples per measurement; the median is reported.
 const SAMPLES: usize = 21;
+/// Thread count for the `build_par` series.
+const PAR_THREADS: usize = 4;
 
 fn median_ns(mut f: impl FnMut() -> u64) -> u64 {
     // One untimed warm-up run absorbs first-touch effects (page faults,
@@ -56,8 +67,10 @@ struct Row {
     solutions: usize,
     build_hash_ns: u64,
     build_csr_ns: u64,
+    build_par_ns: u64,
     search_hash_ns: u64,
     search_csr_ns: u64,
+    search_scratch_ns: u64,
     embed_hash_ns: u64,
     embed_csr_ns: u64,
 }
@@ -75,6 +88,12 @@ fn run_scenario(name: &str, host: &Network, wl: &QueryWorkload) -> Row {
         let mut dl = Deadline::unlimited();
         let mut stats = SearchStats::default();
         let f = FilterMatrix::build(&problem, &mut dl, &mut stats).unwrap();
+        f.cell_count() as u64
+    });
+    let build_par_ns = median_ns(|| {
+        let mut dl = Deadline::unlimited();
+        let mut stats = SearchStats::default();
+        let f = FilterMatrix::build_par(&problem, PAR_THREADS, &mut dl, &mut stats).unwrap();
         f.cell_count() as u64
     });
 
@@ -134,6 +153,27 @@ fn run_scenario(name: &str, host: &Network, wl: &QueryWorkload) -> Row {
         sink.solutions.len() as u64
     });
 
+    // Scratch reuse: same prebuilt search, but the per-depth DFS arena is
+    // a caller-held scratch that survives across the sampled runs (the
+    // warm-up run pays the allocation; every sample after it is free of
+    // arena setup) — the service batch path's steady state.
+    let mut scratch = SearchScratch::new();
+    let search_scratch_ns = median_ns(|| {
+        let mut sink = CollectUpTo::new(MATCH_CAP);
+        let mut stats = SearchStats::default();
+        let mut dl = Deadline::unlimited();
+        ecf::search_prebuilt_with_scratch(
+            &problem,
+            &csr_filter,
+            NodeOrder::AscendingCandidates,
+            &mut dl,
+            &mut sink,
+            &mut stats,
+            &mut scratch,
+        );
+        sink.solutions.len() as u64
+    });
+
     let embed_hash_ns = median_ns(|| embed_hash() as u64);
     let embed_csr_ns = median_ns(|| embed_csr() as u64);
 
@@ -144,13 +184,15 @@ fn run_scenario(name: &str, host: &Network, wl: &QueryWorkload) -> Row {
         solutions: n_csr,
         build_hash_ns,
         build_csr_ns,
+        build_par_ns,
         search_hash_ns,
         search_csr_ns,
+        search_scratch_ns,
         embed_hash_ns,
         embed_csr_ns,
     };
     println!(
-        "{:<24} nq={:<3} nr={:<4} sols={:<5} build {:>9} -> {:>9} ns ({:.2}x)   search {:>9} -> {:>9} ns ({:.2}x)   embed {:>10} -> {:>10} ns ({:.2}x)",
+        "{:<24} nq={:<3} nr={:<4} sols={:<5} build {:>9} -> {:>9} ns ({:.2}x)   build_par({PAR_THREADS}t) {:>9} ns ({:.2}x)   search {:>9} -> {:>9} ns ({:.2}x)   scratch {:>9} ns ({:.2}x)   embed {:>10} -> {:>10} ns ({:.2}x)",
         row.name,
         row.nq,
         row.nr,
@@ -158,9 +200,13 @@ fn run_scenario(name: &str, host: &Network, wl: &QueryWorkload) -> Row {
         row.build_hash_ns,
         row.build_csr_ns,
         row.build_hash_ns as f64 / row.build_csr_ns.max(1) as f64,
+        row.build_par_ns,
+        row.build_csr_ns as f64 / row.build_par_ns.max(1) as f64,
         row.search_hash_ns,
         row.search_csr_ns,
         row.search_hash_ns as f64 / row.search_csr_ns.max(1) as f64,
+        row.search_scratch_ns,
+        row.search_csr_ns as f64 / row.search_scratch_ns.max(1) as f64,
         row.embed_hash_ns,
         row.embed_csr_ns,
         row.embed_hash_ns as f64 / row.embed_csr_ns.max(1) as f64,
@@ -173,19 +219,25 @@ fn json_escape(s: &str) -> String {
 }
 
 fn write_json(rows: &[Row], path: &PathBuf) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"abl_filter_layout\",\n");
     out.push_str("  \"unit\": \"ns (median)\",\n");
     out.push_str(&format!("  \"samples\": {SAMPLES},\n"));
     out.push_str(&format!("  \"match_cap\": {MATCH_CAP},\n"));
+    out.push_str(&format!("  \"build_par_threads\": {PAR_THREADS},\n"));
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
     out.push_str("  \"scenarios\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"nq\": {}, \"nr\": {}, \"solutions\": {}, \
-             \"build_hashmap_ns\": {}, \"build_csr_ns\": {}, \
-             \"search_hashmap_ns\": {}, \"search_csr_ns\": {}, \
+             \"build_hashmap_ns\": {}, \"build_csr_ns\": {}, \"build_par_ns\": {}, \
+             \"search_hashmap_ns\": {}, \"search_csr_ns\": {}, \"search_scratch_ns\": {}, \
              \"embed_hashmap_ns\": {}, \"embed_csr_ns\": {}, \
-             \"build_speedup\": {:.3}, \"search_speedup\": {:.3}, \
+             \"build_speedup\": {:.3}, \"build_par_speedup\": {:.3}, \
+             \"search_speedup\": {:.3}, \"scratch_speedup\": {:.3}, \
              \"embed_speedup\": {:.3}}}{}\n",
             json_escape(&r.name),
             r.nq,
@@ -193,12 +245,16 @@ fn write_json(rows: &[Row], path: &PathBuf) {
             r.solutions,
             r.build_hash_ns,
             r.build_csr_ns,
+            r.build_par_ns,
             r.search_hash_ns,
             r.search_csr_ns,
+            r.search_scratch_ns,
             r.embed_hash_ns,
             r.embed_csr_ns,
             r.build_hash_ns as f64 / r.build_csr_ns.max(1) as f64,
+            r.build_csr_ns as f64 / r.build_par_ns.max(1) as f64,
             r.search_hash_ns as f64 / r.search_csr_ns.max(1) as f64,
+            r.search_csr_ns as f64 / r.search_scratch_ns.max(1) as f64,
             r.embed_hash_ns as f64 / r.embed_csr_ns.max(1) as f64,
             if i + 1 < rows.len() { "," } else { "" },
         ));

@@ -16,11 +16,20 @@ const POLL_STRIDE: u32 = 256;
 /// A deadline plus cooperative-cancellation flag. Cloning shares the
 /// cancellation flag (used by the parallel search) but each clone keeps its
 /// own poll counter.
+///
+/// [`Deadline::scoped`] derives a *child* deadline with the same clock but
+/// a fresh cancellation flag: cancelling the child stops everything
+/// sharing the child's flag without expiring the parent. The parallel
+/// search uses this for its solution-limit stop, so a limit-triggered
+/// cancellation does not poison the caller's deadline for later phases.
 #[derive(Debug, Clone)]
 pub struct Deadline {
     start: Instant,
     limit: Option<Duration>,
     cancel: Arc<AtomicBool>,
+    /// Ancestor cancellation flags ([`Deadline::scoped`]): observed by
+    /// `check_now`, never set by `cancel`.
+    inherited: Vec<Arc<AtomicBool>>,
     poll: u32,
     expired_seen: bool,
 }
@@ -33,6 +42,23 @@ impl Deadline {
             start: Instant::now(),
             limit,
             cancel: Arc::new(AtomicBool::new(false)),
+            inherited: Vec::new(),
+            poll: 0,
+            expired_seen: false,
+        }
+    }
+
+    /// A child deadline: same start instant and time limit, and it observes
+    /// this deadline's cancellation (and its ancestors'), but carries its
+    /// own fresh flag — cancelling the child never expires the parent.
+    pub fn scoped(&self) -> Deadline {
+        let mut inherited = self.inherited.clone();
+        inherited.push(self.cancel.clone());
+        Deadline {
+            start: self.start,
+            limit: self.limit,
+            cancel: Arc::new(AtomicBool::new(false)),
+            inherited,
             poll: 0,
             expired_seen: false,
         }
@@ -75,7 +101,9 @@ impl Deadline {
         if self.expired_seen {
             return true;
         }
-        if self.cancel.load(Ordering::Relaxed) {
+        if self.cancel.load(Ordering::Relaxed)
+            || self.inherited.iter().any(|f| f.load(Ordering::Relaxed))
+        {
             self.expired_seen = true;
             return true;
         }
@@ -142,6 +170,59 @@ mod tests {
             }
         }
         assert!(seen);
+    }
+
+    #[test]
+    fn scoped_cancel_does_not_expire_parent() {
+        let parent = Deadline::unlimited();
+        let mut child = parent.scoped();
+        child.cancel();
+        assert!(child.check_now());
+        let mut parent = parent;
+        assert!(!parent.check_now(), "child cancel leaked into parent");
+        assert!(!parent.was_expired());
+    }
+
+    #[test]
+    fn parent_cancel_propagates_to_scoped_children() {
+        let parent = Deadline::unlimited();
+        let mut child = parent.scoped();
+        let mut grandchild = child.scoped();
+        parent.cancel();
+        assert!(child.check_now());
+        assert!(grandchild.check_now());
+    }
+
+    #[test]
+    fn scoped_child_shares_clock() {
+        let parent = Deadline::new(Some(Duration::from_millis(1)));
+        std::thread::sleep(Duration::from_millis(5));
+        let mut child = parent.scoped();
+        // The child inherits the parent's start instant, not a fresh one.
+        assert!(child.check_now());
+    }
+
+    #[test]
+    fn mid_stride_polls_do_not_mask_check_now() {
+        // Consume part of a poll stride while the limit is generous, then
+        // let the clock run out: a phase-boundary `check_now` must observe
+        // expiry immediately even though the strided `expired()` counter
+        // is mid-stride.
+        let mut d = Deadline::new(Some(Duration::from_millis(2)));
+        for _ in 0..10 {
+            let _ = d.expired();
+        }
+        std::thread::sleep(Duration::from_millis(6));
+        assert!(!d.was_expired());
+        assert!(d.check_now(), "phase boundary failed to observe expiry");
+    }
+
+    #[test]
+    fn first_poll_checks_clock() {
+        // Zero/expired budgets are caught on the very first strided poll,
+        // before any work happens.
+        let mut d = Deadline::new(Some(Duration::ZERO));
+        assert!(d.expired());
     }
 
     #[test]

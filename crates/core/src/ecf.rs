@@ -7,10 +7,11 @@
 //! host nodes already in use. Every leaf at depth `N_Q` is a feasible
 //! embedding and is streamed to the caller's [`SolutionSink`].
 //!
-//! The inner loop is allocation-free: the DFS owns one [`Frame`] per
-//! depth, preallocated up front and reused across the entire traversal.
-//! Each frame carries the candidate list for its level plus two scratch
-//! bitsets; [`fill_candidates`] computes expression (2) by intersecting
+//! The inner loop is allocation-free: the DFS borrows one `Frame` per
+//! depth from a caller-held [`SearchScratch`], allocated on first use and
+//! reused across the entire traversal (and across traversals, when the
+//! caller keeps the scratch). Each frame carries the candidate list for
+//! its level plus two scratch bitsets; `fill_candidates` computes expression (2) by intersecting
 //! the predecessors' filter cells word-by-word into the frame's scratch
 //! mask (dense cells contribute their bitset mirrors directly, sparse
 //! cells are staged through the second scratch), subtracting `used`, and
@@ -26,6 +27,7 @@ use crate::filter::{CellView, FilterMatrix};
 use crate::mapping::Mapping;
 use crate::order::{compute_order, predecessors, NodeOrder, Pred};
 use crate::problem::Problem;
+use crate::scratch::SearchScratch;
 use crate::sink::{SinkControl, SolutionSink};
 use crate::stats::SearchStats;
 use netgraph::{NodeBitSet, NodeId};
@@ -53,10 +55,31 @@ pub fn search(
     sink: &mut dyn SolutionSink,
     stats: &mut SearchStats,
 ) -> Result<SearchEnd, crate::problem::ProblemError> {
+    search_with_scratch(
+        problem,
+        order,
+        deadline,
+        sink,
+        stats,
+        &mut SearchScratch::new(),
+    )
+}
+
+/// [`search`] with a caller-held [`SearchScratch`]: the per-depth frame
+/// arena survives across calls, so batch callers pay the DFS setup once.
+pub fn search_with_scratch(
+    problem: &Problem<'_>,
+    order: NodeOrder,
+    deadline: &mut Deadline,
+    sink: &mut dyn SolutionSink,
+    stats: &mut SearchStats,
+    scratch: &mut SearchScratch,
+) -> Result<SearchEnd, crate::problem::ProblemError> {
     let start = std::time::Instant::now();
     let filter = FilterMatrix::build(problem, deadline, stats)?;
-    let end = search_prebuilt(problem, &filter, order, deadline, sink, stats);
+    let end = search_prebuilt_with_scratch(problem, &filter, order, deadline, sink, stats, scratch);
     stats.elapsed = start.elapsed();
+    stats.cpu_time = stats.elapsed;
     Ok(end)
 }
 
@@ -73,10 +96,47 @@ pub fn search_prebuilt(
     sink: &mut dyn SolutionSink,
     stats: &mut SearchStats,
 ) -> SearchEnd {
+    search_prebuilt_with_scratch(
+        problem,
+        filter,
+        order,
+        deadline,
+        sink,
+        stats,
+        &mut SearchScratch::new(),
+    )
+}
+
+/// [`search_prebuilt`] with a caller-held [`SearchScratch`]. With both
+/// the filter and the scratch reused, a repeated search allocates
+/// nothing at all (see the `scratch_reuse` series of
+/// `benches/abl_filter_layout.rs`).
+#[allow(clippy::too_many_arguments)]
+pub fn search_prebuilt_with_scratch(
+    problem: &Problem<'_>,
+    filter: &FilterMatrix,
+    order: NodeOrder,
+    deadline: &mut Deadline,
+    sink: &mut dyn SolutionSink,
+    stats: &mut SearchStats,
+    scratch: &mut SearchScratch,
+) -> SearchEnd {
     let start = std::time::Instant::now();
+    // Filter-phase size is reported even for prebuilt (and truncated)
+    // runs, so timeout rows stay comparable across harness tables.
+    stats.filter_cells = filter.cell_count() as u64;
     if filter.truncated() {
         stats.timed_out = true;
         stats.elapsed = start.elapsed();
+        stats.cpu_time = stats.elapsed;
+        return SearchEnd::Timeout;
+    }
+    // Phase boundary: an already-expired deadline must not be masked by
+    // the strided poll counter carrying over from the build phase.
+    if deadline.check_now() {
+        stats.timed_out = true;
+        stats.elapsed = start.elapsed();
+        stats.cpu_time = stats.elapsed;
         return SearchEnd::Timeout;
     }
     let node_order = compute_order(problem.query, filter, order);
@@ -91,16 +151,20 @@ pub fn search_prebuilt(
         stats,
         None,
         None,
+        scratch,
     );
     stats.timed_out |= end == SearchEnd::Timeout;
     stats.elapsed = start.elapsed();
+    stats.cpu_time = stats.elapsed;
     end
 }
 
 /// Per-depth reusable DFS state: the candidate list for this level plus
-/// the scratch bitsets [`fill_candidates`] intersects into. Allocated
-/// once per depth at search start, reused for every subtree visited at
-/// that depth.
+/// the scratch bitsets [`fill_candidates`] intersects into. Owned by a
+/// [`SearchScratch`], allocated on first use and reused for every
+/// subtree visited at that depth — and, with a caller-held scratch, for
+/// every subsequent search.
+#[derive(Debug)]
 pub(crate) struct Frame {
     candidates: Vec<NodeId>,
     next: usize,
@@ -112,7 +176,7 @@ pub(crate) struct Frame {
 }
 
 impl Frame {
-    fn new(nr: usize) -> Frame {
+    pub(crate) fn new(nr: usize) -> Frame {
         Frame {
             candidates: Vec::new(),
             next: 0,
@@ -120,11 +184,24 @@ impl Frame {
             stage: NodeBitSet::new(nr),
         }
     }
+
+    /// Re-size the masks for a new host capacity (scratch reuse across
+    /// differently-sized problems). The candidate `Vec` keeps its
+    /// capacity.
+    pub(crate) fn resize_masks(&mut self, nr: usize) {
+        self.mask = NodeBitSet::new(nr);
+        self.stage = NodeBitSet::new(nr);
+    }
+
+    #[cfg(test)]
+    pub(crate) fn mask_capacity(&self) -> usize {
+        self.mask.capacity()
+    }
 }
 
 /// The DFS core. `shuffle` randomizes candidate order at every level
 /// (RWB); `root_override` restricts the root level to the given candidates
-/// (parallel workers).
+/// (parallel workers). All mutable traversal state lives in `scratch`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_dfs(
     problem: &Problem<'_>,
@@ -136,16 +213,16 @@ pub(crate) fn run_dfs(
     stats: &mut SearchStats,
     mut shuffle: Option<&mut StdRng>,
     root_override: Option<&[NodeId]>,
+    scratch: &mut SearchScratch,
 ) -> SearchEnd {
     let nq = order.len();
-    let nr = problem.nr();
-    let mut assign: Vec<NodeId> = vec![NodeId(u32::MAX); problem.nq()];
-    let mut used = NodeBitSet::new(nr);
-
-    // One reusable frame per depth: the whole traversal allocates nothing
-    // beyond this arena (candidate Vecs grow to their high-water mark and
-    // stay).
-    let mut frames: Vec<Frame> = (0..nq).map(|_| Frame::new(nr)).collect();
+    scratch.ensure(problem.nq(), problem.nr());
+    let SearchScratch {
+        frames,
+        assign,
+        used,
+        ..
+    } = scratch;
     let mut depth = 0usize;
 
     match root_override {
@@ -154,7 +231,7 @@ pub(crate) fn run_dfs(
             frames[0].candidates.extend_from_slice(list);
         }
         None => {
-            fill_candidates(filter, order, preds, 0, &assign, &used, &mut frames[0]);
+            fill_candidates(filter, order, preds, 0, assign, used, &mut frames[0]);
         }
     }
     frames[0].next = 0;
@@ -200,7 +277,7 @@ pub(crate) fn run_dfs(
         assign[vq.index()] = r;
         used.insert(r);
         let next_frame = &mut frames[depth + 1];
-        if !fill_candidates(filter, order, preds, depth + 1, &assign, &used, next_frame) {
+        if !fill_candidates(filter, order, preds, depth + 1, assign, used, next_frame) {
             stats.prunes += 1;
             used.remove(r);
             assign[vq.index()] = NodeId(u32::MAX);

@@ -7,6 +7,7 @@
 
 use crate::deadline::Deadline;
 use crate::ecf;
+use crate::filter::FilterMatrix;
 use crate::lns::{self, LnsConfig};
 use crate::mapping::Mapping;
 use crate::order::NodeOrder;
@@ -14,6 +15,7 @@ use crate::outcome::Outcome;
 use crate::parallel;
 use crate::problem::{Problem, ProblemError};
 use crate::rwb;
+use crate::scratch::EmbedScratch;
 use crate::sink::{CollectAll, CollectUpTo};
 use crate::stats::SearchStats;
 use netgraph::Network;
@@ -114,18 +116,157 @@ impl<'a> Engine<'a> {
         Self::run(&problem, options)
     }
 
+    /// [`Engine::embed`] with a caller-held [`EmbedScratch`]: repeated
+    /// embeds reuse the DFS arenas instead of re-allocating them.
+    pub fn embed_with_scratch(
+        &self,
+        query: &Network,
+        constraint: &str,
+        options: &Options,
+        scratch: &mut EmbedScratch,
+    ) -> Result<EmbedResult, ProblemError> {
+        let problem = Problem::new(query, self.host, constraint)?;
+        Self::run_with_scratch(&problem, options, scratch)
+    }
+
     /// Embed a pre-built problem (lets callers supply separate edge and
     /// node expressions via [`Problem::with_exprs`]).
     pub fn run(problem: &Problem<'_>, options: &Options) -> Result<EmbedResult, ProblemError> {
+        Self::run_with_scratch(problem, options, &mut EmbedScratch::new())
+    }
+
+    /// [`Engine::run`] with a caller-held [`EmbedScratch`]. The filter
+    /// build runs under this call (parallelized for
+    /// [`Algorithm::ParallelEcf`]); batch callers that also want to
+    /// amortize the *filter* across runs use [`Engine::run_prebuilt`].
+    pub fn run_with_scratch(
+        problem: &Problem<'_>,
+        options: &Options,
+        scratch: &mut EmbedScratch,
+    ) -> Result<EmbedResult, ProblemError> {
         let mut deadline = Deadline::new(options.timeout);
         let mut stats = SearchStats::default();
+        let start = std::time::Instant::now();
 
         let (mappings, end) = match options.algorithm {
+            Algorithm::Lns => {
+                Self::dispatch_lns(problem, options, &mut deadline, &mut stats, scratch)?
+            }
+            Algorithm::Ecf | Algorithm::Rwb => {
+                let filter = FilterMatrix::build(problem, &mut deadline, &mut stats)?;
+                Self::dispatch_prebuilt(
+                    problem,
+                    &filter,
+                    options,
+                    &mut deadline,
+                    &mut stats,
+                    scratch,
+                )
+            }
+            Algorithm::ParallelEcf { threads } => {
+                let filter = FilterMatrix::build_par(problem, threads, &mut deadline, &mut stats)?;
+                Self::dispatch_prebuilt(
+                    problem,
+                    &filter,
+                    options,
+                    &mut deadline,
+                    &mut stats,
+                    scratch,
+                )
+            }
+        };
+        Ok(Self::finalize(
+            mappings,
+            end,
+            stats,
+            start,
+            options.algorithm,
+        ))
+    }
+
+    /// Run over an already constructed filter (built with
+    /// [`FilterMatrix::build`]/[`FilterMatrix::build_par`] for the *same*
+    /// problem). This is the batch primitive: one filter build plus one
+    /// scratch serve any number of runs — different modes, orders, seeds
+    /// or thread counts ([`Algorithm::Lns`] ignores the filter). The
+    /// returned stats cover only this run; build-phase counters live with
+    /// whoever built the filter, except `filter_cells`, which is
+    /// re-reported per run so result tables stay comparable.
+    pub fn run_prebuilt(
+        problem: &Problem<'_>,
+        filter: &FilterMatrix,
+        options: &Options,
+        scratch: &mut EmbedScratch,
+    ) -> Result<EmbedResult, ProblemError> {
+        let mut deadline = Deadline::new(options.timeout);
+        let mut stats = SearchStats::default();
+        let start = std::time::Instant::now();
+        let (mappings, end) = match options.algorithm {
+            Algorithm::Lns => {
+                Self::dispatch_lns(problem, options, &mut deadline, &mut stats, scratch)?
+            }
+            _ => Self::dispatch_prebuilt(
+                problem,
+                filter,
+                options,
+                &mut deadline,
+                &mut stats,
+                scratch,
+            ),
+        };
+        Ok(Self::finalize(
+            mappings,
+            end,
+            stats,
+            start,
+            options.algorithm,
+        ))
+    }
+
+    /// Shared run finalization: authoritative wall clock, the
+    /// sequential-run `cpu_time = elapsed` convention (parallel runs keep
+    /// the worker sum their merge produced), and outcome classification.
+    fn finalize(
+        mappings: Vec<Mapping>,
+        end: ecf::SearchEnd,
+        mut stats: SearchStats,
+        start: std::time::Instant,
+        algorithm: Algorithm,
+    ) -> EmbedResult {
+        stats.elapsed = start.elapsed();
+        if !matches!(algorithm, Algorithm::ParallelEcf { .. }) {
+            stats.cpu_time = stats.elapsed;
+        }
+        let outcome = Outcome::classify(end, mappings.clone());
+        EmbedResult {
+            mappings,
+            outcome,
+            stats,
+        }
+    }
+
+    /// Second-stage dispatch for the filter-based algorithms.
+    fn dispatch_prebuilt(
+        problem: &Problem<'_>,
+        filter: &FilterMatrix,
+        options: &Options,
+        deadline: &mut Deadline,
+        stats: &mut SearchStats,
+        scratch: &mut EmbedScratch,
+    ) -> (Vec<Mapping>, ecf::SearchEnd) {
+        match options.algorithm {
             Algorithm::Ecf => match options.mode {
                 SearchMode::All => {
                     let mut sink = CollectAll::default();
-                    let end =
-                        ecf::search(problem, options.order, &mut deadline, &mut sink, &mut stats)?;
+                    let end = ecf::search_prebuilt_with_scratch(
+                        problem,
+                        filter,
+                        options.order,
+                        deadline,
+                        &mut sink,
+                        stats,
+                        &mut scratch.search,
+                    );
                     (sink.solutions, end)
                 }
                 SearchMode::First | SearchMode::UpTo(_) => {
@@ -134,8 +275,15 @@ impl<'a> Engine<'a> {
                         _ => 1,
                     };
                     let mut sink = CollectUpTo::new(k);
-                    let end =
-                        ecf::search(problem, options.order, &mut deadline, &mut sink, &mut stats)?;
+                    let end = ecf::search_prebuilt_with_scratch(
+                        problem,
+                        filter,
+                        options.order,
+                        deadline,
+                        &mut sink,
+                        stats,
+                        &mut scratch.search,
+                    );
                     (sink.solutions, end)
                 }
             },
@@ -145,54 +293,77 @@ impl<'a> Engine<'a> {
                     SearchMode::First => 1,
                     SearchMode::UpTo(k) => k,
                 };
-                rwb::search(
+                let mut sink = CollectUpTo::new(limit);
+                let end = rwb::search_prebuilt(
                     problem,
+                    filter,
                     options.seed,
-                    limit,
                     options.order,
-                    &mut deadline,
-                    &mut stats,
-                )?
+                    deadline,
+                    &mut sink,
+                    stats,
+                    &mut scratch.search,
+                );
+                (sink.solutions, end)
             }
-            Algorithm::Lns => match options.mode {
-                SearchMode::All => {
-                    let mut sink = CollectAll::default();
-                    let end =
-                        lns::search(problem, &options.lns, &mut deadline, &mut sink, &mut stats)?;
-                    (sink.solutions, end)
-                }
-                SearchMode::First | SearchMode::UpTo(_) => {
-                    let k = match options.mode {
-                        SearchMode::UpTo(k) => k,
-                        _ => 1,
-                    };
-                    let mut sink = CollectUpTo::new(k);
-                    let end =
-                        lns::search(problem, &options.lns, &mut deadline, &mut sink, &mut stats)?;
-                    (sink.solutions, end)
-                }
-            },
             Algorithm::ParallelEcf { threads } => {
                 let limit = match options.mode {
                     SearchMode::All => None,
                     SearchMode::First => Some(1),
                     SearchMode::UpTo(k) => Some(k),
                 };
-                parallel::search(
+                parallel::search_prebuilt(
                     problem,
+                    filter,
                     threads,
                     limit,
                     options.order,
-                    &mut deadline,
-                    &mut stats,
-                )?
+                    deadline,
+                    stats,
+                    &mut scratch.parallel,
+                )
             }
-        };
-        let outcome = Outcome::classify(end, mappings.clone());
-        Ok(EmbedResult {
-            mappings,
-            outcome,
-            stats,
+            Algorithm::Lns => unreachable!("LNS is dispatched without a filter"),
+        }
+    }
+
+    /// LNS dispatch (no filter stage).
+    fn dispatch_lns(
+        problem: &Problem<'_>,
+        options: &Options,
+        deadline: &mut Deadline,
+        stats: &mut SearchStats,
+        scratch: &mut EmbedScratch,
+    ) -> Result<(Vec<Mapping>, ecf::SearchEnd), ProblemError> {
+        Ok(match options.mode {
+            SearchMode::All => {
+                let mut sink = CollectAll::default();
+                let end = lns::search_with_scratch(
+                    problem,
+                    &options.lns,
+                    deadline,
+                    &mut sink,
+                    stats,
+                    &mut scratch.search,
+                )?;
+                (sink.solutions, end)
+            }
+            SearchMode::First | SearchMode::UpTo(_) => {
+                let k = match options.mode {
+                    SearchMode::UpTo(k) => k,
+                    _ => 1,
+                };
+                let mut sink = CollectUpTo::new(k);
+                let end = lns::search_with_scratch(
+                    problem,
+                    &options.lns,
+                    deadline,
+                    &mut sink,
+                    stats,
+                    &mut scratch.search,
+                )?;
+                (sink.solutions, end)
+            }
         })
     }
 }

@@ -44,6 +44,24 @@
 //! equivalent: both encode "which reverse-direction candidates are
 //! (in)admissible", and a positive encoding needs no subtraction pass.
 //!
+//! ## Parallel construction
+//!
+//! The evaluation scan is embarrassingly parallel over *query edges*:
+//! distinct query edges populate distinct `(vj, vi)` pair slots, so their
+//! cell rows are disjoint by construction. [`FilterMatrix::build_par`]
+//! exploits that: the pair-slot tables are fixed up front (in query-edge
+//! order, before any evaluation), the query-edge list is split into
+//! contiguous chunks — one scan worker each — and every worker streams
+//! `(cell row, candidate)` hits into thread-local buffers. The stitch
+//! concatenates the chunk outputs in chunk order, which reproduces the
+//! sequential scan's hit stream *exactly*, and the deterministic
+//! counting-sort pass then lays out the same CSR arena — the parallel
+//! build is bitwise-identical to [`FilterMatrix::build`] (verified by
+//! `tests/prop_layout.rs` via the `PartialEq` impl, which compares the
+//! raw slot/offset/arena/bitset storage). Per-worker eval counters sum to
+//! the sequential total, and base candidate sets are OR-merged (bitwise
+//! OR commutes, so worker order cannot matter).
+//!
 //! The seed's `FxHashMap`-keyed implementation survives as
 //! [`reference::HashFilterMatrix`] for the `abl_filter_layout` ablation
 //! benchmark and the layout-equivalence property test
@@ -52,7 +70,7 @@
 use crate::deadline::Deadline;
 use crate::problem::{Problem, ProblemError};
 use crate::stats::SearchStats;
-use netgraph::{NodeBitSet, NodeId};
+use netgraph::{EdgeRef, NodeBitSet, NodeId};
 
 /// Cells with at least this many candidates also materialize a bitset
 /// mirror for word-level intersection. Below it, staging the (short)
@@ -71,6 +89,12 @@ pub struct CellView<'a> {
 }
 
 /// One direction's cells: pair-slot table + CSR offsets + arena.
+///
+/// `PartialEq` compares the raw storage (slots, offsets, arena, bitset
+/// mirrors) — two tables are equal only when they are laid out
+/// identically, which is what the parallel-build determinism property
+/// asserts.
+#[derive(PartialEq)]
 struct CellTable {
     nq: usize,
     nr: usize,
@@ -132,24 +156,22 @@ impl CellTable {
     }
 }
 
-/// Streams `(cell row, candidate)` hits during evaluation, then
-/// counting-sorts them into a [`CellTable`].
-struct CellTableBuilder {
+/// Dense `(vj, vi)` → pair-slot table. Fixed *before* any constraint is
+/// evaluated — slots are assigned in query-edge order, so the sequential
+/// and parallel builds agree on the numbering by construction.
+#[derive(Clone, PartialEq)]
+struct PairSlots {
     nq: usize,
-    nr: usize,
     slot: Vec<u32>,
     slots: u32,
-    hits: Vec<(u64, NodeId)>,
 }
 
-impl CellTableBuilder {
-    fn new(nq: usize, nr: usize) -> Self {
-        CellTableBuilder {
+impl PairSlots {
+    fn new(nq: usize) -> Self {
+        PairSlots {
             nq,
-            nr,
             slot: vec![u32::MAX; nq * nq],
             slots: 0,
-            hits: Vec::new(),
         }
     }
 
@@ -162,39 +184,134 @@ impl CellTableBuilder {
         }
     }
 
-    /// Record `r2 ∈ F[(vj, rj, vi)]`. The pair must have been added.
+    /// Pair slot of `(vj, vi)`, `u32::MAX` when the pair bears no cells.
     #[inline]
-    fn push(&mut self, vj: NodeId, rj: NodeId, vi: NodeId, r2: NodeId) {
-        let s = self.slot[vj.index() * self.nq + vi.index()];
-        debug_assert_ne!(s, u32::MAX, "cell pushed for unregistered pair");
-        self.hits
-            .push((s as u64 * self.nr as u64 + rj.index() as u64, r2));
+    fn get(&self, vj: NodeId, vi: NodeId) -> u32 {
+        self.slot[vj.index() * self.nq + vi.index()]
     }
+}
 
-    fn finish(self) -> CellTable {
-        let rows = self.slots as usize * self.nr;
+/// Record `r2 ∈ F[(vj, rj, vi)]` as a `(cell row, candidate)` hit. The
+/// pair must have been registered in `slots`.
+#[inline]
+fn push_hit(
+    hits: &mut Vec<(u64, NodeId)>,
+    slots: &PairSlots,
+    nr: usize,
+    vj: NodeId,
+    rj: NodeId,
+    vi: NodeId,
+    r2: NodeId,
+) {
+    let s = slots.get(vj, vi);
+    debug_assert_ne!(s, u32::MAX, "cell pushed for unregistered pair");
+    hits.push((s as u64 * nr as u64 + rj.index() as u64, r2));
+}
+
+/// Raw output of one evaluation-scan chunk: streamed cell hits, partial
+/// base sets, and local counters. Chunk outputs stitched in chunk order
+/// reproduce the sequential scan exactly.
+struct ScanOut {
+    fwd_hits: Vec<(u64, NodeId)>,
+    rev_hits: Vec<(u64, NodeId)>,
+    base: Vec<NodeBitSet>,
+    evals: u64,
+    truncated: bool,
+}
+
+/// Evaluate the constraint for `qedges × host edges` (the first-stage
+/// scan), streaming hits. This is the shared worker body of both the
+/// sequential and the parallel build — identical logic, so chunked runs
+/// concatenate to exactly the sequential hit stream.
+fn scan_query_edges(
+    problem: &Problem<'_>,
+    qedges: &[EdgeRef],
+    node_pass: &[NodeBitSet],
+    fwd_slots: &PairSlots,
+    rev_slots: &PairSlots,
+    deadline: &mut Deadline,
+) -> Result<ScanOut, ProblemError> {
+    let nq = problem.nq();
+    let nr = problem.nr();
+    let undirected = problem.query.is_undirected();
+    let mut out = ScanOut {
+        fwd_hits: Vec::new(),
+        rev_hits: Vec::new(),
+        base: (0..nq).map(|_| NodeBitSet::new(nr)).collect(),
+        evals: 0,
+        truncated: false,
+    };
+    'outer: for qe in qedges {
+        let (a, b) = (qe.src, qe.dst);
+        for he in problem.host.edge_refs() {
+            if deadline.expired() {
+                out.truncated = true;
+                break 'outer;
+            }
+            let (u, v) = (he.src, he.dst);
+            // Orientation 1: a→u, b→v.
+            if node_pass[a.index()].contains(u) && node_pass[b.index()].contains(v) {
+                out.evals += 1;
+                if problem.edge_ok(qe.id, a, b, he.id, u, v)? {
+                    push_hit(&mut out.fwd_hits, fwd_slots, nr, a, u, b, v);
+                    if undirected {
+                        push_hit(&mut out.fwd_hits, fwd_slots, nr, b, v, a, u);
+                    } else {
+                        push_hit(&mut out.rev_hits, rev_slots, nr, b, v, a, u);
+                    }
+                    out.base[a.index()].insert(u);
+                    out.base[b.index()].insert(v);
+                }
+            }
+            // Orientation 2: a→v, b→u. A real evaluation for undirected
+            // hosts; for directed hosts the orientation is rejected by
+            // direction alone, but it is still one considered orientation
+            // of the scan, so the counter is bumped either way to keep
+            // directed and undirected eval totals comparable.
+            if node_pass[a.index()].contains(v) && node_pass[b.index()].contains(u) {
+                out.evals += 1;
+                if undirected && problem.edge_ok(qe.id, a, b, he.id, v, u)? {
+                    push_hit(&mut out.fwd_hits, fwd_slots, nr, a, v, b, u);
+                    push_hit(&mut out.fwd_hits, fwd_slots, nr, b, u, a, v);
+                    out.base[a.index()].insert(v);
+                    out.base[b.index()].insert(u);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+impl CellTable {
+    /// Counting-sort a hit stream into the CSR layout. Deterministic:
+    /// the layout depends only on the hit multiset order within each cell
+    /// (and each span is sorted afterwards), so any scan that reproduces
+    /// the sequential hit stream produces a bitwise-identical table.
+    fn from_hits(slots: PairSlots, nr: usize, hits: Vec<(u64, NodeId)>) -> CellTable {
+        let nslots = slots.slots as usize;
+        let rows = nslots * nr;
         // Counting sort the hits by cell row.
         let mut counts = vec![0u32; rows];
-        for &(row, _) in &self.hits {
+        for &(row, _) in &hits {
             counts[row as usize] += 1;
         }
         // Per-slot offset rows of length nr + 1 (the extra slot closes the
         // last cell of each pair).
-        let mut offsets = vec![0u32; self.slots as usize * (self.nr + 1)];
+        let mut offsets = vec![0u32; nslots * (nr + 1)];
         let mut running = 0u32;
-        for s in 0..self.slots as usize {
-            let obase = s * (self.nr + 1);
-            for rj in 0..self.nr {
+        for s in 0..nslots {
+            let obase = s * (nr + 1);
+            for rj in 0..nr {
                 offsets[obase + rj] = running;
-                running += counts[s * self.nr + rj];
+                running += counts[s * nr + rj];
             }
-            offsets[obase + self.nr] = running;
+            offsets[obase + nr] = running;
         }
-        let mut arena = vec![NodeId(u32::MAX); self.hits.len()];
+        let mut arena = vec![NodeId(u32::MAX); hits.len()];
         let mut cursor: Vec<u32> = (0..rows)
-            .map(|row| offsets[row / self.nr * (self.nr + 1) + row % self.nr])
+            .map(|row| offsets[row / nr * (nr + 1) + row % nr])
             .collect();
-        for &(row, r2) in &self.hits {
+        for &(row, r2) in &hits {
             let c = &mut cursor[row as usize];
             arena[*c as usize] = r2;
             *c += 1;
@@ -205,9 +322,9 @@ impl CellTableBuilder {
         let mut bit_idx = vec![u32::MAX; rows];
         let mut bits: Vec<NodeBitSet> = Vec::new();
         let mut ncells = 0usize;
-        for s in 0..self.slots as usize {
-            let obase = s * (self.nr + 1);
-            for rj in 0..self.nr {
+        for s in 0..nslots {
+            let obase = s * (nr + 1);
+            for rj in 0..nr {
                 let (lo, hi) = (
                     offsets[obase + rj] as usize,
                     offsets[obase + rj + 1] as usize,
@@ -220,15 +337,15 @@ impl CellTableBuilder {
                 span.sort_unstable();
                 debug_assert!(span.windows(2).all(|w| w[0] < w[1]), "duplicate candidates");
                 if span.len() >= CELL_DENSE_MIN {
-                    bit_idx[s * self.nr + rj] = bits.len() as u32;
-                    bits.push(NodeBitSet::from_iter(self.nr, span.iter().copied()));
+                    bit_idx[s * nr + rj] = bits.len() as u32;
+                    bits.push(NodeBitSet::from_iter(nr, span.iter().copied()));
                 }
             }
         }
         CellTable {
-            nq: self.nq,
-            nr: self.nr,
-            slot: self.slot,
+            nq: slots.nq,
+            nr,
+            slot: slots.slot,
             offsets,
             arena,
             bit_idx,
@@ -239,6 +356,12 @@ impl CellTableBuilder {
 }
 
 /// The constructed filter state for one problem.
+///
+/// `PartialEq` compares the raw CSR storage of both cell tables plus the
+/// base sets — equality means the two matrices are laid out
+/// bitwise-identically, the property `tests/prop_layout.rs` asserts for
+/// [`FilterMatrix::build`] vs [`FilterMatrix::build_par`].
+#[derive(PartialEq)]
 pub struct FilterMatrix {
     /// `fwd[(vj, rj, vi)]`: candidates for `vi` via query edge `vj → vi`
     /// (for undirected problems this holds both orientations).
@@ -309,66 +432,114 @@ impl FilterMatrix {
         deadline: &mut Deadline,
         stats: &mut SearchStats,
     ) -> Result<FilterMatrix, ProblemError> {
+        Self::build_impl(problem, 1, deadline, stats)
+    }
+
+    /// [`FilterMatrix::build`] with the evaluation scan parallelized over
+    /// `threads` scoped worker threads (contiguous query-edge chunks, one
+    /// worker each). Produces a matrix bitwise-identical to the
+    /// sequential build — same CSR layout, same eval counters, same base
+    /// sets — because the chunk outputs are stitched in chunk order and
+    /// the counting-sort pass is deterministic. `threads <= 1`, or a
+    /// query with a single edge, falls back to the sequential scan.
+    pub fn build_par(
+        problem: &Problem<'_>,
+        threads: usize,
+        deadline: &mut Deadline,
+        stats: &mut SearchStats,
+    ) -> Result<FilterMatrix, ProblemError> {
+        Self::build_impl(problem, threads.max(1), deadline, stats)
+    }
+
+    fn build_impl(
+        problem: &Problem<'_>,
+        threads: usize,
+        deadline: &mut Deadline,
+        stats: &mut SearchStats,
+    ) -> Result<FilterMatrix, ProblemError> {
         let nq = problem.nq();
         let nr = problem.nr();
         let undirected = problem.query.is_undirected();
+
+        // Phase boundary: a zero/expired/cancelled budget is caught here,
+        // before any evaluation work, regardless of how many strided
+        // polls the caller's deadline has already consumed.
+        if deadline.check_now() {
+            stats.filter_cells = 0;
+            return Ok(FilterMatrix {
+                fwd: CellTable::from_hits(PairSlots::new(nq), nr, Vec::new()),
+                rev: CellTable::from_hits(PairSlots::new(nq), nr, Vec::new()),
+                base: (0..nq).map(|_| NodeBitSet::new(nr)).collect(),
+                counts: vec![0; nq],
+                truncated: true,
+            });
+        }
 
         let node_pass = node_admissible(problem, stats)?;
 
         // The cell-bearing ordered pairs are exactly the query edges (both
         // orientations when undirected), known before evaluation starts.
-        let mut fwd = CellTableBuilder::new(nq, nr);
-        let mut rev = CellTableBuilder::new(nq, nr);
+        let mut fwd_slots = PairSlots::new(nq);
+        let mut rev_slots = PairSlots::new(nq);
         for qe in problem.query.edge_refs() {
-            fwd.add_pair(qe.src, qe.dst);
+            fwd_slots.add_pair(qe.src, qe.dst);
             if undirected {
-                fwd.add_pair(qe.dst, qe.src);
+                fwd_slots.add_pair(qe.dst, qe.src);
             } else {
-                rev.add_pair(qe.dst, qe.src);
+                rev_slots.add_pair(qe.dst, qe.src);
             }
         }
 
+        // The evaluation scan: one chunk inline, or `workers` contiguous
+        // chunks fanned out over scoped threads. Each worker polls its own
+        // clone of the deadline (shared cancel flag, shared clock).
+        let qedges: Vec<EdgeRef> = problem.query.edge_refs().collect();
+        let workers = threads.min(qedges.len()).max(1);
+        let outs: Vec<Result<ScanOut, ProblemError>> = if workers <= 1 {
+            vec![scan_query_edges(
+                problem, &qedges, &node_pass, &fwd_slots, &rev_slots, deadline,
+            )]
+        } else {
+            let chunk = qedges.len().div_ceil(workers);
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for ch in qedges.chunks(chunk) {
+                    let mut dl = deadline.clone();
+                    let (node_pass, fwd_slots, rev_slots) = (&node_pass, &fwd_slots, &rev_slots);
+                    handles.push(scope.spawn(move |_| {
+                        scan_query_edges(problem, ch, node_pass, fwd_slots, rev_slots, &mut dl)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scan worker panicked"))
+                    .collect()
+            })
+            .expect("scope failure")
+        };
+
+        // Deterministic stitch: chunk outputs in chunk order reproduce
+        // the sequential hit stream; bases OR-merge; eval counts sum.
+        let mut fwd_hits: Vec<(u64, NodeId)> = Vec::new();
+        let mut rev_hits: Vec<(u64, NodeId)> = Vec::new();
         let mut base: Vec<NodeBitSet> = (0..nq).map(|_| NodeBitSet::new(nr)).collect();
         let mut truncated = false;
-
-        'outer: for qe in problem.query.edge_refs() {
-            let (a, b) = (qe.src, qe.dst);
-            for he in problem.host.edge_refs() {
-                if deadline.expired() {
-                    truncated = true;
-                    break 'outer;
-                }
-                let (u, v) = (he.src, he.dst);
-                // Orientation 1: a→u, b→v.
-                if node_pass[a.index()].contains(u) && node_pass[b.index()].contains(v) {
-                    stats.constraint_evals += 1;
-                    if problem.edge_ok(qe.id, a, b, he.id, u, v)? {
-                        fwd.push(a, u, b, v);
-                        if undirected {
-                            fwd.push(b, v, a, u);
-                        } else {
-                            rev.push(b, v, a, u);
-                        }
-                        base[a.index()].insert(u);
-                        base[b.index()].insert(v);
-                    }
-                }
-                // Orientation 2: a→v, b→u. A real evaluation for
-                // undirected hosts; for directed hosts the orientation is
-                // rejected by direction alone, but it is still one
-                // considered orientation of the scan, so the counter is
-                // bumped either way to keep directed and undirected eval
-                // totals comparable.
-                if node_pass[a.index()].contains(v) && node_pass[b.index()].contains(u) {
-                    stats.constraint_evals += 1;
-                    if undirected && problem.edge_ok(qe.id, a, b, he.id, v, u)? {
-                        fwd.push(a, v, b, u);
-                        fwd.push(b, u, a, v);
-                        base[a.index()].insert(v);
-                        base[b.index()].insert(u);
-                    }
-                }
+        for out in outs {
+            // Errors surface in chunk order, so the reported error is the
+            // one the sequential scan would have hit first.
+            let mut out = out?;
+            fwd_hits.append(&mut out.fwd_hits);
+            rev_hits.append(&mut out.rev_hits);
+            for (acc, part) in base.iter_mut().zip(&out.base) {
+                acc.union_with(part);
             }
+            stats.constraint_evals += out.evals;
+            truncated |= out.truncated;
+        }
+        if truncated {
+            // Let the caller's own deadline observe the expiry the worker
+            // clones saw (their `expired_seen` latches are thread-local).
+            deadline.check_now();
         }
 
         // Edge-less query nodes (degree 0): their base set is the node-
@@ -379,8 +550,8 @@ impl FilterMatrix {
             }
         }
 
-        let fwd = fwd.finish();
-        let rev = rev.finish();
+        let fwd = CellTable::from_hits(fwd_slots, nr, fwd_hits);
+        let rev = CellTable::from_hits(rev_slots, nr, rev_hits);
         let counts: Vec<usize> = base.iter().map(|s| s.len()).collect();
         stats.filter_cells = (fwd.cell_count() + rev.cell_count()) as u64;
         Ok(FilterMatrix {
@@ -905,6 +1076,111 @@ mod tests {
         assert_eq!(absent.slice, &[hub]); // the symmetric orientation exists
         let no_pair = f.rev_view(a, hub, b);
         assert!(no_pair.slice.is_empty() && no_pair.bits.is_none());
+    }
+
+    #[test]
+    fn parallel_build_is_bitwise_identical() {
+        // A multi-edge query so the scan actually chunks.
+        let mut q = Network::new(Direction::Undirected);
+        let qs: Vec<NodeId> = (0..4).map(|i| q.add_node(format!("q{i}"))).collect();
+        for i in 0..4 {
+            q.add_edge(qs[i], qs[(i + 1) % 4]);
+        }
+        let mut h = Network::new(Direction::Undirected);
+        let hs: Vec<NodeId> = (0..8).map(|i| h.add_node(format!("h{i}"))).collect();
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                let e = h.add_edge(hs[i], hs[j]);
+                h.set_edge_attr(e, "d", ((i * 5 + j) % 30) as f64);
+            }
+        }
+        let p = Problem::new(&q, &h, "rEdge.d <= 20.0").unwrap();
+        let mut d = Deadline::unlimited();
+        let mut s_seq = SearchStats::default();
+        let seq = FilterMatrix::build(&p, &mut d, &mut s_seq).unwrap();
+        for threads in [2, 3, 4, 16] {
+            let mut d = Deadline::unlimited();
+            let mut s_par = SearchStats::default();
+            let par = FilterMatrix::build_par(&p, threads, &mut d, &mut s_par).unwrap();
+            assert!(seq == par, "layout diverges at {threads} threads");
+            assert_eq!(s_seq.constraint_evals, s_par.constraint_evals);
+            assert_eq!(s_seq.filter_cells, s_par.filter_cells);
+        }
+    }
+
+    #[test]
+    fn parallel_build_single_edge_query() {
+        // Fewer query edges than threads: falls back to one chunk.
+        let (q, h) = fixture();
+        let p = Problem::new(&q, &h, "rEdge.d < 10.0").unwrap();
+        let mut d = Deadline::unlimited();
+        let (mut s1, mut s2) = (SearchStats::default(), SearchStats::default());
+        let seq = FilterMatrix::build(&p, &mut d, &mut s1).unwrap();
+        let par = FilterMatrix::build_par(&p, 8, &mut d, &mut s2).unwrap();
+        assert!(seq == par);
+        assert_eq!(s1.constraint_evals, s2.constraint_evals);
+    }
+
+    #[test]
+    fn parallel_build_directed_rev_table() {
+        let mut q = Network::new(Direction::Directed);
+        let qs: Vec<NodeId> = (0..3).map(|i| q.add_node(format!("q{i}"))).collect();
+        q.add_edge(qs[0], qs[1]);
+        q.add_edge(qs[1], qs[2]);
+        q.add_edge(qs[2], qs[0]);
+        let mut h = Network::new(Direction::Directed);
+        let hs: Vec<NodeId> = (0..6).map(|i| h.add_node(format!("h{i}"))).collect();
+        for i in 0..6 {
+            for j in 0..6 {
+                if i != j {
+                    h.add_edge(hs[i], hs[j]);
+                }
+            }
+        }
+        let p = Problem::new(&q, &h, "true").unwrap();
+        let mut d = Deadline::unlimited();
+        let (mut s1, mut s2) = (SearchStats::default(), SearchStats::default());
+        let seq = FilterMatrix::build(&p, &mut d, &mut s1).unwrap();
+        let par = FilterMatrix::build_par(&p, 3, &mut d, &mut s2).unwrap();
+        assert!(seq == par);
+        assert_eq!(s1.constraint_evals, s2.constraint_evals);
+    }
+
+    #[test]
+    fn parallel_build_surfaces_eval_errors() {
+        let mut q = Network::new(Direction::Undirected);
+        let qs: Vec<NodeId> = (0..3).map(|i| q.add_node(format!("q{i}"))).collect();
+        for i in 0..3 {
+            q.add_edge(qs[i], qs[(i + 1) % 3]);
+        }
+        // Triangle host so every node passes the degree prefilter and the
+        // (ill-typed) constraint actually gets evaluated.
+        let mut h = Network::new(Direction::Undirected);
+        let hs: Vec<NodeId> = (0..3).map(|i| h.add_node(format!("h{i}"))).collect();
+        for i in 0..3 {
+            let e = h.add_edge(hs[i], hs[(i + 1) % 3]);
+            h.set_edge_attr(e, "d", 5.0);
+        }
+        let p = Problem::new(&q, &h, "rEdge.d == \"fast\"").unwrap();
+        let mut d = Deadline::unlimited();
+        let mut s = SearchStats::default();
+        assert!(matches!(
+            FilterMatrix::build_par(&p, 3, &mut d, &mut s),
+            Err(ProblemError::Eval(_))
+        ));
+    }
+
+    #[test]
+    fn pre_expired_deadline_skips_all_work() {
+        let (q, h) = fixture();
+        let p = Problem::new(&q, &h, "rEdge.d < 10.0").unwrap();
+        let mut d = Deadline::new(Some(std::time::Duration::ZERO));
+        let mut s = SearchStats::default();
+        let f = FilterMatrix::build_par(&p, 4, &mut d, &mut s).unwrap();
+        assert!(f.truncated());
+        assert_eq!(f.cell_count(), 0);
+        assert_eq!(s.constraint_evals, 0, "no evaluation before the check");
+        assert_eq!(s.filter_cells, 0);
     }
 
     #[test]

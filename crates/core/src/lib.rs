@@ -18,7 +18,9 @@
 //!   rows into one contiguous candidate vector — so cell lookup is O(1)
 //!   with no hashing, and dense cells carry bitset mirrors that the DFS
 //!   intersects word-by-word into per-depth reusable scratch masks
-//!   (zero allocation on the hot path). See [`filter`] for the layout and
+//!   (zero allocation on the hot path). Construction itself parallelizes
+//!   over query edges ([`FilterMatrix::build_par`]) with a
+//!   bitwise-identical result. See [`filter`] for the layout and
 //!   `benches/abl_filter_layout.rs` for the hashmap-vs-CSR ablation.
 //! * [`rwb`] — **Random Walk with Backtracking**: the same filters, but
 //!   candidates are tried in random order and the search stops at the first
@@ -29,7 +31,20 @@
 //!   most links into the covered set and checking connecting edges lazily.
 //! * [`parallel`] — a parallel ECF that fans the root level of the
 //!   permutation tree out over a thread pool (the paper's "distributed
-//!   implementation" direction, §VIII).
+//!   implementation" direction, §VIII), building the filter with the same
+//!   thread budget.
+//!
+//! ## Batching and scratch reuse
+//!
+//! Every search's mutable state (per-depth DFS frames, assignment array,
+//! used-node mask, LNS buffers) lives in a caller-held
+//! [`scratch::SearchScratch`], so services embedding thousands of queries
+//! allocate the arenas once. Each algorithm exposes `*_with_scratch`
+//! variants plus `*_prebuilt` entry points that additionally reuse one
+//! [`FilterMatrix`] across runs; [`Engine::run_prebuilt`] combines both,
+//! and the `service` crate's `submit_batch` is the end-to-end batch path.
+//! For the parallel search, [`scratch::ParallelScratch`] keeps one
+//! scratch per worker.
 //!
 //! ## Quick start
 //!
@@ -76,6 +91,7 @@ pub mod parallel;
 pub mod pathmap;
 pub mod problem;
 pub mod rwb;
+pub mod scratch;
 pub mod sink;
 pub mod stats;
 pub mod verify;
@@ -87,6 +103,7 @@ pub use mapping::Mapping;
 pub use order::NodeOrder;
 pub use outcome::Outcome;
 pub use problem::{Problem, ProblemError};
+pub use scratch::{EmbedScratch, ParallelScratch, SearchScratch};
 pub use sink::{CollectAll, CollectUpTo, CountOnly, SinkControl, SolutionSink};
 pub use stats::SearchStats;
 pub use verify::{check_mapping, VerifyError};

@@ -20,10 +20,10 @@ use crate::deadline::Deadline;
 use crate::ecf::SearchEnd;
 use crate::mapping::Mapping;
 use crate::problem::{Problem, ProblemError};
+use crate::scratch::SearchScratch;
 use crate::sink::{SinkControl, SolutionSink};
 use crate::stats::SearchStats;
-use netgraph::{NodeBitSet, NodeId};
-use rustc_hash::FxHashMap;
+use netgraph::NodeId;
 
 /// LNS tuning knobs (all default to the paper's heuristics).
 #[derive(Debug, Clone, Copy)]
@@ -56,11 +56,35 @@ pub fn search(
     sink: &mut dyn SolutionSink,
     stats: &mut SearchStats,
 ) -> Result<SearchEnd, ProblemError> {
+    search_with_scratch(
+        problem,
+        config,
+        deadline,
+        sink,
+        stats,
+        &mut SearchScratch::new(),
+    )
+}
+
+/// [`search`] with a caller-held [`SearchScratch`]: the per-depth
+/// candidate buffers, anchor list, dedup mask and memo-cache capacity are
+/// reused across searches (the memo *contents* are cleared — they are
+/// problem-specific).
+pub fn search_with_scratch(
+    problem: &Problem<'_>,
+    config: &LnsConfig,
+    deadline: &mut Deadline,
+    sink: &mut dyn SolutionSink,
+    stats: &mut SearchStats,
+    scratch: &mut SearchScratch,
+) -> Result<SearchEnd, ProblemError> {
     let start = std::time::Instant::now();
-    let mut state = LnsState::new(problem, config);
+    scratch.ensure(problem.nq(), problem.nr());
+    let mut state = LnsState::new(problem, config, scratch);
     let end = state.extend(deadline, sink, stats)?;
     stats.timed_out |= end == SearchEnd::Timeout;
     stats.elapsed = start.elapsed();
+    stats.cpu_time = stats.elapsed;
     Ok(end)
 }
 
@@ -68,45 +92,23 @@ pub fn search(
 const MEMO_FAIL: u8 = 0;
 const MEMO_OK: u8 = 1;
 
-struct LnsState<'p, 'a> {
+/// The search state. Every buffer lives in the borrowed
+/// [`SearchScratch`] (`assign`, `used`, and the `lns_*` fields), already
+/// sized and reset by `ensure`; only the recursion depth is local.
+struct LnsState<'p, 'a, 's> {
     problem: &'p Problem<'a>,
     config: LnsConfig,
-    /// assignment (u32::MAX = unassigned).
-    assign: Vec<NodeId>,
-    /// Number of covered neighbors per query node (0 ⇒ external or covered).
-    covered_links: Vec<u32>,
-    covered: Vec<bool>,
-    used: NodeBitSet,
+    scr: &'s mut SearchScratch,
     depth: usize,
-    /// (v_edge, r_src, r_dst) → MEMO_OK / MEMO_FAIL. `r_src` is the host
-    /// node assigned to the query edge's stored source endpoint.
-    memo: FxHashMap<(u32, u32, u32), u8>,
-    /// Reusable per-depth candidate buffers: recursion at depth `d` takes
-    /// buffer `d`, fills it, iterates it, and puts it back — no
-    /// allocation after each depth's first visit.
-    cand_bufs: Vec<Vec<NodeId>>,
-    /// Reusable anchor list for [`LnsState::fill_candidates`] (taken and
-    /// restored around the call to sidestep field borrows).
-    anchors: Vec<(NodeId, NodeId)>,
-    /// Reusable dedup mask for the anchor-adjacency scan.
-    seen: NodeBitSet,
 }
 
-impl<'p, 'a> LnsState<'p, 'a> {
-    fn new(problem: &'p Problem<'a>, config: &LnsConfig) -> Self {
-        let nq = problem.nq();
+impl<'p, 'a, 's> LnsState<'p, 'a, 's> {
+    fn new(problem: &'p Problem<'a>, config: &LnsConfig, scratch: &'s mut SearchScratch) -> Self {
         LnsState {
             problem,
             config: *config,
-            assign: vec![NodeId(u32::MAX); nq],
-            covered_links: vec![0; nq],
-            covered: vec![false; nq],
-            used: NodeBitSet::new(problem.nr()),
+            scr: scratch,
             depth: 0,
-            memo: FxHashMap::default(),
-            cand_bufs: (0..nq).map(|_| Vec::new()).collect(),
-            anchors: Vec::new(),
-            seen: NodeBitSet::new(problem.nr()),
         }
     }
 
@@ -120,10 +122,10 @@ impl<'p, 'a> LnsState<'p, 'a> {
         let mut best_links = 0u32;
         let mut best_deg = 0usize;
         for v in q.node_ids() {
-            if self.covered[v.index()] {
+            if self.scr.lns_covered[v.index()] {
                 continue;
             }
-            let links = self.covered_links[v.index()];
+            let links = self.scr.lns_covered_links[v.index()];
             let deg = q.total_degree(v);
             let replace = match best {
                 None => true,
@@ -148,7 +150,7 @@ impl<'p, 'a> LnsState<'p, 'a> {
         if best_links == 0 && self.config.max_degree_seed {
             chosen = q
                 .node_ids()
-                .filter(|v| !self.covered[v.index()])
+                .filter(|v| !self.scr.lns_covered[v.index()])
                 .max_by_key(|&v| (q.total_degree(v), std::cmp::Reverse(v)))
                 .expect("uncovered node");
         }
@@ -196,14 +198,15 @@ impl<'p, 'a> LnsState<'p, 'a> {
         stats: &mut SearchStats,
     ) -> Result<bool, ProblemError> {
         if self.config.memo_cache {
-            if let Some(&m) = self.memo.get(&(qe, rs.0, rd.0)) {
+            if let Some(&m) = self.scr.lns_memo.get(&(qe, rs.0, rd.0)) {
                 return Ok(m == MEMO_OK);
             }
         }
         stats.constraint_evals += 1;
         let ok = self.problem.pair_ok(netgraph::EdgeId(qe), qs, qd, rs, rd)?;
         if self.config.memo_cache {
-            self.memo
+            self.scr
+                .lns_memo
                 .insert((qe, rs.0, rd.0), if ok { MEMO_OK } else { MEMO_FAIL });
         }
         Ok(ok)
@@ -225,11 +228,11 @@ impl<'p, 'a> LnsState<'p, 'a> {
         // Covered neighbors of vn with their host images. The buffer is
         // taken out of `self` (and restored before returning) because the
         // loop below needs `&mut self` for the memoized edge checks.
-        let mut anchors = std::mem::take(&mut self.anchors);
+        let mut anchors = std::mem::take(&mut self.scr.lns_anchors);
         anchors.clear();
         for &(nb, _) in q.neighbors(vn).iter().chain(q.in_neighbors(vn)) {
-            if self.covered[nb.index()] {
-                let pair = (nb, self.assign[nb.index()]);
+            if self.scr.lns_covered[nb.index()] {
+                let pair = (nb, self.scr.assign[nb.index()]);
                 if !anchors.contains(&pair) {
                     anchors.push(pair);
                 }
@@ -246,7 +249,7 @@ impl<'p, 'a> LnsState<'p, 'a> {
         if anchors.is_empty() {
             // New component / isolated node: scan all unused host nodes.
             for r in r_net.node_ids() {
-                if self.used.contains(r) || !degree_ok(r) {
+                if self.scr.used.contains(r) || !degree_ok(r) {
                     continue;
                 }
                 stats.constraint_evals += 1;
@@ -254,7 +257,7 @@ impl<'p, 'a> LnsState<'p, 'a> {
                     out.push(r);
                 }
             }
-            self.anchors = anchors;
+            self.scr.lns_anchors = anchors;
             return Ok(());
         }
 
@@ -272,14 +275,14 @@ impl<'p, 'a> LnsState<'p, 'a> {
             }
         }
 
-        self.seen.clear();
+        self.scr.lns_seen.clear();
         let neighbor_lists = [r_net.neighbors(base_rc), r_net.in_neighbors(base_rc)];
         for list in neighbor_lists {
             for &(r, _) in list {
-                if self.used.contains(r) || self.seen.contains(r) || !degree_ok(r) {
+                if self.scr.used.contains(r) || self.scr.lns_seen.contains(r) || !degree_ok(r) {
                     continue;
                 }
-                self.seen.insert(r);
+                self.scr.lns_seen.insert(r);
                 stats.constraint_evals += 1;
                 if !self.problem.node_ok(vn, r)? {
                     continue;
@@ -296,7 +299,7 @@ impl<'p, 'a> LnsState<'p, 'a> {
                 }
             }
         }
-        self.anchors = anchors;
+        self.scr.lns_anchors = anchors;
         Ok(())
     }
 
@@ -312,7 +315,7 @@ impl<'p, 'a> LnsState<'p, 'a> {
         }
         if self.depth == self.problem.nq() {
             stats.solutions += 1;
-            let mapping = Mapping::new(self.assign.clone());
+            let mapping = Mapping::new(self.scr.assign.clone());
             return Ok(match sink.report(&mapping) {
                 SinkControl::Stop => SearchEnd::SinkStop,
                 SinkControl::Continue => SearchEnd::Exhausted,
@@ -322,7 +325,7 @@ impl<'p, 'a> LnsState<'p, 'a> {
         // Take this depth's reusable buffer for the duration of the
         // candidate iteration (recursion uses the deeper buffers).
         let here = self.depth;
-        let mut candidates = std::mem::take(&mut self.cand_bufs[here]);
+        let mut candidates = std::mem::take(&mut self.scr.lns_cand_bufs[here]);
         let result = (|| -> Result<SearchEnd, ProblemError> {
             self.fill_candidates(vn, &mut candidates, stats)?;
             if candidates.is_empty() {
@@ -342,29 +345,29 @@ impl<'p, 'a> LnsState<'p, 'a> {
             Ok(SearchEnd::Exhausted)
         })();
         candidates.clear();
-        self.cand_bufs[here] = candidates;
+        self.scr.lns_cand_bufs[here] = candidates;
         result
     }
 
     fn cover(&mut self, v: NodeId, r: NodeId) {
-        self.covered[v.index()] = true;
-        self.assign[v.index()] = r;
-        self.used.insert(r);
+        self.scr.lns_covered[v.index()] = true;
+        self.scr.assign[v.index()] = r;
+        self.scr.used.insert(r);
         self.depth += 1;
         let q = self.problem.query;
         for &(nb, _) in q.neighbors(v).iter().chain(q.in_neighbors(v)) {
-            self.covered_links[nb.index()] += 1;
+            self.scr.lns_covered_links[nb.index()] += 1;
         }
     }
 
     fn uncover(&mut self, v: NodeId, r: NodeId) {
-        self.covered[v.index()] = false;
-        self.assign[v.index()] = NodeId(u32::MAX);
-        self.used.remove(r);
+        self.scr.lns_covered[v.index()] = false;
+        self.scr.assign[v.index()] = NodeId(u32::MAX);
+        self.scr.used.remove(r);
         self.depth -= 1;
         let q = self.problem.query;
         for &(nb, _) in q.neighbors(v).iter().chain(q.in_neighbors(v)) {
-            self.covered_links[nb.index()] -= 1;
+            self.scr.lns_covered_links[nb.index()] -= 1;
         }
     }
 }

@@ -9,6 +9,23 @@
 //! matrix), so the decomposition is embarrassingly parallel; the only
 //! cross-worker coordination is the shared cancellation flag used for
 //! first-match mode and deadline expiry.
+//!
+//! The filter build itself is parallelized too
+//! ([`FilterMatrix::build_par`] — disjoint cell rows per query edge), so
+//! both stages use the thread budget.
+//!
+//! ## Deadline and stats discipline
+//!
+//! Workers run under a [`Deadline::scoped`] child of the caller's
+//! deadline: hitting the solution limit cancels *the pool's* deadline so
+//! all workers stop, without expiring the deadline the caller handed in
+//! (which may govern later phases). Workers that stop because of that
+//! cancellation report `Timeout` locally; the merge reclassifies the run
+//! as [`SearchEnd::SinkStop`] and clears `timed_out` — only a real clock
+//! expiry marks the merged stats as timed out. Merged `elapsed` is the
+//! caller-observed wall clock (`start.elapsed()`), never a sum of
+//! overlapping per-worker durations; those are summed separately into
+//! [`SearchStats::cpu_time`].
 
 use crate::deadline::Deadline;
 use crate::ecf::{root_candidates, run_dfs, SearchEnd};
@@ -16,6 +33,7 @@ use crate::filter::FilterMatrix;
 use crate::mapping::Mapping;
 use crate::order::{compute_order, predecessors, NodeOrder};
 use crate::problem::{Problem, ProblemError};
+use crate::scratch::ParallelScratch;
 use crate::sink::{SinkControl, SolutionSink};
 use crate::stats::SearchStats;
 use netgraph::NodeId;
@@ -35,28 +53,82 @@ pub fn search(
     deadline: &mut Deadline,
     stats: &mut SearchStats,
 ) -> Result<(Vec<Mapping>, SearchEnd), ProblemError> {
+    search_with_scratch(
+        problem,
+        threads,
+        limit,
+        order,
+        deadline,
+        stats,
+        &mut ParallelScratch::new(),
+    )
+}
+
+/// [`search`] with caller-held per-worker scratches: a long-lived caller
+/// (the service batch path) pays each worker's DFS-arena setup once.
+#[allow(clippy::too_many_arguments)]
+pub fn search_with_scratch(
+    problem: &Problem<'_>,
+    threads: usize,
+    limit: Option<usize>,
+    order: NodeOrder,
+    deadline: &mut Deadline,
+    stats: &mut SearchStats,
+    scratch: &mut ParallelScratch,
+) -> Result<(Vec<Mapping>, SearchEnd), ProblemError> {
     assert!(threads >= 1, "need at least one thread");
     let start = std::time::Instant::now();
-    let filter = FilterMatrix::build(problem, deadline, stats)?;
-    if filter.truncated() {
+    let filter = FilterMatrix::build_par(problem, threads, deadline, stats)?;
+    let (merged, end) = search_prebuilt(
+        problem, &filter, threads, limit, order, deadline, stats, scratch,
+    );
+    // Authoritative wall clock for the whole run (build + search).
+    stats.elapsed = start.elapsed();
+    Ok((merged, end))
+}
+
+/// The parallel second stage over an already constructed filter. Filter
+/// reuse across calls composes with scratch reuse: repeated parallel
+/// searches allocate nothing beyond their result vectors.
+#[allow(clippy::too_many_arguments)]
+pub fn search_prebuilt(
+    problem: &Problem<'_>,
+    filter: &FilterMatrix,
+    threads: usize,
+    limit: Option<usize>,
+    order: NodeOrder,
+    deadline: &mut Deadline,
+    stats: &mut SearchStats,
+    scratch: &mut ParallelScratch,
+) -> (Vec<Mapping>, SearchEnd) {
+    assert!(threads >= 1, "need at least one thread");
+    let start = std::time::Instant::now();
+    // Filter-phase counters are reported even when the build was cut
+    // short, so harness timeout rows stay comparable.
+    stats.filter_cells = filter.cell_count() as u64;
+    if filter.truncated() || deadline.check_now() {
         stats.timed_out = true;
         stats.elapsed = start.elapsed();
-        return Ok((Vec::new(), SearchEnd::Timeout));
+        return (Vec::new(), SearchEnd::Timeout);
     }
-    let node_order = compute_order(problem.query, &filter, order);
+    let node_order = compute_order(problem.query, filter, order);
     let preds = predecessors(problem.query, &node_order);
 
     // Root candidates (expression (1)).
-    let roots = root_candidates(problem, &filter, &node_order, &preds);
+    let roots = root_candidates(problem, filter, &node_order, &preds);
 
     if roots.is_empty() {
         stats.elapsed = start.elapsed();
-        return Ok((Vec::new(), SearchEnd::Exhausted));
+        return (Vec::new(), SearchEnd::Exhausted);
     }
 
     let workers = threads.min(roots.len());
     let found = AtomicU64::new(0);
     let limit_u64 = limit.map(|k| k as u64);
+
+    // The pool runs under a scoped child deadline: the solution-limit
+    // stop cancels only the pool, never the caller's deadline.
+    let pool_deadline = deadline.scoped();
 
     // A sink that collects locally and observes the global counter.
     struct WorkerSink<'s> {
@@ -87,19 +159,19 @@ pub fn search(
 
     let mut merged: Vec<Mapping> = Vec::new();
     let mut ends: Vec<SearchEnd> = Vec::new();
-    let shared_deadline = deadline.clone();
+    let scratches = scratch.for_workers(workers);
 
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
+        for (w, wscratch) in scratches.iter_mut().enumerate() {
             // Strided partition spreads "hot" root candidates evenly.
             let my_roots: Vec<NodeId> = roots.iter().copied().skip(w).step_by(workers).collect();
-            let filter = &filter;
             let node_order = &node_order;
             let preds = &preds;
             let found = &found;
-            let dl = shared_deadline.clone();
+            let dl = pool_deadline.clone();
             handles.push(scope.spawn(move |_| {
+                let wstart = std::time::Instant::now();
                 let mut sink = WorkerSink {
                     local: Vec::new(),
                     found,
@@ -118,7 +190,13 @@ pub fn search(
                     &mut my_stats,
                     None,
                     Some(&my_roots),
+                    wscratch,
                 );
+                // Per-worker accounting: a worker stopped by the shared
+                // cancellation honestly reports Timeout here; the merge
+                // below reclassifies limit-triggered stops.
+                my_stats.timed_out = end == SearchEnd::Timeout;
+                my_stats.cpu_time = wstart.elapsed();
                 (sink.local, end, my_stats)
             }));
         }
@@ -132,7 +210,7 @@ pub fn search(
     .expect("scope failure");
 
     // Aggregate ends. If the global limit was reached, workers observe a
-    // cancelled deadline and report Timeout — reclassify as SinkStop.
+    // cancelled pool deadline and report Timeout — reclassify as SinkStop.
     let limit_hit = limit_u64.is_some_and(|k| found.load(Ordering::Relaxed) >= k);
     let end = if limit_hit {
         SearchEnd::SinkStop
@@ -147,9 +225,13 @@ pub fn search(
         merged.truncate(k);
     }
     stats.solutions = merged.len() as u64;
+    // The limit (not the clock) stopped the search: the merged stats must
+    // not carry the workers' limit-induced `timed_out`.
     stats.timed_out = end == SearchEnd::Timeout;
+    // Wall clock as observed by this caller — never the worker sum
+    // (which lives in `cpu_time` via the merge).
     stats.elapsed = start.elapsed();
-    Ok((merged, end))
+    (merged, end)
 }
 
 #[cfg(test)]
@@ -209,6 +291,9 @@ mod tests {
         for m in &par {
             check_mapping(&p, m).unwrap();
         }
+        // Both runs evaluated the same filter: identical build counters.
+        assert_eq!(seq_stats.constraint_evals, par_stats.constraint_evals);
+        assert_eq!(seq_stats.filter_cells, par_stats.filter_cells);
     }
 
     #[test]
@@ -239,6 +324,177 @@ mod tests {
         for m in &sols {
             check_mapping(&p, m).unwrap();
         }
+    }
+
+    #[test]
+    fn limit_hit_clears_timed_out() {
+        // Regression: the limit stop cancels the pool deadline, making
+        // workers report Timeout; the merged stats must not claim the
+        // search timed out when the solution limit (not the clock)
+        // stopped it.
+        let h = grid_host(8);
+        let q = ring_query(3);
+        let p = Problem::new(&q, &h, "true").unwrap();
+        let mut stats = SearchStats::default();
+        let mut dl = Deadline::unlimited();
+        let (sols, end) =
+            search(&p, 4, Some(3), NodeOrder::default(), &mut dl, &mut stats).unwrap();
+        assert_eq!(end, SearchEnd::SinkStop);
+        assert_eq!(sols.len(), 3);
+        assert!(
+            !stats.timed_out,
+            "limit-stopped search must not report a timeout"
+        );
+    }
+
+    #[test]
+    fn limit_hit_does_not_cancel_caller_deadline() {
+        // Regression: the pool's limit-triggered cancel must stay scoped
+        // to the pool — the caller's deadline remains usable for later
+        // phases of the same request.
+        let h = grid_host(8);
+        let q = ring_query(3);
+        let p = Problem::new(&q, &h, "true").unwrap();
+        let mut stats = SearchStats::default();
+        let mut dl = Deadline::unlimited();
+        let (_, end) = search(&p, 4, Some(2), NodeOrder::default(), &mut dl, &mut stats).unwrap();
+        assert_eq!(end, SearchEnd::SinkStop);
+        assert!(!dl.was_expired());
+        assert!(
+            !dl.check_now(),
+            "limit cancel leaked into the caller's deadline"
+        );
+    }
+
+    #[test]
+    fn elapsed_is_wall_clock_not_worker_sum() {
+        // A multi-root problem with enough work that 4 workers each
+        // accumulate measurable time: merged `elapsed` must stay within
+        // the caller-observed wall clock (summing per-worker durations
+        // would exceed it), while `cpu_time` carries the worker sum.
+        let h = grid_host(9);
+        let q = ring_query(4);
+        let p = Problem::new(&q, &h, "true").unwrap();
+        let outer = std::time::Instant::now();
+        let mut stats = SearchStats::default();
+        let mut dl = Deadline::unlimited();
+        let (sols, end) = search(&p, 4, None, NodeOrder::default(), &mut dl, &mut stats).unwrap();
+        let wall = outer.elapsed();
+        assert_eq!(end, SearchEnd::Exhausted);
+        assert!(!sols.is_empty());
+        assert!(
+            stats.elapsed <= wall,
+            "merged elapsed {:?} exceeds caller wall clock {:?}",
+            stats.elapsed,
+            wall
+        );
+        assert!(stats.cpu_time > std::time::Duration::ZERO);
+
+        // And the parallel wall clock stays in the same ballpark as one
+        // sequential run (a merge that summed worker durations would
+        // multiply it by the worker count; allow generous slack for
+        // thread spawn overhead on loaded machines).
+        let mut seq_sink = CollectAll::default();
+        let mut seq_stats = SearchStats::default();
+        let mut seq_dl = Deadline::unlimited();
+        ecf::search(
+            &p,
+            NodeOrder::default(),
+            &mut seq_dl,
+            &mut seq_sink,
+            &mut seq_stats,
+        )
+        .unwrap();
+        let bound = seq_stats.elapsed * 8 + std::time::Duration::from_millis(250);
+        assert!(
+            stats.elapsed <= bound,
+            "parallel elapsed {:?} not within ~sequential {:?}",
+            stats.elapsed,
+            seq_stats.elapsed
+        );
+    }
+
+    #[test]
+    fn truncated_build_populates_filter_counters() {
+        // A pre-expired deadline truncates the build before any scan
+        // work; the stats must still carry the filter-phase counters
+        // (here: zero cells, but *set*, plus the timeout flags) so
+        // harness timeout rows stay comparable.
+        let h = grid_host(6);
+        let q = ring_query(3);
+        let p = Problem::new(&q, &h, "true").unwrap();
+        let mut stats = SearchStats {
+            filter_cells: 999, // stale value from a previous run
+            ..SearchStats::default()
+        };
+        let mut dl = Deadline::new(Some(std::time::Duration::ZERO));
+        dl.check_now();
+        let (sols, end) = search(&p, 4, None, NodeOrder::default(), &mut dl, &mut stats).unwrap();
+        assert!(sols.is_empty());
+        assert_eq!(end, SearchEnd::Timeout);
+        assert!(stats.timed_out);
+        assert_eq!(stats.filter_cells, 0, "truncated build must reset cells");
+        assert_eq!(stats.solutions, 0);
+    }
+
+    #[test]
+    fn prebuilt_truncated_filter_reports_timeout_with_counters() {
+        let h = grid_host(6);
+        let q = ring_query(3);
+        let p = Problem::new(&q, &h, "true").unwrap();
+        let mut bstats = SearchStats::default();
+        let mut bdl = Deadline::new(Some(std::time::Duration::ZERO));
+        bdl.check_now();
+        let filter = FilterMatrix::build(&p, &mut bdl, &mut bstats).unwrap();
+        assert!(filter.truncated());
+
+        let mut stats = SearchStats::default();
+        let mut dl = Deadline::unlimited();
+        let mut scratch = ParallelScratch::new();
+        let (sols, end) = search_prebuilt(
+            &p,
+            &filter,
+            4,
+            None,
+            NodeOrder::default(),
+            &mut dl,
+            &mut stats,
+            &mut scratch,
+        );
+        assert!(sols.is_empty());
+        assert_eq!(end, SearchEnd::Timeout);
+        assert!(stats.timed_out);
+        assert_eq!(stats.filter_cells, filter.cell_count() as u64);
+    }
+
+    #[test]
+    fn scratch_reuse_across_calls_matches_fresh() {
+        let h = grid_host(7);
+        let q = ring_query(3);
+        let p = Problem::new(&q, &h, "rEdge.d <= 40.0").unwrap();
+        let mut scratch = ParallelScratch::new();
+        let run = |scratch: &mut ParallelScratch| {
+            let mut stats = SearchStats::default();
+            let mut dl = Deadline::unlimited();
+            let (mut sols, end) = search_with_scratch(
+                &p,
+                3,
+                None,
+                NodeOrder::default(),
+                &mut dl,
+                &mut stats,
+                scratch,
+            )
+            .unwrap();
+            assert_eq!(end, SearchEnd::Exhausted);
+            sols.sort_by_key(|m| m.as_slice().to_vec());
+            sols
+        };
+        let first = run(&mut scratch);
+        let second = run(&mut scratch);
+        let third = run(&mut scratch);
+        assert_eq!(first, second);
+        assert_eq!(second, third);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::filter::FilterMatrix;
 use crate::mapping::Mapping;
 use crate::order::{compute_order, predecessors, NodeOrder};
 use crate::problem::{Problem, ProblemError};
+use crate::scratch::SearchScratch;
 use crate::sink::{CollectUpTo, SolutionSink};
 use crate::stats::SearchStats;
 use rand::rngs::StdRng;
@@ -44,19 +45,69 @@ pub fn search_into(
     sink: &mut dyn SolutionSink,
     stats: &mut SearchStats,
 ) -> Result<SearchEnd, ProblemError> {
+    search_into_with_scratch(
+        problem,
+        seed,
+        order,
+        deadline,
+        sink,
+        stats,
+        &mut SearchScratch::new(),
+    )
+}
+
+/// [`search_into`] with a caller-held [`SearchScratch`] — the natural
+/// shape for batch callers sampling many random embeddings (one filter
+/// build via [`search_prebuilt`], one scratch, thousands of walks).
+#[allow(clippy::too_many_arguments)]
+pub fn search_into_with_scratch(
+    problem: &Problem<'_>,
+    seed: u64,
+    order: NodeOrder,
+    deadline: &mut Deadline,
+    sink: &mut dyn SolutionSink,
+    stats: &mut SearchStats,
+    scratch: &mut SearchScratch,
+) -> Result<SearchEnd, ProblemError> {
     let start = std::time::Instant::now();
     let filter = FilterMatrix::build(problem, deadline, stats)?;
-    if filter.truncated() {
+    let end = search_prebuilt(
+        problem, &filter, seed, order, deadline, sink, stats, scratch,
+    );
+    stats.elapsed = start.elapsed();
+    stats.cpu_time = stats.elapsed;
+    Ok(end)
+}
+
+/// The random walk over an already constructed filter: different seeds
+/// (or sinks, or deadlines) can reuse one build. Mirrors
+/// `ecf::search_prebuilt_with_scratch`, including the truncated-filter
+/// and phase-boundary deadline handling.
+#[allow(clippy::too_many_arguments)]
+pub fn search_prebuilt(
+    problem: &Problem<'_>,
+    filter: &FilterMatrix,
+    seed: u64,
+    order: NodeOrder,
+    deadline: &mut Deadline,
+    sink: &mut dyn SolutionSink,
+    stats: &mut SearchStats,
+    scratch: &mut SearchScratch,
+) -> SearchEnd {
+    let start = std::time::Instant::now();
+    stats.filter_cells = filter.cell_count() as u64;
+    if filter.truncated() || deadline.check_now() {
         stats.timed_out = true;
         stats.elapsed = start.elapsed();
-        return Ok(SearchEnd::Timeout);
+        stats.cpu_time = stats.elapsed;
+        return SearchEnd::Timeout;
     }
-    let node_order = compute_order(problem.query, &filter, order);
+    let node_order = compute_order(problem.query, filter, order);
     let preds = predecessors(problem.query, &node_order);
     let mut rng = StdRng::seed_from_u64(seed);
     let end = run_dfs(
         problem,
-        &filter,
+        filter,
         &node_order,
         &preds,
         deadline,
@@ -64,10 +115,12 @@ pub fn search_into(
         stats,
         Some(&mut rng),
         None,
+        scratch,
     );
     stats.timed_out |= end == SearchEnd::Timeout;
     stats.elapsed = start.elapsed();
-    Ok(end)
+    stats.cpu_time = stats.elapsed;
+    end
 }
 
 #[cfg(test)]

@@ -1,0 +1,191 @@
+//! Caller-held, reusable search scratch.
+//!
+//! `ecf::run_dfs` needs one [`Frame`](crate::ecf) per depth (candidate
+//! `Vec` plus two bitset masks), an assignment array and a used-host-node
+//! bitset; LNS needs per-depth candidate buffers, an anchor list, a dedup
+//! mask and its memo cache. All of that is *setup*, not search: for tight
+//! queries over big hosts the fixed allocation dominates the
+//! (microsecond-scale) search itself. A [`SearchScratch`] owns the whole
+//! arena and is re-validated (and, where semantically required, cleared)
+//! by `SearchScratch::ensure` at the start of every search, so a caller
+//! embedding thousands of queries — the service layer's batch path —
+//! allocates once and reuses the high-water-mark buffers forever after.
+//!
+//! [`ParallelScratch`] is the same idea for `parallel::search`: one
+//! [`SearchScratch`] per worker thread, grown on demand.
+
+use crate::ecf::Frame;
+use netgraph::{NodeBitSet, NodeId};
+use rustc_hash::FxHashMap;
+
+/// Reusable buffers for one sequential search (ECF, RWB, or LNS).
+///
+/// Create once with [`SearchScratch::new`], then pass to the
+/// `*_with_scratch` entry points (`ecf::search_with_scratch`,
+/// `ecf::search_prebuilt_with_scratch`, `rwb::search_prebuilt`,
+/// `lns::search_with_scratch`, or `Engine::run_with_scratch`). The scratch
+/// adapts itself to each problem's dimensions; nothing about a previous
+/// search leaks into the next one (the LNS memo cache is cleared, masks
+/// and assignments reset), only the allocations survive.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    /// Per-depth DFS frames (candidate vec + intersection/staging masks).
+    pub(crate) frames: Vec<Frame>,
+    /// Query-node → host-node assignment (u32::MAX = unassigned).
+    pub(crate) assign: Vec<NodeId>,
+    /// Host nodes currently used by the partial mapping.
+    pub(crate) used: NodeBitSet,
+    /// LNS: per-depth candidate buffers.
+    pub(crate) lns_cand_bufs: Vec<Vec<NodeId>>,
+    /// LNS: covered-anchor list, taken/restored around candidate fills.
+    pub(crate) lns_anchors: Vec<(NodeId, NodeId)>,
+    /// LNS: dedup mask for the anchor-adjacency scan.
+    pub(crate) lns_seen: NodeBitSet,
+    /// LNS: memo cache `(query edge, host src, host dst)` → ok/fail.
+    /// Cleared per search (it is problem-specific); the map's capacity is
+    /// what gets amortized.
+    pub(crate) lns_memo: FxHashMap<(u32, u32, u32), u8>,
+    /// LNS: covered flags per query node.
+    pub(crate) lns_covered: Vec<bool>,
+    /// LNS: covered-neighbor counts per query node.
+    pub(crate) lns_covered_links: Vec<u32>,
+    /// Host capacity the bitsets were last sized for.
+    nr: usize,
+}
+
+impl SearchScratch {
+    /// An empty scratch; buffers grow lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size (or re-size) for a `(nq, nr)` problem and reset all transient
+    /// state. Called by every search entry point before the first descent;
+    /// idempotent and cheap when the dimensions are unchanged (no
+    /// allocation, just clears).
+    pub(crate) fn ensure(&mut self, nq: usize, nr: usize) {
+        if self.nr != nr {
+            self.nr = nr;
+            self.used = NodeBitSet::new(nr);
+            self.lns_seen = NodeBitSet::new(nr);
+            for f in &mut self.frames {
+                f.resize_masks(nr);
+            }
+        } else {
+            self.used.clear();
+        }
+        if self.frames.len() < nq {
+            self.frames.resize_with(nq, || Frame::new(nr));
+        }
+        // `assign` is cloned into `Mapping`s at every leaf, so it must be
+        // exactly `nq` long (resize both ways; capacity is retained).
+        self.assign.resize(nq, NodeId(u32::MAX));
+        for a in &mut self.assign {
+            *a = NodeId(u32::MAX);
+        }
+        if self.lns_cand_bufs.len() < nq {
+            self.lns_cand_bufs.resize_with(nq, Vec::new);
+        }
+        if self.lns_covered.len() < nq {
+            self.lns_covered.resize(nq, false);
+        }
+        if self.lns_covered_links.len() < nq {
+            self.lns_covered_links.resize(nq, 0);
+        }
+        for c in &mut self.lns_covered[..nq] {
+            *c = false;
+        }
+        for l in &mut self.lns_covered_links[..nq] {
+            *l = 0;
+        }
+        self.lns_anchors.clear();
+        self.lns_memo.clear();
+    }
+}
+
+/// Per-worker scratches for `parallel::search`: worker `w` reuses
+/// `self.workers[w]` across calls, so a long-lived caller pays the
+/// per-depth arena setup once per worker instead of once per request.
+#[derive(Debug, Default)]
+pub struct ParallelScratch {
+    workers: Vec<SearchScratch>,
+}
+
+impl ParallelScratch {
+    /// An empty scratch pool; worker scratches grow on demand.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mutable slice of at least `n` worker scratches.
+    pub(crate) fn for_workers(&mut self, n: usize) -> &mut [SearchScratch] {
+        if self.workers.len() < n {
+            self.workers.resize_with(n, SearchScratch::new);
+        }
+        &mut self.workers[..n]
+    }
+}
+
+/// Scratch bundle for [`Engine`](crate::Engine): one sequential scratch
+/// (ECF/RWB/LNS) plus a per-worker pool for the parallel algorithm, so a
+/// single bundle serves any sequence of engine runs.
+#[derive(Debug, Default)]
+pub struct EmbedScratch {
+    /// Sequential search scratch.
+    pub search: SearchScratch,
+    /// Per-worker scratches for [`Algorithm::ParallelEcf`](crate::Algorithm).
+    pub parallel: ParallelScratch,
+}
+
+impl EmbedScratch {
+    /// An empty bundle; everything grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_grows_and_resets() {
+        let mut s = SearchScratch::new();
+        s.ensure(3, 100);
+        assert_eq!(s.frames.len(), 3);
+        assert_eq!(s.assign.len(), 3);
+        assert_eq!(s.used.capacity(), 100);
+        // Dirty the transient state, then ensure with the same dims.
+        s.assign[1] = NodeId(7);
+        s.used.insert(NodeId(9));
+        s.lns_memo.insert((0, 0, 0), 1);
+        s.lns_covered[0] = true;
+        s.lns_covered_links[2] = 4;
+        s.ensure(3, 100);
+        assert_eq!(s.assign[1], NodeId(u32::MAX));
+        assert!(s.used.is_empty());
+        assert!(s.lns_memo.is_empty());
+        assert!(!s.lns_covered[0]);
+        assert_eq!(s.lns_covered_links[2], 0);
+    }
+
+    #[test]
+    fn ensure_resizes_bitsets_on_new_host() {
+        let mut s = SearchScratch::new();
+        s.ensure(2, 10);
+        s.ensure(4, 500);
+        assert_eq!(s.used.capacity(), 500);
+        assert_eq!(s.frames.len(), 4);
+        for f in &s.frames {
+            assert_eq!(f.mask_capacity(), 500);
+        }
+    }
+
+    #[test]
+    fn parallel_scratch_grows_on_demand() {
+        let mut p = ParallelScratch::new();
+        assert_eq!(p.for_workers(3).len(), 3);
+        assert_eq!(p.for_workers(2).len(), 2);
+        assert_eq!(p.for_workers(5).len(), 5);
+    }
+}

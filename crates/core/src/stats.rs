@@ -20,7 +20,17 @@ pub struct SearchStats {
     /// Filter cells materialized (0 for LNS — that is its point).
     pub filter_cells: u64,
     /// Wall-clock time of the whole run (filter construction + search).
+    ///
+    /// This is always the *caller-observed* duration: the parallel search
+    /// sets it from its own `start.elapsed()` after joining the workers,
+    /// never by accumulating per-worker durations (those go to
+    /// [`SearchStats::cpu_time`]).
     pub elapsed: Duration,
+    /// Aggregate time spent inside search workers. For a sequential run
+    /// this equals [`SearchStats::elapsed`]; for a parallel run it is the
+    /// *sum* of the workers' individual search durations and can exceed
+    /// `elapsed` by up to the worker count.
+    pub cpu_time: Duration,
     /// True when the deadline expired before the search space was
     /// exhausted.
     pub timed_out: bool,
@@ -28,6 +38,13 @@ pub struct SearchStats {
 
 impl SearchStats {
     /// Merge counters from a worker (parallel search).
+    ///
+    /// Work counters sum; `filter_cells` takes the max (workers share one
+    /// filter); `cpu_time` sums (it is per-worker search time by
+    /// definition). `elapsed` is deliberately **not** summed — per-worker
+    /// durations overlap in wall time, so the merged value keeps the max
+    /// as a lower bound and the parallel driver overwrites it with the
+    /// authoritative caller-side `start.elapsed()` afterwards.
     pub fn merge(&mut self, other: &SearchStats) {
         self.nodes_visited += other.nodes_visited;
         self.constraint_evals += other.constraint_evals;
@@ -35,6 +52,7 @@ impl SearchStats {
         self.solutions += other.solutions;
         self.filter_cells = self.filter_cells.max(other.filter_cells);
         self.elapsed = self.elapsed.max(other.elapsed);
+        self.cpu_time += other.cpu_time;
         self.timed_out |= other.timed_out;
     }
 }
@@ -52,6 +70,7 @@ mod tests {
             solutions: 1,
             filter_cells: 50,
             elapsed: Duration::from_millis(20),
+            cpu_time: Duration::from_millis(20),
             timed_out: false,
         };
         let b = SearchStats {
@@ -61,6 +80,7 @@ mod tests {
             solutions: 0,
             filter_cells: 60,
             elapsed: Duration::from_millis(35),
+            cpu_time: Duration::from_millis(35),
             timed_out: true,
         };
         a.merge(&b);
@@ -70,6 +90,24 @@ mod tests {
         assert_eq!(a.solutions, 1);
         assert_eq!(a.filter_cells, 60); // max, filters are shared
         assert_eq!(a.elapsed, Duration::from_millis(35)); // max, wall-clock
+        assert_eq!(a.cpu_time, Duration::from_millis(55)); // sum, cpu-time
         assert!(a.timed_out);
+    }
+
+    #[test]
+    fn merge_never_sums_elapsed() {
+        // Regression: merging N workers each reporting `elapsed = t` must
+        // not produce `N * t` — overlapping wall time is not additive.
+        let worker = SearchStats {
+            elapsed: Duration::from_millis(10),
+            cpu_time: Duration::from_millis(10),
+            ..SearchStats::default()
+        };
+        let mut merged = SearchStats::default();
+        for _ in 0..4 {
+            merged.merge(&worker);
+        }
+        assert_eq!(merged.elapsed, Duration::from_millis(10));
+        assert_eq!(merged.cpu_time, Duration::from_millis(40));
     }
 }

@@ -3,6 +3,13 @@
 //! must agree cell-for-cell on random problems, and the allocation-free
 //! DFS over the CSR filter must enumerate exactly the solution set of the
 //! reference search — the two layouts are interchangeable up to speed.
+//!
+//! The parallel build (`FilterMatrix::build_par`) is additionally proven
+//! *bitwise-identical* to the sequential build on random problems and
+//! thread counts: `FilterMatrix`'s `PartialEq` compares the raw CSR
+//! storage (pair slots, offset rows, candidate arena, bitset mirrors,
+//! base sets), so equality means the layouts match word for word, and a
+//! search over either filter takes exactly the same path.
 
 use netembed::filter::reference::{self, HashFilterMatrix};
 use netembed::order::{compute_order, predecessors};
@@ -115,6 +122,22 @@ fn check_case(
     prop_assert_eq!(s_csr.constraint_evals, s_ref.constraint_evals);
     prop_assert_eq!(s_csr.filter_cells, s_ref.filter_cells);
     assert_filters_equal(&query, &host, &csr, &href)?;
+
+    // The parallel build must reproduce the sequential CSR layout
+    // *bitwise* (PartialEq compares the raw arena storage), along with
+    // the eval accounting, at every thread count.
+    for threads in [2usize, 3, 4] {
+        let mut dl_par = Deadline::unlimited();
+        let mut s_par = SearchStats::default();
+        let par = FilterMatrix::build_par(&problem, threads, &mut dl_par, &mut s_par).unwrap();
+        prop_assert!(
+            par == csr,
+            "parallel build diverges from sequential at {} threads",
+            threads
+        );
+        prop_assert_eq!(s_par.constraint_evals, s_csr.constraint_evals);
+        prop_assert_eq!(s_par.filter_cells, s_csr.filter_cells);
+    }
 
     // Identical ECF solution sets, traversing in the same Lemma-1 order.
     let order = compute_order(&query, &csr, NodeOrder::AscendingCandidates);

@@ -15,6 +15,14 @@ pub struct NodeBitSet {
     capacity: usize,
 }
 
+impl Default for NodeBitSet {
+    /// A zero-capacity set (useful as a placeholder in reusable scratch
+    /// structs that are sized lazily).
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
 impl NodeBitSet {
     /// Empty set able to hold ids `0..capacity`.
     pub fn new(capacity: usize) -> Self {

@@ -30,7 +30,10 @@ pub use registry::ModelRegistry;
 pub use reservation::{Reservation, ReservationError, ReservationManager};
 pub use schedule::{Allocation, ScheduleError, ScheduledEmbedding, Scheduler, Tick};
 
-use netembed::{Engine, Mapping, Options, Outcome, ProblemError, SearchStats};
+use netembed::{
+    Algorithm, Deadline, EmbedScratch, Engine, FilterMatrix, Mapping, Options, Outcome,
+    ProblemError, SearchStats,
+};
 use netgraph::Network;
 use std::fmt;
 use std::sync::Arc;
@@ -46,6 +49,24 @@ pub struct QueryRequest {
     pub constraint: String,
     /// Engine options (algorithm, mode, timeout, …).
     pub options: Options,
+}
+
+/// A batch of embedding runs over one `(host, query, constraint)` triple
+/// — e.g. thousands of RWB samples with different seeds, or one query
+/// swept across modes/orders/thread counts. The service builds the
+/// problem and the constraint filter **once** and reuses one
+/// [`EmbedScratch`] across every run, so per-run overhead collapses to
+/// the search itself (see [`NetEmbedService::submit_batch`]).
+#[derive(Debug, Clone)]
+pub struct BatchQueryRequest {
+    /// Name of the hosting-network model to embed into.
+    pub host: String,
+    /// The query (virtual) network, shared by every run.
+    pub query: Network,
+    /// Constraint expression source, shared by every run.
+    pub constraint: String,
+    /// One engine-options set per run.
+    pub runs: Vec<Options>,
 }
 
 /// A service response: the §VII-E-classified outcome plus statistics.
@@ -160,6 +181,97 @@ impl NetEmbedService {
             stats: result.stats,
         })
     }
+
+    /// Submit a batch of runs over one `(host, query, constraint)` triple
+    /// (§III component 2, amortized).
+    ///
+    /// The problem is compiled once. The first run that needs a filter
+    /// (any algorithm but LNS) builds it — parallelized when that run is
+    /// `ParallelEcf` — and every later run reuses it, along with one
+    /// [`EmbedScratch`], so a batch of thousands of embeds pays the
+    /// first-stage construction and the DFS arena setup once. The build
+    /// is charged to the run that triggered it, exactly as in
+    /// [`NetEmbedService::submit`]: it spends that run's timeout budget
+    /// (the search gets only the remainder) and its eval counters and
+    /// wall time land in that run's stats. If the build is cut short by
+    /// the deadline, the run reports `Inconclusive` and the truncated
+    /// filter is discarded; the next filter-needing run retries under
+    /// its own budget. Every returned mapping is independently
+    /// re-verified.
+    pub fn submit_batch(
+        &self,
+        request: &BatchQueryRequest,
+    ) -> Result<Vec<QueryResponse>, ServiceError> {
+        let host: Arc<Network> = self
+            .registry
+            .get(&request.host)
+            .ok_or_else(|| ServiceError::UnknownHost(request.host.clone()))?;
+        if let Ok(expr) = cexpr::parse(&request.constraint) {
+            cexpr::check_constraint(&expr).map_err(ServiceError::BadConstraint)?;
+        }
+        let problem = netembed::Problem::new(&request.query, &host, &request.constraint)?;
+
+        let mut scratch = EmbedScratch::new();
+        let mut filter: Option<FilterMatrix> = None;
+        let mut responses = Vec::with_capacity(request.runs.len());
+        for options in &request.runs {
+            let result = if matches!(options.algorithm, Algorithm::Lns) {
+                // LNS keeps no filter state; it only shares the scratch.
+                Engine::run_with_scratch(&problem, options, &mut scratch)?
+            } else {
+                // Build on demand, charging the triggering run.
+                let mut build_charge: Option<(SearchStats, std::time::Duration)> = None;
+                if filter.is_none() {
+                    let build_start = std::time::Instant::now();
+                    let mut deadline = Deadline::new(options.timeout);
+                    let mut build_stats = SearchStats::default();
+                    let threads = match options.algorithm {
+                        Algorithm::ParallelEcf { threads } => threads,
+                        _ => 1,
+                    };
+                    let built = FilterMatrix::build_par(
+                        &problem,
+                        threads,
+                        &mut deadline,
+                        &mut build_stats,
+                    )?;
+                    filter = Some(built);
+                    build_charge = Some((build_stats, build_start.elapsed()));
+                }
+                let built = filter.as_ref().expect("filter built above");
+                // The builder's search runs on whatever budget the build
+                // left over; reusers get their full timeout (they paid
+                // nothing).
+                let run_options = match &build_charge {
+                    Some((_, spent)) => Options {
+                        timeout: options.timeout.map(|t| t.saturating_sub(*spent)),
+                        ..options.clone()
+                    },
+                    None => options.clone(),
+                };
+                let mut result = Engine::run_prebuilt(&problem, built, &run_options, &mut scratch)?;
+                if let Some((build_stats, spent)) = build_charge {
+                    result.stats.constraint_evals += build_stats.constraint_evals;
+                    result.stats.elapsed += spent;
+                    result.stats.cpu_time += spent;
+                }
+                if built.truncated() {
+                    // Don't poison later runs (which may have a larger
+                    // budget) with a partial filter.
+                    filter = None;
+                }
+                result
+            };
+            for m in &result.mappings {
+                netembed::check_mapping(&problem, m).map_err(ServiceError::VerificationFailed)?;
+            }
+            responses.push(QueryResponse {
+                outcome: result.outcome,
+                stats: result.stats,
+            });
+        }
+        Ok(responses)
+    }
 }
 
 impl Default for NetEmbedService {
@@ -251,6 +363,100 @@ mod tests {
             svc.register_graphml("bad", "<graphml><nope/></graphml>"),
             Err(ServiceError::Graphml(_))
         ));
+    }
+
+    #[test]
+    fn batch_reuses_filter_across_runs() {
+        use netembed::{Algorithm, SearchMode};
+        let svc = NetEmbedService::new();
+        svc.registry().register("plab", triangle_host());
+        // Ten RWB samples with different seeds plus a parallel run and an
+        // LNS run: one filter build serves every filter-based run.
+        let mut runs: Vec<Options> = (0..10)
+            .map(|seed| Options {
+                algorithm: Algorithm::Rwb,
+                mode: SearchMode::First,
+                seed,
+                ..Options::default()
+            })
+            .collect();
+        runs.push(Options {
+            algorithm: Algorithm::ParallelEcf { threads: 2 },
+            ..Options::default()
+        });
+        runs.push(Options {
+            algorithm: Algorithm::Lns,
+            ..Options::default()
+        });
+        let responses = svc
+            .submit_batch(&BatchQueryRequest {
+                host: "plab".into(),
+                query: edge_query(),
+                constraint: "rEdge.avgDelay <= 15.0".into(),
+                runs,
+            })
+            .unwrap();
+        assert_eq!(responses.len(), 12);
+        let cells = responses[0].stats.filter_cells;
+        assert!(cells > 0);
+        // The first filter-needing run is charged for the build.
+        assert!(responses[0].stats.constraint_evals > 0);
+        for resp in &responses[..10] {
+            assert_eq!(resp.mappings().len(), 1, "each RWB sample finds one");
+            assert_eq!(resp.stats.filter_cells, cells);
+        }
+        for resp in &responses[1..10] {
+            // Reusing runs evaluate no constraints — the batch amortized
+            // the filter build away.
+            assert_eq!(resp.stats.constraint_evals, 0);
+        }
+        // The parallel all-matches run agrees with a standalone submit.
+        assert_eq!(responses[10].mappings().len(), 2);
+        assert!(matches!(responses[10].outcome, Outcome::Complete(_)));
+        // LNS ran filter-less but through the same scratch.
+        assert_eq!(responses[11].mappings().len(), 2);
+        assert_eq!(responses[11].stats.filter_cells, 0);
+    }
+
+    #[test]
+    fn batch_unknown_host_rejected() {
+        let svc = NetEmbedService::new();
+        let err = svc
+            .submit_batch(&BatchQueryRequest {
+                host: "nope".into(),
+                query: edge_query(),
+                constraint: "true".into(),
+                runs: vec![Options::default()],
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::UnknownHost(_)));
+    }
+
+    #[test]
+    fn batch_zero_budget_run_does_not_poison_later_runs() {
+        use std::time::Duration;
+        let svc = NetEmbedService::new();
+        svc.registry().register("plab", triangle_host());
+        let responses = svc
+            .submit_batch(&BatchQueryRequest {
+                host: "plab".into(),
+                query: edge_query(),
+                constraint: "rEdge.avgDelay <= 15.0".into(),
+                runs: vec![
+                    Options {
+                        timeout: Some(Duration::ZERO),
+                        ..Options::default()
+                    },
+                    Options::default(),
+                ],
+            })
+            .unwrap();
+        assert!(matches!(responses[0].outcome, Outcome::Inconclusive));
+        assert!(responses[0].stats.timed_out);
+        // The truncated filter was discarded: the unlimited run rebuilt
+        // it and completed.
+        assert_eq!(responses[1].mappings().len(), 2);
+        assert!(matches!(responses[1].outcome, Outcome::Complete(_)));
     }
 
     #[test]
