@@ -16,6 +16,14 @@
 //! * **scratch_reuse** — the CSR search again, but through one caller-held
 //!   `SearchScratch` reused across runs (the service batch path), vs. the
 //!   fresh-arena-per-call `search_csr` series;
+//! * **search_par / search_steal** — the parallel second stage at
+//!   [`STEAL_WORKERS`] workers: `search_par` runs the scheduler with
+//!   splitting disabled (the static strided root partition, the old
+//!   code path), `search_steal` with the default work-stealing policy.
+//!   On a multi-core box `search_steal` is where skewed scenarios (see
+//!   the `skew-hub` row: one hub node owns every root subtree) catch
+//!   up; on a 1-core box the pair documents the scheduler's overhead
+//!   (the JSON records `host_cores` — compare `steal_overhead` there);
 //! * **embed** — end-to-end bounded enumeration (build + search).
 //!
 //! Besides the stdout report, results land machine-readably in
@@ -30,7 +38,8 @@ use bench::{bench_brite, bench_planetlab, planted};
 use netembed::filter::reference::{self, HashFilterMatrix};
 use netembed::order::{compute_order, predecessors};
 use netembed::{
-    ecf, CollectUpTo, Deadline, FilterMatrix, NodeOrder, Problem, SearchScratch, SearchStats,
+    ecf, parallel, CollectUpTo, Deadline, FilterMatrix, NodeOrder, ParallelScratch, Problem,
+    SearchScratch, SearchStats, StealPolicy,
 };
 use netgraph::Network;
 use std::hint::black_box;
@@ -41,10 +50,14 @@ use topogen::{clique_query, QueryWorkload};
 /// Bounded enumeration cap (mirrors fig13's `UpTo` bound; keeps clique
 /// scenarios finite).
 const MATCH_CAP: usize = 2000;
-/// Samples per measurement; the median is reported.
-const SAMPLES: usize = 21;
+/// Samples per measurement; the median is reported. Odd and generous:
+/// the µs-scale fig11 searches need the extra samples for a stable
+/// median on a busy box.
+const SAMPLES: usize = 51;
 /// Thread count for the `build_par` series.
 const PAR_THREADS: usize = 4;
+/// Worker count for the `search_par`/`search_steal` series.
+const STEAL_WORKERS: usize = 4;
 
 fn median_ns(mut f: impl FnMut() -> u64) -> u64 {
     // One untimed warm-up run absorbs first-touch effects (page faults,
@@ -71,11 +84,17 @@ struct Row {
     search_hash_ns: u64,
     search_csr_ns: u64,
     search_scratch_ns: u64,
+    search_par_ns: u64,
+    search_steal_ns: u64,
     embed_hash_ns: u64,
     embed_csr_ns: u64,
 }
 
 fn run_scenario(name: &str, host: &Network, wl: &QueryWorkload) -> Row {
+    run_scenario_capped(name, host, wl, MATCH_CAP)
+}
+
+fn run_scenario_capped(name: &str, host: &Network, wl: &QueryWorkload, cap: usize) -> Row {
     let problem = Problem::new(&wl.query, host, &wl.constraint).expect("valid scenario");
 
     let build_hash_ns = median_ns(|| {
@@ -105,10 +124,10 @@ fn run_scenario(name: &str, host: &Network, wl: &QueryWorkload) -> Row {
         // hash filter yields the exact order the CSR search uses.
         let order = compute_order(&wl.query, &filter, NodeOrder::AscendingCandidates);
         let preds = predecessors(&wl.query, &order);
-        reference::search_up_to(&problem, &filter, &order, &preds, MATCH_CAP).len()
+        reference::search_up_to(&problem, &filter, &order, &preds, cap).len()
     };
     let embed_csr = || {
-        let mut sink = CollectUpTo::new(MATCH_CAP);
+        let mut sink = CollectUpTo::new(cap);
         let mut stats = SearchStats::default();
         let mut dl = Deadline::unlimited();
         ecf::search(
@@ -136,10 +155,10 @@ fn run_scenario(name: &str, host: &Network, wl: &QueryWorkload) -> Row {
     let search_hash_ns = median_ns(|| {
         let order = compute_order(&wl.query, &hash_filter, NodeOrder::AscendingCandidates);
         let preds = predecessors(&wl.query, &order);
-        reference::search_up_to(&problem, &hash_filter, &order, &preds, MATCH_CAP).len() as u64
+        reference::search_up_to(&problem, &hash_filter, &order, &preds, cap).len() as u64
     });
     let search_csr_ns = median_ns(|| {
-        let mut sink = CollectUpTo::new(MATCH_CAP);
+        let mut sink = CollectUpTo::new(cap);
         let mut stats = SearchStats::default();
         let mut dl = Deadline::unlimited();
         ecf::search_prebuilt(
@@ -159,7 +178,7 @@ fn run_scenario(name: &str, host: &Network, wl: &QueryWorkload) -> Row {
     // arena setup) — the service batch path's steady state.
     let mut scratch = SearchScratch::new();
     let search_scratch_ns = median_ns(|| {
-        let mut sink = CollectUpTo::new(MATCH_CAP);
+        let mut sink = CollectUpTo::new(cap);
         let mut stats = SearchStats::default();
         let mut dl = Deadline::unlimited();
         ecf::search_prebuilt_with_scratch(
@@ -173,6 +192,32 @@ fn run_scenario(name: &str, host: &Network, wl: &QueryWorkload) -> Row {
         );
         sink.solutions.len() as u64
     });
+
+    // Parallel second stage at STEAL_WORKERS workers, one warm
+    // ParallelScratch per series (the steady state both paths share).
+    // `search_par` is the static strided root partition (splitting
+    // disabled — the pre-work-stealing code path); `search_steal` is the
+    // default work-stealing policy.
+    let run_par = |policy: StealPolicy, scratch: &mut ParallelScratch| -> u64 {
+        let mut stats = SearchStats::default();
+        let mut dl = Deadline::unlimited();
+        let (sols, _) = parallel::search_prebuilt_with_policy(
+            &problem,
+            &csr_filter,
+            STEAL_WORKERS,
+            Some(cap),
+            NodeOrder::AscendingCandidates,
+            &mut dl,
+            &mut stats,
+            scratch,
+            policy,
+        );
+        sols.len() as u64
+    };
+    let mut par_scratch = ParallelScratch::new();
+    let search_par_ns = median_ns(|| run_par(StealPolicy::disabled(), &mut par_scratch));
+    let mut steal_scratch = ParallelScratch::new();
+    let search_steal_ns = median_ns(|| run_par(StealPolicy::default(), &mut steal_scratch));
 
     let embed_hash_ns = median_ns(|| embed_hash() as u64);
     let embed_csr_ns = median_ns(|| embed_csr() as u64);
@@ -188,11 +233,13 @@ fn run_scenario(name: &str, host: &Network, wl: &QueryWorkload) -> Row {
         search_hash_ns,
         search_csr_ns,
         search_scratch_ns,
+        search_par_ns,
+        search_steal_ns,
         embed_hash_ns,
         embed_csr_ns,
     };
     println!(
-        "{:<24} nq={:<3} nr={:<4} sols={:<5} build {:>9} -> {:>9} ns ({:.2}x)   build_par({PAR_THREADS}t) {:>9} ns ({:.2}x)   search {:>9} -> {:>9} ns ({:.2}x)   scratch {:>9} ns ({:.2}x)   embed {:>10} -> {:>10} ns ({:.2}x)",
+        "{:<24} nq={:<3} nr={:<4} sols={:<5} build {:>9} -> {:>9} ns ({:.2}x)   build_par({PAR_THREADS}t) {:>9} ns ({:.2}x)   search {:>9} -> {:>9} ns ({:.2}x)   scratch {:>9} ns ({:.2}x)   par({STEAL_WORKERS}w) {:>9} ns   steal({STEAL_WORKERS}w) {:>9} ns ({:.2}x)   embed {:>10} -> {:>10} ns ({:.2}x)",
         row.name,
         row.nq,
         row.nr,
@@ -207,11 +254,52 @@ fn run_scenario(name: &str, host: &Network, wl: &QueryWorkload) -> Row {
         row.search_hash_ns as f64 / row.search_csr_ns.max(1) as f64,
         row.search_scratch_ns,
         row.search_csr_ns as f64 / row.search_scratch_ns.max(1) as f64,
+        row.search_par_ns,
+        row.search_steal_ns,
+        row.search_par_ns as f64 / row.search_steal_ns.max(1) as f64,
         row.embed_hash_ns,
         row.embed_csr_ns,
         row.embed_hash_ns as f64 / row.embed_csr_ns.max(1) as f64,
     );
     row
+}
+
+/// The deliberately skewed instance: one hub host node (capacity 1)
+/// wired to `spokes` capacity-0 spokes that also form a cycle, and a
+/// star query whose hub needs capacity ≥ 1. Every root candidate is the
+/// hub — the worst case for the static root partition, the natural case
+/// for depth-bounded re-splitting.
+fn skew_scenario(spokes: usize, leaves: usize) -> (Network, QueryWorkload) {
+    let mut h = Network::new(netgraph::Direction::Undirected);
+    let hub = h.add_node("hub");
+    h.set_node_attr(hub, "cap", 1.0);
+    let ids: Vec<netgraph::NodeId> = (0..spokes)
+        .map(|i| {
+            let s = h.add_node(format!("s{i}"));
+            h.set_node_attr(s, "cap", 0.0);
+            s
+        })
+        .collect();
+    for (i, &s) in ids.iter().enumerate() {
+        h.add_edge(hub, s);
+        h.add_edge(s, ids[(i + 1) % spokes]);
+    }
+    let mut q = Network::new(netgraph::Direction::Undirected);
+    let qh = q.add_node("qh");
+    q.set_node_attr(qh, "cap", 1.0);
+    for i in 0..leaves {
+        let l = q.add_node(format!("ql{i}"));
+        q.set_node_attr(l, "cap", 0.0);
+        q.add_edge(qh, l);
+    }
+    (
+        h,
+        QueryWorkload {
+            query: q,
+            ground_truth: None,
+            constraint: "rNode.cap >= vNode.cap".to_string(),
+        },
+    )
 }
 
 fn json_escape(s: &str) -> String {
@@ -228,6 +316,7 @@ fn write_json(rows: &[Row], path: &PathBuf) {
     out.push_str(&format!("  \"samples\": {SAMPLES},\n"));
     out.push_str(&format!("  \"match_cap\": {MATCH_CAP},\n"));
     out.push_str(&format!("  \"build_par_threads\": {PAR_THREADS},\n"));
+    out.push_str(&format!("  \"steal_workers\": {STEAL_WORKERS},\n"));
     out.push_str(&format!("  \"host_cores\": {cores},\n"));
     out.push_str("  \"scenarios\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -235,10 +324,11 @@ fn write_json(rows: &[Row], path: &PathBuf) {
             "    {{\"name\": \"{}\", \"nq\": {}, \"nr\": {}, \"solutions\": {}, \
              \"build_hashmap_ns\": {}, \"build_csr_ns\": {}, \"build_par_ns\": {}, \
              \"search_hashmap_ns\": {}, \"search_csr_ns\": {}, \"search_scratch_ns\": {}, \
+             \"search_par_ns\": {}, \"search_steal_ns\": {}, \
              \"embed_hashmap_ns\": {}, \"embed_csr_ns\": {}, \
              \"build_speedup\": {:.3}, \"build_par_speedup\": {:.3}, \
              \"search_speedup\": {:.3}, \"scratch_speedup\": {:.3}, \
-             \"embed_speedup\": {:.3}}}{}\n",
+             \"steal_overhead\": {:.3}, \"embed_speedup\": {:.3}}}{}\n",
             json_escape(&r.name),
             r.nq,
             r.nr,
@@ -249,12 +339,17 @@ fn write_json(rows: &[Row], path: &PathBuf) {
             r.search_hash_ns,
             r.search_csr_ns,
             r.search_scratch_ns,
+            r.search_par_ns,
+            r.search_steal_ns,
             r.embed_hash_ns,
             r.embed_csr_ns,
             r.build_hash_ns as f64 / r.build_csr_ns.max(1) as f64,
             r.build_csr_ns as f64 / r.build_par_ns.max(1) as f64,
             r.search_hash_ns as f64 / r.search_csr_ns.max(1) as f64,
             r.search_csr_ns as f64 / r.search_scratch_ns.max(1) as f64,
+            // > 1.0 means stealing cost that much more wall time than the
+            // static partition *on this machine* — see host_cores.
+            r.search_steal_ns as f64 / r.search_par_ns.max(1) as f64,
             r.embed_hash_ns as f64 / r.embed_csr_ns.max(1) as f64,
             if i + 1 < rows.len() { "," } else { "" },
         ));
@@ -285,6 +380,21 @@ fn main() {
             &wl,
         ));
     }
+
+    // Skew scenario for the work-stealing series: a single hub host node
+    // owns every root candidate (node capacities restrict the query hub
+    // to it), so the static root partition runs the whole tree on one
+    // worker while `search_steal` re-splits the hub subtree.
+    // The match cap is raised for this row so the measured region is
+    // dominated by search work rather than the pool's thread spawns
+    // (the whole point is comparing schedulers, not thread startup).
+    let (skew_host, skew_wl) = skew_scenario(48, 8);
+    rows.push(run_scenario_capped(
+        "skew-hub-s48-q8",
+        &skew_host,
+        &skew_wl,
+        4 * MATCH_CAP,
+    ));
 
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_filter.json");
     write_json(&rows, &path);

@@ -79,6 +79,20 @@ impl Deadline {
         self.cancel.store(true, Ordering::Relaxed);
     }
 
+    /// True when this deadline (or an ancestor of a [`Deadline::scoped`]
+    /// child) has been cancelled. Unlike [`Deadline::expired`] this never
+    /// reads the clock and needs no `&mut self`, so shared-state
+    /// observers — the work-stealing scheduler's split gate and its
+    /// deque-draining idle loop — can poll it without owning the
+    /// deadline. A `true` here means "stop producing work": publishing a
+    /// subtree task after cancellation would strand it in a deque no
+    /// worker will ever drain.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+            || self.inherited.iter().any(|f| f.load(Ordering::Relaxed))
+    }
+
     /// True when cancelled or past the time limit. Cheap: only checks the
     /// clock once every `POLL_STRIDE` (256) calls. Once expiry has been
     /// observed it stays expired.
@@ -223,6 +237,25 @@ mod tests {
         // before any work happens.
         let mut d = Deadline::new(Some(Duration::ZERO));
         assert!(d.expired());
+    }
+
+    #[test]
+    fn is_cancelled_observes_flags_not_clock() {
+        // A time-expired deadline is not "cancelled": is_cancelled only
+        // reports explicit cancellation (own flag or an ancestor's).
+        let timed = Deadline::new(Some(Duration::ZERO));
+        assert!(!timed.is_cancelled());
+
+        let parent = Deadline::unlimited();
+        let child = parent.scoped();
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert!(child.is_cancelled(), "ancestor cancel must be visible");
+        assert!(parent.is_cancelled());
+        // No &mut needed, and the child's own flag is still clear: a
+        // later check_now (which needs &mut) agrees.
+        let mut child = child;
+        assert!(child.check_now());
     }
 
     #[test]

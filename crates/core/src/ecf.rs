@@ -11,16 +11,23 @@
 //! depth from a caller-held [`SearchScratch`], allocated on first use and
 //! reused across the entire traversal (and across traversals, when the
 //! caller keeps the scratch). Each frame carries the candidate list for
-//! its level plus two scratch bitsets; `fill_candidates` computes expression (2) by intersecting
-//! the predecessors' filter cells word-by-word into the frame's scratch
-//! mask (dense cells contribute their bitset mirrors directly, sparse
-//! cells are staged through the second scratch), subtracting `used`, and
-//! unpacking the surviving bits into the frame's candidate `Vec`. No
-//! hashing, no `binary_search` probes, no per-descent heap allocation.
+//! its level; `fill_candidates` computes expression (2) by intersecting
+//! the predecessors' filter cells word-by-word into the scratch's shared
+//! intersection mask (dense cells contribute their bitset mirrors
+//! directly, sparse cells are staged through the second shared mask),
+//! subtracting `used`, and unpacking the surviving bits into the frame's
+//! candidate `Vec`. The masks are shared across depths — they are dead
+//! the moment the candidate list is unpacked — so a cold search
+//! allocates two bitsets total instead of two per depth. No hashing, no
+//! `binary_search` probes, no per-descent heap allocation.
 //!
 //! The same DFS core also powers RWB (candidates visited in random order,
-//! sink stops at the first solution) and the parallel search (the root
-//! candidate list is partitioned across workers).
+//! sink stops at the first solution) and the work-stealing parallel
+//! search: `run_dfs_task` resumes the traversal from a *seeded prefix*
+//! (a partial assignment entered via `enter_prefix` without re-deriving
+//! any frame) and consults a `TaskSplitter` at each candidate take, so
+//! a worker can hand the untried tail of a shallow frame to an idle
+//! sibling instead of recursing alone.
 
 use crate::deadline::Deadline;
 use crate::filter::{CellView, FilterMatrix};
@@ -159,43 +166,72 @@ pub fn search_prebuilt_with_scratch(
     end
 }
 
-/// Per-depth reusable DFS state: the candidate list for this level plus
-/// the scratch bitsets [`fill_candidates`] intersects into. Owned by a
-/// [`SearchScratch`], allocated on first use and reused for every
-/// subtree visited at that depth — and, with a caller-held scratch, for
-/// every subsequent search.
-#[derive(Debug)]
+/// Per-depth reusable DFS state: the candidate list for this level and
+/// the iteration cursor. Owned by a [`SearchScratch`], allocated on
+/// first use and reused for every subtree visited at that depth — and,
+/// with a caller-held scratch, for every subsequent search. The
+/// intersection/staging masks [`fill_candidates`] works through are
+/// *shared* scratch-level bitsets, not per-frame: a frame's mask is dead
+/// as soon as its candidate list is unpacked, so one pair serves every
+/// depth and the cold-start cost stays flat in `nq`.
+#[derive(Debug, Default)]
 pub(crate) struct Frame {
     candidates: Vec<NodeId>,
     next: usize,
-    /// Intersection mask: ends up holding expression (2)'s result.
-    mask: NodeBitSet,
-    /// Staging mask for sparse cells (no bitset mirror): the cell's
-    /// slice is splatted here, then ANDed into `mask` word-by-word.
-    stage: NodeBitSet,
 }
 
 impl Frame {
-    pub(crate) fn new(nr: usize) -> Frame {
-        Frame {
-            candidates: Vec::new(),
-            next: 0,
-            mask: NodeBitSet::new(nr),
-            stage: NodeBitSet::new(nr),
-        }
+    pub(crate) fn new() -> Frame {
+        Frame::default()
     }
+}
 
-    /// Re-size the masks for a new host capacity (scratch reuse across
-    /// differently-sized problems). The candidate `Vec` keeps its
-    /// capacity.
-    pub(crate) fn resize_masks(&mut self, nr: usize) {
-        self.mask = NodeBitSet::new(nr);
-        self.stage = NodeBitSet::new(nr);
+/// Split hook consulted by [`run_dfs_task`] every time a frame at a
+/// stealable depth is about to yield its next candidate. `offer` sees
+/// the absolute depth, the node order, the current assignment (from
+/// which it can reconstruct the prefix `order[0..depth] → host`) and the
+/// *untried tail* of the frame — every candidate after the one the
+/// worker is about to descend into. It returns how many candidates it
+/// took ownership of, **counted from the end of the tail** (publishing
+/// them as a stealable task); the DFS drops exactly those from its own
+/// frame. `0` leaves the frame untouched. Taking a suffix (typically
+/// half — binary splitting) rather than the whole tail keeps one frame
+/// from exploding into a task per candidate when workers keep going
+/// idle.
+pub(crate) trait TaskSplitter {
+    fn offer(
+        &mut self,
+        depth: usize,
+        order: &[NodeId],
+        assign: &[NodeId],
+        tail: &[NodeId],
+    ) -> usize;
+}
+
+/// Enter a partial assignment: bind `prefix[i]` to `order[i]` in the
+/// scratch's assignment array and mark the hosts used, *without*
+/// deriving candidate frames for those depths — a stolen task resumes
+/// below a prefix whose frames were consumed by the publishing worker,
+/// so re-filling them would repeat (and double-count) work. The prefix
+/// is injective by construction: it is a path the publisher's DFS was
+/// standing on.
+pub(crate) fn enter_prefix(scratch: &mut SearchScratch, order: &[NodeId], prefix: &[NodeId]) {
+    for (i, &r) in prefix.iter().enumerate() {
+        scratch.assign[order[i].index()] = r;
+        scratch.used.insert(r);
     }
+}
 
-    #[cfg(test)]
-    pub(crate) fn mask_capacity(&self) -> usize {
-        self.mask.capacity()
+/// Undo [`enter_prefix`] so the scratch is clean for the next task. Only
+/// the prefix depths are touched: on a normal (`Exhausted`) return the
+/// DFS has already unwound everything below the task's base depth, and
+/// on an abandoned run (timeout / sink stop) the worker stops executing
+/// tasks altogether, so deeper residue is reset by the next search's
+/// `ensure`.
+pub(crate) fn leave_prefix(scratch: &mut SearchScratch, order: &[NodeId], prefix: &[NodeId]) {
+    for (i, &r) in prefix.iter().enumerate() {
+        scratch.assign[order[i].index()] = NodeId(u32::MAX);
+        scratch.used.remove(r);
     }
 }
 
@@ -211,32 +247,86 @@ pub(crate) fn run_dfs(
     deadline: &mut Deadline,
     sink: &mut dyn SolutionSink,
     stats: &mut SearchStats,
-    mut shuffle: Option<&mut StdRng>,
+    shuffle: Option<&mut StdRng>,
     root_override: Option<&[NodeId]>,
     scratch: &mut SearchScratch,
 ) -> SearchEnd {
-    let nq = order.len();
     scratch.ensure(problem.nq(), problem.nr());
+    run_dfs_task(
+        filter,
+        order,
+        preds,
+        deadline,
+        sink,
+        stats,
+        shuffle,
+        0,
+        root_override,
+        scratch,
+        None,
+    )
+}
+
+/// The resumable DFS core under a seeded prefix.
+///
+/// The caller owns the lifecycle: `scratch.ensure` has been called for
+/// this problem, depths `0..base` are already bound (via
+/// [`enter_prefix`]), and `base_candidates` — when given — is the exact
+/// untried candidate list for depth `base` (a stolen task's payload or a
+/// root partition). With `base_candidates = None` the base frame is
+/// filled normally. The traversal never backtracks above `base`, so a
+/// worker can run many tasks against one scratch, entering and leaving a
+/// prefix per task. `splitter`, when present, is offered the untried
+/// tail of every frame at each candidate take; an accepted offer
+/// truncates the frame (the tail now belongs to another task) and
+/// counts into `stats.tasks_spawned`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_dfs_task(
+    filter: &FilterMatrix,
+    order: &[NodeId],
+    preds: &[Vec<Pred>],
+    deadline: &mut Deadline,
+    sink: &mut dyn SolutionSink,
+    stats: &mut SearchStats,
+    mut shuffle: Option<&mut StdRng>,
+    base: usize,
+    base_candidates: Option<&[NodeId]>,
+    scratch: &mut SearchScratch,
+    mut splitter: Option<&mut dyn TaskSplitter>,
+) -> SearchEnd {
+    let nq = order.len();
     let SearchScratch {
         frames,
         assign,
         used,
+        mask,
+        stage,
         ..
     } = scratch;
-    let mut depth = 0usize;
+    let mut depth = base;
 
-    match root_override {
+    match base_candidates {
         Some(list) => {
-            frames[0].candidates.clear();
-            frames[0].candidates.extend_from_slice(list);
+            frames[base].candidates.clear();
+            frames[base].candidates.extend_from_slice(list);
         }
         None => {
-            fill_candidates(filter, order, preds, 0, assign, used, &mut frames[0]);
+            fill_candidates(
+                filter,
+                order,
+                preds,
+                base,
+                assign,
+                used,
+                mask,
+                stage,
+                &mut frames[base],
+            );
         }
     }
-    frames[0].next = 0;
+    frames[base].next = 0;
     if let Some(rng) = shuffle.as_deref_mut() {
-        frames[0].candidates.shuffle(rng);
+        frames[base].candidates.shuffle(rng);
     }
 
     loop {
@@ -245,8 +335,8 @@ pub(crate) fn run_dfs(
         }
         let frame = &mut frames[depth];
         if frame.next >= frame.candidates.len() {
-            // Exhausted this level: backtrack.
-            if depth == 0 {
+            // Exhausted this level: backtrack (never above the seeded base).
+            if depth == base {
                 return SearchEnd::Exhausted;
             }
             depth -= 1;
@@ -255,6 +345,22 @@ pub(crate) fn run_dfs(
             used.remove(r);
             assign[vq.index()] = NodeId(u32::MAX);
             continue;
+        }
+        // Depth-bounded subtree splitting: before committing to the next
+        // candidate, offer the rest of this frame to an idle worker. The
+        // tail is everything *after* the candidate we are about to take,
+        // so the local traversal continues unchanged either way; an
+        // accepted offer peels the taken suffix off the frame.
+        if let Some(sp) = splitter.as_deref_mut() {
+            let tail_at = frame.next + 1;
+            if tail_at < frame.candidates.len() {
+                let taken = sp.offer(depth, order, assign, &frame.candidates[tail_at..]);
+                if taken > 0 {
+                    debug_assert!(taken <= frame.candidates.len() - tail_at);
+                    frame.candidates.truncate(frame.candidates.len() - taken);
+                    stats.tasks_spawned += 1;
+                }
+            }
         }
         let r = frame.candidates[frame.next];
         frame.next += 1;
@@ -277,7 +383,17 @@ pub(crate) fn run_dfs(
         assign[vq.index()] = r;
         used.insert(r);
         let next_frame = &mut frames[depth + 1];
-        if !fill_candidates(filter, order, preds, depth + 1, assign, used, next_frame) {
+        if !fill_candidates(
+            filter,
+            order,
+            preds,
+            depth + 1,
+            assign,
+            used,
+            mask,
+            stage,
+            next_frame,
+        ) {
             stats.prunes += 1;
             used.remove(r);
             assign[vq.index()] = NodeId(u32::MAX);
@@ -291,9 +407,10 @@ pub(crate) fn run_dfs(
     }
 }
 
-/// Expression (1)/(2) into `frame.candidates`, via the frame's scratch
+/// Expression (1)/(2) into `frame.candidates`, via the scratch's shared
 /// masks: no heap allocation, no hashing, no per-candidate searches.
 /// Returns `false` when the candidate set is empty.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn fill_candidates(
     filter: &FilterMatrix,
     order: &[NodeId],
@@ -301,12 +418,13 @@ pub(crate) fn fill_candidates(
     depth: usize,
     assign: &[NodeId],
     used: &NodeBitSet,
+    mask: &mut NodeBitSet,
+    stage: &mut NodeBitSet,
     frame: &mut Frame,
 ) -> bool {
     let vi = order[depth];
     let plist = &preds[depth];
     frame.candidates.clear();
-    let mask = &mut frame.mask;
 
     if plist.is_empty() {
         // Expression (1): base candidates minus used. This covers the root
@@ -321,7 +439,10 @@ pub(crate) fn fill_candidates(
     // minus used — one pass, one view fetch per predecessor. The first
     // cell seeds the mask (a sparse splat is bounded by CELL_DENSE_MIN
     // elements; anything larger carries a bitset mirror and word-copies),
-    // the rest AND in word-by-word, bailing as soon as the mask empties.
+    // the rest AND in word-by-word. Each dense cell is screened with the
+    // early-exit `intersects_any` first: a disjoint cell bails without
+    // paying for the full-width intersection write, and an overlapping
+    // one usually proves itself within the first block or two.
     let cell_of = |p: &Pred| -> CellView<'_> {
         let rj = assign[p.node.index()];
         debug_assert_ne!(rj, NodeId(u32::MAX), "predecessor must be assigned");
@@ -331,6 +452,20 @@ pub(crate) fn fill_candidates(
             filter.rev_view(p.node, rj, vi)
         }
     };
+
+    if let [p] = plist.as_slice() {
+        // Single predecessor — the common case on tree-like query
+        // extensions: the candidate set is one cell minus `used`, so
+        // walk the (ascending) cell slice directly instead of splatting
+        // it through the mask. Same output order as collect_into.
+        let cell = cell_of(p);
+        for &r in cell.slice {
+            if !used.contains(r) {
+                frame.candidates.push(r);
+            }
+        }
+        return !frame.candidates.is_empty();
+    }
 
     for (i, p) in plist.iter().enumerate() {
         let cell = cell_of(p);
@@ -345,14 +480,19 @@ pub(crate) fn fill_candidates(
             continue;
         }
         match cell.bits {
-            Some(bits) => mask.intersect_with(bits),
-            None => {
-                frame.stage.clear_and_insert_all(cell.slice);
-                mask.intersect_with(&frame.stage);
+            Some(bits) => {
+                if !mask.intersects_any(bits) {
+                    return false;
+                }
+                mask.intersect_with(bits);
             }
-        }
-        if mask.is_empty() {
-            return false;
+            None => {
+                stage.clear_and_insert_all(cell.slice);
+                if !mask.intersects_any(stage) {
+                    return false;
+                }
+                mask.intersect_with(stage);
+            }
         }
     }
     mask.subtract(used);
@@ -371,8 +511,12 @@ pub(crate) fn root_candidates(
 ) -> Vec<NodeId> {
     let assign = vec![NodeId(u32::MAX); problem.nq()];
     let used = NodeBitSet::new(problem.nr());
-    let mut frame = Frame::new(problem.nr());
-    fill_candidates(filter, order, preds, 0, &assign, &used, &mut frame);
+    let mut mask = NodeBitSet::new(problem.nr());
+    let mut stage = NodeBitSet::new(problem.nr());
+    let mut frame = Frame::new();
+    fill_candidates(
+        filter, order, preds, 0, &assign, &used, &mut mask, &mut stage, &mut frame,
+    );
     frame.candidates
 }
 

@@ -12,7 +12,7 @@ use crate::lns::{self, LnsConfig};
 use crate::mapping::Mapping;
 use crate::order::NodeOrder;
 use crate::outcome::Outcome;
-use crate::parallel;
+use crate::parallel::{self, StealPolicy};
 use crate::problem::{Problem, ProblemError};
 use crate::rwb;
 use crate::scratch::EmbedScratch;
@@ -63,6 +63,10 @@ pub struct Options {
     pub seed: u64,
     /// LNS heuristics (LNS only).
     pub lns: LnsConfig,
+    /// Work-stealing split policy (ParallelEcf only): the D/K knobs of
+    /// depth-bounded subtree re-splitting. The default enables stealing;
+    /// [`StealPolicy::disabled`] recovers the static root partition.
+    pub steal: StealPolicy,
 }
 
 impl Default for Options {
@@ -74,6 +78,7 @@ impl Default for Options {
             order: NodeOrder::default(),
             seed: 0,
             lns: LnsConfig::default(),
+            steal: StealPolicy::default(),
         }
     }
 }
@@ -312,7 +317,7 @@ impl<'a> Engine<'a> {
                     SearchMode::First => Some(1),
                     SearchMode::UpTo(k) => Some(k),
                 };
-                parallel::search_prebuilt(
+                parallel::search_prebuilt_with_policy(
                     problem,
                     filter,
                     threads,
@@ -321,6 +326,7 @@ impl<'a> Engine<'a> {
                     deadline,
                     stats,
                     &mut scratch.parallel,
+                    options.steal,
                 )
             }
             Algorithm::Lns => unreachable!("LNS is dispatched without a filter"),

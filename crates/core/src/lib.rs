@@ -102,6 +102,7 @@ pub use filter::FilterMatrix;
 pub use mapping::Mapping;
 pub use order::NodeOrder;
 pub use outcome::Outcome;
+pub use parallel::StealPolicy;
 pub use problem::{Problem, ProblemError};
 pub use scratch::{EmbedScratch, ParallelScratch, SearchScratch};
 pub use sink::{CollectAll, CollectUpTo, CountOnly, SinkControl, SolutionSink};

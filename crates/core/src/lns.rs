@@ -80,6 +80,7 @@ pub fn search_with_scratch(
 ) -> Result<SearchEnd, ProblemError> {
     let start = std::time::Instant::now();
     scratch.ensure(problem.nq(), problem.nr());
+    scratch.ensure_lns(problem.nq(), problem.nr());
     let mut state = LnsState::new(problem, config, scratch);
     let end = state.extend(deadline, sink, stats)?;
     stats.timed_out |= end == SearchEnd::Timeout;

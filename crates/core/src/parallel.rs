@@ -1,18 +1,62 @@
-//! Parallel ECF: fan the root of the permutation tree out over threads.
+//! Work-stealing parallel ECF: dynamic subtree scheduling over threads.
 //!
 //! The paper notes (§III, §VIII) that the NETEMBED service can be
-//! replicated and ultimately distributed. Within one machine the natural
-//! parallelization of ECF partitions the *root level* of the permutation
-//! tree: each worker owns a disjoint slice of the first query node's
-//! candidate list and runs the ordinary sequential DFS below it. Subtrees
-//! are completely independent (they share only the read-only filter
-//! matrix), so the decomposition is embarrassingly parallel; the only
-//! cross-worker coordination is the shared cancellation flag used for
-//! first-match mode and deadline expiry.
+//! replicated and ultimately distributed. Within one machine the first
+//! cut parallelized the *root level* of the permutation tree with a
+//! static strided partition; that leaves every other worker idle the
+//! moment one hub node's subtree dominates the instance. This module
+//! replaces the static partition with a work-stealing scheduler built
+//! from three pieces:
 //!
-//! The filter build itself is parallelized too
-//! ([`FilterMatrix::build_par`] — disjoint cell rows per query edge), so
-//! both stages use the thread budget.
+//! * **Subtree tasks.** A `SubtreeTask` is `(prefix, candidates)`: a
+//!   partial assignment for the first `prefix.len()` order positions
+//!   plus the untried candidate range at the next depth. The whole
+//!   search is the task `([], roots)`; every task denotes a disjoint
+//!   region of the permutation tree, so the union of all executed tasks
+//!   is exactly the sequential traversal.
+//! * **Queues.** Each worker owns a deque (`crossbeam::deque::Worker`)
+//!   seeded with a strided slice of the root candidates; a shared
+//!   `Injector` receives dynamically split tasks. An idle worker takes
+//!   from the injector first (split tasks are published precisely
+//!   because someone was idle), then from sibling deques.
+//! * **Depth-bounded splitting.** While a worker descends, the DFS
+//!   offers the *untried tail* of the current frame to the scheduler at
+//!   every candidate take (see `ecf::TaskSplitter`). The offer is
+//!   accepted — the far *half* of the tail published as one stealable
+//!   task (binary splitting keeps the task count per frame logarithmic)
+//!   — only when all of: the depth is at most
+//!   [`StealPolicy::split_depth`] (splitting a deep, tiny subtree costs
+//!   more than finishing it), the tail has at least
+//!   [`StealPolicy::min_tail`] candidates (ditto), some worker is
+//!   actually hungry (an atomic idle count gates publication, so a
+//!   saturated pool never pays the queue traffic), and the pool has not
+//!   been cancelled (a cancelled pool must *drain*, not grow). A stolen
+//!   task re-enters its prefix via `ecf::enter_prefix` without
+//!   re-deriving any frame and can itself be split again.
+//!
+//! ## Task lifecycle
+//!
+//! `seeded → queued → running → (exhausted | split further)`. The
+//! scheduler tracks one atomic `pending` count — tasks created minus
+//! tasks finished. Workers exit when `pending` reaches zero (all
+//! regions of the tree accounted for) or when their deadline
+//! expires/cancels; cancellation makes workers stop taking tasks and
+//! stop publishing, so queued tasks are simply dropped with the scope —
+//! that is the draining behaviour the deadline tests pin down.
+//!
+//! ## Determinism
+//!
+//! Splitting only ever *moves* untried candidate ranges between
+//! workers; no range is duplicated or dropped. The enumerated solution
+//! *set* (and the per-run totals of `nodes_visited`/`prunes`) is
+//! therefore identical to the sequential DFS for complete runs — only
+//! the emission *order* depends on thread scheduling, exactly like the
+//! old root partition. `stats.tasks_spawned`/`tasks_stolen` expose how
+//! much re-splitting actually happened.
+//!
+//! The filter build is parallelized too ([`FilterMatrix::build_par`] —
+//! disjoint cell rows per query edge), so both stages use the thread
+//! budget.
 //!
 //! ## Deadline and stats discipline
 //!
@@ -25,10 +69,13 @@
 //! expiry marks the merged stats as timed out. Merged `elapsed` is the
 //! caller-observed wall clock (`start.elapsed()`), never a sum of
 //! overlapping per-worker durations; those are summed separately into
-//! [`SearchStats::cpu_time`].
+//! [`SearchStats::cpu_time`] (which, for a stealing pool, includes the
+//! time a worker spent waiting for stealable work).
 
 use crate::deadline::Deadline;
-use crate::ecf::{root_candidates, run_dfs, SearchEnd};
+use crate::ecf::{
+    enter_prefix, leave_prefix, root_candidates, run_dfs_task, SearchEnd, TaskSplitter,
+};
 use crate::filter::FilterMatrix;
 use crate::mapping::Mapping;
 use crate::order::{compute_order, predecessors, NodeOrder};
@@ -36,8 +83,137 @@ use crate::problem::{Problem, ProblemError};
 use crate::scratch::ParallelScratch;
 use crate::sink::{SinkControl, SolutionSink};
 use crate::stats::SearchStats;
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use netgraph::NodeId;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// The D/K knobs of the depth-bounded splitting policy.
+///
+/// A frame at depth ≤ `split_depth` (D) whose untried tail holds ≥
+/// `min_tail` (K) candidates may be published as a stealable task when
+/// another worker is hungry. Shallow frames cover the largest subtrees,
+/// so bounding the depth keeps task granularity coarse; bounding the
+/// tail keeps a near-exhausted frame from being shipped for less work
+/// than the queue round-trip costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealPolicy {
+    /// Deepest absolute tree depth at which frames may be split (D).
+    pub split_depth: usize,
+    /// Minimum untried-tail length worth publishing (K).
+    pub min_tail: usize,
+}
+
+impl StealPolicy {
+    /// Default D: split only within the top two levels of the tree.
+    /// Binary re-splitting of stolen tasks keeps granularity adaptive
+    /// below that, so a deeper default only adds queue traffic.
+    pub const DEFAULT_SPLIT_DEPTH: usize = 1;
+    /// Default K: don't ship fewer than this many candidates.
+    pub const DEFAULT_MIN_TAIL: usize = 2;
+
+    /// Splitting disabled: the scheduler degenerates to the static
+    /// strided root partition (each worker runs its seed task alone).
+    /// This is the comparator the `search_steal` bench series measures
+    /// its overhead against, and the right choice when the caller knows
+    /// subtree sizes are uniform.
+    pub fn disabled() -> Self {
+        StealPolicy {
+            split_depth: 0,
+            min_tail: usize::MAX,
+        }
+    }
+
+    /// Split at every depth for any tail of ≥ 2: maximal task churn.
+    /// Used by the determinism property tests to stress the scheduler;
+    /// rarely what production wants.
+    pub fn aggressive() -> Self {
+        StealPolicy {
+            split_depth: usize::MAX,
+            min_tail: 2,
+        }
+    }
+
+    /// True when this policy can never publish a task.
+    fn never_splits(&self) -> bool {
+        self.min_tail == usize::MAX
+    }
+}
+
+impl Default for StealPolicy {
+    fn default() -> Self {
+        StealPolicy {
+            split_depth: Self::DEFAULT_SPLIT_DEPTH,
+            min_tail: Self::DEFAULT_MIN_TAIL,
+        }
+    }
+}
+
+/// One schedulable region of the permutation tree: the assignments for
+/// order positions `0..prefix.len()` plus the untried candidate range
+/// at depth `prefix.len()`.
+struct SubtreeTask {
+    prefix: Vec<NodeId>,
+    cands: Vec<NodeId>,
+    /// Worker that published (or was seeded with) the task; a taker with
+    /// a different id counts the take into `tasks_stolen`.
+    publisher: usize,
+}
+
+/// The per-worker split gate handed to the DFS (see `ecf::TaskSplitter`).
+struct WorkerSplitter<'a> {
+    policy: StealPolicy,
+    injector: &'a Injector<SubtreeTask>,
+    hungry: &'a AtomicUsize,
+    pending: &'a AtomicUsize,
+    /// Currently-parked thieves: a publish pops and unparks one.
+    parked: &'a std::sync::Mutex<Vec<std::thread::Thread>>,
+    pool_deadline: Deadline,
+    me: usize,
+}
+
+impl TaskSplitter for WorkerSplitter<'_> {
+    fn offer(
+        &mut self,
+        depth: usize,
+        order: &[NodeId],
+        assign: &[NodeId],
+        tail: &[NodeId],
+    ) -> usize {
+        if depth > self.policy.split_depth || tail.len() < self.policy.min_tail {
+            return 0;
+        }
+        // Publish only for an actual consumer: no hungry worker, no
+        // queue traffic. A cancelled pool is draining — publishing would
+        // strand the task in a queue nobody reads.
+        if self.hungry.load(Ordering::SeqCst) == 0 || self.pool_deadline.is_cancelled() {
+            return 0;
+        }
+        // Binary split: ship the far half of the tail, keep the near
+        // half. Shipping the whole tail would let one wide frame decay
+        // into a task per candidate under a persistently hungry pool;
+        // halving makes the task count per frame logarithmic while the
+        // stolen piece stays re-splittable.
+        let taken = tail.len().div_ceil(2);
+        let prefix: Vec<NodeId> = order[..depth]
+            .iter()
+            .map(|&vq| assign[vq.index()])
+            .collect();
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.injector.push(SubtreeTask {
+            prefix,
+            cands: tail[tail.len() - taken..].to_vec(),
+            publisher: self.me,
+        });
+        // Hand the task to one parked thief right away; a single task
+        // needs a single consumer, and popping from the parked set
+        // guarantees the wakeup lands on a thread that is actually (or
+        // imminently) parked instead of burning the token on a busy one.
+        if let Some(t) = self.parked.lock().expect("parked set poisoned").pop() {
+            t.unpark();
+        }
+        taken
+    }
+}
 
 /// Parallel all-matches / up-to-k search.
 ///
@@ -87,9 +263,10 @@ pub fn search_with_scratch(
     Ok((merged, end))
 }
 
-/// The parallel second stage over an already constructed filter. Filter
-/// reuse across calls composes with scratch reuse: repeated parallel
-/// searches allocate nothing beyond their result vectors.
+/// The parallel second stage over an already constructed filter, under
+/// the default [`StealPolicy`]. Filter reuse across calls composes with
+/// scratch reuse: repeated parallel searches allocate nothing beyond
+/// their result vectors and the (rare) published tasks.
 #[allow(clippy::too_many_arguments)]
 pub fn search_prebuilt(
     problem: &Problem<'_>,
@@ -100,6 +277,33 @@ pub fn search_prebuilt(
     deadline: &mut Deadline,
     stats: &mut SearchStats,
     scratch: &mut ParallelScratch,
+) -> (Vec<Mapping>, SearchEnd) {
+    search_prebuilt_with_policy(
+        problem,
+        filter,
+        threads,
+        limit,
+        order,
+        deadline,
+        stats,
+        scratch,
+        StealPolicy::default(),
+    )
+}
+
+/// [`search_prebuilt`] with an explicit split policy — the full
+/// work-stealing scheduler entry point.
+#[allow(clippy::too_many_arguments)]
+pub fn search_prebuilt_with_policy(
+    problem: &Problem<'_>,
+    filter: &FilterMatrix,
+    threads: usize,
+    limit: Option<usize>,
+    order: NodeOrder,
+    deadline: &mut Deadline,
+    stats: &mut SearchStats,
+    scratch: &mut ParallelScratch,
+    policy: StealPolicy,
 ) -> (Vec<Mapping>, SearchEnd) {
     assert!(threads >= 1, "need at least one thread");
     let start = std::time::Instant::now();
@@ -122,7 +326,24 @@ pub fn search_prebuilt(
         return (Vec::new(), SearchEnd::Exhausted);
     }
 
-    let workers = threads.min(roots.len());
+    // With splitting disabled there is nothing for a rootless worker to
+    // ever do; with it enabled, extra workers beyond the root count are
+    // fed by splits — that is exactly how a single-hub instance gets
+    // parallelism the root partition could never expose. Splits can
+    // only feed as many workers as there are shallow subtrees, so bound
+    // the pool by the width of the top two tree levels (roots × the
+    // second order node's candidate count): a 64-thread request on a
+    // 4-node toy problem must not spawn 60 threads that only poll.
+    let workers = if policy.never_splits() {
+        threads.min(roots.len())
+    } else {
+        let width1 = match node_order.get(1) {
+            Some(&v) => filter.candidate_count(v).max(1),
+            None => 1,
+        };
+        threads.min(roots.len().saturating_mul(width1))
+    };
+    let seeds = workers.min(roots.len());
     let found = AtomicU64::new(0);
     let limit_u64 = limit.map(|k| k as u64);
 
@@ -157,41 +378,191 @@ pub fn search_prebuilt(
         }
     }
 
+    // Queues: per-worker deques (seeded strided, stolen FIFO) plus the
+    // shared injector for split tasks.
+    let deques: Vec<Worker<SubtreeTask>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<SubtreeTask>> = deques.iter().map(|d| d.stealer()).collect();
+    let injector: Injector<SubtreeTask> = Injector::new();
+    for (w, deque) in deques.iter().enumerate().take(seeds) {
+        // Strided partition spreads "hot" root candidates evenly.
+        let my_roots: Vec<NodeId> = roots.iter().copied().skip(w).step_by(seeds).collect();
+        deque.push(SubtreeTask {
+            prefix: Vec::new(),
+            cands: my_roots,
+            publisher: w,
+        });
+    }
+    // Live-task count: seeds now, plus every published split. Zero means
+    // the whole tree is accounted for and idle workers may exit.
+    let pending = AtomicUsize::new(seeds);
+    // Idle-worker count, gating publication. Workers beyond the seed
+    // count are hungry from the start — registered here, before any
+    // thread runs, so the very first split opportunity already sees
+    // them.
+    let hungry = AtomicUsize::new(workers - seeds);
+    // Handles of currently *parked* thieves (each worker registers
+    // itself right before parking and deregisters after waking), so
+    // publishers and finishers can unpark exactly the threads that are
+    // sleeping instead of letting them burn the core or oversleep a
+    // blind nap — a missed wakeup would put the full park timeout on
+    // the pool's join latency.
+    let parked: std::sync::Mutex<Vec<std::thread::Thread>> =
+        std::sync::Mutex::new(Vec::with_capacity(workers));
+    let wake_all = |parked: &std::sync::Mutex<Vec<std::thread::Thread>>| {
+        for t in parked.lock().expect("parked set poisoned").drain(..) {
+            t.unpark();
+        }
+    };
+
     let mut merged: Vec<Mapping> = Vec::new();
     let mut ends: Vec<SearchEnd> = Vec::new();
     let scratches = scratch.for_workers(workers);
 
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
-        for (w, wscratch) in scratches.iter_mut().enumerate() {
-            // Strided partition spreads "hot" root candidates evenly.
-            let my_roots: Vec<NodeId> = roots.iter().copied().skip(w).step_by(workers).collect();
+        for (me, (wscratch, my_deque)) in scratches.iter_mut().zip(deques).enumerate() {
             let node_order = &node_order;
             let preds = &preds;
             let found = &found;
+            let injector = &injector;
+            let stealers = &stealers;
+            let pending = &pending;
+            let hungry = &hungry;
+            let parked = &parked;
+            let wake_all = &wake_all;
             let dl = pool_deadline.clone();
             handles.push(scope.spawn(move |_| {
                 let wstart = std::time::Instant::now();
+                let my_thread = std::thread::current();
                 let mut sink = WorkerSink {
                     local: Vec::new(),
                     found,
                     limit: limit_u64,
                     deadline: dl.clone(),
                 };
+                let mut splitter = WorkerSplitter {
+                    policy,
+                    injector,
+                    hungry,
+                    pending,
+                    parked,
+                    pool_deadline: dl.clone(),
+                    me,
+                };
                 let mut my_dl = dl;
                 let mut my_stats = SearchStats::default();
-                let end = run_dfs(
-                    problem,
-                    filter,
-                    node_order,
-                    preds,
-                    &mut my_dl,
-                    &mut sink,
-                    &mut my_stats,
-                    None,
-                    Some(&my_roots),
-                    wscratch,
-                );
+                wscratch.ensure(problem.nq(), problem.nr());
+                // Seedless workers were pre-registered as hungry by the
+                // scheduler; their first idle pass must not count twice.
+                let mut pre_registered = me >= seeds;
+                let mut end = SearchEnd::Exhausted;
+                loop {
+                    // Own deque first (depth-first locality), then go
+                    // hungry: injector (split tasks), then sibling seeds.
+                    let mut task = my_deque.pop().map(|t| (t, false));
+                    if task.is_none() && policy.never_splits() {
+                        // Faithful static root partition: no splits ever
+                        // exist, and seeds stay with their worker.
+                        break;
+                    }
+                    if task.is_none() {
+                        if !pre_registered {
+                            hungry.fetch_add(1, Ordering::SeqCst);
+                        }
+                        pre_registered = false;
+                        let mut spins = 0u32;
+                        let got = loop {
+                            if my_dl.check_now() {
+                                break None;
+                            }
+                            if let Steal::Success(t) = injector.steal() {
+                                break Some(t);
+                            }
+                            let sibling = stealers
+                                .iter()
+                                .enumerate()
+                                .filter(|(i, _)| *i != me)
+                                .find_map(|(_, s)| s.steal().success());
+                            if let Some(t) = sibling {
+                                break Some(t);
+                            }
+                            if pending.load(Ordering::SeqCst) == 0 {
+                                break None;
+                            }
+                            // Brief spin, then park: a hot spinner
+                            // steals the very CPU the busy worker needs
+                            // (ruinous on few-core hosts). Register in
+                            // the parked set first — publishers pop a
+                            // handle from it and unpark exactly one
+                            // sleeping thief — and re-check the injector
+                            // after registering so a publish racing the
+                            // registration can't be missed; the park
+                            // timeout only covers that narrow window.
+                            spins += 1;
+                            if spins < 4 {
+                                std::thread::yield_now();
+                            } else {
+                                parked
+                                    .lock()
+                                    .expect("parked set poisoned")
+                                    .push(my_thread.clone());
+                                if injector.is_empty() && pending.load(Ordering::SeqCst) != 0 {
+                                    std::thread::park_timeout(std::time::Duration::from_micros(
+                                        200,
+                                    ));
+                                }
+                                let mut g = parked.lock().expect("parked set poisoned");
+                                if let Some(i) = g.iter().position(|t| t.id() == my_thread.id()) {
+                                    g.remove(i);
+                                }
+                            }
+                        };
+                        hungry.fetch_sub(1, Ordering::SeqCst);
+                        task = got.map(|t| (t, true));
+                    }
+                    let Some((t, via_steal)) = task else {
+                        // Drained: tree fully accounted for, or the pool
+                        // was cancelled / timed out (queued tasks are
+                        // discarded — that is the drain).
+                        break;
+                    };
+                    if via_steal && t.publisher != me {
+                        my_stats.tasks_stolen += 1;
+                    }
+                    enter_prefix(wscratch, node_order, &t.prefix);
+                    let tend = run_dfs_task(
+                        filter,
+                        node_order,
+                        preds,
+                        &mut my_dl,
+                        &mut sink,
+                        &mut my_stats,
+                        None,
+                        t.prefix.len(),
+                        Some(&t.cands),
+                        wscratch,
+                        Some(&mut splitter),
+                    );
+                    leave_prefix(wscratch, node_order, &t.prefix);
+                    if pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                        // Last live task: wake parked thieves so they
+                        // observe pending == 0 and exit immediately.
+                        wake_all(parked);
+                    }
+                    match tend {
+                        SearchEnd::Exhausted => continue,
+                        other => {
+                            end = other;
+                            // The pool deadline is cancelled (or expired)
+                            // on this path: wake everyone to drain.
+                            wake_all(parked);
+                            break;
+                        }
+                    }
+                }
+                if end == SearchEnd::Exhausted && my_dl.was_expired() {
+                    end = SearchEnd::Timeout;
+                }
                 // Per-worker accounting: a worker stopped by the shared
                 // cancellation honestly reports Timeout here; the merge
                 // below reclassifies limit-triggered stops.
@@ -264,6 +635,51 @@ mod tests {
         q
     }
 
+    /// A deliberately skewed host: one hub owns almost all the work. The
+    /// query is a star (hub + `leaves` leaves); the host is one
+    /// high-degree hub wired to `spokes` spokes that are also wired in a
+    /// cycle among themselves. The hub carries `cap = 1` (spokes 0), so
+    /// under the `rNode.cap >= vNode.cap` constraint the query hub has
+    /// exactly one root candidate — the single-hub worst case for a
+    /// static root partition.
+    fn skewed_host(spokes: usize) -> Network {
+        let mut h = Network::new(Direction::Undirected);
+        let hub = h.add_node("hub");
+        h.set_node_attr(hub, "cap", 1.0);
+        let ids: Vec<NodeId> = (0..spokes).map(|i| h.add_node(format!("s{i}"))).collect();
+        for (i, &s) in ids.iter().enumerate() {
+            h.set_node_attr(s, "cap", 0.0);
+            h.add_edge(hub, s);
+            h.add_edge(s, ids[(i + 1) % spokes]);
+        }
+        h
+    }
+
+    fn star_query(leaves: usize) -> Network {
+        let mut q = Network::new(Direction::Undirected);
+        let hub = q.add_node("qh");
+        q.set_node_attr(hub, "cap", 1.0);
+        for i in 0..leaves {
+            let l = q.add_node(format!("ql{i}"));
+            q.set_node_attr(l, "cap", 0.0);
+            q.add_edge(hub, l);
+        }
+        q
+    }
+
+    fn run_seq(p: &Problem<'_>) -> (Vec<Mapping>, SearchStats) {
+        let mut sink = CollectAll::default();
+        let mut stats = SearchStats::default();
+        let mut dl = Deadline::unlimited();
+        ecf::search(p, NodeOrder::default(), &mut dl, &mut sink, &mut stats).unwrap();
+        (sink.solutions, stats)
+    }
+
+    fn sorted(mut v: Vec<Mapping>) -> Vec<Mapping> {
+        v.sort_by_key(|m| m.as_slice().to_vec());
+        v
+    }
+
     #[test]
     fn parallel_matches_sequential_solution_set() {
         let h = grid_host(8);
@@ -271,29 +687,140 @@ mod tests {
         let p = Problem::new(&q, &h, "rEdge.d <= 30.0").unwrap();
 
         // Sequential reference.
-        let mut sink = CollectAll::default();
-        let mut seq_stats = SearchStats::default();
-        let mut dl = Deadline::unlimited();
-        ecf::search(&p, NodeOrder::default(), &mut dl, &mut sink, &mut seq_stats).unwrap();
-        let mut seq: Vec<Mapping> = sink.solutions;
+        let (seq, seq_stats) = run_seq(&p);
 
         // Parallel.
         let mut par_stats = SearchStats::default();
         let mut dl2 = Deadline::unlimited();
-        let (mut par, end) =
+        let (par, end) =
             search(&p, 4, None, NodeOrder::default(), &mut dl2, &mut par_stats).unwrap();
         assert_eq!(end, SearchEnd::Exhausted);
 
-        let key = |m: &Mapping| m.as_slice().to_vec();
-        seq.sort_by_key(key);
-        par.sort_by_key(key);
-        assert_eq!(seq, par);
+        let par = sorted(par);
+        assert_eq!(sorted(seq), par);
         for m in &par {
             check_mapping(&p, m).unwrap();
         }
         // Both runs evaluated the same filter: identical build counters.
         assert_eq!(seq_stats.constraint_evals, par_stats.constraint_evals);
         assert_eq!(seq_stats.filter_cells, par_stats.filter_cells);
+        // Splitting moves work, never duplicates it: identical totals.
+        assert_eq!(seq_stats.nodes_visited, par_stats.nodes_visited);
+        assert_eq!(seq_stats.prunes, par_stats.prunes);
+    }
+
+    #[test]
+    fn aggressive_splitting_preserves_solution_set() {
+        let h = grid_host(8);
+        let q = ring_query(4);
+        let p = Problem::new(&q, &h, "rEdge.d <= 30.0").unwrap();
+        let (seq, seq_stats) = run_seq(&p);
+
+        let mut dl = Deadline::unlimited();
+        let mut bstats = SearchStats::default();
+        let filter = FilterMatrix::build(&p, &mut dl, &mut bstats).unwrap();
+        for threads in [2usize, 3, 4] {
+            let mut stats = SearchStats::default();
+            let mut dl = Deadline::unlimited();
+            let mut scratch = ParallelScratch::new();
+            let (sols, end) = search_prebuilt_with_policy(
+                &p,
+                &filter,
+                threads,
+                None,
+                NodeOrder::default(),
+                &mut dl,
+                &mut stats,
+                &mut scratch,
+                StealPolicy::aggressive(),
+            );
+            assert_eq!(end, SearchEnd::Exhausted, "threads {threads}");
+            assert_eq!(sorted(sols), sorted(seq.clone()), "threads {threads}");
+            assert_eq!(stats.nodes_visited, seq_stats.nodes_visited);
+            assert_eq!(stats.prunes, seq_stats.prunes);
+        }
+    }
+
+    #[test]
+    fn skewed_host_exercises_stealing() {
+        // One hub root candidate owns the whole tree: the static root
+        // partition would run this on a single worker. The stealing
+        // scheduler spawns the pool with three pre-registered hungry
+        // workers (threads > roots), so the hub worker *must* split at
+        // its first shallow frame (tasks_spawned > 0, deterministic) and
+        // the splits must eventually move across workers (tasks_stolen >
+        // 0 — thread scheduling decides *when* a sibling grabs one, so
+        // allow a few attempts). Every attempt must agree with the
+        // sequential solution set.
+        let h = skewed_host(10);
+        let q = star_query(4);
+        let p = Problem::new(&q, &h, "rNode.cap >= vNode.cap").unwrap();
+        let (seq, _) = run_seq(&p);
+        assert!(!seq.is_empty());
+
+        let mut dl = Deadline::unlimited();
+        let mut bstats = SearchStats::default();
+        let filter = FilterMatrix::build(&p, &mut dl, &mut bstats).unwrap();
+        let mut stolen_seen = false;
+        for attempt in 0..10 {
+            let mut stats = SearchStats::default();
+            let mut dl = Deadline::unlimited();
+            let mut scratch = ParallelScratch::new();
+            let (sols, end) = search_prebuilt_with_policy(
+                &p,
+                &filter,
+                4,
+                None,
+                NodeOrder::default(),
+                &mut dl,
+                &mut stats,
+                &mut scratch,
+                StealPolicy::aggressive(),
+            );
+            assert_eq!(end, SearchEnd::Exhausted, "attempt {attempt}");
+            assert_eq!(sorted(sols), sorted(seq.clone()), "attempt {attempt}");
+            assert!(
+                stats.tasks_spawned > 0,
+                "hungry workers must force splits on a skewed host"
+            );
+            if stats.tasks_stolen > 0 {
+                stolen_seen = true;
+                break;
+            }
+        }
+        assert!(
+            stolen_seen,
+            "no task ever moved between workers across 10 skewed runs"
+        );
+    }
+
+    #[test]
+    fn disabled_policy_is_static_root_partition() {
+        let h = grid_host(7);
+        let q = ring_query(3);
+        let p = Problem::new(&q, &h, "true").unwrap();
+        let (seq, _) = run_seq(&p);
+        let mut dl = Deadline::unlimited();
+        let mut bstats = SearchStats::default();
+        let filter = FilterMatrix::build(&p, &mut dl, &mut bstats).unwrap();
+        let mut stats = SearchStats::default();
+        let mut dl = Deadline::unlimited();
+        let mut scratch = ParallelScratch::new();
+        let (sols, end) = search_prebuilt_with_policy(
+            &p,
+            &filter,
+            3,
+            None,
+            NodeOrder::default(),
+            &mut dl,
+            &mut stats,
+            &mut scratch,
+            StealPolicy::disabled(),
+        );
+        assert_eq!(end, SearchEnd::Exhausted);
+        assert_eq!(sorted(sols), sorted(seq));
+        assert_eq!(stats.tasks_spawned, 0, "disabled policy must never split");
+        assert_eq!(stats.tasks_stolen, 0);
     }
 
     #[test]
@@ -308,6 +835,8 @@ mod tests {
         // K6 hosts all 6·5·4 = 120 oriented triangles... as a ring of 3 the
         // count equals the number of ordered 3-subsets = 120.
         assert_eq!(sols.len(), 120);
+        // A lone worker has nobody to feed.
+        assert_eq!(stats.tasks_stolen, 0);
     }
 
     #[test]
@@ -476,7 +1005,7 @@ mod tests {
         let run = |scratch: &mut ParallelScratch| {
             let mut stats = SearchStats::default();
             let mut dl = Deadline::unlimited();
-            let (mut sols, end) = search_with_scratch(
+            let (sols, end) = search_with_scratch(
                 &p,
                 3,
                 None,
@@ -487,8 +1016,7 @@ mod tests {
             )
             .unwrap();
             assert_eq!(end, SearchEnd::Exhausted);
-            sols.sort_by_key(|m| m.as_slice().to_vec());
-            sols
+            sorted(sols)
         };
         let first = run(&mut scratch);
         let second = run(&mut scratch);
@@ -511,6 +1039,9 @@ mod tests {
 
     #[test]
     fn more_threads_than_roots_is_fine() {
+        // 64 requested threads on a 4-node toy problem: the scheduler
+        // bounds the pool by the top-two-level tree width instead of
+        // spawning 60 workers that could never be fed.
         let h = grid_host(4);
         let q = ring_query(3);
         let p = Problem::new(&q, &h, "true").unwrap();

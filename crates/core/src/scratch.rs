@@ -1,18 +1,24 @@
 //! Caller-held, reusable search scratch.
 //!
-//! `ecf::run_dfs` needs one [`Frame`](crate::ecf) per depth (candidate
-//! `Vec` plus two bitset masks), an assignment array and a used-host-node
-//! bitset; LNS needs per-depth candidate buffers, an anchor list, a dedup
-//! mask and its memo cache. All of that is *setup*, not search: for tight
-//! queries over big hosts the fixed allocation dominates the
-//! (microsecond-scale) search itself. A [`SearchScratch`] owns the whole
-//! arena and is re-validated (and, where semantically required, cleared)
-//! by `SearchScratch::ensure` at the start of every search, so a caller
-//! embedding thousands of queries — the service layer's batch path —
-//! allocates once and reuses the high-water-mark buffers forever after.
+//! `ecf::run_dfs` needs one [`Frame`](crate::ecf) per depth (a candidate
+//! `Vec`), one shared pair of intersection/staging masks, an assignment
+//! array and a used-host-node bitset; LNS needs per-depth candidate
+//! buffers, an anchor list, a dedup mask and its memo cache. All of that
+//! is *setup*, not search: for tight queries over big hosts the fixed
+//! allocation dominates the (microsecond-scale) search itself. A
+//! [`SearchScratch`] owns the whole arena and is re-validated (and,
+//! where semantically required, cleared) by `SearchScratch::ensure` at
+//! the start of every search, so a caller embedding thousands of queries
+//! — the service layer's batch path — allocates once and reuses the
+//! high-water-mark buffers forever after. The cold (fresh-scratch) path
+//! is kept cheap too: the DFS masks are shared across depths instead of
+//! per-frame, and the LNS-only buffers are sized lazily by
+//! `ensure_lns`, so a one-shot ECF search allocates a handful of
+//! buffers, not `O(depth)` bitsets.
 //!
 //! [`ParallelScratch`] is the same idea for `parallel::search`: one
-//! [`SearchScratch`] per worker thread, grown on demand.
+//! [`SearchScratch`] per worker thread, grown on demand and reused
+//! across every stolen subtree task that worker executes.
 
 use crate::ecf::Frame;
 use netgraph::{NodeBitSet, NodeId};
@@ -29,12 +35,17 @@ use rustc_hash::FxHashMap;
 /// and assignments reset), only the allocations survive.
 #[derive(Debug, Default)]
 pub struct SearchScratch {
-    /// Per-depth DFS frames (candidate vec + intersection/staging masks).
+    /// Per-depth DFS frames (candidate vec + cursor).
     pub(crate) frames: Vec<Frame>,
     /// Query-node → host-node assignment (u32::MAX = unassigned).
     pub(crate) assign: Vec<NodeId>,
     /// Host nodes currently used by the partial mapping.
     pub(crate) used: NodeBitSet,
+    /// Shared intersection mask (expression (2)'s accumulator). One per
+    /// scratch, not per frame: it is consumed before the DFS descends.
+    pub(crate) mask: NodeBitSet,
+    /// Shared staging mask for sparse cells without a bitset mirror.
+    pub(crate) stage: NodeBitSet,
     /// LNS: per-depth candidate buffers.
     pub(crate) lns_cand_bufs: Vec<Vec<NodeId>>,
     /// LNS: covered-anchor list, taken/restored around candidate fills.
@@ -60,28 +71,41 @@ impl SearchScratch {
     }
 
     /// Size (or re-size) for a `(nq, nr)` problem and reset all transient
-    /// state. Called by every search entry point before the first descent;
-    /// idempotent and cheap when the dimensions are unchanged (no
-    /// allocation, just clears).
+    /// DFS state. Called by every search entry point before the first
+    /// descent; idempotent and cheap when the dimensions are unchanged
+    /// (no allocation, just clears). The LNS-only buffers are *not*
+    /// touched here — LNS calls [`SearchScratch::ensure_lns`] on top —
+    /// so a cold ECF/RWB/parallel search never pays for them.
     pub(crate) fn ensure(&mut self, nq: usize, nr: usize) {
         if self.nr != nr {
             self.nr = nr;
             self.used = NodeBitSet::new(nr);
-            self.lns_seen = NodeBitSet::new(nr);
-            for f in &mut self.frames {
-                f.resize_masks(nr);
-            }
+            self.mask = NodeBitSet::new(nr);
+            self.stage = NodeBitSet::new(nr);
         } else {
             self.used.clear();
         }
         if self.frames.len() < nq {
-            self.frames.resize_with(nq, || Frame::new(nr));
+            self.frames.resize_with(nq, Frame::new);
         }
         // `assign` is cloned into `Mapping`s at every leaf, so it must be
         // exactly `nq` long (resize both ways; capacity is retained).
         self.assign.resize(nq, NodeId(u32::MAX));
         for a in &mut self.assign {
             *a = NodeId(u32::MAX);
+        }
+    }
+
+    /// The LNS extension of [`SearchScratch::ensure`]: size and reset the
+    /// buffers only the lazy neighborhood search uses (per-depth
+    /// candidate buffers, anchors, dedup mask, memo cache, covered
+    /// flags). Kept separate so the DFS-based searches stay free of this
+    /// setup on the cold path.
+    pub(crate) fn ensure_lns(&mut self, nq: usize, nr: usize) {
+        if self.lns_seen.capacity() != nr {
+            self.lns_seen = NodeBitSet::new(nr);
+        } else {
+            self.lns_seen.clear();
         }
         if self.lns_cand_bufs.len() < nq {
             self.lns_cand_bufs.resize_with(nq, Vec::new);
@@ -152,6 +176,7 @@ mod tests {
     fn ensure_grows_and_resets() {
         let mut s = SearchScratch::new();
         s.ensure(3, 100);
+        s.ensure_lns(3, 100);
         assert_eq!(s.frames.len(), 3);
         assert_eq!(s.assign.len(), 3);
         assert_eq!(s.used.capacity(), 100);
@@ -162,6 +187,7 @@ mod tests {
         s.lns_covered[0] = true;
         s.lns_covered_links[2] = 4;
         s.ensure(3, 100);
+        s.ensure_lns(3, 100);
         assert_eq!(s.assign[1], NodeId(u32::MAX));
         assert!(s.used.is_empty());
         assert!(s.lns_memo.is_empty());
@@ -176,9 +202,25 @@ mod tests {
         s.ensure(4, 500);
         assert_eq!(s.used.capacity(), 500);
         assert_eq!(s.frames.len(), 4);
-        for f in &s.frames {
-            assert_eq!(f.mask_capacity(), 500);
-        }
+        assert_eq!(s.mask.capacity(), 500);
+        assert_eq!(s.stage.capacity(), 500);
+    }
+
+    #[test]
+    fn lns_buffers_are_lazy() {
+        // A DFS-only ensure never touches the LNS arena; ensure_lns sizes
+        // it on demand and tracks later host growth.
+        let mut s = SearchScratch::new();
+        s.ensure(3, 100);
+        assert_eq!(s.lns_seen.capacity(), 0);
+        assert!(s.lns_cand_bufs.is_empty());
+        assert!(s.lns_covered.is_empty());
+        s.ensure_lns(3, 100);
+        assert_eq!(s.lns_seen.capacity(), 100);
+        assert_eq!(s.lns_cand_bufs.len(), 3);
+        s.ensure(3, 200);
+        s.ensure_lns(3, 200);
+        assert_eq!(s.lns_seen.capacity(), 200);
     }
 
     #[test]

@@ -19,6 +19,14 @@ pub struct SearchStats {
     pub solutions: u64,
     /// Filter cells materialized (0 for LNS — that is its point).
     pub filter_cells: u64,
+    /// Subtree tasks published by the work-stealing parallel search's
+    /// depth-bounded splitting (0 for sequential runs; the per-worker
+    /// seed tasks are not counted — only dynamic re-splits).
+    pub tasks_spawned: u64,
+    /// Subtree tasks a worker executed that a *different* worker
+    /// published (taken from the shared injector or a sibling's deque).
+    /// `> 0` proves load actually moved between workers.
+    pub tasks_stolen: u64,
     /// Wall-clock time of the whole run (filter construction + search).
     ///
     /// This is always the *caller-observed* duration: the parallel search
@@ -51,6 +59,8 @@ impl SearchStats {
         self.prunes += other.prunes;
         self.solutions += other.solutions;
         self.filter_cells = self.filter_cells.max(other.filter_cells);
+        self.tasks_spawned += other.tasks_spawned;
+        self.tasks_stolen += other.tasks_stolen;
         self.elapsed = self.elapsed.max(other.elapsed);
         self.cpu_time += other.cpu_time;
         self.timed_out |= other.timed_out;
@@ -69,6 +79,8 @@ mod tests {
             prunes: 5,
             solutions: 1,
             filter_cells: 50,
+            tasks_spawned: 3,
+            tasks_stolen: 1,
             elapsed: Duration::from_millis(20),
             cpu_time: Duration::from_millis(20),
             timed_out: false,
@@ -79,6 +91,8 @@ mod tests {
             prunes: 2,
             solutions: 0,
             filter_cells: 60,
+            tasks_spawned: 2,
+            tasks_stolen: 2,
             elapsed: Duration::from_millis(35),
             cpu_time: Duration::from_millis(35),
             timed_out: true,
@@ -89,6 +103,8 @@ mod tests {
         assert_eq!(a.prunes, 7);
         assert_eq!(a.solutions, 1);
         assert_eq!(a.filter_cells, 60); // max, filters are shared
+        assert_eq!(a.tasks_spawned, 5); // sum, per-worker publishes
+        assert_eq!(a.tasks_stolen, 3); // sum, per-worker steals
         assert_eq!(a.elapsed, Duration::from_millis(35)); // max, wall-clock
         assert_eq!(a.cpu_time, Duration::from_millis(55)); // sum, cpu-time
         assert!(a.timed_out);

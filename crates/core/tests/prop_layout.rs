@@ -10,12 +10,35 @@
 //! storage (pair slots, offset rows, candidate arena, bitset mirrors,
 //! base sets), so equality means the layouts match word for word, and a
 //! search over either filter takes exactly the same path.
+//!
+//! The work-stealing parallel DFS is held to the same standard: at every
+//! tested thread count (env-overridable via `NETEMBED_TEST_WORKERS`, so
+//! CI can force a skewed 4-worker pool on a 1-core box) and under an
+//! aggressive split policy it must enumerate exactly the sequential
+//! solution multiset with identical `nodes_visited`/`prunes` totals, and
+//! a mid-search cancel must stop it without inventing solutions.
 
 use netembed::filter::reference::{self, HashFilterMatrix};
 use netembed::order::{compute_order, predecessors};
-use netembed::{CollectAll, Deadline, FilterMatrix, Mapping, NodeOrder, Problem, SearchStats};
+use netembed::{
+    parallel, CollectAll, Deadline, FilterMatrix, Mapping, NodeOrder, ParallelScratch, Problem,
+    SearchStats, StealPolicy,
+};
 use netgraph::{Direction, Network, NodeId};
 use proptest::prelude::*;
+
+/// Thread counts exercised by the stealing properties. CI pins this to a
+/// forced worker count (`NETEMBED_TEST_WORKERS=4`) so scheduler-skew
+/// bugs surface even on single-core runners.
+fn steal_threads() -> Vec<usize> {
+    match std::env::var("NETEMBED_TEST_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => vec![n],
+        _ => vec![2, 3, 4],
+    }
+}
 
 /// Build a host/query pair from raw edge lists (self-loops and duplicate
 /// edges are dropped; node indices wrap).
@@ -164,6 +187,126 @@ fn check_case(
     Ok(())
 }
 
+/// Work-stealing determinism: the parallel DFS under maximal task churn
+/// must reproduce the sequential ECF run exactly — same solution
+/// multiset, same visited/prune totals, same build counters.
+fn check_steal_case(
+    dir: Direction,
+    nr: usize,
+    hedges: &[(u32, u32, u32)],
+    nq: usize,
+    qedges: &[(u32, u32)],
+    thr: u32,
+) -> Result<(), TestCaseError> {
+    let (host, query) = build_nets(dir, nr, hedges, nq, qedges);
+    prop_assume!(query.node_count() <= host.node_count());
+    let constraint = format!("rEdge.d <= {thr}.0");
+    let problem = Problem::new(&query, &host, &constraint).unwrap();
+
+    let mut dl = Deadline::unlimited();
+    let mut bstats = SearchStats::default();
+    let filter = FilterMatrix::build(&problem, &mut dl, &mut bstats).unwrap();
+
+    let mut sink = CollectAll::default();
+    let mut seq_stats = SearchStats::default();
+    let mut dl_seq = Deadline::unlimited();
+    netembed::ecf::search_prebuilt(
+        &problem,
+        &filter,
+        NodeOrder::AscendingCandidates,
+        &mut dl_seq,
+        &mut sink,
+        &mut seq_stats,
+    );
+    let seq = sorted_mappings(sink.solutions);
+
+    for threads in steal_threads() {
+        let mut scratch = ParallelScratch::new();
+        let mut stats = SearchStats::default();
+        let mut dl_par = Deadline::unlimited();
+        let (sols, end) = parallel::search_prebuilt_with_policy(
+            &problem,
+            &filter,
+            threads,
+            None,
+            NodeOrder::AscendingCandidates,
+            &mut dl_par,
+            &mut stats,
+            &mut scratch,
+            StealPolicy::aggressive(),
+        );
+        prop_assert_eq!(
+            end,
+            netembed::ecf::SearchEnd::Exhausted,
+            "threads {}",
+            threads
+        );
+        prop_assert_eq!(
+            sorted_mappings(sols),
+            seq.clone(),
+            "stealing solution set diverges at {} threads",
+            threads
+        );
+        // Splitting moves subtrees between workers; it must never
+        // duplicate or drop one.
+        prop_assert_eq!(stats.nodes_visited, seq_stats.nodes_visited);
+        prop_assert_eq!(stats.prunes, seq_stats.prunes);
+        prop_assert_eq!(stats.filter_cells, seq_stats.filter_cells);
+
+        // Mid-search deadline cancel, deterministically triggered: a
+        // solution limit below the full count makes the first worker to
+        // reach it cancel the (scoped) pool deadline while siblings are
+        // still searching — possibly with stolen tasks queued. The pool
+        // must drain and stop: exactly `limit` solutions, every one a
+        // member of the true set, and no timeout reported (the limit,
+        // not the clock, stopped it).
+        if seq.len() >= 2 {
+            let k = 1 + seq.len() / 2;
+            let mut limit_dl = Deadline::unlimited();
+            let mut lstats = SearchStats::default();
+            let (lsols, lend) = parallel::search_prebuilt_with_policy(
+                &problem,
+                &filter,
+                threads,
+                Some(k),
+                NodeOrder::AscendingCandidates,
+                &mut limit_dl,
+                &mut lstats,
+                &mut scratch,
+                StealPolicy::aggressive(),
+            );
+            prop_assert_eq!(lend, netembed::ecf::SearchEnd::SinkStop);
+            prop_assert_eq!(lsols.len(), k);
+            prop_assert!(!lstats.timed_out, "limit stop misreported as timeout");
+            prop_assert!(!limit_dl.check_now(), "pool cancel leaked to caller");
+            for m in &lsols {
+                prop_assert!(seq.contains(m), "limit run invented a solution");
+            }
+        }
+
+        // Pre-cancelled caller deadline: the pool must refuse to start
+        // (drain-at-entry) and report an honest timeout.
+        let mut cancel_dl = Deadline::unlimited();
+        cancel_dl.cancel();
+        let mut cstats = SearchStats::default();
+        let (csols, cend) = parallel::search_prebuilt_with_policy(
+            &problem,
+            &filter,
+            threads,
+            None,
+            NodeOrder::AscendingCandidates,
+            &mut cancel_dl,
+            &mut cstats,
+            &mut scratch,
+            StealPolicy::aggressive(),
+        );
+        prop_assert_eq!(cend, netembed::ecf::SearchEnd::Timeout);
+        prop_assert!(cstats.timed_out);
+        prop_assert!(csols.is_empty());
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -205,5 +348,36 @@ proptest! {
             .flat_map(|u| ((u + 1)..nr as u32).map(move |v| (u, v, 10)))
             .collect();
         check_case(Direction::Undirected, nr, &hedges, nq, &qedges, 45)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Work-stealing determinism on random undirected problems: the
+    /// solution multiset and visit/prune totals match sequential ECF at
+    /// every tested thread count, including under a mid-search cancel.
+    #[test]
+    fn stealing_matches_sequential_undirected(
+        nr in 4usize..9,
+        hedges in proptest::collection::vec((0u32..9, 0u32..9, 0u32..50), 4..24),
+        nq in 2usize..5,
+        qedges in proptest::collection::vec((0u32..5, 0u32..5), 1..8),
+        thr in 10u32..45,
+    ) {
+        check_steal_case(Direction::Undirected, nr, &hedges, nq, &qedges, thr)?;
+    }
+
+    /// Directed problems route through the reverse-cell table under
+    /// stealing as well.
+    #[test]
+    fn stealing_matches_sequential_directed(
+        nr in 4usize..9,
+        hedges in proptest::collection::vec((0u32..9, 0u32..9, 0u32..50), 4..24),
+        nq in 2usize..5,
+        qedges in proptest::collection::vec((0u32..5, 0u32..5), 1..8),
+        thr in 10u32..45,
+    ) {
+        check_steal_case(Direction::Directed, nr, &hedges, nq, &qedges, thr)?;
     }
 }

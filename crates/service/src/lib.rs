@@ -189,7 +189,12 @@ impl NetEmbedService {
     /// (any algorithm but LNS) builds it — parallelized when that run is
     /// `ParallelEcf` — and every later run reuses it, along with one
     /// [`EmbedScratch`], so a batch of thousands of embeds pays the
-    /// first-stage construction and the DFS arena setup once. The build
+    /// first-stage construction and the DFS arena setup once. The
+    /// scratch's per-worker pool is shared too: every `ParallelEcf` run
+    /// in the batch hands the same worker scratches to the work-stealing
+    /// scheduler (split policy selected per run via
+    /// [`Options::steal`](netembed::Options)), so stolen subtree tasks
+    /// land on already-warm arenas across the whole batch. The build
     /// is charged to the run that triggered it, exactly as in
     /// [`NetEmbedService::submit`]: it spends that run's timeout budget
     /// (the search gets only the remainder) and its eval counters and
@@ -416,6 +421,76 @@ mod tests {
         // LNS ran filter-less but through the same scratch.
         assert_eq!(responses[11].mappings().len(), 2);
         assert_eq!(responses[11].stats.filter_cells, 0);
+    }
+
+    #[test]
+    fn batch_parallel_runs_share_worker_pool_under_stealing() {
+        use netembed::{Algorithm, StealPolicy};
+        // A bigger host so the parallel runs actually have a tree to
+        // split: hub-heavy, like the skew the scheduler exists for.
+        let mut h = Network::new(netgraph::Direction::Undirected);
+        let hub = h.add_node("hub");
+        let spokes: Vec<_> = (0..8).map(|i| h.add_node(format!("s{i}"))).collect();
+        for (i, &s) in spokes.iter().enumerate() {
+            let e = h.add_edge(hub, s);
+            h.set_edge_attr(e, "avgDelay", 5.0 + i as f64);
+            let e2 = h.add_edge(s, spokes[(i + 1) % spokes.len()]);
+            h.set_edge_attr(e2, "avgDelay", 50.0);
+        }
+        let mut q = Network::new(netgraph::Direction::Undirected);
+        let qh = q.add_node("qh");
+        for i in 0..3 {
+            let l = q.add_node(format!("ql{i}"));
+            q.add_edge(qh, l);
+        }
+        let svc = NetEmbedService::new();
+        svc.registry().register("skew", h);
+
+        // Several parallel all-matches runs with different policies: the
+        // batch reuses one filter and one ParallelScratch pool across
+        // them, and stealing must not change the answer.
+        let runs: Vec<Options> = vec![
+            Options {
+                algorithm: Algorithm::ParallelEcf { threads: 4 },
+                steal: StealPolicy::disabled(),
+                ..Options::default()
+            },
+            Options {
+                algorithm: Algorithm::ParallelEcf { threads: 4 },
+                ..Options::default()
+            },
+            Options {
+                // More workers than root candidates (the host has 9
+                // nodes): the surplus is hungry from the start, so the
+                // deep worker is guaranteed to re-split.
+                algorithm: Algorithm::ParallelEcf { threads: 16 },
+                steal: StealPolicy::aggressive(),
+                ..Options::default()
+            },
+        ];
+        let responses = svc
+            .submit_batch(&BatchQueryRequest {
+                host: "skew".into(),
+                query: q,
+                constraint: "rEdge.avgDelay <= 20.0".into(),
+                runs,
+            })
+            .unwrap();
+        assert_eq!(responses.len(), 3);
+        let n = responses[0].mappings().len();
+        assert!(n > 0, "hub star must embed");
+        for (i, resp) in responses.iter().enumerate() {
+            assert_eq!(resp.mappings().len(), n, "run {i} diverged");
+            assert!(matches!(resp.outcome, Outcome::Complete(_)));
+        }
+        // Later runs reused the batch filter (no rebuild evals).
+        assert_eq!(responses[1].stats.constraint_evals, 0);
+        assert_eq!(responses[2].stats.constraint_evals, 0);
+        // The aggressive run on a hub host with idle workers re-split.
+        assert!(
+            responses[2].stats.tasks_spawned > 0,
+            "aggressive stealing batch run never split"
+        );
     }
 
     #[test]

@@ -3,9 +3,22 @@
 //! solution set. This is the completeness/correctness claim of §V checked
 //! empirically across randomized instances.
 
-use netembed::{Algorithm, Engine, Mapping, Options, SearchMode};
+use netembed::{Algorithm, Engine, Mapping, Options, SearchMode, StealPolicy};
 use proptest::prelude::*;
 use topogen::{make_infeasible, subgraph_query, PlanetlabParams, SubgraphParams};
+
+/// Worker counts for the stealing-agreement properties; CI forces a
+/// fixed pool via `NETEMBED_TEST_WORKERS` so skew bugs surface on
+/// single-core runners too.
+fn steal_threads() -> Vec<usize> {
+    match std::env::var("NETEMBED_TEST_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => vec![n],
+        _ => vec![2, 4],
+    }
+}
 
 fn solution_set(
     host: &netgraph::Network,
@@ -102,6 +115,62 @@ proptest! {
             prop_assert!(res.mappings.is_empty(), "{algorithm:?} found a mapping on a poisoned instance");
             prop_assert!(res.outcome.definitively_infeasible(),
                 "{algorithm:?} did not return a definitive no");
+        }
+    }
+
+    /// The work-stealing scheduler (aggressive splitting, 2–4 workers or
+    /// the CI-forced count) enumerates exactly the ECF solution set, and
+    /// a mid-search cancel triggered by a solution limit stops it with a
+    /// clean partial result drawn from that set.
+    #[test]
+    fn stealing_parallel_agrees_with_ecf(seed in 0u64..300) {
+        let host = topogen::planetlab_like(
+            &PlanetlabParams { sites: 20, measured_prob: 0.7, clusters: 3 },
+            &mut topogen::rng(seed + 5000),
+        );
+        let wl = subgraph_query(
+            &host,
+            &SubgraphParams { n: 5, edge_keep: 0.6, slack: 0.03 },
+            &mut topogen::rng(seed + 5001),
+        );
+        let ecf = solution_set(&host, &wl.query, &wl.constraint, Algorithm::Ecf);
+        prop_assert!(!ecf.is_empty(), "planted instance must be feasible");
+
+        let engine = Engine::new(&host);
+        for threads in steal_threads() {
+            let mut par = engine
+                .embed(&wl.query, &wl.constraint, &Options {
+                    algorithm: Algorithm::ParallelEcf { threads },
+                    mode: SearchMode::All,
+                    steal: StealPolicy::aggressive(),
+                    ..Options::default()
+                })
+                .unwrap();
+            par.mappings.sort_by_key(|m| m.as_slice().to_vec());
+            prop_assert_eq!(&ecf, &par.mappings,
+                "stealing solution set diverges at {} threads", threads);
+
+            // Mid-search cancel via the solution limit: the pool deadline
+            // is cancelled by the first worker to reach k while the rest
+            // are mid-subtree (stolen tasks drain, never re-run).
+            if ecf.len() >= 2 {
+                let k = 1 + ecf.len() / 2;
+                let partial = engine
+                    .embed(&wl.query, &wl.constraint, &Options {
+                        algorithm: Algorithm::ParallelEcf { threads },
+                        mode: SearchMode::UpTo(k),
+                        steal: StealPolicy::aggressive(),
+                        ..Options::default()
+                    })
+                    .unwrap();
+                prop_assert_eq!(partial.mappings.len(), k);
+                prop_assert!(!partial.stats.timed_out,
+                    "limit stop misreported as timeout at {} threads", threads);
+                for m in &partial.mappings {
+                    prop_assert!(ecf.contains(m),
+                        "cancelled stealing run invented a solution");
+                }
+            }
         }
     }
 

@@ -1,11 +1,21 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only `crossbeam::thread::scope` is provided, implemented on top of
-//! `std::thread::scope` (stable since 1.63). The API shape matches
-//! crossbeam's: the scope closure receives a `&Scope`, `Scope::spawn`
-//! passes the scope back into the spawned closure (enabling nested
-//! spawns), and `scope` returns `Result` — though with std's scope a
-//! panicking child propagates at join rather than surfacing as `Err`.
+//! Two API subsets are provided:
+//!
+//! * `crossbeam::thread::scope`, implemented on top of
+//!   `std::thread::scope` (stable since 1.63). The API shape matches
+//!   crossbeam's: the scope closure receives a `&Scope`, `Scope::spawn`
+//!   passes the scope back into the spawned closure (enabling nested
+//!   spawns), and `scope` returns `Result` — though with std's scope a
+//!   panicking child propagates at join rather than surfacing as `Err`.
+//! * `crossbeam::deque` with `Injector`/`Worker`/`Stealer`/`Steal`, the
+//!   work-stealing primitives used by the parallel DFS scheduler. The
+//!   real crate's deques are lock-free (Chase–Lev); this stand-in backs
+//!   each queue with a `Mutex<VecDeque>`, which preserves the FIFO
+//!   ordering of the crate's `new_fifo` flavor (owner pops and thieves
+//!   steal from the same end, oldest first) at the cost of lock-freedom
+//!   — fine for workers whose task bodies are whole DFS subtrees, i.e.
+//!   queue operations are rare relative to work done.
 
 pub mod thread {
     use std::any::Any;
@@ -59,6 +69,160 @@ pub mod thread {
     }
 }
 
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried. The
+        /// mutex-backed stand-in never returns this; it exists for API
+        /// compatibility with the lock-free original.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// A FIFO queue shared by all workers: tasks are pushed at the back
+    /// and stolen from the front.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a task at the back.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("injector poisoned")
+                .push_back(task);
+        }
+
+        /// Steal the task at the front.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when no tasks are queued (racy, advisory only).
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector poisoned").is_empty()
+        }
+
+        /// Number of queued tasks (racy, advisory only).
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("injector poisoned").len()
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    /// A worker-owned queue in the crate's `new_fifo` flavor: the owner
+    /// pushes at the back and pops at the front, and thieves steal from
+    /// the front too — owner and thieves both take the oldest task, so
+    /// swapping in the real crate preserves ordering exactly.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// An empty worker deque with FIFO steal order.
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// A stealer handle onto this deque (cloneable, shareable).
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+
+        /// Owner push (back).
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("worker deque poisoned")
+                .push_back(task);
+        }
+
+        /// Owner pop (front — FIFO, same end as stealers).
+        pub fn pop(&self) -> Option<T> {
+            self.queue
+                .lock()
+                .expect("worker deque poisoned")
+                .pop_front()
+        }
+
+        /// True when the deque is empty (racy, advisory only).
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker deque poisoned").is_empty()
+        }
+    }
+
+    /// A handle for stealing from another worker's deque.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal the task at the front (the opposite end from the
+        /// owner's pop).
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .queue
+                .lock()
+                .expect("worker deque poisoned")
+                .pop_front()
+            {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when the deque is empty (racy, advisory only).
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker deque poisoned").is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -73,5 +237,53 @@ mod tests {
         })
         .unwrap();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn fifo_worker_and_stealer_take_oldest_first() {
+        use crate::deque::{Steal, Worker};
+        let w: Worker<u32> = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        // new_fifo flavor: owner pop and steals drain the same end.
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_is_fifo_across_threads() {
+        use crate::deque::{Injector, Steal};
+        let inj: Injector<usize> = Injector::new();
+        for i in 0..100 {
+            inj.push(i);
+        }
+        assert_eq!(inj.len(), 100);
+        let taken: Vec<usize> = crate::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                handles.push(scope.spawn(|_| {
+                    let mut got = Vec::new();
+                    while let Steal::Success(t) = inj.steal() {
+                        got.push(t);
+                    }
+                    got
+                }));
+            }
+            let mut all: Vec<usize> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            all
+        })
+        .unwrap();
+        // Every task taken exactly once.
+        assert_eq!(taken, (0..100).collect::<Vec<_>>());
+        assert!(inj.is_empty());
     }
 }
