@@ -24,6 +24,12 @@
 //!   the `skew-hub` row: one hub node owns every root subtree) catch
 //!   up; on a 1-core box the pair documents the scheduler's overhead
 //!   (the JSON records `host_cores` — compare `steal_overhead` there);
+//! * **pool_cold / pool_warm** — the same stealing search with a fresh
+//!   `ParallelScratch` (empty `WorkerPool` → per-run thread spawn+join,
+//!   the pre-pool behaviour) vs. one reused scratch whose pool threads
+//!   park between runs (the service steady state; zero spawns). The
+//!   gap is pure thread-spawn cost, which dominates the µs-scale fig11
+//!   parallel rows — compare `pool_warm_speedup` in the JSON;
 //! * **embed** — end-to-end bounded enumeration (build + search).
 //!
 //! Besides the stdout report, results land machine-readably in
@@ -86,6 +92,8 @@ struct Row {
     search_scratch_ns: u64,
     search_par_ns: u64,
     search_steal_ns: u64,
+    pool_cold_ns: u64,
+    pool_warm_ns: u64,
     embed_hash_ns: u64,
     embed_csr_ns: u64,
 }
@@ -219,6 +227,20 @@ fn run_scenario_capped(name: &str, host: &Network, wl: &QueryWorkload, cap: usiz
     let mut steal_scratch = ParallelScratch::new();
     let search_steal_ns = median_ns(|| run_par(StealPolicy::default(), &mut steal_scratch));
 
+    // Persistent-pool ablation on the same work-stealing search:
+    // `pool_cold` constructs a fresh `ParallelScratch` — and with it an
+    // empty `WorkerPool` — inside the timed region, so every run pays
+    // the full thread spawn+join (~65µs for 4 threads on the reference
+    // box: the pre-pool behaviour of `parallel::search*`); `pool_warm`
+    // reuses one scratch whose pool threads stay parked between runs —
+    // the service layer's steady state, zero spawns after warm-up.
+    let pool_cold_ns = median_ns(|| {
+        let mut cold_scratch = ParallelScratch::new();
+        run_par(StealPolicy::default(), &mut cold_scratch)
+    });
+    let mut warm_scratch = ParallelScratch::new();
+    let pool_warm_ns = median_ns(|| run_par(StealPolicy::default(), &mut warm_scratch));
+
     let embed_hash_ns = median_ns(|| embed_hash() as u64);
     let embed_csr_ns = median_ns(|| embed_csr() as u64);
 
@@ -235,11 +257,13 @@ fn run_scenario_capped(name: &str, host: &Network, wl: &QueryWorkload, cap: usiz
         search_scratch_ns,
         search_par_ns,
         search_steal_ns,
+        pool_cold_ns,
+        pool_warm_ns,
         embed_hash_ns,
         embed_csr_ns,
     };
     println!(
-        "{:<24} nq={:<3} nr={:<4} sols={:<5} build {:>9} -> {:>9} ns ({:.2}x)   build_par({PAR_THREADS}t) {:>9} ns ({:.2}x)   search {:>9} -> {:>9} ns ({:.2}x)   scratch {:>9} ns ({:.2}x)   par({STEAL_WORKERS}w) {:>9} ns   steal({STEAL_WORKERS}w) {:>9} ns ({:.2}x)   embed {:>10} -> {:>10} ns ({:.2}x)",
+        "{:<24} nq={:<3} nr={:<4} sols={:<5} build {:>9} -> {:>9} ns ({:.2}x)   build_par({PAR_THREADS}t) {:>9} ns ({:.2}x)   search {:>9} -> {:>9} ns ({:.2}x)   scratch {:>9} ns ({:.2}x)   par({STEAL_WORKERS}w) {:>9} ns   steal({STEAL_WORKERS}w) {:>9} ns ({:.2}x)   pool cold {:>9} -> warm {:>9} ns ({:.2}x)   embed {:>10} -> {:>10} ns ({:.2}x)",
         row.name,
         row.nq,
         row.nr,
@@ -257,6 +281,9 @@ fn run_scenario_capped(name: &str, host: &Network, wl: &QueryWorkload, cap: usiz
         row.search_par_ns,
         row.search_steal_ns,
         row.search_par_ns as f64 / row.search_steal_ns.max(1) as f64,
+        row.pool_cold_ns,
+        row.pool_warm_ns,
+        row.pool_cold_ns as f64 / row.pool_warm_ns.max(1) as f64,
         row.embed_hash_ns,
         row.embed_csr_ns,
         row.embed_hash_ns as f64 / row.embed_csr_ns.max(1) as f64,
@@ -325,10 +352,12 @@ fn write_json(rows: &[Row], path: &PathBuf) {
              \"build_hashmap_ns\": {}, \"build_csr_ns\": {}, \"build_par_ns\": {}, \
              \"search_hashmap_ns\": {}, \"search_csr_ns\": {}, \"search_scratch_ns\": {}, \
              \"search_par_ns\": {}, \"search_steal_ns\": {}, \
+             \"search_pool_cold_ns\": {}, \"search_pool_warm_ns\": {}, \
              \"embed_hashmap_ns\": {}, \"embed_csr_ns\": {}, \
              \"build_speedup\": {:.3}, \"build_par_speedup\": {:.3}, \
              \"search_speedup\": {:.3}, \"scratch_speedup\": {:.3}, \
-             \"steal_overhead\": {:.3}, \"embed_speedup\": {:.3}}}{}\n",
+             \"steal_overhead\": {:.3}, \"pool_warm_speedup\": {:.3}, \
+             \"embed_speedup\": {:.3}}}{}\n",
             json_escape(&r.name),
             r.nq,
             r.nr,
@@ -341,6 +370,8 @@ fn write_json(rows: &[Row], path: &PathBuf) {
             r.search_scratch_ns,
             r.search_par_ns,
             r.search_steal_ns,
+            r.pool_cold_ns,
+            r.pool_warm_ns,
             r.embed_hash_ns,
             r.embed_csr_ns,
             r.build_hash_ns as f64 / r.build_csr_ns.max(1) as f64,
@@ -350,6 +381,9 @@ fn write_json(rows: &[Row], path: &PathBuf) {
             // > 1.0 means stealing cost that much more wall time than the
             // static partition *on this machine* — see host_cores.
             r.search_steal_ns as f64 / r.search_par_ns.max(1) as f64,
+            // > 1.0 means the warm persistent pool saved that factor of
+            // wall time over per-run thread spawns.
+            r.pool_cold_ns as f64 / r.pool_warm_ns.max(1) as f64,
             r.embed_hash_ns as f64 / r.embed_csr_ns.max(1) as f64,
             if i + 1 < rows.len() { "," } else { "" },
         ));

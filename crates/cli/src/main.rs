@@ -7,12 +7,18 @@
 //! ```
 //!
 //! `embed` reads both networks from GraphML (§VI-A), runs the selected
-//! algorithm (§V) and prints each feasible mapping as `query=host` pairs.
+//! algorithm (§V) through the mapping service's prepared-query path and
+//! prints each feasible mapping as `query=host` pairs. `--repeat N` runs
+//! the same prepared request N times — the service session keeps the
+//! compiled problem, the epoch-keyed filter cache and the persistent
+//! worker pool warm, so runs after the first skip the filter build and
+//! thread spawns (the per-run stats lines show it).
 //! Exit codes: 0 mappings found, 1 definitively infeasible, 2 usage or
 //! input error, 3 inconclusive (timeout with nothing found).
 
-use netembed::{Algorithm, Engine, Options, Outcome, SearchMode};
+use netembed::{Algorithm, Options, Outcome, SearchMode};
 use netgraph::Network;
+use service::NetEmbedService;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -22,7 +28,8 @@ netembed — NETEMBED network embedding service CLI
 USAGE:
   netembed embed --host FILE --query FILE --constraint EXPR
                  [--algorithm ecf|rwb|lns|par] [--threads N]
-                 [--mode all|first|N] [--timeout-ms N] [--seed N] [--quiet]
+                 [--mode all|first|N] [--timeout-ms N] [--seed N]
+                 [--repeat N] [--quiet]
   netembed gen   planetlab|brite|waxman|clique|ring|star
                  [--nodes N] [--seed N] --out FILE
   netembed inspect FILE
@@ -117,9 +124,17 @@ fn cmd_embed(args: &[String]) -> ExitCode {
     let seed = flag_value(args, "--seed")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
+    let repeat: usize = flag_value(args, "--repeat")
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1);
     let quiet = has_flag(args, "--quiet");
 
-    let engine = Engine::new(&host);
+    // One service session for the whole invocation: the prepared query
+    // compiles the constraint once and keeps filter + pool warm across
+    // --repeat runs.
+    let svc = NetEmbedService::new();
+    svc.registry().register("host", host.clone());
     let options = Options {
         algorithm,
         mode,
@@ -127,33 +142,55 @@ fn cmd_embed(args: &[String]) -> ExitCode {
         seed,
         ..Options::default()
     };
-    let result = match engine.embed(&query, &constraint, &options) {
-        Ok(r) => r,
+    let mut prepared = match svc.prepare("host", query.clone(), &constraint) {
+        Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
+    let mut result = None;
+    for run in 0..repeat {
+        match prepared.run(&options) {
+            Ok(resp) => {
+                if !quiet && repeat > 1 {
+                    eprintln!(
+                        "# run {}/{repeat}: elapsed: {:?}, filter cache hit: {}, warm pool threads: {}",
+                        run + 1,
+                        resp.stats.elapsed,
+                        resp.stats.filter_cache_hits > 0,
+                        resp.stats.pool_reuse,
+                    );
+                }
+                result = Some(resp);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let result = result.expect("repeat >= 1");
 
     if !quiet {
         eprintln!(
             "# {} mapping(s), outcome: {}, elapsed: {:?}, visited: {}, evals: {}",
-            result.mappings.len(),
+            result.mappings().len(),
             result.outcome.label(),
             result.stats.elapsed,
             result.stats.nodes_visited,
             result.stats.constraint_evals,
         );
     }
-    for m in &result.mappings {
+    for m in result.mappings() {
         let row: Vec<String> = m
             .iter()
             .map(|(q, r)| format!("{}={}", query.node_name(q), host.node_name(r)))
             .collect();
         println!("{}", row.join(" "));
     }
-    match result.outcome {
-        _ if !result.mappings.is_empty() => ExitCode::SUCCESS,
+    match &result.outcome {
+        _ if !result.mappings().is_empty() => ExitCode::SUCCESS,
         Outcome::Complete(_) => ExitCode::from(1),
         _ => ExitCode::from(3),
     }

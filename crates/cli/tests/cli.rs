@@ -159,6 +159,54 @@ fn usage_errors_exit_2() {
 }
 
 #[test]
+fn repeat_runs_share_the_prepared_session() {
+    let host = tmp("repeat-host.graphml");
+    let out = run(&[
+        "gen",
+        "ring",
+        "--nodes",
+        "8",
+        "--out",
+        host.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let out = run(&[
+        "embed",
+        "--host",
+        host.to_str().unwrap(),
+        "--query",
+        host.to_str().unwrap(),
+        "--constraint",
+        "true",
+        "--mode",
+        "first",
+        "--repeat",
+        "3",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("run 1/3"), "{stderr}");
+    assert!(
+        stderr.contains("run 1/3: elapsed") && stderr.contains("filter cache hit: false"),
+        "{stderr}"
+    );
+    // Runs 2 and 3 ride the warm session: the filter comes from the
+    // epoch-keyed cache.
+    assert!(
+        stderr.matches("filter cache hit: true").count() >= 2,
+        "{stderr}"
+    );
+    // Mappings are printed once, for the final run.
+    assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 1);
+    std::fs::remove_file(&host).ok();
+}
+
+#[test]
 fn help_prints_usage() {
     let out = run(&["--help"]);
     assert!(out.status.success());

@@ -169,15 +169,30 @@ impl<'a> Engine<'a> {
                 )
             }
             Algorithm::ParallelEcf { threads } => {
-                let filter = FilterMatrix::build_par(problem, threads, &mut deadline, &mut stats)?;
-                Self::dispatch_prebuilt(
+                let spawned_before = scratch.parallel.pool().spawned_total();
+                let filter = FilterMatrix::build_par_pooled(
+                    problem,
+                    threads,
+                    &mut deadline,
+                    &mut stats,
+                    scratch.parallel.pool_mut(),
+                )?;
+                // Threads the build fan-out just spawned are new, not
+                // warm: deduct exactly them (and only them — the search
+                // never credits its own spawns) from the search stage's
+                // count, so a cold run reports `pool_reuse == 0` while a
+                // partially warm pool keeps its genuine credit.
+                let build_spawned = scratch.parallel.pool().spawned_total() - spawned_before;
+                let out = Self::dispatch_prebuilt(
                     problem,
                     &filter,
                     options,
                     &mut deadline,
                     &mut stats,
                     scratch,
-                )
+                );
+                stats.pool_reuse = stats.pool_reuse.saturating_sub(build_spawned);
+                out
             }
         };
         Ok(Self::finalize(
@@ -475,6 +490,83 @@ mod tests {
             )
             .unwrap();
         assert_eq!(r.mappings.len(), 3);
+    }
+
+    #[test]
+    fn cold_parallel_run_reports_zero_pool_reuse() {
+        // Regression: a multi-edge query makes the filter build fan out
+        // first, spawning the pool threads *before* the search stage —
+        // those threads are new, not warm, and must not be counted as
+        // reuse on the very first run.
+        let h = host();
+        let mut q = Network::new(Direction::Undirected);
+        let a = q.add_node("a");
+        let b = q.add_node("b");
+        let c = q.add_node("c");
+        q.add_edge(a, b);
+        q.add_edge(b, c);
+        q.add_edge(a, c);
+        let engine = Engine::new(&h);
+        let opts = Options {
+            algorithm: Algorithm::ParallelEcf { threads: 4 },
+            ..Options::default()
+        };
+        let mut scratch = EmbedScratch::new();
+        let cold = engine
+            .embed_with_scratch(&q, "true", &opts, &mut scratch)
+            .unwrap();
+        assert_eq!(cold.stats.pool_reuse, 0, "cold run must report no reuse");
+        let warm = engine
+            .embed_with_scratch(&q, "true", &opts, &mut scratch)
+            .unwrap();
+        assert!(warm.stats.pool_reuse > 0, "second run must reuse the pool");
+        assert_eq!(cold.mappings.len(), warm.mappings.len());
+    }
+
+    #[test]
+    fn partially_warm_pool_keeps_credit_for_warm_threads() {
+        // A 2-thread run leaves 2 parked threads; a following 4-thread
+        // run on a 2-edge query builds with only 2 chunks (spawns
+        // nothing) and then grows the pool in the *search* stage. The
+        // two genuinely warm threads must stay credited — only
+        // build-phase spawns are deducted, never search-stage ones.
+        let h = host();
+        let mut q = Network::new(Direction::Undirected);
+        let a = q.add_node("a");
+        let b = q.add_node("b");
+        let c = q.add_node("c");
+        q.add_edge(a, b);
+        q.add_edge(b, c);
+        let engine = Engine::new(&h);
+        let mut scratch = EmbedScratch::new();
+        engine
+            .embed_with_scratch(
+                &q,
+                "true",
+                &Options {
+                    algorithm: Algorithm::ParallelEcf { threads: 2 },
+                    ..Options::default()
+                },
+                &mut scratch,
+            )
+            .unwrap();
+        assert_eq!(scratch.parallel.pool().thread_count(), 2);
+        let grown = engine
+            .embed_with_scratch(
+                &q,
+                "true",
+                &Options {
+                    algorithm: Algorithm::ParallelEcf { threads: 4 },
+                    ..Options::default()
+                },
+                &mut scratch,
+            )
+            .unwrap();
+        assert_eq!(
+            grown.stats.pool_reuse, 2,
+            "the two pre-existing threads served this run"
+        );
+        assert_eq!(scratch.parallel.pool().thread_count(), 4);
     }
 
     #[test]

@@ -432,7 +432,7 @@ impl FilterMatrix {
         deadline: &mut Deadline,
         stats: &mut SearchStats,
     ) -> Result<FilterMatrix, ProblemError> {
-        Self::build_impl(problem, 1, deadline, stats)
+        Self::build_impl(problem, 1, deadline, stats, None)
     }
 
     /// [`FilterMatrix::build`] with the evaluation scan parallelized over
@@ -448,7 +448,24 @@ impl FilterMatrix {
         deadline: &mut Deadline,
         stats: &mut SearchStats,
     ) -> Result<FilterMatrix, ProblemError> {
-        Self::build_impl(problem, threads.max(1), deadline, stats)
+        Self::build_impl(problem, threads.max(1), deadline, stats, None)
+    }
+
+    /// [`FilterMatrix::build_par`], but the chunk scan runs on a
+    /// caller-held persistent [`WorkerPool`](crate::pool::WorkerPool)
+    /// instead of a fresh thread scope — the spawn-free path for
+    /// long-lived callers (the engine routes
+    /// [`Algorithm::ParallelEcf`](crate::Algorithm) builds here through
+    /// the [`ParallelScratch`](crate::ParallelScratch) pool). Output is
+    /// bitwise-identical to the sequential and scoped builds.
+    pub fn build_par_pooled(
+        problem: &Problem<'_>,
+        threads: usize,
+        deadline: &mut Deadline,
+        stats: &mut SearchStats,
+        pool: &mut crate::pool::WorkerPool,
+    ) -> Result<FilterMatrix, ProblemError> {
+        Self::build_impl(problem, threads.max(1), deadline, stats, Some(pool))
     }
 
     fn build_impl(
@@ -456,6 +473,7 @@ impl FilterMatrix {
         threads: usize,
         deadline: &mut Deadline,
         stats: &mut SearchStats,
+        pool: Option<&mut crate::pool::WorkerPool>,
     ) -> Result<FilterMatrix, ProblemError> {
         let nq = problem.nq();
         let nr = problem.nr();
@@ -499,6 +517,31 @@ impl FilterMatrix {
             vec![scan_query_edges(
                 problem, &qedges, &node_pass, &fwd_slots, &rev_slots, deadline,
             )]
+        } else if let Some(pool) = pool {
+            // Persistent-pool fan-out: same chunks, same deterministic
+            // stitch order, but the threads were (usually) already
+            // parked waiting — no spawn/join on the warm path.
+            let chunk = qedges.len().div_ceil(workers);
+            let chunks: Vec<&[EdgeRef]> = qedges.chunks(chunk).collect();
+            let mut slots: Vec<Option<Result<ScanOut, ProblemError>>> =
+                (0..chunks.len()).map(|_| None).collect();
+            {
+                let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(chunks.len());
+                for (ch, slot) in chunks.into_iter().zip(slots.iter_mut()) {
+                    let mut dl = deadline.clone();
+                    let (node_pass, fwd_slots, rev_slots) = (&node_pass, &fwd_slots, &rev_slots);
+                    jobs.push(Box::new(move || {
+                        *slot = Some(scan_query_edges(
+                            problem, ch, node_pass, fwd_slots, rev_slots, &mut dl,
+                        ));
+                    }));
+                }
+                pool.run_scoped(jobs);
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("pool scan job completed"))
+                .collect()
         } else {
             let chunk = qedges.len().div_ceil(workers);
             crossbeam::thread::scope(|scope| {

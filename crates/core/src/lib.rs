@@ -44,7 +44,12 @@
 //! [`FilterMatrix`] across runs; [`Engine::run_prebuilt`] combines both,
 //! and the `service` crate's `submit_batch` is the end-to-end batch path.
 //! For the parallel search, [`scratch::ParallelScratch`] keeps one
-//! scratch per worker.
+//! scratch per worker plus a persistent [`pool::WorkerPool`]: the worker
+//! threads park between calls instead of being re-spawned per search, so
+//! a warm caller's parallel runs (and pooled filter builds,
+//! [`FilterMatrix::build_par_pooled`]) are spawn-free —
+//! [`SearchStats::pool_reuse`] reports how many warm threads a run
+//! found.
 //!
 //! ## Quick start
 //!
@@ -89,6 +94,7 @@ pub mod order;
 pub mod outcome;
 pub mod parallel;
 pub mod pathmap;
+pub mod pool;
 pub mod problem;
 pub mod rwb;
 pub mod scratch;
@@ -103,6 +109,7 @@ pub use mapping::Mapping;
 pub use order::NodeOrder;
 pub use outcome::Outcome;
 pub use parallel::StealPolicy;
+pub use pool::WorkerPool;
 pub use problem::{Problem, ProblemError};
 pub use scratch::{EmbedScratch, ParallelScratch, SearchScratch};
 pub use sink::{CollectAll, CollectUpTo, CountOnly, SinkControl, SolutionSink};

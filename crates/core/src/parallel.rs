@@ -19,6 +19,13 @@
 //!   `Injector` receives dynamically split tasks. An idle worker takes
 //!   from the injector first (split tasks are published precisely
 //!   because someone was idle), then from sibling deques.
+//! * **A persistent pool.** Workers run on the
+//!   [`WorkerPool`](crate::pool::WorkerPool) owned by the caller's
+//!   [`ParallelScratch`] — threads park between calls rather than being
+//!   re-spawned per search, so warm repeated searches are spawn-free
+//!   (`stats.pool_reuse` counts the warm threads a run found; worker
+//!   `w` always lands on pool thread `w`, keeping its scratch
+//!   thread-local-warm too).
 //! * **Depth-bounded splitting.** While a worker descends, the DFS
 //!   offers the *untried tail* of the current frame to the scheduler at
 //!   every candidate take (see `ecf::TaskSplitter`). The offer is
@@ -254,10 +261,20 @@ pub fn search_with_scratch(
 ) -> Result<(Vec<Mapping>, SearchEnd), ProblemError> {
     assert!(threads >= 1, "need at least one thread");
     let start = std::time::Instant::now();
-    let filter = FilterMatrix::build_par(problem, threads, deadline, stats)?;
+    let spawned_before = scratch.pool().spawned_total();
+    let filter =
+        FilterMatrix::build_par_pooled(problem, threads, deadline, stats, scratch.pool_mut())?;
+    // `pool_reuse` must only credit threads that predate this *run*: the
+    // search stage counts whatever the pool holds when it starts, which
+    // includes threads the build fan-out above just spawned. Deduct
+    // exactly the build-phase spawns (search-stage spawns were never
+    // credited), so a cold run reports 0 and a partially warm pool keeps
+    // credit for its genuinely warm threads.
+    let build_spawned = scratch.pool().spawned_total() - spawned_before;
     let (merged, end) = search_prebuilt(
         problem, &filter, threads, limit, order, deadline, stats, scratch,
     );
+    stats.pool_reuse = stats.pool_reuse.saturating_sub(build_spawned);
     // Authoritative wall clock for the whole run (build + search).
     stats.elapsed = start.elapsed();
     Ok((merged, end))
@@ -416,11 +433,23 @@ pub fn search_prebuilt_with_policy(
 
     let mut merged: Vec<Mapping> = Vec::new();
     let mut ends: Vec<SearchEnd> = Vec::new();
-    let scratches = scratch.for_workers(workers);
+    let (pool, scratches) = scratch.pool_and_workers(workers);
+    // Warm threads reused from the persistent pool: the run is
+    // spawn-free exactly when this equals `workers`.
+    stats.pool_reuse += pool.thread_count().min(workers) as u64;
 
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for (me, (wscratch, my_deque)) in scratches.iter_mut().zip(deques).enumerate() {
+    // One result slot per worker, written by the worker's pool job and
+    // collected after the round joins.
+    let mut results: Vec<Option<(Vec<Mapping>, SearchEnd, SearchStats)>> =
+        (0..workers).map(|_| None).collect();
+    {
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(workers);
+        for (me, ((wscratch, my_deque), result)) in scratches
+            .iter_mut()
+            .zip(deques)
+            .zip(results.iter_mut())
+            .enumerate()
+        {
             let node_order = &node_order;
             let preds = &preds;
             let found = &found;
@@ -431,7 +460,7 @@ pub fn search_prebuilt_with_policy(
             let parked = &parked;
             let wake_all = &wake_all;
             let dl = pool_deadline.clone();
-            handles.push(scope.spawn(move |_| {
+            jobs.push(Box::new(move || {
                 let wstart = std::time::Instant::now();
                 let my_thread = std::thread::current();
                 let mut sink = WorkerSink {
@@ -568,17 +597,17 @@ pub fn search_prebuilt_with_policy(
                 // below reclassifies limit-triggered stops.
                 my_stats.timed_out = end == SearchEnd::Timeout;
                 my_stats.cpu_time = wstart.elapsed();
-                (sink.local, end, my_stats)
+                *result = Some((sink.local, end, my_stats));
             }));
         }
-        for h in handles {
-            let (local, end, wstats) = h.join().expect("worker panicked");
-            merged.extend(local);
-            ends.push(end);
-            stats.merge(&wstats);
-        }
-    })
-    .expect("scope failure");
+        pool.run_scoped(jobs);
+    }
+    for slot in results {
+        let (local, end, wstats) = slot.expect("pool worker completed");
+        merged.extend(local);
+        ends.push(end);
+        stats.merge(&wstats);
+    }
 
     // Aggregate ends. If the global limit was reached, workers observe a
     // cancelled pool deadline and report Timeout — reclassify as SinkStop.
@@ -1023,6 +1052,82 @@ mod tests {
         let third = run(&mut scratch);
         assert_eq!(first, second);
         assert_eq!(second, third);
+    }
+
+    #[test]
+    fn warm_pool_makes_repeat_searches_spawn_free() {
+        let h = grid_host(8);
+        let q = ring_query(4);
+        let p = Problem::new(&q, &h, "rEdge.d <= 30.0").unwrap();
+        let mut dl = Deadline::unlimited();
+        let mut bstats = SearchStats::default();
+        let filter = FilterMatrix::build(&p, &mut dl, &mut bstats).unwrap();
+        let mut scratch = ParallelScratch::new();
+
+        // Cold run: the pool is empty, every worker thread is new.
+        let mut cold = SearchStats::default();
+        let mut dl = Deadline::unlimited();
+        let (first, end) = search_prebuilt(
+            &p,
+            &filter,
+            4,
+            None,
+            NodeOrder::default(),
+            &mut dl,
+            &mut cold,
+            &mut scratch,
+        );
+        assert_eq!(end, SearchEnd::Exhausted);
+        assert_eq!(cold.pool_reuse, 0, "cold pool has nothing to reuse");
+        let spawned = scratch.pool().spawned_total();
+        assert_eq!(spawned, 4, "cold run spawns exactly the worker count");
+
+        // Warm runs: zero new threads, full reuse, identical answers.
+        for round in 0..3 {
+            let mut warm = SearchStats::default();
+            let mut dl = Deadline::unlimited();
+            let (again, end) = search_prebuilt(
+                &p,
+                &filter,
+                4,
+                None,
+                NodeOrder::default(),
+                &mut dl,
+                &mut warm,
+                &mut scratch,
+            );
+            assert_eq!(end, SearchEnd::Exhausted, "round {round}");
+            assert_eq!(sorted(again), sorted(first.clone()), "round {round}");
+            assert_eq!(
+                scratch.pool().spawned_total(),
+                spawned,
+                "warm round {round} spawned new threads"
+            );
+            assert_eq!(warm.pool_reuse, 4, "round {round} must reuse all workers");
+        }
+    }
+
+    #[test]
+    fn pooled_build_matches_scoped_build() {
+        let h = grid_host(8);
+        let q = ring_query(4);
+        let p = Problem::new(&q, &h, "rEdge.d <= 30.0").unwrap();
+        let mut dl = Deadline::unlimited();
+        let mut s1 = SearchStats::default();
+        let scoped = FilterMatrix::build_par(&p, 4, &mut dl, &mut s1).unwrap();
+        let mut pool = crate::pool::WorkerPool::new();
+        let mut dl = Deadline::unlimited();
+        let mut s2 = SearchStats::default();
+        let pooled = FilterMatrix::build_par_pooled(&p, 4, &mut dl, &mut s2, &mut pool).unwrap();
+        assert!(scoped == pooled, "pooled build must be bitwise-identical");
+        assert_eq!(s1.constraint_evals, s2.constraint_evals);
+        // And a second pooled build reuses the same threads.
+        let before = pool.spawned_total();
+        let mut dl = Deadline::unlimited();
+        let mut s3 = SearchStats::default();
+        let again = FilterMatrix::build_par_pooled(&p, 4, &mut dl, &mut s3, &mut pool).unwrap();
+        assert!(again == pooled, "warm pooled build diverged");
+        assert_eq!(pool.spawned_total(), before, "warm build spawned threads");
     }
 
     #[test]

@@ -121,9 +121,22 @@ impl<'a> Problem<'a> {
         constraint: &str,
     ) -> Result<Self, ProblemError> {
         let expr = parse(constraint)?;
+        Self::from_parsed(query, host, &expr)
+    }
+
+    /// [`Problem::new`] over an already-parsed constraint: same
+    /// conjunct splitting, no re-parse. This is the repeated-compile
+    /// path for callers that keep a query prepared across many runs
+    /// (the service layer's `PreparedQuery` re-binds the same parsed
+    /// expression against each new model snapshot).
+    pub fn from_parsed(
+        query: &'a Network,
+        host: &'a Network,
+        expr: &Expr,
+    ) -> Result<Self, ProblemError> {
         let mut edge_parts: Vec<Expr> = Vec::new();
         let mut node_parts: Vec<Expr> = Vec::new();
-        for conjunct in split_conjunction(&expr) {
+        for conjunct in split_conjunction(expr) {
             let uses_node = conjunct.uses_node_objects();
             let uses_edge = conjunct
                 .attr_refs()

@@ -18,9 +18,14 @@
 //!
 //! [`ParallelScratch`] is the same idea for `parallel::search`: one
 //! [`SearchScratch`] per worker thread, grown on demand and reused
-//! across every stolen subtree task that worker executes.
+//! across every stolen subtree task that worker executes — plus the
+//! persistent [`WorkerPool`] those workers run on, so a reused
+//! `ParallelScratch` makes repeated parallel searches spawn-free as
+//! well as allocation-free (worker `w`'s scratch always lands on pool
+//! thread `w`, keeping the arenas cache-warm per thread).
 
 use crate::ecf::Frame;
+use crate::pool::WorkerPool;
 use netgraph::{NodeBitSet, NodeId};
 use rustc_hash::FxHashMap;
 
@@ -127,26 +132,52 @@ impl SearchScratch {
     }
 }
 
-/// Per-worker scratches for `parallel::search`: worker `w` reuses
-/// `self.workers[w]` across calls, so a long-lived caller pays the
-/// per-depth arena setup once per worker instead of once per request.
+/// Per-worker scratches for `parallel::search` plus the persistent
+/// [`WorkerPool`] they run on: worker `w` reuses `self.workers[w]` (on
+/// pool thread `w`) across calls, so a long-lived caller pays the
+/// per-depth arena setup *and* the thread spawns once instead of once
+/// per request.
 #[derive(Debug, Default)]
 pub struct ParallelScratch {
     workers: Vec<SearchScratch>,
+    pool: WorkerPool,
 }
 
 impl ParallelScratch {
-    /// An empty scratch pool; worker scratches grow on demand.
+    /// An empty scratch pool; worker scratches and pool threads grow on
+    /// demand (a scratch that never runs a parallel search spawns
+    /// nothing).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Mutable slice of at least `n` worker scratches.
-    pub(crate) fn for_workers(&mut self, n: usize) -> &mut [SearchScratch] {
+    /// A scratch pool over a caller-constructed [`WorkerPool`] — e.g.
+    /// one pre-spawned with [`WorkerPool::with_threads`] so the first
+    /// search is already warm.
+    pub fn with_pool(pool: WorkerPool) -> Self {
+        ParallelScratch {
+            workers: Vec::new(),
+            pool,
+        }
+    }
+
+    /// The persistent worker pool (thread/spawn counters live here).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Mutable access to the pool — the filter build borrows it
+    /// separately from the worker scratches.
+    pub fn pool_mut(&mut self) -> &mut WorkerPool {
+        &mut self.pool
+    }
+
+    /// Split borrow: the pool plus at least `n` worker scratches.
+    pub(crate) fn pool_and_workers(&mut self, n: usize) -> (&mut WorkerPool, &mut [SearchScratch]) {
         if self.workers.len() < n {
             self.workers.resize_with(n, SearchScratch::new);
         }
-        &mut self.workers[..n]
+        (&mut self.pool, &mut self.workers[..n])
     }
 }
 
@@ -226,8 +257,17 @@ mod tests {
     #[test]
     fn parallel_scratch_grows_on_demand() {
         let mut p = ParallelScratch::new();
-        assert_eq!(p.for_workers(3).len(), 3);
-        assert_eq!(p.for_workers(2).len(), 2);
-        assert_eq!(p.for_workers(5).len(), 5);
+        assert_eq!(p.pool_and_workers(3).1.len(), 3);
+        assert_eq!(p.pool_and_workers(2).1.len(), 2);
+        assert_eq!(p.pool_and_workers(5).1.len(), 5);
+        // Asking for scratches spawns no threads; only running does.
+        assert_eq!(p.pool().thread_count(), 0);
+    }
+
+    #[test]
+    fn parallel_scratch_adopts_prewarmed_pool() {
+        let mut p = ParallelScratch::with_pool(crate::pool::WorkerPool::with_threads(2));
+        assert_eq!(p.pool().thread_count(), 2);
+        assert_eq!(p.pool_and_workers(2).0.thread_count(), 2);
     }
 }

@@ -27,6 +27,21 @@ pub struct SearchStats {
     /// published (taken from the shared injector or a sibling's deque).
     /// `> 0` proves load actually moved between workers.
     pub tasks_stolen: u64,
+    /// Filter builds this run avoided because a service-layer filter
+    /// cache (the `service` crate's `FilterCache`, keyed by model
+    /// epoch) already held the matrix. 0 for engine-level runs; the
+    /// service's prepared-query path sets it to 1 per cache hit, so a
+    /// repeated-submit loop proves "exactly one build" by summing this
+    /// across responses.
+    pub filter_cache_hits: u64,
+    /// Worker-pool threads that were already alive *before this run
+    /// began* (parked from an earlier run) and served this parallel
+    /// search. Equals the worker count on a fully warm
+    /// [`WorkerPool`](crate::WorkerPool) — i.e. the run spawned zero
+    /// new threads — and 0 on a cold pool or a sequential run; threads
+    /// spawned by the run's own filter-build fan-out count as new, not
+    /// warm.
+    pub pool_reuse: u64,
     /// Wall-clock time of the whole run (filter construction + search).
     ///
     /// This is always the *caller-observed* duration: the parallel search
@@ -61,6 +76,8 @@ impl SearchStats {
         self.filter_cells = self.filter_cells.max(other.filter_cells);
         self.tasks_spawned += other.tasks_spawned;
         self.tasks_stolen += other.tasks_stolen;
+        self.filter_cache_hits += other.filter_cache_hits;
+        self.pool_reuse += other.pool_reuse;
         self.elapsed = self.elapsed.max(other.elapsed);
         self.cpu_time += other.cpu_time;
         self.timed_out |= other.timed_out;
@@ -81,6 +98,8 @@ mod tests {
             filter_cells: 50,
             tasks_spawned: 3,
             tasks_stolen: 1,
+            filter_cache_hits: 1,
+            pool_reuse: 2,
             elapsed: Duration::from_millis(20),
             cpu_time: Duration::from_millis(20),
             timed_out: false,
@@ -93,6 +112,8 @@ mod tests {
             filter_cells: 60,
             tasks_spawned: 2,
             tasks_stolen: 2,
+            filter_cache_hits: 0,
+            pool_reuse: 4,
             elapsed: Duration::from_millis(35),
             cpu_time: Duration::from_millis(35),
             timed_out: true,
@@ -105,6 +126,8 @@ mod tests {
         assert_eq!(a.filter_cells, 60); // max, filters are shared
         assert_eq!(a.tasks_spawned, 5); // sum, per-worker publishes
         assert_eq!(a.tasks_stolen, 3); // sum, per-worker steals
+        assert_eq!(a.filter_cache_hits, 1); // sum, per-run hits
+        assert_eq!(a.pool_reuse, 6); // sum, per-run warm threads
         assert_eq!(a.elapsed, Duration::from_millis(35)); // max, wall-clock
         assert_eq!(a.cpu_time, Duration::from_millis(55)); // sum, cpu-time
         assert!(a.timed_out);

@@ -1,0 +1,415 @@
+//! Epoch-keyed filter memoization.
+//!
+//! The first stage of every filter-based search — the `FilterMatrix`
+//! build — is a pure function of `(host model, query, constraint)`.
+//! The registry versions host models with a [`ModelEpoch`], so the
+//! triple collapses to a hashable [`FilterKey`]: `(host name, epoch,
+//! query fingerprint, constraint source)`. A [`FilterCache`] memoizes
+//! built matrices under that key, which is what lets negotiation loops,
+//! `Scheduler::find_window` sweeps and repeated `submit`s stop
+//! rebuilding identical filters: same key → the *same* `Arc`'d matrix
+//! (trivially bitwise-identical); epoch bump → guaranteed miss, because
+//! a registry epoch never repeats (see [`crate::registry`]) — stale
+//! entries can never be served, only evicted.
+//!
+//! ## Eviction
+//!
+//! Two mechanisms bound the cache:
+//!
+//! * **staleness purge** — inserting a filter for `(host, epoch)` drops
+//!   every entry of the same host with an older epoch (the registry
+//!   guarantees those versions can never be requested again);
+//! * **LRU cap** — beyond [`FilterCache::with_capacity`]'s limit the
+//!   least-recently-used entry goes, so a sweep over many distinct
+//!   constraints (negotiation levels, scheduler residual models) cannot
+//!   grow the cache without bound.
+
+use crate::registry::ModelEpoch;
+use netembed::FilterMatrix;
+use netgraph::Network;
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default entry cap of [`FilterCache::new`].
+pub const DEFAULT_CAPACITY: usize = 64;
+
+/// Identity of one memoized filter build. Equality of keys must imply
+/// equality of the built filter: `host`+`epoch` pin one exact model
+/// version (registry epochs are never reused), `constraint` is the
+/// verbatim source text, and `query_hash` is a 128-bit structural
+/// fingerprint of the query network ([`network_fingerprint`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FilterKey {
+    /// Registry model name (or a caller-chosen namespace, e.g. the
+    /// scheduler's `"@scheduler"` residual models).
+    pub host: String,
+    /// Model version the filter was built against.
+    pub epoch: ModelEpoch,
+    /// Structural fingerprint of the query network.
+    pub query_hash: u128,
+    /// Constraint source text, verbatim.
+    pub constraint: String,
+}
+
+struct Slot {
+    filter: Arc<FilterMatrix>,
+    last_used: u64,
+}
+
+struct CacheState {
+    map: HashMap<FilterKey, Slot>,
+    /// Logical clock for LRU ordering.
+    tick: u64,
+}
+
+/// Thread-safe memo of built `FilterMatrix`es, keyed by [`FilterKey`].
+/// Shared by every [`PreparedQuery`](crate::PreparedQuery) of a service
+/// (one query's build serves later identical submits), with lifetime
+/// hit/miss counters for observability.
+pub struct FilterCache {
+    state: Mutex<CacheState>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FilterCache {
+    /// A cache capped at [`DEFAULT_CAPACITY`] entries.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A cache holding at most `capacity` filters (≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        FilterCache {
+            state: Mutex::new(CacheState {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The memoized filter for `key`, refreshing its LRU position.
+    pub fn lookup(&self, key: &FilterKey) -> Option<Arc<FilterMatrix>> {
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        match st.map.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(slot.filter.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Memoize `filter` under `key`. Purges permanently-stale entries
+    /// (same host, older epoch) and LRU-evicts past the capacity cap.
+    /// Callers must only insert *complete* builds — a truncated filter
+    /// is a function of the deadline, not the key.
+    pub fn insert(&self, key: FilterKey, filter: Arc<FilterMatrix>) {
+        debug_assert!(!filter.truncated(), "caching a truncated filter");
+        let mut st = self.state.lock();
+        st.map
+            .retain(|k, _| k.host != key.host || k.epoch >= key.epoch);
+        st.tick += 1;
+        let tick = st.tick;
+        st.map.insert(
+            key,
+            Slot {
+                filter,
+                last_used: tick,
+            },
+        );
+        while st.map.len() > self.capacity {
+            let oldest = st
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over-capacity map");
+            st.map.remove(&oldest);
+        }
+    }
+
+    /// Drop every entry for `host` (any epoch) — eager invalidation for
+    /// callers that know a namespace is dead (e.g. a removed model).
+    /// Epoch keying already guarantees stale entries are never *served*;
+    /// this only reclaims their memory early.
+    pub fn invalidate_host(&self, host: &str) {
+        self.state.lock().map.retain(|k, _| k.host != host);
+    }
+
+    /// Entries currently memoized.
+    pub fn len(&self) -> usize {
+        self.state.lock().map.len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime lookup hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime lookup misses.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for FilterCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for FilterCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FilterCache")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+/// Two independently-seeded hashers fed one byte stream: a single
+/// network traversal yields both 64-bit halves of the fingerprint.
+struct PairHasher {
+    lo: DefaultHasher,
+    hi: DefaultHasher,
+}
+
+impl Hasher for PairHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        self.lo.write(bytes);
+        self.hi.write(bytes);
+    }
+
+    fn finish(&self) -> u64 {
+        self.lo.finish()
+    }
+}
+
+/// Allocation-free attribute digest: variant tag + raw payload bits
+/// (`f64::to_bits` for numbers, so values hash by representation —
+/// exactly what "same model bytes" means here).
+fn hash_attr(h: &mut PairHasher, val: &netgraph::AttrValue) {
+    match val {
+        netgraph::AttrValue::Num(x) => {
+            0u8.hash(h);
+            x.to_bits().hash(h);
+        }
+        netgraph::AttrValue::Bool(b) => {
+            1u8.hash(h);
+            b.hash(h);
+        }
+        netgraph::AttrValue::Str(st) => {
+            2u8.hash(h);
+            st.as_ref().hash(h);
+        }
+    }
+}
+
+/// 128-bit structural fingerprint of a network: direction, nodes (ids,
+/// names, attributes), edges (endpoints, attributes) and the attribute
+/// schema, digested in **one traversal** into two independently-seeded
+/// hashers. This runs on every `submit`/`prepare`, so it stays
+/// allocation-light: no per-attribute formatting, one reused id sort
+/// buffer. Two networks that produce different filter matrices for any
+/// constraint differ in at least one digested component, so a collision
+/// requires both 64-bit halves to collide at once — vanishing for
+/// in-process cache lifetimes. Only meaningful within one process (the
+/// underlying hasher is not stable across Rust versions); never
+/// persist it.
+pub fn network_fingerprint(net: &Network) -> u128 {
+    let mut h = {
+        let mut lo = DefaultHasher::new();
+        let mut hi = DefaultHasher::new();
+        0x5eed_0001u64.hash(&mut lo);
+        0x5eed_0002u64.hash(&mut hi);
+        PairHasher { lo, hi }
+    };
+    net.is_undirected().hash(&mut h);
+    net.node_count().hash(&mut h);
+    net.edge_count().hash(&mut h);
+    // Attribute names in schema order (AttrIds are interned in schema
+    // order, so per-element attr ids below are comparable once the
+    // schema itself is part of the digest).
+    for (id, name) in net.schema().iter() {
+        id.0.hash(&mut h);
+        name.hash(&mut h);
+    }
+    // Iteration order of an attr map is not canonical; sort ids per
+    // element into one reused buffer, then hash id + value pairs.
+    let mut ids: Vec<u16> = Vec::new();
+    for v in net.node_ids() {
+        v.0.hash(&mut h);
+        net.node_name(v).hash(&mut h);
+        ids.extend(net.node_attrs(v).map(|(id, _)| id.0));
+        ids.sort_unstable();
+        for id in ids.drain(..) {
+            id.hash(&mut h);
+            if let Some(val) = net.node_attr(v, netgraph::AttrId(id)) {
+                hash_attr(&mut h, val);
+            }
+        }
+    }
+    for e in net.edge_refs() {
+        (e.src.0, e.dst.0).hash(&mut h);
+        ids.extend(net.edge_attrs(e.id).map(|(id, _)| id.0));
+        ids.sort_unstable();
+        for id in ids.drain(..) {
+            id.hash(&mut h);
+            if let Some(val) = net.edge_attr(e.id, netgraph::AttrId(id)) {
+                hash_attr(&mut h, val);
+            }
+        }
+    }
+    let lo = h.lo.finish() as u128;
+    let hi = h.hi.finish() as u128;
+    (hi << 64) | lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netembed::{Deadline, Problem, SearchStats};
+    use netgraph::Direction;
+
+    fn path_host(n: usize) -> Network {
+        let mut g = Network::new(Direction::Undirected);
+        let ids: Vec<_> = (0..n).map(|i| g.add_node(format!("n{i}"))).collect();
+        for w in ids.windows(2) {
+            let e = g.add_edge(w[0], w[1]);
+            g.set_edge_attr(e, "d", 1.0);
+        }
+        g
+    }
+
+    fn build(host: &Network) -> Arc<FilterMatrix> {
+        let mut q = Network::new(Direction::Undirected);
+        let a = q.add_node("a");
+        let b = q.add_node("b");
+        q.add_edge(a, b);
+        let p = Problem::new(&q, host, "true").unwrap();
+        let mut dl = Deadline::unlimited();
+        let mut stats = SearchStats::default();
+        Arc::new(FilterMatrix::build(&p, &mut dl, &mut stats).unwrap())
+    }
+
+    fn key(host: &str, epoch: u64, constraint: &str) -> FilterKey {
+        FilterKey {
+            host: host.to_string(),
+            epoch: ModelEpoch(epoch),
+            query_hash: 7,
+            constraint: constraint.to_string(),
+        }
+    }
+
+    #[test]
+    fn lookup_hits_exact_key_only() {
+        let cache = FilterCache::new();
+        let host = path_host(4);
+        let f = build(&host);
+        cache.insert(key("h", 1, "true"), f.clone());
+        assert!(cache.lookup(&key("h", 1, "true")).is_some());
+        assert!(cache.lookup(&key("h", 2, "true")).is_none(), "other epoch");
+        assert!(cache.lookup(&key("g", 1, "true")).is_none(), "other host");
+        assert!(
+            cache.lookup(&key("h", 1, "false")).is_none(),
+            "other constraint"
+        );
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn newer_epoch_purges_same_host_only() {
+        let cache = FilterCache::new();
+        let host = path_host(4);
+        let f = build(&host);
+        cache.insert(key("h", 1, "a"), f.clone());
+        cache.insert(key("h", 1, "b"), f.clone());
+        cache.insert(key("g", 1, "a"), f.clone());
+        assert_eq!(cache.len(), 3);
+        // Host h moved to epoch 5: both its epoch-1 entries are dead.
+        cache.insert(key("h", 5, "a"), f.clone());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&key("h", 1, "a")).is_none());
+        assert!(cache.lookup(&key("h", 1, "b")).is_none());
+        assert!(cache.lookup(&key("h", 5, "a")).is_some());
+        assert!(cache.lookup(&key("g", 1, "a")).is_some(), "other host kept");
+    }
+
+    #[test]
+    fn lru_eviction_beyond_capacity() {
+        let cache = FilterCache::with_capacity(2);
+        let host = path_host(4);
+        let f = build(&host);
+        cache.insert(key("a", 1, "x"), f.clone());
+        cache.insert(key("b", 1, "x"), f.clone());
+        // Touch `a` so `b` is the LRU entry.
+        assert!(cache.lookup(&key("a", 1, "x")).is_some());
+        cache.insert(key("c", 1, "x"), f.clone());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&key("a", 1, "x")).is_some());
+        assert!(cache.lookup(&key("b", 1, "x")).is_none(), "LRU evicted");
+        assert!(cache.lookup(&key("c", 1, "x")).is_some());
+    }
+
+    #[test]
+    fn invalidate_host_drops_all_epochs() {
+        let cache = FilterCache::new();
+        let host = path_host(4);
+        let f = build(&host);
+        cache.insert(key("h", 1, "a"), f.clone());
+        cache.insert(key("h", 2, "b"), f.clone());
+        cache.insert(key("g", 1, "a"), f);
+        cache.invalidate_host("h");
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(&key("g", 1, "a")).is_some());
+    }
+
+    #[test]
+    fn fingerprint_separates_structure_names_and_attrs() {
+        let base = path_host(4);
+        assert_eq!(network_fingerprint(&base), network_fingerprint(&base));
+        assert_eq!(
+            network_fingerprint(&base),
+            network_fingerprint(&base.clone())
+        );
+
+        let mut extra_node = base.clone();
+        extra_node.add_node("x");
+        assert_ne!(network_fingerprint(&base), network_fingerprint(&extra_node));
+
+        let mut attr_changed = base.clone();
+        attr_changed.set_edge_attr(netgraph::EdgeId(0), "d", 2.0);
+        assert_ne!(
+            network_fingerprint(&base),
+            network_fingerprint(&attr_changed)
+        );
+
+        let mut renamed = path_host(3);
+        let other = path_host(3);
+        renamed.set_node_attr(netgraph::NodeId(0), "cap", 1.0);
+        assert_ne!(network_fingerprint(&renamed), network_fingerprint(&other));
+    }
+}

@@ -4,39 +4,55 @@
 //! (Figure 1) with three components:
 //!
 //! 1. a **model of the real network**, maintained by a monitoring service
-//!    or resource manager → [`registry::ModelRegistry`] plus the
+//!    or resource manager → the epoch-versioned
+//!    [`registry::ModelRegistry`] (every update bumps a
+//!    [`ModelEpoch`]; readers get `(snapshot, epoch)` pairs) plus the
 //!    [`monitor::MonitorSim`] churn simulator;
 //! 2. the **mapping service** where applications submit queries and get
-//!    back lists of possible mappings → [`NetEmbedService`], with the
-//!    interactive requirement-adjustment loop in [`negotiate()`];
+//!    back lists of possible mappings → [`NetEmbedService`]. The
+//!    session-oriented entry point is [`NetEmbedService::prepare`]: a
+//!    [`PreparedQuery`] parses and lints the constraint once, memoizes
+//!    filter builds in the service-wide [`cache::FilterCache`] keyed by
+//!    `(host, model epoch, query fingerprint, constraint)`, and leases a
+//!    warm scratch + persistent worker pool so repeated runs are
+//!    build-free, allocation-free and thread-spawn-free.
+//!    [`NetEmbedService::submit`] / [`NetEmbedService::submit_batch`]
+//!    are thin wrappers over it, and the interactive
+//!    requirement-adjustment loop is [`NetEmbedService::negotiate`];
 //! 3. an optional **resource reservation system** that adjusts the model
 //!    when mappings are allocated → [`reservation::ReservationManager`].
+//!    A reservation commit goes through [`ModelRegistry::update`], so it
+//!    bumps the host's epoch and thereby invalidates exactly that host's
+//!    cached filters — in-flight prepared queries pick up the new model
+//!    (and rebuild once) on their next run.
 //!
 //! Every mapping handed to a client is re-validated with
-//! [`netembed::check_mapping`] — the service never returns an embedding it
-//! cannot prove feasible against the current model.
+//! [`netembed::check_mapping`] against the same compiled problem the
+//! search used — the service never returns an embedding it cannot prove
+//! feasible against the current model.
 
+pub mod cache;
 pub mod monitor;
 pub mod negotiate;
 pub mod partition;
+pub mod prepared;
 pub mod registry;
 pub mod reservation;
 pub mod schedule;
 
+pub use cache::{FilterCache, FilterKey};
 pub use monitor::{MonitorParams, MonitorSim};
 pub use negotiate::{negotiate, NegotiationOutcome};
 pub use partition::{Locality, PartitionedHost, PartitionedResponse};
-pub use registry::ModelRegistry;
+pub use prepared::PreparedQuery;
+pub use registry::{ModelEpoch, ModelRegistry};
 pub use reservation::{Reservation, ReservationError, ReservationManager};
 pub use schedule::{Allocation, ScheduleError, ScheduledEmbedding, Scheduler, Tick};
 
-use netembed::{
-    Algorithm, Deadline, EmbedScratch, Engine, FilterMatrix, Mapping, Options, Outcome,
-    ProblemError, SearchStats,
-};
+use netembed::{EmbedScratch, Mapping, Options, Outcome, ProblemError, SearchStats};
 use netgraph::Network;
+use parking_lot::Mutex;
 use std::fmt;
-use std::sync::Arc;
 
 /// A query submitted to the service.
 #[derive(Debug, Clone)]
@@ -53,10 +69,10 @@ pub struct QueryRequest {
 
 /// A batch of embedding runs over one `(host, query, constraint)` triple
 /// — e.g. thousands of RWB samples with different seeds, or one query
-/// swept across modes/orders/thread counts. The service builds the
-/// problem and the constraint filter **once** and reuses one
-/// [`EmbedScratch`] across every run, so per-run overhead collapses to
-/// the search itself (see [`NetEmbedService::submit_batch`]).
+/// swept across modes/orders/thread counts. The whole batch runs on one
+/// model snapshot through a [`PreparedQuery`], so the problem is
+/// compiled once and one filter build (or cache hit) plus one leased
+/// scratch serve every run (see [`NetEmbedService::submit_batch`]).
 #[derive(Debug, Clone)]
 pub struct BatchQueryRequest {
     /// Name of the hosting-network model to embed into.
@@ -74,7 +90,10 @@ pub struct BatchQueryRequest {
 pub struct QueryResponse {
     /// Classified result.
     pub outcome: Outcome,
-    /// Search statistics.
+    /// Search statistics. Service-level extras:
+    /// [`SearchStats::filter_cache_hits`] is 1 when the run reused a
+    /// memoized filter, and [`SearchStats::pool_reuse`] counts warm
+    /// worker-pool threads a parallel run found.
     pub stats: SearchStats,
 }
 
@@ -82,6 +101,25 @@ impl QueryResponse {
     /// The mappings found (empty for inconclusive results).
     pub fn mappings(&self) -> &[Mapping] {
         self.outcome.mappings()
+    }
+}
+
+/// Why a constraint was rejected up front (§VI-B language checks run at
+/// [`NetEmbedService::prepare`], before any search).
+#[derive(Debug)]
+pub enum ConstraintFault {
+    /// The source text does not parse.
+    Parse(cexpr::ParseError),
+    /// It parses, but the static type lint found a definite error.
+    Type(cexpr::TypeError),
+}
+
+impl fmt::Display for ConstraintFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintFault::Parse(e) => write!(f, "constraint parse error: {e}"),
+            ConstraintFault::Type(e) => write!(f, "{e}"),
+        }
     }
 }
 
@@ -97,8 +135,9 @@ pub enum ServiceError {
     VerificationFailed(netembed::VerifyError),
     /// GraphML parse failure (when loading models from documents).
     Graphml(graphml::GraphmlError),
-    /// The constraint failed the static type lint (§VI-B language).
-    BadConstraint(cexpr::TypeError),
+    /// The constraint was rejected by the up-front checks: it either
+    /// fails to parse or fails the static type lint (§VI-B language).
+    BadConstraint(ConstraintFault),
 }
 
 impl fmt::Display for ServiceError {
@@ -132,22 +171,75 @@ impl From<graphml::GraphmlError> for ServiceError {
     }
 }
 
+/// Warm scratches (DFS arenas + persistent worker pools) parked between
+/// prepared queries; more concurrent handles than this simply build
+/// fresh scratches.
+const MAX_PARKED_SCRATCHES: usize = 8;
+
+/// A scratch whose worker pool grew beyond this many threads is dropped
+/// at check-in instead of parked (dropping the pool joins its threads).
+/// `WorkerPool`s never shrink, so without this cap one outlier
+/// `ParallelEcf { threads: huge }` request would pin that many idle OS
+/// threads — times up to [`MAX_PARKED_SCRATCHES`] — for the service's
+/// lifetime.
+const MAX_PARKED_POOL_THREADS: usize = 32;
+
+/// The up-front §VI-B constraint checks shared by
+/// [`NetEmbedService::prepare`] and
+/// [`PreparedQuery::reconstrain`]: parse, then static type lint.
+pub(crate) fn parse_and_lint(constraint: &str) -> Result<cexpr::Expr, ServiceError> {
+    let expr = cexpr::parse(constraint)
+        .map_err(|e| ServiceError::BadConstraint(ConstraintFault::Parse(e)))?;
+    cexpr::check_constraint(&expr)
+        .map_err(|e| ServiceError::BadConstraint(ConstraintFault::Type(e)))?;
+    Ok(expr)
+}
+
 /// The mapping service.
 pub struct NetEmbedService {
     registry: ModelRegistry,
+    cache: FilterCache,
+    /// Leasable warm scratches; [`NetEmbedService::prepare`] checks one
+    /// out, [`PreparedQuery`]'s drop checks it back in. Concurrent
+    /// prepared queries each hold their own, so nothing serializes on a
+    /// single pool.
+    scratches: Mutex<Vec<EmbedScratch>>,
 }
 
 impl NetEmbedService {
-    /// A service with an empty model registry.
+    /// A service with an empty model registry and filter cache.
     pub fn new() -> Self {
         NetEmbedService {
             registry: ModelRegistry::new(),
+            cache: FilterCache::new(),
+            scratches: Mutex::new(Vec::new()),
         }
     }
 
     /// The model registry (register/update hosting networks here).
     pub fn registry(&self) -> &ModelRegistry {
         &self.registry
+    }
+
+    /// The shared filter cache (hit/miss counters live here).
+    pub fn cache(&self) -> &FilterCache {
+        &self.cache
+    }
+
+    pub(crate) fn checkout_scratch(&self) -> EmbedScratch {
+        self.scratches.lock().pop().unwrap_or_default()
+    }
+
+    pub(crate) fn checkin_scratch(&self, scratch: EmbedScratch) {
+        if scratch.parallel.pool().thread_count() > MAX_PARKED_POOL_THREADS {
+            // Dropping the scratch drops its pool, joining the threads:
+            // outlier thread counts don't stay resident.
+            return;
+        }
+        let mut parked = self.scratches.lock();
+        if parked.len() < MAX_PARKED_SCRATCHES {
+            parked.push(scratch);
+        }
     }
 
     /// Register a hosting network from a GraphML document.
@@ -157,125 +249,60 @@ impl NetEmbedService {
         Ok(())
     }
 
-    /// Submit a query (§III component 2).
-    pub fn submit(&self, request: &QueryRequest) -> Result<QueryResponse, ServiceError> {
-        let host: Arc<Network> = self
-            .registry
-            .get(&request.host)
-            .ok_or_else(|| ServiceError::UnknownHost(request.host.clone()))?;
-        // Pre-flight lint: definite type errors fail fast with a precise
-        // message instead of surfacing mid-search.
-        if let Ok(expr) = cexpr::parse(&request.constraint) {
-            cexpr::check_constraint(&expr).map_err(ServiceError::BadConstraint)?;
+    /// Compile a `(host, query, constraint)` request into a long-lived
+    /// [`PreparedQuery`] handle (§III's repeatedly-querying
+    /// application, made explicit). Fails fast on an unknown host and on
+    /// any constraint problem — parse errors and definite type errors
+    /// both surface here as [`ServiceError::BadConstraint`], never
+    /// mid-search.
+    pub fn prepare(
+        &self,
+        host: &str,
+        query: Network,
+        constraint: &str,
+    ) -> Result<PreparedQuery<'_>, ServiceError> {
+        if self.registry.epoch(host).is_none() {
+            return Err(ServiceError::UnknownHost(host.to_string()));
         }
-        let engine = Engine::new(&host);
-        let result = engine.embed(&request.query, &request.constraint, &request.options)?;
-
-        // Safety net: independently verify every mapping before returning.
-        let problem = netembed::Problem::new(&request.query, &host, &request.constraint)?;
-        for m in &result.mappings {
-            netembed::check_mapping(&problem, m).map_err(ServiceError::VerificationFailed)?;
-        }
-        Ok(QueryResponse {
-            outcome: result.outcome,
-            stats: result.stats,
-        })
+        let expr = parse_and_lint(constraint)?;
+        Ok(PreparedQuery::new(
+            self,
+            host.to_string(),
+            query,
+            constraint.to_string(),
+            expr,
+        ))
     }
 
-    /// Submit a batch of runs over one `(host, query, constraint)` triple
-    /// (§III component 2, amortized).
-    ///
-    /// The problem is compiled once. The first run that needs a filter
-    /// (any algorithm but LNS) builds it — parallelized when that run is
-    /// `ParallelEcf` — and every later run reuses it, along with one
-    /// [`EmbedScratch`], so a batch of thousands of embeds pays the
-    /// first-stage construction and the DFS arena setup once. The
-    /// scratch's per-worker pool is shared too: every `ParallelEcf` run
-    /// in the batch hands the same worker scratches to the work-stealing
-    /// scheduler (split policy selected per run via
-    /// [`Options::steal`](netembed::Options)), so stolen subtree tasks
-    /// land on already-warm arenas across the whole batch. The build
-    /// is charged to the run that triggered it, exactly as in
-    /// [`NetEmbedService::submit`]: it spends that run's timeout budget
-    /// (the search gets only the remainder) and its eval counters and
-    /// wall time land in that run's stats. If the build is cut short by
-    /// the deadline, the run reports `Inconclusive` and the truncated
-    /// filter is discarded; the next filter-needing run retries under
-    /// its own budget. Every returned mapping is independently
-    /// re-verified.
+    /// Submit a query (§III component 2): a thin wrapper that prepares,
+    /// runs once and drops the handle. Repeated identical submits still
+    /// amortize — the filter cache and the scratch/pool lease are
+    /// service-wide, so only the first submit (per model epoch) builds a
+    /// filter and spawns worker threads.
+    pub fn submit(&self, request: &QueryRequest) -> Result<QueryResponse, ServiceError> {
+        let mut prepared =
+            self.prepare(&request.host, request.query.clone(), &request.constraint)?;
+        prepared.run(&request.options)
+    }
+
+    /// Submit a batch of runs over one `(host, query, constraint)`
+    /// triple (§III component 2, amortized): a thin wrapper over
+    /// [`PreparedQuery::run_batch`]. One model snapshot, one compiled
+    /// problem, and one filter build — or cache hit — serve every
+    /// filter-based run; the build is charged to the run that triggered
+    /// it (its timeout budget, its eval counters, its wall time),
+    /// exactly as in [`NetEmbedService::submit`]. If a build is cut
+    /// short by its run's deadline, that run reports `Inconclusive`,
+    /// the truncated filter is discarded (never cached), and the next
+    /// filter-needing run retries under its own budget. Every returned
+    /// mapping is independently re-verified.
     pub fn submit_batch(
         &self,
         request: &BatchQueryRequest,
     ) -> Result<Vec<QueryResponse>, ServiceError> {
-        let host: Arc<Network> = self
-            .registry
-            .get(&request.host)
-            .ok_or_else(|| ServiceError::UnknownHost(request.host.clone()))?;
-        if let Ok(expr) = cexpr::parse(&request.constraint) {
-            cexpr::check_constraint(&expr).map_err(ServiceError::BadConstraint)?;
-        }
-        let problem = netembed::Problem::new(&request.query, &host, &request.constraint)?;
-
-        let mut scratch = EmbedScratch::new();
-        let mut filter: Option<FilterMatrix> = None;
-        let mut responses = Vec::with_capacity(request.runs.len());
-        for options in &request.runs {
-            let result = if matches!(options.algorithm, Algorithm::Lns) {
-                // LNS keeps no filter state; it only shares the scratch.
-                Engine::run_with_scratch(&problem, options, &mut scratch)?
-            } else {
-                // Build on demand, charging the triggering run.
-                let mut build_charge: Option<(SearchStats, std::time::Duration)> = None;
-                if filter.is_none() {
-                    let build_start = std::time::Instant::now();
-                    let mut deadline = Deadline::new(options.timeout);
-                    let mut build_stats = SearchStats::default();
-                    let threads = match options.algorithm {
-                        Algorithm::ParallelEcf { threads } => threads,
-                        _ => 1,
-                    };
-                    let built = FilterMatrix::build_par(
-                        &problem,
-                        threads,
-                        &mut deadline,
-                        &mut build_stats,
-                    )?;
-                    filter = Some(built);
-                    build_charge = Some((build_stats, build_start.elapsed()));
-                }
-                let built = filter.as_ref().expect("filter built above");
-                // The builder's search runs on whatever budget the build
-                // left over; reusers get their full timeout (they paid
-                // nothing).
-                let run_options = match &build_charge {
-                    Some((_, spent)) => Options {
-                        timeout: options.timeout.map(|t| t.saturating_sub(*spent)),
-                        ..options.clone()
-                    },
-                    None => options.clone(),
-                };
-                let mut result = Engine::run_prebuilt(&problem, built, &run_options, &mut scratch)?;
-                if let Some((build_stats, spent)) = build_charge {
-                    result.stats.constraint_evals += build_stats.constraint_evals;
-                    result.stats.elapsed += spent;
-                    result.stats.cpu_time += spent;
-                }
-                if built.truncated() {
-                    // Don't poison later runs (which may have a larger
-                    // budget) with a partial filter.
-                    filter = None;
-                }
-                result
-            };
-            for m in &result.mappings {
-                netembed::check_mapping(&problem, m).map_err(ServiceError::VerificationFailed)?;
-            }
-            responses.push(QueryResponse {
-                outcome: result.outcome,
-                stats: result.stats,
-            });
-        }
-        Ok(responses)
+        let mut prepared =
+            self.prepare(&request.host, request.query.clone(), &request.constraint)?;
+        prepared.run_batch(&request.runs)
     }
 }
 
@@ -288,6 +315,7 @@ impl Default for NetEmbedService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netembed::{Algorithm, Outcome};
     use netgraph::Direction;
 
     fn triangle_host() -> Network {
@@ -371,6 +399,215 @@ mod tests {
     }
 
     #[test]
+    fn repeated_submit_builds_exactly_one_filter() {
+        // The acceptance loop: same host/query/constraint, no model
+        // update — the first submit builds, every later submit is a
+        // cache hit (zero constraint evaluations, hit counter set).
+        let svc = NetEmbedService::new();
+        svc.registry().register("plab", triangle_host());
+        let req = QueryRequest {
+            host: "plab".into(),
+            query: edge_query(),
+            constraint: "rEdge.avgDelay <= 15.0".into(),
+            options: Options::default(),
+        };
+        let first = svc.submit(&req).unwrap();
+        assert_eq!(first.mappings().len(), 2);
+        assert!(first.stats.constraint_evals > 0, "first submit builds");
+        assert_eq!(first.stats.filter_cache_hits, 0);
+        for i in 0..5 {
+            let resp = svc.submit(&req).unwrap();
+            assert_eq!(resp.mappings().len(), 2, "submit {i}");
+            assert_eq!(
+                resp.stats.constraint_evals, 0,
+                "submit {i} rebuilt the filter"
+            );
+            assert_eq!(resp.stats.filter_cache_hits, 1, "submit {i} missed");
+            assert_eq!(resp.stats.filter_cells, first.stats.filter_cells);
+        }
+        assert_eq!(svc.cache().len(), 1);
+    }
+
+    #[test]
+    fn epoch_bump_forces_exactly_one_rebuild() {
+        let svc = NetEmbedService::new();
+        svc.registry().register("plab", triangle_host());
+        let req = QueryRequest {
+            host: "plab".into(),
+            query: edge_query(),
+            constraint: "rEdge.avgDelay <= 15.0".into(),
+            options: Options::default(),
+        };
+        svc.submit(&req).unwrap();
+        // Reservation-style in-place update: epoch bumps, model content
+        // changes.
+        svc.registry()
+            .update("plab", |net| {
+                for e in net.edge_refs().collect::<Vec<_>>() {
+                    net.set_edge_attr(e.id, "avgDelay", 100.0);
+                }
+            })
+            .unwrap();
+        // Exactly one rebuild against the new model...
+        let rebuilt = svc.submit(&req).unwrap();
+        assert!(
+            rebuilt.stats.constraint_evals > 0,
+            "epoch bump must rebuild"
+        );
+        assert_eq!(rebuilt.stats.filter_cache_hits, 0);
+        assert_eq!(rebuilt.mappings().len(), 0, "new model: nothing fits");
+        // ...then hits again.
+        let warm = svc.submit(&req).unwrap();
+        assert_eq!(warm.stats.constraint_evals, 0);
+        assert_eq!(warm.stats.filter_cache_hits, 1);
+    }
+
+    #[test]
+    fn prepared_query_runs_share_scratch_and_cache() {
+        let svc = NetEmbedService::new();
+        svc.registry().register("plab", triangle_host());
+        let mut prepared = svc
+            .prepare("plab", edge_query(), "rEdge.avgDelay <= 15.0")
+            .unwrap();
+        let first = prepared.run(&Options::default()).unwrap();
+        assert_eq!(first.mappings().len(), 2);
+        assert!(first.stats.constraint_evals > 0);
+        for _ in 0..3 {
+            let resp = prepared.run(&Options::default()).unwrap();
+            assert_eq!(resp.mappings().len(), 2);
+            assert_eq!(resp.stats.filter_cache_hits, 1);
+        }
+        // The handle returns its scratch to the service on drop; the
+        // next prepare reuses it.
+        drop(prepared);
+        let mut again = svc
+            .prepare("plab", edge_query(), "rEdge.avgDelay <= 15.0")
+            .unwrap();
+        let resp = again.run(&Options::default()).unwrap();
+        assert_eq!(resp.stats.filter_cache_hits, 1);
+    }
+
+    #[test]
+    fn oversized_pools_are_dropped_at_checkin_not_parked() {
+        let svc = NetEmbedService::new();
+        let mut big = EmbedScratch::new();
+        big.parallel
+            .pool_mut()
+            .ensure_threads(MAX_PARKED_POOL_THREADS + 1);
+        svc.checkin_scratch(big);
+        assert!(
+            svc.scratches.lock().is_empty(),
+            "an outlier pool must not stay resident"
+        );
+        let mut ok = EmbedScratch::new();
+        ok.parallel.pool_mut().ensure_threads(4);
+        svc.checkin_scratch(ok);
+        assert_eq!(svc.scratches.lock().len(), 1);
+    }
+
+    #[test]
+    fn reconstrain_swaps_constraint_without_repreparing() {
+        let svc = NetEmbedService::new();
+        svc.registry().register("plab", triangle_host());
+        let mut prepared = svc
+            .prepare("plab", edge_query(), "rEdge.avgDelay <= 15.0")
+            .unwrap();
+        assert_eq!(
+            prepared.run(&Options::default()).unwrap().mappings().len(),
+            2
+        );
+        // Relax: every edge qualifies now.
+        prepared.reconstrain("rEdge.avgDelay <= 50.0").unwrap();
+        assert_eq!(prepared.constraint(), "rEdge.avgDelay <= 50.0");
+        assert_eq!(
+            prepared.run(&Options::default()).unwrap().mappings().len(),
+            6
+        );
+        // Back to the first level: its filter is still cached.
+        prepared.reconstrain("rEdge.avgDelay <= 15.0").unwrap();
+        let back = prepared.run(&Options::default()).unwrap();
+        assert_eq!(back.mappings().len(), 2);
+        assert_eq!(back.stats.filter_cache_hits, 1);
+        // Bad replacements are rejected and leave the handle usable.
+        assert!(matches!(
+            prepared.reconstrain("1 +"),
+            Err(ServiceError::BadConstraint(ConstraintFault::Parse(_)))
+        ));
+        assert!(matches!(
+            prepared.reconstrain("\"fast\" == 1"),
+            Err(ServiceError::BadConstraint(ConstraintFault::Type(_)))
+        ));
+        assert_eq!(
+            prepared.run(&Options::default()).unwrap().mappings().len(),
+            2
+        );
+    }
+
+    #[test]
+    fn batch_pins_its_filter_and_touches_the_cache_once() {
+        // Regression: a batch must hold the filter it obtained in a
+        // batch-local pin — one shared-cache lookup for the whole
+        // batch, so concurrent LRU eviction can never force a mid-batch
+        // rebuild onto an innocent run's timeout budget.
+        use netembed::SearchMode;
+        let svc = NetEmbedService::new();
+        svc.registry().register("plab", triangle_host());
+        let mut prepared = svc
+            .prepare("plab", edge_query(), "rEdge.avgDelay <= 15.0")
+            .unwrap();
+        let runs: Vec<Options> = (0..5)
+            .map(|seed| Options {
+                algorithm: netembed::Algorithm::Rwb,
+                mode: SearchMode::First,
+                seed,
+                ..Options::default()
+            })
+            .collect();
+        let (hits0, misses0) = (svc.cache().hits(), svc.cache().misses());
+        let responses = prepared.run_batch(&runs).unwrap();
+        assert!(responses[0].stats.constraint_evals > 0, "first run builds");
+        for resp in &responses[1..] {
+            assert_eq!(resp.stats.constraint_evals, 0);
+            assert_eq!(resp.stats.filter_cache_hits, 1);
+        }
+        // Exactly one miss to discover the key; the four reusing runs
+        // never touched the shared cache — they used the pin.
+        assert_eq!(svc.cache().misses() - misses0, 1);
+        assert_eq!(svc.cache().hits() - hits0, 0);
+    }
+
+    #[test]
+    fn prepare_rejects_unparsable_constraint_up_front() {
+        let svc = NetEmbedService::new();
+        svc.registry().register("plab", triangle_host());
+        let err = svc
+            .submit(&QueryRequest {
+                host: "plab".into(),
+                query: edge_query(),
+                constraint: "1 +".into(),
+                options: Options::default(),
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, ServiceError::BadConstraint(ConstraintFault::Parse(_))),
+            "parse failure must surface as BadConstraint, got {err}"
+        );
+        // Batch path too.
+        let err = svc
+            .submit_batch(&BatchQueryRequest {
+                host: "plab".into(),
+                query: edge_query(),
+                constraint: "rEdge.avgDelay <=".into(),
+                runs: vec![Options::default()],
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::BadConstraint(ConstraintFault::Parse(_))
+        ));
+    }
+
+    #[test]
     fn batch_reuses_filter_across_runs() {
         use netembed::{Algorithm, SearchMode};
         let svc = NetEmbedService::new();
@@ -412,8 +649,9 @@ mod tests {
         }
         for resp in &responses[1..10] {
             // Reusing runs evaluate no constraints — the batch amortized
-            // the filter build away.
+            // the filter build away (via the epoch-keyed cache now).
             assert_eq!(resp.stats.constraint_evals, 0);
+            assert_eq!(resp.stats.filter_cache_hits, 1);
         }
         // The parallel all-matches run agrees with a standalone submit.
         assert_eq!(responses[10].mappings().len(), 2);
@@ -447,7 +685,7 @@ mod tests {
         svc.registry().register("skew", h);
 
         // Several parallel all-matches runs with different policies: the
-        // batch reuses one filter and one ParallelScratch pool across
+        // batch reuses one filter and one persistent worker pool across
         // them, and stealing must not change the answer.
         let runs: Vec<Options> = vec![
             Options {
@@ -486,11 +724,40 @@ mod tests {
         // Later runs reused the batch filter (no rebuild evals).
         assert_eq!(responses[1].stats.constraint_evals, 0);
         assert_eq!(responses[2].stats.constraint_evals, 0);
+        // The second 4-thread run found all four pool threads parked
+        // and warm from the first — spawn-free parallel search.
+        assert_eq!(responses[1].stats.pool_reuse, 4);
         // The aggressive run on a hub host with idle workers re-split.
         assert!(
             responses[2].stats.tasks_spawned > 0,
             "aggressive stealing batch run never split"
         );
+    }
+
+    #[test]
+    fn warm_service_parallel_submits_spawn_no_new_threads() {
+        let svc = NetEmbedService::new();
+        svc.registry().register("plab", triangle_host());
+        let req = QueryRequest {
+            host: "plab".into(),
+            query: edge_query(),
+            constraint: "rEdge.avgDelay <= 15.0".into(),
+            options: Options {
+                algorithm: Algorithm::ParallelEcf { threads: 2 },
+                ..Options::default()
+            },
+        };
+        let cold = svc.submit(&req).unwrap();
+        assert_eq!(cold.stats.pool_reuse, 0, "first submit has no warm pool");
+        for i in 0..3 {
+            let warm = svc.submit(&req).unwrap();
+            assert_eq!(warm.mappings().len(), 2);
+            assert!(
+                warm.stats.pool_reuse > 0,
+                "warm submit {i} reused no pool threads"
+            );
+            assert_eq!(warm.stats.filter_cache_hits, 1);
+        }
     }
 
     #[test]
@@ -528,10 +795,11 @@ mod tests {
             .unwrap();
         assert!(matches!(responses[0].outcome, Outcome::Inconclusive));
         assert!(responses[0].stats.timed_out);
-        // The truncated filter was discarded: the unlimited run rebuilt
-        // it and completed.
+        // The truncated filter was never cached: the unlimited run
+        // rebuilt it and completed.
         assert_eq!(responses[1].mappings().len(), 2);
         assert!(matches!(responses[1].outcome, Outcome::Complete(_)));
+        assert_eq!(responses[1].stats.filter_cache_hits, 0);
     }
 
     #[test]
@@ -580,6 +848,9 @@ mod lint_tests {
                 options: Options::default(),
             })
             .unwrap_err();
-        assert!(matches!(err, ServiceError::BadConstraint(_)), "{err}");
+        assert!(
+            matches!(err, ServiceError::BadConstraint(ConstraintFault::Type(_))),
+            "{err}"
+        );
     }
 }

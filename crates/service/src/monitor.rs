@@ -64,36 +64,41 @@ impl MonitorSim {
     }
 
     /// Apply one measurement epoch to the named model. Returns false when
-    /// the model does not exist.
+    /// the model does not exist. The swap-in goes through
+    /// [`ModelRegistry::update`], so every tick bumps the model's
+    /// [`crate::ModelEpoch`] — downstream filter caches treat monitoring
+    /// churn exactly like any other model change.
     pub fn tick(&mut self, registry: &ModelRegistry, model: &str) -> bool {
         self.ticks += 1;
         let jitter = self.params.delay_jitter;
         let flap = self.params.flap_prob;
         let rng = &mut self.rng;
-        registry.update(model, |net| {
-            for e in net.edge_refs().collect::<Vec<_>>() {
-                for attr in DELAY_ATTRS {
-                    if let Some(d) = net
-                        .edge_attr_by_name(e.id, attr)
-                        .and_then(AttrValue::as_num)
-                    {
-                        let factor = 1.0 + rng.random_range(-jitter..=jitter);
-                        net.set_edge_attr(e.id, attr, (d * factor).max(0.01));
+        registry
+            .update(model, |net| {
+                for e in net.edge_refs().collect::<Vec<_>>() {
+                    for attr in DELAY_ATTRS {
+                        if let Some(d) = net
+                            .edge_attr_by_name(e.id, attr)
+                            .and_then(AttrValue::as_num)
+                        {
+                            let factor = 1.0 + rng.random_range(-jitter..=jitter);
+                            net.set_edge_attr(e.id, attr, (d * factor).max(0.01));
+                        }
                     }
                 }
-            }
-            let n = net.node_count();
-            for i in 0..n {
-                if rng.random_bool(flap.clamp(0.0, 1.0)) {
-                    let node = NodeId(i as u32);
-                    let up = net
-                        .node_attr_by_name(node, UP_ATTR)
-                        .and_then(AttrValue::as_bool)
-                        .unwrap_or(true);
-                    net.set_node_attr(node, UP_ATTR, !up);
+                let n = net.node_count();
+                for i in 0..n {
+                    if rng.random_bool(flap.clamp(0.0, 1.0)) {
+                        let node = NodeId(i as u32);
+                        let up = net
+                            .node_attr_by_name(node, UP_ATTR)
+                            .and_then(AttrValue::as_bool)
+                            .unwrap_or(true);
+                        net.set_node_attr(node, UP_ATTR, !up);
+                    }
                 }
-            }
-        })
+            })
+            .is_some()
     }
 }
 
@@ -114,7 +119,7 @@ mod tests {
     }
 
     fn avg(reg: &ModelRegistry) -> f64 {
-        reg.get("m")
+        reg.model("m")
             .unwrap()
             .edge_attr_by_name(netgraph::EdgeId(0), "avgDelay")
             .and_then(AttrValue::as_num)
@@ -155,7 +160,7 @@ mod tests {
             seed: 4,
         });
         sim.tick(&reg, "m");
-        let net = reg.get("m").unwrap();
+        let net = reg.model("m").unwrap();
         for i in 0..2 {
             assert_eq!(
                 net.node_attr_by_name(NodeId(i), UP_ATTR)
@@ -164,7 +169,7 @@ mod tests {
             );
         }
         sim.tick(&reg, "m");
-        let net = reg.get("m").unwrap();
+        let net = reg.model("m").unwrap();
         for i in 0..2 {
             assert_eq!(
                 net.node_attr_by_name(NodeId(i), UP_ATTR)
@@ -191,7 +196,7 @@ mod tests {
         let constraint = "rEdge.avgDelay >= 99.0 && rEdge.avgDelay <= 101.0";
         let mut lost_later = false;
         let matched_initially = {
-            let host = reg.get("m").unwrap();
+            let host = reg.model("m").unwrap();
             let engine = netembed::Engine::new(&host);
             !engine
                 .embed(&q, constraint, &netembed::Options::default())
@@ -201,7 +206,7 @@ mod tests {
         };
         for _ in 0..20 {
             sim.tick(&reg, "m");
-            let host = reg.get("m").unwrap();
+            let host = reg.model("m").unwrap();
             let engine = netembed::Engine::new(&host);
             if engine
                 .embed(&q, constraint, &netembed::Options::default())

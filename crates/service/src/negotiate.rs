@@ -6,10 +6,19 @@
 //! topology lets a user "begin with more stringent constraints and relax
 //! them if there is no compliant mapping". This module automates that
 //! loop: the caller supplies a constraint *template* parameterized by a
-//! relaxation level, and `negotiate` walks the levels in order until a
-//! feasible embedding appears (or the levels run out).
+//! relaxation level, and [`NetEmbedService::negotiate`] walks the levels
+//! in order until a feasible embedding appears (or the levels run out).
+//!
+//! Each level runs through a [`PreparedQuery`](crate::PreparedQuery), so
+//! the loop inherits the session machinery: per-level filters are
+//! memoized in the service's epoch-keyed cache — *re*-negotiating after
+//! nothing changed (a common interactive pattern: the user re-asks with
+//! the same levels) rebuilds no filter at all, while any model update
+//! transparently invalidates and rebuilds — and all levels share one
+//! leased scratch + worker pool.
 
-use netembed::{Engine, Mapping, Options, Outcome, ProblemError};
+use crate::{NetEmbedService, ServiceError};
+use netembed::{Mapping, Options, Outcome};
 use netgraph::Network;
 
 /// Result of a negotiation run.
@@ -34,39 +43,73 @@ pub enum NegotiationOutcome {
     },
 }
 
-/// Try `levels` in order, building the constraint with `template` and
-/// running the engine until one level yields at least one embedding.
+impl NetEmbedService {
+    /// Try `levels` in order against the registered model `host`,
+    /// building the constraint with `template` and running the engine
+    /// until one level yields at least one embedding.
+    pub fn negotiate(
+        &self,
+        host: &str,
+        query: &Network,
+        levels: &[f64],
+        options: &Options,
+        template: impl Fn(f64) -> String,
+    ) -> Result<NegotiationOutcome, ServiceError> {
+        // One handle for the whole loop: the query is cloned and
+        // fingerprinted once, and each level just swaps the constraint
+        // in ([`crate::PreparedQuery::reconstrain`]).
+        let mut handle: Option<crate::PreparedQuery<'_>> = None;
+        for (index, &level) in levels.iter().enumerate() {
+            let constraint = template(level);
+            let prepared = match handle.as_mut() {
+                Some(p) => {
+                    p.reconstrain(&constraint)?;
+                    p
+                }
+                None => handle.insert(self.prepare(host, query.clone(), &constraint)?),
+            };
+            let response = prepared.run(options)?;
+            match response.outcome {
+                Outcome::Complete(mappings) | Outcome::Partial(mappings)
+                    if !mappings.is_empty() =>
+                {
+                    return Ok(NegotiationOutcome::Satisfied {
+                        index,
+                        level,
+                        mappings,
+                    });
+                }
+                Outcome::Inconclusive => {
+                    return Ok(NegotiationOutcome::Inconclusive { index });
+                }
+                _ => {} // definitive empty: relax further
+            }
+        }
+        Ok(NegotiationOutcome::Exhausted)
+    }
+}
+
+/// Standalone negotiation against a bare [`Network`] — a thin
+/// back-compat wrapper that registers `host` in a throwaway service and
+/// delegates to [`NetEmbedService::negotiate`]. Callers that negotiate
+/// repeatedly should hold a service and call the method instead: this
+/// wrapper's filter cache dies with the call.
 pub fn negotiate(
     host: &Network,
     query: &Network,
     levels: &[f64],
     options: &Options,
     template: impl Fn(f64) -> String,
-) -> Result<NegotiationOutcome, ProblemError> {
-    let engine = Engine::new(host);
-    for (index, &level) in levels.iter().enumerate() {
-        let constraint = template(level);
-        let result = engine.embed(query, &constraint, options)?;
-        match result.outcome {
-            Outcome::Complete(mappings) | Outcome::Partial(mappings) if !mappings.is_empty() => {
-                return Ok(NegotiationOutcome::Satisfied {
-                    index,
-                    level,
-                    mappings,
-                });
-            }
-            Outcome::Inconclusive => {
-                return Ok(NegotiationOutcome::Inconclusive { index });
-            }
-            _ => {} // definitive empty: relax further
-        }
-    }
-    Ok(NegotiationOutcome::Exhausted)
+) -> Result<NegotiationOutcome, ServiceError> {
+    let svc = NetEmbedService::new();
+    svc.registry().register("@negotiate", host.clone());
+    svc.negotiate("@negotiate", query, levels, options, template)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ServiceError;
     use netgraph::{Direction, NodeId};
 
     fn host() -> Network {
@@ -126,10 +169,12 @@ mod tests {
     }
 
     #[test]
-    fn parse_error_propagates() {
+    fn parse_error_surfaces_as_bad_constraint() {
         let h = host();
         let q = edge_query();
-        assert!(negotiate(&h, &q, &[1.0], &Options::default(), |_| "1 +".to_string()).is_err());
+        let err =
+            negotiate(&h, &q, &[1.0], &Options::default(), |_| "1 +".to_string()).unwrap_err();
+        assert!(matches!(err, ServiceError::BadConstraint(_)), "{err}");
     }
 
     #[test]
@@ -156,5 +201,39 @@ mod tests {
             NegotiationOutcome::Satisfied { index, .. } => assert_eq!(index, 2),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn renegotiation_reuses_per_level_filters() {
+        // The interactive pattern: same levels asked twice with no model
+        // change in between — the second pass must be all cache hits.
+        let svc = NetEmbedService::new();
+        svc.registry().register("t", host());
+        let q = edge_query();
+        let levels = [10.0, 20.0, 30.0];
+        let template = |lvl: f64| format!("rEdge.avgDelay <= {lvl}");
+        let first = svc
+            .negotiate("t", &q, &levels, &Options::default(), template)
+            .unwrap();
+        assert!(matches!(first, NegotiationOutcome::Satisfied { .. }));
+        let misses_after_first = svc.cache().misses();
+        let hits_after_first = svc.cache().hits();
+        let second = svc
+            .negotiate("t", &q, &levels, &Options::default(), template)
+            .unwrap();
+        assert!(matches!(second, NegotiationOutcome::Satisfied { .. }));
+        assert_eq!(
+            svc.cache().misses(),
+            misses_after_first,
+            "re-negotiation rebuilt a filter"
+        );
+        assert_eq!(svc.cache().hits(), hits_after_first + 3, "3 levels, 3 hits");
+
+        // A model update invalidates: the third pass rebuilds each level
+        // against the new epoch.
+        svc.registry().update("t", |_| {}).unwrap();
+        svc.negotiate("t", &q, &levels, &Options::default(), template)
+            .unwrap();
+        assert_eq!(svc.cache().misses(), misses_after_first + 3);
     }
 }

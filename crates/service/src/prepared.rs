@@ -1,0 +1,252 @@
+//! Prepared queries: the long-lived request handle of the service API.
+//!
+//! §III describes applications that query the mapping service
+//! *repeatedly* — negotiation loops, scheduler sweeps, periodic
+//! re-checks under monitoring churn. A [`PreparedQuery`] front-loads
+//! everything that is per-*request* rather than per-*run*:
+//!
+//! * the constraint is parsed and type-linted **once**, at
+//!   [`NetEmbedService::prepare`] (a malformed constraint fails there,
+//!   as [`ServiceError::BadConstraint`], never mid-search);
+//! * each run binds the parsed expression to the *current* registry
+//!   snapshot via [`netembed::Problem::from_parsed`] — one compiled
+//!   problem serves both the search and the mapping re-verification;
+//! * filter builds are memoized in the service's shared
+//!   [`FilterCache`](crate::cache::FilterCache) under `(host name,
+//!   model epoch, query fingerprint, constraint)` — repeated runs (or
+//!   repeated `submit`s of the same request, which are thin wrappers
+//!   over this type) rebuild nothing until the model's epoch moves, and
+//!   an epoch bump invalidates exactly this host's entries;
+//! * the handle leases a warm [`netembed::EmbedScratch`] — DFS arenas
+//!   *and* the persistent parallel worker pool — from the service, and
+//!   returns it on drop, so back-to-back prepared runs are
+//!   allocation-free and spawn-free
+//!   ([`SearchStats::pool_reuse`](netembed::SearchStats) shows it).
+
+use crate::cache::FilterKey;
+use crate::{NetEmbedService, QueryResponse, ServiceError};
+use cexpr::Expr;
+use netembed::{
+    Algorithm, Deadline, EmbedResult, EmbedScratch, Engine, FilterMatrix, Options, Problem,
+    SearchStats,
+};
+use netgraph::Network;
+use std::sync::Arc;
+
+/// A compiled, cache-connected `(host, query, constraint)` request.
+/// Created by [`NetEmbedService::prepare`]; run any number of times
+/// with [`PreparedQuery::run`] / [`PreparedQuery::run_batch`].
+pub struct PreparedQuery<'svc> {
+    svc: &'svc NetEmbedService,
+    host: String,
+    query: Network,
+    constraint: String,
+    query_hash: u128,
+    expr: Expr,
+    /// Leased from the service at prepare, returned on drop. `Some`
+    /// for the whole life of the handle.
+    scratch: Option<EmbedScratch>,
+}
+
+impl<'svc> PreparedQuery<'svc> {
+    pub(crate) fn new(
+        svc: &'svc NetEmbedService,
+        host: String,
+        query: Network,
+        constraint: String,
+        expr: Expr,
+    ) -> Self {
+        let query_hash = crate::cache::network_fingerprint(&query);
+        let scratch = Some(svc.checkout_scratch());
+        PreparedQuery {
+            svc,
+            host,
+            query,
+            constraint,
+            query_hash,
+            expr,
+            scratch,
+        }
+    }
+
+    /// The registry name this query targets.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The query network.
+    pub fn query(&self) -> &Network {
+        &self.query
+    }
+
+    /// The constraint source text.
+    pub fn constraint(&self) -> &str {
+        &self.constraint
+    }
+
+    /// Swap in a new constraint, keeping the query (and its
+    /// fingerprint), the scratch lease and the cache connection. This
+    /// is the §VI-B relaxation step made cheap: a negotiation loop
+    /// re-constrains one handle per level instead of re-preparing —
+    /// no query clone, no re-fingerprint, no scratch churn. The new
+    /// constraint is parsed and type-linted here, exactly like
+    /// [`NetEmbedService::prepare`].
+    pub fn reconstrain(&mut self, constraint: &str) -> Result<(), ServiceError> {
+        self.expr = crate::parse_and_lint(constraint)?;
+        self.constraint = constraint.to_string();
+        Ok(())
+    }
+
+    /// Run once under `options` against the current model snapshot.
+    pub fn run(&mut self, options: &Options) -> Result<QueryResponse, ServiceError> {
+        let mut out = self.run_many(std::slice::from_ref(options))?;
+        Ok(out.pop().expect("one response per run"))
+    }
+
+    /// Run a whole batch against **one** model snapshot: every run sees
+    /// the same epoch (a concurrent registry update affects the next
+    /// batch, not a run in the middle of this one), so one filter build
+    /// — or one cache hit — serves every filter-based run.
+    pub fn run_batch(&mut self, runs: &[Options]) -> Result<Vec<QueryResponse>, ServiceError> {
+        self.run_many(runs)
+    }
+
+    fn run_many(&mut self, runs: &[Options]) -> Result<Vec<QueryResponse>, ServiceError> {
+        let (host, epoch) = self
+            .svc
+            .registry()
+            .get(&self.host)
+            .ok_or_else(|| ServiceError::UnknownHost(self.host.clone()))?;
+        let problem = Problem::from_parsed(&self.query, &host, &self.expr)?;
+        let key = FilterKey {
+            host: self.host.clone(),
+            epoch,
+            query_hash: self.query_hash,
+            constraint: self.constraint.clone(),
+        };
+        let scratch = self.scratch.as_mut().expect("scratch leased until drop");
+        let mut responses = Vec::with_capacity(runs.len());
+        // Batch-local pin: once a filter is obtained (hit or build), the
+        // rest of the batch reuses this exact `Arc` regardless of what
+        // concurrent queries do to the shared cache's LRU — the old
+        // `submit_batch` held its filter in a local, and a long batch
+        // must keep that eviction immunity.
+        let mut pinned: Option<Arc<FilterMatrix>> = None;
+        for options in runs {
+            let result = run_cached(
+                self.svc.cache(),
+                &key,
+                &problem,
+                options,
+                scratch,
+                &mut pinned,
+            )?;
+            // Safety net, §III: independently verify every mapping
+            // before returning — against the *same* compiled problem
+            // the search used (the old submit path compiled it twice).
+            for m in &result.mappings {
+                netembed::check_mapping(&problem, m).map_err(ServiceError::VerificationFailed)?;
+            }
+            responses.push(QueryResponse {
+                outcome: result.outcome,
+                stats: result.stats,
+            });
+        }
+        Ok(responses)
+    }
+}
+
+impl Drop for PreparedQuery<'_> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            self.svc.checkin_scratch(scratch);
+        }
+    }
+}
+
+impl std::fmt::Debug for PreparedQuery<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedQuery")
+            .field("host", &self.host)
+            .field("constraint", &self.constraint)
+            .field("query_nodes", &self.query.node_count())
+            .finish()
+    }
+}
+
+/// One engine run through the service's filter cache: pinned/hit →
+/// reuse the memoized matrix (`stats.filter_cache_hits = 1`, zero build
+/// evals); miss → build under this run's budget (parallel builds go
+/// through the scratch's persistent pool), charge the build to this
+/// run's stats and timeout exactly like the engine's own build path,
+/// and memoize the matrix unless the deadline truncated it (a truncated
+/// filter is a function of the budget, not the key — the next run
+/// rebuilds under its own budget).
+///
+/// `pinned` is the caller's batch-local slot for the same key: it is
+/// consulted before the shared cache and populated by the first hit or
+/// complete build, so a multi-run caller keeps its filter even if the
+/// shared LRU evicts the entry mid-batch. Single-run callers pass a
+/// fresh `&mut None`.
+pub(crate) fn run_cached(
+    cache: &crate::cache::FilterCache,
+    key: &FilterKey,
+    problem: &Problem<'_>,
+    options: &Options,
+    scratch: &mut EmbedScratch,
+    pinned: &mut Option<Arc<FilterMatrix>>,
+) -> Result<EmbedResult, ServiceError> {
+    if matches!(options.algorithm, Algorithm::Lns) {
+        // LNS keeps no filter state (that is its point, §V-C); it only
+        // shares the scratch.
+        return Ok(Engine::run_with_scratch(problem, options, scratch)?);
+    }
+    if let Some(filter) = pinned.as_ref().cloned().or_else(|| {
+        let hit = cache.lookup(key);
+        *pinned = hit.clone();
+        hit
+    }) {
+        let mut result = Engine::run_prebuilt(problem, &filter, options, scratch)?;
+        result.stats.filter_cache_hits += 1;
+        return Ok(result);
+    }
+    let build_start = std::time::Instant::now();
+    let spawned_before = scratch.parallel.pool().spawned_total();
+    let mut deadline = Deadline::new(options.timeout);
+    let mut build_stats = SearchStats::default();
+    let threads = match options.algorithm {
+        Algorithm::ParallelEcf { threads } => threads,
+        _ => 1,
+    };
+    let filter = Arc::new(if threads > 1 {
+        FilterMatrix::build_par_pooled(
+            problem,
+            threads,
+            &mut deadline,
+            &mut build_stats,
+            scratch.parallel.pool_mut(),
+        )?
+    } else {
+        FilterMatrix::build(problem, &mut deadline, &mut build_stats)?
+    });
+    let spent = build_start.elapsed();
+    // Build-phase spawns only: the search below never credits its own
+    // spawns (see the engine's parallel branch for the same deduction).
+    let build_spawned = scratch.parallel.pool().spawned_total() - spawned_before;
+    if !filter.truncated() {
+        cache.insert(key.clone(), filter.clone());
+        *pinned = Some(filter.clone());
+    }
+    // The builder's search runs on whatever budget the build left over;
+    // later cache hitters get their full timeout (they paid nothing).
+    let run_options = Options {
+        timeout: options.timeout.map(|t| t.saturating_sub(spent)),
+        ..options.clone()
+    };
+    let mut result = Engine::run_prebuilt(problem, &filter, &run_options, scratch)?;
+    result.stats.constraint_evals += build_stats.constraint_evals;
+    result.stats.elapsed += spent;
+    result.stats.cpu_time += spent;
+    result.stats.pool_reuse = result.stats.pool_reuse.saturating_sub(build_spawned);
+    Ok(result)
+}

@@ -1,19 +1,56 @@
-//! The network-model store (§III component 1).
+//! The network-model store (§III component 1), epoch-versioned.
 //!
 //! The service keeps "an up-to-date copy of the model" per hosting
 //! network; a monitoring pipeline (or the [`crate::monitor`] simulator)
-//! replaces models as measurements arrive. Readers get an `Arc` snapshot,
-//! so in-flight queries are never affected by a concurrent update —
-//! exactly the semantics a replicated NETEMBED deployment needs.
+//! replaces models as measurements arrive. Readers get an `Arc` snapshot
+//! paired with a [`ModelEpoch`], so in-flight queries are never affected
+//! by a concurrent update — exactly the semantics a replicated NETEMBED
+//! deployment needs — and downstream caches (the
+//! [`FilterCache`](crate::cache::FilterCache) behind
+//! [`PreparedQuery`](crate::PreparedQuery)) can key derived state by the
+//! epoch instead of hashing whole networks.
+//!
+//! ## Epoch semantics
+//!
+//! Every mutation — [`ModelRegistry::register`],
+//! [`ModelRegistry::update`] (the reservation system's commit hook), a
+//! remove-and-re-register — stamps the affected entry with a fresh epoch
+//! drawn from one registry-wide monotonic counter. Consequences callers
+//! rely on:
+//!
+//! * epochs are **unique across the whole registry**, so an epoch value
+//!   identifies one specific version of one specific host model;
+//! * a host's epoch **never repeats** (even across remove/re-register),
+//!   so anything memoized under an old epoch is permanently stale, never
+//!   wrongly resurrected;
+//! * mutating host `A` leaves host `B`'s epoch untouched, so epoch-keyed
+//!   caches are invalidated *exactly* for the affected host.
 
 use netgraph::Network;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Monotonic version stamp of one registered model. See the module docs
+/// for the uniqueness guarantees. The raw value is public so other
+/// epoch-keyed caches (e.g. the scheduler's residual-model cache) can
+/// mint values in their own namespaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelEpoch(pub u64);
+
+struct Entry {
+    model: Arc<Network>,
+    epoch: ModelEpoch,
+}
 
 /// Thread-safe named store of hosting-network models.
 pub struct ModelRegistry {
-    models: RwLock<HashMap<String, Arc<Network>>>,
+    models: RwLock<HashMap<String, Entry>>,
+    /// Last epoch handed out. Always minted while holding the write
+    /// lock, so per-entry epochs are strictly increasing in swap-in
+    /// order (the atomic just avoids a second lock around the counter).
+    last_epoch: AtomicU64,
 }
 
 impl ModelRegistry {
@@ -21,38 +58,78 @@ impl ModelRegistry {
     pub fn new() -> Self {
         ModelRegistry {
             models: RwLock::new(HashMap::new()),
+            last_epoch: AtomicU64::new(0),
         }
     }
 
-    /// Register or replace the model for `name`.
-    pub fn register(&self, name: &str, model: Network) {
-        self.models
-            .write()
-            .insert(name.to_string(), Arc::new(model));
+    fn next_epoch(&self) -> ModelEpoch {
+        ModelEpoch(self.last_epoch.fetch_add(1, Ordering::Relaxed) + 1)
     }
 
-    /// Snapshot of the model for `name`.
-    pub fn get(&self, name: &str) -> Option<Arc<Network>> {
-        self.models.read().get(name).cloned()
+    /// Register or replace the model for `name`; returns the entry's new
+    /// epoch. The epoch is minted *inside* the write lock (as in
+    /// [`ModelRegistry::update`]) so a racing mutation of the same name
+    /// can never make its visible epoch move backwards.
+    pub fn register(&self, name: &str, model: Network) -> ModelEpoch {
+        let mut guard = self.models.write();
+        let epoch = self.next_epoch();
+        guard.insert(
+            name.to_string(),
+            Entry {
+                model: Arc::new(model),
+                epoch,
+            },
+        );
+        epoch
+    }
+
+    /// Snapshot of the model for `name` plus its current epoch. The
+    /// snapshot stays internally consistent under concurrent updates;
+    /// the epoch tells the caller *which* version it got (and is the
+    /// cache key for anything derived from it).
+    pub fn get(&self, name: &str) -> Option<(Arc<Network>, ModelEpoch)> {
+        self.models
+            .read()
+            .get(name)
+            .map(|e| (e.model.clone(), e.epoch))
+    }
+
+    /// Snapshot of the model for `name` (epoch-less convenience for
+    /// callers that don't cache).
+    pub fn model(&self, name: &str) -> Option<Arc<Network>> {
+        self.models.read().get(name).map(|e| e.model.clone())
+    }
+
+    /// Current epoch of `name` without touching the model — the cheap
+    /// staleness probe for epoch-keyed caches.
+    pub fn epoch(&self, name: &str) -> Option<ModelEpoch> {
+        self.models.read().get(name).map(|e| e.epoch)
     }
 
     /// Remove a model; returns it if present.
     pub fn remove(&self, name: &str) -> Option<Arc<Network>> {
-        self.models.write().remove(name)
+        self.models.write().remove(name).map(|e| e.model)
     }
 
     /// Apply `update` to a copy of the current model and atomically swap
-    /// the result in. Returns false when `name` is unknown. This is the
-    /// reservation system's hook (§III component 3): allocate → adjust.
-    pub fn update(&self, name: &str, update: impl FnOnce(&mut Network)) -> bool {
+    /// the result in under a fresh epoch, which is returned. `None` when
+    /// `name` is unknown. This is the reservation system's hook (§III
+    /// component 3): allocate → adjust → epoch bump (which invalidates
+    /// exactly this host's cached filters).
+    pub fn update(&self, name: &str, update: impl FnOnce(&mut Network)) -> Option<ModelEpoch> {
         let mut guard = self.models.write();
-        let Some(current) = guard.get(name) else {
-            return false;
-        };
-        let mut copy = (**current).clone();
+        let entry = guard.get(name)?;
+        let mut copy = (*entry.model).clone();
         update(&mut copy);
-        guard.insert(name.to_string(), Arc::new(copy));
-        true
+        let epoch = self.next_epoch();
+        guard.insert(
+            name.to_string(),
+            Entry {
+                model: Arc::new(copy),
+                epoch,
+            },
+        );
+        Some(epoch)
     }
 
     /// Registered model names, sorted.
@@ -99,33 +176,61 @@ mod tests {
         reg.register("a", net(3));
         reg.register("b", net(5));
         assert_eq!(reg.len(), 2);
-        assert_eq!(reg.get("a").unwrap().node_count(), 3);
+        assert_eq!(reg.model("a").unwrap().node_count(), 3);
         assert_eq!(reg.names(), vec!["a".to_string(), "b".to_string()]);
         assert_eq!(reg.remove("a").unwrap().node_count(), 3);
         assert!(reg.get("a").is_none());
+        assert!(reg.epoch("a").is_none());
     }
 
     #[test]
     fn snapshots_survive_updates() {
         let reg = ModelRegistry::new();
         reg.register("m", net(2));
-        let snapshot = reg.get("m").unwrap();
+        let (snapshot, epoch) = reg.get("m").unwrap();
         reg.register("m", net(9));
-        // Old snapshot is unaffected; new readers see the update.
+        // Old snapshot is unaffected; new readers see the update under a
+        // newer epoch.
         assert_eq!(snapshot.node_count(), 2);
-        assert_eq!(reg.get("m").unwrap().node_count(), 9);
+        let (fresh, fresh_epoch) = reg.get("m").unwrap();
+        assert_eq!(fresh.node_count(), 9);
+        assert!(fresh_epoch > epoch);
     }
 
     #[test]
-    fn update_in_place() {
+    fn update_in_place_bumps_epoch() {
         let reg = ModelRegistry::new();
-        reg.register("m", net(2));
-        let ok = reg.update("m", |n| {
-            n.add_node("extra");
-        });
-        assert!(ok);
-        assert_eq!(reg.get("m").unwrap().node_count(), 3);
-        assert!(!reg.update("missing", |_| {}));
+        let first = reg.register("m", net(2));
+        let updated = reg
+            .update("m", |n| {
+                n.add_node("extra");
+            })
+            .unwrap();
+        assert!(updated > first);
+        assert_eq!(reg.model("m").unwrap().node_count(), 3);
+        assert_eq!(reg.epoch("m"), Some(updated));
+        assert!(reg.update("missing", |_| {}).is_none());
+    }
+
+    #[test]
+    fn epochs_are_per_host_and_never_reused() {
+        let reg = ModelRegistry::new();
+        let a1 = reg.register("a", net(1));
+        let b1 = reg.register("b", net(1));
+        // Mutating `a` leaves `b`'s epoch untouched.
+        let a2 = reg.update("a", |_| {}).unwrap();
+        assert_eq!(reg.epoch("b"), Some(b1));
+        assert!(a2 > a1);
+        // Remove + re-register never resurrects an old epoch.
+        reg.remove("a");
+        let a3 = reg.register("a", net(1));
+        assert!(a3 > a2, "re-registered epoch must be fresh");
+        // All epochs seen so far are distinct.
+        let mut seen = [a1, b1, a2, a3];
+        seen.sort();
+        for w in seen.windows(2) {
+            assert!(w[0] < w[1], "duplicate epoch");
+        }
     }
 
     #[test]
@@ -141,7 +246,7 @@ mod tests {
                     if t % 2 == 0 {
                         reg.register("m", net((i % 7) + 1));
                     } else {
-                        let snap = reg.get("m").unwrap();
+                        let (snap, _) = reg.get("m").unwrap();
                         assert!(snap.node_count() >= 1);
                     }
                 }
@@ -150,5 +255,33 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        // 100 writes happened; the final epoch reflects every one of them.
+        assert!(reg.epoch("m").unwrap() >= ModelEpoch(101));
+    }
+
+    #[test]
+    fn epochs_strictly_increase_under_concurrent_updates() {
+        use std::thread;
+        let reg = std::sync::Arc::new(ModelRegistry::new());
+        reg.register("m", net(1));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let reg = reg.clone();
+            handles.push(thread::spawn(move || {
+                let mut epochs = Vec::new();
+                for _ in 0..25 {
+                    epochs.push(reg.update("m", |_| {}).unwrap());
+                }
+                epochs
+            }));
+        }
+        let mut all: Vec<ModelEpoch> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n, "concurrent updates produced duplicate epochs");
     }
 }

@@ -96,7 +96,7 @@ impl ReservationManager {
         capacities: &[&str],
     ) -> Result<Reservation, ReservationError> {
         let model = registry
-            .get(host_name)
+            .model(host_name)
             .ok_or_else(|| ReservationError::UnknownHost(host_name.to_string()))?;
 
         // Plan the deductions and validate against the snapshot.
@@ -133,7 +133,9 @@ impl ReservationManager {
             }
         }
 
-        // Commit atomically through the registry.
+        // Commit atomically through the registry; the commit bumps the
+        // host's model epoch, invalidating exactly this host's cached
+        // filters (§III component 3: allocate → adjust).
         let committed = registry.update(host_name, |net| {
             for (node, attr, amount) in &deductions {
                 let current = net
@@ -143,7 +145,7 @@ impl ReservationManager {
                 net.set_node_attr(*node, attr, current - amount);
             }
         });
-        if !committed {
+        if committed.is_none() {
             return Err(ReservationError::UnknownHost(host_name.to_string()));
         }
 
@@ -181,7 +183,7 @@ impl ReservationManager {
                 net.set_node_attr(*node, attr, current + amount);
             }
         });
-        if !restored {
+        if restored.is_none() {
             return Err(ReservationError::UnknownHost(reservation.host));
         }
         Ok(())
@@ -224,7 +226,7 @@ mod tests {
     }
 
     fn cpu(reg: &ModelRegistry, node: u32) -> f64 {
-        reg.get("h")
+        reg.model("h")
             .unwrap()
             .node_attr_by_name(NodeId(node), "cpu")
             .and_then(AttrValue::as_num)
@@ -298,7 +300,7 @@ mod tests {
         mgr.reserve(&reg, "h", &q, &m, &["cpu"]).unwrap();
         // After the reservation, a query demanding cpu ≥ 6 per node is
         // infeasible (capacities now 5 and 2).
-        let host = reg.get("h").unwrap();
+        let host = reg.model("h").unwrap();
         let engine = netembed::Engine::new(&host);
         let result = engine
             .embed(&q, "rNode.cpu >= 6.0", &netembed::Options::default())

@@ -11,8 +11,24 @@
 //! the end of each committed allocation), reconstructs the residual-
 //! capacity model at that time, and runs the embedding engine until a
 //! feasible window is found.
+//!
+//! The sweep is session-aware: the scheduler owns a persistent
+//! [`netembed::EmbedScratch`] (DFS arenas + worker pool, reused across
+//! every start probed and every `find_window` call) and a private
+//! [`FilterCache`]. Each candidate start's residual model is identified
+//! by the *set of allocations active at that tick* — allocation ids are
+//! never reused, so the set fingerprints the model exactly — and the
+//! built filter is memoized under it. Re-sweeping an unchanged calendar
+//! (the common "ask again for the next job" pattern) rebuilds no
+//! filter; committing or cancelling an allocation changes the active
+//! sets and thus transparently invalidates exactly the affected
+//! windows.
 
-use netembed::{Engine, Mapping, Options, ProblemError, SearchMode};
+use crate::cache::{network_fingerprint, FilterCache, FilterKey};
+use crate::prepared::run_cached;
+use crate::registry::ModelEpoch;
+use crate::ServiceError;
+use netembed::{EmbedScratch, Mapping, Options, Problem, ProblemError, SearchMode};
 use netgraph::{AttrValue, Network, NodeId};
 use std::fmt;
 
@@ -87,17 +103,58 @@ pub struct Scheduler {
     capacities: Vec<String>,
     calendar: Vec<Allocation>,
     next_id: u64,
+    /// Memoized filters per residual model (see module docs).
+    cache: FilterCache,
+    /// Persistent search arenas + worker pool for the sweep.
+    scratch: EmbedScratch,
 }
 
 impl Scheduler {
-    /// A scheduler over `base` managing the listed capacity attributes.
+    /// A scheduler over `base` managing the listed capacity attributes,
+    /// with the default filter-cache capacity
+    /// ([`crate::cache::DEFAULT_CAPACITY`] residual models).
     pub fn new(base: Network, capacities: &[&str]) -> Self {
+        Self::with_cache_capacity(base, capacities, crate::cache::DEFAULT_CAPACITY)
+    }
+
+    /// [`Scheduler::new`] with an explicit filter-cache capacity. Size
+    /// it to at least the number of candidate starts one `find_window`
+    /// sweep probes (≈ concurrently committed allocations + 1);
+    /// a smaller cache still answers correctly but evicts its own
+    /// entries mid-sweep, losing the re-sweep amortization.
+    pub fn with_cache_capacity(base: Network, capacities: &[&str], cache_capacity: usize) -> Self {
         Scheduler {
             base,
             capacities: capacities.iter().map(|s| s.to_string()).collect(),
             calendar: Vec::new(),
             next_id: 1,
+            cache: FilterCache::with_capacity(cache_capacity),
+            scratch: EmbedScratch::new(),
         }
+    }
+
+    /// The scheduler's filter cache (hit/miss counters for
+    /// observability and tests).
+    pub fn cache(&self) -> &FilterCache {
+        &self.cache
+    }
+
+    /// Cache namespace for the residual model at tick `t`: the set of
+    /// allocations active then. Ids are monotonic and never reused, and
+    /// each id's deductions are immutable, so equal sets ⇒ identical
+    /// residual models.
+    fn residual_namespace(&self, t: Tick) -> String {
+        let mut active: Vec<u64> = self
+            .calendar
+            .iter()
+            .filter(|a| a.start <= t && t < a.end)
+            .map(|a| a.id)
+            .collect();
+        active.sort_unstable();
+        // The id list itself is the namespace — collision-free by
+        // construction (and short: it only lists *concurrently active*
+        // allocations).
+        format!("@sched:{active:?}")
     }
 
     /// Committed allocations, sorted by start tick.
@@ -195,6 +252,14 @@ impl Scheduler {
         if duration == 0 {
             return Err(ScheduleError::ZeroDuration);
         }
+        // Parse once for the whole sweep; every start re-binds the same
+        // expression to its residual model.
+        // Same up-front checks as every other service entry point
+        // (parse *and* static type lint), parsed once for the whole
+        // sweep; every start re-binds the same expression.
+        let expr =
+            crate::parse_and_lint(constraint).map_err(|e| ScheduleError::Problem(e.to_string()))?;
+        let query_hash = network_fingerprint(query);
         let mut options = options.clone();
         options.mode = SearchMode::UpTo(16); // a few candidates to re-check
         for start in self.candidate_starts(from, horizon) {
@@ -202,8 +267,27 @@ impl Scheduler {
                 break;
             }
             let model = self.model_at(start);
-            let engine = Engine::new(&model);
-            let result = engine.embed(query, constraint, &options)?;
+            let namespace = self.residual_namespace(start);
+            let problem = Problem::from_parsed(query, &model, &expr)?;
+            let key = FilterKey {
+                host: namespace,
+                epoch: ModelEpoch(0),
+                query_hash,
+                constraint: constraint.to_string(),
+            };
+            // Each start probes its own key once — no batch-local pin.
+            let result = run_cached(
+                &self.cache,
+                &key,
+                &problem,
+                &options,
+                &mut self.scratch,
+                &mut None,
+            )
+            .map_err(|e| match e {
+                ServiceError::Problem(p) => ScheduleError::from(p),
+                other => ScheduleError::Problem(other.to_string()),
+            })?;
             for mapping in &result.mappings {
                 if self.window_has_capacity(query, mapping, start, start + duration) {
                     let deductions = self.plan_deductions(query, mapping);
@@ -397,6 +481,50 @@ mod tests {
                 "window 2 overlaps allocation 1's hosts"
             );
         }
+    }
+
+    #[test]
+    fn unchanged_calendar_resweep_hits_filter_cache() {
+        let mut s = Scheduler::new(base(), &["cpu"]);
+        // Infeasible demand: the sweep probes every start, builds the
+        // residual filters, commits nothing.
+        let err = s
+            .find_window(&q(9.0), CAP, 10, 0, 50, &Options::default())
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::NoWindow { .. }));
+        let misses = s.cache().misses();
+        assert!(misses > 0, "first sweep must build");
+        // Same sweep, unchanged calendar: all cache hits, zero rebuilds.
+        let _ = s
+            .find_window(&q(9.0), CAP, 10, 0, 50, &Options::default())
+            .unwrap_err();
+        assert_eq!(s.cache().misses(), misses, "re-sweep rebuilt a filter");
+        assert!(s.cache().hits() > 0);
+        // Committing an allocation changes the active set at its window:
+        // the next sweep of an overlapping start must rebuild.
+        s.find_window(&q(3.0), CAP, 20, 0, 100, &Options::default())
+            .unwrap();
+        let misses_before = s.cache().misses();
+        let _ = s
+            .find_window(&q(9.0), CAP, 10, 0, 50, &Options::default())
+            .unwrap_err();
+        assert!(
+            s.cache().misses() > misses_before,
+            "commit must invalidate overlapping residual filters"
+        );
+    }
+
+    #[test]
+    fn ill_typed_constraint_rejected_before_the_sweep() {
+        let mut s = Scheduler::new(base(), &["cpu"]);
+        let err = s
+            .find_window(&q(1.0), "\"fast\" == 1", 10, 0, 50, &Options::default())
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::Problem(_)), "{err}");
+        let err = s
+            .find_window(&q(1.0), "1 +", 10, 0, 50, &Options::default())
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::Problem(_)), "{err}");
     }
 
     #[test]

@@ -53,7 +53,7 @@ fn main() {
 
     for epoch in 0..12 {
         // Is the current placement still valid against the live model?
-        let model = svc.registry().get("overlay").unwrap();
+        let model = svc.registry().model("overlay").unwrap();
         let still_valid = placement.as_ref().is_some_and(|m| {
             let p = Problem::new(&ring, &model, constraint).expect("valid constraint");
             netembed::check_mapping(&p, m).is_ok()

@@ -93,7 +93,7 @@ fn main() {
         match svc.submit(&request) {
             Ok(resp) if !resp.mappings().is_empty() => {
                 let mapping = &resp.mappings()[0];
-                let host = svc.registry().get("testbed").unwrap();
+                let host = svc.registry().model("testbed").unwrap();
                 println!("\nslice #{attempt} placed:");
                 for (q, r) in mapping.iter() {
                     let cpu = host

@@ -84,21 +84,29 @@ fn reserve_until_exhaustion_then_release() {
 fn negotiation_against_service_model() {
     let svc = NetEmbedService::new();
     svc.registry().register("t", host_with_capacity());
-    let host = svc.registry().get("t").unwrap();
     let q = cpu_query(0.0);
     // Delay values in the host are 5..33; a 1ms budget fails, 40 succeeds.
-    let out = negotiate(
-        &host,
-        &q,
-        &[1.0, 2.0, 40.0],
-        &Options::default(),
-        |budget| format!("rEdge.avgDelay <= {budget}"),
-    )
-    .unwrap();
+    // Negotiation runs against the registered model through the service's
+    // prepared-query path (per-level filters land in the shared cache).
+    let out = svc
+        .negotiate("t", &q, &[1.0, 2.0, 40.0], &Options::default(), |budget| {
+            format!("rEdge.avgDelay <= {budget}")
+        })
+        .unwrap();
     match out {
         NegotiationOutcome::Satisfied { index, .. } => assert_eq!(index, 2),
         other => panic!("unexpected {other:?}"),
     }
+    // The free-function wrapper over a bare Network agrees.
+    let host = svc.registry().model("t").unwrap();
+    let out = negotiate(&host, &q, &[1.0, 2.0, 40.0], &Options::default(), |b| {
+        format!("rEdge.avgDelay <= {b}")
+    })
+    .unwrap();
+    assert!(matches!(
+        out,
+        NegotiationOutcome::Satisfied { index: 2, .. }
+    ));
 }
 
 #[test]
@@ -150,7 +158,7 @@ fn os_binding_respected_end_to_end() {
             options: Options::default(),
         })
         .unwrap();
-    let host = svc.registry().get("t").unwrap();
+    let host = svc.registry().model("t").unwrap();
     assert!(!resp.mappings().is_empty());
     for m in resp.mappings() {
         for (_, r) in m.iter() {
