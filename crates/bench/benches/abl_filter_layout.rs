@@ -30,6 +30,16 @@
 //!   park between runs (the service steady state; zero spawns). The
 //!   gap is pure thread-spawn cost, which dominates the µs-scale fig11
 //!   parallel rows — compare `pool_warm_speedup` in the JSON;
+//! * **planner_coalesce / submit_concurrent** — [`PLANNER_CLIENTS`]
+//!   concurrent identical clients against a per-sample **fresh model
+//!   epoch** (cold filter cache each time): `submit_concurrent` has
+//!   each client go through `NetEmbedService::submit` independently
+//!   (concurrent misses deduplicated by the cache's in-flight build
+//!   table), `planner_coalesce` funnels them through the cross-request
+//!   `service::Planner`, which groups equivalent pending requests and
+//!   dispatches each group through one prepared pipeline.
+//!   `coalesce_speedup` > 1.0 means grouping beat independent dispatch
+//!   on this machine (see `host_cores`);
 //! * **embed** — end-to-end bounded enumeration (build + search).
 //!
 //! Besides the stdout report, results land machine-readably in
@@ -44,10 +54,11 @@ use bench::{bench_brite, bench_planetlab, planted};
 use netembed::filter::reference::{self, HashFilterMatrix};
 use netembed::order::{compute_order, predecessors};
 use netembed::{
-    ecf, parallel, CollectUpTo, Deadline, FilterMatrix, NodeOrder, ParallelScratch, Problem,
-    SearchScratch, SearchStats, StealPolicy,
+    ecf, parallel, CollectUpTo, Deadline, FilterMatrix, NodeOrder, Options, ParallelScratch,
+    Problem, SearchMode, SearchScratch, SearchStats, StealPolicy,
 };
 use netgraph::Network;
+use service::{NetEmbedService, QueryRequest};
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -64,6 +75,9 @@ const SAMPLES: usize = 51;
 const PAR_THREADS: usize = 4;
 /// Worker count for the `search_par`/`search_steal` series.
 const STEAL_WORKERS: usize = 4;
+/// Concurrent client threads for the `planner_coalesce` /
+/// `submit_concurrent` series.
+const PLANNER_CLIENTS: usize = 4;
 
 fn median_ns(mut f: impl FnMut() -> u64) -> u64 {
     // One untimed warm-up run absorbs first-touch effects (page faults,
@@ -94,6 +108,8 @@ struct Row {
     search_steal_ns: u64,
     pool_cold_ns: u64,
     pool_warm_ns: u64,
+    planner_coalesce_ns: u64,
+    submit_concurrent_ns: u64,
     embed_hash_ns: u64,
     embed_csr_ns: u64,
 }
@@ -241,6 +257,46 @@ fn run_scenario_capped(name: &str, host: &Network, wl: &QueryWorkload, cap: usiz
     let mut warm_scratch = ParallelScratch::new();
     let pool_warm_ns = median_ns(|| run_par(StealPolicy::default(), &mut warm_scratch));
 
+    // Cross-request series: PLANNER_CLIENTS concurrent identical
+    // clients, each sample against a freshly-bumped model epoch so the
+    // filter cache is cold every time (that is the event the planner
+    // and the in-flight dedup amortize; an unbumped loop would measure
+    // nothing but cache hits). One long-lived service per series keeps
+    // scratch/pool warm across samples — the steady state both sides
+    // share. `submit_concurrent`: independent `submit`s racing through
+    // the cache's in-flight build table. `planner_coalesce`: the same
+    // clients funneled through one coalescing planner.
+    let request = QueryRequest {
+        host: "bench".into(),
+        query: wl.query.clone(),
+        constraint: wl.constraint.clone(),
+        options: Options {
+            mode: SearchMode::UpTo(cap),
+            ..Options::default()
+        },
+    };
+    let submit_svc = NetEmbedService::new();
+    let submit_concurrent_ns = median_ns(|| {
+        submit_svc.registry().register("bench", host.clone());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..PLANNER_CLIENTS)
+                .map(|_| s.spawn(|| submit_svc.submit(&request).unwrap().mappings().len() as u64))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+    });
+    let planner_svc = NetEmbedService::new();
+    let planner_coalesce_ns = median_ns(|| {
+        planner_svc.registry().register("bench", host.clone());
+        let planner = planner_svc.planner();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..PLANNER_CLIENTS)
+                .map(|_| s.spawn(|| planner.run(&request).unwrap().mappings().len() as u64))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+    });
+
     let embed_hash_ns = median_ns(|| embed_hash() as u64);
     let embed_csr_ns = median_ns(|| embed_csr() as u64);
 
@@ -259,11 +315,13 @@ fn run_scenario_capped(name: &str, host: &Network, wl: &QueryWorkload, cap: usiz
         search_steal_ns,
         pool_cold_ns,
         pool_warm_ns,
+        planner_coalesce_ns,
+        submit_concurrent_ns,
         embed_hash_ns,
         embed_csr_ns,
     };
     println!(
-        "{:<24} nq={:<3} nr={:<4} sols={:<5} build {:>9} -> {:>9} ns ({:.2}x)   build_par({PAR_THREADS}t) {:>9} ns ({:.2}x)   search {:>9} -> {:>9} ns ({:.2}x)   scratch {:>9} ns ({:.2}x)   par({STEAL_WORKERS}w) {:>9} ns   steal({STEAL_WORKERS}w) {:>9} ns ({:.2}x)   pool cold {:>9} -> warm {:>9} ns ({:.2}x)   embed {:>10} -> {:>10} ns ({:.2}x)",
+        "{:<24} nq={:<3} nr={:<4} sols={:<5} build {:>9} -> {:>9} ns ({:.2}x)   build_par({PAR_THREADS}t) {:>9} ns ({:.2}x)   search {:>9} -> {:>9} ns ({:.2}x)   scratch {:>9} ns ({:.2}x)   par({STEAL_WORKERS}w) {:>9} ns   steal({STEAL_WORKERS}w) {:>9} ns ({:.2}x)   pool cold {:>9} -> warm {:>9} ns ({:.2}x)   submit({PLANNER_CLIENTS}c) {:>10} -> planner {:>10} ns ({:.2}x)   embed {:>10} -> {:>10} ns ({:.2}x)",
         row.name,
         row.nq,
         row.nr,
@@ -284,6 +342,9 @@ fn run_scenario_capped(name: &str, host: &Network, wl: &QueryWorkload, cap: usiz
         row.pool_cold_ns,
         row.pool_warm_ns,
         row.pool_cold_ns as f64 / row.pool_warm_ns.max(1) as f64,
+        row.submit_concurrent_ns,
+        row.planner_coalesce_ns,
+        row.submit_concurrent_ns as f64 / row.planner_coalesce_ns.max(1) as f64,
         row.embed_hash_ns,
         row.embed_csr_ns,
         row.embed_hash_ns as f64 / row.embed_csr_ns.max(1) as f64,
@@ -344,6 +405,7 @@ fn write_json(rows: &[Row], path: &PathBuf) {
     out.push_str(&format!("  \"match_cap\": {MATCH_CAP},\n"));
     out.push_str(&format!("  \"build_par_threads\": {PAR_THREADS},\n"));
     out.push_str(&format!("  \"steal_workers\": {STEAL_WORKERS},\n"));
+    out.push_str(&format!("  \"planner_clients\": {PLANNER_CLIENTS},\n"));
     out.push_str(&format!("  \"host_cores\": {cores},\n"));
     out.push_str("  \"scenarios\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -353,10 +415,12 @@ fn write_json(rows: &[Row], path: &PathBuf) {
              \"search_hashmap_ns\": {}, \"search_csr_ns\": {}, \"search_scratch_ns\": {}, \
              \"search_par_ns\": {}, \"search_steal_ns\": {}, \
              \"search_pool_cold_ns\": {}, \"search_pool_warm_ns\": {}, \
+             \"planner_coalesce_ns\": {}, \"submit_concurrent_ns\": {}, \
              \"embed_hashmap_ns\": {}, \"embed_csr_ns\": {}, \
              \"build_speedup\": {:.3}, \"build_par_speedup\": {:.3}, \
              \"search_speedup\": {:.3}, \"scratch_speedup\": {:.3}, \
              \"steal_overhead\": {:.3}, \"pool_warm_speedup\": {:.3}, \
+             \"coalesce_speedup\": {:.3}, \
              \"embed_speedup\": {:.3}}}{}\n",
             json_escape(&r.name),
             r.nq,
@@ -372,6 +436,8 @@ fn write_json(rows: &[Row], path: &PathBuf) {
             r.search_steal_ns,
             r.pool_cold_ns,
             r.pool_warm_ns,
+            r.planner_coalesce_ns,
+            r.submit_concurrent_ns,
             r.embed_hash_ns,
             r.embed_csr_ns,
             r.build_hash_ns as f64 / r.build_csr_ns.max(1) as f64,
@@ -384,6 +450,10 @@ fn write_json(rows: &[Row], path: &PathBuf) {
             // > 1.0 means the warm persistent pool saved that factor of
             // wall time over per-run thread spawns.
             r.pool_cold_ns as f64 / r.pool_warm_ns.max(1) as f64,
+            // > 1.0 means the coalescing planner beat independent
+            // concurrent submits for a cold-epoch burst of
+            // planner_clients identical requests.
+            r.submit_concurrent_ns as f64 / r.planner_coalesce_ns.max(1) as f64,
             r.embed_hash_ns as f64 / r.embed_csr_ns.max(1) as f64,
             if i + 1 < rows.len() { "," } else { "" },
         ));

@@ -13,12 +13,17 @@
 //! compiled problem, the epoch-keyed filter cache and the persistent
 //! worker pool warm, so runs after the first skip the filter build and
 //! thread spawns (the per-run stats lines show it).
+//! `--planner --clients N` instead drives the request through the
+//! cross-request planner from N concurrent client threads: equivalent
+//! in-flight requests coalesce into one group (one filter build, one
+//! warm scratch for the burst), and the stats lines show the coalescing
+//! counters plus the service's pool telemetry.
 //! Exit codes: 0 mappings found, 1 definitively infeasible, 2 usage or
 //! input error, 3 inconclusive (timeout with nothing found).
 
 use netembed::{Algorithm, Options, Outcome, SearchMode};
 use netgraph::Network;
-use service::NetEmbedService;
+use service::{NetEmbedService, QueryRequest, QueryResponse};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -29,7 +34,7 @@ USAGE:
   netembed embed --host FILE --query FILE --constraint EXPR
                  [--algorithm ecf|rwb|lns|par] [--threads N]
                  [--mode all|first|N] [--timeout-ms N] [--seed N]
-                 [--repeat N] [--quiet]
+                 [--repeat N] [--planner] [--clients N] [--quiet]
   netembed gen   planetlab|brite|waxman|clique|ring|star
                  [--nodes N] [--seed N] --out FILE
   netembed inspect FILE
@@ -142,6 +147,24 @@ fn cmd_embed(args: &[String]) -> ExitCode {
         seed,
         ..Options::default()
     };
+
+    if has_flag(args, "--planner") {
+        let clients: usize = flag_value(args, "--clients")
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(4);
+        return planner_demo(
+            &svc,
+            &host,
+            &query,
+            &constraint,
+            &options,
+            clients,
+            repeat,
+            quiet,
+        );
+    }
+
     let mut prepared = match svc.prepare("host", query.clone(), &constraint) {
         Ok(p) => p,
         Err(e) => {
@@ -171,7 +194,92 @@ fn cmd_embed(args: &[String]) -> ExitCode {
         }
     }
     let result = result.expect("repeat >= 1");
+    report_embed(&result, &query, &host, quiet)
+}
 
+/// Drive the request through the cross-request planner from `clients`
+/// concurrent threads, `repeat` bursts in a row: a live demonstration
+/// of group coalescing (one filter build per burst key, one warm
+/// scratch) with the counters and pool telemetry printed per burst.
+#[allow(clippy::too_many_arguments)]
+fn planner_demo(
+    svc: &NetEmbedService,
+    host: &Network,
+    query: &Network,
+    constraint: &str,
+    options: &Options,
+    clients: usize,
+    repeat: usize,
+    quiet: bool,
+) -> ExitCode {
+    let planner = svc.planner();
+    let request = QueryRequest {
+        host: "host".into(),
+        query: query.clone(),
+        constraint: constraint.to_string(),
+        options: options.clone(),
+    };
+    let mut last: Option<QueryResponse> = None;
+    for round in 0..repeat {
+        let responses: Vec<Result<QueryResponse, service::ServiceError>> =
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|_| s.spawn(|| planner.run(&request)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("client thread panicked"))
+                    .collect()
+            });
+        let mut round_hits = 0u64;
+        let mut round_coalesced = 0u64;
+        let mut round_builds = 0u64;
+        // LNS runs no filter stage at all (its constraint evaluations
+        // happen in-search), so its evals never indicate a build.
+        let builds_filters = !matches!(options.algorithm, Algorithm::Lns);
+        for resp in responses {
+            match resp {
+                Ok(resp) => {
+                    round_hits += resp.stats.filter_cache_hits;
+                    round_coalesced += resp.stats.coalesced_requests;
+                    round_builds += u64::from(builds_filters && resp.stats.constraint_evals > 0);
+                    last = Some(resp);
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if !quiet {
+            eprintln!(
+                "# burst {}/{repeat}: {clients} clients → builds: {round_builds}, cache hits: {round_hits}, coalesced: {round_coalesced}",
+                round + 1,
+            );
+        }
+    }
+    if !quiet {
+        let telemetry = svc.telemetry();
+        eprintln!(
+            "# planner: groups dispatched: {}, coalesced total: {}, cache hits: {} misses: {} dedup waits: {}",
+            planner.groups_dispatched(),
+            planner.coalesced_total(),
+            svc.cache().hits(),
+            svc.cache().misses(),
+            svc.cache().dedup_waits(),
+        );
+        eprintln!(
+            "# pool telemetry: parked scratches: {}, threads: {}, spawned total: {}",
+            telemetry.parked_scratches, telemetry.pool_threads, telemetry.spawned_total,
+        );
+    }
+    let result = last.expect("clients >= 1 and repeat >= 1");
+    report_embed(&result, query, host, quiet)
+}
+
+/// Shared tail of the embed paths: summary line, mapping rows, exit
+/// code.
+fn report_embed(result: &QueryResponse, query: &Network, host: &Network, quiet: bool) -> ExitCode {
     if !quiet {
         eprintln!(
             "# {} mapping(s), outcome: {}, elapsed: {:?}, visited: {}, evals: {}",

@@ -207,6 +207,56 @@ fn repeat_runs_share_the_prepared_session() {
 }
 
 #[test]
+fn planner_mode_coalesces_concurrent_clients() {
+    let host = tmp("planner-host.graphml");
+    let out = run(&[
+        "gen",
+        "ring",
+        "--nodes",
+        "8",
+        "--out",
+        host.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let out = run(&[
+        "embed",
+        "--host",
+        host.to_str().unwrap(),
+        "--query",
+        host.to_str().unwrap(),
+        "--constraint",
+        "true",
+        "--mode",
+        "first",
+        "--planner",
+        "--clients",
+        "4",
+        "--repeat",
+        "2",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("burst 1/2: 4 clients"), "{stderr}");
+    assert!(stderr.contains("burst 2/2"), "{stderr}");
+    assert!(stderr.contains("groups dispatched:"), "{stderr}");
+    assert!(
+        stderr.contains("pool telemetry: parked scratches:"),
+        "{stderr}"
+    );
+    // 8 concurrent equivalent requests (2 bursts × 4 clients), one
+    // filter build total: the amortization identity, as printed.
+    assert!(stderr.contains("misses: 1"), "{stderr}");
+    // Mappings printed once, for the final response.
+    assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 1);
+    std::fs::remove_file(&host).ok();
+}
+
+#[test]
 fn help_prints_usage() {
     let out = run(&["--help"]);
     assert!(out.status.success());

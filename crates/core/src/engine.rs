@@ -17,7 +17,7 @@ use crate::problem::{Problem, ProblemError};
 use crate::rwb;
 use crate::scratch::EmbedScratch;
 use crate::sink::{CollectAll, CollectUpTo};
-use crate::stats::SearchStats;
+use crate::stats::{BuildCharge, SearchStats};
 use netgraph::Network;
 use std::time::Duration;
 
@@ -169,7 +169,9 @@ impl<'a> Engine<'a> {
                 )
             }
             Algorithm::ParallelEcf { threads } => {
-                let spawned_before = scratch.parallel.pool().spawned_total();
+                // Build-charging contract (see `stats::BuildCharge`):
+                // threads the build fan-out spawns are new, not warm.
+                let mut charge = BuildCharge::begin(scratch.parallel.pool().spawned_total());
                 let filter = FilterMatrix::build_par_pooled(
                     problem,
                     threads,
@@ -177,12 +179,7 @@ impl<'a> Engine<'a> {
                     &mut stats,
                     scratch.parallel.pool_mut(),
                 )?;
-                // Threads the build fan-out just spawned are new, not
-                // warm: deduct exactly them (and only them — the search
-                // never credits its own spawns) from the search stage's
-                // count, so a cold run reports `pool_reuse == 0` while a
-                // partially warm pool keeps its genuine credit.
-                let build_spawned = scratch.parallel.pool().spawned_total() - spawned_before;
+                charge.finish_build(scratch.parallel.pool().spawned_total());
                 let out = Self::dispatch_prebuilt(
                     problem,
                     &filter,
@@ -191,7 +188,7 @@ impl<'a> Engine<'a> {
                     &mut stats,
                     scratch,
                 );
-                stats.pool_reuse = stats.pool_reuse.saturating_sub(build_spawned);
+                charge.settle_pool_reuse(&mut stats);
                 out
             }
         };

@@ -261,20 +261,18 @@ pub fn search_with_scratch(
 ) -> Result<(Vec<Mapping>, SearchEnd), ProblemError> {
     assert!(threads >= 1, "need at least one thread");
     let start = std::time::Instant::now();
-    let spawned_before = scratch.pool().spawned_total();
+    // Build-charging contract (see [`crate::BuildCharge`]): `pool_reuse`
+    // must only credit threads that predate this *run*, so exactly the
+    // build-phase spawns are deducted once the search has counted its
+    // warm threads.
+    let mut charge = crate::BuildCharge::begin(scratch.pool().spawned_total());
     let filter =
         FilterMatrix::build_par_pooled(problem, threads, deadline, stats, scratch.pool_mut())?;
-    // `pool_reuse` must only credit threads that predate this *run*: the
-    // search stage counts whatever the pool holds when it starts, which
-    // includes threads the build fan-out above just spawned. Deduct
-    // exactly the build-phase spawns (search-stage spawns were never
-    // credited), so a cold run reports 0 and a partially warm pool keeps
-    // credit for its genuinely warm threads.
-    let build_spawned = scratch.pool().spawned_total() - spawned_before;
+    charge.finish_build(scratch.pool().spawned_total());
     let (merged, end) = search_prebuilt(
         problem, &filter, threads, limit, order, deadline, stats, scratch,
     );
-    stats.pool_reuse = stats.pool_reuse.saturating_sub(build_spawned);
+    charge.settle_pool_reuse(stats);
     // Authoritative wall clock for the whole run (build + search).
     stats.elapsed = start.elapsed();
     Ok((merged, end))

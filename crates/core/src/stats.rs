@@ -1,8 +1,10 @@
 //! Search statistics: the instrumentation behind every figure in the
 //! paper's evaluation (visited nodes, constraint evaluations, prunes,
-//! elapsed time, timeout status).
+//! elapsed time, timeout status) — plus [`BuildCharge`], the shared
+//! accounting helper for runs that perform a filter build as a distinct
+//! phase before their search.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Counters collected by one search run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -42,6 +44,19 @@ pub struct SearchStats {
     /// spawned by the run's own filter-build fan-out count as new, not
     /// warm.
     pub pool_reuse: u64,
+    /// 1 when this run rode along in a cross-request planner group led
+    /// by another request: it reused the group's pinned filter without
+    /// ever touching the shared cache (the `service` crate's planner
+    /// sets it; engine-level runs report 0). A planner burst of N
+    /// equivalent requests therefore proves "exactly one build" by
+    /// `Σ filter_cache_hits + Σ coalesced_requests == N - 1`.
+    pub coalesced_requests: u64,
+    /// 1 when this run's filter came from *waiting on another thread's
+    /// in-flight build* of the same key (the service filter cache's
+    /// concurrent-miss deduplication) instead of building its own copy.
+    /// Such a run also reports `filter_cache_hits = 1` — the wait is
+    /// how the hit was delivered.
+    pub dedup_waits: u64,
     /// Wall-clock time of the whole run (filter construction + search).
     ///
     /// This is always the *caller-observed* duration: the parallel search
@@ -77,10 +92,138 @@ impl SearchStats {
         self.tasks_spawned += other.tasks_spawned;
         self.tasks_stolen += other.tasks_stolen;
         self.filter_cache_hits += other.filter_cache_hits;
+        self.coalesced_requests += other.coalesced_requests;
+        self.dedup_waits += other.dedup_waits;
         self.pool_reuse += other.pool_reuse;
         self.elapsed = self.elapsed.max(other.elapsed);
         self.cpu_time += other.cpu_time;
         self.timed_out |= other.timed_out;
+    }
+}
+
+/// The shared accounting contract for runs that perform a filter build
+/// as a separate phase before their search — the idiom that used to be
+/// copy-pasted across `Engine::run_with_scratch`'s parallel branch,
+/// `parallel::search_with_scratch` and the service's cached-run path,
+/// now stated once:
+///
+/// 1. snapshot the worker pool's lifetime spawn count **before** the
+///    build ([`BuildCharge::begin`]);
+/// 2. build, then record the build phase's end
+///    ([`BuildCharge::finish_build`]) — everything the pool spawned in
+///    between is *build fan-out*, not warm capacity;
+/// 3. run the search, charging it only the budget the build left over
+///    ([`BuildCharge::remaining`]);
+/// 4. fold the build phase into the run's stats: evals and wall/cpu
+///    time via [`BuildCharge::charge_build`] (for callers that kept the
+///    build's counters separate), and **always** the `pool_reuse`
+///    correction via [`BuildCharge::settle_pool_reuse`] — the search
+///    stage credits every pre-existing pool thread as warm, so exactly
+///    the build-phase spawns must be deducted (a cold run reports 0,
+///    a partially warm pool keeps credit for its genuinely warm
+///    threads, and search-stage spawns are never deducted because they
+///    were never credited).
+#[derive(Debug)]
+pub struct BuildCharge {
+    start: Instant,
+    /// Set by [`BuildCharge::mark_build_start`] when real build work
+    /// begins later than `begin()` — e.g. a run that first blocked on
+    /// another thread's in-flight build. Wall time before this mark is
+    /// charged to `elapsed` but never to `cpu_time` (a parked thread
+    /// does no work).
+    build_start: Option<Instant>,
+    spawned_before: u64,
+    build_spawned: u64,
+    spent: Duration,
+    build_spent: Duration,
+}
+
+impl BuildCharge {
+    /// Start the build phase: `spawned_before` is the pool's
+    /// [`spawned_total`](crate::WorkerPool::spawned_total) right now
+    /// (pass 0 for builds that cannot fan out).
+    pub fn begin(spawned_before: u64) -> Self {
+        BuildCharge {
+            start: Instant::now(),
+            build_start: None,
+            spawned_before,
+            build_spawned: 0,
+            spent: Duration::ZERO,
+            build_spent: Duration::ZERO,
+        }
+    }
+
+    /// Record that actual build *work* starts now — everything since
+    /// `begin()` was waiting (blocked on someone else's build), which
+    /// consumes the budget and the caller's wall clock but no CPU.
+    /// Without this mark the whole phase counts as build work.
+    pub fn mark_build_start(&mut self) {
+        self.build_start = Some(Instant::now());
+    }
+
+    /// End the build phase: `spawned_after` is the pool's spawn count
+    /// now. Records the phase's wall time (and the build-work portion
+    /// of it) and its thread fan-out.
+    pub fn finish_build(&mut self, spawned_after: u64) {
+        self.build_spawned = spawned_after.saturating_sub(self.spawned_before);
+        self.spent = self.start.elapsed();
+        self.build_spent = match self.build_start {
+            Some(build_start) => build_start.elapsed(),
+            None => self.spent,
+        };
+    }
+
+    /// Wall time the build phase consumed (valid after
+    /// [`BuildCharge::finish_build`]).
+    pub fn spent(&self) -> Duration {
+        self.spent
+    }
+
+    /// Threads the build fan-out spawned (valid after
+    /// [`BuildCharge::finish_build`]).
+    pub fn build_spawned(&self) -> u64 {
+        self.build_spawned
+    }
+
+    /// The budget the build left for the search stage: `timeout` minus
+    /// the build's wall time, saturating at zero (`None` stays
+    /// unlimited). Later cache hitters never pay this — only the run
+    /// that actually built.
+    pub fn remaining(&self, timeout: Option<Duration>) -> Option<Duration> {
+        timeout.map(|t| t.saturating_sub(self.spent))
+    }
+
+    /// The budget left *right now*: `timeout` minus everything elapsed
+    /// since [`BuildCharge::begin`], saturating at zero. For callers
+    /// that burned wall time **before** starting their build — e.g. a
+    /// run that waited on another thread's in-flight build, saw it
+    /// abandoned, and took over as the new builder — so the build phase
+    /// itself runs on what the wait left over, never on a fresh copy of
+    /// the original budget.
+    pub fn remaining_now(&self, timeout: Option<Duration>) -> Option<Duration> {
+        timeout.map(|t| t.saturating_sub(self.start.elapsed()))
+    }
+
+    /// Fold separately-collected build counters into the run's stats:
+    /// the build's constraint evaluations, the whole phase's wall time
+    /// into `elapsed`, and only the build-*work* portion into
+    /// `cpu_time` — time spent blocked before
+    /// [`BuildCharge::mark_build_start`] (waiting on someone else's
+    /// build) is wall time, not CPU. The build work itself is
+    /// single-stream from the run's point of view (its internal
+    /// fan-out already summed into `build_stats` by the builder).
+    pub fn charge_build(&self, stats: &mut SearchStats, build_stats: &SearchStats) {
+        stats.constraint_evals += build_stats.constraint_evals;
+        stats.elapsed += self.spent;
+        stats.cpu_time += self.build_spent;
+    }
+
+    /// Deduct exactly the build-phase spawns from the run's
+    /// `pool_reuse` credit. See the type docs for why this is the whole
+    /// correction: the search stage credits pre-existing threads only,
+    /// so build fan-out is the one source of wrongly-counted "warmth".
+    pub fn settle_pool_reuse(&self, stats: &mut SearchStats) {
+        stats.pool_reuse = stats.pool_reuse.saturating_sub(self.build_spawned);
     }
 }
 
@@ -99,6 +242,8 @@ mod tests {
             tasks_spawned: 3,
             tasks_stolen: 1,
             filter_cache_hits: 1,
+            coalesced_requests: 1,
+            dedup_waits: 0,
             pool_reuse: 2,
             elapsed: Duration::from_millis(20),
             cpu_time: Duration::from_millis(20),
@@ -113,6 +258,8 @@ mod tests {
             tasks_spawned: 2,
             tasks_stolen: 2,
             filter_cache_hits: 0,
+            coalesced_requests: 1,
+            dedup_waits: 1,
             pool_reuse: 4,
             elapsed: Duration::from_millis(35),
             cpu_time: Duration::from_millis(35),
@@ -127,10 +274,120 @@ mod tests {
         assert_eq!(a.tasks_spawned, 5); // sum, per-worker publishes
         assert_eq!(a.tasks_stolen, 3); // sum, per-worker steals
         assert_eq!(a.filter_cache_hits, 1); // sum, per-run hits
+        assert_eq!(a.coalesced_requests, 2); // sum, per-run rides
+        assert_eq!(a.dedup_waits, 1); // sum, per-run build waits
         assert_eq!(a.pool_reuse, 6); // sum, per-run warm threads
         assert_eq!(a.elapsed, Duration::from_millis(35)); // max, wall-clock
         assert_eq!(a.cpu_time, Duration::from_millis(55)); // sum, cpu-time
         assert!(a.timed_out);
+    }
+
+    #[test]
+    fn build_charge_contract() {
+        // Cold pool: the build fans out from 0 to 4 threads; the search
+        // stage then credits those same 4 as "already alive" — settle
+        // must zero the credit out.
+        let mut charge = BuildCharge::begin(0);
+        charge.finish_build(4);
+        assert_eq!(charge.build_spawned(), 4);
+        let mut stats = SearchStats {
+            pool_reuse: 4,
+            ..SearchStats::default()
+        };
+        charge.settle_pool_reuse(&mut stats);
+        assert_eq!(stats.pool_reuse, 0, "cold run must report no reuse");
+
+        // Partially warm: 2 threads predate the run, the build spawns 2
+        // more; only the build's 2 are deducted.
+        let mut charge = BuildCharge::begin(2);
+        charge.finish_build(4);
+        assert_eq!(charge.build_spawned(), 2);
+        let mut stats = SearchStats {
+            pool_reuse: 4,
+            ..SearchStats::default()
+        };
+        charge.settle_pool_reuse(&mut stats);
+        assert_eq!(stats.pool_reuse, 2, "warm threads keep their credit");
+
+        // No fan-out at all (sequential build, fully warm pool): the
+        // settle is a no-op, never an over-deduction.
+        let mut charge = BuildCharge::begin(4);
+        charge.finish_build(4);
+        let mut stats = SearchStats {
+            pool_reuse: 4,
+            ..SearchStats::default()
+        };
+        charge.settle_pool_reuse(&mut stats);
+        assert_eq!(stats.pool_reuse, 4);
+    }
+
+    #[test]
+    fn build_charge_budget_and_counters() {
+        let mut charge = BuildCharge::begin(0);
+        std::thread::sleep(Duration::from_millis(5));
+        charge.finish_build(0);
+        assert!(charge.spent() >= Duration::from_millis(5));
+
+        // The search budget is what the build left over, floored at 0;
+        // unlimited stays unlimited.
+        assert_eq!(charge.remaining(None), None);
+        let rem = charge.remaining(Some(Duration::from_secs(1))).unwrap();
+        assert!(rem < Duration::from_secs(1));
+        assert_eq!(
+            charge.remaining(Some(Duration::from_nanos(1))),
+            Some(Duration::ZERO),
+            "an overspent budget floors at zero, never underflows"
+        );
+
+        // charge_build folds the build's evals and wall time into a
+        // separately-collected run.
+        let build_stats = SearchStats {
+            constraint_evals: 12,
+            ..SearchStats::default()
+        };
+        let mut run_stats = SearchStats {
+            constraint_evals: 3,
+            elapsed: Duration::from_millis(1),
+            cpu_time: Duration::from_millis(1),
+            ..SearchStats::default()
+        };
+        charge.charge_build(&mut run_stats, &build_stats);
+        assert_eq!(run_stats.constraint_evals, 15);
+        assert_eq!(run_stats.elapsed, Duration::from_millis(1) + charge.spent());
+        assert_eq!(
+            run_stats.cpu_time,
+            Duration::from_millis(1) + charge.spent(),
+            "without a build-start mark the whole phase is build work"
+        );
+    }
+
+    #[test]
+    fn build_charge_splits_wait_from_build_work() {
+        // A takeover builder: blocked on someone else's build first,
+        // then built itself. The wait charges the wall clock (elapsed,
+        // budget) but never cpu_time.
+        let mut charge = BuildCharge::begin(0);
+        std::thread::sleep(Duration::from_millis(8)); // "waiting"
+        charge.mark_build_start();
+        std::thread::sleep(Duration::from_millis(2)); // "building"
+        charge.finish_build(0);
+
+        let mut stats = SearchStats::default();
+        charge.charge_build(&mut stats, &SearchStats::default());
+        assert!(stats.elapsed >= Duration::from_millis(10), "wait + build");
+        assert!(stats.cpu_time >= Duration::from_millis(2));
+        assert!(
+            stats.elapsed >= stats.cpu_time + Duration::from_millis(6),
+            "the wait portion must be missing from cpu_time (elapsed {:?}, cpu {:?})",
+            stats.elapsed,
+            stats.cpu_time
+        );
+        // The budget, in contrast, is charged for the *whole* phase.
+        assert_eq!(
+            charge.remaining(Some(Duration::from_millis(5))),
+            Some(Duration::ZERO),
+            "waiting consumes the budget even though it is not CPU time"
+        );
     }
 
     #[test]

@@ -23,6 +23,22 @@
 //!   least-recently-used entry goes, so a sweep over many distinct
 //!   constraints (negotiation levels, scheduler residual models) cannot
 //!   grow the cache without bound.
+//!
+//! ## Concurrent-miss deduplication
+//!
+//! Two threads missing on the same key at the same time used to both
+//! build (last insert wins — correct, but the second build is pure
+//! waste). [`FilterCache::fetch_or_build`] closes that hole with an
+//! **in-flight build table**: the first miss registers the key and gets
+//! a [`BuildTicket`] (it is the designated builder); any later miss on
+//! the same key finds the registration and *waits* on it instead of
+//! building, receiving the exact same `Arc` the winner produced
+//! ([`FilterFetch::Waited`]). A builder that fails — deadline-truncated
+//! build, problem error, panic — abandons its ticket (explicitly or on
+//! drop), which wakes the waiters so one of them can take over. Waiters
+//! pass their own remaining budget; a wait that outlives it returns
+//! [`FilterFetch::WaitExpired`] rather than blocking past the
+//! requester's deadline.
 
 use crate::registry::ModelEpoch;
 use netembed::FilterMatrix;
@@ -32,7 +48,8 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
 
 /// Default entry cap of [`FilterCache::new`].
 pub const DEFAULT_CAPACITY: usize = 64;
@@ -66,15 +83,117 @@ struct CacheState {
     tick: u64,
 }
 
+/// One registered in-flight build: the winner flips `state` from
+/// `Building` to `Done`/`Abandoned` and notifies; joiners wait on `cv`.
+/// Waiters hold their own `Arc` clone, so the winner can drop the table
+/// entry immediately — late wakeups still read the final state.
+struct InFlight {
+    state: StdMutex<BuildState>,
+    cv: StdCondvar,
+}
+
+enum BuildState {
+    Building,
+    Done(Arc<FilterMatrix>),
+    /// The builder gave up (truncated build, error, panic): one waiter
+    /// should retry and become the new builder.
+    Abandoned,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        InFlight {
+            state: StdMutex::new(BuildState::Building),
+            cv: StdCondvar::new(),
+        }
+    }
+}
+
+/// What [`FilterCache::fetch_or_build`] resolved a key to.
+pub enum FilterFetch<'a> {
+    /// Served from the memo (counted as a hit).
+    Hit(Arc<FilterMatrix>),
+    /// Another thread was already building this key; this call blocked
+    /// until that build completed and got the same `Arc` it memoized
+    /// (counted as a dedup wait, not a miss).
+    Waited(Arc<FilterMatrix>),
+    /// Another thread was building, but the caller's wait budget ran
+    /// out first. The caller should report a timeout, exactly as if it
+    /// had spent the budget building.
+    WaitExpired,
+    /// Nobody has this key: the caller is the designated builder and
+    /// must [`BuildTicket::complete`] (or abandon) the ticket (counted
+    /// as a miss).
+    MustBuild(BuildTicket<'a>),
+}
+
+/// The designated-builder token handed out by
+/// [`FilterCache::fetch_or_build`] on a true miss. Exactly one exists
+/// per in-flight key. [`BuildTicket::complete`] memoizes the filter and
+/// hands it to every waiter; dropping the ticket without completing
+/// (build failure, deadline truncation, panic unwind) abandons the
+/// build, waking waiters so one can take over — waiters can therefore
+/// never deadlock on a builder that died.
+pub struct BuildTicket<'a> {
+    cache: &'a FilterCache,
+    key: FilterKey,
+    slot: Arc<InFlight>,
+    resolved: bool,
+}
+
+impl BuildTicket<'_> {
+    /// Publish a finished build: memoize it under the ticket's key and
+    /// wake every waiter with the same `Arc`. Callers must only
+    /// complete *complete* builds (see [`FilterCache::insert`]).
+    pub fn complete(mut self, filter: Arc<FilterMatrix>) {
+        self.cache.insert(self.key.clone(), filter.clone());
+        self.resolve(BuildState::Done(filter));
+    }
+
+    /// Give the key up without publishing (truncated or failed build):
+    /// wakes waiters so one of them becomes the new builder.
+    pub fn abandon(mut self) {
+        self.resolve(BuildState::Abandoned);
+    }
+
+    fn resolve(&mut self, state: BuildState) {
+        self.resolved = true;
+        self.cache.inflight.lock().unwrap().remove(&self.key);
+        *self.slot.state.lock().unwrap() = state;
+        self.slot.cv.notify_all();
+    }
+}
+
+impl Drop for BuildTicket<'_> {
+    fn drop(&mut self) {
+        if !self.resolved {
+            self.resolve(BuildState::Abandoned);
+        }
+    }
+}
+
+impl std::fmt::Debug for BuildTicket<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuildTicket")
+            .field("key", &self.key)
+            .finish()
+    }
+}
+
 /// Thread-safe memo of built `FilterMatrix`es, keyed by [`FilterKey`].
 /// Shared by every [`PreparedQuery`](crate::PreparedQuery) of a service
 /// (one query's build serves later identical submits), with lifetime
-/// hit/miss counters for observability.
+/// hit/miss/dedup-wait counters for observability.
 pub struct FilterCache {
     state: Mutex<CacheState>,
+    /// Keys currently being built (see the module docs on concurrent-miss
+    /// deduplication). `std` primitives on purpose: joiners need a
+    /// condvar, which the vendored `parking_lot` stand-in doesn't carry.
+    inflight: StdMutex<HashMap<FilterKey, Arc<InFlight>>>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    dedup_waits: AtomicU64,
 }
 
 impl FilterCache {
@@ -90,9 +209,11 @@ impl FilterCache {
                 map: HashMap::new(),
                 tick: 0,
             }),
+            inflight: StdMutex::new(HashMap::new()),
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            dedup_waits: AtomicU64::new(0),
         }
     }
 
@@ -110,6 +231,108 @@ impl FilterCache {
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
+            }
+        }
+    }
+
+    /// [`FilterCache::lookup`] that only counts (and refreshes) hits —
+    /// a `None` here is not yet a miss, because `fetch_or_build` may
+    /// still resolve it as a dedup wait.
+    fn peek_hit(&self, key: &FilterKey) -> Option<Arc<FilterMatrix>> {
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        st.map.get_mut(key).map(|slot| {
+            slot.last_used = tick;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            slot.filter.clone()
+        })
+    }
+
+    /// Resolve `key` with concurrent-miss deduplication (module docs):
+    /// memo hit → [`FilterFetch::Hit`]; someone else already building →
+    /// block (up to `wait_budget`; `None` waits indefinitely) and share
+    /// their result; true miss → the caller becomes the designated
+    /// builder and receives a [`BuildTicket`].
+    ///
+    /// **"Concurrent misses build once" is deterministic**, not
+    /// best-effort: a winner memoizes *before* clearing its in-flight
+    /// entry, and a caller that registers as builder re-probes the memo
+    /// before being handed the ticket — so if a concurrent build
+    /// completed anywhere in between, the caller takes the hit instead
+    /// of rebuilding. A second `MustBuild` for the same `(key, model)`
+    /// can only follow an *abandoned* (truncated/failed) build, or an
+    /// LRU eviction of the entry itself.
+    pub fn fetch_or_build(
+        &self,
+        key: &FilterKey,
+        wait_budget: Option<Duration>,
+    ) -> FilterFetch<'_> {
+        let wait_deadline = wait_budget.map(|b| Instant::now() + b);
+        loop {
+            if let Some(filter) = self.peek_hit(key) {
+                return FilterFetch::Hit(filter);
+            }
+            // `Ok` = someone is already building (join them); `Err` =
+            // this caller registered the key and is the builder.
+            let joined = {
+                let mut fl = self.inflight.lock().unwrap();
+                match fl.get(key) {
+                    Some(slot) => Ok(slot.clone()),
+                    None => {
+                        let slot = Arc::new(InFlight::new());
+                        fl.insert(key.clone(), slot.clone());
+                        Err(slot)
+                    }
+                }
+            };
+            let slot = match joined {
+                Err(slot) => {
+                    let ticket = BuildTicket {
+                        cache: self,
+                        key: key.clone(),
+                        slot,
+                        resolved: false,
+                    };
+                    // Close the probe→register window: a winner that
+                    // completed in between memoized *before* clearing
+                    // its in-flight entry, so this re-probe is
+                    // definitive — a successful concurrent build can
+                    // never be repeated. (Dropping the fresh ticket
+                    // releases the key; anyone who joined it in the
+                    // meantime retries and takes the hit too.)
+                    if let Some(filter) = self.peek_hit(key) {
+                        drop(ticket);
+                        return FilterFetch::Hit(filter);
+                    }
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return FilterFetch::MustBuild(ticket);
+                }
+                Ok(slot) => slot,
+            };
+            // Join the in-flight build. The winner may already have
+            // resolved the slot — the state check under the slot lock
+            // makes the wait race-free (no lost notification).
+            let mut st = slot.state.lock().unwrap();
+            loop {
+                match &*st {
+                    BuildState::Done(filter) => {
+                        self.dedup_waits.fetch_add(1, Ordering::Relaxed);
+                        return FilterFetch::Waited(filter.clone());
+                    }
+                    BuildState::Abandoned => break, // retry from the top
+                    BuildState::Building => {}
+                }
+                st = match wait_deadline {
+                    None => slot.cv.wait(st).unwrap(),
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return FilterFetch::WaitExpired;
+                        }
+                        slot.cv.wait_timeout(st, d - now).unwrap().0
+                    }
+                };
             }
         }
     }
@@ -166,9 +389,24 @@ impl FilterCache {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Lifetime lookup misses.
+    /// Lifetime lookup misses. A concurrent miss that waited on the
+    /// winner's in-flight build counts under
+    /// [`FilterCache::dedup_waits`] instead — only designated builders
+    /// count here.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of lookups that blocked on another thread's
+    /// in-flight build of the same key instead of building their own
+    /// copy (each one is a filter build the dedup table saved).
+    pub fn dedup_waits(&self) -> u64 {
+        self.dedup_waits.load(Ordering::Relaxed)
+    }
+
+    /// Keys currently being built (observability; racy by nature).
+    pub fn in_flight(&self) -> usize {
+        self.inflight.lock().unwrap().len()
     }
 }
 
@@ -185,6 +423,8 @@ impl std::fmt::Debug for FilterCache {
             .field("capacity", &self.capacity)
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("dedup_waits", &self.dedup_waits())
+            .field("in_flight", &self.in_flight())
             .finish()
     }
 }
@@ -385,6 +625,109 @@ mod tests {
         cache.invalidate_host("h");
         assert_eq!(cache.len(), 1);
         assert!(cache.lookup(&key("g", 1, "a")).is_some());
+    }
+
+    #[test]
+    fn concurrent_misses_build_once_and_share_the_arc() {
+        // The ISSUE's two-thread contract: the first miss becomes the
+        // designated builder (the only `miss`); the second blocks on the
+        // in-flight table and receives the *same* `Arc`, counted as a
+        // dedup wait, not a miss. Deterministic: the cache is empty and
+        // the key is registered in-flight before the second thread
+        // starts, so it can only ever resolve as `Waited`.
+        let cache = FilterCache::new();
+        let host = path_host(4);
+        let k = key("h", 1, "true");
+        let FilterFetch::MustBuild(ticket) = cache.fetch_or_build(&k, None) else {
+            panic!("empty cache must hand out a build ticket");
+        };
+        assert_eq!(cache.in_flight(), 1);
+        let waited = std::thread::scope(|s| {
+            let waiter = s.spawn(|| match cache.fetch_or_build(&k, None) {
+                FilterFetch::Waited(f) => f,
+                other => panic!(
+                    "second miss must wait on the in-flight build, got {}",
+                    match other {
+                        FilterFetch::Hit(_) => "Hit",
+                        FilterFetch::WaitExpired => "WaitExpired",
+                        FilterFetch::MustBuild(_) => "MustBuild",
+                        FilterFetch::Waited(_) => unreachable!(),
+                    }
+                ),
+            });
+            let built = build(&host);
+            ticket.complete(built.clone());
+            let waited = waiter.join().unwrap();
+            assert!(Arc::ptr_eq(&built, &waited), "waiter got a different Arc");
+            waited
+        });
+        assert_eq!(cache.misses(), 1, "only the designated builder misses");
+        assert_eq!(cache.dedup_waits(), 1);
+        assert_eq!(cache.in_flight(), 0, "completion clears the table");
+        // The memo now serves the same Arc as a plain hit.
+        let hit = cache.lookup(&k).expect("memoized");
+        assert!(Arc::ptr_eq(&hit, &waited));
+    }
+
+    #[test]
+    fn abandoned_build_hands_the_key_to_a_waiter() {
+        let cache = FilterCache::new();
+        let host = path_host(4);
+        let k = key("h", 1, "true");
+        let FilterFetch::MustBuild(ticket) = cache.fetch_or_build(&k, None) else {
+            panic!("first fetch must build");
+        };
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| match cache.fetch_or_build(&k, None) {
+                // The abandoned slot makes the waiter retry; with the
+                // key free again it becomes the new designated builder.
+                FilterFetch::MustBuild(t) => t.complete(build(&host)),
+                _ => panic!("waiter must take over after an abandon"),
+            });
+            // Simulates a deadline-truncated or failed build.
+            ticket.abandon();
+            waiter.join().unwrap();
+        });
+        assert_eq!(cache.misses(), 2, "both fetches ended up building");
+        assert_eq!(cache.dedup_waits(), 0);
+        assert!(cache.lookup(&k).is_some(), "the takeover build memoized");
+    }
+
+    #[test]
+    fn dropping_a_ticket_abandons_the_build() {
+        // A builder that unwinds (panic, `?`-propagated error) must not
+        // leave waiters stuck: Drop abandons.
+        let cache = FilterCache::new();
+        let k = key("h", 1, "true");
+        let FilterFetch::MustBuild(ticket) = cache.fetch_or_build(&k, None) else {
+            panic!("first fetch must build");
+        };
+        assert_eq!(cache.in_flight(), 1);
+        drop(ticket);
+        assert_eq!(cache.in_flight(), 0);
+        assert!(
+            matches!(cache.fetch_or_build(&k, None), FilterFetch::MustBuild(_)),
+            "the key must be buildable again"
+        );
+    }
+
+    #[test]
+    fn wait_budget_bounds_the_block() {
+        use std::time::Duration;
+        let cache = FilterCache::new();
+        let k = key("h", 1, "true");
+        let FilterFetch::MustBuild(_ticket) = cache.fetch_or_build(&k, None) else {
+            panic!("first fetch must build");
+        };
+        // The builder never completes within the waiter's budget: the
+        // waiter gets its deadline back instead of blocking forever.
+        let start = std::time::Instant::now();
+        assert!(matches!(
+            cache.fetch_or_build(&k, Some(Duration::from_millis(20))),
+            FilterFetch::WaitExpired
+        ));
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        assert_eq!(cache.dedup_waits(), 0, "an expired wait saved nothing");
     }
 
     #[test]

@@ -30,11 +30,50 @@
 //! [`netembed::check_mapping`] against the same compiled problem the
 //! search used — the service never returns an embedding it cannot prove
 //! feasible against the current model.
+//!
+//! ## Request lifecycle
+//!
+//! A request travels through four amortization layers, each reusing
+//! everything the previous one established:
+//!
+//! 1. **submit** — [`NetEmbedService::submit`] (or a client holding a
+//!    [`PreparedQuery`]) names a host, a query network and a §VI-B
+//!    constraint. Unknown hosts and malformed/ill-typed constraints
+//!    fail here, before any queueing or search.
+//! 2. **prepare** — the constraint is parsed + type-linted once, the
+//!    query fingerprinted once, and the handle binds to a registry
+//!    snapshot `(Arc<Network>, ModelEpoch)`; the problem is compiled
+//!    once per snapshot and serves both the search and the final
+//!    mapping re-verification.
+//! 3. **planner** (optional, [`NetEmbedService::planner`]) — concurrent
+//!    clients enqueue [`planner::PlannedRequest`]s; pending requests
+//!    with the same grouping key `(host, epoch, query fingerprint,
+//!    constraint)` — exactly a [`FilterKey`] — coalesce into one group
+//!    that is dispatched through **one** prepared pipeline: one
+//!    parse/lint, one compiled problem, one filter build or cache hit
+//!    (pinned for the group), one leased scratch. Per-request deadlines
+//!    and failures stay per-request. Dispatch is waiter-driven and
+//!    serialized, so bursts coalesce by backpressure (group commit)
+//!    with no timing windows; see [`planner`] for the grouping-key
+//!    invariants and the `Σ filter_cache_hits + Σ coalesced_requests
+//!    == N − 1` counter identity.
+//! 4. **pool** — the run executes on a leased warm [`EmbedScratch`]
+//!    whose persistent worker pool parks threads between runs
+//!    ([`SearchStats::pool_reuse`](netembed::SearchStats) proves warm
+//!    runs spawn nothing); filter builds miss into the shared
+//!    [`cache::FilterCache`], where concurrent misses on one key are
+//!    deduplicated through an in-flight build table (second miss waits
+//!    for the winner instead of rebuilding —
+//!    [`SearchStats::dedup_waits`](netembed::SearchStats)).
+//!
+//! [`NetEmbedService::telemetry`] exposes the parked-scratch/pool
+//! counters for capacity planning.
 
 pub mod cache;
 pub mod monitor;
 pub mod negotiate;
 pub mod partition;
+pub mod planner;
 pub mod prepared;
 pub mod registry;
 pub mod reservation;
@@ -44,6 +83,7 @@ pub use cache::{FilterCache, FilterKey};
 pub use monitor::{MonitorParams, MonitorSim};
 pub use negotiate::{negotiate, NegotiationOutcome};
 pub use partition::{Locality, PartitionedHost, PartitionedResponse};
+pub use planner::{PlannedRequest, Planner, Ticket};
 pub use prepared::PreparedQuery;
 pub use registry::{ModelEpoch, ModelRegistry};
 pub use reservation::{Reservation, ReservationError, ReservationManager};
@@ -138,6 +178,11 @@ pub enum ServiceError {
     /// The constraint was rejected by the up-front checks: it either
     /// fails to parse or fails the static type lint (§VI-B language).
     BadConstraint(ConstraintFault),
+    /// The request's run panicked inside the service (an engine
+    /// invariant violation). Carried as an error instead of unwinding
+    /// so one request's panic cannot strand its planner group-mates;
+    /// the payload is the panic message.
+    Internal(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -153,6 +198,7 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Graphml(e) => write!(f, "{e}"),
             ServiceError::BadConstraint(e) => write!(f, "{e}"),
+            ServiceError::Internal(msg) => write!(f, "internal error: run panicked: {msg}"),
         }
     }
 }
@@ -309,6 +355,43 @@ impl NetEmbedService {
 impl Default for NetEmbedService {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Point-in-time pool/scratch telemetry of a service (the ROADMAP's
+/// "scratch-lease tuning" observability half): how much warm capacity
+/// is parked, and whether steady-state traffic is still spawning
+/// threads. Leased-out scratches are invisible here by design — the
+/// numbers describe what the *next* prepare can reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceTelemetry {
+    /// Warm scratches currently parked (bounded by the service's
+    /// internal park cap; leased ones are not counted).
+    pub parked_scratches: usize,
+    /// Live worker threads across the parked scratches' pools.
+    pub pool_threads: usize,
+    /// Threads ever spawned by the parked scratches' pools. Frozen
+    /// between two probes ⇒ the traffic in between ran entirely on
+    /// warm threads.
+    pub spawned_total: u64,
+}
+
+impl NetEmbedService {
+    /// Snapshot the parked-scratch/pool telemetry. See
+    /// [`ServiceTelemetry`] for field semantics.
+    pub fn telemetry(&self) -> ServiceTelemetry {
+        let parked = self.scratches.lock();
+        ServiceTelemetry {
+            parked_scratches: parked.len(),
+            pool_threads: parked
+                .iter()
+                .map(|s| s.parallel.pool().thread_count())
+                .sum(),
+            spawned_total: parked
+                .iter()
+                .map(|s| s.parallel.pool().spawned_total())
+                .sum(),
+        }
     }
 }
 

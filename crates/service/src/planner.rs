@@ -1,0 +1,776 @@
+//! Cross-request planner: a coalescing request queue over
+//! [`PreparedQuery`](crate::PreparedQuery)'s machinery.
+//!
+//! PR 4 made amortization *session*-scoped: one `PreparedQuery` handle
+//! reuses its compiled problem, cached filter and leased scratch across
+//! its own runs. But two **independent clients** submitting the same
+//! query against the same host still each pay their own prepare, their
+//! own cache probe and their own dispatch. The [`Planner`] closes that
+//! gap — the ROADMAP's cross-request amortization layer:
+//!
+//! * [`Planner::submit`] enqueues a [`PlannedRequest`] and returns a
+//!   [`Ticket`]; compatible pending requests — same **grouping key**
+//!   `(host, model epoch, query fingerprint, constraint)`, which is
+//!   exactly a [`FilterKey`] — join one *group*;
+//! * each group is dispatched through **one** prepared pipeline: one
+//!   constraint parse/lint (done once when the group is created), one
+//!   compiled [`Problem`], one filter build **or** cache hit pinned for
+//!   the whole group, one leased warm scratch/pool. Every member still
+//!   gets its *own* engine run under its *own* [`Options`], so results
+//!   are identical to isolated sequential submits;
+//! * results fan back to the per-request tickets, with per-request
+//!   deadlines respected and group-member failures isolated (one
+//!   member's timeout or verification failure never poisons its
+//!   group-mates).
+//!
+//! ## Grouping-key invariants
+//!
+//! Two requests share a group only if **every** component of the
+//! [`FilterKey`] matches:
+//!
+//! * **host + epoch** — the model snapshot (`Arc<Network>`, epoch) is
+//!   captured at *enqueue*; a registry epoch bump between enqueue and
+//!   dispatch therefore **splits the group**: pre-bump members run
+//!   against the snapshot they saw at submission, post-bump members
+//!   form a new group against the new model. Members never observe a
+//!   model newer (or older) than their submission point;
+//! * **query fingerprint** — the 128-bit structural
+//!   [`network_fingerprint`](crate::cache::network_fingerprint), so
+//!   distinct query networks never share a compiled problem;
+//! * **constraint** — verbatim source text, so one parse/lint per
+//!   group is sound.
+//!
+//! Per-member `Options` (algorithm, mode, seed, timeout…) are *not*
+//! part of the key: they don't affect the shared stages, only the
+//! per-member run.
+//!
+//! ## Dispatch model: waiter-driven group commit
+//!
+//! The planner owns **no threads**. Dispatch is driven by whichever
+//! ticket is blocked in [`Ticket::wait`]: one waiter at a time becomes
+//! the *dispatcher*, pops the oldest group and executes it for
+//! everyone; the rest park until their result lands or the dispatcher
+//! role frees up. Serializing dispatch is what makes coalescing emerge
+//! under load with no timing windows (classic group commit): while one
+//! group runs, a burst of equivalent arrivals accumulates into a single
+//! next group, which then shares one pipeline. A burst of N equivalent
+//! concurrent requests against a cold cache thus performs exactly one
+//! filter build, provable from counters:
+//! `Σ filter_cache_hits + Σ coalesced_requests == N − 1`
+//! over the N responses, under **every** interleaving (each request
+//! either builds, hits the shared cache, or rides the group pin).
+//!
+//! ## Deadlines and cancellation
+//!
+//! A member's `Options::timeout` is measured from **enqueue**: time
+//! spent queued behind other groups counts against its budget, and a
+//! member whose budget is exhausted when its turn comes is answered
+//! with a timed-out [`Outcome::Inconclusive`] (its `elapsed` reporting
+//! the queue wait) without running — and without disturbing its
+//! group-mates. Dropping a [`Ticket`] before [`Ticket::wait`] cancels
+//! the request: a still-queued member is unlinked from its group on the
+//! spot, a member already being dispatched has its result discarded at
+//! delivery — either way no queue slot, result slot or cancellation
+//! mark survives the ticket.
+
+use crate::cache::FilterKey;
+use crate::{NetEmbedService, QueryRequest, QueryResponse, ServiceError};
+use cexpr::Expr;
+use netembed::{FilterMatrix, Options, Outcome, Problem, SearchStats};
+use netgraph::Network;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// A request handed to the planner queue. Identical in shape to a
+/// plain [`QueryRequest`] — the planner differs in *how* it executes
+/// (grouped, coalesced), not in what it accepts.
+pub type PlannedRequest = QueryRequest;
+
+/// One enqueued request awaiting dispatch.
+struct Member {
+    id: u64,
+    options: Options,
+    enqueued: Instant,
+}
+
+/// Pending requests sharing one grouping key, model snapshot and parsed
+/// constraint — dispatched together through one prepared pipeline.
+struct PendingGroup {
+    key: FilterKey,
+    /// Model snapshot captured when the group was created; every member
+    /// runs against exactly this version (see module docs).
+    model: Arc<Network>,
+    query: Network,
+    /// Parsed + type-linted once per group, at creation.
+    expr: Expr,
+    members: Vec<Member>,
+}
+
+struct PlannerState {
+    /// Open groups in creation (and therefore dispatch) order.
+    groups: VecDeque<PendingGroup>,
+    /// Delivered results awaiting pickup by their tickets.
+    results: HashMap<u64, Result<QueryResponse, ServiceError>>,
+    /// Cancelled ids whose member is currently being dispatched (a
+    /// still-queued cancel unlinks the member directly instead).
+    cancelled: HashSet<u64>,
+    /// True while some waiter is executing a group; dispatch is
+    /// serialized — that is what makes arrivals coalesce (module docs).
+    dispatching: bool,
+    next_id: u64,
+}
+
+/// The coalescing cross-request queue. Create one per service with
+/// [`NetEmbedService::planner`]; share it by reference among client
+/// threads ([`Planner::submit`]/[`Planner::run`] take `&self`).
+pub struct Planner<'svc> {
+    svc: &'svc NetEmbedService,
+    state: Mutex<PlannerState>,
+    /// One condvar for everything: result delivery and dispatcher-role
+    /// handoff both go through `notify_all` (waiters re-check their own
+    /// predicate under the state lock, so wakeups are never lost).
+    wake: Condvar,
+    groups_dispatched: AtomicU64,
+    coalesced_total: AtomicU64,
+}
+
+impl NetEmbedService {
+    /// A coalescing request queue over this service (see
+    /// [`Planner`]). Cheap; independent planners don't share queues,
+    /// but they do share the service's registry, filter cache (with its
+    /// in-flight build dedup) and scratch pool.
+    pub fn planner(&self) -> Planner<'_> {
+        Planner {
+            svc: self,
+            state: Mutex::new(PlannerState {
+                groups: VecDeque::new(),
+                results: HashMap::new(),
+                cancelled: HashSet::new(),
+                dispatching: false,
+                next_id: 0,
+            }),
+            wake: Condvar::new(),
+            groups_dispatched: AtomicU64::new(0),
+            coalesced_total: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Human-readable form of a caught panic payload (the `&str`/`String`
+/// cases `panic!` actually produces).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Resets the `dispatching` flag (and wakes the queue) if group
+/// execution itself unwinds, so the dispatcher role is never wedged.
+/// Per-member panics never reach this — `execute` catches them and
+/// delivers [`ServiceError::Internal`] to the affected member, so
+/// group-mates always receive their results.
+struct DispatchGuard<'a, 'svc> {
+    planner: &'a Planner<'svc>,
+}
+
+impl Drop for DispatchGuard<'_, '_> {
+    fn drop(&mut self) {
+        let mut st = lock_state(&self.planner.state);
+        st.dispatching = false;
+        drop(st);
+        self.planner.wake.notify_all();
+    }
+}
+
+/// The planner's bookkeeping runs outside any unwind-prone code, so a
+/// poisoned lock can only mean a panic *between* two bookkeeping steps
+/// — continuing with the inner state is sound (same argument as the
+/// worker pool's lock helper).
+fn lock_state<'a>(m: &'a Mutex<PlannerState>) -> std::sync::MutexGuard<'a, PlannerState> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl<'svc> Planner<'svc> {
+    /// The service this planner dispatches into.
+    pub fn service(&self) -> &'svc NetEmbedService {
+        self.svc
+    }
+
+    /// Enqueue a request; returns a [`Ticket`] to wait on. Fails fast —
+    /// before taking a queue slot — on an unknown host and (for
+    /// group-creating requests) on a constraint that doesn't parse or
+    /// type-lint; a request joining an existing group inherits that
+    /// group's already-validated constraint, which is textually
+    /// identical by the grouping key.
+    pub fn submit(&self, request: &PlannedRequest) -> Result<Ticket<'_, 'svc>, ServiceError> {
+        let (model, epoch) = self
+            .svc
+            .registry()
+            .get(&request.host)
+            .ok_or_else(|| ServiceError::UnknownHost(request.host.clone()))?;
+        let key = FilterKey {
+            host: request.host.clone(),
+            epoch,
+            query_hash: crate::cache::network_fingerprint(&request.query),
+            constraint: request.constraint.clone(),
+        };
+        let enqueued = Instant::now();
+        // Fast path: join an existing open group. Only cheap work under
+        // the queue lock.
+        let joined = {
+            let mut st = lock_state(&self.state);
+            // Allocate the id up front (an unused id on the miss path
+            // is a harmless gap — ids only need uniqueness).
+            let id = st.next_id;
+            st.next_id += 1;
+            st.groups.iter_mut().find(|g| g.key == key).map(|group| {
+                group.members.push(Member {
+                    id,
+                    options: request.options.clone(),
+                    enqueued,
+                });
+                id
+            })
+        };
+        let id = match joined {
+            Some(id) => id,
+            None => {
+                // Group creation: parse/lint the constraint and clone
+                // the query network with the lock *released* (both can
+                // be arbitrarily large), then re-check — a racing
+                // creator may have opened the group in the meantime, in
+                // which case this request simply joins it and the spare
+                // parse is discarded. Either way exactly one open group
+                // per key exists.
+                let expr = crate::parse_and_lint(&request.constraint)?;
+                let query = request.query.clone();
+                let mut st = lock_state(&self.state);
+                let id = st.next_id;
+                st.next_id += 1;
+                let member = Member {
+                    id,
+                    options: request.options.clone(),
+                    enqueued,
+                };
+                match st.groups.iter_mut().find(|g| g.key == key) {
+                    Some(group) => group.members.push(member),
+                    None => st.groups.push_back(PendingGroup {
+                        key,
+                        model,
+                        query,
+                        expr,
+                        members: vec![member],
+                    }),
+                }
+                id
+            }
+        };
+        self.wake.notify_all();
+        Ok(Ticket {
+            planner: self,
+            id,
+            finished: false,
+        })
+    }
+
+    /// Submit and wait: the blocking convenience for client threads.
+    pub fn run(&self, request: &PlannedRequest) -> Result<QueryResponse, ServiceError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Groups that reached dispatch with at least one live member.
+    pub fn groups_dispatched(&self) -> u64 {
+        self.groups_dispatched.load(Ordering::Relaxed)
+    }
+
+    /// Requests that rode a group-mate's pinned filter instead of
+    /// touching the shared cache (the planner-level sum of the
+    /// per-response [`SearchStats::coalesced_requests`] counters).
+    pub fn coalesced_total(&self) -> u64 {
+        self.coalesced_total.load(Ordering::Relaxed)
+    }
+
+    /// Members currently enqueued (across all open groups).
+    pub fn pending_requests(&self) -> usize {
+        lock_state(&self.state)
+            .groups
+            .iter()
+            .map(|g| g.members.len())
+            .sum()
+    }
+
+    /// Open groups awaiting dispatch (cancellation can leave a group
+    /// empty; it is skipped, cheaply, when popped).
+    pub fn pending_groups(&self) -> usize {
+        lock_state(&self.state).groups.len()
+    }
+
+    /// Results delivered but not yet picked up by their tickets.
+    /// Settles to zero once every live ticket has waited — cancelled
+    /// tickets' results are discarded at delivery, not parked.
+    pub fn undelivered_results(&self) -> usize {
+        lock_state(&self.state).results.len()
+    }
+
+    /// True if `id` was cancelled while its group was being dispatched;
+    /// consumes the mark.
+    fn take_cancelled(&self, id: u64) -> bool {
+        lock_state(&self.state).cancelled.remove(&id)
+    }
+
+    fn deliver(&self, id: u64, response: Result<QueryResponse, ServiceError>) {
+        let mut st = lock_state(&self.state);
+        if st.cancelled.remove(&id) {
+            // The waiter is gone: discard instead of parking a result
+            // nobody will claim.
+            return;
+        }
+        st.results.insert(id, response);
+        drop(st);
+        self.wake.notify_all();
+    }
+
+    /// Execute one group end to end: compile once, lease one scratch,
+    /// run every live member against the group's pinned filter, deliver
+    /// per-member results. Runs on the dispatching waiter's thread with
+    /// the queue lock *released* (only `deliver`/`take_cancelled` touch
+    /// it, briefly).
+    fn execute(&self, group: PendingGroup) {
+        let PendingGroup {
+            key,
+            model,
+            query,
+            expr,
+            members,
+        } = group;
+        if members.is_empty() {
+            return; // fully-cancelled group: nothing to do
+        }
+        self.groups_dispatched.fetch_add(1, Ordering::Relaxed);
+        // One compiled problem serves every member's search *and* the
+        // re-verification of every mapping handed back.
+        let problem = match Problem::from_parsed(&query, &model, &expr) {
+            Ok(p) => p,
+            Err(e) => {
+                // Group-level failure: every member gets the same
+                // (cloned) error — isolated failure semantics only
+                // apply to per-member stages.
+                for member in members {
+                    self.deliver(member.id, Err(ServiceError::Problem(e.clone())));
+                }
+                return;
+            }
+        };
+        let mut scratch = self.svc.checkout_scratch();
+        // The group pin: the first member to obtain a filter (hit or
+        // build) fixes the exact `Arc` every later member reuses —
+        // same eviction immunity as a `PreparedQuery` batch.
+        let mut pinned: Option<Arc<FilterMatrix>> = None;
+        for member in &members {
+            if self.take_cancelled(member.id) {
+                continue;
+            }
+            let queued = member.enqueued.elapsed();
+            let run_options = match member.options.timeout {
+                Some(budget) => {
+                    let remaining = budget.saturating_sub(queued);
+                    if remaining.is_zero() {
+                        // Deadline died in the queue: a timed-out
+                        // member, not a poisoned group.
+                        self.deliver(
+                            member.id,
+                            Ok(QueryResponse {
+                                outcome: Outcome::Inconclusive,
+                                stats: SearchStats {
+                                    timed_out: true,
+                                    elapsed: queued,
+                                    ..SearchStats::default()
+                                },
+                            }),
+                        );
+                        continue;
+                    }
+                    Options {
+                        timeout: Some(remaining),
+                        ..member.options.clone()
+                    }
+                }
+                None => member.options.clone(),
+            };
+            let had_pin = pinned.is_some();
+            // Panic isolation: a panicking engine run (re-thrown from a
+            // pool worker, a violated invariant) becomes *this member's*
+            // `ServiceError::Internal` instead of unwinding the
+            // dispatcher — group-mates still get their results, and the
+            // possibly-inconsistent scratch is replaced, not reused or
+            // parked.
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                crate::prepared::run_cached(
+                    self.svc.cache(),
+                    &key,
+                    &problem,
+                    &run_options,
+                    &mut scratch,
+                    &mut pinned,
+                )
+                .and_then(|mut result| {
+                    // Same safety net as every service path: never
+                    // return a mapping the compiled problem can't
+                    // re-verify.
+                    for m in &result.mappings {
+                        netembed::check_mapping(&problem, m)
+                            .map_err(ServiceError::VerificationFailed)?;
+                    }
+                    if had_pin && result.stats.filter_cache_hits > 0 {
+                        // This member rode the group pin: it never
+                        // touched the shared cache, so the credit moves
+                        // from `filter_cache_hits` to
+                        // `coalesced_requests` — the counter identity
+                        // in the module docs depends on the two being
+                        // mutually exclusive.
+                        result.stats.filter_cache_hits -= 1;
+                        result.stats.coalesced_requests += 1;
+                        self.coalesced_total.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(QueryResponse {
+                        outcome: result.outcome,
+                        stats: result.stats,
+                    })
+                })
+            }));
+            let response = match attempt {
+                Ok(response) => response,
+                Err(payload) => {
+                    scratch = netembed::EmbedScratch::new();
+                    Err(ServiceError::Internal(panic_message(&payload)))
+                }
+            };
+            self.deliver(member.id, response);
+        }
+        self.svc.checkin_scratch(scratch);
+    }
+}
+
+impl std::fmt::Debug for Planner<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = lock_state(&self.state);
+        f.debug_struct("Planner")
+            .field("pending_groups", &st.groups.len())
+            .field(
+                "pending_requests",
+                &st.groups.iter().map(|g| g.members.len()).sum::<usize>(),
+            )
+            .field("dispatching", &st.dispatching)
+            .field("groups_dispatched", &self.groups_dispatched())
+            .field("coalesced_total", &self.coalesced_total())
+            .finish()
+    }
+}
+
+/// A claim on one enqueued request. [`Ticket::wait`] blocks until the
+/// result arrives — and, when the dispatcher role is free, *drives* the
+/// queue itself (the planner owns no threads; see the module docs).
+/// Dropping a ticket without waiting cancels the request.
+#[must_use = "an unwaited ticket cancels its request when dropped"]
+pub struct Ticket<'p, 'svc> {
+    planner: &'p Planner<'svc>,
+    id: u64,
+    finished: bool,
+}
+
+impl Ticket<'_, '_> {
+    /// Block until this request's result is available, dispatching
+    /// pending groups (own and others') whenever no other waiter is.
+    pub fn wait(mut self) -> Result<QueryResponse, ServiceError> {
+        loop {
+            let group = {
+                let mut st = lock_state(&self.planner.state);
+                loop {
+                    if let Some(response) = st.results.remove(&self.id) {
+                        self.finished = true;
+                        return response;
+                    }
+                    if !st.dispatching {
+                        if let Some(group) = st.groups.pop_front() {
+                            st.dispatching = true;
+                            break group;
+                        }
+                    }
+                    st = self
+                        .planner
+                        .wake
+                        .wait(st)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            // Became the dispatcher: execute with the lock released.
+            // The guard frees the role (and wakes the queue) even on
+            // unwind.
+            let guard = DispatchGuard {
+                planner: self.planner,
+            };
+            self.planner.execute(group);
+            drop(guard);
+        }
+    }
+
+    /// Cancel explicitly (equivalent to dropping the ticket).
+    pub fn cancel(self) {
+        // Drop does the work.
+    }
+}
+
+impl Drop for Ticket<'_, '_> {
+    fn drop(&mut self) {
+        if self.finished {
+            return;
+        }
+        let mut st = lock_state(&self.planner.state);
+        // Still queued? Unlink the member outright — the queue slot is
+        // reclaimed immediately and no mark is needed.
+        for group in st.groups.iter_mut() {
+            if let Some(pos) = group.members.iter().position(|m| m.id == self.id) {
+                group.members.remove(pos);
+                return;
+            }
+        }
+        // Mid-dispatch or already delivered: discard any parked result;
+        // otherwise mark the id so the in-flight dispatch discards it
+        // at delivery. `deliver`/`take_cancelled` each consume the
+        // mark, so nothing leaks either way.
+        if st.results.remove(&self.id).is_none() {
+            st.cancelled.insert(self.id);
+        }
+    }
+}
+
+impl std::fmt::Debug for Ticket<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").field("id", &self.id).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConstraintFault;
+    use netgraph::Direction;
+    use std::time::Duration;
+
+    fn triangle_host() -> Network {
+        let mut h = Network::new(Direction::Undirected);
+        let a = h.add_node("a");
+        let b = h.add_node("b");
+        let c = h.add_node("c");
+        for (u, v, d) in [(a, b, 10.0), (b, c, 20.0), (a, c, 30.0)] {
+            let e = h.add_edge(u, v);
+            h.set_edge_attr(e, "avgDelay", d);
+        }
+        h
+    }
+
+    fn edge_query() -> Network {
+        let mut q = Network::new(Direction::Undirected);
+        let x = q.add_node("x");
+        let y = q.add_node("y");
+        q.add_edge(x, y);
+        q
+    }
+
+    fn request(host: &str, constraint: &str) -> PlannedRequest {
+        PlannedRequest {
+            host: host.into(),
+            query: edge_query(),
+            constraint: constraint.into(),
+            options: Options::default(),
+        }
+    }
+
+    #[test]
+    fn run_round_trip_matches_submit() {
+        let svc = NetEmbedService::new();
+        svc.registry().register("plab", triangle_host());
+        let planner = svc.planner();
+        let req = request("plab", "rEdge.avgDelay <= 15.0");
+        let planned = planner.run(&req).unwrap();
+        let direct = svc.submit(&req).unwrap();
+        assert_eq!(planned.mappings(), direct.mappings());
+        assert_eq!(planned.outcome, direct.outcome);
+        assert_eq!(planner.groups_dispatched(), 1);
+        assert_eq!(planner.pending_requests(), 0);
+        assert_eq!(planner.undelivered_results(), 0);
+    }
+
+    #[test]
+    fn submit_fails_fast_without_taking_a_slot() {
+        let svc = NetEmbedService::new();
+        svc.registry().register("plab", triangle_host());
+        let planner = svc.planner();
+        assert!(matches!(
+            planner.submit(&request("nope", "true")),
+            Err(ServiceError::UnknownHost(_))
+        ));
+        assert!(matches!(
+            planner.submit(&request("plab", "1 +")),
+            Err(ServiceError::BadConstraint(ConstraintFault::Parse(_)))
+        ));
+        assert!(matches!(
+            planner.submit(&request("plab", "\"fast\" == 1")),
+            Err(ServiceError::BadConstraint(ConstraintFault::Type(_)))
+        ));
+        assert_eq!(planner.pending_requests(), 0);
+        assert_eq!(planner.pending_groups(), 0);
+    }
+
+    #[test]
+    fn equivalent_pending_requests_share_one_group() {
+        // Nothing dispatches until someone waits, so the grouping of a
+        // quiet enqueue phase is fully deterministic.
+        let svc = NetEmbedService::new();
+        svc.registry().register("plab", triangle_host());
+        let planner = svc.planner();
+        let req = request("plab", "rEdge.avgDelay <= 15.0");
+        let t1 = planner.submit(&req).unwrap();
+        let t2 = planner.submit(&req).unwrap();
+        let other = planner.submit(&request("plab", "true")).unwrap();
+        assert_eq!(planner.pending_requests(), 3);
+        assert_eq!(planner.pending_groups(), 2, "same key coalesces");
+        let r1 = t1.wait().unwrap();
+        let r2 = t2.wait().unwrap();
+        let r3 = other.wait().unwrap();
+        assert_eq!(r1.mappings(), r2.mappings());
+        assert_eq!(r1.mappings().len(), 2);
+        assert_eq!(r3.mappings().len(), 6);
+        // The second member rode the first one's pin.
+        assert_eq!(r1.stats.coalesced_requests + r2.stats.coalesced_requests, 1);
+        assert_eq!(planner.groups_dispatched(), 2);
+        assert_eq!(planner.coalesced_total(), 1);
+    }
+
+    #[test]
+    fn epoch_bump_between_enqueue_and_dispatch_splits_the_group() {
+        let svc = NetEmbedService::new();
+        svc.registry().register("plab", triangle_host());
+        let planner = svc.planner();
+        let req = request("plab", "rEdge.avgDelay <= 15.0");
+        // Enqueued against the current epoch's snapshot...
+        let before = planner.submit(&req).unwrap();
+        // ...then the model changes before anything dispatches.
+        svc.registry()
+            .update("plab", |net| {
+                for e in net.edge_refs().collect::<Vec<_>>() {
+                    net.set_edge_attr(e.id, "avgDelay", 100.0);
+                }
+            })
+            .unwrap();
+        let after = planner.submit(&req).unwrap();
+        assert_eq!(
+            planner.pending_groups(),
+            2,
+            "an epoch bump must split the group"
+        );
+        // Each member sees exactly the snapshot it enqueued against.
+        assert_eq!(before.wait().unwrap().mappings().len(), 2);
+        assert_eq!(after.wait().unwrap().mappings().len(), 0);
+        assert_eq!(planner.groups_dispatched(), 2);
+        // Two distinct epochs ⇒ two designated builds, zero coalescing.
+        assert_eq!(svc.cache().misses(), 2);
+        assert_eq!(planner.coalesced_total(), 0);
+    }
+
+    #[test]
+    fn cancelled_waiter_releases_its_queue_slot() {
+        let svc = NetEmbedService::new();
+        svc.registry().register("plab", triangle_host());
+        let planner = svc.planner();
+        let req = request("plab", "rEdge.avgDelay <= 15.0");
+        let doomed = planner.submit(&req).unwrap();
+        assert_eq!(planner.pending_requests(), 1);
+        drop(doomed);
+        assert_eq!(
+            planner.pending_requests(),
+            0,
+            "a cancelled queued member must be unlinked immediately"
+        );
+        // The emptied group is skipped; a fresh request still works and
+        // nothing (slot, result, mark) leaks.
+        let live = planner.submit(&req).unwrap();
+        assert_eq!(live.wait().unwrap().mappings().len(), 2);
+        assert_eq!(planner.pending_requests(), 0);
+        assert_eq!(planner.undelivered_results(), 0);
+        assert_eq!(lock_state(&planner.state).cancelled.len(), 0);
+    }
+
+    #[test]
+    fn explicit_cancel_equals_drop() {
+        let svc = NetEmbedService::new();
+        svc.registry().register("plab", triangle_host());
+        let planner = svc.planner();
+        planner
+            .submit(&request("plab", "rEdge.avgDelay <= 15.0"))
+            .unwrap()
+            .cancel();
+        assert_eq!(planner.pending_requests(), 0);
+    }
+
+    #[test]
+    fn queue_expired_deadline_times_out_without_poisoning_group_mates() {
+        let svc = NetEmbedService::new();
+        svc.registry().register("plab", triangle_host());
+        let planner = svc.planner();
+        // Same grouping key (options are not part of it): one member
+        // whose budget is already gone, one unlimited.
+        let dead = planner
+            .submit(&PlannedRequest {
+                options: Options {
+                    timeout: Some(Duration::ZERO),
+                    ..Options::default()
+                },
+                ..request("plab", "rEdge.avgDelay <= 15.0")
+            })
+            .unwrap();
+        let live = planner
+            .submit(&request("plab", "rEdge.avgDelay <= 15.0"))
+            .unwrap();
+        assert_eq!(planner.pending_groups(), 1, "one group despite options");
+        let live_resp = live.wait().unwrap();
+        let dead_resp = dead.wait().unwrap();
+        assert!(matches!(dead_resp.outcome, Outcome::Inconclusive));
+        assert!(dead_resp.stats.timed_out);
+        assert_eq!(
+            dead_resp.stats.nodes_visited, 0,
+            "an expired member must not have run"
+        );
+        assert_eq!(live_resp.mappings().len(), 2, "group-mate unharmed");
+        assert!(matches!(live_resp.outcome, Outcome::Complete(_)));
+    }
+
+    #[test]
+    fn group_level_problem_error_reaches_every_member() {
+        // A constraint that parses and lints but cannot compile against
+        // the model (unknown attribute in strict-compile paths is fine
+        // here — use a query bigger than the host instead, which is a
+        // guaranteed `ProblemError` for every member).
+        let svc = NetEmbedService::new();
+        let mut tiny = Network::new(Direction::Undirected);
+        tiny.add_node("only");
+        svc.registry().register("tiny", tiny);
+        let planner = svc.planner();
+        let req = PlannedRequest {
+            host: "tiny".into(),
+            query: edge_query(),
+            constraint: "true".into(),
+            options: Options::default(),
+        };
+        let t1 = planner.submit(&req).unwrap();
+        let t2 = planner.submit(&req).unwrap();
+        assert!(matches!(t1.wait(), Err(ServiceError::Problem(_))));
+        assert!(matches!(t2.wait(), Err(ServiceError::Problem(_))));
+    }
+}

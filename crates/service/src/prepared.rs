@@ -23,12 +23,12 @@
 //!   allocation-free and spawn-free
 //!   ([`SearchStats::pool_reuse`](netembed::SearchStats) shows it).
 
-use crate::cache::FilterKey;
+use crate::cache::{FilterFetch, FilterKey};
 use crate::{NetEmbedService, QueryResponse, ServiceError};
 use cexpr::Expr;
 use netembed::{
-    Algorithm, Deadline, EmbedResult, EmbedScratch, Engine, FilterMatrix, Options, Problem,
-    SearchStats,
+    Algorithm, BuildCharge, Deadline, EmbedResult, EmbedScratch, Engine, FilterMatrix, Options,
+    Outcome, Problem, SearchStats,
 };
 use netgraph::Network;
 use std::sync::Arc;
@@ -176,12 +176,19 @@ impl std::fmt::Debug for PreparedQuery<'_> {
 
 /// One engine run through the service's filter cache: pinned/hit →
 /// reuse the memoized matrix (`stats.filter_cache_hits = 1`, zero build
-/// evals); miss → build under this run's budget (parallel builds go
-/// through the scratch's persistent pool), charge the build to this
-/// run's stats and timeout exactly like the engine's own build path,
-/// and memoize the matrix unless the deadline truncated it (a truncated
-/// filter is a function of the budget, not the key — the next run
-/// rebuilds under its own budget).
+/// evals); miss → resolve through the cache's in-flight dedup table
+/// ([`crate::cache::FilterCache::fetch_or_build`]). A *designated
+/// builder* builds under this run's budget (parallel builds go through
+/// the scratch's persistent pool), charges the build to its own stats
+/// and timeout via the shared [`BuildCharge`] contract, and memoizes
+/// the matrix unless the deadline truncated it (a truncated filter is a
+/// function of the budget, not the key — the ticket is abandoned and
+/// the next run rebuilds under its own budget). A run that instead
+/// found the same key *already being built* blocks — at most for its
+/// own budget — and reuses the winner's matrix, reporting
+/// `dedup_waits = 1` alongside the hit; a wait the budget cut short
+/// reports a plain timeout, exactly as if the budget had gone into a
+/// truncated build.
 ///
 /// `pinned` is the caller's batch-local slot for the same key: it is
 /// consulted before the shared cache and populated by the first hit or
@@ -201,52 +208,99 @@ pub(crate) fn run_cached(
         // shares the scratch.
         return Ok(Engine::run_with_scratch(problem, options, scratch)?);
     }
-    if let Some(filter) = pinned.as_ref().cloned().or_else(|| {
-        let hit = cache.lookup(key);
-        *pinned = hit.clone();
-        hit
-    }) {
+    if let Some(filter) = pinned.as_ref().cloned() {
         let mut result = Engine::run_prebuilt(problem, &filter, options, scratch)?;
         result.stats.filter_cache_hits += 1;
         return Ok(result);
     }
-    let build_start = std::time::Instant::now();
-    let spawned_before = scratch.parallel.pool().spawned_total();
-    let mut deadline = Deadline::new(options.timeout);
-    let mut build_stats = SearchStats::default();
-    let threads = match options.algorithm {
-        Algorithm::ParallelEcf { threads } => threads,
-        _ => 1,
-    };
-    let filter = Arc::new(if threads > 1 {
-        FilterMatrix::build_par_pooled(
-            problem,
-            threads,
-            &mut deadline,
-            &mut build_stats,
-            scratch.parallel.pool_mut(),
-        )?
-    } else {
-        FilterMatrix::build(problem, &mut deadline, &mut build_stats)?
-    });
-    let spent = build_start.elapsed();
-    // Build-phase spawns only: the search below never credits its own
-    // spawns (see the engine's parallel branch for the same deduction).
-    let build_spawned = scratch.parallel.pool().spawned_total() - spawned_before;
-    if !filter.truncated() {
-        cache.insert(key.clone(), filter.clone());
-        *pinned = Some(filter.clone());
+    let mut charge = BuildCharge::begin(scratch.parallel.pool().spawned_total());
+    match cache.fetch_or_build(key, options.timeout) {
+        FilterFetch::Hit(filter) => {
+            *pinned = Some(filter.clone());
+            let mut result = Engine::run_prebuilt(problem, &filter, options, scratch)?;
+            result.stats.filter_cache_hits += 1;
+            Ok(result)
+        }
+        FilterFetch::Waited(filter) => {
+            // Someone else built this key while we blocked: a cache hit
+            // delivered late. The wait consumed real wall time on this
+            // run's budget (but no CPU), so the search runs on the
+            // remainder and the wait is added back to `elapsed`.
+            *pinned = Some(filter.clone());
+            charge.finish_build(scratch.parallel.pool().spawned_total());
+            let run_options = Options {
+                timeout: charge.remaining(options.timeout),
+                ..options.clone()
+            };
+            let mut result = Engine::run_prebuilt(problem, &filter, &run_options, scratch)?;
+            result.stats.filter_cache_hits += 1;
+            result.stats.dedup_waits += 1;
+            result.stats.elapsed += charge.spent();
+            Ok(result)
+        }
+        FilterFetch::WaitExpired => {
+            // The whole budget went into waiting on a build that did
+            // not finish in time — the same observable outcome as a
+            // deadline-truncated own build.
+            // No `dedup_waits` here: that counter (like the cache's)
+            // only marks waits that actually *delivered* a filter — an
+            // expired wait saved nothing, exactly as the cache counts
+            // it.
+            charge.finish_build(scratch.parallel.pool().spawned_total());
+            Ok(EmbedResult {
+                mappings: Vec::new(),
+                outcome: Outcome::Inconclusive,
+                stats: SearchStats {
+                    timed_out: true,
+                    elapsed: charge.spent(),
+                    ..SearchStats::default()
+                },
+            })
+        }
+        FilterFetch::MustBuild(ticket) => {
+            // A takeover builder (its predecessor's build was abandoned
+            // mid-wait) has already burned part of its budget blocking:
+            // `remaining_now` keeps the deadline honest, and the
+            // build-start mark keeps the blocked time out of
+            // `cpu_time`.
+            charge.mark_build_start();
+            let mut deadline = Deadline::new(charge.remaining_now(options.timeout));
+            let mut build_stats = SearchStats::default();
+            let threads = match options.algorithm {
+                Algorithm::ParallelEcf { threads } => threads,
+                _ => 1,
+            };
+            // A `?` here drops the ticket, which abandons the key so a
+            // waiter can take over — builders never strand waiters.
+            let filter = Arc::new(if threads > 1 {
+                FilterMatrix::build_par_pooled(
+                    problem,
+                    threads,
+                    &mut deadline,
+                    &mut build_stats,
+                    scratch.parallel.pool_mut(),
+                )?
+            } else {
+                FilterMatrix::build(problem, &mut deadline, &mut build_stats)?
+            });
+            charge.finish_build(scratch.parallel.pool().spawned_total());
+            if filter.truncated() {
+                ticket.abandon();
+            } else {
+                ticket.complete(filter.clone());
+                *pinned = Some(filter.clone());
+            }
+            // The builder's search runs on whatever budget the build
+            // left over; later cache hitters get their full timeout
+            // (they paid nothing).
+            let run_options = Options {
+                timeout: charge.remaining(options.timeout),
+                ..options.clone()
+            };
+            let mut result = Engine::run_prebuilt(problem, &filter, &run_options, scratch)?;
+            charge.charge_build(&mut result.stats, &build_stats);
+            charge.settle_pool_reuse(&mut result.stats);
+            Ok(result)
+        }
     }
-    // The builder's search runs on whatever budget the build left over;
-    // later cache hitters get their full timeout (they paid nothing).
-    let run_options = Options {
-        timeout: options.timeout.map(|t| t.saturating_sub(spent)),
-        ..options.clone()
-    };
-    let mut result = Engine::run_prebuilt(problem, &filter, &run_options, scratch)?;
-    result.stats.constraint_evals += build_stats.constraint_evals;
-    result.stats.elapsed += spent;
-    result.stats.cpu_time += spent;
-    result.stats.pool_reuse = result.stats.pool_reuse.saturating_sub(build_spawned);
-    Ok(result)
 }
