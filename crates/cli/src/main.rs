@@ -17,13 +17,22 @@
 //! cross-request planner from N concurrent client threads: equivalent
 //! in-flight requests coalesce into one group (one filter build, one
 //! warm scratch for the burst), and the stats lines show the coalescing
-//! counters plus the service's pool telemetry.
+//! counters plus the service's pool telemetry. `--oversub K` shrinks
+//! the planner's admit queue to `clients / K` so the burst arrives K×
+//! oversubscribed — the overflow is shed per `--shed` (`reject` →
+//! deterministic `Overloaded` refusals, `degrade` → fast timed-out
+//! inconclusive responses), `--priority` sets the burst's admission
+//! priority, and the summary lines add the shed counters and the
+//! queue-wait/dispatch-latency histograms.
 //! Exit codes: 0 mappings found, 1 definitively infeasible, 2 usage or
 //! input error, 3 inconclusive (timeout with nothing found).
 
 use netembed::{Algorithm, Options, Outcome, SearchMode};
 use netgraph::Network;
-use service::{NetEmbedService, QueryRequest, QueryResponse};
+use service::{
+    AdmissionPolicy, NetEmbedService, Priority, QueryRequest, QueryResponse, ServiceConfig,
+    ServiceError, ShedMode,
+};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -35,6 +44,8 @@ USAGE:
                  [--algorithm ecf|rwb|lns|par] [--threads N]
                  [--mode all|first|N] [--timeout-ms N] [--seed N]
                  [--repeat N] [--planner] [--clients N] [--quiet]
+                 [--oversub K] [--priority low|normal|high]
+                 [--shed reject|degrade]
   netembed gen   planetlab|brite|waxman|clique|ring|star
                  [--nodes N] [--seed N] --out FILE
   netembed inspect FILE
@@ -134,11 +145,43 @@ fn cmd_embed(args: &[String]) -> ExitCode {
         .filter(|&n| n >= 1)
         .unwrap_or(1);
     let quiet = has_flag(args, "--quiet");
+    let clients: usize = flag_value(args, "--clients")
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(4);
+    // `--oversub K` bounds the planner's admit queue at `clients / K`:
+    // a burst arrives K× oversubscribed and the overflow is shed per
+    // `--shed` (reject → Overloaded errors, degrade → timed-out
+    // Inconclusive responses).
+    let oversub: Option<usize> = flag_value(args, "--oversub")
+        .and_then(|v| v.parse().ok())
+        .filter(|&k| k >= 1);
+    let priority = match flag_value(args, "--priority").as_deref() {
+        None | Some("normal") => Priority::Normal,
+        Some("low") => Priority::Low,
+        Some("high") => Priority::High,
+        Some(other) => {
+            eprintln!("error: unknown --priority `{other}` (low|normal|high)");
+            return ExitCode::from(2);
+        }
+    };
+    let shed = match flag_value(args, "--shed").as_deref() {
+        None | Some("reject") => ShedMode::Reject,
+        Some("degrade") => ShedMode::DegradeInconclusive,
+        Some(other) => {
+            eprintln!("error: unknown --shed `{other}` (reject|degrade)");
+            return ExitCode::from(2);
+        }
+    };
 
     // One service session for the whole invocation: the prepared query
     // compiles the constraint once and keeps filter + pool warm across
     // --repeat runs.
-    let svc = NetEmbedService::new();
+    let mut admission = AdmissionPolicy::default().shed(shed);
+    if let Some(k) = oversub {
+        admission = admission.max_queue_depth((clients / k).max(1));
+    }
+    let svc = NetEmbedService::with_config(ServiceConfig::default().admission(admission));
     svc.registry().register("host", host.clone());
     let options = Options {
         algorithm,
@@ -149,10 +192,6 @@ fn cmd_embed(args: &[String]) -> ExitCode {
     };
 
     if has_flag(args, "--planner") {
-        let clients: usize = flag_value(args, "--clients")
-            .and_then(|v| v.parse().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or(4);
         return planner_demo(
             &svc,
             &host,
@@ -160,6 +199,7 @@ fn cmd_embed(args: &[String]) -> ExitCode {
             &constraint,
             &options,
             clients,
+            priority,
             repeat,
             quiet,
         );
@@ -209,6 +249,7 @@ fn planner_demo(
     constraint: &str,
     options: &Options,
     clients: usize,
+    priority: Priority,
     repeat: usize,
     quiet: bool,
 ) -> ExitCode {
@@ -221,19 +262,19 @@ fn planner_demo(
     };
     let mut last: Option<QueryResponse> = None;
     for round in 0..repeat {
-        let responses: Vec<Result<QueryResponse, service::ServiceError>> =
-            std::thread::scope(|s| {
-                let handles: Vec<_> = (0..clients)
-                    .map(|_| s.spawn(|| planner.run(&request)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("client thread panicked"))
-                    .collect()
-            });
+        let responses: Vec<Result<QueryResponse, ServiceError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| s.spawn(|| planner.run_with(&request, priority)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread panicked"))
+                .collect()
+        });
         let mut round_hits = 0u64;
         let mut round_coalesced = 0u64;
         let mut round_builds = 0u64;
+        let mut round_shed = 0u64;
         // LNS runs no filter stage at all (its constraint evaluations
         // happen in-search), so its evals never indicate a build.
         let builds_filters = !matches!(options.algorithm, Algorithm::Lns);
@@ -245,6 +286,9 @@ fn planner_demo(
                     round_builds += u64::from(builds_filters && resp.stats.constraint_evals > 0);
                     last = Some(resp);
                 }
+                // An admission refusal is the demo working as
+                // configured (--oversub), not a CLI failure.
+                Err(ServiceError::Overloaded(_)) => round_shed += 1,
                 Err(e) => {
                     eprintln!("error: {e}");
                     return ExitCode::from(2);
@@ -253,7 +297,7 @@ fn planner_demo(
         }
         if !quiet {
             eprintln!(
-                "# burst {}/{repeat}: {clients} clients → builds: {round_builds}, cache hits: {round_hits}, coalesced: {round_coalesced}",
+                "# burst {}/{repeat}: {clients} clients → builds: {round_builds}, cache hits: {round_hits}, coalesced: {round_coalesced}, shed: {round_shed}",
                 round + 1,
             );
         }
@@ -271,6 +315,21 @@ fn planner_demo(
         eprintln!(
             "# pool telemetry: parked scratches: {}, threads: {}, spawned total: {}",
             telemetry.parked_scratches, telemetry.pool_threads, telemetry.spawned_total,
+        );
+        eprintln!(
+            "# admission: submitted: {}, accepted: {}, shed: {} (queue: {}, group: {}, deadline: {}, dedup: {})",
+            telemetry.submitted,
+            telemetry.accepted,
+            telemetry.shed.total(),
+            telemetry.shed.queue_full,
+            telemetry.shed.group_full,
+            telemetry.shed.deadline_hopeless,
+            telemetry.shed.dedup_waiters_full,
+        );
+        eprintln!(
+            "# queue wait: {} | dispatch: {}",
+            telemetry.queue_wait.summary(),
+            telemetry.dispatch_latency.summary(),
         );
     }
     let result = last.expect("clients >= 1 and repeat >= 1");

@@ -257,6 +257,59 @@ fn planner_mode_coalesces_concurrent_clients() {
 }
 
 #[test]
+fn planner_oversub_prints_admission_telemetry() {
+    let host = tmp("oversub-host.graphml");
+    let out = run(&[
+        "gen",
+        "ring",
+        "--nodes",
+        "8",
+        "--out",
+        host.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    // 8 clients against an admit queue of 1 (8× oversubscribed). How
+    // many are shed depends on scheduling; the admission ledger and the
+    // histogram summary lines must print regardless, and every
+    // non-shed client reports real mappings (reject mode never
+    // degrades), so the exit code stays 0.
+    let out = run(&[
+        "embed",
+        "--host",
+        host.to_str().unwrap(),
+        "--query",
+        host.to_str().unwrap(),
+        "--constraint",
+        "true",
+        "--mode",
+        "first",
+        "--planner",
+        "--clients",
+        "8",
+        "--oversub",
+        "8",
+        "--priority",
+        "high",
+        "--shed",
+        "reject",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("# admission: submitted: 8, accepted:"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("# queue wait: n="), "{stderr}");
+    assert!(stderr.contains("| dispatch: n="), "{stderr}");
+    std::fs::remove_file(&host).ok();
+}
+
+#[test]
 fn help_prints_usage() {
     let out = run(&["--help"]);
     assert!(out.status.success());

@@ -113,5 +113,5 @@ pub use pool::WorkerPool;
 pub use problem::{Problem, ProblemError};
 pub use scratch::{EmbedScratch, ParallelScratch, SearchScratch};
 pub use sink::{CollectAll, CollectUpTo, CountOnly, SinkControl, SolutionSink};
-pub use stats::{BuildCharge, SearchStats};
+pub use stats::{BuildCharge, HistogramSnapshot, LatencyHistogram, SearchStats, LATENCY_BUCKETS};
 pub use verify::{check_mapping, VerifyError};

@@ -2,8 +2,11 @@
 //! paper's evaluation (visited nodes, constraint evaluations, prunes,
 //! elapsed time, timeout status) — plus [`BuildCharge`], the shared
 //! accounting helper for runs that perform a filter build as a distinct
-//! phase before their search.
+//! phase before their search, and [`LatencyHistogram`], the fixed-bucket
+//! concurrent histogram behind the service layer's queue-wait and
+//! dispatch-latency telemetry.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Counters collected by one search run.
@@ -227,6 +230,115 @@ impl BuildCharge {
     }
 }
 
+/// Number of buckets in a [`LatencyHistogram`]: bucket 0 is `< 1µs`,
+/// bucket `i ≥ 1` covers `[2^(i−1) µs, 2^i µs)`, and the last bucket is
+/// the overflow catch-all (everything ≥ ~2.1 s).
+pub const LATENCY_BUCKETS: usize = 23;
+
+fn latency_bucket(d: Duration) -> usize {
+    let micros = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+    let idx = (u64::BITS - micros.leading_zeros()) as usize;
+    idx.min(LATENCY_BUCKETS - 1)
+}
+
+/// Upper bound (exclusive) of bucket `i`, in microseconds; the overflow
+/// bucket reports `u64::MAX`.
+fn bucket_upper_micros(i: usize) -> u64 {
+    if i >= LATENCY_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+/// A concurrent fixed-bucket latency histogram: power-of-two microsecond
+/// buckets, lock-free recording (one relaxed atomic increment per
+/// sample), bounded memory regardless of traffic. This is the overload-
+/// observability primitive behind the service's queue-wait and
+/// dispatch-latency telemetry: under a shedding burst the *distribution*
+/// is the signal (is the queue wait collapsing or fanning out into the
+/// tail?), which counters and EWMAs cannot show.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample (relaxed; safe from any thread).
+    pub fn record(&self, sample: Duration) {
+        self.buckets[latency_bucket(sample)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts. Racy by nature (a
+    /// concurrent `record` may or may not be included), which is fine
+    /// for telemetry.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { buckets }
+    }
+}
+
+/// A frozen copy of a [`LatencyHistogram`]: plain counts, `Copy`, safe
+/// to embed in telemetry structs and compare in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`LATENCY_BUCKETS`] for the bucket
+    /// boundaries).
+    pub buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`0.0 ≤ q ≤ 1.0`), or `None` for an empty histogram. Bucketed, so
+    /// an upper *bound*, not an exact order statistic: `quantile(0.5)`
+    /// of samples all in `[2, 4) µs` reports 4 µs.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Duration::from_micros(bucket_upper_micros(i)));
+            }
+        }
+        None
+    }
+
+    /// One-line human summary (`count, p50, p90, p99, max-bucket`) for
+    /// CLI/diagnostic output. Quantiles are bucket upper bounds.
+    pub fn summary(&self) -> String {
+        let fmt = |d: Option<Duration>| match d {
+            None => "-".to_string(),
+            Some(d) if d == Duration::from_micros(u64::MAX) => ">2s".to_string(),
+            Some(d) => format!("{d:?}"),
+        };
+        format!(
+            "n={} p50<{} p90<{} p99<{}",
+            self.count(),
+            fmt(self.quantile(0.5)),
+            fmt(self.quantile(0.9)),
+            fmt(self.quantile(0.99)),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,5 +517,51 @@ mod tests {
         }
         assert_eq!(merged.elapsed, Duration::from_millis(10));
         assert_eq!(merged.cpu_time, Duration::from_millis(40));
+    }
+
+    #[test]
+    fn latency_buckets_partition_the_range() {
+        // Sub-microsecond → bucket 0; exact powers of two open a new
+        // bucket; the overflow bucket swallows everything huge.
+        assert_eq!(latency_bucket(Duration::ZERO), 0);
+        assert_eq!(latency_bucket(Duration::from_nanos(999)), 0);
+        assert_eq!(latency_bucket(Duration::from_micros(1)), 1);
+        assert_eq!(latency_bucket(Duration::from_micros(2)), 2);
+        assert_eq!(latency_bucket(Duration::from_micros(3)), 2);
+        assert_eq!(latency_bucket(Duration::from_micros(4)), 3);
+        assert_eq!(
+            latency_bucket(Duration::from_secs(3600)),
+            LATENCY_BUCKETS - 1
+        );
+        // Every bucket's samples sit strictly below its upper bound.
+        for i in 0..LATENCY_BUCKETS - 1 {
+            let upper = bucket_upper_micros(i);
+            assert!(latency_bucket(Duration::from_micros(upper.saturating_sub(1))) <= i);
+            assert_eq!(latency_bucket(Duration::from_micros(upper)), i + 1);
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.snapshot().count(), 0);
+        assert_eq!(h.snapshot().quantile(0.5), None);
+        // 90 fast samples, 10 slow ones: p50 is fast, p99 is slow.
+        for _ in 0..90 {
+            h.record(Duration::from_micros(3));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(40));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 100);
+        assert_eq!(snap.quantile(0.5), Some(Duration::from_micros(4)));
+        assert_eq!(snap.quantile(0.9), Some(Duration::from_micros(4)));
+        // 40 ms lands in the [32768, 65536) µs bucket.
+        assert_eq!(snap.quantile(0.99), Some(Duration::from_micros(65536)));
+        assert!(snap.summary().starts_with("n=100 "));
+        // Snapshots are plain values: equality and copy semantics.
+        let again = snap;
+        assert_eq!(again, h.snapshot());
     }
 }

@@ -1,0 +1,513 @@
+//! Admission control, load shedding and overload telemetry.
+//!
+//! PR 4–5 made the service warm and burst-deduplicating, but left it
+//! **unbounded**: planner queue depth, group size and in-flight dedup
+//! waiters could all grow without limit, so a sustained oversubscribed
+//! burst degraded into latency collapse instead of graceful
+//! degradation. This module is the missing resilience layer:
+//!
+//! * [`AdmissionPolicy`] bounds the three unbounded dimensions
+//!   (queue depth, group size, dedup waiters) and picks what happens to
+//!   the excess ([`ShedMode`]): a deterministic
+//!   [`ServiceError::Overloaded`](crate::ServiceError::Overloaded)
+//!   rejection, or degradation to a fast timed-out
+//!   `Inconclusive` — the ℓp-Box ADMM philosophy (best-effort bounded
+//!   answers beat queueing forever) applied at the service level;
+//! * [`Priority`] orders requests for shedding: when the queue is full,
+//!   the lowest-priority **newest-arrival** queued request is evicted
+//!   to make room for a higher-priority arrival, so reservation commits
+//!   and monitor-driven re-checks ([`Priority::High`]) outrank
+//!   speculative probes ([`Priority::Low`]);
+//! * [`ServiceConfig`] is the per-service knob block (builder style):
+//!   the admission policy, the previously hard-coded parked-scratch and
+//!   parked-pool-thread caps, and a [`FaultPlan`] for chaos testing;
+//! * `OverloadStats` (exposed through
+//!   [`ServiceTelemetry`](crate::ServiceTelemetry)) carries the
+//!   queue-depth gauge, per-reason shed counters, the dispatch-latency
+//!   EWMA that powers deadline-aware enqueue shedding, and fixed-bucket
+//!   queue-wait / dispatch-latency histograms.
+//!
+//! ## Accounting invariant
+//!
+//! Every submitted planner request resolves exactly once, so the
+//! counters partition: `accepted + shed_total == submitted` whenever the
+//! queue is drained. A request sheds either *at* submit (bounds or a
+//! hopeless deadline) or *after* admission (evicted by a
+//! higher-priority arrival — its provisional `accepted` credit moves to
+//! the shed column); it never double-counts. The chaos harness
+//! (`tests/chaos.rs`) asserts this under randomized interleavings.
+
+use netembed::{HistogramSnapshot, LatencyHistogram};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Per-request importance, consulted only under overload: admission
+/// sheds strictly lower-priority work first and never evicts an equal
+/// or higher priority. The default ([`Priority::Normal`]) keeps plain
+/// clients symmetric; infrastructure traffic that *must* land
+/// (reservation commits, monitor-driven re-verification sweeps) should
+/// submit [`Priority::High`], and speculative probes (prefetches,
+/// negotiation look-aheads) [`Priority::Low`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Sheds first: speculative or retryable work.
+    Low,
+    /// The default for plain client queries.
+    #[default]
+    Normal,
+    /// Sheds last: control-plane traffic (reservations, monitors).
+    High,
+}
+
+/// What happens to a request the admission policy refuses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedMode {
+    /// Fail fast and loud: the submitter gets a deterministic
+    /// [`ServiceError::Overloaded`](crate::ServiceError::Overloaded)
+    /// carrying the [`ShedReason`]. Right for clients with their own
+    /// retry/backoff logic.
+    #[default]
+    Reject,
+    /// Degrade instead of failing: the request resolves as a fast
+    /// timed-out `Inconclusive` — observably identical to a request
+    /// whose deadline died in the queue, which is exactly what
+    /// admission predicted would happen. Right for callers that treat
+    /// `Inconclusive` as "try again later" anyway.
+    DegradeInconclusive,
+}
+
+/// Why a request was shed. Each variant maps to its own telemetry
+/// counter ([`ShedCounters`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// Total queued requests (across all pending groups) reached
+    /// [`AdmissionPolicy::max_queue_depth`] and no lower-priority
+    /// victim existed.
+    QueueFull,
+    /// The request's coalescing group reached
+    /// [`AdmissionPolicy::max_group_size`] and no lower-priority
+    /// group member could be evicted.
+    GroupFull,
+    /// The request's deadline cannot survive the estimated queue wait
+    /// (pending groups × dispatch-latency EWMA): it would die in the
+    /// queue, so it is answered now instead of occupying a slot.
+    DeadlineHopeless,
+    /// The filter cache's in-flight build for this key already has
+    /// [`AdmissionPolicy::max_dedup_waiters`] waiters blocked on it.
+    DedupWaitersFull,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::QueueFull => write!(f, "planner queue depth limit reached"),
+            ShedReason::GroupFull => write!(f, "coalescing group size limit reached"),
+            ShedReason::DeadlineHopeless => {
+                write!(f, "deadline cannot survive the estimated queue wait")
+            }
+            ShedReason::DedupWaitersFull => {
+                write!(f, "in-flight filter build already has the maximum waiters")
+            }
+        }
+    }
+}
+
+/// Bounds on the service's formerly-unbounded queues, plus the shed
+/// behaviour. The default is **unbounded** (`usize::MAX` everywhere) so
+/// existing callers see no behaviour change; production deployments set
+/// explicit bounds via [`ServiceConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Maximum requests queued across all pending planner groups.
+    pub max_queue_depth: usize,
+    /// Maximum members in one coalescing group.
+    pub max_group_size: usize,
+    /// Maximum threads allowed to block on one in-flight filter build
+    /// (the cache's dedup table); the excess is shed instead of piling
+    /// onto a single build's completion.
+    pub max_dedup_waiters: usize,
+    /// What shed requests resolve to.
+    pub shed: ShedMode,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            max_queue_depth: usize::MAX,
+            max_group_size: usize::MAX,
+            max_dedup_waiters: usize::MAX,
+            shed: ShedMode::default(),
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// Bound the total planner queue depth (clamped to ≥ 1).
+    pub fn max_queue_depth(mut self, n: usize) -> Self {
+        self.max_queue_depth = n.max(1);
+        self
+    }
+
+    /// Bound one coalescing group's size (clamped to ≥ 1).
+    pub fn max_group_size(mut self, n: usize) -> Self {
+        self.max_group_size = n.max(1);
+        self
+    }
+
+    /// Bound the waiters on one in-flight filter build.
+    pub fn max_dedup_waiters(mut self, n: usize) -> Self {
+        self.max_dedup_waiters = n;
+        self
+    }
+
+    /// Choose the shed behaviour.
+    pub fn shed(mut self, mode: ShedMode) -> Self {
+        self.shed = mode;
+        self
+    }
+}
+
+/// Deterministic fault injection for the chaos harness: counters tick
+/// on every candidate site, firing every `N`-th time. `0` disables a
+/// site (the default), so production services pay one relaxed atomic
+/// load per request at most. Injection is *semantic*, not memory-unsafe:
+/// an injected panic exercises the planner's per-member panic isolation
+/// (the member gets `ServiceError::Internal`, group-mates are
+/// unaffected); an injected build truncation exercises the cache's
+/// abandon-and-takeover chain (the designated builder abandons its
+/// ticket as if its deadline had cut the build short).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Panic inside every `N`-th planner member run (0 = never).
+    pub panic_every_nth_run: u64,
+    /// Abandon every `N`-th designated filter build (0 = never).
+    pub truncate_every_nth_build: u64,
+}
+
+/// The live injector: a [`FaultPlan`] plus its trigger counters.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    runs: AtomicU64,
+    builds: AtomicU64,
+}
+
+impl FaultInjector {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            runs: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+        }
+    }
+
+    /// True when the current planner member run should panic.
+    pub(crate) fn should_panic_run(&self) -> bool {
+        fire(&self.runs, self.plan.panic_every_nth_run)
+    }
+
+    /// True when the current designated build should be abandoned as if
+    /// deadline-truncated.
+    pub(crate) fn should_truncate_build(&self) -> bool {
+        fire(&self.builds, self.plan.truncate_every_nth_build)
+    }
+}
+
+fn fire(counter: &AtomicU64, every: u64) -> bool {
+    every != 0 && (counter.fetch_add(1, Ordering::Relaxed) + 1).is_multiple_of(every)
+}
+
+/// Per-service configuration (builder style): admission policy, the
+/// scratch/pool parking caps that used to be hard-coded constants, and
+/// the chaos-testing fault plan. Pass to
+/// [`NetEmbedService::with_config`](crate::NetEmbedService::with_config).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Warm scratches parked between prepared queries (was the
+    /// hard-coded `MAX_PARKED_SCRATCHES = 8`).
+    pub max_parked_scratches: usize,
+    /// A scratch whose worker pool exceeds this many threads is dropped
+    /// at check-in instead of parked (was the hard-coded
+    /// `MAX_PARKED_POOL_THREADS = 32`).
+    pub max_parked_pool_threads: usize,
+    /// Queue bounds and shed behaviour.
+    pub admission: AdmissionPolicy,
+    /// Chaos fault injection (disabled by default).
+    pub faults: FaultPlan,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_parked_scratches: 8,
+            max_parked_pool_threads: 32,
+            admission: AdmissionPolicy::default(),
+            faults: FaultPlan::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Set the parked-scratch cap.
+    pub fn max_parked_scratches(mut self, n: usize) -> Self {
+        self.max_parked_scratches = n;
+        self
+    }
+
+    /// Set the parked-pool-thread cap (clamped to ≥ 1).
+    pub fn max_parked_pool_threads(mut self, n: usize) -> Self {
+        self.max_parked_pool_threads = n.max(1);
+        self
+    }
+
+    /// Set the admission policy.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self
+    }
+
+    /// Set the fault-injection plan (chaos testing only).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+}
+
+/// Snapshot of the per-reason shed counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShedCounters {
+    /// Requests shed because the planner queue was full.
+    pub queue_full: u64,
+    /// Requests shed because their coalescing group was full.
+    pub group_full: u64,
+    /// Requests shed at enqueue because their deadline could not
+    /// survive the estimated queue wait.
+    pub deadline_hopeless: u64,
+    /// Requests shed because an in-flight build's waiter cap was hit.
+    pub dedup_waiters_full: u64,
+}
+
+impl ShedCounters {
+    /// Total sheds across all reasons.
+    pub fn total(&self) -> u64 {
+        self.queue_full + self.group_full + self.deadline_hopeless + self.dedup_waiters_full
+    }
+}
+
+/// EWMA smoothing: `new = old − old/4 + sample/4` (α = ¼) — reactive
+/// enough to track a load shift within a few groups, smooth enough that
+/// one outlier dispatch doesn't swing admission.
+const EWMA_SHIFT: u32 = 2;
+
+/// The service-wide overload instrumentation: one block of relaxed
+/// atomics shared by every planner of a service (so multiple planners
+/// over one service report one coherent picture). All counters are
+/// lifetime totals; `queue_depth` is a gauge.
+#[derive(Debug, Default)]
+pub(crate) struct OverloadStats {
+    submitted: AtomicU64,
+    accepted: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_group_full: AtomicU64,
+    shed_deadline: AtomicU64,
+    shed_dedup: AtomicU64,
+    /// Admitted-but-unresolved planner requests. Every admission path
+    /// increments exactly once and every resolution path (delivery,
+    /// cancellation at any lifecycle stage, eviction) decrements exactly
+    /// once — audited by `tests/chaos.rs` and the planner's
+    /// ticket-lifecycle regression tests.
+    queue_depth: AtomicU64,
+    /// EWMA of recent group dispatch wall times, in nanoseconds.
+    ewma_dispatch_nanos: AtomicU64,
+    pub(crate) queue_wait: LatencyHistogram,
+    pub(crate) dispatch: LatencyHistogram,
+}
+
+impl OverloadStats {
+    pub(crate) fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request passed admission: provisional `accepted` credit plus a
+    /// queue-depth slot.
+    pub(crate) fn record_admitted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was refused at submit (it never took a queue slot).
+    pub(crate) fn record_shed(&self, reason: ShedReason) {
+        self.shed_counter(reason).fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An *admitted* request was evicted by a higher-priority arrival:
+    /// its provisional `accepted` credit moves to the shed column and
+    /// its queue slot frees — `accepted + shed == submitted` stays
+    /// exact.
+    pub(crate) fn record_evicted(&self, reason: ShedReason) {
+        self.accepted.fetch_sub(1, Ordering::Relaxed);
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.shed_counter(reason).fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An admitted request was shed *mid-dispatch* (dedup waiter cap):
+    /// `accepted` → shed, but the queue-depth slot stays — delivery of
+    /// the shed resolution releases it like any other member's.
+    pub(crate) fn record_shed_admitted(&self, reason: ShedReason) {
+        self.accepted.fetch_sub(1, Ordering::Relaxed);
+        self.shed_counter(reason).fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An admitted request resolved (delivered, discarded at delivery,
+    /// or cancelled): its queue slot frees.
+    pub(crate) fn release_slot(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn shed_counter(&self, reason: ShedReason) -> &AtomicU64 {
+        match reason {
+            ShedReason::QueueFull => &self.shed_queue_full,
+            ShedReason::GroupFull => &self.shed_group_full,
+            ShedReason::DeadlineHopeless => &self.shed_deadline,
+            ShedReason::DedupWaitersFull => &self.shed_dedup,
+        }
+    }
+
+    /// Fold one group's dispatch wall time into the EWMA.
+    pub(crate) fn observe_dispatch(&self, elapsed: Duration) {
+        let sample = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        // Racy read-modify-write on purpose: a lost update under
+        // contention skews the estimate by one sample, which the next
+        // sample corrects — admission needs a trend, not a ledger.
+        let old = self.ewma_dispatch_nanos.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample
+        } else {
+            old - (old >> EWMA_SHIFT) + (sample >> EWMA_SHIFT)
+        };
+        self.ewma_dispatch_nanos.store(new, Ordering::Relaxed);
+    }
+
+    /// Estimated wait for a request enqueued behind `groups_ahead`
+    /// pending groups. Zero until the first dispatch has been observed
+    /// (no evidence ⇒ never shed on deadline).
+    pub(crate) fn estimated_queue_wait(&self, groups_ahead: usize) -> Duration {
+        let ewma = self.ewma_dispatch_nanos.load(Ordering::Relaxed);
+        Duration::from_nanos(ewma.saturating_mul(groups_ahead as u64))
+    }
+
+    pub(crate) fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.queue_depth.load(Ordering::Relaxed) as usize
+    }
+
+    pub(crate) fn shed_counters(&self) -> ShedCounters {
+        ShedCounters {
+            queue_full: self.shed_queue_full.load(Ordering::Relaxed),
+            group_full: self.shed_group_full.load(Ordering::Relaxed),
+            deadline_hopeless: self.shed_deadline.load(Ordering::Relaxed),
+            dedup_waiters_full: self.shed_dedup.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn queue_wait_snapshot(&self) -> HistogramSnapshot {
+        self.queue_wait.snapshot()
+    }
+
+    pub(crate) fn dispatch_snapshot(&self) -> HistogramSnapshot {
+        self.dispatch.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_orders_low_normal_high() {
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn policy_builder_clamps_and_sets() {
+        let p = AdmissionPolicy::default()
+            .max_queue_depth(0)
+            .max_group_size(0)
+            .max_dedup_waiters(3)
+            .shed(ShedMode::DegradeInconclusive);
+        assert_eq!(p.max_queue_depth, 1, "zero depth would deadlock; clamp");
+        assert_eq!(p.max_group_size, 1);
+        assert_eq!(p.max_dedup_waiters, 3);
+        assert_eq!(p.shed, ShedMode::DegradeInconclusive);
+        // The default policy is fully open: no behaviour change for
+        // services that never set bounds.
+        let open = AdmissionPolicy::default();
+        assert_eq!(open.max_queue_depth, usize::MAX);
+        assert_eq!(open.max_group_size, usize::MAX);
+        assert_eq!(open.max_dedup_waiters, usize::MAX);
+        assert_eq!(open.shed, ShedMode::Reject);
+    }
+
+    #[test]
+    fn fault_injector_fires_every_nth() {
+        let inj = FaultInjector::new(FaultPlan {
+            panic_every_nth_run: 3,
+            truncate_every_nth_build: 0,
+        });
+        let fired: Vec<bool> = (0..6).map(|_| inj.should_panic_run()).collect();
+        assert_eq!(fired, [false, false, true, false, false, true]);
+        // Disabled sites never fire.
+        assert!((0..100).all(|_| !inj.should_truncate_build()));
+    }
+
+    #[test]
+    fn overload_accounting_partitions() {
+        let stats = OverloadStats::default();
+        // 3 submitted: one admitted+resolved, one shed at submit, one
+        // admitted then evicted.
+        for _ in 0..3 {
+            stats.record_submitted();
+        }
+        stats.record_admitted();
+        stats.release_slot();
+        stats.record_shed(ShedReason::QueueFull);
+        stats.record_admitted();
+        stats.record_evicted(ShedReason::GroupFull);
+        assert_eq!(stats.submitted(), 3);
+        assert_eq!(stats.accepted(), 1);
+        assert_eq!(stats.shed_counters().total(), 2);
+        assert_eq!(
+            stats.accepted() + stats.shed_counters().total(),
+            stats.submitted()
+        );
+        assert_eq!(stats.queue_depth(), 0, "all slots released");
+    }
+
+    #[test]
+    fn ewma_tracks_dispatch_latency() {
+        let stats = OverloadStats::default();
+        assert_eq!(
+            stats.estimated_queue_wait(10),
+            Duration::ZERO,
+            "no evidence, no shedding"
+        );
+        stats.observe_dispatch(Duration::from_millis(8));
+        let est1 = stats.estimated_queue_wait(1);
+        assert_eq!(est1, Duration::from_millis(8), "first sample seeds");
+        assert_eq!(stats.estimated_queue_wait(3), est1 * 3);
+        // Repeated fast samples pull the estimate down geometrically.
+        for _ in 0..40 {
+            stats.observe_dispatch(Duration::from_micros(100));
+        }
+        assert!(stats.estimated_queue_wait(1) < Duration::from_millis(1));
+    }
+}

@@ -39,6 +39,15 @@
 //! pass their own remaining budget; a wait that outlives it returns
 //! [`FilterFetch::WaitExpired`] rather than blocking past the
 //! requester's deadline.
+//!
+//! Two overload/cancellation refinements (see [`crate::admission`]):
+//! the number of threads blocked on one in-flight build is bounded by
+//! [`FilterCache::with_max_waiters`] — the excess gets
+//! [`FilterFetch::Overloaded`] instead of convoying behind a single
+//! build — and [`FilterCache::fetch_or_build_watch`] accepts a cancel
+//! probe so a planner dispatcher whose requester dropped its ticket
+//! stops waiting ([`FilterFetch::Cancelled`]) instead of blocking on a
+//! build whose result nobody will read.
 
 use crate::registry::ModelEpoch;
 use netembed::FilterMatrix;
@@ -90,6 +99,11 @@ struct CacheState {
 struct InFlight {
     state: StdMutex<BuildState>,
     cv: StdCondvar,
+    /// Threads currently blocked on this build. Joined/left under the
+    /// cache's `inflight` map lock on entry and atomically on every
+    /// exit path (shared, expired, cancelled, abandoned-retry), so the
+    /// waiter cap can never leak a slot.
+    waiters: AtomicU64,
 }
 
 enum BuildState {
@@ -105,7 +119,19 @@ impl InFlight {
         InFlight {
             state: StdMutex::new(BuildState::Building),
             cv: StdCondvar::new(),
+            waiters: AtomicU64::new(0),
         }
+    }
+}
+
+/// RAII waiter-count slot: constructed under the inflight map lock,
+/// released on every exit path (including unwinds) so
+/// [`FilterCache::with_max_waiters`] accounting can never drift.
+struct WaiterSlot<'a>(&'a InFlight);
+
+impl Drop for WaiterSlot<'_> {
+    fn drop(&mut self) {
+        self.0.waiters.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -125,6 +151,16 @@ pub enum FilterFetch<'a> {
     /// must [`BuildTicket::complete`] (or abandon) the ticket (counted
     /// as a miss).
     MustBuild(BuildTicket<'a>),
+    /// The in-flight build for this key already has the maximum number
+    /// of waiters ([`FilterCache::with_max_waiters`]): the caller was
+    /// shed instead of joining the convoy (counted under
+    /// [`FilterCache::dedup_shed`]).
+    Overloaded,
+    /// The caller's cancel probe fired while it waited on another
+    /// thread's build (only via [`FilterCache::fetch_or_build_watch`]):
+    /// the requester dropped its ticket, so the caller should stop
+    /// working on its behalf. Nothing was built or counted.
+    Cancelled,
 }
 
 /// The designated-builder token handed out by
@@ -191,9 +227,13 @@ pub struct FilterCache {
     /// condvar, which the vendored `parking_lot` stand-in doesn't carry.
     inflight: StdMutex<HashMap<FilterKey, Arc<InFlight>>>,
     capacity: usize,
+    /// Cap on threads blocked on one in-flight build (the admission
+    /// policy's `max_dedup_waiters`); `usize::MAX` = unbounded.
+    max_waiters: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     dedup_waits: AtomicU64,
+    dedup_shed: AtomicU64,
 }
 
 impl FilterCache {
@@ -211,10 +251,21 @@ impl FilterCache {
             }),
             inflight: StdMutex::new(HashMap::new()),
             capacity: capacity.max(1),
+            max_waiters: usize::MAX,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             dedup_waits: AtomicU64::new(0),
+            dedup_shed: AtomicU64::new(0),
         }
+    }
+
+    /// Bound the threads allowed to block on one in-flight build; the
+    /// excess resolves as [`FilterFetch::Overloaded`]. Clamped to ≥ 1
+    /// (zero would shed every joiner, turning dedup off entirely —
+    /// use a higher bound, or accept the rebuilds explicitly).
+    pub fn with_max_waiters(mut self, max: usize) -> Self {
+        self.max_waiters = max.max(1);
+        self
     }
 
     /// The memoized filter for `key`, refreshing its LRU position.
@@ -268,17 +319,45 @@ impl FilterCache {
         key: &FilterKey,
         wait_budget: Option<Duration>,
     ) -> FilterFetch<'_> {
+        self.fetch_or_build_watch(key, wait_budget, None)
+    }
+
+    /// [`FilterCache::fetch_or_build`] with a cancel probe: while the
+    /// caller is blocked on another thread's build, the probe is polled
+    /// (a few times per millisecond); the moment it returns `true` the
+    /// call resolves as [`FilterFetch::Cancelled`] and the waiter slot
+    /// frees. The planner's dispatcher passes a probe that checks
+    /// whether the member it is working for dropped its ticket — so
+    /// cancellation propagates *into* dedup wait chains instead of the
+    /// dispatcher blocking on a build whose result nobody will read.
+    pub fn fetch_or_build_watch(
+        &self,
+        key: &FilterKey,
+        wait_budget: Option<Duration>,
+        cancel: Option<&dyn Fn() -> bool>,
+    ) -> FilterFetch<'_> {
+        /// Poll granularity for the cancel probe while blocked.
+        const CANCEL_POLL: Duration = Duration::from_millis(1);
         let wait_deadline = wait_budget.map(|b| Instant::now() + b);
         loop {
             if let Some(filter) = self.peek_hit(key) {
                 return FilterFetch::Hit(filter);
             }
-            // `Ok` = someone is already building (join them); `Err` =
-            // this caller registered the key and is the builder.
+            // `Ok` = someone is already building (join them — the
+            // waiter slot is claimed under the map lock, so the cap is
+            // race-free); `Err` = this caller registered the key and is
+            // the builder.
             let joined = {
                 let mut fl = self.inflight.lock().unwrap();
                 match fl.get(key) {
-                    Some(slot) => Ok(slot.clone()),
+                    Some(slot) => {
+                        if slot.waiters.load(Ordering::Relaxed) >= self.max_waiters as u64 {
+                            self.dedup_shed.fetch_add(1, Ordering::Relaxed);
+                            return FilterFetch::Overloaded;
+                        }
+                        slot.waiters.fetch_add(1, Ordering::Relaxed);
+                        Ok(slot.clone())
+                    }
                     None => {
                         let slot = Arc::new(InFlight::new());
                         fl.insert(key.clone(), slot.clone());
@@ -310,6 +389,7 @@ impl FilterCache {
                 }
                 Ok(slot) => slot,
             };
+            let waiting = WaiterSlot(&slot);
             // Join the in-flight build. The winner may already have
             // resolved the slot — the state check under the slot lock
             // makes the wait race-free (no lost notification).
@@ -323,17 +403,34 @@ impl FilterCache {
                     BuildState::Abandoned => break, // retry from the top
                     BuildState::Building => {}
                 }
-                st = match wait_deadline {
-                    None => slot.cv.wait(st).unwrap(),
+                if cancel.is_some_and(|c| c()) {
+                    return FilterFetch::Cancelled;
+                }
+                // With a cancel probe the wait is sliced so the probe
+                // keeps getting polled; a pure deadline wait blocks for
+                // its whole remainder.
+                let bound = match wait_deadline {
+                    None => cancel.map(|_| CANCEL_POLL),
                     Some(d) => {
                         let now = Instant::now();
                         if now >= d {
                             return FilterFetch::WaitExpired;
                         }
-                        slot.cv.wait_timeout(st, d - now).unwrap().0
+                        let left = d - now;
+                        Some(if cancel.is_some() {
+                            left.min(CANCEL_POLL)
+                        } else {
+                            left
+                        })
                     }
                 };
+                st = match bound {
+                    None => slot.cv.wait(st).unwrap(),
+                    Some(b) => slot.cv.wait_timeout(st, b).unwrap().0,
+                };
             }
+            drop(st);
+            drop(waiting);
         }
     }
 
@@ -404,6 +501,13 @@ impl FilterCache {
         self.dedup_waits.load(Ordering::Relaxed)
     }
 
+    /// Lifetime count of lookups shed because an in-flight build's
+    /// waiter cap ([`FilterCache::with_max_waiters`]) was already
+    /// reached.
+    pub fn dedup_shed(&self) -> u64 {
+        self.dedup_shed.load(Ordering::Relaxed)
+    }
+
     /// Keys currently being built (observability; racy by nature).
     pub fn in_flight(&self) -> usize {
         self.inflight.lock().unwrap().len()
@@ -424,6 +528,7 @@ impl std::fmt::Debug for FilterCache {
             .field("hits", &self.hits())
             .field("misses", &self.misses())
             .field("dedup_waits", &self.dedup_waits())
+            .field("dedup_shed", &self.dedup_shed())
             .field("in_flight", &self.in_flight())
             .finish()
     }
@@ -651,6 +756,8 @@ mod tests {
                         FilterFetch::Hit(_) => "Hit",
                         FilterFetch::WaitExpired => "WaitExpired",
                         FilterFetch::MustBuild(_) => "MustBuild",
+                        FilterFetch::Overloaded => "Overloaded",
+                        FilterFetch::Cancelled => "Cancelled",
                         FilterFetch::Waited(_) => unreachable!(),
                     }
                 ),
@@ -728,6 +835,78 @@ mod tests {
         ));
         assert!(start.elapsed() >= Duration::from_millis(20));
         assert_eq!(cache.dedup_waits(), 0, "an expired wait saved nothing");
+    }
+
+    #[test]
+    fn waiter_cap_sheds_the_excess_joiner() {
+        use std::sync::atomic::AtomicUsize;
+        // Cap of 1: the first joiner blocks, the second is shed with
+        // `Overloaded` instead of convoying. Deterministic setup: the
+        // builder registers first, then one joiner claims the only
+        // waiter slot before the shed probe runs.
+        let cache = FilterCache::new().with_max_waiters(1);
+        let host = path_host(4);
+        let k = key("h", 1, "true");
+        let FilterFetch::MustBuild(ticket) = cache.fetch_or_build(&k, None) else {
+            panic!("empty cache must hand out a build ticket");
+        };
+        let outcomes = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| match cache.fetch_or_build(&k, None) {
+                FilterFetch::Waited(_) => outcomes.fetch_add(1, Ordering::Relaxed),
+                _ => panic!("first joiner fits under the cap"),
+            });
+            // Spin until the joiner holds its waiter slot, so the shed
+            // check below is deterministic.
+            while ticket.slot.waiters.load(Ordering::Relaxed) == 0 {
+                std::thread::yield_now();
+            }
+            assert!(
+                matches!(cache.fetch_or_build(&k, None), FilterFetch::Overloaded),
+                "second joiner must be shed at the waiter cap"
+            );
+            ticket.complete(build(&host));
+            waiter.join().unwrap();
+        });
+        assert_eq!(cache.dedup_shed(), 1);
+        assert_eq!(cache.dedup_waits(), 1);
+        // The shed thread freed no slot it never held; a fresh fetch
+        // after completion is a plain hit.
+        assert!(matches!(
+            cache.fetch_or_build(&k, None),
+            FilterFetch::Hit(_)
+        ));
+    }
+
+    #[test]
+    fn cancel_probe_aborts_a_dedup_wait() {
+        use std::sync::atomic::AtomicBool;
+        let cache = FilterCache::new();
+        let k = key("h", 1, "true");
+        let FilterFetch::MustBuild(ticket) = cache.fetch_or_build(&k, None) else {
+            panic!("first fetch must build");
+        };
+        let cancelled = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| {
+                let probe = || cancelled.load(Ordering::Relaxed);
+                match cache.fetch_or_build_watch(&k, None, Some(&probe)) {
+                    FilterFetch::Cancelled => {}
+                    _ => panic!("the probe must abort the wait"),
+                }
+            });
+            // Give the waiter time to actually block, then fire the
+            // probe; the builder never completes, so only cancellation
+            // can release the waiter.
+            std::thread::sleep(Duration::from_millis(10));
+            cancelled.store(true, Ordering::Relaxed);
+            waiter.join().unwrap();
+        });
+        // The cancelled waiter released its slot: a later joiner under
+        // a cap of 1 still fits.
+        assert_eq!(ticket.slot.waiters.load(Ordering::Relaxed), 0);
+        drop(ticket);
+        assert_eq!(cache.dedup_waits(), 0, "a cancelled wait saved nothing");
     }
 
     #[test]

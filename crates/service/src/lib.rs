@@ -66,9 +66,84 @@
 //!    for the winner instead of rebuilding —
 //!    [`SearchStats::dedup_waits`](netembed::SearchStats)).
 //!
+//! ## Admission, priority and load shedding
+//!
+//! The queues above are bounded by a per-service
+//! [`AdmissionPolicy`] (part of [`ServiceConfig`], default:
+//! unbounded). Enforcement happens at the two places a request can
+//! start waiting:
+//!
+//! * **`Planner::submit`** — before a request takes a queue slot it
+//!   must clear three checks, in order: its deadline must survive the
+//!   estimated queue wait (pending groups × an EWMA of recent group
+//!   dispatch times — a request that would die in the queue is
+//!   answered *now* as a timed-out `Inconclusive` instead of wasting a
+//!   slot); total queue depth must be under `max_queue_depth`; and its
+//!   coalescing group must be under `max_group_size`. When a bound is
+//!   hit, admission first tries to **evict** a strictly
+//!   lower-[`Priority`] queued request (newest arrival among the
+//!   lowest priority) to make room — so reservation commits and
+//!   monitor re-checks submitted at [`Priority::High`] displace
+//!   speculative [`Priority::Low`] probes, never the other way
+//!   around. The displaced (or refused) request resolves per
+//!   [`ShedMode`]: a deterministic
+//!   [`ServiceError::Overloaded`] ([`ShedMode::Reject`]) or a fast
+//!   timed-out `Inconclusive` ([`ShedMode::DegradeInconclusive`]).
+//! * **`FilterCache::fetch_or_build`** — at most `max_dedup_waiters`
+//!   threads may block on one in-flight filter build; the excess is
+//!   shed the same way instead of convoying behind a single build.
+//!
+//! Priorities enter through [`Planner::submit_with`];
+//! [`Planner::submit`] is `Normal`. Shedding never reorders accepted
+//! work: admitted requests produce bitwise-identical results to
+//! isolated submits, because admission only decides *whether* a
+//! request queues, never *how* it runs.
+//!
+//! ### Ticket lifecycle (including shed paths)
+//!
+//! ```text
+//!                         submit / submit_with
+//!                                │
+//!                ┌───────────────┼─────────────────────┐
+//!                │ (admitted)    │ (bound hit,          │ (deadline
+//!                │               │  no victim)          │  hopeless)
+//!                ▼               ▼                      ▼
+//!            QUEUED         SHED-AT-SUBMIT        SHED-HOPELESS
+//!          gauge += 1      Reject ⇒ Err(Overloaded)  always resolves
+//!                │         Degrade ⇒ pre-resolved    as pre-resolved
+//!                │           timed-out Inconclusive  timed-out ticket
+//!    ┌───────────┼──────────────┐
+//!    │           │              │ (higher-priority arrival,
+//!    │           │              │  this is the victim)
+//!    │           │              ▼
+//!    │           │          EVICTED   gauge −= 1, accepted → shed;
+//!    │           │                    resolves per ShedMode
+//!    │           │ (ticket dropped while queued)
+//!    │           ▼
+//!    │       UNLINKED    gauge −= 1
+//!    │ (group dispatch begins)
+//!    ▼
+//! DISPATCHING ── ticket dropped mid-dispatch ──► CANCEL-MARKED
+//!    │                                           gauge −= 1; the
+//!    │                                           dispatcher's cancel
+//!    │                                           probe aborts dedup
+//!    │                                           waits for this member
+//!    ▼
+//! DELIVERED      gauge −= 1 (skipped if a cancel mark is consumed:
+//!                the slot was already released at cancel time)
+//! ```
+//!
+//! Every path decrements the queue-depth gauge exactly once, so the
+//! telemetry identity `Σaccepted + Σshed == Σsubmitted` (and gauge = 0
+//! at drain) holds under arbitrary interleavings — `tests/chaos.rs`
+//! hammers exactly this.
+//!
 //! [`NetEmbedService::telemetry`] exposes the parked-scratch/pool
-//! counters for capacity planning.
+//! counters plus the overload block (queue-depth gauge, per-reason
+//! shed counters, queue-wait and dispatch-latency histograms) for
+//! capacity planning.
 
+pub mod admission;
 pub mod cache;
 pub mod monitor;
 pub mod negotiate;
@@ -79,6 +154,9 @@ pub mod registry;
 pub mod reservation;
 pub mod schedule;
 
+pub use admission::{
+    AdmissionPolicy, FaultPlan, Priority, ServiceConfig, ShedCounters, ShedMode, ShedReason,
+};
 pub use cache::{FilterCache, FilterKey};
 pub use monitor::{MonitorParams, MonitorSim};
 pub use negotiate::{negotiate, NegotiationOutcome};
@@ -89,7 +167,9 @@ pub use registry::{ModelEpoch, ModelRegistry};
 pub use reservation::{Reservation, ReservationError, ReservationManager};
 pub use schedule::{Allocation, ScheduleError, ScheduledEmbedding, Scheduler, Tick};
 
-use netembed::{EmbedScratch, Mapping, Options, Outcome, ProblemError, SearchStats};
+use netembed::{
+    EmbedScratch, HistogramSnapshot, Mapping, Options, Outcome, ProblemError, SearchStats,
+};
 use netgraph::Network;
 use parking_lot::Mutex;
 use std::fmt;
@@ -183,6 +263,10 @@ pub enum ServiceError {
     /// so one request's panic cannot strand its planner group-mates;
     /// the payload is the panic message.
     Internal(String),
+    /// The request was shed by the service's [`AdmissionPolicy`] under
+    /// [`ShedMode::Reject`]: the payload says which bound refused it.
+    /// Deterministic and retryable — nothing was queued or run.
+    Overloaded(ShedReason),
 }
 
 impl fmt::Display for ServiceError {
@@ -199,6 +283,9 @@ impl fmt::Display for ServiceError {
             ServiceError::Graphml(e) => write!(f, "{e}"),
             ServiceError::BadConstraint(e) => write!(f, "{e}"),
             ServiceError::Internal(msg) => write!(f, "internal error: run panicked: {msg}"),
+            ServiceError::Overloaded(reason) => {
+                write!(f, "request shed under overload: {reason}")
+            }
         }
     }
 }
@@ -216,19 +303,6 @@ impl From<graphml::GraphmlError> for ServiceError {
         ServiceError::Graphml(e)
     }
 }
-
-/// Warm scratches (DFS arenas + persistent worker pools) parked between
-/// prepared queries; more concurrent handles than this simply build
-/// fresh scratches.
-const MAX_PARKED_SCRATCHES: usize = 8;
-
-/// A scratch whose worker pool grew beyond this many threads is dropped
-/// at check-in instead of parked (dropping the pool joins its threads).
-/// `WorkerPool`s never shrink, so without this cap one outlier
-/// `ParallelEcf { threads: huge }` request would pin that many idle OS
-/// threads — times up to [`MAX_PARKED_SCRATCHES`] — for the service's
-/// lifetime.
-const MAX_PARKED_POOL_THREADS: usize = 32;
 
 /// The up-front §VI-B constraint checks shared by
 /// [`NetEmbedService::prepare`] and
@@ -250,15 +324,29 @@ pub struct NetEmbedService {
     /// prepared queries each hold their own, so nothing serializes on a
     /// single pool.
     scratches: Mutex<Vec<EmbedScratch>>,
+    config: ServiceConfig,
+    overload: admission::OverloadStats,
+    faults: admission::FaultInjector,
 }
 
 impl NetEmbedService {
-    /// A service with an empty model registry and filter cache.
+    /// A service with an empty model registry and filter cache and the
+    /// default (unbounded-admission) [`ServiceConfig`].
     pub fn new() -> Self {
+        Self::with_config(ServiceConfig::default())
+    }
+
+    /// A service with explicit per-service knobs: admission bounds and
+    /// shed mode, parked-scratch/pool caps, and (for chaos testing) a
+    /// fault-injection plan.
+    pub fn with_config(config: ServiceConfig) -> Self {
         NetEmbedService {
             registry: ModelRegistry::new(),
-            cache: FilterCache::new(),
+            cache: FilterCache::new().with_max_waiters(config.admission.max_dedup_waiters),
             scratches: Mutex::new(Vec::new()),
+            config,
+            overload: admission::OverloadStats::default(),
+            faults: admission::FaultInjector::new(config.faults),
         }
     }
 
@@ -272,18 +360,31 @@ impl NetEmbedService {
         &self.cache
     }
 
+    /// The service's configuration (admission policy, parking caps).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    pub(crate) fn overload(&self) -> &admission::OverloadStats {
+        &self.overload
+    }
+
+    pub(crate) fn faults(&self) -> &admission::FaultInjector {
+        &self.faults
+    }
+
     pub(crate) fn checkout_scratch(&self) -> EmbedScratch {
         self.scratches.lock().pop().unwrap_or_default()
     }
 
     pub(crate) fn checkin_scratch(&self, scratch: EmbedScratch) {
-        if scratch.parallel.pool().thread_count() > MAX_PARKED_POOL_THREADS {
+        if scratch.parallel.pool().thread_count() > self.config.max_parked_pool_threads {
             // Dropping the scratch drops its pool, joining the threads:
             // outlier thread counts don't stay resident.
             return;
         }
         let mut parked = self.scratches.lock();
-        if parked.len() < MAX_PARKED_SCRATCHES {
+        if parked.len() < self.config.max_parked_scratches {
             parked.push(scratch);
         }
     }
@@ -358,15 +459,19 @@ impl Default for NetEmbedService {
     }
 }
 
-/// Point-in-time pool/scratch telemetry of a service (the ROADMAP's
-/// "scratch-lease tuning" observability half): how much warm capacity
-/// is parked, and whether steady-state traffic is still spawning
-/// threads. Leased-out scratches are invisible here by design — the
-/// numbers describe what the *next* prepare can reuse.
+/// Point-in-time telemetry of a service: the pool/scratch block (the
+/// ROADMAP's "scratch-lease tuning" observability half — how much warm
+/// capacity is parked, and whether steady-state traffic is still
+/// spawning threads; leased-out scratches are invisible by design) plus
+/// the overload block (queue-depth gauge, admission counters, shed
+/// counters by reason, and queue-wait / dispatch-latency histograms).
+/// The overload counters satisfy `accepted + shed.total() == submitted`
+/// whenever the planner queue is drained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceTelemetry {
-    /// Warm scratches currently parked (bounded by the service's
-    /// internal park cap; leased ones are not counted).
+    /// Warm scratches currently parked (bounded by
+    /// [`ServiceConfig::max_parked_scratches`]; leased ones are not
+    /// counted).
     pub parked_scratches: usize,
     /// Live worker threads across the parked scratches' pools.
     pub pool_threads: usize,
@@ -374,11 +479,25 @@ pub struct ServiceTelemetry {
     /// between two probes ⇒ the traffic in between ran entirely on
     /// warm threads.
     pub spawned_total: u64,
+    /// Admitted-but-unresolved planner requests right now (gauge).
+    pub queue_depth: usize,
+    /// Planner requests ever submitted (past host/constraint
+    /// validation).
+    pub submitted: u64,
+    /// Planner requests admitted to the queue and not later evicted.
+    pub accepted: u64,
+    /// Requests shed, by reason (admission refusals, evictions,
+    /// deadline-hopeless sheds, dedup-waiter overflow).
+    pub shed: ShedCounters,
+    /// Fixed-bucket histogram of enqueue→dispatch waits.
+    pub queue_wait: HistogramSnapshot,
+    /// Fixed-bucket histogram of per-member dispatch (run) latencies.
+    pub dispatch_latency: HistogramSnapshot,
 }
 
 impl NetEmbedService {
-    /// Snapshot the parked-scratch/pool telemetry. See
-    /// [`ServiceTelemetry`] for field semantics.
+    /// Snapshot the service telemetry. See [`ServiceTelemetry`] for
+    /// field semantics.
     pub fn telemetry(&self) -> ServiceTelemetry {
         let parked = self.scratches.lock();
         ServiceTelemetry {
@@ -391,6 +510,12 @@ impl NetEmbedService {
                 .iter()
                 .map(|s| s.parallel.pool().spawned_total())
                 .sum(),
+            queue_depth: self.overload.queue_depth(),
+            submitted: self.overload.submitted(),
+            accepted: self.overload.accepted(),
+            shed: self.overload.shed_counters(),
+            queue_wait: self.overload.queue_wait_snapshot(),
+            dispatch_latency: self.overload.dispatch_snapshot(),
         }
     }
 }
@@ -572,11 +697,15 @@ mod tests {
 
     #[test]
     fn oversized_pools_are_dropped_at_checkin_not_parked() {
-        let svc = NetEmbedService::new();
+        // Small caps via ServiceConfig (the knobs that used to be
+        // hard-coded constants) so the test stays cheap.
+        let svc = NetEmbedService::with_config(
+            ServiceConfig::default()
+                .max_parked_scratches(2)
+                .max_parked_pool_threads(6),
+        );
         let mut big = EmbedScratch::new();
-        big.parallel
-            .pool_mut()
-            .ensure_threads(MAX_PARKED_POOL_THREADS + 1);
+        big.parallel.pool_mut().ensure_threads(7);
         svc.checkin_scratch(big);
         assert!(
             svc.scratches.lock().is_empty(),
@@ -586,6 +715,14 @@ mod tests {
         ok.parallel.pool_mut().ensure_threads(4);
         svc.checkin_scratch(ok);
         assert_eq!(svc.scratches.lock().len(), 1);
+        // The scratch-park cap is a knob too.
+        svc.checkin_scratch(EmbedScratch::new());
+        svc.checkin_scratch(EmbedScratch::new());
+        assert_eq!(
+            svc.scratches.lock().len(),
+            2,
+            "park cap of 2 must hold the third scratch out"
+        );
     }
 
     #[test]

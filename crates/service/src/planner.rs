@@ -70,9 +70,27 @@
 //! group-mates. Dropping a [`Ticket`] before [`Ticket::wait`] cancels
 //! the request: a still-queued member is unlinked from its group on the
 //! spot, a member already being dispatched has its result discarded at
-//! delivery — either way no queue slot, result slot or cancellation
-//! mark survives the ticket.
+//! delivery (and the dispatcher's cancel probe aborts any dedup wait it
+//! was blocked in on that member's behalf) — either way no queue slot,
+//! result slot or cancellation mark survives the ticket.
+//!
+//! ## Admission and load shedding
+//!
+//! Before a request takes a queue slot it passes the service's
+//! [`AdmissionPolicy`](crate::AdmissionPolicy): a deadline-hopeless check (estimated queue wait
+//! — pending groups × a dispatch-latency EWMA — already exceeds the
+//! request's budget), the total queue-depth bound, and the per-group
+//! size bound. A bound violation first tries to **evict** a strictly
+//! lower-[`Priority`] queued member (newest arrival among the lowest
+//! priority — [`Planner::submit_with`] sets the priority, plain
+//! [`Planner::submit`] is `Normal`); if none exists the incoming
+//! request itself is shed. Shed requests resolve per
+//! [`ShedMode`]: a deterministic
+//! [`ServiceError::Overloaded`] or a fast timed-out `Inconclusive`.
+//! The full lifecycle/state diagram lives in the crate docs
+//! ([`crate`], "Admission, priority and load shedding").
 
+use crate::admission::{Priority, ShedMode, ShedReason};
 use crate::cache::FilterKey;
 use crate::{NetEmbedService, QueryRequest, QueryResponse, ServiceError};
 use cexpr::Expr;
@@ -81,7 +99,7 @@ use netgraph::Network;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A request handed to the planner queue. Identical in shape to a
 /// plain [`QueryRequest`] — the planner differs in *how* it executes
@@ -93,6 +111,9 @@ struct Member {
     id: u64,
     options: Options,
     enqueued: Instant,
+    /// Consulted only under overload: eviction targets strictly
+    /// lower-priority members (newest first).
+    priority: Priority,
 }
 
 /// Pending requests sharing one grouping key, model snapshot and parsed
@@ -196,19 +217,97 @@ fn lock_state<'a>(m: &'a Mutex<PlannerState>) -> std::sync::MutexGuard<'a, Plann
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Outcome of one admission attempt (see [`Planner::admit`]).
+enum Admit {
+    /// Queued; the id's ticket waits normally.
+    Admitted(u64),
+    /// Shed, but the submitter still gets a ticket — its result (a
+    /// timed-out `Inconclusive`, or the victim's per-mode resolution)
+    /// is already parked under this id.
+    ShedResolved(u64),
+    /// Shed under [`ShedMode::Reject`]: the submitter gets the error,
+    /// no ticket exists.
+    ShedRejected(ShedReason),
+    /// Fast path only: no open group for the key — parse the
+    /// constraint and retry with the group-creation ingredients.
+    NoOpenGroup,
+}
+
+fn alloc_id(st: &mut PlannerState) -> u64 {
+    let id = st.next_id;
+    st.next_id += 1;
+    id
+}
+
+/// The canonical shed resolution: a timed-out `Inconclusive` whose
+/// `elapsed` reports however long the request actually sat in the
+/// queue (zero when shed at submit).
+fn shed_response(queued: Duration) -> QueryResponse {
+    QueryResponse {
+        outcome: Outcome::Inconclusive,
+        stats: SearchStats {
+            timed_out: true,
+            elapsed: queued,
+            ..SearchStats::default()
+        },
+    }
+}
+
+/// Eviction preference among two candidates: lowest [`Priority`]
+/// first, newest arrival breaking ties — shedding hurts the least
+/// important, least-invested work.
+fn victim_order(a: &Member, b: &Member) -> std::cmp::Ordering {
+    a.priority
+        .cmp(&b.priority)
+        .then(b.enqueued.cmp(&a.enqueued))
+}
+
+/// Position of the eviction victim among `members`: the best
+/// [`victim_order`] candidate *strictly below* the incoming priority
+/// (equal priority is never displaced — admission must not let two
+/// equal requests evict each other back and forth).
+fn victim_pos(members: &[Member], incoming: Priority) -> Option<usize> {
+    members
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.priority < incoming)
+        .min_by(|(_, a), (_, b)| victim_order(a, b))
+        .map(|(i, _)| i)
+}
+
 impl<'svc> Planner<'svc> {
     /// The service this planner dispatches into.
     pub fn service(&self) -> &'svc NetEmbedService {
         self.svc
     }
 
-    /// Enqueue a request; returns a [`Ticket`] to wait on. Fails fast —
-    /// before taking a queue slot — on an unknown host and (for
-    /// group-creating requests) on a constraint that doesn't parse or
-    /// type-lint; a request joining an existing group inherits that
-    /// group's already-validated constraint, which is textually
-    /// identical by the grouping key.
+    /// Enqueue a request at [`Priority::Normal`]; returns a [`Ticket`]
+    /// to wait on. Fails fast — before taking a queue slot — on an
+    /// unknown host and (for group-creating requests) on a constraint
+    /// that doesn't parse or type-lint; a request joining an existing
+    /// group inherits that group's already-validated constraint, which
+    /// is textually identical by the grouping key. Under an
+    /// [`AdmissionPolicy`](crate::AdmissionPolicy) with bounds, the request may instead be shed
+    /// (module docs): [`ShedMode::Reject`] surfaces
+    /// [`ServiceError::Overloaded`] here; a degraded or
+    /// deadline-hopeless request still gets a ticket, pre-resolved to a
+    /// timed-out `Inconclusive`.
     pub fn submit(&self, request: &PlannedRequest) -> Result<Ticket<'_, 'svc>, ServiceError> {
+        self.submit_with(request, Priority::Normal)
+    }
+
+    /// [`Planner::submit`] with an explicit [`Priority`]. Priority only
+    /// matters under overload: when an admission bound is hit, a
+    /// strictly lower-priority queued request (newest arrival first) is
+    /// evicted to make room; equal or higher priorities are never
+    /// displaced. Submit control-plane work (reservation commits,
+    /// monitor re-checks) at [`Priority::High`] and speculative probes
+    /// at [`Priority::Low`].
+    pub fn submit_with(
+        &self,
+        request: &PlannedRequest,
+        priority: Priority,
+    ) -> Result<Ticket<'_, 'svc>, ServiceError> {
         let (model, epoch) = self
             .svc
             .registry()
@@ -221,67 +320,204 @@ impl<'svc> Planner<'svc> {
             constraint: request.constraint.clone(),
         };
         let enqueued = Instant::now();
-        // Fast path: join an existing open group. Only cheap work under
-        // the queue lock.
-        let joined = {
+        // Fast path: admit into an existing open group. Only cheap work
+        // under the queue lock.
+        {
             let mut st = lock_state(&self.state);
-            // Allocate the id up front (an unused id on the miss path
-            // is a harmless gap — ids only need uniqueness).
-            let id = st.next_id;
-            st.next_id += 1;
-            st.groups.iter_mut().find(|g| g.key == key).map(|group| {
-                group.members.push(Member {
-                    id,
-                    options: request.options.clone(),
-                    enqueued,
-                });
-                id
-            })
-        };
-        let id = match joined {
-            Some(id) => id,
-            None => {
-                // Group creation: parse/lint the constraint and clone
-                // the query network with the lock *released* (both can
-                // be arbitrarily large), then re-check — a racing
-                // creator may have opened the group in the meantime, in
-                // which case this request simply joins it and the spare
-                // parse is discarded. Either way exactly one open group
-                // per key exists.
-                let expr = crate::parse_and_lint(&request.constraint)?;
-                let query = request.query.clone();
-                let mut st = lock_state(&self.state);
-                let id = st.next_id;
-                st.next_id += 1;
-                let member = Member {
-                    id,
-                    options: request.options.clone(),
-                    enqueued,
-                };
-                match st.groups.iter_mut().find(|g| g.key == key) {
-                    Some(group) => group.members.push(member),
-                    None => st.groups.push_back(PendingGroup {
-                        key,
-                        model,
-                        query,
-                        expr,
-                        members: vec![member],
-                    }),
+            match self.admit(&mut st, &key, request, priority, enqueued, None) {
+                Admit::NoOpenGroup => {}
+                outcome => {
+                    drop(st);
+                    return self.resolve_admit(outcome);
                 }
-                id
             }
-        };
-        self.wake.notify_all();
-        Ok(Ticket {
-            planner: self,
+        }
+        // Group creation: parse/lint the constraint and clone the query
+        // network with the lock *released* (both can be arbitrarily
+        // large), then re-check — a racing creator may have opened the
+        // group in the meantime, in which case this request simply
+        // joins it and the spare parse is discarded. Either way exactly
+        // one open group per key exists.
+        let expr = crate::parse_and_lint(&request.constraint)?;
+        let query = request.query.clone();
+        let mut st = lock_state(&self.state);
+        let outcome = self.admit(
+            &mut st,
+            &key,
+            request,
+            priority,
+            enqueued,
+            Some((model, query, expr)),
+        );
+        drop(st);
+        self.resolve_admit(outcome)
+    }
+
+    /// Turn an [`Admit`] outcome into the caller-facing result, waking
+    /// the queue when state changed (admission, or an eviction that
+    /// parked a result some blocked waiter must pick up).
+    fn resolve_admit(&self, outcome: Admit) -> Result<Ticket<'_, 'svc>, ServiceError> {
+        match outcome {
+            Admit::Admitted(id) | Admit::ShedResolved(id) => {
+                self.wake.notify_all();
+                Ok(Ticket {
+                    planner: self,
+                    id,
+                    finished: false,
+                })
+            }
+            Admit::ShedRejected(reason) => {
+                self.wake.notify_all();
+                Err(ServiceError::Overloaded(reason))
+            }
+            Admit::NoOpenGroup => unreachable!("resolved before group creation"),
+        }
+    }
+
+    /// Admission decision for one request, under the state lock. With
+    /// `create: None` (the fast path) the request can only join an
+    /// existing open group — [`Admit::NoOpenGroup`] sends the caller
+    /// off to parse the constraint and retry with the group-creation
+    /// ingredients. Counter discipline: every path out of this function
+    /// except `NoOpenGroup` and admission-*check*-free errors records
+    /// `submitted` exactly once, paired with either `admitted` or a
+    /// shed counter — that is the `Σaccepted + Σshed == Σsubmitted`
+    /// identity at its source.
+    fn admit(
+        &self,
+        st: &mut PlannerState,
+        key: &FilterKey,
+        request: &PlannedRequest,
+        priority: Priority,
+        enqueued: Instant,
+        create: Option<(Arc<Network>, Network, Expr)>,
+    ) -> Admit {
+        let group_idx = st.groups.iter().position(|g| g.key == *key);
+        if group_idx.is_none() && create.is_none() {
+            return Admit::NoOpenGroup;
+        }
+        let policy = self.svc.config().admission;
+        let overload = self.svc.overload();
+        // Deadline hygiene: if the estimated queue wait (EWMA of group
+        // dispatch times × groups ahead) already exceeds the request's
+        // whole budget, it would die in the queue — answer it now.
+        // Regardless of shed mode this resolves as a timed-out
+        // `Inconclusive` (it *is* a timeout, just predicted instead of
+        // waited out). A fresh planner has no EWMA evidence and never
+        // sheds here.
+        if let Some(budget) = request.options.timeout {
+            let est = overload.estimated_queue_wait(st.groups.len());
+            if !est.is_zero() && est > budget {
+                overload.record_submitted();
+                overload.record_shed(ShedReason::DeadlineHopeless);
+                let id = alloc_id(st);
+                st.results.insert(id, Ok(shed_response(Duration::ZERO)));
+                return Admit::ShedResolved(id);
+            }
+        }
+        // Group-size bound (join paths only): evict a lower-priority
+        // member of *this* group, or shed the incoming request.
+        if let Some(idx) = group_idx {
+            if st.groups[idx].members.len() >= policy.max_group_size {
+                match victim_pos(&st.groups[idx].members, priority) {
+                    Some(pos) => {
+                        let victim = st.groups[idx].members.remove(pos);
+                        self.shed_victim(st, victim, ShedReason::GroupFull);
+                    }
+                    None => return self.shed_incoming(st, ShedReason::GroupFull),
+                }
+            }
+        }
+        // Total queue-depth bound: evict the lowest-priority newest
+        // queued member anywhere, or shed the incoming request.
+        let depth: usize = st.groups.iter().map(|g| g.members.len()).sum();
+        if depth >= policy.max_queue_depth {
+            let victim = st
+                .groups
+                .iter()
+                .enumerate()
+                .flat_map(|(gi, g)| {
+                    victim_pos(&g.members, priority).map(|pos| (gi, pos, &g.members[pos]))
+                })
+                .min_by(|(_, _, a), (_, _, b)| victim_order(a, b))
+                .map(|(gi, pos, _)| (gi, pos));
+            match victim {
+                Some((gi, pos)) => {
+                    let victim = st.groups[gi].members.remove(pos);
+                    self.shed_victim(st, victim, ShedReason::QueueFull);
+                }
+                None => return self.shed_incoming(st, ShedReason::QueueFull),
+            }
+        }
+        overload.record_submitted();
+        overload.record_admitted();
+        let id = alloc_id(st);
+        let member = Member {
             id,
-            finished: false,
-        })
+            options: request.options.clone(),
+            enqueued,
+            priority,
+        };
+        match group_idx {
+            Some(idx) => st.groups[idx].members.push(member),
+            None => {
+                let (model, query, expr) = create.expect("checked at entry");
+                st.groups.push_back(PendingGroup {
+                    key: key.clone(),
+                    model,
+                    query,
+                    expr,
+                    members: vec![member],
+                });
+            }
+        }
+        Admit::Admitted(id)
+    }
+
+    /// Shed the incoming (not-yet-queued) request: count it and resolve
+    /// it per the shed mode — an error for the submitter, or a parked
+    /// pre-resolved ticket.
+    fn shed_incoming(&self, st: &mut PlannerState, reason: ShedReason) -> Admit {
+        let overload = self.svc.overload();
+        overload.record_submitted();
+        overload.record_shed(reason);
+        match self.svc.config().admission.shed {
+            ShedMode::Reject => Admit::ShedRejected(reason),
+            ShedMode::DegradeInconclusive => {
+                let id = alloc_id(st);
+                st.results.insert(id, Ok(shed_response(Duration::ZERO)));
+                Admit::ShedResolved(id)
+            }
+        }
+    }
+
+    /// Park the shed resolution for an evicted (already-admitted)
+    /// queued member: its provisional `accepted` credit moves to the
+    /// shed column and its queue slot frees ([`record_evicted`]); its
+    /// blocked ticket picks the parked result up on the next wake.
+    ///
+    /// [`record_evicted`]: crate::admission::OverloadStats::record_evicted
+    fn shed_victim(&self, st: &mut PlannerState, victim: Member, reason: ShedReason) {
+        self.svc.overload().record_evicted(reason);
+        let response = match self.svc.config().admission.shed {
+            ShedMode::Reject => Err(ServiceError::Overloaded(reason)),
+            ShedMode::DegradeInconclusive => Ok(shed_response(victim.enqueued.elapsed())),
+        };
+        st.results.insert(victim.id, response);
     }
 
     /// Submit and wait: the blocking convenience for client threads.
     pub fn run(&self, request: &PlannedRequest) -> Result<QueryResponse, ServiceError> {
         self.submit(request)?.wait()
+    }
+
+    /// [`Planner::run`] with an explicit [`Priority`].
+    pub fn run_with(
+        &self,
+        request: &PlannedRequest,
+        priority: Priority,
+    ) -> Result<QueryResponse, ServiceError> {
+        self.submit_with(request, priority)?.wait()
     }
 
     /// Groups that reached dispatch with at least one live member.
@@ -324,13 +560,25 @@ impl<'svc> Planner<'svc> {
         lock_state(&self.state).cancelled.remove(&id)
     }
 
+    /// Non-consuming peek at the cancel mark — the dispatcher's cancel
+    /// probe polls this from inside dedup waits; `deliver` still
+    /// consumes the mark afterwards.
+    fn is_cancelled(&self, id: u64) -> bool {
+        lock_state(&self.state).cancelled.contains(&id)
+    }
+
     fn deliver(&self, id: u64, response: Result<QueryResponse, ServiceError>) {
         let mut st = lock_state(&self.state);
         if st.cancelled.remove(&id) {
             // The waiter is gone: discard instead of parking a result
-            // nobody will claim.
+            // nobody will claim. No gauge release — the cancelling drop
+            // already released this member's slot when it set the mark.
             return;
         }
+        // The admitted member resolves here: its queue-depth slot
+        // frees. (Pre-resolved shed tickets never pass through deliver
+        // — they are parked directly at admission.)
+        self.svc.overload().release_slot();
         st.results.insert(id, response);
         drop(st);
         self.wake.notify_all();
@@ -353,6 +601,9 @@ impl<'svc> Planner<'svc> {
             return; // fully-cancelled group: nothing to do
         }
         self.groups_dispatched.fetch_add(1, Ordering::Relaxed);
+        // Whole-group wall time feeds the EWMA that powers
+        // deadline-hopeless admission (queue wait ≈ groups × EWMA).
+        let dispatch_started = Instant::now();
         // One compiled problem serves every member's search *and* the
         // re-verification of every mapping handed back.
         let problem = match Problem::from_parsed(&query, &model, &expr) {
@@ -377,6 +628,7 @@ impl<'svc> Planner<'svc> {
                 continue;
             }
             let queued = member.enqueued.elapsed();
+            self.svc.overload().queue_wait.record(queued);
             let run_options = match member.options.timeout {
                 Some(budget) => {
                     let remaining = budget.saturating_sub(queued);
@@ -404,15 +656,26 @@ impl<'svc> Planner<'svc> {
                 None => member.options.clone(),
             };
             let had_pin = pinned.is_some();
+            let run_started = Instant::now();
+            // Cancel propagation: if this member's ticket is dropped
+            // while the dispatcher works on its behalf, the probe stops
+            // any dedup wait — the dispatcher must not block on a
+            // build whose result nobody will claim.
+            let cancel_probe = || self.is_cancelled(member.id);
             // Panic isolation: a panicking engine run (re-thrown from a
             // pool worker, a violated invariant) becomes *this member's*
             // `ServiceError::Internal` instead of unwinding the
             // dispatcher — group-mates still get their results, and the
             // possibly-inconsistent scratch is replaced, not reused or
-            // parked.
+            // parked. The service's fault injector panics here too
+            // (chaos testing): an injected fault takes exactly the
+            // organic panic path.
             let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if self.svc.faults().should_panic_run() {
+                    panic!("injected planner fault");
+                }
                 crate::prepared::run_cached(
-                    self.svc.cache(),
+                    crate::prepared::RunCtx::service(self.svc, Some(&cancel_probe)),
                     &key,
                     &problem,
                     &run_options,
@@ -444,16 +707,34 @@ impl<'svc> Planner<'svc> {
                     })
                 })
             }));
+            self.svc.overload().dispatch.record(run_started.elapsed());
             let response = match attempt {
+                Ok(Err(ServiceError::Overloaded(reason))) => {
+                    // Shed mid-dispatch (the dedup waiter cap): this
+                    // member was admitted, so its `accepted` credit
+                    // moves to the shed column — the queue-depth slot
+                    // itself is released by `deliver` as usual. Then
+                    // resolve per mode, like any other shed.
+                    self.svc.overload().record_shed_admitted(reason);
+                    match self.svc.config().admission.shed {
+                        ShedMode::Reject => Err(ServiceError::Overloaded(reason)),
+                        ShedMode::DegradeInconclusive => {
+                            Ok(shed_response(member.enqueued.elapsed()))
+                        }
+                    }
+                }
                 Ok(response) => response,
                 Err(payload) => {
                     scratch = netembed::EmbedScratch::new();
-                    Err(ServiceError::Internal(panic_message(&payload)))
+                    Err(ServiceError::Internal(panic_message(&*payload)))
                 }
             };
             self.deliver(member.id, response);
         }
         self.svc.checkin_scratch(scratch);
+        self.svc
+            .overload()
+            .observe_dispatch(dispatch_started.elapsed());
     }
 }
 
@@ -533,20 +814,29 @@ impl Drop for Ticket<'_, '_> {
         }
         let mut st = lock_state(&self.planner.state);
         // Still queued? Unlink the member outright — the queue slot is
-        // reclaimed immediately and no mark is needed.
+        // reclaimed immediately (gauge included) and no mark is needed.
         for group in st.groups.iter_mut() {
             if let Some(pos) = group.members.iter().position(|m| m.id == self.id) {
                 group.members.remove(pos);
+                self.planner.svc.overload().release_slot();
                 return;
             }
         }
-        // Mid-dispatch or already delivered: discard any parked result;
-        // otherwise mark the id so the in-flight dispatch discards it
-        // at delivery. `deliver`/`take_cancelled` each consume the
-        // mark, so nothing leaks either way.
-        if st.results.remove(&self.id).is_none() {
-            st.cancelled.insert(self.id);
+        // Already resolved? A parked result means the gauge slot was
+        // released when it parked (by `deliver`, or never taken at all
+        // for a pre-resolved shed ticket) — discard without touching
+        // the gauge.
+        if st.results.remove(&self.id).is_some() {
+            return;
         }
+        // Mid-dispatch: mark the id so the in-flight dispatch discards
+        // the result at delivery, and release the gauge slot *now* —
+        // the request is resolved (cancelled) from the queue's point of
+        // view the moment its waiter disappears. `deliver`/
+        // `take_cancelled` consume the mark and skip their own release,
+        // so the slot can never be freed twice.
+        st.cancelled.insert(self.id);
+        self.planner.svc.overload().release_slot();
     }
 }
 
@@ -749,6 +1039,321 @@ mod tests {
         );
         assert_eq!(live_resp.mappings().len(), 2, "group-mate unharmed");
         assert!(matches!(live_resp.outcome, Outcome::Complete(_)));
+    }
+
+    #[test]
+    fn queue_full_sheds_deterministically_in_reject_mode() {
+        use crate::{AdmissionPolicy, ServiceConfig};
+        // Waiter-driven dispatch means nothing runs until someone
+        // waits, so "fill the queue, then submit one more" is fully
+        // deterministic.
+        let svc = NetEmbedService::with_config(
+            ServiceConfig::default().admission(AdmissionPolicy::default().max_queue_depth(2)),
+        );
+        svc.registry().register("plab", triangle_host());
+        let planner = svc.planner();
+        let req = request("plab", "rEdge.avgDelay <= 15.0");
+        let t1 = planner.submit(&req).unwrap();
+        let t2 = planner.submit(&req).unwrap();
+        let refused = planner.submit(&req);
+        assert!(
+            matches!(
+                refused,
+                Err(ServiceError::Overloaded(ShedReason::QueueFull))
+            ),
+            "equal priority cannot evict: the incoming request is shed"
+        );
+        // Accepted requests are untouched by the shed.
+        assert_eq!(t1.wait().unwrap().mappings().len(), 2);
+        assert_eq!(t2.wait().unwrap().mappings().len(), 2);
+        let t = svc.telemetry();
+        assert_eq!(t.submitted, 3);
+        assert_eq!(t.accepted, 2);
+        assert_eq!(t.shed.queue_full, 1);
+        assert_eq!(t.accepted + t.shed.total(), t.submitted);
+        assert_eq!(t.queue_depth, 0, "gauge settles after drain");
+    }
+
+    #[test]
+    fn degrade_mode_resolves_shed_requests_as_timed_out_inconclusive() {
+        use crate::{AdmissionPolicy, ServiceConfig, ShedMode};
+        let svc = NetEmbedService::with_config(
+            ServiceConfig::default().admission(
+                AdmissionPolicy::default()
+                    .max_queue_depth(1)
+                    .shed(ShedMode::DegradeInconclusive),
+            ),
+        );
+        svc.registry().register("plab", triangle_host());
+        let planner = svc.planner();
+        let req = request("plab", "rEdge.avgDelay <= 15.0");
+        let kept = planner.submit(&req).unwrap();
+        // Degrade mode: the shed submitter still gets a ticket, already
+        // resolved to a fast timed-out Inconclusive.
+        let shed = planner.submit(&req).unwrap();
+        let shed_resp = shed.wait().unwrap();
+        assert!(matches!(shed_resp.outcome, Outcome::Inconclusive));
+        assert!(shed_resp.stats.timed_out);
+        assert_eq!(shed_resp.stats.nodes_visited, 0, "shed work never ran");
+        assert_eq!(kept.wait().unwrap().mappings().len(), 2);
+        let t = svc.telemetry();
+        assert_eq!((t.submitted, t.accepted, t.shed.queue_full), (2, 1, 1));
+        assert_eq!(t.queue_depth, 0);
+    }
+
+    #[test]
+    fn high_priority_evicts_lowest_priority_newest_arrival() {
+        use crate::{AdmissionPolicy, Priority, ServiceConfig};
+        let svc = NetEmbedService::with_config(
+            ServiceConfig::default().admission(AdmissionPolicy::default().max_queue_depth(2)),
+        );
+        svc.registry().register("plab", triangle_host());
+        let planner = svc.planner();
+        let req = request("plab", "rEdge.avgDelay <= 15.0");
+        let low_old = planner.submit_with(&req, Priority::Low).unwrap();
+        let low_new = planner.submit_with(&req, Priority::Low).unwrap();
+        // The queue is full; a High arrival displaces the *newest* Low.
+        let high = planner.submit_with(&req, Priority::High).unwrap();
+        assert!(
+            matches!(
+                low_new.wait(),
+                Err(ServiceError::Overloaded(ShedReason::QueueFull))
+            ),
+            "the newest low-priority member is the victim"
+        );
+        assert_eq!(low_old.wait().unwrap().mappings().len(), 2);
+        assert_eq!(high.wait().unwrap().mappings().len(), 2);
+        let t = svc.telemetry();
+        assert_eq!((t.submitted, t.accepted, t.shed.queue_full), (3, 2, 1));
+        // A further High submit with an empty queue sails through:
+        // priority is consulted only under overload.
+        assert_eq!(
+            planner
+                .run_with(&req, Priority::High)
+                .unwrap()
+                .mappings()
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn group_size_bound_sheds_within_the_group_only() {
+        use crate::{AdmissionPolicy, Priority, ServiceConfig};
+        let svc = NetEmbedService::with_config(
+            ServiceConfig::default().admission(AdmissionPolicy::default().max_group_size(1)),
+        );
+        svc.registry().register("plab", triangle_host());
+        let planner = svc.planner();
+        let a = request("plab", "rEdge.avgDelay <= 15.0");
+        let b = request("plab", "true");
+        let a1 = planner.submit(&a).unwrap();
+        // A different key opens a different group: no conflict.
+        let b1 = planner.submit(&b).unwrap();
+        assert_eq!(planner.pending_groups(), 2);
+        // Same key at equal priority: the group is full, incoming shed.
+        assert!(matches!(
+            planner.submit(&a),
+            Err(ServiceError::Overloaded(ShedReason::GroupFull))
+        ));
+        // Higher priority evicts within the group instead.
+        let a2 = planner.submit_with(&a, Priority::High).unwrap();
+        assert!(matches!(
+            a1.wait(),
+            Err(ServiceError::Overloaded(ShedReason::GroupFull))
+        ));
+        assert_eq!(a2.wait().unwrap().mappings().len(), 2);
+        assert_eq!(b1.wait().unwrap().mappings().len(), 6, "other group safe");
+        let t = svc.telemetry();
+        assert_eq!((t.submitted, t.accepted), (4, 2));
+        assert_eq!(t.shed.group_full, 2);
+        assert_eq!(t.queue_depth, 0);
+    }
+
+    #[test]
+    fn hopeless_deadline_is_shed_at_enqueue() {
+        use crate::{AdmissionPolicy, ServiceConfig};
+        let svc = NetEmbedService::with_config(
+            ServiceConfig::default().admission(AdmissionPolicy::default()),
+        );
+        svc.registry().register("plab", triangle_host());
+        let planner = svc.planner();
+        let req = request("plab", "rEdge.avgDelay <= 15.0");
+        // Seed the dispatch-latency EWMA with one real group.
+        planner.run(&req).unwrap();
+        // A pending group means a nonzero estimated wait...
+        let pending = planner.submit(&req).unwrap();
+        // ...so a 1 ns budget cannot survive the queue: shed at
+        // enqueue as a pre-resolved timed-out Inconclusive (this is a
+        // *timeout*, regardless of shed mode).
+        let hopeless = planner
+            .submit(&PlannedRequest {
+                options: Options {
+                    timeout: Some(Duration::from_nanos(1)),
+                    ..Options::default()
+                },
+                ..req.clone()
+            })
+            .unwrap();
+        let resp = hopeless.wait().unwrap();
+        assert!(matches!(resp.outcome, Outcome::Inconclusive));
+        assert!(resp.stats.timed_out);
+        assert_eq!(resp.stats.nodes_visited, 0);
+        assert_eq!(svc.telemetry().shed.deadline_hopeless, 1);
+        assert_eq!(pending.wait().unwrap().mappings().len(), 2);
+        let t = svc.telemetry();
+        assert_eq!(t.accepted + t.shed.total(), t.submitted);
+        // The queue-wait and dispatch histograms saw the real traffic.
+        assert!(t.queue_wait.count() >= 2);
+        assert!(t.dispatch_latency.count() >= 2);
+    }
+
+    #[test]
+    fn gauge_settles_for_drops_at_every_lifecycle_stage() {
+        // The satellite regression: a ticket dropped at any stage —
+        // queued, pre-resolved, evicted, mid-dispatch, delivered —
+        // must release its queue-depth slot exactly once.
+        use crate::cache::FilterFetch;
+        use crate::{AdmissionPolicy, Priority, ServiceConfig, ShedMode};
+        let svc = NetEmbedService::with_config(
+            ServiceConfig::default().admission(
+                AdmissionPolicy::default()
+                    .max_queue_depth(2)
+                    .shed(ShedMode::DegradeInconclusive),
+            ),
+        );
+        svc.registry().register("plab", triangle_host());
+        let planner = svc.planner();
+        let req = request("plab", "rEdge.avgDelay <= 15.0");
+
+        // Stage 1: dropped while queued.
+        drop(planner.submit(&req).unwrap());
+        assert_eq!(svc.telemetry().queue_depth, 0, "queued drop leaks");
+
+        // Stage 2: dropped after delivery (wait picks one, drop the
+        // other after its result parked).
+        let t1 = planner.submit(&req).unwrap();
+        let t2 = planner.submit(&req).unwrap();
+        t1.wait().unwrap();
+        // t2's result is parked now (the dispatcher ran the group).
+        assert_eq!(planner.undelivered_results(), 1);
+        drop(t2);
+        assert_eq!(planner.undelivered_results(), 0);
+        assert_eq!(svc.telemetry().queue_depth, 0, "delivered drop leaks");
+
+        // Stage 3: pre-resolved shed ticket dropped unwaited.
+        let f1 = planner.submit(&req).unwrap();
+        let f2 = planner.submit(&req).unwrap();
+        let shed = planner.submit(&req).unwrap(); // degrade: pre-resolved
+        assert_eq!(svc.telemetry().queue_depth, 2);
+        drop(shed);
+        assert_eq!(
+            svc.telemetry().queue_depth,
+            2,
+            "shed ticket never held a slot"
+        );
+
+        // Stage 4: evicted ticket dropped unwaited.
+        let high = planner.submit_with(&req, Priority::High).unwrap();
+        // f2 (newest Normal) was evicted; drop it without waiting.
+        drop(f2);
+        assert_eq!(svc.telemetry().queue_depth, 2);
+        f1.wait().unwrap();
+        high.wait().unwrap();
+        assert_eq!(svc.telemetry().queue_depth, 0);
+
+        // Stage 5: dropped mid-dispatch. Block the dispatcher inside
+        // the member's filter fetch by holding the key's build ticket,
+        // drop the member's planner ticket, then release the build.
+        let (_, epoch) = svc.registry().get("plab").unwrap();
+        let key = FilterKey {
+            host: "plab".into(),
+            epoch,
+            query_hash: crate::cache::network_fingerprint(&req.query),
+            constraint: "rEdge.avgDelay > 5.0".into(),
+        };
+        let FilterFetch::MustBuild(build) = svc.cache().fetch_or_build(&key, None) else {
+            panic!("fresh key must hand out the build ticket");
+        };
+        let blocked_req = PlannedRequest {
+            constraint: "rEdge.avgDelay > 5.0".into(),
+            ..req.clone()
+        };
+        let victim = planner.submit(&blocked_req).unwrap();
+        let mate = planner.submit(&req).unwrap();
+        std::thread::scope(|s| {
+            // The mate's wait dispatches the blocked group first (FIFO)
+            // and parks inside fetch_or_build until the build resolves.
+            let waiter = s.spawn(|| mate.wait().unwrap());
+            while svc.cache().dedup_waits() == 0 && !planner.is_cancelled(victim.id) {
+                if lock_state(&planner.state).dispatching {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            // Give the dispatcher a moment to actually enter the fetch,
+            // then cancel the member it is working for.
+            std::thread::sleep(Duration::from_millis(5));
+            drop(victim);
+            assert_eq!(
+                svc.telemetry().queue_depth,
+                1,
+                "mid-dispatch drop must release its slot immediately"
+            );
+            build.complete(Arc::new({
+                let (model, _) = svc.registry().get("plab").unwrap();
+                let q = edge_query();
+                let expr = crate::parse_and_lint("rEdge.avgDelay > 5.0").unwrap();
+                let problem = Problem::from_parsed(&q, &model, &expr).unwrap();
+                let mut dl = netembed::Deadline::unlimited();
+                let mut stats = SearchStats::default();
+                FilterMatrix::build(&problem, &mut dl, &mut stats).unwrap()
+            }));
+            waiter.join().unwrap();
+        });
+        assert_eq!(svc.telemetry().queue_depth, 0, "all slots settle");
+        assert_eq!(lock_state(&planner.state).cancelled.len(), 0);
+        assert_eq!(planner.undelivered_results(), 0);
+    }
+
+    #[test]
+    fn cancelled_ticket_aborts_the_dispatchers_dedup_wait() {
+        // Cancellation must propagate *into* the dedup wait chain: the
+        // dispatcher blocks in fetch_or_build on a cancelled member's
+        // behalf with no timeout — only the cancel probe can free it.
+        // Without propagation this test deadlocks.
+        let svc = NetEmbedService::new();
+        svc.registry().register("plab", triangle_host());
+        let planner = svc.planner();
+        let blocked = request("plab", "rEdge.avgDelay > 5.0");
+        let free = request("plab", "rEdge.avgDelay <= 15.0");
+        let (_, epoch) = svc.registry().get("plab").unwrap();
+        let key = FilterKey {
+            host: "plab".into(),
+            epoch,
+            query_hash: crate::cache::network_fingerprint(&blocked.query),
+            constraint: blocked.constraint.clone(),
+        };
+        use crate::cache::FilterFetch;
+        let FilterFetch::MustBuild(build) = svc.cache().fetch_or_build(&key, None) else {
+            panic!("fresh key must hand out the build ticket");
+        };
+        let victim = planner.submit(&blocked).unwrap();
+        let live = planner.submit(&free).unwrap();
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| live.wait().unwrap());
+            // Let the dispatcher park inside the victim's fetch, then
+            // cancel the victim. The probe fires, the dispatcher moves
+            // on to the live member's group, and the waiter completes —
+            // while the external build ticket is STILL unresolved.
+            std::thread::sleep(Duration::from_millis(10));
+            drop(victim);
+            let resp = waiter.join().unwrap();
+            assert_eq!(resp.mappings().len(), 2);
+        });
+        drop(build); // abandon; nobody is waiting on it anymore
+        assert_eq!(svc.telemetry().queue_depth, 0);
+        assert_eq!(planner.undelivered_results(), 0);
     }
 
     #[test]

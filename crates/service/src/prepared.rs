@@ -12,7 +12,7 @@
 //!   snapshot via [`netembed::Problem::from_parsed`] — one compiled
 //!   problem serves both the search and the mapping re-verification;
 //! * filter builds are memoized in the service's shared
-//!   [`FilterCache`](crate::cache::FilterCache) under `(host name,
+//!   [`FilterCache`] under `(host name,
 //!   model epoch, query fingerprint, constraint)` — repeated runs (or
 //!   repeated `submit`s of the same request, which are thin wrappers
 //!   over this type) rebuild nothing until the model's epoch moves, and
@@ -23,7 +23,8 @@
 //!   allocation-free and spawn-free
 //!   ([`SearchStats::pool_reuse`](netembed::SearchStats) shows it).
 
-use crate::cache::{FilterFetch, FilterKey};
+use crate::admission::{FaultInjector, ShedMode, ShedReason};
+use crate::cache::{FilterCache, FilterFetch, FilterKey};
 use crate::{NetEmbedService, QueryResponse, ServiceError};
 use cexpr::Expr;
 use netembed::{
@@ -133,14 +134,25 @@ impl<'svc> PreparedQuery<'svc> {
         // must keep that eviction immunity.
         let mut pinned: Option<Arc<FilterMatrix>> = None;
         for options in runs {
-            let result = run_cached(
-                self.svc.cache(),
+            let fetched = run_cached(
+                RunCtx::service(self.svc, None),
                 &key,
                 &problem,
                 options,
                 scratch,
                 &mut pinned,
-            )?;
+            );
+            let result = match fetched {
+                // Direct-path dedup shedding resolves per the service's
+                // shed mode: degrade to a fast timed-out Inconclusive,
+                // or surface the deterministic Overloaded error.
+                Err(ServiceError::Overloaded(_))
+                    if self.svc.config().admission.shed == ShedMode::DegradeInconclusive =>
+                {
+                    shed_inconclusive()
+                }
+                other => other?,
+            };
             // Safety net, §III: independently verify every mapping
             // before returning — against the *same* compiled problem
             // the search used (the old submit path compiled it twice).
@@ -174,6 +186,35 @@ impl std::fmt::Debug for PreparedQuery<'_> {
     }
 }
 
+/// Everything [`run_cached`] needs from its host: the filter cache to
+/// resolve through, plus the service-only overload hooks — the fault
+/// injector and the dispatcher's cancel probe. The standalone
+/// [`crate::schedule::Scheduler`] runs `bare`: its private cache, no
+/// fault injection, no cancellation.
+pub(crate) struct RunCtx<'a> {
+    cache: &'a FilterCache,
+    faults: Option<&'a FaultInjector>,
+    cancel: Option<&'a dyn Fn() -> bool>,
+}
+
+impl<'a> RunCtx<'a> {
+    pub(crate) fn service(svc: &'a NetEmbedService, cancel: Option<&'a dyn Fn() -> bool>) -> Self {
+        Self {
+            cache: svc.cache(),
+            faults: Some(svc.faults()),
+            cancel,
+        }
+    }
+
+    pub(crate) fn bare(cache: &'a FilterCache) -> Self {
+        Self {
+            cache,
+            faults: None,
+            cancel: None,
+        }
+    }
+}
+
 /// One engine run through the service's filter cache: pinned/hit →
 /// reuse the memoized matrix (`stats.filter_cache_hits = 1`, zero build
 /// evals); miss → resolve through the cache's in-flight dedup table
@@ -195,8 +236,20 @@ impl std::fmt::Debug for PreparedQuery<'_> {
 /// complete build, so a multi-run caller keeps its filter even if the
 /// shared LRU evicts the entry mid-batch. Single-run callers pass a
 /// fresh `&mut None`.
+///
+/// Overload/cancellation hooks: a dedup wait that hits the cache's
+/// waiter cap returns [`ServiceError::Overloaded`] (the *caller* maps
+/// it per the service's [`ShedMode`] — the planner moves the member's
+/// `accepted` credit to the shed column, the direct path degrades or
+/// propagates); `cancel` is the planner dispatcher's probe for "the
+/// requester dropped its ticket", which aborts dedup waits with a
+/// discarded Inconclusive instead of blocking on a build nobody will
+/// read. The service's fault injector may force a designated build to
+/// abandon (chaos testing): observably identical to a deadline-
+/// truncated build, so it exercises the abandon→takeover chain without
+/// ever caching a truncated filter.
 pub(crate) fn run_cached(
-    cache: &crate::cache::FilterCache,
+    ctx: RunCtx<'_>,
     key: &FilterKey,
     problem: &Problem<'_>,
     options: &Options,
@@ -214,7 +267,10 @@ pub(crate) fn run_cached(
         return Ok(result);
     }
     let mut charge = BuildCharge::begin(scratch.parallel.pool().spawned_total());
-    match cache.fetch_or_build(key, options.timeout) {
+    match ctx
+        .cache
+        .fetch_or_build_watch(key, options.timeout, ctx.cancel)
+    {
         FilterFetch::Hit(filter) => {
             *pinned = Some(filter.clone());
             let mut result = Engine::run_prebuilt(problem, &filter, options, scratch)?;
@@ -257,7 +313,31 @@ pub(crate) fn run_cached(
                 },
             })
         }
+        FilterFetch::Overloaded => {
+            // The in-flight build's waiter convoy is full. The caller
+            // decides what the shed resolves to (planner: telemetry +
+            // per-mode delivery; direct path: degrade or propagate).
+            Err(ServiceError::Overloaded(ShedReason::DedupWaitersFull))
+        }
+        FilterFetch::Cancelled => {
+            // The requester dropped its ticket while this thread waited
+            // on its behalf; the result is discarded at delivery, so a
+            // bare Inconclusive is enough.
+            Ok(shed_inconclusive())
+        }
         FilterFetch::MustBuild(ticket) => {
+            // Chaos injection: abandon this build as if its deadline
+            // had truncated it — waiters wake and one takes over; the
+            // "builder" reports a timeout. Identical to the organic
+            // truncation path below, so nothing downstream can tell
+            // injected faults from real ones.
+            if ctx.faults.is_some_and(|f| f.should_truncate_build()) {
+                ticket.abandon();
+                charge.finish_build(scratch.parallel.pool().spawned_total());
+                let mut result = shed_inconclusive();
+                result.stats.elapsed = charge.spent();
+                return Ok(result);
+            }
             // A takeover builder (its predecessor's build was abandoned
             // mid-wait) has already burned part of its budget blocking:
             // `remaining_now` keeps the deadline honest, and the
@@ -302,5 +382,19 @@ pub(crate) fn run_cached(
             charge.settle_pool_reuse(&mut result.stats);
             Ok(result)
         }
+    }
+}
+
+/// The canonical shed/cancel result: a fast timed-out `Inconclusive`
+/// with zero search work — observably the outcome admission predicted
+/// (the request's budget would have died waiting anyway).
+pub(crate) fn shed_inconclusive() -> EmbedResult {
+    EmbedResult {
+        mappings: Vec::new(),
+        outcome: Outcome::Inconclusive,
+        stats: SearchStats {
+            timed_out: true,
+            ..SearchStats::default()
+        },
     }
 }

@@ -277,7 +277,7 @@ impl Scheduler {
             };
             // Each start probes its own key once — no batch-local pin.
             let result = run_cached(
-                &self.cache,
+                crate::prepared::RunCtx::bare(&self.cache),
                 &key,
                 &problem,
                 &options,

@@ -1,0 +1,499 @@
+//! Fault-injection chaos harness for the overload-resilient service.
+//!
+//! Seeded long-run interleavings drive the planner through everything
+//! ISSUE 6 makes survivable at once: concurrent submits at mixed
+//! priorities and budgets, heavily oversubscribed bursts, epoch churn
+//! (wholesale model swaps mid-flight), tickets dropped at arbitrary
+//! lifecycle stages, reservation commits racing the registry, plus the
+//! service's own fault injector forcing panics inside member runs and
+//! abandoning designated filter builds.
+//!
+//! The harness never checks *schedules* — interleavings are free. It
+//! checks the invariants that must hold regardless:
+//!
+//! - every delivered mapping re-verifies against one of the model
+//!   snapshots that was live while the request was in flight;
+//! - the admission ledger balances: `accepted + shed == submitted`;
+//! - the queue-depth gauge returns to zero once every ticket is waited
+//!   or dropped — no slot leaks through any shed/cancel/panic path;
+//! - nothing is left behind: no undelivered results, no in-flight
+//!   builds, parked scratches within their configured cap;
+//! - the service still answers correctly afterwards (no poisoned lock
+//!   ever escapes as a wedge).
+//!
+//! The default run is a CI-sized smoke (~30 seeded rounds); set
+//! `NETEMBED_CHAOS_FULL=1` for the long nightly run. Worker counts
+//! honour `NETEMBED_TEST_WORKERS` like the rest of the suite.
+
+use netgraph::{Direction, Network};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use service::{
+    AdmissionPolicy, FaultPlan, NetEmbedService, PlannedRequest, Priority, QueryResponse,
+    ReservationManager, ServiceConfig, ServiceError, ShedMode, ShedReason,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Duration;
+
+use netembed::{Algorithm, Options, Outcome, SearchMode};
+
+/// Worker counts exercised by the burst test. CI pins this via
+/// `NETEMBED_TEST_WORKERS` (1–4), like `tests/planner.rs`.
+fn test_workers() -> Vec<usize> {
+    match std::env::var("NETEMBED_TEST_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => vec![n],
+        _ => vec![1, 2, 4],
+    }
+}
+
+/// Seeded rounds per chaos test: a small CI smoke by default, the long
+/// soak when `NETEMBED_CHAOS_FULL` is set (nightly).
+fn chaos_rounds() -> u64 {
+    if std::env::var("NETEMBED_CHAOS_FULL").is_ok_and(|v| !v.is_empty() && v != "0") {
+        300
+    } else {
+        30
+    }
+}
+
+/// Six hosts in a ring + chords; `delay_scale` distinguishes the two
+/// epoch-churn snapshots (every response must verify against one of
+/// them).
+fn ring_host(delay_scale: f64) -> Network {
+    let mut h = Network::new(Direction::Undirected);
+    let ids: Vec<_> = (0..6).map(|i| h.add_node(format!("h{i}"))).collect();
+    for i in 0..6 {
+        let e = h.add_edge(ids[i], ids[(i + 1) % 6]);
+        h.set_edge_attr(e, "avgDelay", delay_scale * (10.0 + i as f64 * 5.0));
+    }
+    for (u, v) in [(0usize, 2), (1, 4), (3, 5)] {
+        let e = h.add_edge(ids[u], ids[v]);
+        h.set_edge_attr(e, "avgDelay", delay_scale * 12.0);
+    }
+    h
+}
+
+fn edge_query() -> Network {
+    let mut q = Network::new(Direction::Undirected);
+    let x = q.add_node("x");
+    let y = q.add_node("y");
+    q.add_edge(x, y);
+    q
+}
+
+fn path_query() -> Network {
+    let mut q = Network::new(Direction::Undirected);
+    let a = q.add_node("a");
+    let b = q.add_node("b");
+    let c = q.add_node("c");
+    q.add_edge(a, b);
+    q.add_edge(b, c);
+    q
+}
+
+/// Every mapping in `resp` must satisfy its constraint against at least
+/// one of the snapshots that were live during the run (the registry
+/// only ever holds one of the two, so the planner's epoch snapshot was
+/// one of them).
+fn assert_mappings_verify(
+    resp: &QueryResponse,
+    query: &Network,
+    constraint: &str,
+    snapshots: &[&Network],
+) {
+    for mapping in resp.mappings() {
+        let ok = snapshots.iter().any(|host| {
+            let problem = netembed::Problem::new(query, host, constraint)
+                .expect("chaos constraints compile against every snapshot");
+            netembed::check_mapping(&problem, mapping).is_ok()
+        });
+        assert!(
+            ok,
+            "delivered mapping verifies against no live snapshot \
+             (constraint `{constraint}`): {mapping:?}"
+        );
+    }
+}
+
+/// A response from the chaos mix is acceptable iff it is a verified
+/// success, a deterministic shed, an injected-panic `Internal`, or a
+/// timed-out `Inconclusive` (deadline, hopeless-deadline shed, degrade
+/// mode, truncated build — all indistinguishable by design).
+fn classify(
+    result: Result<QueryResponse, ServiceError>,
+    query: &Network,
+    constraint: &str,
+    snapshots: &[&Network],
+    tally: &Tally,
+) {
+    match result {
+        Ok(resp) => {
+            assert_mappings_verify(&resp, query, constraint, snapshots);
+            if resp.stats.timed_out {
+                tally.timed_out.fetch_add(1, Ordering::Relaxed);
+            } else {
+                assert!(
+                    !matches!(resp.outcome, Outcome::Inconclusive),
+                    "Inconclusive without timed_out from the chaos mix"
+                );
+                tally.delivered.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Err(ServiceError::Overloaded(_)) => {
+            tally.shed.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(ServiceError::Internal(msg)) => {
+            assert!(
+                msg.contains("injected planner fault"),
+                "unexpected internal panic: {msg}"
+            );
+            tally.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(other) => panic!("chaos surfaced an unexpected error: {other}"),
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    delivered: AtomicU64,
+    timed_out: AtomicU64,
+    shed: AtomicU64,
+    injected: AtomicU64,
+    dropped: AtomicU64,
+}
+
+const CONSTRAINTS: [&str; 3] = ["rEdge.avgDelay <= 30.0", "rEdge.avgDelay <= 45.0", "true"];
+
+fn chaos_request(rng: &mut StdRng) -> (PlannedRequest, Network, &'static str) {
+    let query = if rng.random_bool(0.5) {
+        edge_query()
+    } else {
+        path_query()
+    };
+    let constraint = CONSTRAINTS[rng.random_range(0..CONSTRAINTS.len())];
+    let timeout = match rng.random_range(0..4u32) {
+        0 => None,
+        1 => Some(Duration::from_millis(20)),
+        2 => Some(Duration::from_micros(200)),
+        _ => Some(Duration::from_nanos(50)),
+    };
+    let req = PlannedRequest {
+        host: "plab".into(),
+        query: query.clone(),
+        constraint: constraint.into(),
+        options: Options {
+            mode: SearchMode::UpTo(8),
+            timeout,
+            ..Options::default()
+        },
+    };
+    (req, query, constraint)
+}
+
+fn priority(rng: &mut StdRng) -> Priority {
+    match rng.random_range(0..4u32) {
+        0 => Priority::Low,
+        1 | 2 => Priority::Normal,
+        _ => Priority::High,
+    }
+}
+
+/// One seeded round: a fresh service under a tight admission policy
+/// with fault injection armed, three client threads of mixed
+/// submit/wait/drop traffic racing a churn thread that swaps models
+/// and commits reservations. Ends with the full invariant sweep.
+fn chaos_round(seed: u64) {
+    const CLIENTS: usize = 3;
+    const OPS_PER_CLIENT: usize = 8;
+
+    let mut cfg_rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let shed = if cfg_rng.random_bool(0.5) {
+        ShedMode::Reject
+    } else {
+        ShedMode::DegradeInconclusive
+    };
+    let config = ServiceConfig::default()
+        .max_parked_scratches(cfg_rng.random_range(1..=4))
+        .admission(
+            AdmissionPolicy::default()
+                .max_queue_depth(cfg_rng.random_range(2..=5))
+                .max_group_size(cfg_rng.random_range(1..=3))
+                .max_dedup_waiters(cfg_rng.random_range(1..=4))
+                .shed(shed),
+        )
+        .faults(FaultPlan {
+            panic_every_nth_run: 7,
+            truncate_every_nth_build: 4,
+        });
+    let svc = NetEmbedService::with_config(config);
+    let model_a = ring_host(1.0);
+    let model_b = ring_host(1.3);
+    svc.registry().register("plab", model_a.clone());
+
+    let tally = Tally::default();
+    let snapshots = [&model_a, &model_b];
+
+    std::thread::scope(|s| {
+        for client in 0..CLIENTS {
+            let svc = &svc;
+            let tally = &tally;
+            let snapshots = &snapshots;
+            s.spawn(move || {
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (client as u64 + 1).wrapping_mul(0xA5A5));
+                let planner = svc.planner();
+                for _ in 0..OPS_PER_CLIENT {
+                    let (req, query, constraint) = chaos_request(&mut rng);
+                    let pri = priority(&mut rng);
+                    match planner.submit_with(&req, pri) {
+                        Err(e) => classify(Err(e), &query, constraint, snapshots, tally),
+                        Ok(ticket) => match rng.random_range(0..10u32) {
+                            // Drop the ticket without waiting — the
+                            // member may be queued, mid-dispatch, or
+                            // already delivered; every path must
+                            // release its gauge slot.
+                            0 | 1 => {
+                                if rng.random_bool(0.5) {
+                                    std::thread::yield_now();
+                                }
+                                drop(ticket);
+                                tally.dropped.fetch_add(1, Ordering::Relaxed);
+                            }
+                            _ => classify(ticket.wait(), &query, constraint, snapshots, tally),
+                        },
+                    }
+                }
+            });
+        }
+        // Churn: wholesale model swaps (epoch bumps) and reservation
+        // commit/release cycles racing the client traffic.
+        let svc = &svc;
+        s.spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x00C0_FFEE);
+            let reservations = ReservationManager::new();
+            for step in 0..8 {
+                std::thread::yield_now();
+                let next = if step % 2 == 0 {
+                    ring_host(1.3)
+                } else {
+                    ring_host(1.0)
+                };
+                svc.registry().register("plab", next);
+                if rng.random_bool(0.5) {
+                    // A reservation commit against whichever snapshot is
+                    // current; no capacity attrs are declared, so it
+                    // always succeeds and exercises the ticket cycle.
+                    let query = edge_query();
+                    if let Ok(resp) = svc.submit(&PlannedRequest {
+                        host: "plab".into(),
+                        query: query.clone(),
+                        constraint: "true".into(),
+                        options: Options {
+                            mode: SearchMode::First,
+                            ..Options::default()
+                        },
+                    }) {
+                        if let Some(mapping) = resp.mappings().first() {
+                            let ticket = reservations
+                                .reserve(svc.registry(), "plab", &query, mapping, &[])
+                                .expect("capacity-free reservation always fits")
+                                .ticket;
+                            reservations
+                                .release(svc.registry(), ticket)
+                                .expect("release of a live ticket");
+                        }
+                    }
+                }
+            }
+        });
+    });
+
+    // ---- invariant sweep ----------------------------------------------
+    let t = svc.telemetry();
+    assert_eq!(
+        t.accepted + t.shed.total(),
+        t.submitted,
+        "seed {seed}: admission ledger out of balance: {t:?}"
+    );
+    assert_eq!(
+        t.queue_depth, 0,
+        "seed {seed}: queue-depth gauge leaked a slot: {t:?}"
+    );
+    let planner = svc.planner();
+    assert_eq!(
+        planner.pending_requests(),
+        0,
+        "seed {seed}: members left queued after quiescence"
+    );
+    assert_eq!(
+        planner.undelivered_results(),
+        0,
+        "seed {seed}: parked results leaked past every drop path"
+    );
+    assert_eq!(
+        svc.cache().in_flight(),
+        0,
+        "seed {seed}: an in-flight filter build was stranded"
+    );
+    assert!(
+        t.parked_scratches <= svc.config().max_parked_scratches,
+        "seed {seed}: parked scratches above the configured cap"
+    );
+
+    // The service must still answer — injected panics poison no lock
+    // for good. The injector stays armed (period 7), so one retry is
+    // enough to step over a scheduled fault.
+    let final_req = PlannedRequest {
+        host: "plab".into(),
+        query: edge_query(),
+        constraint: "true".into(),
+        options: Options::default(),
+    };
+    let functional = (0..4).any(|_| match planner.run(&final_req) {
+        Ok(resp) => !resp.mappings().is_empty(),
+        Err(ServiceError::Internal(_)) => false, // injected panic: try again
+        Err(e) => panic!("seed {seed}: service wedged after chaos: {e}"),
+    });
+    assert!(
+        functional,
+        "seed {seed}: four post-chaos runs in a row produced nothing \
+         (injector periods are 7 and 4 — two consecutive faults are \
+         already impossible)"
+    );
+}
+
+/// The injector fires dozens of intentional panics per run; keep their
+/// backtraces out of the test log. Real panics still print.
+fn quiet_injected_panics() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("injected planner fault"));
+        if !injected {
+            default(info);
+        }
+    }));
+}
+
+#[test]
+fn chaos_seeded_rounds_hold_every_invariant() {
+    quiet_injected_panics();
+    for seed in 0..chaos_rounds() {
+        chaos_round(seed);
+    }
+}
+
+/// The acceptance burst: ~100× more concurrent clients than the queue
+/// admits. Every request must end as a verified success (bitwise
+/// identical to an isolated submit), a deterministic
+/// [`ServiceError::Overloaded`] reject, or — in degrade mode — a
+/// timed-out `Inconclusive`. Exercised at every pinned worker count.
+#[test]
+fn oversubscribed_burst_sheds_cleanly_with_identical_survivors() {
+    const CLIENTS: usize = 100;
+    for workers in test_workers() {
+        for shed in [ShedMode::Reject, ShedMode::DegradeInconclusive] {
+            let svc = NetEmbedService::with_config(
+                ServiceConfig::default()
+                    .admission(AdmissionPolicy::default().max_queue_depth(1).shed(shed)),
+            );
+            let host = ring_host(1.0);
+            svc.registry().register("plab", host.clone());
+            let req = PlannedRequest {
+                host: "plab".into(),
+                query: edge_query(),
+                constraint: "rEdge.avgDelay <= 30.0".into(),
+                options: Options {
+                    algorithm: Algorithm::ParallelEcf { threads: workers },
+                    ..Options::default()
+                },
+            };
+            let expected = {
+                let iso = NetEmbedService::new();
+                iso.registry().register("plab", host.clone());
+                sorted_mappings(&iso.submit(&req).expect("isolated submit"))
+            };
+            assert!(!expected.is_empty(), "burst scenario must be feasible");
+
+            let barrier = Barrier::new(CLIENTS);
+            let results: Vec<Result<QueryResponse, ServiceError>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..CLIENTS)
+                    .map(|_| {
+                        let planner = svc.planner();
+                        let req = &req;
+                        let barrier = &barrier;
+                        s.spawn(move || {
+                            barrier.wait();
+                            planner.run(req)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+
+            let mut succeeded = 0usize;
+            let mut degraded = 0usize;
+            let mut rejected = 0usize;
+            for result in results {
+                match result {
+                    Ok(resp) if resp.stats.timed_out => {
+                        assert_eq!(
+                            shed,
+                            ShedMode::DegradeInconclusive,
+                            "reject mode must not degrade"
+                        );
+                        assert!(matches!(resp.outcome, Outcome::Inconclusive));
+                        assert!(resp.mappings().is_empty());
+                        degraded += 1;
+                    }
+                    Ok(resp) => {
+                        assert_eq!(
+                            sorted_mappings(&resp),
+                            expected,
+                            "{workers} workers: an admitted survivor diverged \
+                             from its isolated submit"
+                        );
+                        succeeded += 1;
+                    }
+                    Err(ServiceError::Overloaded(reason)) => {
+                        assert_eq!(shed, ShedMode::Reject, "degrade mode must not reject");
+                        assert_eq!(reason, ShedReason::QueueFull);
+                        rejected += 1;
+                    }
+                    Err(other) => panic!("burst surfaced {other}"),
+                }
+            }
+            assert!(succeeded >= 1, "at least the first admit completes");
+            assert_eq!(succeeded + degraded + rejected, CLIENTS);
+
+            let t = svc.telemetry();
+            assert_eq!(t.submitted, CLIENTS as u64);
+            assert_eq!(t.accepted + t.shed.total(), t.submitted);
+            assert_eq!(t.accepted, succeeded as u64);
+            assert_eq!(t.queue_depth, 0, "burst leaked a gauge slot");
+            assert!(t.queue_wait.count() >= succeeded as u64);
+            assert!(t.dispatch_latency.count() >= 1);
+            assert!(
+                t.queue_wait.summary().starts_with("n="),
+                "histogram summary renders"
+            );
+        }
+    }
+}
+
+/// Order-insensitive view of a response's mappings.
+fn sorted_mappings(resp: &QueryResponse) -> Vec<Vec<(u32, u32)>> {
+    let mut out: Vec<Vec<(u32, u32)>> = resp
+        .mappings()
+        .iter()
+        .map(|m| m.iter().map(|(q, r)| (q.0, r.0)).collect())
+        .collect();
+    out.sort();
+    out
+}
