@@ -406,6 +406,11 @@ fn write_json(rows: &[Row], path: &PathBuf) {
     out.push_str(&format!("  \"build_par_threads\": {PAR_THREADS},\n"));
     out.push_str(&format!("  \"steal_workers\": {STEAL_WORKERS},\n"));
     out.push_str(&format!("  \"planner_clients\": {PLANNER_CLIENTS},\n"));
+    // The shard count the planner series ran with: the default-config
+    // resolution (NETEMBED_PLANNER_SHARDS, else one lane per core up
+    // to 8), recorded so cross-machine numbers stay comparable.
+    let planner_shards = NetEmbedService::new().planner_shards();
+    out.push_str(&format!("  \"planner_shards\": {planner_shards},\n"));
     out.push_str(&format!("  \"host_cores\": {cores},\n"));
     out.push_str("  \"scenarios\": [\n");
     for (i, r) in rows.iter().enumerate() {

@@ -23,7 +23,10 @@
 //! deterministic `Overloaded` refusals, `degrade` → fast timed-out
 //! inconclusive responses), `--priority` sets the burst's admission
 //! priority, and the summary lines add the shed counters and the
-//! queue-wait/dispatch-latency histograms.
+//! queue-wait/dispatch-latency histograms. `--shards N` pins the
+//! planner's dispatch-shard count (default: one per detected core, up
+//! to 8) and the summary prints each shard's queue-depth gauge and
+//! shed breakdown.
 //! Exit codes: 0 mappings found, 1 definitively infeasible, 2 usage or
 //! input error, 3 inconclusive (timeout with nothing found).
 
@@ -45,7 +48,7 @@ USAGE:
                  [--mode all|first|N] [--timeout-ms N] [--seed N]
                  [--repeat N] [--planner] [--clients N] [--quiet]
                  [--oversub K] [--priority low|normal|high]
-                 [--shed reject|degrade]
+                 [--shed reject|degrade] [--shards N]
   netembed gen   planetlab|brite|waxman|clique|ring|star
                  [--nodes N] [--seed N] --out FILE
   netembed inspect FILE
@@ -173,6 +176,19 @@ fn cmd_embed(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // `--shards N` pins the planner's dispatch-shard count; without it
+    // the service sizes the shard array from the detected parallelism
+    // (or `NETEMBED_PLANNER_SHARDS`).
+    let shards: Option<usize> = match flag_value(args, "--shards") {
+        None => None,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => {
+                eprintln!("error: bad --shards `{v}` (need an integer >= 1)");
+                return ExitCode::from(2);
+            }
+        },
+    };
 
     // One service session for the whole invocation: the prepared query
     // compiles the constraint once and keeps filter + pool warm across
@@ -181,7 +197,11 @@ fn cmd_embed(args: &[String]) -> ExitCode {
     if let Some(k) = oversub {
         admission = admission.max_queue_depth((clients / k).max(1));
     }
-    let svc = NetEmbedService::with_config(ServiceConfig::default().admission(admission));
+    let mut config = ServiceConfig::default().admission(admission);
+    if let Some(n) = shards {
+        config = config.planner_shards(n);
+    }
+    let svc = NetEmbedService::with_config(config);
     svc.registry().register("host", host.clone());
     let options = Options {
         algorithm,
@@ -305,7 +325,9 @@ fn planner_demo(
     if !quiet {
         let telemetry = svc.telemetry();
         eprintln!(
-            "# planner: groups dispatched: {}, coalesced total: {}, cache hits: {} misses: {} dedup waits: {}",
+            "# planner: shards: {}, peak concurrent dispatchers: {}, groups dispatched: {}, coalesced total: {}, cache hits: {} misses: {} dedup waits: {}",
+            planner.shard_count(),
+            planner.peak_concurrent_dispatchers(),
             planner.groups_dispatched(),
             planner.coalesced_total(),
             svc.cache().hits(),
@@ -331,6 +353,19 @@ fn planner_demo(
             telemetry.queue_wait.summary(),
             telemetry.dispatch_latency.summary(),
         );
+        for (idx, shard) in telemetry.shards.iter().enumerate() {
+            eprintln!(
+                "# shard {idx}: queue depth: {}, submitted: {}, accepted: {}, shed: {} (queue: {}, group: {}, deadline: {}, dedup: {})",
+                shard.queue_depth,
+                shard.submitted,
+                shard.accepted,
+                shard.shed.total(),
+                shard.shed.queue_full,
+                shard.shed.group_full,
+                shard.shed.deadline_hopeless,
+                shard.shed.dedup_waiters_full,
+            );
+        }
     }
     let result = last.expect("clients >= 1 and repeat >= 1");
     report_embed(&result, query, host, quiet)

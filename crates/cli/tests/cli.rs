@@ -310,6 +310,73 @@ fn planner_oversub_prints_admission_telemetry() {
 }
 
 #[test]
+fn planner_shards_flag_prints_per_shard_summary() {
+    let host = tmp("shards-host.graphml");
+    let out = run(&[
+        "gen",
+        "ring",
+        "--nodes",
+        "8",
+        "--out",
+        host.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let out = run(&[
+        "embed",
+        "--host",
+        host.to_str().unwrap(),
+        "--query",
+        host.to_str().unwrap(),
+        "--constraint",
+        "true",
+        "--mode",
+        "first",
+        "--planner",
+        "--clients",
+        "4",
+        "--shards",
+        "3",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("# planner: shards: 3,"), "{stderr}");
+    // One summary line per shard, each carrying a drained gauge and its
+    // own shed breakdown.
+    for idx in 0..3 {
+        assert!(
+            stderr.contains(&format!("# shard {idx}: queue depth: 0,")),
+            "{stderr}"
+        );
+    }
+    assert!(
+        stderr.contains("# shard 0: queue depth: 0, submitted:"),
+        "{stderr}"
+    );
+    assert!(!stderr.contains("# shard 3:"), "{stderr}");
+
+    // A malformed shard count is a usage error.
+    let out = run(&[
+        "embed",
+        "--host",
+        host.to_str().unwrap(),
+        "--query",
+        host.to_str().unwrap(),
+        "--constraint",
+        "true",
+        "--planner",
+        "--shards",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_file(&host).ok();
+}
+
+#[test]
 fn help_prints_usage() {
     let out = run(&["--help"]);
     assert!(out.status.success());

@@ -321,6 +321,16 @@ impl HistogramSnapshot {
         None
     }
 
+    /// Accumulate another snapshot into this one (bucket-wise sum).
+    /// This is the roll-up primitive for per-shard telemetry: merging
+    /// every shard's snapshot yields exactly the histogram one shared
+    /// recorder would have produced, since the buckets are aligned.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+    }
+
     /// One-line human summary (`count, p50, p90, p99, max-bucket`) for
     /// CLI/diagnostic output. Quantiles are bucket upper bounds.
     pub fn summary(&self) -> String {
@@ -563,5 +573,33 @@ mod tests {
         // Snapshots are plain values: equality and copy semantics.
         let again = snap;
         assert_eq!(again, h.snapshot());
+    }
+
+    #[test]
+    fn histogram_merge_equals_shared_recorder() {
+        // Two disjoint recorders merged bucket-wise must equal one
+        // recorder that saw all the traffic — the per-shard roll-up
+        // contract.
+        let (a, b, shared) = (
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        );
+        for i in 0..50u64 {
+            let d = Duration::from_micros(1 << (i % 12));
+            if i % 2 == 0 {
+                a.record(d);
+            } else {
+                b.record(d);
+            }
+            shared.record(d);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, shared.snapshot());
+        assert_eq!(merged.count(), 50);
+        // Merging an empty snapshot is the identity.
+        merged.merge(&HistogramSnapshot::default());
+        assert_eq!(merged, shared.snapshot());
     }
 }

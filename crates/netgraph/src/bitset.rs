@@ -182,14 +182,33 @@ impl NodeBitSet {
     /// AND + popcount pass over the blocks, no writes. Lets callers
     /// rank or threshold candidate overlaps (e.g. split-policy
     /// heuristics) without a scratch set.
+    ///
+    /// Written as explicit 4-wide `u64` chunks like [`intersect_with`]:
+    /// four independent AND+popcount lanes per iteration keep the
+    /// popcounts off a single serial dependency chain (and give the
+    /// autovectorizer the same 256-bit shape), with a scalar tail for
+    /// the last `len % 4` blocks.
+    ///
+    /// [`intersect_with`]: NodeBitSet::intersect_with
     #[inline]
     pub fn intersect_count(&self, other: &NodeBitSet) -> usize {
         debug_assert_eq!(self.capacity, other.capacity);
-        self.blocks
+        let a = self.blocks.chunks_exact(4);
+        let b = other.blocks.chunks_exact(4);
+        let tail: u32 = a
+            .remainder()
             .iter()
-            .zip(&other.blocks)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+            .zip(b.remainder())
+            .map(|(x, y)| (x & y).count_ones())
+            .sum();
+        let (mut c0, mut c1, mut c2, mut c3) = (0u64, 0u64, 0u64, 0u64);
+        for (ca, cb) in a.zip(b) {
+            c0 += (ca[0] & cb[0]).count_ones() as u64;
+            c1 += (ca[1] & cb[1]).count_ones() as u64;
+            c2 += (ca[2] & cb[2]).count_ones() as u64;
+            c3 += (ca[3] & cb[3]).count_ones() as u64;
+        }
+        (c0 + c1 + c2 + c3) as usize + tail as usize
     }
 
     /// True when `self ∩ other` is non-empty. Early-exits at the first
@@ -356,6 +375,57 @@ mod tests {
             }
             assert_eq!(a.intersect_count(&b), got.len(), "cap {capacity} count");
             assert_eq!(a.intersects_any(&b), !got.is_empty(), "cap {capacity} any");
+        }
+    }
+
+    #[test]
+    fn intersect_count_matches_scalar_reference() {
+        // Pin the 4-wide chunked counter against a straight
+        // block-by-block scalar popcount over the same words, on
+        // capacities straddling the 256-bit chunk width and on dense,
+        // sparse and empty patterns (LCG-style words so every chunk
+        // lane sees a distinct value).
+        let scalar = |a: &NodeBitSet, b: &NodeBitSet| -> usize {
+            a.words()
+                .iter()
+                .zip(b.words())
+                .map(|(x, y)| (x & y).count_ones() as usize)
+                .sum()
+        };
+        for capacity in [0usize, 1, 63, 64, 65, 255, 256, 257, 300, 511, 512, 520] {
+            let mut state = capacity as u32 + 1;
+            let mut next = || {
+                state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                state
+            };
+            let dense_a = NodeBitSet::from_iter(
+                capacity,
+                (0..capacity as u32).filter(|_| next() % 3 != 0).map(NodeId),
+            );
+            let dense_b = NodeBitSet::from_iter(
+                capacity,
+                (0..capacity as u32).filter(|_| next() % 3 != 0).map(NodeId),
+            );
+            let sparse = NodeBitSet::from_iter(
+                capacity,
+                (0..capacity as u32).filter(|i| i % 67 == 0).map(NodeId),
+            );
+            let empty = NodeBitSet::new(capacity);
+            for (a, b) in [
+                (&dense_a, &dense_b),
+                (&dense_a, &sparse),
+                (&sparse, &dense_b),
+                (&dense_a, &empty),
+                (&empty, &sparse),
+            ] {
+                assert_eq!(a.intersect_count(b), scalar(a, b), "cap {capacity}");
+                assert_eq!(
+                    a.intersect_count(b),
+                    b.intersect_count(a),
+                    "cap {capacity} commutes"
+                );
+            }
+            assert_eq!(dense_a.intersect_count(&dense_a), dense_a.len());
         }
     }
 

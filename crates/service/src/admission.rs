@@ -116,12 +116,34 @@ impl std::fmt::Display for ShedReason {
 /// behaviour. The default is **unbounded** (`usize::MAX` everywhere) so
 /// existing callers see no behaviour change; production deployments set
 /// explicit bounds via [`ServiceConfig`].
+///
+/// Since the planner's queue became sharded, `max_queue_depth` and
+/// eviction scans are interpreted **per dispatch shard** (with one
+/// shard this is exactly the old global meaning), while
+/// `max_total_queue_depth` optionally caps the whole service.
+/// `max_dispatch_burst` is the cross-shard fairness bound: one
+/// dispatcher turn runs at most that many members of one group before
+/// re-queueing the rest behind already-waiting groups.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdmissionPolicy {
-    /// Maximum requests queued across all pending planner groups.
+    /// Maximum requests queued across the pending groups of **one
+    /// planner shard**. Eviction under this bound also stays within the
+    /// shard (requests never displace work in another dispatch lane).
     pub max_queue_depth: usize,
+    /// Maximum admitted-but-unresolved requests across **all** shards.
+    /// Violations always shed the incoming request — there is no
+    /// cross-shard eviction, because touching another lane's queue
+    /// would serialize the lanes on each other.
+    pub max_total_queue_depth: usize,
     /// Maximum members in one coalescing group.
     pub max_group_size: usize,
+    /// Maximum group members one dispatcher turn executes before the
+    /// remainder is re-queued as a fresh group *behind* every group
+    /// already waiting in the shard — the bound on how long a hot key
+    /// can make a cold key wait. Coalescing survives the split: the
+    /// re-queued members score filter-cache hits, so the burst identity
+    /// `Σhits + Σcoalesced == N − 1` is unchanged.
+    pub max_dispatch_burst: usize,
     /// Maximum threads allowed to block on one in-flight filter build
     /// (the cache's dedup table); the excess is shed instead of piling
     /// onto a single build's completion.
@@ -134,7 +156,9 @@ impl Default for AdmissionPolicy {
     fn default() -> Self {
         AdmissionPolicy {
             max_queue_depth: usize::MAX,
+            max_total_queue_depth: usize::MAX,
             max_group_size: usize::MAX,
+            max_dispatch_burst: usize::MAX,
             max_dedup_waiters: usize::MAX,
             shed: ShedMode::default(),
         }
@@ -142,15 +166,28 @@ impl Default for AdmissionPolicy {
 }
 
 impl AdmissionPolicy {
-    /// Bound the total planner queue depth (clamped to ≥ 1).
+    /// Bound one planner shard's queue depth (clamped to ≥ 1).
     pub fn max_queue_depth(mut self, n: usize) -> Self {
         self.max_queue_depth = n.max(1);
+        self
+    }
+
+    /// Bound the service-wide admitted-but-unresolved request count
+    /// across all shards (clamped to ≥ 1).
+    pub fn max_total_queue_depth(mut self, n: usize) -> Self {
+        self.max_total_queue_depth = n.max(1);
         self
     }
 
     /// Bound one coalescing group's size (clamped to ≥ 1).
     pub fn max_group_size(mut self, n: usize) -> Self {
         self.max_group_size = n.max(1);
+        self
+    }
+
+    /// Bound one dispatcher turn's group burst (clamped to ≥ 1).
+    pub fn max_dispatch_burst(mut self, n: usize) -> Self {
+        self.max_dispatch_burst = n.max(1);
         self
     }
 
@@ -221,42 +258,50 @@ fn fire(counter: &AtomicU64, every: u64) -> bool {
 /// scratch/pool parking caps that used to be hard-coded constants, and
 /// the chaos-testing fault plan. Pass to
 /// [`NetEmbedService::with_config`](crate::NetEmbedService::with_config).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServiceConfig {
-    /// Warm scratches parked between prepared queries (was the
-    /// hard-coded `MAX_PARKED_SCRATCHES = 8`).
-    pub max_parked_scratches: usize,
+    /// Warm scratches parked between prepared queries. `None` (the
+    /// default) is **adaptive**: the service derives the cap from its
+    /// shard count and the observed peak of concurrently leased
+    /// scratches, never below the historical fixed cap of 8 (see
+    /// [`NetEmbedService::effective_max_parked_scratches`](crate::NetEmbedService::effective_max_parked_scratches)).
+    /// An explicit `Some` value is authoritative.
+    pub max_parked_scratches: Option<usize>,
     /// A scratch whose worker pool exceeds this many threads is dropped
-    /// at check-in instead of parked (was the hard-coded
-    /// `MAX_PARKED_POOL_THREADS = 32`).
-    pub max_parked_pool_threads: usize,
+    /// at check-in instead of parked. `None` (the default) is adaptive
+    /// like `max_parked_scratches`, never below the historical fixed
+    /// cap of 32; an explicit `Some` value is authoritative.
+    pub max_parked_pool_threads: Option<usize>,
+    /// Number of planner dispatch shards. `None` (the default) resolves
+    /// at service construction: the `NETEMBED_PLANNER_SHARDS`
+    /// environment variable if set, else the machine's available
+    /// parallelism (capped at 8). An explicit `Some` always wins over
+    /// the environment, so tests that pin a shard count stay pinned
+    /// under CI matrices that export the variable.
+    pub planner_shards: Option<usize>,
     /// Queue bounds and shed behaviour.
     pub admission: AdmissionPolicy,
     /// Chaos fault injection (disabled by default).
     pub faults: FaultPlan,
 }
 
-impl Default for ServiceConfig {
-    fn default() -> Self {
-        ServiceConfig {
-            max_parked_scratches: 8,
-            max_parked_pool_threads: 32,
-            admission: AdmissionPolicy::default(),
-            faults: FaultPlan::default(),
-        }
-    }
-}
-
 impl ServiceConfig {
-    /// Set the parked-scratch cap.
+    /// Set an explicit (authoritative) parked-scratch cap.
     pub fn max_parked_scratches(mut self, n: usize) -> Self {
-        self.max_parked_scratches = n;
+        self.max_parked_scratches = Some(n);
         self
     }
 
-    /// Set the parked-pool-thread cap (clamped to ≥ 1).
+    /// Set an explicit parked-pool-thread cap (clamped to ≥ 1).
     pub fn max_parked_pool_threads(mut self, n: usize) -> Self {
-        self.max_parked_pool_threads = n.max(1);
+        self.max_parked_pool_threads = Some(n.max(1));
+        self
+    }
+
+    /// Pin the planner shard count (clamped to ≥ 1). One shard
+    /// reproduces the pre-sharding fully-serialized dispatch exactly.
+    pub fn planner_shards(mut self, n: usize) -> Self {
+        self.planner_shards = Some(n.max(1));
         self
     }
 
@@ -292,6 +337,15 @@ impl ShedCounters {
     pub fn total(&self) -> u64 {
         self.queue_full + self.group_full + self.deadline_hopeless + self.dedup_waiters_full
     }
+
+    /// Accumulate another counter block into this one — the roll-up
+    /// primitive for per-shard telemetry.
+    pub fn merge(&mut self, other: &ShedCounters) {
+        self.queue_full += other.queue_full;
+        self.group_full += other.group_full;
+        self.deadline_hopeless += other.deadline_hopeless;
+        self.dedup_waiters_full += other.dedup_waiters_full;
+    }
 }
 
 /// EWMA smoothing: `new = old − old/4 + sample/4` (α = ¼) — reactive
@@ -299,10 +353,16 @@ impl ShedCounters {
 /// one outlier dispatch doesn't swing admission.
 const EWMA_SHIFT: u32 = 2;
 
-/// The service-wide overload instrumentation: one block of relaxed
-/// atomics shared by every planner of a service (so multiple planners
-/// over one service report one coherent picture). All counters are
-/// lifetime totals; `queue_depth` is a gauge.
+/// The per-shard overload instrumentation: one block of relaxed
+/// atomics per planner dispatch shard, shared by every planner of a
+/// service (so multiple planners over one service report one coherent
+/// per-lane picture; the service-wide view is the bucket-wise roll-up
+/// across shards, computed in
+/// [`telemetry`](crate::NetEmbedService::telemetry)). All counters are
+/// lifetime totals; `queue_depth` is a gauge. The ledger identity
+/// `accepted + shed == submitted` holds **per shard** — every request
+/// is routed to exactly one shard and all of its counter traffic stays
+/// there — and therefore also in the roll-up.
 #[derive(Debug, Default)]
 pub(crate) struct OverloadStats {
     submitted: AtomicU64,
@@ -441,20 +501,64 @@ mod tests {
     fn policy_builder_clamps_and_sets() {
         let p = AdmissionPolicy::default()
             .max_queue_depth(0)
+            .max_total_queue_depth(0)
             .max_group_size(0)
+            .max_dispatch_burst(0)
             .max_dedup_waiters(3)
             .shed(ShedMode::DegradeInconclusive);
         assert_eq!(p.max_queue_depth, 1, "zero depth would deadlock; clamp");
+        assert_eq!(p.max_total_queue_depth, 1);
         assert_eq!(p.max_group_size, 1);
+        assert_eq!(p.max_dispatch_burst, 1, "zero burst would never dispatch");
         assert_eq!(p.max_dedup_waiters, 3);
         assert_eq!(p.shed, ShedMode::DegradeInconclusive);
         // The default policy is fully open: no behaviour change for
         // services that never set bounds.
         let open = AdmissionPolicy::default();
         assert_eq!(open.max_queue_depth, usize::MAX);
+        assert_eq!(open.max_total_queue_depth, usize::MAX);
         assert_eq!(open.max_group_size, usize::MAX);
+        assert_eq!(open.max_dispatch_burst, usize::MAX);
         assert_eq!(open.max_dedup_waiters, usize::MAX);
         assert_eq!(open.shed, ShedMode::Reject);
+    }
+
+    #[test]
+    fn service_config_park_caps_and_shards_are_optional() {
+        // Defaults are adaptive (None); builders pin explicit values.
+        let d = ServiceConfig::default();
+        assert_eq!(d.max_parked_scratches, None);
+        assert_eq!(d.max_parked_pool_threads, None);
+        assert_eq!(d.planner_shards, None);
+        let c = ServiceConfig::default()
+            .max_parked_scratches(3)
+            .max_parked_pool_threads(0)
+            .planner_shards(0);
+        assert_eq!(c.max_parked_scratches, Some(3));
+        assert_eq!(c.max_parked_pool_threads, Some(1), "clamped to ≥ 1");
+        assert_eq!(c.planner_shards, Some(1), "clamped to ≥ 1");
+    }
+
+    #[test]
+    fn shed_counters_merge_sums_per_reason() {
+        let mut a = ShedCounters {
+            queue_full: 1,
+            group_full: 2,
+            deadline_hopeless: 3,
+            dedup_waiters_full: 4,
+        };
+        let b = ShedCounters {
+            queue_full: 10,
+            group_full: 20,
+            deadline_hopeless: 30,
+            dedup_waiters_full: 40,
+        };
+        a.merge(&b);
+        assert_eq!(a.queue_full, 11);
+        assert_eq!(a.group_full, 22);
+        assert_eq!(a.deadline_hopeless, 33);
+        assert_eq!(a.dedup_waiters_full, 44);
+        assert_eq!(a.total(), 110);
     }
 
     #[test]

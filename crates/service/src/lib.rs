@@ -46,17 +46,23 @@
 //!    once per snapshot and serves both the search and the final
 //!    mapping re-verification.
 //! 3. **planner** (optional, [`NetEmbedService::planner`]) — concurrent
-//!    clients enqueue [`planner::PlannedRequest`]s; pending requests
-//!    with the same grouping key `(host, epoch, query fingerprint,
-//!    constraint)` — exactly a [`FilterKey`] — coalesce into one group
-//!    that is dispatched through **one** prepared pipeline: one
-//!    parse/lint, one compiled problem, one filter build or cache hit
-//!    (pinned for the group), one leased scratch. Per-request deadlines
-//!    and failures stay per-request. Dispatch is waiter-driven and
-//!    serialized, so bursts coalesce by backpressure (group commit)
-//!    with no timing windows; see [`planner`] for the grouping-key
-//!    invariants and the `Σ filter_cache_hits + Σ coalesced_requests
-//!    == N − 1` counter identity.
+//!    clients enqueue [`planner::PlannedRequest`]s. The request's
+//!    grouping key `(host, epoch, query fingerprint, constraint)` —
+//!    exactly a [`FilterKey`] — is **hashed onto one of N dispatch
+//!    shards** ([`NetEmbedService::planner_shards`]); within its shard,
+//!    pending requests with the same key coalesce into one group that
+//!    is dispatched through **one** prepared pipeline: one parse/lint,
+//!    one compiled problem, one filter build or cache hit (pinned for
+//!    the group), one leased scratch. Per-request deadlines and
+//!    failures stay per-request. Dispatch is waiter-driven and
+//!    serialized **per shard**, so same-key bursts coalesce by
+//!    backpressure (group commit) with no timing windows, while
+//!    distinct-key groups in distinct shards dispatch concurrently,
+//!    each on its own leased scratch/pool; see [`planner`] for the
+//!    hash → shard → group → dispatch pipeline, the fairness/ordering
+//!    guarantees (per-shard FIFO, bounded dispatch bursts) and the
+//!    `Σ filter_cache_hits + Σ coalesced_requests == N − 1` counter
+//!    identity.
 //! 4. **pool** — the run executes on a leased warm [`EmbedScratch`]
 //!    whose persistent worker pool parks threads between runs
 //!    ([`SearchStats::pool_reuse`](netembed::SearchStats) proves warm
@@ -73,19 +79,23 @@
 //! unbounded). Enforcement happens at the two places a request can
 //! start waiting:
 //!
-//! * **`Planner::submit`** — before a request takes a queue slot it
-//!   must clear three checks, in order: its deadline must survive the
-//!   estimated queue wait (pending groups × an EWMA of recent group
-//!   dispatch times — a request that would die in the queue is
-//!   answered *now* as a timed-out `Inconclusive` instead of wasting a
-//!   slot); total queue depth must be under `max_queue_depth`; and its
-//!   coalescing group must be under `max_group_size`. When a bound is
-//!   hit, admission first tries to **evict** a strictly
-//!   lower-[`Priority`] queued request (newest arrival among the
-//!   lowest priority) to make room — so reservation commits and
-//!   monitor re-checks submitted at [`Priority::High`] displace
-//!   speculative [`Priority::Low`] probes, never the other way
-//!   around. The displaced (or refused) request resolves per
+//! * **`Planner::submit`** — before a request takes a queue slot in
+//!   its dispatch shard it must clear four checks, in order: its
+//!   deadline must survive the estimated queue wait (the shard's
+//!   pending groups × that shard's EWMA of recent group dispatch times
+//!   — a request that would die in the queue is answered *now* as a
+//!   timed-out `Inconclusive` instead of wasting a slot); the
+//!   service-wide gauge must be under `max_total_queue_depth` (if
+//!   set); the shard's queue depth must be under `max_queue_depth`;
+//!   and its coalescing group must be under `max_group_size`. When a
+//!   per-shard or per-group bound is hit, admission first tries to
+//!   **evict** a strictly lower-[`Priority`] queued request of the
+//!   same shard (newest arrival among the lowest priority) to make
+//!   room — so reservation commits and monitor re-checks submitted at
+//!   [`Priority::High`] displace speculative [`Priority::Low`] probes,
+//!   never the other way around; the global cap always sheds the
+//!   incoming request (lanes never touch each other's queues). The
+//!   displaced (or refused) request resolves per
 //!   [`ShedMode`]: a deterministic
 //!   [`ServiceError::Overloaded`] ([`ShedMode::Reject`]) or a fast
 //!   timed-out `Inconclusive` ([`ShedMode::DegradeInconclusive`]).
@@ -104,24 +114,32 @@
 //! ```text
 //!                         submit / submit_with
 //!                                │
+//!                                ▼
+//!                      ROUTED  hash(FilterKey) % N picks the
+//!                              dispatch shard; every later state,
+//!                              counter and wakeup stays in that lane
+//!                                │
 //!                ┌───────────────┼─────────────────────┐
 //!                │ (admitted)    │ (bound hit,          │ (deadline
 //!                │               │  no victim)          │  hopeless)
 //!                ▼               ▼                      ▼
 //!            QUEUED         SHED-AT-SUBMIT        SHED-HOPELESS
-//!          gauge += 1      Reject ⇒ Err(Overloaded)  always resolves
+//!       shard gauge += 1   Reject ⇒ Err(Overloaded)  always resolves
 //!                │         Degrade ⇒ pre-resolved    as pre-resolved
 //!                │           timed-out Inconclusive  timed-out ticket
 //!    ┌───────────┼──────────────┐
-//!    │           │              │ (higher-priority arrival,
-//!    │           │              │  this is the victim)
+//!    │           │              │ (higher-priority arrival
+//!    │           │              │  in this shard, this is
+//!    │           │              │  the victim)
 //!    │           │              ▼
 //!    │           │          EVICTED   gauge −= 1, accepted → shed;
 //!    │           │                    resolves per ShedMode
 //!    │           │ (ticket dropped while queued)
 //!    │           ▼
 //!    │       UNLINKED    gauge −= 1
-//!    │ (group dispatch begins)
+//!    │ (a waiter of this shard becomes its dispatcher and pops the
+//!    │  group; a burst beyond max_dispatch_burst re-queues its
+//!    │  remainder behind the shard's waiting groups)
 //!    ▼
 //! DISPATCHING ── ticket dropped mid-dispatch ──► CANCEL-MARKED
 //!    │                                           gauge −= 1; the
@@ -133,10 +151,13 @@
 //!                the slot was already released at cancel time)
 //! ```
 //!
-//! Every path decrements the queue-depth gauge exactly once, so the
-//! telemetry identity `Σaccepted + Σshed == Σsubmitted` (and gauge = 0
-//! at drain) holds under arbitrary interleavings — `tests/chaos.rs`
-//! hammers exactly this.
+//! All gauges and counters above are the routed shard's. Every path
+//! decrements that shard's queue-depth gauge exactly once, so the
+//! ledger identity `Σaccepted + Σshed == Σsubmitted` (and gauge = 0 at
+//! drain) holds **per shard** under arbitrary interleavings — and
+//! therefore also in the global roll-up
+//! ([`ServiceTelemetry::shards`]) — `tests/chaos.rs` hammers exactly
+//! this at both granularities.
 //!
 //! [`NetEmbedService::telemetry`] exposes the parked-scratch/pool
 //! counters plus the overload block (queue-depth gauge, per-reason
@@ -173,6 +194,7 @@ use netembed::{
 use netgraph::Network;
 use parking_lot::Mutex;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A query submitted to the service.
 #[derive(Debug, Clone)]
@@ -315,6 +337,27 @@ pub(crate) fn parse_and_lint(constraint: &str) -> Result<cexpr::Expr, ServiceErr
     Ok(expr)
 }
 
+/// Resolve the planner shard count at service construction: an
+/// explicit [`ServiceConfig::planner_shards`] always wins; otherwise
+/// the `NETEMBED_PLANNER_SHARDS` environment variable (how CI pins the
+/// sharded stress matrix); otherwise the machine's available
+/// parallelism, capped at 8 — more dispatch lanes than cores only adds
+/// lock traffic.
+fn resolve_planner_shards(config: &ServiceConfig) -> usize {
+    if let Some(n) = config.planner_shards {
+        return n.max(1);
+    }
+    if let Ok(raw) = std::env::var("NETEMBED_PLANNER_SHARDS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8)
+}
+
 /// The mapping service.
 pub struct NetEmbedService {
     registry: ModelRegistry,
@@ -325,7 +368,18 @@ pub struct NetEmbedService {
     /// single pool.
     scratches: Mutex<Vec<EmbedScratch>>,
     config: ServiceConfig,
-    overload: admission::OverloadStats,
+    /// Dispatch-shard count, resolved once at construction (see
+    /// [`resolve_planner_shards`]); every planner of this service gets
+    /// this many lanes, matching `overload.len()`.
+    planner_shards: usize,
+    /// One overload ledger per planner dispatch shard; the service-wide
+    /// picture is the roll-up ([`NetEmbedService::telemetry`]).
+    overload: Box<[admission::OverloadStats]>,
+    /// Scratches currently leased out, and the lifetime peak — the
+    /// observed-concurrency signal the adaptive parking caps are driven
+    /// from (see [`NetEmbedService::effective_max_parked_scratches`]).
+    leases_out: AtomicUsize,
+    lease_peak: AtomicUsize,
     faults: admission::FaultInjector,
 }
 
@@ -337,15 +391,21 @@ impl NetEmbedService {
     }
 
     /// A service with explicit per-service knobs: admission bounds and
-    /// shed mode, parked-scratch/pool caps, and (for chaos testing) a
-    /// fault-injection plan.
+    /// shed mode, parked-scratch/pool caps, planner shard count, and
+    /// (for chaos testing) a fault-injection plan.
     pub fn with_config(config: ServiceConfig) -> Self {
+        let planner_shards = resolve_planner_shards(&config);
         NetEmbedService {
             registry: ModelRegistry::new(),
             cache: FilterCache::new().with_max_waiters(config.admission.max_dedup_waiters),
             scratches: Mutex::new(Vec::new()),
             config,
-            overload: admission::OverloadStats::default(),
+            planner_shards,
+            overload: (0..planner_shards)
+                .map(|_| admission::OverloadStats::default())
+                .collect(),
+            leases_out: AtomicUsize::new(0),
+            lease_peak: AtomicUsize::new(0),
             faults: admission::FaultInjector::new(config.faults),
         }
     }
@@ -365,26 +425,82 @@ impl NetEmbedService {
         &self.config
     }
 
-    pub(crate) fn overload(&self) -> &admission::OverloadStats {
-        &self.overload
+    /// Number of planner dispatch shards (resolved at construction:
+    /// explicit config, else `NETEMBED_PLANNER_SHARDS`, else available
+    /// parallelism capped at 8). Every [`Planner`] created from this
+    /// service has exactly this many lanes.
+    pub fn planner_shards(&self) -> usize {
+        self.planner_shards
+    }
+
+    /// The overload ledger of one dispatch shard.
+    pub(crate) fn overload_shard(&self, shard: usize) -> &admission::OverloadStats {
+        &self.overload[shard]
+    }
+
+    /// Admitted-but-unresolved requests across all shards right now
+    /// (the sum of the per-shard queue-depth gauges) — what the
+    /// service-wide `max_total_queue_depth` cap is checked against.
+    pub(crate) fn total_queue_depth(&self) -> usize {
+        self.overload.iter().map(|o| o.queue_depth()).sum()
     }
 
     pub(crate) fn faults(&self) -> &admission::FaultInjector {
         &self.faults
     }
 
+    /// The parked-scratch cap in force right now: an explicit
+    /// [`ServiceConfig::max_parked_scratches`] verbatim, else adaptive —
+    /// enough parked scratches to re-lease one to every dispatch shard
+    /// *and* to the peak number of concurrent leases ever observed,
+    /// never below the historical fixed cap of 8 (and capped at 64 so a
+    /// one-off spike cannot pin unbounded memory).
+    pub fn effective_max_parked_scratches(&self) -> usize {
+        self.config.max_parked_scratches.unwrap_or_else(|| {
+            let observed = self
+                .planner_shards
+                .max(self.lease_peak.load(Ordering::Relaxed));
+            observed.clamp(8, 64)
+        })
+    }
+
+    /// The parked-pool-thread cap in force right now: an explicit
+    /// [`ServiceConfig::max_parked_pool_threads`] verbatim, else
+    /// adaptive — scaled off the same observed-concurrency signal as
+    /// [`NetEmbedService::effective_max_parked_scratches`] (8 threads
+    /// per concurrent lease, the historical per-scratch budget), never
+    /// below the historical fixed cap of 32 and capped at 256.
+    pub fn effective_max_parked_pool_threads(&self) -> usize {
+        self.config.max_parked_pool_threads.unwrap_or_else(|| {
+            let observed = self
+                .planner_shards
+                .max(self.lease_peak.load(Ordering::Relaxed));
+            (8 * observed).clamp(32, 256)
+        })
+    }
+
     pub(crate) fn checkout_scratch(&self) -> EmbedScratch {
+        let now = self.leases_out.fetch_add(1, Ordering::Relaxed) + 1;
+        self.lease_peak.fetch_max(now, Ordering::Relaxed);
         self.scratches.lock().pop().unwrap_or_default()
     }
 
     pub(crate) fn checkin_scratch(&self, scratch: EmbedScratch) {
-        if scratch.parallel.pool().thread_count() > self.config.max_parked_pool_threads {
+        // Saturating decrement: tests (and future callers) may check in
+        // a scratch they never checked out, and a wrapped gauge would
+        // poison the adaptive caps.
+        let _ = self
+            .leases_out
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                Some(n.saturating_sub(1))
+            });
+        if scratch.parallel.pool().thread_count() > self.effective_max_parked_pool_threads() {
             // Dropping the scratch drops its pool, joining the threads:
             // outlier thread counts don't stay resident.
             return;
         }
         let mut parked = self.scratches.lock();
-        if parked.len() < self.config.max_parked_scratches {
+        if parked.len() < self.effective_max_parked_scratches() {
             parked.push(scratch);
         }
     }
@@ -459,19 +575,45 @@ impl Default for NetEmbedService {
     }
 }
 
+/// One dispatch shard's slice of the overload telemetry. The ledger
+/// identity `accepted + shed.total() == submitted` holds per shard
+/// (when the shard's queue is drained) because every request's counter
+/// traffic stays in the shard its key hashed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTelemetry {
+    /// Admitted-but-unresolved requests in this shard right now.
+    pub queue_depth: usize,
+    /// Requests ever routed to this shard (past host/constraint
+    /// validation).
+    pub submitted: u64,
+    /// Requests admitted to this shard's queue and not later evicted.
+    pub accepted: u64,
+    /// Requests this shard shed, by reason.
+    pub shed: ShedCounters,
+    /// Enqueue→dispatch waits observed in this shard.
+    pub queue_wait: HistogramSnapshot,
+    /// Per-member dispatch (run) latencies observed in this shard.
+    pub dispatch_latency: HistogramSnapshot,
+}
+
 /// Point-in-time telemetry of a service: the pool/scratch block (the
 /// ROADMAP's "scratch-lease tuning" observability half — how much warm
-/// capacity is parked, and whether steady-state traffic is still
-/// spawning threads; leased-out scratches are invisible by design) plus
-/// the overload block (queue-depth gauge, admission counters, shed
-/// counters by reason, and queue-wait / dispatch-latency histograms).
-/// The overload counters satisfy `accepted + shed.total() == submitted`
-/// whenever the planner queue is drained.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// capacity is parked, whether steady-state traffic is still spawning
+/// threads, and the peak number of concurrently leased scratches that
+/// drives the adaptive parking caps) plus the overload block
+/// (queue-depth gauge, admission counters, shed counters by reason,
+/// and queue-wait / dispatch-latency histograms). The overload fields
+/// are **roll-ups** of the per-shard ledgers in
+/// [`ServiceTelemetry::shards`]: counters sum, histograms merge
+/// bucket-wise — so `accepted + shed.total() == submitted` holds
+/// globally because it holds in every shard. One snapshot is not
+/// atomic across shards: probe at quiescent points for exact
+/// identities.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceTelemetry {
     /// Warm scratches currently parked (bounded by
-    /// [`ServiceConfig::max_parked_scratches`]; leased ones are not
-    /// counted).
+    /// [`NetEmbedService::effective_max_parked_scratches`]; leased ones
+    /// are not counted).
     pub parked_scratches: usize,
     /// Live worker threads across the parked scratches' pools.
     pub pool_threads: usize,
@@ -479,20 +621,33 @@ pub struct ServiceTelemetry {
     /// between two probes ⇒ the traffic in between ran entirely on
     /// warm threads.
     pub spawned_total: u64,
-    /// Admitted-but-unresolved planner requests right now (gauge).
+    /// Peak number of simultaneously leased-out scratches over the
+    /// service's lifetime — the observed-concurrency signal the
+    /// adaptive parking caps are derived from.
+    pub scratch_lease_peak: usize,
+    /// Number of planner dispatch shards (the length of `shards`).
+    pub planner_shards: usize,
+    /// Admitted-but-unresolved planner requests right now (gauge,
+    /// summed across shards).
     pub queue_depth: usize,
     /// Planner requests ever submitted (past host/constraint
-    /// validation).
+    /// validation), summed across shards.
     pub submitted: u64,
-    /// Planner requests admitted to the queue and not later evicted.
+    /// Planner requests admitted to a queue and not later evicted,
+    /// summed across shards.
     pub accepted: u64,
     /// Requests shed, by reason (admission refusals, evictions,
-    /// deadline-hopeless sheds, dedup-waiter overflow).
+    /// deadline-hopeless sheds, dedup-waiter overflow), summed across
+    /// shards.
     pub shed: ShedCounters,
-    /// Fixed-bucket histogram of enqueue→dispatch waits.
+    /// Fixed-bucket histogram of enqueue→dispatch waits (merged across
+    /// shards).
     pub queue_wait: HistogramSnapshot,
-    /// Fixed-bucket histogram of per-member dispatch (run) latencies.
+    /// Fixed-bucket histogram of per-member dispatch (run) latencies
+    /// (merged across shards).
     pub dispatch_latency: HistogramSnapshot,
+    /// The per-shard ledgers the fields above roll up.
+    pub shards: Vec<ShardTelemetry>,
 }
 
 impl NetEmbedService {
@@ -500,6 +655,26 @@ impl NetEmbedService {
     /// field semantics.
     pub fn telemetry(&self) -> ServiceTelemetry {
         let parked = self.scratches.lock();
+        let shards: Vec<ShardTelemetry> = self
+            .overload
+            .iter()
+            .map(|o| ShardTelemetry {
+                queue_depth: o.queue_depth(),
+                submitted: o.submitted(),
+                accepted: o.accepted(),
+                shed: o.shed_counters(),
+                queue_wait: o.queue_wait_snapshot(),
+                dispatch_latency: o.dispatch_snapshot(),
+            })
+            .collect();
+        let mut shed = ShedCounters::default();
+        let mut queue_wait = HistogramSnapshot::default();
+        let mut dispatch_latency = HistogramSnapshot::default();
+        for s in &shards {
+            shed.merge(&s.shed);
+            queue_wait.merge(&s.queue_wait);
+            dispatch_latency.merge(&s.dispatch_latency);
+        }
         ServiceTelemetry {
             parked_scratches: parked.len(),
             pool_threads: parked
@@ -510,12 +685,15 @@ impl NetEmbedService {
                 .iter()
                 .map(|s| s.parallel.pool().spawned_total())
                 .sum(),
-            queue_depth: self.overload.queue_depth(),
-            submitted: self.overload.submitted(),
-            accepted: self.overload.accepted(),
-            shed: self.overload.shed_counters(),
-            queue_wait: self.overload.queue_wait_snapshot(),
-            dispatch_latency: self.overload.dispatch_snapshot(),
+            scratch_lease_peak: self.lease_peak.load(Ordering::Relaxed),
+            planner_shards: self.planner_shards,
+            queue_depth: shards.iter().map(|s| s.queue_depth).sum(),
+            submitted: shards.iter().map(|s| s.submitted).sum(),
+            accepted: shards.iter().map(|s| s.accepted).sum(),
+            shed,
+            queue_wait,
+            dispatch_latency,
+            shards,
         }
     }
 }
@@ -560,6 +738,49 @@ mod tests {
             .unwrap();
         assert_eq!(resp.mappings().len(), 2);
         assert!(matches!(resp.outcome, Outcome::Complete(_)));
+    }
+
+    #[test]
+    fn adaptive_scratch_caps_track_shards_and_lease_peak() {
+        // Explicit config is authoritative — the adaptive signal never
+        // overrides it.
+        let svc = NetEmbedService::with_config(
+            ServiceConfig::default()
+                .max_parked_scratches(3)
+                .max_parked_pool_threads(40)
+                .planner_shards(6),
+        );
+        assert_eq!(svc.effective_max_parked_scratches(), 3);
+        assert_eq!(svc.effective_max_parked_pool_threads(), 40);
+
+        // Adaptive defaults hold the historical floors at low
+        // concurrency…
+        let svc = NetEmbedService::with_config(ServiceConfig::default().planner_shards(2));
+        assert_eq!(svc.effective_max_parked_scratches(), 8);
+        assert_eq!(svc.effective_max_parked_pool_threads(), 32);
+
+        // …scale with the shard count once it exceeds the floor…
+        let svc = NetEmbedService::with_config(ServiceConfig::default().planner_shards(12));
+        assert_eq!(svc.effective_max_parked_scratches(), 12);
+        assert_eq!(svc.effective_max_parked_pool_threads(), 96);
+
+        // …and with the observed peak of concurrent scratch leases,
+        // which persists after the leases return.
+        let svc = NetEmbedService::with_config(ServiceConfig::default().planner_shards(1));
+        let held: Vec<_> = (0..20).map(|_| svc.checkout_scratch()).collect();
+        for scratch in held {
+            svc.checkin_scratch(scratch);
+        }
+        assert_eq!(svc.effective_max_parked_scratches(), 20);
+        assert_eq!(svc.effective_max_parked_pool_threads(), 160);
+        assert_eq!(svc.telemetry().scratch_lease_peak, 20);
+
+        // Clamped: a one-off spike cannot pin unbounded memory.
+        let svc = NetEmbedService::with_config(ServiceConfig::default().planner_shards(1));
+        let held: Vec<_> = (0..100).map(|_| svc.checkout_scratch()).collect();
+        drop(held);
+        assert_eq!(svc.effective_max_parked_scratches(), 64);
+        assert_eq!(svc.effective_max_parked_pool_threads(), 256);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Cross-request planner: a coalescing request queue over
+//! Cross-request planner: a coalescing, **sharded** request queue over
 //! [`PreparedQuery`](crate::PreparedQuery)'s machinery.
 //!
 //! PR 4 made amortization *session*-scoped: one `PreparedQuery` handle
@@ -44,21 +44,59 @@
 //! part of the key: they don't affect the shared stages, only the
 //! per-member run.
 //!
-//! ## Dispatch model: waiter-driven group commit
+//! ## Dispatch model: sharded waiter-driven group commit
 //!
-//! The planner owns **no threads**. Dispatch is driven by whichever
-//! ticket is blocked in [`Ticket::wait`]: one waiter at a time becomes
-//! the *dispatcher*, pops the oldest group and executes it for
-//! everyone; the rest park until their result lands or the dispatcher
-//! role frees up. Serializing dispatch is what makes coalescing emerge
-//! under load with no timing windows (classic group commit): while one
-//! group runs, a burst of equivalent arrivals accumulates into a single
-//! next group, which then shares one pipeline. A burst of N equivalent
+//! The planner owns **no threads**. Its queue is split into `N`
+//! *dispatch shards* (`N` =
+//! [`NetEmbedService::planner_shards`]): a request's [`FilterKey`] is
+//! hashed once at submit and routes the request — and every counter,
+//! wait and wakeup it will ever touch — to exactly one shard. Each
+//! shard is the old planner in miniature: its own pending-group list,
+//! its own condvar, its own `dispatching` flag, and its own
+//! [`OverloadStats`](crate::ServiceTelemetry) block (queue-depth gauge,
+//! shed counters, dispatch-latency EWMA, histograms).
+//!
+//! Within a shard, dispatch is driven by whichever ticket is blocked in
+//! [`Ticket::wait`]: one waiter at a time becomes that shard's
+//! *dispatcher*, pops the oldest group and executes it for everyone;
+//! the rest park until their result lands or the dispatcher role frees
+//! up. Serializing dispatch **per shard** is what makes coalescing
+//! emerge under load with no timing windows (classic group commit):
+//! while one group runs, a burst of equivalent arrivals accumulates
+//! into a single next group in the same shard. A burst of N equivalent
 //! concurrent requests against a cold cache thus performs exactly one
 //! filter build, provable from counters:
 //! `Σ filter_cache_hits + Σ coalesced_requests == N − 1`
 //! over the N responses, under **every** interleaving (each request
 //! either builds, hits the shared cache, or rides the group pin).
+//!
+//! **Across** shards nothing serializes: groups with distinct keys that
+//! hash to distinct shards dispatch concurrently, each dispatcher
+//! leasing its own scratch/pool from the service
+//! ([`Planner::peak_concurrent_dispatchers`] is the proof counter).
+//! With one shard the planner reproduces the pre-sharding fully
+//! serialized dispatch exactly — same ordering, same coalescing, same
+//! counters.
+//!
+//! ## Fairness and ordering guarantees
+//!
+//! * **Within a shard** groups dispatch in creation order (FIFO; each
+//!   group carries a monotone enqueue sequence number, and a
+//!   burst-split remainder re-enters the queue *behind* every group
+//!   already waiting). A hot key therefore cannot indefinitely delay a
+//!   cold key in its shard:
+//!   [`AdmissionPolicy::max_dispatch_burst`](crate::AdmissionPolicy)
+//!   bounds how many members of one group a single dispatcher turn may
+//!   execute before the remainder is re-queued as a fresh group behind
+//!   the cold one. The cold group's extra wait is bounded by one burst,
+//!   not by the hot group's full backlog. Coalescing survives the
+//!   split: re-queued members score filter-cache hits, so the burst
+//!   identity above is unchanged.
+//! * **Across shards** there is no ordering relation at all — that is
+//!   the point. Admission bounds (`max_queue_depth`, eviction scans)
+//!   are per shard, so one flooded lane sheds its own traffic and
+//!   leaves the others untouched; `max_total_queue_depth` optionally
+//!   caps the sum.
 //!
 //! ## Deadlines and cancellation
 //!
@@ -78,14 +116,17 @@
 //!
 //! Before a request takes a queue slot it passes the service's
 //! [`AdmissionPolicy`](crate::AdmissionPolicy): a deadline-hopeless check (estimated queue wait
-//! — pending groups × a dispatch-latency EWMA — already exceeds the
-//! request's budget), the total queue-depth bound, and the per-group
-//! size bound. A bound violation first tries to **evict** a strictly
-//! lower-[`Priority`] queued member (newest arrival among the lowest
-//! priority — [`Planner::submit_with`] sets the priority, plain
+//! — the shard's pending groups × its dispatch-latency EWMA — already
+//! exceeds the request's budget), the optional service-wide
+//! `max_total_queue_depth` cap, the per-shard queue-depth bound, and
+//! the per-group size bound. A per-shard or per-group bound violation
+//! first tries to **evict** a strictly lower-[`Priority`] queued member
+//! *of the same shard* (newest arrival among the lowest priority —
+//! [`Planner::submit_with`] sets the priority, plain
 //! [`Planner::submit`] is `Normal`); if none exists the incoming
-//! request itself is shed. Shed requests resolve per
-//! [`ShedMode`]: a deterministic
+//! request itself is shed. The global cap always sheds the incoming
+//! request — lanes never reach into each other's queues. Shed requests
+//! resolve per [`ShedMode`]: a deterministic
 //! [`ServiceError::Overloaded`] or a fast timed-out `Inconclusive`.
 //! The full lifecycle/state diagram lives in the crate docs
 //! ([`crate`], "Admission, priority and load shedding").
@@ -96,8 +137,10 @@ use crate::{NetEmbedService, QueryRequest, QueryResponse, ServiceError};
 use cexpr::Expr;
 use netembed::{FilterMatrix, Options, Outcome, Problem, SearchStats};
 use netgraph::Network;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -118,18 +161,27 @@ struct Member {
 
 /// Pending requests sharing one grouping key, model snapshot and parsed
 /// constraint — dispatched together through one prepared pipeline.
+/// The query and expr are `Arc`ed so a burst-split remainder re-queues
+/// without re-cloning a possibly large network or re-parsing.
 struct PendingGroup {
     key: FilterKey,
     /// Model snapshot captured when the group was created; every member
     /// runs against exactly this version (see module docs).
     model: Arc<Network>,
-    query: Network,
+    query: Arc<Network>,
     /// Parsed + type-linted once per group, at creation.
-    expr: Expr,
+    expr: Arc<Expr>,
+    /// Planner-wide monotone creation sequence: the FIFO tie-breaker
+    /// (burst-split remainders get a fresh, higher sequence, which is
+    /// what puts them behind already-waiting cold groups).
+    seq: u64,
     members: Vec<Member>,
 }
 
-struct PlannerState {
+/// One dispatch lane's mutable state — the old whole-planner state,
+/// now instantiated once per shard.
+#[derive(Default)]
+struct ShardState {
     /// Open groups in creation (and therefore dispatch) order.
     groups: VecDeque<PendingGroup>,
     /// Delivered results awaiting pickup by their tickets.
@@ -137,46 +189,79 @@ struct PlannerState {
     /// Cancelled ids whose member is currently being dispatched (a
     /// still-queued cancel unlinks the member directly instead).
     cancelled: HashSet<u64>,
-    /// True while some waiter is executing a group; dispatch is
-    /// serialized — that is what makes arrivals coalesce (module docs).
+    /// True while some waiter is executing one of this shard's groups;
+    /// dispatch is serialized *per shard* — that is what makes arrivals
+    /// coalesce (module docs).
     dispatching: bool,
-    next_id: u64,
 }
 
-/// The coalescing cross-request queue. Create one per service with
-/// [`NetEmbedService::planner`]; share it by reference among client
-/// threads ([`Planner::submit`]/[`Planner::run`] take `&self`).
+/// One dispatch shard: its state plus its own condvar, so waiters and
+/// dispatchers of different lanes never wake each other.
+struct Shard {
+    state: Mutex<ShardState>,
+    /// One condvar per shard for everything: result delivery and
+    /// dispatcher-role handoff both go through `notify_all` (waiters
+    /// re-check their own predicate under the shard lock, so wakeups
+    /// are never lost).
+    wake: Condvar,
+}
+
+/// The coalescing, sharded cross-request queue. Create one per service
+/// with [`NetEmbedService::planner`]; share it by reference among
+/// client threads ([`Planner::submit`]/[`Planner::run`] take `&self`).
 pub struct Planner<'svc> {
     svc: &'svc NetEmbedService,
-    state: Mutex<PlannerState>,
-    /// One condvar for everything: result delivery and dispatcher-role
-    /// handoff both go through `notify_all` (waiters re-check their own
-    /// predicate under the state lock, so wakeups are never lost).
-    wake: Condvar,
+    shards: Box<[Shard]>,
+    next_id: AtomicU64,
+    next_seq: AtomicU64,
     groups_dispatched: AtomicU64,
     coalesced_total: AtomicU64,
+    /// Dispatchers currently executing a group (across all shards) and
+    /// the high-water mark — the observable proof that distinct-key
+    /// groups really are in flight simultaneously.
+    dispatchers_in_flight: AtomicUsize,
+    dispatchers_peak: AtomicUsize,
 }
 
 impl NetEmbedService {
     /// A coalescing request queue over this service (see
-    /// [`Planner`]). Cheap; independent planners don't share queues,
-    /// but they do share the service's registry, filter cache (with its
-    /// in-flight build dedup) and scratch pool.
+    /// [`Planner`]), with [`NetEmbedService::planner_shards`] dispatch
+    /// shards. Cheap; independent planners don't share queues, but they
+    /// do share the service's registry, filter cache (with its
+    /// in-flight build dedup), per-shard overload ledgers and scratch
+    /// pool.
     pub fn planner(&self) -> Planner<'_> {
+        let shards = (0..self.planner_shards())
+            .map(|_| Shard {
+                state: Mutex::new(ShardState::default()),
+                wake: Condvar::new(),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         Planner {
             svc: self,
-            state: Mutex::new(PlannerState {
-                groups: VecDeque::new(),
-                results: HashMap::new(),
-                cancelled: HashSet::new(),
-                dispatching: false,
-                next_id: 0,
-            }),
-            wake: Condvar::new(),
+            shards,
+            next_id: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
             groups_dispatched: AtomicU64::new(0),
             coalesced_total: AtomicU64::new(0),
+            dispatchers_in_flight: AtomicUsize::new(0),
+            dispatchers_peak: AtomicUsize::new(0),
         }
     }
+}
+
+/// Route a grouping key to its dispatch shard. `DefaultHasher` with the
+/// default key is deterministic within one process, which is all the
+/// planner needs: the same key always lands in the same shard, so the
+/// coalescing and ledger invariants are per-lane facts.
+fn shard_index_for(key: &FilterKey, shards: usize) -> usize {
+    if shards == 1 {
+        return 0;
+    }
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % shards as u64) as usize
 }
 
 /// Human-readable form of a caught panic payload (the `&str`/`String`
@@ -191,21 +276,38 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Resets the `dispatching` flag (and wakes the queue) if group
-/// execution itself unwinds, so the dispatcher role is never wedged.
-/// Per-member panics never reach this — `execute` catches them and
-/// delivers [`ServiceError::Internal`] to the affected member, so
-/// group-mates always receive their results.
+/// Tracks one dispatcher turn: maintains the in-flight/peak counters
+/// and resets the owning shard's `dispatching` flag (waking its queue)
+/// even if group execution unwinds, so a dispatcher role is never
+/// wedged. Per-member panics never reach the unwind path — `execute`
+/// catches them and delivers [`ServiceError::Internal`] to the affected
+/// member, so group-mates always receive their results.
 struct DispatchGuard<'a, 'svc> {
     planner: &'a Planner<'svc>,
+    shard: usize,
+}
+
+impl<'a, 'svc> DispatchGuard<'a, 'svc> {
+    fn enter(planner: &'a Planner<'svc>, shard: usize) -> Self {
+        let now = planner
+            .dispatchers_in_flight
+            .fetch_add(1, Ordering::Relaxed)
+            + 1;
+        planner.dispatchers_peak.fetch_max(now, Ordering::Relaxed);
+        DispatchGuard { planner, shard }
+    }
 }
 
 impl Drop for DispatchGuard<'_, '_> {
     fn drop(&mut self) {
-        let mut st = lock_state(&self.planner.state);
+        self.planner
+            .dispatchers_in_flight
+            .fetch_sub(1, Ordering::Relaxed);
+        let shard = &self.planner.shards[self.shard];
+        let mut st = lock_state(&shard.state);
         st.dispatching = false;
         drop(st);
-        self.planner.wake.notify_all();
+        shard.wake.notify_all();
     }
 }
 
@@ -213,7 +315,7 @@ impl Drop for DispatchGuard<'_, '_> {
 /// poisoned lock can only mean a panic *between* two bookkeeping steps
 /// — continuing with the inner state is sound (same argument as the
 /// worker pool's lock helper).
-fn lock_state<'a>(m: &'a Mutex<PlannerState>) -> std::sync::MutexGuard<'a, PlannerState> {
+fn lock_state(m: &Mutex<ShardState>) -> std::sync::MutexGuard<'_, ShardState> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -231,12 +333,6 @@ enum Admit {
     /// Fast path only: no open group for the key — parse the
     /// constraint and retry with the group-creation ingredients.
     NoOpenGroup,
-}
-
-fn alloc_id(st: &mut PlannerState) -> u64 {
-    let id = st.next_id;
-    st.next_id += 1;
-    id
 }
 
 /// The canonical shed resolution: a timed-out `Inconclusive` whose
@@ -281,6 +377,43 @@ impl<'svc> Planner<'svc> {
         self.svc
     }
 
+    /// Number of dispatch shards (fixed at planner creation from
+    /// [`NetEmbedService::planner_shards`]).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The dispatch shard this request's grouping key routes to — the
+    /// same shard every equivalent request lands in. Fails like
+    /// [`Planner::submit`] on an unknown host. Exposed so stress
+    /// harnesses and operators can reason about lane placement.
+    pub fn shard_for(&self, request: &PlannedRequest) -> Result<usize, ServiceError> {
+        let (_, epoch) = self
+            .svc
+            .registry()
+            .get(&request.host)
+            .ok_or_else(|| ServiceError::UnknownHost(request.host.clone()))?;
+        let key = FilterKey {
+            host: request.host.clone(),
+            epoch,
+            query_hash: crate::cache::network_fingerprint(&request.query),
+            constraint: request.constraint.clone(),
+        };
+        Ok(shard_index_for(&key, self.shards.len()))
+    }
+
+    /// Dispatchers executing a group right now, across all shards.
+    pub fn dispatchers_in_flight(&self) -> usize {
+        self.dispatchers_in_flight.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of concurrent dispatchers over this planner's
+    /// lifetime — `>= 2` is the counter evidence that distinct-key
+    /// groups really dispatched simultaneously.
+    pub fn peak_concurrent_dispatchers(&self) -> usize {
+        self.dispatchers_peak.load(Ordering::Relaxed)
+    }
+
     /// Enqueue a request at [`Priority::Normal`]; returns a [`Ticket`]
     /// to wait on. Fails fast — before taking a queue slot — on an
     /// unknown host and (for group-creating requests) on a constraint
@@ -298,11 +431,11 @@ impl<'svc> Planner<'svc> {
 
     /// [`Planner::submit`] with an explicit [`Priority`]. Priority only
     /// matters under overload: when an admission bound is hit, a
-    /// strictly lower-priority queued request (newest arrival first) is
-    /// evicted to make room; equal or higher priorities are never
-    /// displaced. Submit control-plane work (reservation commits,
-    /// monitor re-checks) at [`Priority::High`] and speculative probes
-    /// at [`Priority::Low`].
+    /// strictly lower-priority queued request (newest arrival first) of
+    /// the same shard is evicted to make room; equal or higher
+    /// priorities are never displaced. Submit control-plane work
+    /// (reservation commits, monitor re-checks) at [`Priority::High`]
+    /// and speculative probes at [`Priority::Low`].
     pub fn submit_with(
         &self,
         request: &PlannedRequest,
@@ -319,16 +452,17 @@ impl<'svc> Planner<'svc> {
             query_hash: crate::cache::network_fingerprint(&request.query),
             constraint: request.constraint.clone(),
         };
+        let shard = shard_index_for(&key, self.shards.len());
         let enqueued = Instant::now();
         // Fast path: admit into an existing open group. Only cheap work
-        // under the queue lock.
+        // under the shard lock.
         {
-            let mut st = lock_state(&self.state);
-            match self.admit(&mut st, &key, request, priority, enqueued, None) {
+            let mut st = lock_state(&self.shards[shard].state);
+            match self.admit(shard, &mut st, &key, request, priority, enqueued, None) {
                 Admit::NoOpenGroup => {}
                 outcome => {
                     drop(st);
-                    return self.resolve_admit(outcome);
+                    return self.resolve_admit(shard, outcome);
                 }
             }
         }
@@ -338,10 +472,11 @@ impl<'svc> Planner<'svc> {
         // group in the meantime, in which case this request simply
         // joins it and the spare parse is discarded. Either way exactly
         // one open group per key exists.
-        let expr = crate::parse_and_lint(&request.constraint)?;
-        let query = request.query.clone();
-        let mut st = lock_state(&self.state);
+        let expr = Arc::new(crate::parse_and_lint(&request.constraint)?);
+        let query = Arc::new(request.query.clone());
+        let mut st = lock_state(&self.shards[shard].state);
         let outcome = self.admit(
+            shard,
             &mut st,
             &key,
             request,
@@ -350,70 +485,90 @@ impl<'svc> Planner<'svc> {
             Some((model, query, expr)),
         );
         drop(st);
-        self.resolve_admit(outcome)
+        self.resolve_admit(shard, outcome)
     }
 
     /// Turn an [`Admit`] outcome into the caller-facing result, waking
-    /// the queue when state changed (admission, or an eviction that
+    /// the shard when state changed (admission, or an eviction that
     /// parked a result some blocked waiter must pick up).
-    fn resolve_admit(&self, outcome: Admit) -> Result<Ticket<'_, 'svc>, ServiceError> {
+    fn resolve_admit(
+        &self,
+        shard: usize,
+        outcome: Admit,
+    ) -> Result<Ticket<'_, 'svc>, ServiceError> {
         match outcome {
             Admit::Admitted(id) | Admit::ShedResolved(id) => {
-                self.wake.notify_all();
+                self.shards[shard].wake.notify_all();
                 Ok(Ticket {
                     planner: self,
+                    shard,
                     id,
                     finished: false,
                 })
             }
             Admit::ShedRejected(reason) => {
-                self.wake.notify_all();
+                self.shards[shard].wake.notify_all();
                 Err(ServiceError::Overloaded(reason))
             }
             Admit::NoOpenGroup => unreachable!("resolved before group creation"),
         }
     }
 
-    /// Admission decision for one request, under the state lock. With
+    fn alloc_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Admission decision for one request, under its shard's lock. With
     /// `create: None` (the fast path) the request can only join an
     /// existing open group — [`Admit::NoOpenGroup`] sends the caller
     /// off to parse the constraint and retry with the group-creation
     /// ingredients. Counter discipline: every path out of this function
     /// except `NoOpenGroup` and admission-*check*-free errors records
-    /// `submitted` exactly once, paired with either `admitted` or a
-    /// shed counter — that is the `Σaccepted + Σshed == Σsubmitted`
-    /// identity at its source.
+    /// `submitted` exactly once **on this shard's ledger**, paired with
+    /// either `admitted` or a shed counter — that is the
+    /// `Σaccepted + Σshed == Σsubmitted` identity at its source, per
+    /// shard and (by summation) globally.
+    #[allow(clippy::too_many_arguments)]
     fn admit(
         &self,
-        st: &mut PlannerState,
+        shard: usize,
+        st: &mut ShardState,
         key: &FilterKey,
         request: &PlannedRequest,
         priority: Priority,
         enqueued: Instant,
-        create: Option<(Arc<Network>, Network, Expr)>,
+        create: Option<(Arc<Network>, Arc<Network>, Arc<Expr>)>,
     ) -> Admit {
         let group_idx = st.groups.iter().position(|g| g.key == *key);
         if group_idx.is_none() && create.is_none() {
             return Admit::NoOpenGroup;
         }
         let policy = self.svc.config().admission;
-        let overload = self.svc.overload();
-        // Deadline hygiene: if the estimated queue wait (EWMA of group
-        // dispatch times × groups ahead) already exceeds the request's
-        // whole budget, it would die in the queue — answer it now.
-        // Regardless of shed mode this resolves as a timed-out
-        // `Inconclusive` (it *is* a timeout, just predicted instead of
-        // waited out). A fresh planner has no EWMA evidence and never
-        // sheds here.
+        let overload = self.svc.overload_shard(shard);
+        // Deadline hygiene: if the estimated queue wait (this shard's
+        // EWMA of group dispatch times × groups ahead of us in the
+        // shard) already exceeds the request's whole budget, it would
+        // die in the queue — answer it now. Regardless of shed mode
+        // this resolves as a timed-out `Inconclusive` (it *is* a
+        // timeout, just predicted instead of waited out). A fresh shard
+        // has no EWMA evidence and never sheds here.
         if let Some(budget) = request.options.timeout {
             let est = overload.estimated_queue_wait(st.groups.len());
             if !est.is_zero() && est > budget {
                 overload.record_submitted();
                 overload.record_shed(ShedReason::DeadlineHopeless);
-                let id = alloc_id(st);
+                let id = self.alloc_id();
                 st.results.insert(id, Ok(shed_response(Duration::ZERO)));
                 return Admit::ShedResolved(id);
             }
+        }
+        // Service-wide cap across all shards. Always sheds the incoming
+        // request: cross-shard eviction would serialize the lanes on
+        // each other's locks, defeating the sharding.
+        if policy.max_total_queue_depth != usize::MAX
+            && self.svc.total_queue_depth() >= policy.max_total_queue_depth
+        {
+            return self.shed_incoming(shard, st, ShedReason::QueueFull);
         }
         // Group-size bound (join paths only): evict a lower-priority
         // member of *this* group, or shed the incoming request.
@@ -422,14 +577,15 @@ impl<'svc> Planner<'svc> {
                 match victim_pos(&st.groups[idx].members, priority) {
                     Some(pos) => {
                         let victim = st.groups[idx].members.remove(pos);
-                        self.shed_victim(st, victim, ShedReason::GroupFull);
+                        self.shed_victim(shard, st, victim, ShedReason::GroupFull);
                     }
-                    None => return self.shed_incoming(st, ShedReason::GroupFull),
+                    None => return self.shed_incoming(shard, st, ShedReason::GroupFull),
                 }
             }
         }
-        // Total queue-depth bound: evict the lowest-priority newest
-        // queued member anywhere, or shed the incoming request.
+        // Per-shard queue-depth bound: evict the lowest-priority newest
+        // queued member anywhere in this shard, or shed the incoming
+        // request.
         let depth: usize = st.groups.iter().map(|g| g.members.len()).sum();
         if depth >= policy.max_queue_depth {
             let victim = st
@@ -444,14 +600,14 @@ impl<'svc> Planner<'svc> {
             match victim {
                 Some((gi, pos)) => {
                     let victim = st.groups[gi].members.remove(pos);
-                    self.shed_victim(st, victim, ShedReason::QueueFull);
+                    self.shed_victim(shard, st, victim, ShedReason::QueueFull);
                 }
-                None => return self.shed_incoming(st, ShedReason::QueueFull),
+                None => return self.shed_incoming(shard, st, ShedReason::QueueFull),
             }
         }
         overload.record_submitted();
         overload.record_admitted();
-        let id = alloc_id(st);
+        let id = self.alloc_id();
         let member = Member {
             id,
             options: request.options.clone(),
@@ -462,11 +618,13 @@ impl<'svc> Planner<'svc> {
             Some(idx) => st.groups[idx].members.push(member),
             None => {
                 let (model, query, expr) = create.expect("checked at entry");
+                let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
                 st.groups.push_back(PendingGroup {
                     key: key.clone(),
                     model,
                     query,
                     expr,
+                    seq,
                     members: vec![member],
                 });
             }
@@ -474,17 +632,17 @@ impl<'svc> Planner<'svc> {
         Admit::Admitted(id)
     }
 
-    /// Shed the incoming (not-yet-queued) request: count it and resolve
-    /// it per the shed mode — an error for the submitter, or a parked
-    /// pre-resolved ticket.
-    fn shed_incoming(&self, st: &mut PlannerState, reason: ShedReason) -> Admit {
-        let overload = self.svc.overload();
+    /// Shed the incoming (not-yet-queued) request: count it on its
+    /// shard's ledger and resolve it per the shed mode — an error for
+    /// the submitter, or a parked pre-resolved ticket.
+    fn shed_incoming(&self, shard: usize, st: &mut ShardState, reason: ShedReason) -> Admit {
+        let overload = self.svc.overload_shard(shard);
         overload.record_submitted();
         overload.record_shed(reason);
         match self.svc.config().admission.shed {
             ShedMode::Reject => Admit::ShedRejected(reason),
             ShedMode::DegradeInconclusive => {
-                let id = alloc_id(st);
+                let id = self.alloc_id();
                 st.results.insert(id, Ok(shed_response(Duration::ZERO)));
                 Admit::ShedResolved(id)
             }
@@ -493,12 +651,13 @@ impl<'svc> Planner<'svc> {
 
     /// Park the shed resolution for an evicted (already-admitted)
     /// queued member: its provisional `accepted` credit moves to the
-    /// shed column and its queue slot frees ([`record_evicted`]); its
-    /// blocked ticket picks the parked result up on the next wake.
+    /// shed column and its queue slot frees ([`record_evicted`]) — on
+    /// its own shard's ledger; its blocked ticket picks the parked
+    /// result up on the next wake.
     ///
     /// [`record_evicted`]: crate::admission::OverloadStats::record_evicted
-    fn shed_victim(&self, st: &mut PlannerState, victim: Member, reason: ShedReason) {
-        self.svc.overload().record_evicted(reason);
+    fn shed_victim(&self, shard: usize, st: &mut ShardState, victim: Member, reason: ShedReason) {
+        self.svc.overload_shard(shard).record_evicted(reason);
         let response = match self.svc.config().admission.shed {
             ShedMode::Reject => Err(ServiceError::Overloaded(reason)),
             ShedMode::DegradeInconclusive => Ok(shed_response(victim.enqueued.elapsed())),
@@ -520,7 +679,9 @@ impl<'svc> Planner<'svc> {
         self.submit_with(request, priority)?.wait()
     }
 
-    /// Groups that reached dispatch with at least one live member.
+    /// Groups that reached dispatch with at least one live member
+    /// (across all shards; a burst-split remainder counts as its own
+    /// group when its turn comes).
     pub fn groups_dispatched(&self) -> u64 {
         self.groups_dispatched.load(Ordering::Relaxed)
     }
@@ -532,43 +693,67 @@ impl<'svc> Planner<'svc> {
         self.coalesced_total.load(Ordering::Relaxed)
     }
 
-    /// Members currently enqueued (across all open groups).
+    /// Members currently enqueued (across all shards and open groups).
     pub fn pending_requests(&self) -> usize {
-        lock_state(&self.state)
-            .groups
+        self.shards
             .iter()
-            .map(|g| g.members.len())
+            .map(|s| {
+                lock_state(&s.state)
+                    .groups
+                    .iter()
+                    .map(|g| g.members.len())
+                    .sum::<usize>()
+            })
             .sum()
     }
 
-    /// Open groups awaiting dispatch (cancellation can leave a group
-    /// empty; it is skipped, cheaply, when popped).
+    /// Open groups awaiting dispatch, across all shards (cancellation
+    /// can leave a group empty; it is skipped, cheaply, when popped).
     pub fn pending_groups(&self) -> usize {
-        lock_state(&self.state).groups.len()
+        self.shards
+            .iter()
+            .map(|s| lock_state(&s.state).groups.len())
+            .sum()
     }
 
     /// Results delivered but not yet picked up by their tickets.
     /// Settles to zero once every live ticket has waited — cancelled
     /// tickets' results are discarded at delivery, not parked.
     pub fn undelivered_results(&self) -> usize {
-        lock_state(&self.state).results.len()
+        self.shards
+            .iter()
+            .map(|s| lock_state(&s.state).results.len())
+            .sum()
+    }
+
+    /// Outstanding cancellation marks across all shards (test
+    /// instrumentation: must settle to zero — no mark survives its
+    /// ticket).
+    #[cfg(test)]
+    fn cancel_marks(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| lock_state(&s.state).cancelled.len())
+            .sum()
     }
 
     /// True if `id` was cancelled while its group was being dispatched;
     /// consumes the mark.
-    fn take_cancelled(&self, id: u64) -> bool {
-        lock_state(&self.state).cancelled.remove(&id)
+    fn take_cancelled(&self, shard: usize, id: u64) -> bool {
+        lock_state(&self.shards[shard].state).cancelled.remove(&id)
     }
 
     /// Non-consuming peek at the cancel mark — the dispatcher's cancel
     /// probe polls this from inside dedup waits; `deliver` still
     /// consumes the mark afterwards.
-    fn is_cancelled(&self, id: u64) -> bool {
-        lock_state(&self.state).cancelled.contains(&id)
+    fn is_cancelled(&self, shard: usize, id: u64) -> bool {
+        lock_state(&self.shards[shard].state)
+            .cancelled
+            .contains(&id)
     }
 
-    fn deliver(&self, id: u64, response: Result<QueryResponse, ServiceError>) {
-        let mut st = lock_state(&self.state);
+    fn deliver(&self, shard: usize, id: u64, response: Result<QueryResponse, ServiceError>) {
+        let mut st = lock_state(&self.shards[shard].state);
         if st.cancelled.remove(&id) {
             // The waiter is gone: discard instead of parking a result
             // nobody will claim. No gauge release — the cancelling drop
@@ -578,31 +763,33 @@ impl<'svc> Planner<'svc> {
         // The admitted member resolves here: its queue-depth slot
         // frees. (Pre-resolved shed tickets never pass through deliver
         // — they are parked directly at admission.)
-        self.svc.overload().release_slot();
+        self.svc.overload_shard(shard).release_slot();
         st.results.insert(id, response);
         drop(st);
-        self.wake.notify_all();
+        self.shards[shard].wake.notify_all();
     }
 
     /// Execute one group end to end: compile once, lease one scratch,
     /// run every live member against the group's pinned filter, deliver
     /// per-member results. Runs on the dispatching waiter's thread with
-    /// the queue lock *released* (only `deliver`/`take_cancelled` touch
-    /// it, briefly).
-    fn execute(&self, group: PendingGroup) {
+    /// the shard lock *released* (only `deliver`/`take_cancelled` touch
+    /// it, briefly) — which is exactly what lets other shards' groups
+    /// run at the same time on their own waiters' threads.
+    fn execute(&self, shard: usize, group: PendingGroup) {
         let PendingGroup {
             key,
             model,
             query,
             expr,
+            seq: _,
             members,
         } = group;
         if members.is_empty() {
             return; // fully-cancelled group: nothing to do
         }
         self.groups_dispatched.fetch_add(1, Ordering::Relaxed);
-        // Whole-group wall time feeds the EWMA that powers
-        // deadline-hopeless admission (queue wait ≈ groups × EWMA).
+        // Whole-group wall time feeds this shard's EWMA, which powers
+        // its deadline-hopeless admission (queue wait ≈ groups × EWMA).
         let dispatch_started = Instant::now();
         // One compiled problem serves every member's search *and* the
         // re-verification of every mapping handed back.
@@ -613,7 +800,7 @@ impl<'svc> Planner<'svc> {
                 // (cloned) error — isolated failure semantics only
                 // apply to per-member stages.
                 for member in members {
-                    self.deliver(member.id, Err(ServiceError::Problem(e.clone())));
+                    self.deliver(shard, member.id, Err(ServiceError::Problem(e.clone())));
                 }
                 return;
             }
@@ -624,11 +811,11 @@ impl<'svc> Planner<'svc> {
         // same eviction immunity as a `PreparedQuery` batch.
         let mut pinned: Option<Arc<FilterMatrix>> = None;
         for member in &members {
-            if self.take_cancelled(member.id) {
+            if self.take_cancelled(shard, member.id) {
                 continue;
             }
             let queued = member.enqueued.elapsed();
-            self.svc.overload().queue_wait.record(queued);
+            self.svc.overload_shard(shard).queue_wait.record(queued);
             let run_options = match member.options.timeout {
                 Some(budget) => {
                     let remaining = budget.saturating_sub(queued);
@@ -636,6 +823,7 @@ impl<'svc> Planner<'svc> {
                         // Deadline died in the queue: a timed-out
                         // member, not a poisoned group.
                         self.deliver(
+                            shard,
                             member.id,
                             Ok(QueryResponse {
                                 outcome: Outcome::Inconclusive,
@@ -661,7 +849,7 @@ impl<'svc> Planner<'svc> {
             // while the dispatcher works on its behalf, the probe stops
             // any dedup wait — the dispatcher must not block on a
             // build whose result nobody will claim.
-            let cancel_probe = || self.is_cancelled(member.id);
+            let cancel_probe = || self.is_cancelled(shard, member.id);
             // Panic isolation: a panicking engine run (re-thrown from a
             // pool worker, a violated invariant) becomes *this member's*
             // `ServiceError::Internal` instead of unwinding the
@@ -707,7 +895,10 @@ impl<'svc> Planner<'svc> {
                     })
                 })
             }));
-            self.svc.overload().dispatch.record(run_started.elapsed());
+            self.svc
+                .overload_shard(shard)
+                .dispatch
+                .record(run_started.elapsed());
             let response = match attempt {
                 Ok(Err(ServiceError::Overloaded(reason))) => {
                     // Shed mid-dispatch (the dedup waiter cap): this
@@ -715,7 +906,7 @@ impl<'svc> Planner<'svc> {
                     // moves to the shed column — the queue-depth slot
                     // itself is released by `deliver` as usual. Then
                     // resolve per mode, like any other shed.
-                    self.svc.overload().record_shed_admitted(reason);
+                    self.svc.overload_shard(shard).record_shed_admitted(reason);
                     match self.svc.config().admission.shed {
                         ShedMode::Reject => Err(ServiceError::Overloaded(reason)),
                         ShedMode::DegradeInconclusive => {
@@ -729,25 +920,43 @@ impl<'svc> Planner<'svc> {
                     Err(ServiceError::Internal(panic_message(&*payload)))
                 }
             };
-            self.deliver(member.id, response);
+            self.deliver(shard, member.id, response);
         }
         self.svc.checkin_scratch(scratch);
         self.svc
-            .overload()
+            .overload_shard(shard)
             .observe_dispatch(dispatch_started.elapsed());
     }
 }
 
 impl std::fmt::Debug for Planner<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = lock_state(&self.state);
+        let per_shard: Vec<(usize, usize, bool)> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let st = lock_state(&s.state);
+                (
+                    st.groups.len(),
+                    st.groups.iter().map(|g| g.members.len()).sum::<usize>(),
+                    st.dispatching,
+                )
+            })
+            .collect();
         f.debug_struct("Planner")
-            .field("pending_groups", &st.groups.len())
+            .field("shards", &per_shard.len())
+            .field(
+                "pending_groups",
+                &per_shard.iter().map(|(g, _, _)| g).sum::<usize>(),
+            )
             .field(
                 "pending_requests",
-                &st.groups.iter().map(|g| g.members.len()).sum::<usize>(),
+                &per_shard.iter().map(|(_, m, _)| m).sum::<usize>(),
             )
-            .field("dispatching", &st.dispatching)
+            .field(
+                "dispatching_shards",
+                &per_shard.iter().filter(|(_, _, d)| *d).count(),
+            )
             .field("groups_dispatched", &self.groups_dispatched())
             .field("coalesced_total", &self.coalesced_total())
             .finish()
@@ -755,48 +964,73 @@ impl std::fmt::Debug for Planner<'_> {
 }
 
 /// A claim on one enqueued request. [`Ticket::wait`] blocks until the
-/// result arrives — and, when the dispatcher role is free, *drives* the
-/// queue itself (the planner owns no threads; see the module docs).
+/// result arrives — and, when its shard's dispatcher role is free,
+/// *drives* that shard itself (the planner owns no threads; see the
+/// module docs). A waiter only ever dispatches groups of its own shard,
+/// which is what lets distinct shards' waiters run groups concurrently.
 /// Dropping a ticket without waiting cancels the request.
 #[must_use = "an unwaited ticket cancels its request when dropped"]
 pub struct Ticket<'p, 'svc> {
     planner: &'p Planner<'svc>,
+    shard: usize,
     id: u64,
     finished: bool,
 }
 
 impl Ticket<'_, '_> {
     /// Block until this request's result is available, dispatching
-    /// pending groups (own and others') whenever no other waiter is.
+    /// pending groups of this request's shard (own and others')
+    /// whenever no other waiter is.
     pub fn wait(mut self) -> Result<QueryResponse, ServiceError> {
+        let shard = &self.planner.shards[self.shard];
         loop {
             let group = {
-                let mut st = lock_state(&self.planner.state);
+                let mut st = lock_state(&shard.state);
                 loop {
                     if let Some(response) = st.results.remove(&self.id) {
                         self.finished = true;
                         return response;
                     }
                     if !st.dispatching {
-                        if let Some(group) = st.groups.pop_front() {
+                        if let Some(mut group) = st.groups.pop_front() {
+                            // The FIFO/fairness contract: everything
+                            // still queued was created (or re-queued)
+                            // after the group being dispatched.
+                            debug_assert!(
+                                st.groups.iter().all(|g| g.seq > group.seq),
+                                "shard queue must stay in enqueue-sequence order"
+                            );
+                            // Fairness bound: one dispatcher turn runs
+                            // at most `max_dispatch_burst` members; the
+                            // remainder re-queues as a fresh group (new
+                            // sequence number) *behind* every group
+                            // already waiting, so a hot key yields the
+                            // lane after each burst.
+                            let burst = self.planner.svc.config().admission.max_dispatch_burst;
+                            if group.members.len() > burst {
+                                let rest = group.members.split_off(burst);
+                                let seq = self.planner.next_seq.fetch_add(1, Ordering::Relaxed);
+                                st.groups.push_back(PendingGroup {
+                                    key: group.key.clone(),
+                                    model: Arc::clone(&group.model),
+                                    query: Arc::clone(&group.query),
+                                    expr: Arc::clone(&group.expr),
+                                    seq,
+                                    members: rest,
+                                });
+                            }
                             st.dispatching = true;
                             break group;
                         }
                     }
-                    st = self
-                        .planner
-                        .wake
-                        .wait(st)
-                        .unwrap_or_else(|e| e.into_inner());
+                    st = shard.wake.wait(st).unwrap_or_else(|e| e.into_inner());
                 }
             };
-            // Became the dispatcher: execute with the lock released.
-            // The guard frees the role (and wakes the queue) even on
-            // unwind.
-            let guard = DispatchGuard {
-                planner: self.planner,
-            };
-            self.planner.execute(group);
+            // Became this shard's dispatcher: execute with the lock
+            // released. The guard frees the role (and wakes the shard)
+            // even on unwind.
+            let guard = DispatchGuard::enter(self.planner, self.shard);
+            self.planner.execute(self.shard, group);
             drop(guard);
         }
     }
@@ -812,13 +1046,14 @@ impl Drop for Ticket<'_, '_> {
         if self.finished {
             return;
         }
-        let mut st = lock_state(&self.planner.state);
+        let mut st = lock_state(&self.planner.shards[self.shard].state);
         // Still queued? Unlink the member outright — the queue slot is
-        // reclaimed immediately (gauge included) and no mark is needed.
+        // reclaimed immediately (gauge included, on this shard's
+        // ledger) and no mark is needed.
         for group in st.groups.iter_mut() {
             if let Some(pos) = group.members.iter().position(|m| m.id == self.id) {
                 group.members.remove(pos);
-                self.planner.svc.overload().release_slot();
+                self.planner.svc.overload_shard(self.shard).release_slot();
                 return;
             }
         }
@@ -836,20 +1071,23 @@ impl Drop for Ticket<'_, '_> {
         // `take_cancelled` consume the mark and skip their own release,
         // so the slot can never be freed twice.
         st.cancelled.insert(self.id);
-        self.planner.svc.overload().release_slot();
+        self.planner.svc.overload_shard(self.shard).release_slot();
     }
 }
 
 impl std::fmt::Debug for Ticket<'_, '_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Ticket").field("id", &self.id).finish()
+        f.debug_struct("Ticket")
+            .field("id", &self.id)
+            .field("shard", &self.shard)
+            .finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ConstraintFault;
+    use crate::{ConstraintFault, ServiceConfig};
     use netgraph::Direction;
     use std::time::Duration;
 
@@ -895,6 +1133,87 @@ mod tests {
         assert_eq!(planner.groups_dispatched(), 1);
         assert_eq!(planner.pending_requests(), 0);
         assert_eq!(planner.undelivered_results(), 0);
+    }
+
+    #[test]
+    fn shard_routing_is_deterministic_and_pinned_by_config() {
+        let svc = NetEmbedService::with_config(ServiceConfig::default().planner_shards(4));
+        svc.registry().register("plab", triangle_host());
+        assert_eq!(svc.planner_shards(), 4);
+        let planner = svc.planner();
+        assert_eq!(planner.shard_count(), 4);
+        // Same key ⇒ same shard, every time; the route survives
+        // re-submission (it is a pure hash of the grouping key).
+        let req = request("plab", "rEdge.avgDelay <= 15.0");
+        let s1 = planner.shard_for(&req).unwrap();
+        assert_eq!(planner.shard_for(&req).unwrap(), s1);
+        assert!(s1 < 4);
+        // A submitted ticket lands in exactly that shard's queue.
+        let t = planner.submit(&req).unwrap();
+        assert_eq!(t.shard, s1);
+        t.wait().unwrap();
+        // Unknown hosts fail like submit.
+        assert!(matches!(
+            planner.shard_for(&request("nope", "true")),
+            Err(ServiceError::UnknownHost(_))
+        ));
+        // One shard reproduces the serialized planner: everything
+        // routes to shard 0.
+        let svc1 = NetEmbedService::with_config(ServiceConfig::default().planner_shards(1));
+        svc1.registry().register("plab", triangle_host());
+        let p1 = svc1.planner();
+        assert_eq!(p1.shard_count(), 1);
+        assert_eq!(p1.shard_for(&req).unwrap(), 0);
+    }
+
+    #[test]
+    fn burst_split_requeues_remainder_behind_waiting_groups() {
+        // The fairness bound, deterministically: one shard, burst of 2,
+        // a hot group of 5 and a cold group of 1. The cold waiter pops
+        // the hot group, runs exactly 2 members, re-queues the other 3
+        // *behind* the cold group, dispatches the cold group (its own),
+        // and returns — leaving the hot remainder still pending.
+        use crate::AdmissionPolicy;
+        let svc = NetEmbedService::with_config(
+            ServiceConfig::default()
+                .planner_shards(1)
+                .admission(AdmissionPolicy::default().max_dispatch_burst(2)),
+        );
+        svc.registry().register("plab", triangle_host());
+        let planner = svc.planner();
+        let hot = request("plab", "rEdge.avgDelay <= 15.0");
+        let cold = request("plab", "true");
+        let hot_tickets: Vec<_> = (0..5).map(|_| planner.submit(&hot).unwrap()).collect();
+        let cold_ticket = planner.submit(&cold).unwrap();
+        assert_eq!(planner.pending_groups(), 2);
+        let cold_resp = cold_ticket.wait().unwrap();
+        assert_eq!(cold_resp.mappings().len(), 6);
+        assert_eq!(
+            planner.pending_requests(),
+            3,
+            "the hot remainder must still be queued when the cold waiter returns"
+        );
+        assert_eq!(
+            planner.undelivered_results(),
+            2,
+            "exactly one burst of the hot group ran before the cold group"
+        );
+        // Drain the hot tickets; coalescing survives the splits: one
+        // designated build, every other member a hit or a pin ride.
+        let responses: Vec<_> = hot_tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        let isolated = svc.submit(&hot).unwrap();
+        let (mut hits, mut coalesced) = (0u64, 0u64);
+        for resp in &responses {
+            assert_eq!(resp.mappings(), isolated.mappings());
+            hits += resp.stats.filter_cache_hits;
+            coalesced += resp.stats.coalesced_requests;
+        }
+        assert_eq!(hits + coalesced, 4, "burst identity across the splits");
+        assert_eq!(planner.pending_requests(), 0);
+        assert_eq!(planner.undelivered_results(), 0);
+        let t = svc.telemetry();
+        assert_eq!(t.accepted + t.shed.total(), t.submitted);
+        assert_eq!(t.queue_depth, 0);
     }
 
     #[test]
@@ -994,7 +1313,7 @@ mod tests {
         assert_eq!(live.wait().unwrap().mappings().len(), 2);
         assert_eq!(planner.pending_requests(), 0);
         assert_eq!(planner.undelivered_results(), 0);
-        assert_eq!(lock_state(&planner.state).cancelled.len(), 0);
+        assert_eq!(planner.cancel_marks(), 0);
     }
 
     #[test]
@@ -1043,7 +1362,7 @@ mod tests {
 
     #[test]
     fn queue_full_sheds_deterministically_in_reject_mode() {
-        use crate::{AdmissionPolicy, ServiceConfig};
+        use crate::AdmissionPolicy;
         // Waiter-driven dispatch means nothing runs until someone
         // waits, so "fill the queue, then submit one more" is fully
         // deterministic.
@@ -1075,8 +1394,41 @@ mod tests {
     }
 
     #[test]
+    fn total_queue_depth_caps_across_shards() {
+        use crate::AdmissionPolicy;
+        // Per-shard bounds are generous; the global cap is what bites.
+        // Two distinct keys may or may not share a shard — the global
+        // cap is shard-agnostic either way.
+        let svc = NetEmbedService::with_config(
+            ServiceConfig::default()
+                .planner_shards(4)
+                .admission(AdmissionPolicy::default().max_total_queue_depth(2)),
+        );
+        svc.registry().register("plab", triangle_host());
+        let planner = svc.planner();
+        let a = request("plab", "rEdge.avgDelay <= 15.0");
+        let b = request("plab", "true");
+        let t1 = planner.submit(&a).unwrap();
+        let t2 = planner.submit(&b).unwrap();
+        // The service-wide gauge is at the cap: the third submit is
+        // shed regardless of which lane it routes to, with no eviction
+        // (the global cap never reaches into another lane's queue).
+        assert!(matches!(
+            planner.submit_with(&a, Priority::High),
+            Err(ServiceError::Overloaded(ShedReason::QueueFull))
+        ));
+        assert_eq!(planner.pending_requests(), 2, "no eviction happened");
+        assert_eq!(t1.wait().unwrap().mappings().len(), 2);
+        assert_eq!(t2.wait().unwrap().mappings().len(), 6);
+        let t = svc.telemetry();
+        assert_eq!((t.submitted, t.accepted, t.shed.queue_full), (3, 2, 1));
+        assert_eq!(t.accepted + t.shed.total(), t.submitted);
+        assert_eq!(t.queue_depth, 0);
+    }
+
+    #[test]
     fn degrade_mode_resolves_shed_requests_as_timed_out_inconclusive() {
-        use crate::{AdmissionPolicy, ServiceConfig, ShedMode};
+        use crate::{AdmissionPolicy, ShedMode};
         let svc = NetEmbedService::with_config(
             ServiceConfig::default().admission(
                 AdmissionPolicy::default()
@@ -1103,7 +1455,7 @@ mod tests {
 
     #[test]
     fn high_priority_evicts_lowest_priority_newest_arrival() {
-        use crate::{AdmissionPolicy, Priority, ServiceConfig};
+        use crate::AdmissionPolicy;
         let svc = NetEmbedService::with_config(
             ServiceConfig::default().admission(AdmissionPolicy::default().max_queue_depth(2)),
         );
@@ -1139,7 +1491,7 @@ mod tests {
 
     #[test]
     fn group_size_bound_sheds_within_the_group_only() {
-        use crate::{AdmissionPolicy, Priority, ServiceConfig};
+        use crate::AdmissionPolicy;
         let svc = NetEmbedService::with_config(
             ServiceConfig::default().admission(AdmissionPolicy::default().max_group_size(1)),
         );
@@ -1172,14 +1524,14 @@ mod tests {
 
     #[test]
     fn hopeless_deadline_is_shed_at_enqueue() {
-        use crate::{AdmissionPolicy, ServiceConfig};
+        use crate::AdmissionPolicy;
         let svc = NetEmbedService::with_config(
             ServiceConfig::default().admission(AdmissionPolicy::default()),
         );
         svc.registry().register("plab", triangle_host());
         let planner = svc.planner();
         let req = request("plab", "rEdge.avgDelay <= 15.0");
-        // Seed the dispatch-latency EWMA with one real group.
+        // Seed the shard's dispatch-latency EWMA with one real group.
         planner.run(&req).unwrap();
         // A pending group means a nonzero estimated wait...
         let pending = planner.submit(&req).unwrap();
@@ -1212,11 +1564,13 @@ mod tests {
     fn gauge_settles_for_drops_at_every_lifecycle_stage() {
         // The satellite regression: a ticket dropped at any stage —
         // queued, pre-resolved, evicted, mid-dispatch, delivered —
-        // must release its queue-depth slot exactly once.
+        // must release its queue-depth slot exactly once. Pinned to one
+        // shard: stage 5 needs the two distinct-key groups in one FIFO
+        // lane so the mate's wait dispatches the blocked group first.
         use crate::cache::FilterFetch;
-        use crate::{AdmissionPolicy, Priority, ServiceConfig, ShedMode};
+        use crate::{AdmissionPolicy, ShedMode};
         let svc = NetEmbedService::with_config(
-            ServiceConfig::default().admission(
+            ServiceConfig::default().planner_shards(1).admission(
                 AdmissionPolicy::default()
                     .max_queue_depth(2)
                     .shed(ShedMode::DegradeInconclusive),
@@ -1285,8 +1639,8 @@ mod tests {
             // The mate's wait dispatches the blocked group first (FIFO)
             // and parks inside fetch_or_build until the build resolves.
             let waiter = s.spawn(|| mate.wait().unwrap());
-            while svc.cache().dedup_waits() == 0 && !planner.is_cancelled(victim.id) {
-                if lock_state(&planner.state).dispatching {
+            while svc.cache().dedup_waits() == 0 && !planner.is_cancelled(victim.shard, victim.id) {
+                if lock_state(&planner.shards[0].state).dispatching {
                     break;
                 }
                 std::thread::yield_now();
@@ -1312,7 +1666,7 @@ mod tests {
             waiter.join().unwrap();
         });
         assert_eq!(svc.telemetry().queue_depth, 0, "all slots settle");
-        assert_eq!(lock_state(&planner.state).cancelled.len(), 0);
+        assert_eq!(planner.cancel_marks(), 0);
         assert_eq!(planner.undelivered_results(), 0);
     }
 
@@ -1321,8 +1675,10 @@ mod tests {
         // Cancellation must propagate *into* the dedup wait chain: the
         // dispatcher blocks in fetch_or_build on a cancelled member's
         // behalf with no timeout — only the cancel probe can free it.
-        // Without propagation this test deadlocks.
-        let svc = NetEmbedService::new();
+        // Without propagation this test deadlocks. One shard, so the
+        // two distinct keys share a FIFO lane and the live waiter is
+        // guaranteed to dispatch the blocked group first.
+        let svc = NetEmbedService::with_config(ServiceConfig::default().planner_shards(1));
         svc.registry().register("plab", triangle_host());
         let planner = svc.planner();
         let blocked = request("plab", "rEdge.avgDelay > 5.0");

@@ -218,6 +218,7 @@ fn chaos_round(seed: u64) {
     };
     let config = ServiceConfig::default()
         .max_parked_scratches(cfg_rng.random_range(1..=4))
+        .planner_shards(cfg_rng.random_range(1..=4))
         .admission(
             AdmissionPolicy::default()
                 .max_queue_depth(cfg_rng.random_range(2..=5))
@@ -340,8 +341,35 @@ fn chaos_round(seed: u64) {
         "seed {seed}: an in-flight filter build was stranded"
     );
     assert!(
-        t.parked_scratches <= svc.config().max_parked_scratches,
+        t.parked_scratches <= svc.effective_max_parked_scratches(),
         "seed {seed}: parked scratches above the configured cap"
+    );
+
+    // Per-shard ledgers balance individually and roll up exactly to the
+    // global ledger — every shed/cancel/evict/drop path charged the
+    // shard that owned the request, and only that shard.
+    assert_eq!(t.shards.len(), t.planner_shards, "seed {seed}");
+    let mut submitted = 0u64;
+    let mut accepted = 0u64;
+    let mut shed_total = 0u64;
+    for (idx, shard) in t.shards.iter().enumerate() {
+        assert_eq!(
+            shard.accepted + shard.shed.total(),
+            shard.submitted,
+            "seed {seed}: shard {idx} ledger out of balance: {shard:?}"
+        );
+        assert_eq!(
+            shard.queue_depth, 0,
+            "seed {seed}: shard {idx} gauge leaked a slot: {shard:?}"
+        );
+        submitted += shard.submitted;
+        accepted += shard.accepted;
+        shed_total += shard.shed.total();
+    }
+    assert_eq!(
+        (submitted, accepted, shed_total),
+        (t.submitted, t.accepted, t.shed.total()),
+        "seed {seed}: per-shard ledgers do not roll up to the global ledger: {t:?}"
     );
 
     // The service must still answer — injected panics poison no lock

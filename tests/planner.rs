@@ -18,8 +18,10 @@
 use netembed::{Algorithm, Options, Outcome, SearchMode};
 use netgraph::{Direction, Network};
 use proptest::prelude::*;
-use service::{NetEmbedService, PlannedRequest, QueryResponse};
+use service::cache::{network_fingerprint, FilterFetch, FilterKey};
+use service::{AdmissionPolicy, NetEmbedService, PlannedRequest, QueryResponse, ServiceConfig};
 use std::sync::Barrier;
+use std::time::{Duration, Instant};
 
 /// Worker counts exercised by the parallel-member tests. CI pins this
 /// via `NETEMBED_TEST_WORKERS` so the persistent-pool path runs even on
@@ -207,6 +209,13 @@ fn concurrent_cold_submits_dedup_to_one_build() {
 
 #[test]
 fn stress_mixed_keys_matches_isolated_submits() {
+    // Single dispatch lane and the full sharded fan-out must both hold
+    // the identity invariant — the acceptance pin for the shard layer.
+    stress_mixed_keys(1);
+    stress_mixed_keys(4);
+}
+
+fn stress_mixed_keys(shards: usize) {
     // M client threads × K requests over a menu of distinct grouping
     // keys (two hosts × two queries × two constraints) and distinct
     // per-member options (deterministic algorithms only, so results
@@ -248,11 +257,12 @@ fn stress_mixed_keys_matches_isolated_submits() {
         .map(|req| isolated_submit(&models, req))
         .collect();
 
-    let svc = NetEmbedService::new();
+    let svc = NetEmbedService::with_config(ServiceConfig::default().planner_shards(shards));
     for (name, model) in &models {
         svc.registry().register(name, model.clone());
     }
     let planner = svc.planner();
+    assert_eq!(planner.shard_count(), shards);
     let barrier = Barrier::new(CLIENTS);
     std::thread::scope(|s| {
         for t in 0..CLIENTS {
@@ -271,17 +281,192 @@ fn stress_mixed_keys_matches_isolated_submits() {
                     assert_eq!(
                         resp.mappings(),
                         expected[idx].mappings(),
-                        "client {t} round {round} menu {idx} diverged"
+                        "{shards} shards: client {t} round {round} menu {idx} diverged"
                     );
                     assert_eq!(resp.outcome, expected[idx].outcome);
                 }
             });
         }
     });
-    // Queue fully drained; at most one build per distinct key.
+    // Queue fully drained; at most one build per distinct key; the
+    // per-shard ledgers balance and roll up to the global one.
     assert_eq!(planner.pending_requests(), 0);
     assert_eq!(planner.undelivered_results(), 0);
     assert!(svc.cache().misses() <= 8, "more builds than distinct keys");
+    let t = svc.telemetry();
+    assert_eq!(t.planner_shards, shards);
+    assert_eq!(t.accepted + t.shed.total(), t.submitted);
+    assert_eq!(
+        t.shards.iter().map(|s| s.submitted).sum::<u64>(),
+        t.submitted,
+        "per-shard submit counters must roll up exactly"
+    );
+    for shard in &t.shards {
+        assert_eq!(shard.accepted + shard.shed.total(), shard.submitted);
+        assert_eq!(shard.queue_depth, 0);
+    }
+}
+
+#[test]
+fn distinct_key_groups_dispatch_concurrently() {
+    // The tentpole claim, proven by counters: with the planner sharded,
+    // two groups with different keys are *in dispatch simultaneously* —
+    // not interleaved through one serialized lane. Both keys' filter
+    // builds are pinned by holding their cache `BuildTicket`s, so each
+    // spawned waiter becomes its shard's dispatcher and parks in the
+    // cache's dedup wait; the dispatcher-concurrency gauge must then
+    // read 2 at once. Releasing the pins lets both groups finish, and
+    // their responses must still equal isolated sequential submits.
+    let host = ring_host(1.0);
+    let svc = NetEmbedService::with_config(ServiceConfig::default().planner_shards(4));
+    svc.registry().register("plab", host.clone());
+    let planner = svc.planner();
+    assert_eq!(planner.shard_count(), 4);
+
+    let mk = |thr: u32| PlannedRequest {
+        host: "plab".into(),
+        query: edge_query(),
+        constraint: format!("rEdge.avgDelay <= {thr}.0"),
+        options: Options::default(),
+    };
+    let req_a = mk(20);
+    let shard_a = planner.shard_for(&req_a).expect("registered host");
+    let req_b = (21..120)
+        .map(mk)
+        .find(|r| planner.shard_for(r).expect("registered host") != shard_a)
+        .expect("some constraint must route to another of 4 shards");
+
+    let epoch = svc.registry().epoch("plab").expect("registered host");
+    let key_of = |req: &PlannedRequest| FilterKey {
+        host: req.host.clone(),
+        epoch,
+        query_hash: network_fingerprint(&req.query),
+        constraint: req.constraint.clone(),
+    };
+    let pin_a = match svc.cache().fetch_or_build(&key_of(&req_a), None) {
+        FilterFetch::MustBuild(ticket) => ticket,
+        _ => panic!("cold key A must elect this thread as builder"),
+    };
+    let pin_b = match svc.cache().fetch_or_build(&key_of(&req_b), None) {
+        FilterFetch::MustBuild(ticket) => ticket,
+        _ => panic!("cold key B must elect this thread as builder"),
+    };
+
+    let expected_a = isolated_submit(&[("plab", host.clone())], &req_a);
+    let expected_b = isolated_submit(&[("plab", host.clone())], &req_b);
+    assert!(
+        !expected_a.mappings().is_empty(),
+        "scenario must be feasible"
+    );
+
+    let (resp_a, resp_b) = std::thread::scope(|s| {
+        let planner_ref = &planner;
+        let (ra, rb) = (&req_a, &req_b);
+        let client_a = s.spawn(move || planner_ref.run(ra).unwrap());
+        let client_b = s.spawn(move || planner_ref.run(rb).unwrap());
+
+        // Two dispatchers — one per shard — must overlap while both are
+        // blocked in their dedup waits on the pinned builds.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while planner.dispatchers_in_flight() < 2 {
+            assert!(
+                Instant::now() < deadline,
+                "dispatchers never overlapped: distinct-key groups are \
+                 being serialized through one lane"
+            );
+            std::thread::yield_now();
+        }
+        assert!(planner.peak_concurrent_dispatchers() >= 2);
+
+        // Release the pins: each blocked dispatcher wakes, takes over
+        // the abandoned build, and completes its group normally.
+        pin_a.abandon();
+        pin_b.abandon();
+        (client_a.join().unwrap(), client_b.join().unwrap())
+    });
+
+    assert_eq!(resp_a.mappings(), expected_a.mappings(), "key A diverged");
+    assert_eq!(resp_a.outcome, expected_a.outcome);
+    assert_eq!(resp_b.mappings(), expected_b.mappings(), "key B diverged");
+    assert_eq!(resp_b.outcome, expected_b.outcome);
+    assert_eq!(planner.pending_requests(), 0);
+    assert_eq!(planner.undelivered_results(), 0);
+    assert_eq!(svc.cache().in_flight(), 0);
+}
+
+#[test]
+fn hot_key_cannot_starve_cold_key_beyond_dispatch_burst() {
+    // Cross-shard fairness pin: with one lane (so hot and cold share
+    // it) and `max_dispatch_burst = 2`, a cold-key arrival behind a
+    // 6-member hot group waits for at most one burst. The cold waiter
+    // becomes the dispatcher: it runs two hot members, re-queues the
+    // hot remainder *behind* the cold group, then serves cold — so when
+    // `cold.wait()` returns, exactly 4 hot members are still pending.
+    const HOT: usize = 6;
+    const BURST: usize = 2;
+    let host = ring_host(1.0);
+    let svc = NetEmbedService::with_config(
+        ServiceConfig::default()
+            .planner_shards(1)
+            .admission(AdmissionPolicy::default().max_dispatch_burst(BURST)),
+    );
+    svc.registry().register("plab", host.clone());
+    let planner = svc.planner();
+
+    let hot_req = PlannedRequest {
+        host: "plab".into(),
+        query: edge_query(),
+        constraint: "rEdge.avgDelay <= 20.0".into(),
+        options: Options::default(),
+    };
+    let cold_req = PlannedRequest {
+        host: "plab".into(),
+        query: path_query(),
+        constraint: "rEdge.avgDelay <= 25.0".into(),
+        options: Options::default(),
+    };
+    let expected_hot = isolated_submit(&[("plab", host.clone())], &hot_req);
+    let expected_cold = isolated_submit(&[("plab", host.clone())], &cold_req);
+
+    // Queue the hot burst without waiting (no dispatcher runs yet),
+    // then the cold request behind it.
+    let hot_tickets: Vec<_> = (0..HOT)
+        .map(|_| planner.submit(&hot_req).expect("hot admit"))
+        .collect();
+    let cold_ticket = planner.submit(&cold_req).expect("cold admit");
+    assert_eq!(planner.pending_requests(), HOT + 1);
+    assert_eq!(planner.pending_groups(), 2, "hot coalesces to one group");
+
+    let cold_resp = cold_ticket.wait().expect("cold result");
+    assert_eq!(cold_resp.mappings(), expected_cold.mappings());
+    assert_eq!(cold_resp.outcome, expected_cold.outcome);
+    // Fairness evidence: the cold dispatcher ran at most one hot burst
+    // before its own group — the rest of the hot members are untouched.
+    assert_eq!(
+        planner.pending_requests(),
+        HOT - BURST,
+        "cold waited through more than one hot burst"
+    );
+    assert_eq!(
+        planner.undelivered_results(),
+        BURST,
+        "exactly one hot burst ran before the cold group"
+    );
+
+    for (i, ticket) in hot_tickets.into_iter().enumerate() {
+        let resp = ticket.wait().expect("hot result");
+        assert_eq!(resp.mappings(), expected_hot.mappings(), "hot member {i}");
+        assert_eq!(resp.outcome, expected_hot.outcome);
+    }
+    // Burst splitting must not break the amortization ledger: the hot
+    // key still performs one build, with the other members covered by
+    // coalescing or cache hits.
+    assert_eq!(planner.pending_requests(), 0);
+    assert_eq!(planner.undelivered_results(), 0);
+    let t = svc.telemetry();
+    assert_eq!(t.submitted, (HOT + 1) as u64);
+    assert_eq!(t.accepted, t.submitted, "nothing shed in this scenario");
+    assert_eq!(t.shed.total(), 0);
 }
 
 #[test]
