@@ -27,6 +27,13 @@
 //! planner's dispatch-shard count (default: one per detected core, up
 //! to 8) and the summary prints each shard's queue-depth gauge and
 //! shed breakdown.
+//! `--feed` runs the registry-feed demo instead: a scripted flaky
+//! delta stream (a dropped delta, a duplicate, a reordered pair)
+//! drives the host model through the feed driver while the query is
+//! served between pumps — the state transitions (live → catching-up →
+//! resyncing → live), the per-answer staleness verdicts (fresh,
+//! stale-marked within the lag budget, `StaleModel` shed past it) and
+//! the final delivery ledger are printed as the faults play out.
 //! Exit codes: 0 mappings found, 1 definitively infeasible, 2 usage or
 //! input error, 3 inconclusive (timeout with nothing found).
 
@@ -48,7 +55,7 @@ USAGE:
                  [--mode all|first|N] [--timeout-ms N] [--seed N]
                  [--repeat N] [--planner] [--clients N] [--quiet]
                  [--oversub K] [--priority low|normal|high]
-                 [--shed reject|degrade] [--shards N]
+                 [--shed reject|degrade] [--shards N] [--feed]
   netembed gen   planetlab|brite|waxman|clique|ring|star
                  [--nodes N] [--seed N] --out FILE
   netembed inspect FILE
@@ -211,6 +218,9 @@ fn cmd_embed(args: &[String]) -> ExitCode {
         ..Options::default()
     };
 
+    if has_flag(args, "--feed") {
+        return feed_demo(&host, &query, &constraint, &options, quiet);
+    }
     if has_flag(args, "--planner") {
         return planner_demo(
             &svc,
@@ -255,6 +265,171 @@ fn cmd_embed(args: &[String]) -> ExitCode {
     }
     let result = result.expect("repeat >= 1");
     report_embed(&result, &query, &host, quiet)
+}
+
+/// Drive the host model through the registry-feed driver from a
+/// scripted flaky delta stream, serving the query between pumps: a
+/// live demonstration of the feed's fault handling (duplicate dropped
+/// idempotently, reordered pair parked and drained, a lost delta
+/// recovered via snapshot resync) and the staleness policy (fresh /
+/// stale-marked / shed verdicts as the lag crosses the budget), ending
+/// with the delivery ledger and the converged embedding.
+fn feed_demo(
+    host: &Network,
+    query: &Network,
+    constraint: &str,
+    options: &Options,
+    quiet: bool,
+) -> ExitCode {
+    use service::{
+        DeltaMutation, DirtySet, FeedConfig, FeedSnapshot, FeedState, RegistryDelta, RegistryFeed,
+        ShedReason, StalenessPolicy,
+    };
+    const DELTAS: u64 = 12;
+    const MAX_LAG: u64 = 2;
+
+    // Serve stale answers while the feed is at most 2 deltas behind;
+    // shed deterministically past that.
+    let svc = NetEmbedService::with_config(
+        ServiceConfig::default().staleness(StalenessPolicy::ServeStale { max_lag: MAX_LAG }),
+    );
+    svc.registry().register("host", host.clone());
+    let request = QueryRequest {
+        host: "host".into(),
+        query: query.clone(),
+        constraint: constraint.to_string(),
+        options: options.clone(),
+    };
+
+    // The upstream: 12 load ticks on the first host node, and the
+    // truth after each prefix (what a snapshot at that seq contains).
+    let deltas: Vec<RegistryDelta> = (0..DELTAS)
+        .map(|i| RegistryDelta {
+            host: "host".into(),
+            base_seq: i,
+            next_seq: i + 1,
+            mutation: DeltaMutation::SetNodeAttr {
+                node: 0,
+                attr: "demoLoad".into(),
+                value: netgraph::AttrValue::Num(i as f64),
+            },
+            dirty: DirtySet::from_ids([0]),
+        })
+        .collect();
+    let mut states = vec![host.clone()];
+    for i in 0..DELTAS {
+        let mut next = states.last().expect("seeded").clone();
+        next.set_node_attr(netgraph::NodeId(0), "demoLoad", i as f64);
+        states.push(next);
+    }
+
+    // The flaky wire: delta 2 arrives twice, 6 and 7 swap, 4 is lost.
+    let mut script: Vec<RegistryDelta> = Vec::new();
+    let mut i = 0usize;
+    while i < deltas.len() {
+        match i {
+            2 => {
+                script.push(deltas[2].clone());
+                script.push(deltas[2].clone());
+            }
+            4 => {}
+            6 => {
+                script.push(deltas[7].clone());
+                script.push(deltas[6].clone());
+                i += 1;
+            }
+            _ => script.push(deltas[i].clone()),
+        }
+        i += 1;
+    }
+
+    // Snapshot source: serves the upstream truth at the highest
+    // sequence the wire has carried so far.
+    let hwm = std::rc::Rc::new(std::cell::Cell::new(0u64));
+    let snapshot_hwm = std::rc::Rc::clone(&hwm);
+    let snapshots = move |states: &[Network]| FeedSnapshot {
+        seq: snapshot_hwm.get(),
+        models: vec![("host".into(), states[snapshot_hwm.get() as usize].clone())],
+    };
+    let snapshot_states = states.clone();
+    let mut feed = RegistryFeed::new(
+        std::collections::VecDeque::new(),
+        move || Some(snapshots(&snapshot_states)),
+        FeedConfig {
+            gap_patience: 1,
+            ..FeedConfig::default()
+        },
+    );
+
+    let mut state = FeedState::Live;
+    if !quiet {
+        eprintln!("# feed: live at cursor 0, staleness policy: serve-stale (max lag {MAX_LAG})");
+    }
+    let mut script = script.into_iter().peekable();
+    for _pump in 0..50 {
+        for _ in 0..2 {
+            if let Some(delta) = script.next() {
+                hwm.set(hwm.get().max(delta.next_seq));
+                feed.stream().push_back(delta);
+            }
+        }
+        let next = feed.pump(&svc);
+        if next != state && !quiet {
+            eprintln!(
+                "# feed: {state} → {next} (cursor {}, lag {})",
+                feed.cursor(),
+                svc.feed_status().lag(),
+            );
+        }
+        state = next;
+        if !quiet {
+            match svc.submit(&request) {
+                Ok(resp) => match resp.staleness {
+                    None => eprintln!("# serve: fresh"),
+                    Some(marker) => eprintln!("# serve: stale (lag {})", marker.lag),
+                },
+                Err(ServiceError::Overloaded(ShedReason::StaleModel)) => {
+                    eprintln!("# serve: shed (model feed degraded past max lag)");
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if script.peek().is_none() && state == FeedState::Live && feed.cursor() == DELTAS {
+            break;
+        }
+    }
+    if state != FeedState::Live || feed.cursor() != DELTAS {
+        eprintln!("error: feed demo failed to converge (state {state})");
+        return ExitCode::from(2);
+    }
+
+    if !quiet {
+        let t = svc.telemetry().feed;
+        eprintln!(
+            "# feed ledger: received {} = applied {} + duplicates {} + discarded {} + rejected {} + parked {} (balanced: {})",
+            t.received,
+            t.applied,
+            t.duplicates,
+            t.discarded,
+            t.rejected,
+            t.parked,
+            t.balanced(),
+        );
+        eprintln!(
+            "# feed: reordered: {}, gap resyncs: {}, resync attempts: {}, last applied seq: {}, lag: {}",
+            t.reordered, t.gap_resyncs, t.resync_attempts, t.last_applied_seq, t.lag,
+        );
+    }
+    match svc.submit(&request) {
+        Ok(resp) => report_embed(&resp, query, host, quiet),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 /// Drive the request through the cross-request planner from `clients`
@@ -339,7 +514,7 @@ fn planner_demo(
             telemetry.parked_scratches, telemetry.pool_threads, telemetry.spawned_total,
         );
         eprintln!(
-            "# admission: submitted: {}, accepted: {}, shed: {} (queue: {}, group: {}, deadline: {}, dedup: {})",
+            "# admission: submitted: {}, accepted: {}, shed: {} (queue: {}, group: {}, deadline: {}, dedup: {}, stale: {})",
             telemetry.submitted,
             telemetry.accepted,
             telemetry.shed.total(),
@@ -347,6 +522,7 @@ fn planner_demo(
             telemetry.shed.group_full,
             telemetry.shed.deadline_hopeless,
             telemetry.shed.dedup_waiters_full,
+            telemetry.shed.stale_model,
         );
         eprintln!(
             "# queue wait: {} | dispatch: {}",
@@ -355,7 +531,7 @@ fn planner_demo(
         );
         for (idx, shard) in telemetry.shards.iter().enumerate() {
             eprintln!(
-                "# shard {idx}: queue depth: {}, submitted: {}, accepted: {}, shed: {} (queue: {}, group: {}, deadline: {}, dedup: {})",
+                "# shard {idx}: queue depth: {}, submitted: {}, accepted: {}, shed: {} (queue: {}, group: {}, deadline: {}, dedup: {}, stale: {})",
                 shard.queue_depth,
                 shard.submitted,
                 shard.accepted,
@@ -364,6 +540,7 @@ fn planner_demo(
                 shard.shed.group_full,
                 shard.shed.deadline_hopeless,
                 shard.shed.dedup_waiters_full,
+                shard.shed.stale_model,
             );
         }
     }

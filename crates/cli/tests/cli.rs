@@ -377,6 +377,80 @@ fn planner_shards_flag_prints_per_shard_summary() {
 }
 
 #[test]
+fn feed_demo_prints_transitions_and_staleness_ledger() {
+    let host = tmp("feed-host.graphml");
+    let out = run(&[
+        "gen",
+        "ring",
+        "--nodes",
+        "8",
+        "--out",
+        host.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let out = run(&[
+        "embed",
+        "--host",
+        host.to_str().unwrap(),
+        "--query",
+        host.to_str().unwrap(),
+        "--constraint",
+        "true",
+        "--mode",
+        "first",
+        "--feed",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The scripted faults play out deterministically: the feed leaves
+    // live when the lost delta opens a gap, serves a stale-marked
+    // answer inside the lag budget, sheds past it, then resyncs back
+    // to live.
+    assert!(stderr.contains("# feed: live at cursor 0"), "{stderr}");
+    assert!(stderr.contains("live → catching-up"), "{stderr}");
+    assert!(stderr.contains("catching-up → live"), "{stderr}");
+    assert!(stderr.contains("# serve: fresh"), "{stderr}");
+    assert!(stderr.contains("# serve: stale (lag"), "{stderr}");
+    assert!(
+        stderr.contains("# serve: shed (model feed degraded past max lag)"),
+        "{stderr}"
+    );
+    // The delivery ledger balances and records the recovery.
+    assert!(stderr.contains("(balanced: true)"), "{stderr}");
+    assert!(stderr.contains("gap resyncs: 1"), "{stderr}");
+    assert!(stderr.contains("last applied seq: 12, lag: 0"), "{stderr}");
+    // The converged model still embeds: mappings print once.
+    assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 1);
+    // Quiet mode suppresses the narration but not the mappings.
+    let out = run(&[
+        "embed",
+        "--host",
+        host.to_str().unwrap(),
+        "--query",
+        host.to_str().unwrap(),
+        "--constraint",
+        "true",
+        "--mode",
+        "first",
+        "--feed",
+        "--quiet",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(
+        out.stderr.is_empty(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 1);
+    std::fs::remove_file(&host).ok();
+}
+
+#[test]
 fn help_prints_usage() {
     let out = run(&["--help"]);
     assert!(out.status.success());

@@ -60,6 +60,13 @@ pub struct SearchStats {
     /// Such a run also reports `filter_cache_hits = 1` — the wait is
     /// how the hit was delivered.
     pub dedup_waits: u64,
+    /// How many registry deltas behind the feed head the serving model
+    /// snapshot was when this run was admitted — 0 for a fresh model
+    /// (or any engine-level run). Set by the service layer when a
+    /// degraded model feed serves under a bounded-staleness policy; a
+    /// non-zero value means the result is correct against a known-old
+    /// epoch, not necessarily against the live world.
+    pub staleness_lag: u64,
     /// Wall-clock time of the whole run (filter construction + search).
     ///
     /// This is always the *caller-observed* duration: the parallel search
@@ -81,8 +88,10 @@ impl SearchStats {
     /// Merge counters from a worker (parallel search).
     ///
     /// Work counters sum; `filter_cells` takes the max (workers share one
-    /// filter); `cpu_time` sums (it is per-worker search time by
-    /// definition). `elapsed` is deliberately **not** summed — per-worker
+    /// filter); `staleness_lag` takes the max (workers share one model
+    /// snapshot, so the values are equal anyway); `cpu_time` sums (it is
+    /// per-worker search time by definition). `elapsed` is deliberately
+    /// **not** summed — per-worker
     /// durations overlap in wall time, so the merged value keeps the max
     /// as a lower bound and the parallel driver overwrites it with the
     /// authoritative caller-side `start.elapsed()` afterwards.
@@ -98,6 +107,7 @@ impl SearchStats {
         self.coalesced_requests += other.coalesced_requests;
         self.dedup_waits += other.dedup_waits;
         self.pool_reuse += other.pool_reuse;
+        self.staleness_lag = self.staleness_lag.max(other.staleness_lag);
         self.elapsed = self.elapsed.max(other.elapsed);
         self.cpu_time += other.cpu_time;
         self.timed_out |= other.timed_out;
@@ -367,6 +377,7 @@ mod tests {
             coalesced_requests: 1,
             dedup_waits: 0,
             pool_reuse: 2,
+            staleness_lag: 3,
             elapsed: Duration::from_millis(20),
             cpu_time: Duration::from_millis(20),
             timed_out: false,
@@ -383,6 +394,7 @@ mod tests {
             coalesced_requests: 1,
             dedup_waits: 1,
             pool_reuse: 4,
+            staleness_lag: 1,
             elapsed: Duration::from_millis(35),
             cpu_time: Duration::from_millis(35),
             timed_out: true,
@@ -399,6 +411,7 @@ mod tests {
         assert_eq!(a.coalesced_requests, 2); // sum, per-run rides
         assert_eq!(a.dedup_waits, 1); // sum, per-run build waits
         assert_eq!(a.pool_reuse, 6); // sum, per-run warm threads
+        assert_eq!(a.staleness_lag, 3); // max, one shared model snapshot
         assert_eq!(a.elapsed, Duration::from_millis(35)); // max, wall-clock
         assert_eq!(a.cpu_time, Duration::from_millis(55)); // sum, cpu-time
         assert!(a.timed_out);

@@ -95,6 +95,11 @@ pub enum ShedReason {
     /// The filter cache's in-flight build for this key already has
     /// [`AdmissionPolicy::max_dedup_waiters`] waiters blocked on it.
     DedupWaitersFull,
+    /// The service's model feed is degraded and the [`StalenessPolicy`]
+    /// refuses to serve from the stale snapshot: either the policy is
+    /// [`StalenessPolicy::Block`], or the feed's staleness lag exceeded
+    /// [`StalenessPolicy::ServeStale`]'s `max_lag`.
+    StaleModel,
 }
 
 impl std::fmt::Display for ShedReason {
@@ -108,7 +113,39 @@ impl std::fmt::Display for ShedReason {
             ShedReason::DedupWaitersFull => {
                 write!(f, "in-flight filter build already has the maximum waiters")
             }
+            ShedReason::StaleModel => {
+                write!(f, "model feed degraded beyond the staleness policy")
+            }
         }
+    }
+}
+
+/// How the service serves while its model feed is degraded (the feed is
+/// catching up, resyncing, or stalled — see
+/// [`FeedState`](crate::feed::FeedState)). Irrelevant while the feed is
+/// live (or when no feed is attached at all): fresh models serve
+/// normally under every policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StalenessPolicy {
+    /// Answer from the last good epoch, stamping every response with a
+    /// [`Staleness`](crate::Staleness) marker, until the feed's lag (in
+    /// deltas behind the stream head) exceeds `max_lag` — beyond that,
+    /// submits shed as [`ShedReason::StaleModel`] through the normal
+    /// [`AdmissionPolicy`] machinery. `max_lag: u64::MAX` (the default)
+    /// reproduces the historical feed-less behaviour: serve whatever
+    /// the registry holds, forever.
+    ServeStale {
+        /// Maximum tolerated staleness, in deltas behind the feed head.
+        max_lag: u64,
+    },
+    /// Never answer from a stale snapshot: every submit during feed
+    /// degradation sheds as [`ShedReason::StaleModel`].
+    Block,
+}
+
+impl Default for StalenessPolicy {
+    fn default() -> Self {
+        StalenessPolicy::ServeStale { max_lag: u64::MAX }
     }
 }
 
@@ -281,6 +318,10 @@ pub struct ServiceConfig {
     pub planner_shards: Option<usize>,
     /// Queue bounds and shed behaviour.
     pub admission: AdmissionPolicy,
+    /// Serving behaviour while the model feed is degraded. The default
+    /// ([`StalenessPolicy::ServeStale`] with unlimited lag) matches the
+    /// historical feed-less behaviour.
+    pub staleness: StalenessPolicy,
     /// Chaos fault injection (disabled by default).
     pub faults: FaultPlan,
 }
@@ -311,6 +352,12 @@ impl ServiceConfig {
         self
     }
 
+    /// Set the degraded-feed serving policy.
+    pub fn staleness(mut self, policy: StalenessPolicy) -> Self {
+        self.staleness = policy;
+        self
+    }
+
     /// Set the fault-injection plan (chaos testing only).
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
@@ -330,12 +377,19 @@ pub struct ShedCounters {
     pub deadline_hopeless: u64,
     /// Requests shed because an in-flight build's waiter cap was hit.
     pub dedup_waiters_full: u64,
+    /// Requests shed because the model feed was degraded beyond the
+    /// [`StalenessPolicy`].
+    pub stale_model: u64,
 }
 
 impl ShedCounters {
     /// Total sheds across all reasons.
     pub fn total(&self) -> u64 {
-        self.queue_full + self.group_full + self.deadline_hopeless + self.dedup_waiters_full
+        self.queue_full
+            + self.group_full
+            + self.deadline_hopeless
+            + self.dedup_waiters_full
+            + self.stale_model
     }
 
     /// Accumulate another counter block into this one — the roll-up
@@ -345,6 +399,7 @@ impl ShedCounters {
         self.group_full += other.group_full;
         self.deadline_hopeless += other.deadline_hopeless;
         self.dedup_waiters_full += other.dedup_waiters_full;
+        self.stale_model += other.stale_model;
     }
 }
 
@@ -371,6 +426,7 @@ pub(crate) struct OverloadStats {
     shed_group_full: AtomicU64,
     shed_deadline: AtomicU64,
     shed_dedup: AtomicU64,
+    shed_stale: AtomicU64,
     /// Admitted-but-unresolved planner requests. Every admission path
     /// increments exactly once and every resolution path (delivery,
     /// cancellation at any lifecycle stage, eviction) decrements exactly
@@ -430,6 +486,7 @@ impl OverloadStats {
             ShedReason::GroupFull => &self.shed_group_full,
             ShedReason::DeadlineHopeless => &self.shed_deadline,
             ShedReason::DedupWaitersFull => &self.shed_dedup,
+            ShedReason::StaleModel => &self.shed_stale,
         }
     }
 
@@ -474,6 +531,7 @@ impl OverloadStats {
             group_full: self.shed_group_full.load(Ordering::Relaxed),
             deadline_hopeless: self.shed_deadline.load(Ordering::Relaxed),
             dedup_waiters_full: self.shed_dedup.load(Ordering::Relaxed),
+            stale_model: self.shed_stale.load(Ordering::Relaxed),
         }
     }
 
@@ -546,19 +604,32 @@ mod tests {
             group_full: 2,
             deadline_hopeless: 3,
             dedup_waiters_full: 4,
+            stale_model: 5,
         };
         let b = ShedCounters {
             queue_full: 10,
             group_full: 20,
             deadline_hopeless: 30,
             dedup_waiters_full: 40,
+            stale_model: 50,
         };
         a.merge(&b);
         assert_eq!(a.queue_full, 11);
         assert_eq!(a.group_full, 22);
         assert_eq!(a.deadline_hopeless, 33);
         assert_eq!(a.dedup_waiters_full, 44);
-        assert_eq!(a.total(), 110);
+        assert_eq!(a.stale_model, 55);
+        assert_eq!(a.total(), 165);
+    }
+
+    #[test]
+    fn staleness_policy_defaults_to_unbounded_serve_stale() {
+        assert_eq!(
+            StalenessPolicy::default(),
+            StalenessPolicy::ServeStale { max_lag: u64::MAX }
+        );
+        let c = ServiceConfig::default().staleness(StalenessPolicy::Block);
+        assert_eq!(c.staleness, StalenessPolicy::Block);
     }
 
     #[test]

@@ -24,6 +24,22 @@
 //!   constraints (negotiation levels, scheduler residual models) cannot
 //!   grow the cache without bound.
 //!
+//! ## Epoch promotion
+//!
+//! An epoch bump normally means a guaranteed miss and a full rebuild —
+//! even when the mutation behind the bump touched host nodes the cached
+//! filter never references. [`FilterCache::try_promote`] closes that
+//! gap: given the would-be key for the *current* epoch, it finds the
+//! newest superseded entry with the same `(host, query, constraint)`
+//! identity and asks a caller-supplied verdict (typically: does
+//! [`ModelRegistry::dirty_between`](crate::registry::ModelRegistry::dirty_between)
+//! intersect the filter's
+//! [`touched_hosts`](netembed::FilterMatrix::touched_hosts)?) whether
+//! the old matrix is still exact. On a yes the slot is re-keyed in
+//! place — the next fetch is a plain hit, no build, no miss. The
+//! verdict runs *outside* the cache lock; the re-key re-checks that the
+//! candidate survived and that nobody filled the new key meanwhile.
+//!
 //! ## Concurrent-miss deduplication
 //!
 //! Two threads missing on the same key at the same time used to both
@@ -234,6 +250,7 @@ pub struct FilterCache {
     misses: AtomicU64,
     dedup_waits: AtomicU64,
     dedup_shed: AtomicU64,
+    promotions: AtomicU64,
 }
 
 impl FilterCache {
@@ -256,6 +273,7 @@ impl FilterCache {
             misses: AtomicU64::new(0),
             dedup_waits: AtomicU64::new(0),
             dedup_shed: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
         }
     }
 
@@ -463,6 +481,71 @@ impl FilterCache {
         }
     }
 
+    /// Re-key a superseded entry to `key` when `verdict` certifies the
+    /// old matrix is still exact (module docs, "Epoch promotion").
+    ///
+    /// The candidate is the *newest* memoized entry sharing `key`'s
+    /// host, query fingerprint and constraint with an older epoch.
+    /// `verdict(old_epoch, filter)` decides outside the cache lock —
+    /// callers typically check that the registry's accumulated dirty
+    /// set between the epochs misses the filter's touched host nodes.
+    /// Returns `true` when `key` is memoized afterwards (promotion
+    /// landed, or a concurrent build already filled it); the next
+    /// lookup is then a hit. No counter moves on `false` — the caller
+    /// falls through to the normal miss/build path.
+    pub fn try_promote(
+        &self,
+        key: &FilterKey,
+        verdict: impl FnOnce(ModelEpoch, &FilterMatrix) -> bool,
+    ) -> bool {
+        let candidate = {
+            let st = self.state.lock();
+            if st.map.contains_key(key) {
+                return true;
+            }
+            st.map
+                .iter()
+                .filter(|(k, _)| {
+                    k.host == key.host
+                        && k.query_hash == key.query_hash
+                        && k.constraint == key.constraint
+                        && k.epoch < key.epoch
+                })
+                .max_by_key(|(k, _)| k.epoch)
+                .map(|(k, slot)| (k.clone(), slot.filter.clone()))
+        };
+        let Some((old_key, filter)) = candidate else {
+            return false;
+        };
+        // The verdict may consult the registry (lock-ordering hazard if
+        // held under the cache lock) and scan bitsets (latency under a
+        // hot lock) — run it on the clones.
+        if !verdict(old_key.epoch, &filter) {
+            return false;
+        }
+        let mut st = self.state.lock();
+        if st.map.contains_key(key) {
+            // A concurrent builder landed the fresh epoch first; its
+            // `insert` purged the candidate. The goal state holds.
+            return true;
+        }
+        let Some(slot) = st.map.remove(&old_key) else {
+            // Evicted while the verdict ran; nothing left to promote.
+            return false;
+        };
+        st.tick += 1;
+        let tick = st.tick;
+        st.map.insert(
+            key.clone(),
+            Slot {
+                filter: slot.filter,
+                last_used: tick,
+            },
+        );
+        self.promotions.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
     /// Drop every entry for `host` (any epoch) — eager invalidation for
     /// callers that know a namespace is dead (e.g. a removed model).
     /// Epoch keying already guarantees stale entries are never *served*;
@@ -508,6 +591,13 @@ impl FilterCache {
         self.dedup_shed.load(Ordering::Relaxed)
     }
 
+    /// Lifetime count of superseded entries re-keyed to a newer epoch
+    /// by [`FilterCache::try_promote`] — each one is a full filter
+    /// rebuild the dirty-set bookkeeping saved.
+    pub fn promotions(&self) -> u64 {
+        self.promotions.load(Ordering::Relaxed)
+    }
+
     /// Keys currently being built (observability; racy by nature).
     pub fn in_flight(&self) -> usize {
         self.inflight.lock().unwrap().len()
@@ -529,6 +619,7 @@ impl std::fmt::Debug for FilterCache {
             .field("misses", &self.misses())
             .field("dedup_waits", &self.dedup_waits())
             .field("dedup_shed", &self.dedup_shed())
+            .field("promotions", &self.promotions())
             .field("in_flight", &self.in_flight())
             .finish()
     }
@@ -730,6 +821,80 @@ mod tests {
         cache.invalidate_host("h");
         assert_eq!(cache.len(), 1);
         assert!(cache.lookup(&key("g", 1, "a")).is_some());
+    }
+
+    #[test]
+    fn promotion_rekeys_the_superseded_entry_in_place() {
+        let cache = FilterCache::new();
+        let host = path_host(4);
+        let f = build(&host);
+        cache.insert(key("h", 1, "a"), f.clone());
+        cache.insert(key("h", 1, "b"), f.clone());
+        let mut seen = None;
+        assert!(cache.try_promote(&key("h", 3, "a"), |old, _| {
+            seen = Some(old);
+            true
+        }));
+        assert_eq!(seen, Some(ModelEpoch(1)));
+        assert_eq!(cache.promotions(), 1);
+        let misses_before = cache.misses();
+        assert!(cache.lookup(&key("h", 3, "a")).is_some(), "promoted");
+        assert_eq!(cache.misses(), misses_before, "promotion → hit, no miss");
+        assert!(
+            cache.lookup(&key("h", 1, "a")).is_none(),
+            "old key re-keyed"
+        );
+        assert!(
+            cache.lookup(&key("h", 1, "b")).is_some(),
+            "sibling constraints stay resident as future candidates"
+        );
+        // Promotions chain: the next bump promotes the epoch-3 slot.
+        assert!(cache.try_promote(&key("h", 5, "a"), |old, _| {
+            assert_eq!(old, ModelEpoch(3), "newest superseded epoch wins");
+            true
+        }));
+        assert_eq!(cache.promotions(), 2);
+    }
+
+    #[test]
+    fn promotion_respects_the_verdict_and_the_key_identity() {
+        let cache = FilterCache::new();
+        let host = path_host(4);
+        let f = build(&host);
+        cache.insert(key("h", 1, "a"), f.clone());
+        assert!(
+            !cache.try_promote(&key("h", 5, "a"), |_, _| false),
+            "a refusing verdict must not promote"
+        );
+        assert!(
+            !cache.try_promote(&key("h", 5, "b"), |_, _| true),
+            "different constraint is a different filter"
+        );
+        assert!(
+            !cache.try_promote(&key("g", 5, "a"), |_, _| true),
+            "different host is a different namespace"
+        );
+        assert!(
+            !cache.try_promote(&key("h", 0, "a"), |_, _| true),
+            "an older target epoch has no superseded candidate"
+        );
+        assert_eq!(cache.promotions(), 0);
+        assert!(cache.lookup(&key("h", 1, "a")).is_some(), "entry untouched");
+    }
+
+    #[test]
+    fn promotion_short_circuits_when_the_key_is_already_memoized() {
+        let cache = FilterCache::new();
+        let host = path_host(4);
+        let f = build(&host);
+        cache.insert(key("h", 5, "a"), f.clone());
+        assert!(
+            cache.try_promote(&key("h", 5, "a"), |_, _| panic!(
+                "verdict must not run when the key is already present"
+            )),
+            "an already-memoized key reports success"
+        );
+        assert_eq!(cache.promotions(), 0, "nothing was re-keyed");
     }
 
     #[test]

@@ -72,6 +72,44 @@
 //!    for the winner instead of rebuilding —
 //!    [`SearchStats::dedup_waits`](netembed::SearchStats)).
 //!
+//! Underneath the four request layers sits the **FEED** layer: the
+//! model side of every request. In production shape, registry
+//! mutations arrive from an external watch stream consumed by a
+//! [`feed::RegistryFeed`], which tolerates duplicated, reordered and
+//! lost deltas (bounded reorder buffer, idempotent drops, snapshot
+//! resync with backoff — see [`feed`]) and records each applied
+//! delta's dirty-node set per epoch transition
+//! ([`ModelRegistry::dirty_between`]). The request layers consume the
+//! feed twice: the [`cache::FilterCache`] *promotes* a superseded
+//! cached filter instead of rebuilding when the accumulated dirty
+//! window provably misses the filter's touched host nodes
+//! ([`FilterCache::try_promote`]), and the admission layer reads the
+//! feed's health for the staleness gate below.
+//!
+//! ### Staleness and degradation
+//!
+//! While a feed is degraded (anything but
+//! [`FeedState::Live`](feed::FeedState)), the service's
+//! [`StalenessPolicy`] governs serving:
+//!
+//! * [`StalenessPolicy::ServeStale`]` { max_lag }` — answers keep
+//!   coming from the last good model, but every response is stamped
+//!   with a [`Staleness`] marker (`lag` + the epoch served, mirrored
+//!   into [`SearchStats::staleness_lag`](netembed::SearchStats)); once
+//!   the feed's lag exceeds `max_lag`, submits shed as
+//!   [`ShedReason::StaleModel`] through the normal admission
+//!   machinery. This is the default, with `max_lag = u64::MAX`: a
+//!   service with no feed attached never sheds and never stamps.
+//! * [`StalenessPolicy::Block`] — any degradation sheds immediately:
+//!   correctness-critical callers prefer a deterministic
+//!   [`ServiceError::Overloaded`]`(StaleModel)` (or a degraded
+//!   `Inconclusive`, per [`ShedMode`]) over a possibly-stale answer.
+//!
+//! The gate is enforced at both submit paths — planner admission and
+//! the direct [`PreparedQuery`] path — and `tests/feed.rs` +
+//! `tests/chaos.rs` pin the trichotomy: every response is fresh,
+//! `Staleness`-marked within `max_lag`, or a deterministic shed.
+//!
 //! ## Admission, priority and load shedding
 //!
 //! The queues above are bounded by a per-service
@@ -120,8 +158,10 @@
 //!                              counter and wakeup stays in that lane
 //!                                │
 //!                ┌───────────────┼─────────────────────┐
-//!                │ (admitted)    │ (bound hit,          │ (deadline
-//!                │               │  no victim)          │  hopeless)
+//!                │ (admitted)    │ (bound hit, no       │ (deadline
+//!                │               │  victim — or model   │  hopeless)
+//!                │               │  feed degraded:      │
+//!                │               │  StaleModel)         │
 //!                ▼               ▼                      ▼
 //!            QUEUED         SHED-AT-SUBMIT        SHED-HOPELESS
 //!       shard gauge += 1   Reject ⇒ Err(Overloaded)  always resolves
@@ -166,6 +206,7 @@
 
 pub mod admission;
 pub mod cache;
+pub mod feed;
 pub mod monitor;
 pub mod negotiate;
 pub mod partition;
@@ -177,14 +218,19 @@ pub mod schedule;
 
 pub use admission::{
     AdmissionPolicy, FaultPlan, Priority, ServiceConfig, ShedCounters, ShedMode, ShedReason,
+    StalenessPolicy,
 };
 pub use cache::{FilterCache, FilterKey};
+pub use feed::{
+    DeltaMutation, DeltaStream, FeedConfig, FeedSnapshot, FeedState, FeedStatus, FeedTelemetry,
+    RegistryDelta, RegistryFeed, SnapshotSource,
+};
 pub use monitor::{MonitorParams, MonitorSim};
 pub use negotiate::{negotiate, NegotiationOutcome};
 pub use partition::{Locality, PartitionedHost, PartitionedResponse};
 pub use planner::{PlannedRequest, Planner, Ticket};
 pub use prepared::PreparedQuery;
-pub use registry::{ModelEpoch, ModelRegistry};
+pub use registry::{DirtySet, ModelEpoch, ModelRegistry};
 pub use reservation::{Reservation, ReservationError, ReservationManager};
 pub use schedule::{Allocation, ScheduleError, ScheduledEmbedding, Scheduler, Tick};
 
@@ -227,6 +273,21 @@ pub struct BatchQueryRequest {
     pub runs: Vec<Options>,
 }
 
+/// Marker stamped on responses computed while the model feed was
+/// degraded (see the crate docs' "Staleness and degradation"): the
+/// answer is correct against `epoch`, but `lag` newer stream deltas had
+/// not been applied when it was served. `None` on a response means the
+/// model was fresh (or no feed is attached — the default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Staleness {
+    /// Feed lag at serve time, in stream sequence units
+    /// ([`FeedStatus::lag`]).
+    pub lag: u64,
+    /// The (possibly stale) model epoch the answer was computed
+    /// against.
+    pub epoch: ModelEpoch,
+}
+
 /// A service response: the §VII-E-classified outcome plus statistics.
 #[derive(Debug, Clone)]
 pub struct QueryResponse {
@@ -237,6 +298,11 @@ pub struct QueryResponse {
     /// memoized filter, and [`SearchStats::pool_reuse`] counts warm
     /// worker-pool threads a parallel run found.
     pub stats: SearchStats,
+    /// `Some` when the serving model was stale under a degraded feed
+    /// ([`StalenessPolicy::ServeStale`]); mirrored into
+    /// [`SearchStats::staleness_lag`](netembed::SearchStats) so batch
+    /// roll-ups keep the worst lag.
+    pub staleness: Option<Staleness>,
 }
 
 impl QueryResponse {
@@ -381,6 +447,11 @@ pub struct NetEmbedService {
     leases_out: AtomicUsize,
     lease_peak: AtomicUsize,
     faults: admission::FaultInjector,
+    /// Feed-health block, written by an attached
+    /// [`RegistryFeed`](feed::RegistryFeed)'s pumps and read by the
+    /// staleness gate on every submit path. A service with no feed
+    /// reads as `Live`/zero-lag, which disables the gate.
+    feed: feed::FeedStatus,
 }
 
 impl NetEmbedService {
@@ -407,6 +478,7 @@ impl NetEmbedService {
             leases_out: AtomicUsize::new(0),
             lease_peak: AtomicUsize::new(0),
             faults: admission::FaultInjector::new(config.faults),
+            feed: feed::FeedStatus::default(),
         }
     }
 
@@ -447,6 +519,65 @@ impl NetEmbedService {
 
     pub(crate) fn faults(&self) -> &admission::FaultInjector {
         &self.faults
+    }
+
+    /// The feed-health block a [`RegistryFeed`]
+    /// publishes into (and the staleness gate reads). Always `Live`
+    /// with zero lag when no feed is attached.
+    pub fn feed_status(&self) -> &feed::FeedStatus {
+        &self.feed
+    }
+
+    /// Remove a model *and* eagerly drop the host's cached filters.
+    /// [`ModelRegistry::remove`] alone leaves the removed host's
+    /// [`FilterCache`] entries resident until LRU pressure evicts them
+    /// — epoch keying keeps them unservable, but a removed namespace
+    /// should not pin cache slots (and a promotion must never consider
+    /// a dead host's entries), so the service pairs the two.
+    pub fn remove_model(&self, name: &str) -> Option<std::sync::Arc<Network>> {
+        let model = self.registry.remove(name);
+        if model.is_some() {
+            self.cache.invalidate_host(name);
+        }
+        model
+    }
+
+    /// Whether the [`StalenessPolicy`] says submits must shed right
+    /// now: the feed is degraded and the policy is `Block`, or it is
+    /// `ServeStale` and the lag exceeds `max_lag`.
+    pub(crate) fn stale_shed(&self) -> bool {
+        if self.feed.state() == feed::FeedState::Live {
+            return false;
+        }
+        match self.config.staleness {
+            StalenessPolicy::Block => true,
+            StalenessPolicy::ServeStale { max_lag } => self.feed.lag() > max_lag,
+        }
+    }
+
+    /// The [`Staleness`] marker to stamp on a response computed against
+    /// `epoch` right now — `None` while the feed is live.
+    pub(crate) fn current_staleness(&self, epoch: ModelEpoch) -> Option<Staleness> {
+        if self.feed.state() == feed::FeedState::Live {
+            return None;
+        }
+        Some(Staleness {
+            lag: self.feed.lag(),
+            epoch,
+        })
+    }
+
+    /// Dirty-set cache promotion (see
+    /// [`FilterCache::try_promote`]): before resolving `key` through
+    /// the cache, try to re-key a superseded same-identity entry whose
+    /// accumulated dirty window misses the filter's touched host nodes
+    /// — turning an epoch-bump rebuild into a plain hit.
+    pub(crate) fn promote_filter(&self, key: &FilterKey) {
+        self.cache.try_promote(key, |old, filter| {
+            self.registry
+                .dirty_between(&key.host, old, key.epoch)
+                .is_some_and(|dirty| !dirty.intersects(&filter.touched_hosts()))
+        });
     }
 
     /// The parked-scratch cap in force right now: an explicit
@@ -646,6 +777,11 @@ pub struct ServiceTelemetry {
     /// Fixed-bucket histogram of per-member dispatch (run) latencies
     /// (merged across shards).
     pub dispatch_latency: HistogramSnapshot,
+    /// Feed health: state, delta counters (balanced per the
+    /// [`feed`]-module ledger identity), resync counters, last applied
+    /// sequence and the staleness-lag gauge. All zero /
+    /// [`FeedState::Live`](feed::FeedState) when no feed is attached.
+    pub feed: feed::FeedTelemetry,
     /// The per-shard ledgers the fields above roll up.
     pub shards: Vec<ShardTelemetry>,
 }
@@ -693,6 +829,7 @@ impl NetEmbedService {
             shed,
             queue_wait,
             dispatch_latency,
+            feed: self.feed.snapshot(),
             shards,
         }
     }

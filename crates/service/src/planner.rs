@@ -346,6 +346,7 @@ fn shed_response(queued: Duration) -> QueryResponse {
             elapsed: queued,
             ..SearchStats::default()
         },
+        staleness: None,
     }
 }
 
@@ -542,6 +543,16 @@ impl<'svc> Planner<'svc> {
         let group_idx = st.groups.iter().position(|g| g.key == *key);
         if group_idx.is_none() && create.is_none() {
             return Admit::NoOpenGroup;
+        }
+        // Staleness gate: while the model feed is degraded past the
+        // service's [`StalenessPolicy`], nothing new enters the queue —
+        // admitting work against a model known to be behind its feed
+        // just manufactures wrong-epoch answers. Shedding through
+        // `shed_incoming` keeps the admission ledger exact.
+        //
+        // [`StalenessPolicy`]: crate::admission::StalenessPolicy
+        if self.svc.stale_shed() {
+            return self.shed_incoming(shard, st, ShedReason::StaleModel);
         }
         let policy = self.svc.config().admission;
         let overload = self.svc.overload_shard(shard);
@@ -806,6 +817,14 @@ impl<'svc> Planner<'svc> {
             }
         };
         let mut scratch = self.svc.checkout_scratch();
+        // Epoch promotion: a superseded-epoch cached filter whose
+        // touched nodes the accumulated dirty set missed is re-keyed to
+        // this group's epoch instead of rebuilt (same check as the
+        // prepared path).
+        self.svc.promote_filter(&key);
+        // Stamped once per group: every member dispatches against the
+        // same epoch, so they share one staleness verdict.
+        let staleness = self.svc.current_staleness(key.epoch);
         // The group pin: the first member to obtain a filter (hit or
         // build) fixes the exact `Arc` every later member reuses —
         // same eviction immunity as a `PreparedQuery` batch.
@@ -832,6 +851,7 @@ impl<'svc> Planner<'svc> {
                                     elapsed: queued,
                                     ..SearchStats::default()
                                 },
+                                staleness: None,
                             }),
                         );
                         continue;
@@ -889,9 +909,11 @@ impl<'svc> Planner<'svc> {
                         result.stats.coalesced_requests += 1;
                         self.coalesced_total.fetch_add(1, Ordering::Relaxed);
                     }
+                    result.stats.staleness_lag = staleness.map_or(0, |s| s.lag);
                     Ok(QueryResponse {
                         outcome: result.outcome,
                         stats: result.stats,
+                        staleness,
                     })
                 })
             }));

@@ -118,13 +118,41 @@ impl<'svc> PreparedQuery<'svc> {
             .registry()
             .get(&self.host)
             .ok_or_else(|| ServiceError::UnknownHost(self.host.clone()))?;
-        let problem = Problem::from_parsed(&self.query, &host, &self.expr)?;
+        // Staleness gate (crate docs, "Staleness and degradation"): the
+        // direct path has no admission queue, so the gate is the whole
+        // check — shed per the service's mode, exactly like a planner
+        // submit would.
+        if self.svc.stale_shed() {
+            match self.svc.config().admission.shed {
+                ShedMode::Reject => {
+                    return Err(ServiceError::Overloaded(ShedReason::StaleModel));
+                }
+                ShedMode::DegradeInconclusive => {
+                    let staleness = self.svc.current_staleness(epoch);
+                    return Ok(runs
+                        .iter()
+                        .map(|_| {
+                            let shed = shed_inconclusive();
+                            QueryResponse {
+                                outcome: shed.outcome,
+                                stats: shed.stats,
+                                staleness,
+                            }
+                        })
+                        .collect());
+                }
+            }
+        }
         let key = FilterKey {
             host: self.host.clone(),
             epoch,
             query_hash: self.query_hash,
             constraint: self.constraint.clone(),
         };
+        // Epoch bump since the last cached build? Try the dirty-set
+        // promotion before the fetch below can miss.
+        self.svc.promote_filter(&key);
+        let problem = Problem::from_parsed(&self.query, &host, &self.expr)?;
         let scratch = self.scratch.as_mut().expect("scratch leased until drop");
         let mut responses = Vec::with_capacity(runs.len());
         // Batch-local pin: once a filter is obtained (hit or build), the
@@ -159,9 +187,15 @@ impl<'svc> PreparedQuery<'svc> {
             for m in &result.mappings {
                 netembed::check_mapping(&problem, m).map_err(ServiceError::VerificationFailed)?;
             }
+            // Stamp serve-time staleness: the epoch this batch is bound
+            // to may be lagging a degraded feed.
+            let staleness = self.svc.current_staleness(epoch);
+            let mut stats = result.stats;
+            stats.staleness_lag = staleness.map_or(0, |s| s.lag);
             responses.push(QueryResponse {
                 outcome: result.outcome,
-                stats: result.stats,
+                stats,
+                staleness,
             });
         }
         Ok(responses)

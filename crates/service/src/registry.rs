@@ -25,10 +25,24 @@
 //!   wrongly resurrected;
 //! * mutating host `A` leaves host `B`'s epoch untouched, so epoch-keyed
 //!   caches are invalidated *exactly* for the affected host.
+//!
+//! ## Dirty-node history
+//!
+//! Feed-driven mutations ([`ModelRegistry::update_dirty`], used by
+//! [`crate::feed::RegistryFeed`]) additionally record *which host nodes*
+//! each epoch transition touched. [`ModelRegistry::dirty_between`]
+//! composes those per-transition [`DirtySet`]s into the union of
+//! everything dirtied between two epochs — the contract the
+//! [`FilterCache`](crate::cache::FilterCache)'s epoch-promotion path
+//! (and, per the ROADMAP, future in-place `FilterMatrix` patching)
+//! builds on. Untracked mutations ([`ModelRegistry::update`],
+//! [`ModelRegistry::register`]) deliberately *break* the transition
+//! chain: `dirty_between` across them returns `None`, which downstream
+//! consumers must treat as "anything may have changed" (full rebuild).
 
-use netgraph::Network;
+use netgraph::{Network, NodeBitSet, NodeId};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -39,9 +53,91 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ModelEpoch(pub u64);
 
+/// The set of host-node ids one (or a composition of) registry
+/// mutation(s) touched: mutated nodes plus both endpoints of every
+/// mutated edge. Kept as a sorted id set rather than a bitset so it is
+/// independent of any particular host's node capacity (a delta may add
+/// nodes the current model does not have yet).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirtySet {
+    ids: BTreeSet<u32>,
+}
+
+impl DirtySet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from raw node indices.
+    pub fn from_ids(ids: impl IntoIterator<Item = u32>) -> Self {
+        DirtySet {
+            ids: ids.into_iter().collect(),
+        }
+    }
+
+    /// Mark one node dirty.
+    pub fn insert(&mut self, id: u32) {
+        self.ids.insert(id);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: u32) -> bool {
+        self.ids.contains(&id)
+    }
+
+    /// Number of dirty nodes.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when nothing is dirty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// In-place union with `other`.
+    pub fn union_with(&mut self, other: &DirtySet) {
+        self.ids.extend(other.ids.iter().copied());
+    }
+
+    /// True when any dirty node is a member of `nodes` (ids beyond the
+    /// bitset's capacity cannot be members and are skipped) — the
+    /// cache-promotion probe: a filter whose candidate union does not
+    /// intersect the accumulated dirty set cannot have lost a cached
+    /// candidate.
+    pub fn intersects(&self, nodes: &NodeBitSet) -> bool {
+        self.ids.iter().any(|&id| nodes.contains(NodeId(id)))
+    }
+
+    /// Dirty node ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.ids.iter().copied()
+    }
+}
+
+/// Epoch transitions (with their dirty sets) retained per host. Bounds
+/// the memory of a long-lived feed; `dirty_between` over a window older
+/// than the retained history returns `None` (full rebuild), which is
+/// always safe.
+const DIRTY_HISTORY_CAP: usize = 64;
+
+/// One recorded transition: applying a tracked mutation moved the host
+/// from epoch `from` to epoch `to`, dirtying `dirty`.
+struct Transition {
+    from: ModelEpoch,
+    to: ModelEpoch,
+    dirty: DirtySet,
+}
+
 struct Entry {
     model: Arc<Network>,
     epoch: ModelEpoch,
+    /// Tracked transitions in application order (`from` strictly
+    /// increasing). Cleared on wholesale replacement
+    /// ([`ModelRegistry::register`]): a snapshot swap has no per-node
+    /// delta, so the chain must break there.
+    history: VecDeque<Transition>,
 }
 
 /// Thread-safe named store of hosting-network models.
@@ -78,6 +174,7 @@ impl ModelRegistry {
             Entry {
                 model: Arc::new(model),
                 epoch,
+                history: VecDeque::new(),
             },
         );
         epoch
@@ -106,7 +203,14 @@ impl ModelRegistry {
         self.models.read().get(name).map(|e| e.epoch)
     }
 
-    /// Remove a model; returns it if present.
+    /// Remove a model; returns it if present. The host's dirty history
+    /// goes with it — a later re-register starts a fresh chain. Note
+    /// that epoch-keyed [`FilterCache`](crate::cache::FilterCache)
+    /// entries for the host are *not* reachable from here; callers that
+    /// own both sides should go through
+    /// [`NetEmbedService::remove_model`](crate::NetEmbedService::remove_model),
+    /// which pairs the removal with an explicit same-host cache
+    /// invalidation.
     pub fn remove(&self, name: &str) -> Option<Arc<Network>> {
         self.models.write().remove(name).map(|e| e.model)
     }
@@ -115,21 +219,90 @@ impl ModelRegistry {
     /// the result in under a fresh epoch, which is returned. `None` when
     /// `name` is unknown. This is the reservation system's hook (§III
     /// component 3): allocate → adjust → epoch bump (which invalidates
-    /// exactly this host's cached filters).
+    /// exactly this host's cached filters). Untracked: the transition
+    /// carries no dirty set, so [`ModelRegistry::dirty_between`] across
+    /// it reports `None`.
     pub fn update(&self, name: &str, update: impl FnOnce(&mut Network)) -> Option<ModelEpoch> {
         let mut guard = self.models.write();
         let entry = guard.get(name)?;
         let mut copy = (*entry.model).clone();
         update(&mut copy);
         let epoch = self.next_epoch();
-        guard.insert(
-            name.to_string(),
-            Entry {
-                model: Arc::new(copy),
-                epoch,
-            },
-        );
+        let entry = guard.get_mut(name).expect("entry probed above");
+        entry.model = Arc::new(copy);
+        entry.epoch = epoch;
         Some(epoch)
+    }
+
+    /// [`ModelRegistry::update`] with a recorded [`DirtySet`]: applies
+    /// the mutation under a fresh epoch *and* appends the `(old epoch →
+    /// new epoch, dirty)` transition to the host's bounded history, so
+    /// [`ModelRegistry::dirty_between`] can later answer "what changed
+    /// between these two epochs". Returns the `(from, to)` epoch pair.
+    ///
+    /// The caller asserts that `dirty` covers every node the mutation
+    /// touches (mutated nodes plus both endpoints of mutated edges);
+    /// the feed validates that claim per delta before applying.
+    pub fn update_dirty(
+        &self,
+        name: &str,
+        dirty: DirtySet,
+        update: impl FnOnce(&mut Network),
+    ) -> Option<(ModelEpoch, ModelEpoch)> {
+        let mut guard = self.models.write();
+        let entry = guard.get(name)?;
+        let from = entry.epoch;
+        let mut copy = (*entry.model).clone();
+        update(&mut copy);
+        let to = self.next_epoch();
+        let entry = guard.get_mut(name).expect("entry probed above");
+        entry.model = Arc::new(copy);
+        entry.epoch = to;
+        entry.history.push_back(Transition { from, to, dirty });
+        if entry.history.len() > DIRTY_HISTORY_CAP {
+            entry.history.pop_front();
+        }
+        Some((from, to))
+    }
+
+    /// The union of every node dirtied between epochs `e1` and `e2` of
+    /// host `name`, or `None` when the answer is unknowable: the host is
+    /// unregistered, the window predates the retained history, or the
+    /// transition chain from `e1` to `e2` is broken by an untracked
+    /// mutation ([`ModelRegistry::update`]) or a wholesale swap
+    /// ([`ModelRegistry::register`]). `Some(empty)` for `e1 == e2`.
+    /// `None` must be read as "anything may have changed".
+    pub fn dirty_between(&self, name: &str, e1: ModelEpoch, e2: ModelEpoch) -> Option<DirtySet> {
+        if e1 > e2 {
+            return None;
+        }
+        let guard = self.models.read();
+        let entry = guard.get(name)?;
+        let mut acc = DirtySet::new();
+        if e1 == e2 {
+            return Some(acc);
+        }
+        // History is append-ordered with strictly increasing epochs, so
+        // one forward walk either chains e1 → e2 exactly or proves a
+        // break (missing link = untracked transition in the window).
+        let mut cursor = e1;
+        for t in &entry.history {
+            if t.from < cursor {
+                continue;
+            }
+            if t.from > cursor {
+                return None; // chain broken inside the window
+            }
+            acc.union_with(&t.dirty);
+            cursor = t.to;
+            if cursor == e2 {
+                return Some(acc);
+            }
+            if cursor > e2 {
+                return None;
+            }
+        }
+        None // ran out of history before reaching e2
     }
 
     /// Registered model names, sorted.
@@ -231,6 +404,115 @@ mod tests {
         for w in seen.windows(2) {
             assert!(w[0] < w[1], "duplicate epoch");
         }
+    }
+
+    #[test]
+    fn dirty_between_composes_tracked_transitions() {
+        let reg = ModelRegistry::new();
+        let e0 = reg.register("m", net(6));
+        let (f1, t1) = reg
+            .update_dirty("m", DirtySet::from_ids([0, 1]), |n| {
+                n.set_node_attr(NodeId(0), "cpu", 4.0);
+            })
+            .unwrap();
+        assert_eq!(f1, e0);
+        let (_, t2) = reg
+            .update_dirty("m", DirtySet::from_ids([3]), |n| {
+                n.set_node_attr(NodeId(3), "cpu", 2.0);
+            })
+            .unwrap();
+        // Identity window, single hop, composed window.
+        assert_eq!(reg.dirty_between("m", t2, t2), Some(DirtySet::new()));
+        assert_eq!(
+            reg.dirty_between("m", e0, t1),
+            Some(DirtySet::from_ids([0, 1]))
+        );
+        assert_eq!(
+            reg.dirty_between("m", e0, t2),
+            Some(DirtySet::from_ids([0, 1, 3]))
+        );
+        assert_eq!(
+            reg.dirty_between("m", t1, t2),
+            Some(DirtySet::from_ids([3]))
+        );
+        // Reversed and unknown windows are unanswerable.
+        assert_eq!(reg.dirty_between("m", t2, e0), None);
+        assert_eq!(reg.dirty_between("missing", e0, t2), None);
+    }
+
+    #[test]
+    fn untracked_mutations_break_the_dirty_chain() {
+        let reg = ModelRegistry::new();
+        let e0 = reg.register("m", net(4));
+        let (_, t1) = reg
+            .update_dirty("m", DirtySet::from_ids([1]), |_| {})
+            .unwrap();
+        // An untracked update bumps the epoch with no dirty record …
+        let u = reg.update("m", |_| {}).unwrap();
+        // … so any window crossing it is unanswerable, while windows
+        // ending before it still compose.
+        assert_eq!(reg.dirty_between("m", e0, u), None);
+        assert_eq!(reg.dirty_between("m", t1, u), None);
+        assert_eq!(
+            reg.dirty_between("m", e0, t1),
+            Some(DirtySet::from_ids([1]))
+        );
+        // A wholesale re-register clears the history entirely.
+        let (_, t2) = reg
+            .update_dirty("m", DirtySet::from_ids([2]), |_| {})
+            .unwrap();
+        assert_eq!(reg.dirty_between("m", u, t2), Some(DirtySet::from_ids([2])));
+        let r = reg.register("m", net(4));
+        assert_eq!(reg.dirty_between("m", u, t2), None);
+        assert_eq!(reg.dirty_between("m", t2, r), None);
+    }
+
+    #[test]
+    fn dirty_history_is_bounded() {
+        let reg = ModelRegistry::new();
+        let e0 = reg.register("m", net(2));
+        let mut last = e0;
+        let mut froms = Vec::new();
+        for i in 0..(DIRTY_HISTORY_CAP as u32 + 8) {
+            let (from, to) = reg
+                .update_dirty("m", DirtySet::from_ids([i % 2]), |_| {})
+                .unwrap();
+            froms.push(from);
+            last = to;
+        }
+        // The oldest transitions fell off: a window starting at the
+        // seed epoch is no longer answerable …
+        assert_eq!(reg.dirty_between("m", e0, last), None);
+        // … and neither is one starting just before the retained
+        // suffix …
+        let oldest_retained = froms[froms.len() - DIRTY_HISTORY_CAP];
+        assert_eq!(
+            reg.dirty_between("m", froms[froms.len() - DIRTY_HISTORY_CAP - 1], last),
+            None
+        );
+        // … but the retained suffix itself still composes.
+        assert_eq!(
+            reg.dirty_between("m", oldest_retained, last),
+            Some(DirtySet::from_ids([0, 1]))
+        );
+    }
+
+    #[test]
+    fn dirty_set_algebra() {
+        let mut d = DirtySet::from_ids([5, 1]);
+        d.insert(9);
+        assert!(d.contains(1) && d.contains(5) && d.contains(9));
+        assert!(!d.contains(2));
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 5, 9]);
+        d.union_with(&DirtySet::from_ids([5, 7]));
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 5, 7, 9]);
+        assert!(DirtySet::new().is_empty());
+
+        // Bitset intersection probe: out-of-capacity ids never match.
+        let members = NodeBitSet::from_iter(8, [NodeId(1), NodeId(7)]);
+        assert!(d.intersects(&members));
+        assert!(!DirtySet::from_ids([2, 3, 100]).intersects(&members));
     }
 
     #[test]

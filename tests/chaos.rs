@@ -525,3 +525,324 @@ fn sorted_mappings(resp: &QueryResponse) -> Vec<Vec<(u32, u32)>> {
     out.sort();
     out
 }
+
+// ---- feed-fault chaos ------------------------------------------------------
+
+use netgraph::{AttrValue, NodeId};
+use service::cache::network_fingerprint;
+use service::{
+    DeltaMutation, DirtySet, FeedConfig, FeedSnapshot, FeedState, RegistryDelta, RegistryFeed,
+};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// Every edge of [`ring_host`], by endpoint ids — the mutation targets
+/// for the feed-fault delta scripts.
+const RING_EDGES: [(u32, u32); 9] = [
+    (0, 1),
+    (1, 2),
+    (2, 3),
+    (3, 4),
+    (4, 5),
+    (5, 0),
+    (0, 2),
+    (1, 4),
+    (3, 5),
+];
+
+/// An `avgDelay` rewrite on one ring edge covering `seq → seq + 1`.
+fn edge_delta(seq: u64, (src, dst): (u32, u32), delay: f64) -> RegistryDelta {
+    RegistryDelta {
+        host: "plab".into(),
+        base_seq: seq,
+        next_seq: seq + 1,
+        mutation: DeltaMutation::SetEdgeAttr {
+            src,
+            dst,
+            attr: "avgDelay".into(),
+            value: AttrValue::Num(delay),
+        },
+        dirty: DirtySet::from_ids([src, dst]),
+    }
+}
+
+/// Replay one clean delta onto the upstream truth.
+fn apply_truth(net: &mut Network, delta: &RegistryDelta) {
+    match &delta.mutation {
+        DeltaMutation::SetEdgeAttr {
+            src,
+            dst,
+            attr,
+            value,
+        } => {
+            let e = net
+                .find_edge(NodeId(*src), NodeId(*dst))
+                .expect("script targets ring edges");
+            net.set_edge_attr(e, attr.as_str(), value.clone());
+        }
+        other => unreachable!("feed chaos scripts only edge rewrites, got {other:?}"),
+    }
+}
+
+/// A scripted stream that emits at most `chunk` deltas per pump and
+/// publishes the highest `next_seq` emitted so far, so the snapshot
+/// source can serve the matching upstream truth (threads share the
+/// high-water mark through an atomic).
+struct ScriptedStream {
+    script: Vec<RegistryDelta>,
+    pos: usize,
+    chunk: usize,
+    served_this_burst: usize,
+    emitted_hwm: Arc<AtomicU64>,
+}
+
+impl service::DeltaStream for ScriptedStream {
+    fn next_delta(&mut self) -> Option<RegistryDelta> {
+        if self.served_this_burst == self.chunk {
+            self.served_this_burst = 0;
+            return None;
+        }
+        let delta = self.script.get(self.pos)?.clone();
+        self.pos += 1;
+        self.served_this_burst += 1;
+        self.emitted_hwm
+            .fetch_max(delta.next_seq, Ordering::Relaxed);
+        Some(delta)
+    }
+}
+
+/// One seeded feed-fault round: a scripted upstream of edge rewrites is
+/// mangled — drops, duplicates, adjacent swaps, three-slot delays, and
+/// corrupted (under-declared dirty) deltas that force resyncs — while
+/// client threads keep submitting against the host being mutated.
+///
+/// Invariants checked regardless of the schedule:
+/// - every delivered mapping re-verifies against **some** prefix of the
+///   clean delta sequence — i.e. a state the feed actually applied
+///   (organically or via snapshot), never a torn or invented one;
+/// - the feed converges to exactly the clean stream's final state, with
+///   the delivery ledger balanced and at least one gap resync;
+/// - nothing is lost: the last applied sequence reaches the end.
+fn feed_chaos_round(seed: u64) {
+    const DELTAS: usize = 30;
+    const CLIENTS: usize = 2;
+    const OPS_PER_CLIENT: usize = 6;
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00FE_EDFA);
+    let base = ring_host(1.0);
+    let clean: Vec<RegistryDelta> = (0..DELTAS)
+        .map(|i| {
+            let edge = RING_EDGES[rng.random_range(0..RING_EDGES.len())];
+            edge_delta(i as u64, edge, rng.random_range(5.0..50.0))
+        })
+        .collect();
+    let mut states = vec![base.clone()];
+    for delta in &clean {
+        let mut next = states.last().unwrap().clone();
+        apply_truth(&mut next, delta);
+        states.push(next);
+    }
+
+    // Fault schedule: mangle the emission order and content.
+    let mut script: Vec<RegistryDelta> = Vec::new();
+    let mut held: Vec<(usize, RegistryDelta)> = Vec::new();
+    let mut dropped = 0usize;
+    let mut i = 0usize;
+    while i < clean.len() {
+        held.retain(|(release_at, delta)| {
+            if *release_at <= script.len() {
+                script.push(delta.clone());
+                false
+            } else {
+                true
+            }
+        });
+        match rng.random_range(0..20u32) {
+            0 | 1 => dropped += 1, // dropped: never emitted
+            2 | 3 => {
+                script.push(clean[i].clone());
+                script.push(clean[i].clone()); // duplicated
+            }
+            4 | 5 if i + 1 < clean.len() => {
+                script.push(clean[i + 1].clone()); // adjacent swap
+                script.push(clean[i].clone());
+                i += 1;
+            }
+            6 => held.push((script.len() + 3, clean[i].clone())), // delayed
+            7 => {
+                // Corrupted: the dirty declaration is stripped, so the
+                // delta rejects on apply and forces a resync; the clean
+                // version is never emitted (recovered via snapshot).
+                let mut corrupt = clean[i].clone();
+                corrupt.dirty = DirtySet::new();
+                script.push(corrupt);
+                dropped += 1;
+            }
+            _ => script.push(clean[i].clone()),
+        }
+        i += 1;
+    }
+    for (_, delta) in held {
+        script.push(delta);
+    }
+    if dropped == 0 {
+        // Every round must exercise the resync path: steal one delta
+        // from the middle of the schedule.
+        let victim = clean[DELTAS / 2].clone();
+        script.retain(|d| d.base_seq != victim.base_seq);
+        dropped += 1;
+    }
+    // Close any trailing gap: re-emit the tail so drops near the end
+    // still open a gap the parked buffer can see (a duplicate if the
+    // tail already landed).
+    script.push(clean[DELTAS - 1].clone());
+
+    let svc = NetEmbedService::new();
+    svc.registry().register("plab", base.clone());
+    let emitted_hwm = Arc::new(AtomicU64::new(0));
+    let stream = ScriptedStream {
+        script,
+        pos: 0,
+        chunk: 3,
+        served_this_burst: 0,
+        emitted_hwm: Arc::clone(&emitted_hwm),
+    };
+    let snapshot_hwm = Arc::clone(&emitted_hwm);
+    let snapshot_states = states.clone();
+    let snapshots = move || {
+        let seq = snapshot_hwm.load(Ordering::Relaxed);
+        Some(FeedSnapshot {
+            seq,
+            models: vec![("plab".into(), snapshot_states[seq as usize].clone())],
+        })
+    };
+    let converged = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        let svc = &svc;
+        let converged = &converged;
+        s.spawn(move || {
+            let mut feed = RegistryFeed::new(stream, snapshots, FeedConfig::default());
+            for _ in 0..5_000 {
+                let state = feed.pump(svc);
+                if state == FeedState::Live && feed.cursor() == DELTAS as u64 {
+                    converged.store(true, Ordering::Relaxed);
+                    return;
+                }
+                std::thread::yield_now();
+            }
+        });
+        for client in 0..CLIENTS {
+            let states = &states;
+            s.spawn(move || {
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (client as u64 + 1).wrapping_mul(0xFEED));
+                let snapshots: Vec<&Network> = states.iter().collect();
+                let planner = svc.planner();
+                for op in 0..OPS_PER_CLIENT {
+                    let query = edge_query();
+                    let constraint = CONSTRAINTS[rng.random_range(0..CONSTRAINTS.len())];
+                    let req = PlannedRequest {
+                        host: "plab".into(),
+                        query: query.clone(),
+                        constraint: constraint.into(),
+                        options: Options {
+                            mode: SearchMode::UpTo(8),
+                            ..Options::default()
+                        },
+                    };
+                    let result = if op % 2 == 0 {
+                        svc.submit(&req)
+                    } else {
+                        planner.run(&req)
+                    };
+                    let resp = result.expect("no admission bounds configured: never sheds");
+                    assert_mappings_verify(&resp, &query, constraint, &snapshots);
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+
+    assert!(
+        converged.load(Ordering::Relaxed),
+        "seed {seed}: faulty feed failed to converge"
+    );
+    let feed_tl = svc.telemetry().feed;
+    assert!(
+        feed_tl.balanced(),
+        "seed {seed}: delivery ledger unbalanced: {feed_tl:?}"
+    );
+    assert!(
+        feed_tl.gap_resyncs >= 1,
+        "seed {seed}: {dropped} losses must force a resync: {feed_tl:?}"
+    );
+    assert_eq!(feed_tl.last_applied_seq, DELTAS as u64, "seed {seed}");
+    assert_eq!(feed_tl.lag, 0, "seed {seed}");
+    assert_eq!(
+        network_fingerprint(&svc.registry().model("plab").unwrap()),
+        network_fingerprint(states.last().unwrap()),
+        "seed {seed}: converged state diverges from the clean stream"
+    );
+}
+
+#[test]
+fn feed_fault_rounds_converge_and_serve_only_applied_states() {
+    for seed in 0..chaos_rounds() {
+        feed_chaos_round(seed);
+    }
+}
+
+/// The dirty-window algebra, end to end through a live feed: stepping a
+/// clean scripted stream one delta per pump, the registry's
+/// `dirty_between` over **every** epoch window must equal the union of
+/// the per-delta dirty sets inside that window.
+#[test]
+fn feed_dirty_windows_compose_to_the_union_of_delta_dirty_sets() {
+    const DELTAS: usize = 12;
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1F7);
+        let svc = NetEmbedService::new();
+        svc.registry().register("plab", ring_host(1.0));
+        let clean: Vec<RegistryDelta> = (0..DELTAS)
+            .map(|i| {
+                let edge = RING_EDGES[rng.random_range(0..RING_EDGES.len())];
+                edge_delta(i as u64, edge, rng.random_range(5.0..50.0))
+            })
+            .collect();
+        let stream = ScriptedStream {
+            script: clean.clone(),
+            pos: 0,
+            chunk: 1,
+            served_this_burst: 0,
+            emitted_hwm: Arc::new(AtomicU64::new(0)),
+        };
+        let mut feed = RegistryFeed::new(
+            stream,
+            || -> Option<FeedSnapshot> { panic!("clean stream must not resync") },
+            FeedConfig::default(),
+        );
+        let mut epochs = vec![svc.registry().epoch("plab").unwrap()];
+        for step in 0..DELTAS {
+            assert_eq!(feed.pump(&svc), FeedState::Live, "seed {seed} step {step}");
+            epochs.push(svc.registry().epoch("plab").unwrap());
+        }
+        for i in 0..=DELTAS {
+            for j in i..=DELTAS {
+                let mut expected = DirtySet::new();
+                for delta in &clean[i..j] {
+                    expected.union_with(&delta.dirty);
+                }
+                assert_eq!(
+                    svc.registry().dirty_between("plab", epochs[i], epochs[j]),
+                    Some(expected),
+                    "seed {seed}: window {i}..{j} does not compose"
+                );
+            }
+        }
+        let feed_tl = svc.telemetry().feed;
+        assert_eq!(feed_tl.applied, DELTAS as u64, "seed {seed}");
+        assert!(feed_tl.balanced(), "seed {seed}: {feed_tl:?}");
+        assert_eq!(feed_tl.gap_resyncs, 0, "seed {seed}");
+    }
+}

@@ -1,0 +1,415 @@
+//! End-to-end feed semantics through the service: a faulty delta
+//! stream (drops, duplicates, reorders) must converge to exactly the
+//! state a clean stream produces — via resync when the faults exceed
+//! what the reorder buffer can absorb — with a balanced delivery
+//! ledger; degraded feeds must honour the per-service
+//! [`StalenessPolicy`] (marked stale answers within the lag budget,
+//! deterministic `StaleModel` sheds past it); and a non-touching epoch
+//! bump must *promote* the cached filter instead of rebuilding it.
+
+use netgraph::{AttrValue, Direction, Network, NodeId};
+use service::cache::network_fingerprint;
+use service::{
+    DeltaMutation, DirtySet, FeedConfig, FeedSnapshot, FeedState, NetEmbedService, QueryRequest,
+    RegistryDelta, RegistryFeed, ServiceConfig, ServiceError, ShedReason, StalenessPolicy,
+};
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Deterministic mixer for the fault schedule (no RNG dependency).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Five-node path host: `cpu` on nodes, `d` on edges.
+fn path_host() -> Network {
+    let mut h = Network::new(Direction::Undirected);
+    let ids: Vec<_> = (0..5).map(|i| h.add_node(format!("h{i}"))).collect();
+    for w in ids.windows(2) {
+        let e = h.add_edge(w[0], w[1]);
+        h.set_edge_attr(e, "d", 10.0);
+    }
+    for &n in &ids {
+        h.set_node_attr(n, "cpu", 8.0);
+    }
+    h
+}
+
+fn edge_query() -> Network {
+    let mut q = Network::new(Direction::Undirected);
+    let x = q.add_node("x");
+    let y = q.add_node("y");
+    q.add_edge(x, y);
+    q.set_node_attr(x, "cpu", 3.0);
+    q.set_node_attr(y, "cpu", 3.0);
+    q
+}
+
+fn request(host: &str) -> QueryRequest {
+    QueryRequest {
+        host: host.into(),
+        query: edge_query(),
+        constraint: "rNode.cpu >= vNode.cpu".into(),
+        options: netembed::Options::default(),
+    }
+}
+
+/// A `cpu` bump on `node` covering sequence `seq → seq + 1`.
+fn cpu_delta(seq: u64, node: u32, value: f64) -> RegistryDelta {
+    RegistryDelta {
+        host: "h".into(),
+        base_seq: seq,
+        next_seq: seq + 1,
+        mutation: DeltaMutation::SetNodeAttr {
+            node,
+            attr: "cpu".into(),
+            value: AttrValue::Num(value),
+        },
+        dirty: DirtySet::from_ids([node]),
+    }
+}
+
+fn apply_truth(net: &mut Network, delta: &RegistryDelta) {
+    match &delta.mutation {
+        DeltaMutation::SetNodeAttr { node, attr, value } => {
+            net.set_node_attr(NodeId(*node), attr.as_str(), value.clone());
+        }
+        other => unreachable!("truth replay only scripts attr sets, got {other:?}"),
+    }
+}
+
+/// A scripted stream that hands out at most `chunk` deltas per pump
+/// (each `None` ends one pump's drain; the next pump resumes), and
+/// publishes the highest `next_seq` it has emitted so the snapshot
+/// source can serve the matching upstream state.
+struct ChunkedStream {
+    script: Vec<RegistryDelta>,
+    pos: usize,
+    chunk: usize,
+    served_this_burst: usize,
+    emitted_hwm: Rc<Cell<u64>>,
+}
+
+impl service::DeltaStream for ChunkedStream {
+    fn next_delta(&mut self) -> Option<RegistryDelta> {
+        if self.served_this_burst == self.chunk {
+            self.served_this_burst = 0;
+            return None;
+        }
+        let delta = self.script.get(self.pos)?.clone();
+        self.pos += 1;
+        self.served_this_burst += 1;
+        self.emitted_hwm
+            .set(self.emitted_hwm.get().max(delta.next_seq));
+        Some(delta)
+    }
+}
+
+/// The acceptance gate for the feed: a stream mangled by seeded drops,
+/// duplicates and adjacent swaps converges — through at least one gap
+/// resync — to exactly the registry state the clean stream produces,
+/// with nothing lost and the delivery ledger balanced.
+#[test]
+fn faulty_stream_converges_to_the_clean_stream_state() {
+    const DELTAS: u64 = 40;
+    let base = path_host();
+    let clean: Vec<RegistryDelta> = (0..DELTAS)
+        .map(|i| cpu_delta(i, (i % 5) as u32, 1.0 + i as f64))
+        .collect();
+    // Upstream truth after each prefix of the clean stream — what a
+    // snapshot at sequence `i` must contain.
+    let mut states = vec![base.clone()];
+    for delta in &clean {
+        let mut next = states.last().unwrap().clone();
+        apply_truth(&mut next, delta);
+        states.push(next);
+    }
+
+    // Clean run: everything in order, no snapshot source ever needed.
+    let clean_svc = NetEmbedService::new();
+    clean_svc.registry().register("h", base.clone());
+    let stream: VecDeque<RegistryDelta> = clean.iter().cloned().collect();
+    let mut feed = RegistryFeed::new(
+        stream,
+        || -> Option<FeedSnapshot> { panic!("clean stream must not resync") },
+        FeedConfig::default(),
+    );
+    assert_eq!(feed.pump(&clean_svc), FeedState::Live);
+    let clean_feed = clean_svc.feed_status().snapshot();
+    assert_eq!(clean_feed.applied, DELTAS);
+    assert_eq!(clean_feed.gap_resyncs, 0);
+    assert!(clean_feed.balanced(), "clean ledger: {clean_feed:?}");
+    let clean_fp = network_fingerprint(&clean_svc.registry().model("h").unwrap());
+    assert_eq!(
+        clean_fp,
+        network_fingerprint(states.last().unwrap()),
+        "clean stream must reproduce the upstream truth"
+    );
+
+    // Faulty run: seeded drops (at least one — that forces the gap
+    // resync), duplicates and adjacent swaps.
+    let mut script = Vec::new();
+    let mut i = 0usize;
+    let mut dropped = 0u64;
+    while i < clean.len() {
+        match splitmix64(0xFEED ^ i as u64) % 10 {
+            0 | 1 => {
+                dropped += 1; // dropped: never emitted
+            }
+            2 => {
+                script.push(clean[i].clone());
+                script.push(clean[i].clone()); // duplicated
+            }
+            3 if i + 1 < clean.len() => {
+                script.push(clean[i + 1].clone()); // swapped pair
+                script.push(clean[i].clone());
+                i += 1;
+            }
+            _ => script.push(clean[i].clone()),
+        }
+        i += 1;
+    }
+    assert!(dropped >= 1, "schedule must include a gap");
+
+    let svc = NetEmbedService::new();
+    svc.registry().register("h", base.clone());
+    let emitted_hwm = Rc::new(Cell::new(0u64));
+    let stream = ChunkedStream {
+        script,
+        pos: 0,
+        chunk: 3,
+        served_this_burst: 0,
+        emitted_hwm: Rc::clone(&emitted_hwm),
+    };
+    let snapshot_hwm = Rc::clone(&emitted_hwm);
+    let snapshots = move || {
+        let seq = snapshot_hwm.get();
+        Some(FeedSnapshot {
+            seq,
+            models: vec![("h".into(), states[seq as usize].clone())],
+        })
+    };
+    let mut feed = RegistryFeed::new(stream, snapshots, FeedConfig::default());
+    let mut state = FeedState::Live;
+    for _ in 0..200 {
+        state = feed.pump(&svc);
+        if state == FeedState::Live && feed.cursor() == DELTAS {
+            break;
+        }
+    }
+    assert_eq!(state, FeedState::Live, "faulty stream failed to converge");
+    assert_eq!(
+        feed.cursor(),
+        DELTAS,
+        "zero lost deltas: cursor reaches the end"
+    );
+
+    let feed_tl = svc.telemetry().feed;
+    assert!(
+        feed_tl.balanced(),
+        "delivery ledger unbalanced: {feed_tl:?}"
+    );
+    assert!(
+        feed_tl.gap_resyncs >= 1,
+        "a dropped delta must force a resync"
+    );
+    assert!(feed_tl.duplicates >= 1, "schedule included duplicates");
+    assert_eq!(feed_tl.last_applied_seq, DELTAS);
+    assert_eq!(feed_tl.lag, 0);
+    assert_eq!(
+        network_fingerprint(&svc.registry().model("h").unwrap()),
+        clean_fp,
+        "faulty stream must converge to the clean stream's final state"
+    );
+}
+
+/// `ServeStale { max_lag }`: while the feed is catching up, answers
+/// within the lag budget are served with a [`service::Staleness`]
+/// marker (mirrored into `SearchStats::staleness_lag`) on both the
+/// direct and the planner path; once the lag exceeds the budget both
+/// paths shed deterministically as `StaleModel`.
+#[test]
+fn serve_stale_marks_within_the_lag_budget_and_sheds_past_it() {
+    let svc = NetEmbedService::with_config(
+        ServiceConfig::default().staleness(StalenessPolicy::ServeStale { max_lag: 5 }),
+    );
+    svc.registry().register("h", path_host());
+    let req = request("h");
+    let fresh = svc.submit(&req).unwrap();
+    assert_eq!(fresh.staleness, None, "live feed serves fresh answers");
+    assert_eq!(fresh.stats.staleness_lag, 0);
+
+    // A future delta parks: the feed is catching up with lag 3 ≤ 5.
+    let mut stream: VecDeque<RegistryDelta> = VecDeque::new();
+    stream.push_back(cpu_delta(2, 0, 4.0));
+    let config = FeedConfig {
+        gap_patience: u32::MAX, // never give the gap up: stay CatchingUp
+        ..FeedConfig::default()
+    };
+    let mut feed = RegistryFeed::new(stream, || -> Option<FeedSnapshot> { None }, config);
+    assert_eq!(feed.pump(&svc), FeedState::CatchingUp);
+    assert_eq!(svc.feed_status().lag(), 3);
+
+    let marked = svc.submit(&req).unwrap();
+    let staleness = marked.staleness.expect("degraded feed must mark answers");
+    assert_eq!(staleness.lag, 3);
+    assert_eq!(marked.stats.staleness_lag, 3);
+    let planned = svc.planner().run(&req).unwrap();
+    assert_eq!(planned.staleness.map(|s| s.lag), Some(3));
+
+    // Push the frontier past the budget: lag 9 > 5 ⇒ both paths shed.
+    feed.stream().push_back(cpu_delta(8, 0, 5.0));
+    assert_eq!(feed.pump(&svc), FeedState::CatchingUp);
+    assert_eq!(svc.feed_status().lag(), 9);
+    match svc.submit(&req) {
+        Err(ServiceError::Overloaded(reason)) => assert_eq!(reason, ShedReason::StaleModel),
+        other => panic!("expected a StaleModel shed, got {other:?}"),
+    }
+    match svc.planner().run(&req) {
+        Err(ServiceError::Overloaded(reason)) => assert_eq!(reason, ShedReason::StaleModel),
+        other => panic!("expected a StaleModel shed, got {other:?}"),
+    }
+    let telemetry = svc.telemetry();
+    assert_eq!(
+        telemetry.shed.stale_model, 1,
+        "planner sheds land on the ledger"
+    );
+    assert_eq!(telemetry.feed.state, FeedState::CatchingUp);
+    assert_eq!(telemetry.feed.lag, 9);
+
+    // Heal: deliver the missing chain; the parked deltas drain and the
+    // feed goes Live, so answers are fresh again.
+    for seq in [0, 1, 3, 4, 5, 6, 7] {
+        feed.stream().push_back(cpu_delta(seq, 0, seq as f64));
+    }
+    assert_eq!(feed.pump(&svc), FeedState::Live);
+    assert_eq!(svc.feed_status().lag(), 0);
+    let healed = svc.submit(&req).unwrap();
+    assert_eq!(healed.staleness, None);
+    let feed_tl = svc.telemetry().feed;
+    assert_eq!(feed_tl.applied, 9);
+    assert!(feed_tl.balanced(), "ledger unbalanced: {feed_tl:?}");
+}
+
+/// `Block`: any degradation sheds immediately — no stale answers at
+/// all — and recovery restores service.
+#[test]
+fn block_policy_sheds_any_degraded_answer() {
+    let svc =
+        NetEmbedService::with_config(ServiceConfig::default().staleness(StalenessPolicy::Block));
+    svc.registry().register("h", path_host());
+    let req = request("h");
+    assert!(svc.submit(&req).is_ok(), "live feed serves normally");
+
+    let mut stream: VecDeque<RegistryDelta> = VecDeque::new();
+    stream.push_back(cpu_delta(1, 0, 4.0));
+    let config = FeedConfig {
+        gap_patience: u32::MAX,
+        ..FeedConfig::default()
+    };
+    let mut feed = RegistryFeed::new(stream, || -> Option<FeedSnapshot> { None }, config);
+    assert_eq!(feed.pump(&svc), FeedState::CatchingUp);
+    match svc.submit(&req) {
+        Err(ServiceError::Overloaded(ShedReason::StaleModel)) => {}
+        other => panic!("Block must shed while degraded, got {other:?}"),
+    }
+
+    feed.stream().push_back(cpu_delta(0, 0, 6.0));
+    assert_eq!(feed.pump(&svc), FeedState::Live);
+    assert!(svc.submit(&req).is_ok(), "recovered feed serves again");
+}
+
+/// The promotion acceptance gate: an epoch bump whose dirty set does
+/// not touch the filter's candidate hosts re-keys the cached filter in
+/// place — the warm resubmit hits with **zero** new cache misses — while
+/// a bump that does touch a candidate rebuilds.
+#[test]
+fn non_touching_epoch_bump_promotes_instead_of_rebuilding() {
+    let mut host = path_host();
+    // Node 4 is too weak to ever be a candidate for the cpu-3 query.
+    host.set_node_attr(NodeId(4), "cpu", 1.0);
+    let svc = NetEmbedService::new();
+    svc.registry().register("h", host);
+    let req = request("h");
+
+    let cold = svc.submit(&req).unwrap();
+    assert_eq!(cold.stats.filter_cache_hits, 0);
+    let touched = {
+        let key = service::FilterKey {
+            host: "h".into(),
+            epoch: svc.registry().epoch("h").unwrap(),
+            query_hash: network_fingerprint(&req.query),
+            constraint: req.constraint.clone(),
+        };
+        svc.cache()
+            .lookup(&key)
+            .expect("cold submit cached")
+            .touched_hosts()
+    };
+    assert!(
+        !touched.contains(NodeId(4)),
+        "scenario needs an untouched host node for the promotion to be sound"
+    );
+
+    // Bump the epoch via a mutation confined to the untouched node.
+    svc.registry()
+        .update_dirty("h", DirtySet::from_ids([4]), |net| {
+            net.set_node_attr(NodeId(4), "cpu", 2.0);
+        })
+        .unwrap();
+    let misses_before = svc.cache().misses();
+    let warm = svc.submit(&req).unwrap();
+    assert_eq!(
+        warm.stats.filter_cache_hits, 1,
+        "promotion must serve a hit"
+    );
+    assert_eq!(
+        svc.cache().misses(),
+        misses_before,
+        "a non-touching epoch bump must not miss"
+    );
+    assert_eq!(svc.cache().promotions(), 1);
+
+    // A bump that dirties a candidate host node must rebuild.
+    svc.registry()
+        .update_dirty("h", DirtySet::from_ids([0]), |net| {
+            net.set_node_attr(NodeId(0), "cpu", 7.0);
+        })
+        .unwrap();
+    let rebuilt = svc.submit(&req).unwrap();
+    assert_eq!(
+        rebuilt.stats.filter_cache_hits, 0,
+        "touching bump must rebuild"
+    );
+    assert_eq!(
+        svc.cache().promotions(),
+        1,
+        "no promotion on a touching bump"
+    );
+    assert_eq!(svc.cache().misses(), misses_before + 1);
+}
+
+/// Regression: removing a model must drop its cached filters with it —
+/// a later re-register under the same name must not find ghosts.
+#[test]
+fn remove_model_evicts_the_hosts_cache_entries() {
+    let svc = NetEmbedService::new();
+    svc.registry().register("a", path_host());
+    svc.registry().register("b", path_host());
+    svc.submit(&request("a")).unwrap();
+    svc.submit(&request("b")).unwrap();
+    assert_eq!(svc.cache().len(), 2);
+
+    let removed = svc.remove_model("a");
+    assert!(removed.is_some(), "remove returns the evicted model");
+    assert!(svc.registry().model("a").is_none());
+    assert_eq!(svc.cache().len(), 1, "host a's filters must leave with it");
+    assert!(svc.remove_model("a").is_none(), "second remove is a no-op");
+    assert_eq!(svc.cache().len(), 1, "no collateral eviction of host b");
+    assert!(svc.submit(&request("b")).is_ok(), "host b unaffected");
+}
