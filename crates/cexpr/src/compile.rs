@@ -14,7 +14,7 @@ use netgraph::{AttrId, AttrValue, EdgeId, Network, NodeId};
 /// A compiled constraint expression, bound to one query/host schema pair.
 #[derive(Debug, Clone)]
 pub struct Compiled {
-    root: Node,
+    pub(crate) root: Node,
     uses_node_objects: bool,
     uses_edge_objects: bool,
 }
@@ -22,7 +22,7 @@ pub struct Compiled {
 /// Resolved expression node. Mirrors [`Expr`] with attribute references
 /// resolved to `(Object, Option<AttrId>)`.
 #[derive(Debug, Clone)]
-enum Node {
+pub(crate) enum Node {
     Num(f64),
     Str(std::sync::Arc<str>),
     Bool(bool),

@@ -12,7 +12,10 @@
 //!   extension (`vNode`, `rNode`);
 //! * [`parser`] — recursive-descent parser with Java operator precedence;
 //! * [`compile`] — schema-resolved compilation and the hot-path evaluator;
-//! * [`value`] — runtime values with `Missing` (absent attribute) semantics.
+//! * [`value`] — runtime values with `Missing` (absent attribute) semantics;
+//! * [`bounds`] — abstract interpretation over aggregated attribute
+//!   bounds with a tri-state [`Verdict`], the
+//!   soundness layer beneath the multilevel substrate hierarchy.
 //!
 //! ## Example
 //!
@@ -43,6 +46,7 @@
 //! ```
 
 pub mod ast;
+pub mod bounds;
 pub mod compile;
 pub mod parser;
 pub mod token;
@@ -50,6 +54,7 @@ pub mod types;
 pub mod value;
 
 pub use ast::{BinOp, Expr, Func, Object, UnOp};
+pub use bounds::{AbsEdgeCtx, AbsNodeCtx, AttrBounds, BoundsMap, Verdict};
 pub use compile::{Compiled, EdgeCtx, NodeCtx};
 pub use parser::{parse, ParseError};
 pub use types::{check_constraint, infer, Ty, TypeError};

@@ -56,7 +56,8 @@ USAGE:
                  [--repeat N] [--planner] [--clients N] [--quiet]
                  [--oversub K] [--priority low|normal|high]
                  [--shed reject|degrade] [--shards N] [--feed]
-  netembed gen   planetlab|brite|waxman|clique|ring|star
+                 [--hierarchy] [--levels N]
+  netembed gen   planetlab|brite|waxman|clique|ring|star|fattree|powerlaw
                  [--nodes N] [--seed N] --out FILE
   netembed inspect FILE
 
@@ -208,6 +209,27 @@ fn cmd_embed(args: &[String]) -> ExitCode {
     if let Some(n) = shards {
         config = config.planner_shards(n);
     }
+    // `--hierarchy` routes the filter-based algorithms through the
+    // multilevel substrate hierarchy: coarsen the host, prune whole
+    // super-node subtrees with sound abstract verdicts, and expand the
+    // exact filter only inside the survivors. `--levels N` caps the
+    // coarsening depth (default 16).
+    let hierarchy = if has_flag(args, "--hierarchy") {
+        let mut spec = netembed::HierarchySpec::default();
+        if let Some(v) = flag_value(args, "--levels") {
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => spec.max_levels = n,
+                _ => {
+                    eprintln!("error: bad --levels `{v}` (need an integer >= 1)");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        Some(spec)
+    } else {
+        None
+    };
+
     let svc = NetEmbedService::with_config(config);
     svc.registry().register("host", host.clone());
     let options = Options {
@@ -215,8 +237,35 @@ fn cmd_embed(args: &[String]) -> ExitCode {
         mode,
         timeout,
         seed,
+        hierarchy,
         ..Options::default()
     };
+
+    if let Some(spec) = hierarchy {
+        // Warm the per-(host, epoch) hierarchy cache up front and show
+        // the coarsening ladder; the run below hits the cached levels.
+        match svc.warm_hierarchy("host", spec) {
+            Ok(hier) => {
+                if !quiet {
+                    let sizes = hier.level_sizes();
+                    eprintln!(
+                        "# hierarchy: {} levels over {} host nodes (fine -> coarse: {})",
+                        sizes.len(),
+                        host.node_count(),
+                        sizes
+                            .iter()
+                            .map(|s| s.to_string())
+                            .collect::<Vec<_>>()
+                            .join(" -> "),
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     if has_flag(args, "--feed") {
         return feed_demo(&host, &query, &constraint, &options, quiet);
@@ -264,6 +313,18 @@ fn cmd_embed(args: &[String]) -> ExitCode {
         }
     }
     let result = result.expect("repeat >= 1");
+    if hierarchy.is_some() && !quiet {
+        let s = &result.stats;
+        let pct = if s.hier_full_cells > 0 {
+            100.0 * s.hier_expanded_cells as f64 / s.hier_full_cells as f64
+        } else {
+            100.0
+        };
+        eprintln!(
+            "# hierarchy: pruned {} super-node subtrees, expanded {}/{} filter cells ({pct:.2}%)",
+            s.hier_pruned, s.hier_expanded_cells, s.hier_full_cells,
+        );
+    }
     report_embed(&result, &query, &host, quiet)
 }
 
@@ -612,6 +673,16 @@ fn cmd_gen(args: &[String]) -> ExitCode {
         "clique" => topogen::regular::clique(nodes),
         "ring" => topogen::regular::ring(nodes),
         "star" => topogen::regular::star(nodes),
+        // Datacenter-scale substrates for the hierarchy: `--nodes` is a
+        // budget, met by scaling hosts-per-edge-switch (fattree) or
+        // taken exactly (powerlaw).
+        "fattree" => {
+            let k = 4usize;
+            let switches = topogen::FatTreeParams::classic(k).node_count() - k * (k / 2) * (k / 2); // switches only
+            let hosts_per_edge = nodes.saturating_sub(switches).div_ceil(k * (k / 2)).max(1);
+            topogen::fat_tree(&topogen::FatTreeParams { k, hosts_per_edge }, &mut rng)
+        }
+        "powerlaw" => topogen::power_law(&topogen::PowerLawParams::paper_default(nodes), &mut rng),
         other => {
             eprintln!("unknown generator `{other}`");
             return ExitCode::from(2);

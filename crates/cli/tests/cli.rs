@@ -474,3 +474,134 @@ fn gen_all_generators() {
         std::fs::remove_file(&f).ok();
     }
 }
+
+#[test]
+fn hierarchy_embed_prints_refinement_summary() {
+    let host = tmp("hier-host.graphml");
+    let query = tmp("hier-query.graphml");
+
+    // A power-law substrate with a planted `region = "hot"` cluster.
+    let out = run(&[
+        "gen",
+        "powerlaw",
+        "--nodes",
+        "400",
+        "--seed",
+        "7",
+        "--out",
+        host.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A 2-node query path; the constraint pins it to the hot region.
+    let qdoc = r#"<graphml>
+      <graph id="q" edgedefault="undirected">
+        <node id="a"/><node id="b"/>
+        <edge source="a" target="b"/>
+      </graph></graphml>"#;
+    std::fs::write(&query, qdoc).unwrap();
+
+    let out = run(&[
+        "embed",
+        "--host",
+        host.to_str().unwrap(),
+        "--query",
+        query.to_str().unwrap(),
+        "--constraint",
+        r#"rNode.region == "hot""#,
+        "--mode",
+        "first",
+        "--hierarchy",
+        "--levels",
+        "4",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    // The coarsening ladder is announced up front...
+    assert!(
+        err.contains("levels over 400 host nodes"),
+        "missing ladder line: {err}"
+    );
+    // ...and the refinement telemetry after the run.
+    assert!(
+        err.contains("# hierarchy: pruned"),
+        "missing refinement summary: {err}"
+    );
+    assert!(err.contains("filter cells ("), "missing cell ratio: {err}");
+
+    // An impossible node constraint is recognized in the abstract:
+    // definitive infeasible (exit 1), not inconclusive.
+    let out = run(&[
+        "embed",
+        "--host",
+        host.to_str().unwrap(),
+        "--query",
+        query.to_str().unwrap(),
+        "--constraint",
+        "rNode.cpu >= 1000.0",
+        "--hierarchy",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_file(&host).ok();
+    std::fs::remove_file(&query).ok();
+}
+
+#[test]
+fn gen_datacenter_generators() {
+    // The fat-tree meets a node budget by scaling hosts per edge switch;
+    // powerlaw takes --nodes exactly.
+    let f = tmp("fattree.graphml");
+    let out = run(&[
+        "gen",
+        "fattree",
+        "--nodes",
+        "60",
+        "--out",
+        f.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let net = graphml::from_str(&std::fs::read_to_string(&f).unwrap()).unwrap();
+    assert!(
+        net.node_count() >= 60,
+        "budget not met: {}",
+        net.node_count()
+    );
+    std::fs::remove_file(&f).ok();
+
+    let f = tmp("powerlaw.graphml");
+    let out = run(&[
+        "gen",
+        "powerlaw",
+        "--nodes",
+        "64",
+        "--out",
+        f.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let net = graphml::from_str(&std::fs::read_to_string(&f).unwrap()).unwrap();
+    assert_eq!(net.node_count(), 64);
+    std::fs::remove_file(&f).ok();
+}

@@ -8,6 +8,7 @@
 use crate::deadline::Deadline;
 use crate::ecf;
 use crate::filter::FilterMatrix;
+use crate::hierarchy::{HierarchySpec, Refinement, SubstrateHierarchy};
 use crate::lns::{self, LnsConfig};
 use crate::mapping::Mapping;
 use crate::order::NodeOrder;
@@ -67,6 +68,18 @@ pub struct Options {
     /// depth-bounded subtree re-splitting. The default enables stealing;
     /// [`StealPolicy::disabled`] recovers the static root partition.
     pub steal: StealPolicy,
+    /// When set, the filter-based algorithms (ECF/RWB/ParallelEcf) run
+    /// hierarchically: the host is coarsened into a
+    /// [`SubstrateHierarchy`], a top-down refinement prunes infeasible
+    /// super-node subtrees with sound abstract constraint verdicts, and
+    /// the exact filter is built only inside the surviving subtrees
+    /// ([`FilterMatrix::build_restricted`]). Solution sets are identical
+    /// to the flat run; on large substrates only a fraction of the
+    /// `O(|VQ|·|VR|)` matrix is expanded. LNS ignores the knob (it
+    /// keeps no filter state to restrict). Engine-level runs rebuild
+    /// the hierarchy per call; the service layer caches it per
+    /// `(host, epoch)` and routes through [`Engine::run_hier`].
+    pub hierarchy: Option<HierarchySpec>,
 }
 
 impl Default for Options {
@@ -79,6 +92,7 @@ impl Default for Options {
             seed: 0,
             lns: LnsConfig::default(),
             steal: StealPolicy::default(),
+            hierarchy: None,
         }
     }
 }
@@ -156,6 +170,16 @@ impl<'a> Engine<'a> {
         let (mappings, end) = match options.algorithm {
             Algorithm::Lns => {
                 Self::dispatch_lns(problem, options, &mut deadline, &mut stats, scratch)?
+            }
+            _ if options.hierarchy.is_some() => {
+                // Hierarchical path: coarsen, refine, then build the
+                // exact filter only inside the surviving subtrees. The
+                // construction happens under this run's deadline clock,
+                // so a budgeted caller pays for it; the service layer
+                // amortizes it through its `HierarchyCache`.
+                let spec = options.hierarchy.expect("guard checked");
+                let hier = SubstrateHierarchy::build(problem.host, &spec);
+                Self::dispatch_hier(problem, &hier, options, &mut deadline, &mut stats, scratch)?
             }
             Algorithm::Ecf | Algorithm::Rwb => {
                 let filter = FilterMatrix::build(problem, &mut deadline, &mut stats)?;
@@ -238,6 +262,87 @@ impl<'a> Engine<'a> {
             start,
             options.algorithm,
         ))
+    }
+
+    /// Run hierarchically over an already coarsened substrate (built
+    /// with [`SubstrateHierarchy::build`] for this problem's host) —
+    /// the batch primitive of the hierarchical path, mirroring
+    /// [`Engine::run_prebuilt`]: one coarsening serves any number of
+    /// queries against the same host snapshot. Refinement, the
+    /// restricted filter build and the exact search all run under this
+    /// call's deadline. A sound coarse-level infeasibility verdict
+    /// returns [`Outcome::Complete`] with no mappings — definitively
+    /// infeasible without touching the full filter matrix.
+    pub fn run_hier(
+        problem: &Problem<'_>,
+        hier: &SubstrateHierarchy,
+        options: &Options,
+        scratch: &mut EmbedScratch,
+    ) -> Result<EmbedResult, ProblemError> {
+        let mut deadline = Deadline::new(options.timeout);
+        let mut stats = SearchStats::default();
+        let start = std::time::Instant::now();
+        let (mappings, end) = match options.algorithm {
+            Algorithm::Lns => {
+                Self::dispatch_lns(problem, options, &mut deadline, &mut stats, scratch)?
+            }
+            _ => Self::dispatch_hier(problem, hier, options, &mut deadline, &mut stats, scratch)?,
+        };
+        Ok(Self::finalize(
+            mappings,
+            end,
+            stats,
+            start,
+            options.algorithm,
+        ))
+    }
+
+    /// Refinement + restricted filter build + exact search for the
+    /// filter-based algorithms.
+    fn dispatch_hier(
+        problem: &Problem<'_>,
+        hier: &SubstrateHierarchy,
+        options: &Options,
+        deadline: &mut Deadline,
+        stats: &mut SearchStats,
+        scratch: &mut EmbedScratch,
+    ) -> Result<(Vec<Mapping>, ecf::SearchEnd), ProblemError> {
+        match hier.refine(problem, deadline, stats) {
+            Refinement::TimedOut => {
+                stats.timed_out = true;
+                Ok((Vec::new(), ecf::SearchEnd::Timeout))
+            }
+            // The refinement's empty-domain prune is sound: no
+            // concretization of a pruned super-node holds a solution,
+            // so an empty result here is exhaustive, not a give-up.
+            Refinement::Infeasible => Ok((Vec::new(), ecf::SearchEnd::Exhausted)),
+            Refinement::Restricted(allowed) => match options.algorithm {
+                Algorithm::ParallelEcf { threads } => {
+                    let mut charge = BuildCharge::begin(scratch.parallel.pool().spawned_total());
+                    let filter = FilterMatrix::build_restricted_par_pooled(
+                        problem,
+                        &allowed,
+                        threads,
+                        deadline,
+                        stats,
+                        scratch.parallel.pool_mut(),
+                    )?;
+                    charge.finish_build(scratch.parallel.pool().spawned_total());
+                    let out = Self::dispatch_prebuilt(
+                        problem, &filter, options, deadline, stats, scratch,
+                    );
+                    charge.settle_pool_reuse(stats);
+                    Ok(out)
+                }
+                _ => {
+                    let filter =
+                        FilterMatrix::build_restricted(problem, &allowed, deadline, stats)?;
+                    Ok(Self::dispatch_prebuilt(
+                        problem, &filter, options, deadline, stats, scratch,
+                    ))
+                }
+            },
+        }
     }
 
     /// Shared run finalization: authoritative wall clock, the

@@ -389,6 +389,20 @@ pub(crate) fn node_admissible(
     problem: &Problem<'_>,
     stats: &mut SearchStats,
 ) -> Result<Vec<NodeBitSet>, ProblemError> {
+    node_admissible_within(problem, stats, None)
+}
+
+/// [`node_admissible`] scoped to per-query-node candidate sets. With
+/// `allowed` present (the hierarchical expansion step) only the listed
+/// host nodes are examined — the degree gate and node constraint are
+/// never evaluated outside the surviving super-node subtrees, which is
+/// where the hierarchy's `O(levels)` vs `O(|VR|)` admission win comes
+/// from on large substrates.
+pub(crate) fn node_admissible_within(
+    problem: &Problem<'_>,
+    stats: &mut SearchStats,
+    allowed: Option<&[NodeBitSet]>,
+) -> Result<Vec<NodeBitSet>, ProblemError> {
     let nr = problem.nr();
     let mut node_pass: Vec<NodeBitSet> = Vec::with_capacity(problem.nq());
     for v in problem.query.node_ids() {
@@ -397,18 +411,34 @@ pub(crate) fn node_admissible(
             problem.query.neighbors(v).len(),
             problem.query.in_neighbors(v).len(),
         );
-        for r in problem.host.node_ids() {
+        let admit = |r: NodeId, stats: &mut SearchStats| -> Result<bool, ProblemError> {
             if problem.host.neighbors(r).len() < v_out || problem.host.in_neighbors(r).len() < v_in
             {
-                continue;
+                return Ok(false);
             }
             if problem.has_node_expr() {
                 stats.constraint_evals += 1;
                 if !problem.node_ok(v, r)? {
-                    continue;
+                    return Ok(false);
                 }
             }
-            set.insert(r);
+            Ok(true)
+        };
+        match allowed {
+            Some(allowed) => {
+                for r in allowed[v.index()].iter() {
+                    if admit(r, stats)? {
+                        set.insert(r);
+                    }
+                }
+            }
+            None => {
+                for r in problem.host.node_ids() {
+                    if admit(r, stats)? {
+                        set.insert(r);
+                    }
+                }
+            }
         }
         node_pass.push(set);
     }
@@ -432,7 +462,46 @@ impl FilterMatrix {
         deadline: &mut Deadline,
         stats: &mut SearchStats,
     ) -> Result<FilterMatrix, ProblemError> {
-        Self::build_impl(problem, 1, deadline, stats, None)
+        Self::build_impl(problem, 1, deadline, stats, None, None)
+    }
+
+    /// [`FilterMatrix::build`] restricted to per-query-node host
+    /// candidate sets — the expansion step of the hierarchical search:
+    /// `allowed[v]` (one bitset per query node, host-node capacity)
+    /// scopes the node prefilter itself, so neither the admission gate
+    /// nor any cell outside the surviving super-node subtrees is ever
+    /// evaluated. With `allowed`
+    /// covering every solution (the hierarchy refinement's guarantee)
+    /// the restricted matrix yields exactly the same search results as
+    /// the full build.
+    pub fn build_restricted(
+        problem: &Problem<'_>,
+        allowed: &[NodeBitSet],
+        deadline: &mut Deadline,
+        stats: &mut SearchStats,
+    ) -> Result<FilterMatrix, ProblemError> {
+        Self::build_impl(problem, 1, deadline, stats, None, Some(allowed))
+    }
+
+    /// [`FilterMatrix::build_restricted`] with the scan fanned out over
+    /// a caller-held persistent [`WorkerPool`](crate::pool::WorkerPool),
+    /// mirroring [`FilterMatrix::build_par_pooled`].
+    pub fn build_restricted_par_pooled(
+        problem: &Problem<'_>,
+        allowed: &[NodeBitSet],
+        threads: usize,
+        deadline: &mut Deadline,
+        stats: &mut SearchStats,
+        pool: &mut crate::pool::WorkerPool,
+    ) -> Result<FilterMatrix, ProblemError> {
+        Self::build_impl(
+            problem,
+            threads.max(1),
+            deadline,
+            stats,
+            Some(pool),
+            Some(allowed),
+        )
     }
 
     /// [`FilterMatrix::build`] with the evaluation scan parallelized over
@@ -448,7 +517,7 @@ impl FilterMatrix {
         deadline: &mut Deadline,
         stats: &mut SearchStats,
     ) -> Result<FilterMatrix, ProblemError> {
-        Self::build_impl(problem, threads.max(1), deadline, stats, None)
+        Self::build_impl(problem, threads.max(1), deadline, stats, None, None)
     }
 
     /// [`FilterMatrix::build_par`], but the chunk scan runs on a
@@ -465,7 +534,7 @@ impl FilterMatrix {
         stats: &mut SearchStats,
         pool: &mut crate::pool::WorkerPool,
     ) -> Result<FilterMatrix, ProblemError> {
-        Self::build_impl(problem, threads.max(1), deadline, stats, Some(pool))
+        Self::build_impl(problem, threads.max(1), deadline, stats, Some(pool), None)
     }
 
     fn build_impl(
@@ -474,6 +543,7 @@ impl FilterMatrix {
         deadline: &mut Deadline,
         stats: &mut SearchStats,
         pool: Option<&mut crate::pool::WorkerPool>,
+        allowed: Option<&[NodeBitSet]>,
     ) -> Result<FilterMatrix, ProblemError> {
         let nq = problem.nq();
         let nr = problem.nr();
@@ -493,7 +563,10 @@ impl FilterMatrix {
             });
         }
 
-        let node_pass = node_admissible(problem, stats)?;
+        if let Some(allowed) = allowed {
+            debug_assert_eq!(allowed.len(), nq);
+        }
+        let node_pass = node_admissible_within(problem, stats, allowed)?;
 
         // The cell-bearing ordered pairs are exactly the query edges (both
         // orientations when undirected), known before evaluation starts.

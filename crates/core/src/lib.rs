@@ -88,6 +88,7 @@ pub mod deadline;
 pub mod ecf;
 pub mod engine;
 pub mod filter;
+pub mod hierarchy;
 pub mod lns;
 pub mod mapping;
 pub mod order;
@@ -105,6 +106,7 @@ pub mod verify;
 pub use deadline::Deadline;
 pub use engine::{Algorithm, EmbedResult, Engine, Options, SearchMode};
 pub use filter::FilterMatrix;
+pub use hierarchy::{HierarchySpec, Refinement, SubstrateHierarchy};
 pub use mapping::Mapping;
 pub use order::NodeOrder;
 pub use outcome::Outcome;

@@ -204,6 +204,16 @@ impl<'a> Problem<'a> {
         self.node_expr.is_some()
     }
 
+    /// Compiled edge constraint, for abstract (bounds) evaluation.
+    pub(crate) fn edge_expr(&self) -> &Compiled {
+        &self.edge_expr
+    }
+
+    /// Compiled node constraint, if any, for abstract (bounds) evaluation.
+    pub(crate) fn node_expr(&self) -> Option<&Compiled> {
+        self.node_expr.as_ref()
+    }
+
     /// Evaluate the edge constraint for query edge `(v_src → v_dst)` mapped
     /// onto host pair `(r_src → r_dst)` over host edge `r_edge`.
     #[inline]

@@ -67,6 +67,27 @@ pub struct SearchStats {
     /// non-zero value means the result is correct against a known-old
     /// epoch, not necessarily against the live world.
     pub staleness_lag: u64,
+    /// Coarsening levels of the substrate hierarchy a hierarchical run
+    /// refined through (0 for flat runs, or when the host was already
+    /// below the coarsening floor).
+    pub hier_levels: u64,
+    /// Super-node candidates a hierarchical run pruned across all
+    /// levels (degree gate, abstract node verdicts and arc-consistency
+    /// combined) — each pruned super-node removed its whole subtree
+    /// from the exact search.
+    pub hier_pruned: u64,
+    /// Filter cells the hierarchical run actually expanded at the host
+    /// level: the sum of the per-query-node restricted candidate sets.
+    /// Compare against [`SearchStats::hier_full_cells`] for the
+    /// pruning ratio.
+    pub hier_expanded_cells: u64,
+    /// The full `|VQ|·|VR|` cell count a flat run would have scanned.
+    pub hier_full_cells: u64,
+    /// 1 when the service's `HierarchyCache` already held the coarsened
+    /// substrate for this `(host, epoch)` and the run skipped
+    /// hierarchy construction entirely (0 for engine-level runs and
+    /// cache misses).
+    pub hierarchy_cache_hits: u64,
     /// Wall-clock time of the whole run (filter construction + search).
     ///
     /// This is always the *caller-observed* duration: the parallel search
@@ -108,6 +129,11 @@ impl SearchStats {
         self.dedup_waits += other.dedup_waits;
         self.pool_reuse += other.pool_reuse;
         self.staleness_lag = self.staleness_lag.max(other.staleness_lag);
+        self.hier_levels = self.hier_levels.max(other.hier_levels);
+        self.hier_pruned = self.hier_pruned.max(other.hier_pruned);
+        self.hier_expanded_cells = self.hier_expanded_cells.max(other.hier_expanded_cells);
+        self.hier_full_cells = self.hier_full_cells.max(other.hier_full_cells);
+        self.hierarchy_cache_hits += other.hierarchy_cache_hits;
         self.elapsed = self.elapsed.max(other.elapsed);
         self.cpu_time += other.cpu_time;
         self.timed_out |= other.timed_out;
@@ -378,6 +404,11 @@ mod tests {
             dedup_waits: 0,
             pool_reuse: 2,
             staleness_lag: 3,
+            hier_levels: 4,
+            hier_pruned: 90,
+            hier_expanded_cells: 12,
+            hier_full_cells: 120,
+            hierarchy_cache_hits: 1,
             elapsed: Duration::from_millis(20),
             cpu_time: Duration::from_millis(20),
             timed_out: false,
@@ -395,6 +426,11 @@ mod tests {
             dedup_waits: 1,
             pool_reuse: 4,
             staleness_lag: 1,
+            hier_levels: 0,
+            hier_pruned: 0,
+            hier_expanded_cells: 0,
+            hier_full_cells: 0,
+            hierarchy_cache_hits: 1,
             elapsed: Duration::from_millis(35),
             cpu_time: Duration::from_millis(35),
             timed_out: true,
@@ -412,6 +448,11 @@ mod tests {
         assert_eq!(a.dedup_waits, 1); // sum, per-run build waits
         assert_eq!(a.pool_reuse, 6); // sum, per-run warm threads
         assert_eq!(a.staleness_lag, 3); // max, one shared model snapshot
+        assert_eq!(a.hier_levels, 4); // max, one driver-side refinement
+        assert_eq!(a.hier_pruned, 90); // max, driver-side value survives
+        assert_eq!(a.hier_expanded_cells, 12); // max, shared restriction
+        assert_eq!(a.hier_full_cells, 120); // max, one shared matrix size
+        assert_eq!(a.hierarchy_cache_hits, 2); // sum, per-run hits
         assert_eq!(a.elapsed, Duration::from_millis(35)); // max, wall-clock
         assert_eq!(a.cpu_time, Duration::from_millis(55)); // sum, cpu-time
         assert!(a.timed_out);

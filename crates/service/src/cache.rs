@@ -610,6 +610,181 @@ impl Default for FilterCache {
     }
 }
 
+/// Identity of one memoized substrate coarsening: the hierarchy is a
+/// pure function of the host model bytes (pinned by `host` + `epoch` —
+/// registry epochs never repeat) and the coarsening knobs. Queries and
+/// constraints deliberately do **not** participate: one hierarchy
+/// serves every query against that model snapshot, which is the whole
+/// point of caching it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HierarchyKey {
+    /// Registry model name.
+    pub host: String,
+    /// Model version the hierarchy was coarsened from.
+    pub epoch: ModelEpoch,
+    /// Coarsening knobs (different levels/floor → different hierarchy).
+    pub spec: netembed::HierarchySpec,
+}
+
+struct HierarchySlot {
+    hierarchy: Arc<netembed::SubstrateHierarchy>,
+    last_used: u64,
+}
+
+struct HierarchyState {
+    map: HashMap<HierarchyKey, HierarchySlot>,
+    tick: u64,
+}
+
+/// Default entry cap of [`HierarchyCache::new`]. Hierarchies are
+/// per-model (not per-query), so a service rarely holds more than a
+/// handful of live ones.
+pub const HIERARCHY_CAPACITY: usize = 8;
+
+/// Thread-safe memo of coarsened substrates
+/// ([`SubstrateHierarchy`](netembed::SubstrateHierarchy)), keyed by
+/// [`HierarchyKey`]. Shares the [`FilterCache`] eviction story —
+/// inserting a `(host, epoch)` purges the same host's older epochs
+/// (the registry guarantees they can never be requested again), and an
+/// LRU cap bounds the total.
+///
+/// Unlike the filter cache there is no in-flight dedup table: a
+/// hierarchy build is read-only over the host and deterministic, so
+/// two threads racing on a cold key both build and the second insert
+/// harmlessly replaces the first with an identical structure. The
+/// filter cache needed dedup because misses are per-(query,
+/// constraint) and bursty; hierarchy misses happen once per model
+/// epoch.
+pub struct HierarchyCache {
+    state: Mutex<HierarchyState>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl HierarchyCache {
+    /// A cache capped at [`HIERARCHY_CAPACITY`] entries.
+    pub fn new() -> Self {
+        Self::with_capacity(HIERARCHY_CAPACITY)
+    }
+
+    /// A cache holding at most `capacity` hierarchies (≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        HierarchyCache {
+            state: Mutex::new(HierarchyState {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The memoized hierarchy for `key`, refreshing its LRU position.
+    pub fn lookup(&self, key: &HierarchyKey) -> Option<Arc<netembed::SubstrateHierarchy>> {
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        match st.map.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(slot.hierarchy.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Resolve `key`, building (outside the lock) on a miss. The bool
+    /// is `true` on a hit. Concurrent cold misses may both run `build`;
+    /// see the type docs for why that race is benign.
+    pub fn fetch_or_build(
+        &self,
+        key: &HierarchyKey,
+        build: impl FnOnce() -> netembed::SubstrateHierarchy,
+    ) -> (Arc<netembed::SubstrateHierarchy>, bool) {
+        if let Some(h) = self.lookup(key) {
+            return (h, true);
+        }
+        let built = Arc::new(build());
+        self.insert(key.clone(), built.clone());
+        (built, false)
+    }
+
+    /// Memoize `hierarchy` under `key`. Purges permanently-stale
+    /// entries (same host, older epoch) and LRU-evicts past the cap.
+    pub fn insert(&self, key: HierarchyKey, hierarchy: Arc<netembed::SubstrateHierarchy>) {
+        let mut st = self.state.lock();
+        st.map
+            .retain(|k, _| k.host != key.host || k.epoch >= key.epoch);
+        st.tick += 1;
+        let tick = st.tick;
+        st.map.insert(
+            key,
+            HierarchySlot {
+                hierarchy,
+                last_used: tick,
+            },
+        );
+        while st.map.len() > self.capacity {
+            let oldest = st
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over-capacity map");
+            st.map.remove(&oldest);
+        }
+    }
+
+    /// Drop every hierarchy for `host` (any epoch) — eager invalidation
+    /// for removed models, mirroring [`FilterCache::invalidate_host`].
+    pub fn invalidate_host(&self, host: &str) {
+        self.state.lock().map.retain(|k, _| k.host != host);
+    }
+
+    /// Entries currently memoized.
+    pub fn len(&self) -> usize {
+        self.state.lock().map.len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime lookup hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime lookup misses (each one coarsened the substrate).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for HierarchyCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for HierarchyCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HierarchyCache")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
 impl std::fmt::Debug for FilterCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FilterCache")

@@ -72,6 +72,28 @@
 //!    for the winner instead of rebuilding —
 //!    [`SearchStats::dedup_waits`](netembed::SearchStats)).
 //!
+//! Beside the pool layer sits the **HIERARCHY** layer, engaged when a
+//! request's [`Options::hierarchy`](netembed::Options) is set: the
+//! host substrate is coarsened once into a multilevel
+//! [`SubstrateHierarchy`](netembed::SubstrateHierarchy) — cached per
+//! `(host, epoch, spec)` in the service's [`cache::HierarchyCache`],
+//! warmable ahead of traffic via
+//! [`NetEmbedService::warm_hierarchy`] — and each run refines
+//! top-down: sound abstract constraint verdicts over aggregated
+//! super-node bounds prune whole subtrees, and the exact filter is
+//! built only inside the survivors
+//! ([`FilterMatrix::build_restricted`](netembed::FilterMatrix)).
+//! Solution sets are identical to the flat path; on large substrates
+//! only a fraction of the `O(|VQ|·|VR|)` admission matrix is ever
+//! examined (`SearchStats::hier_expanded_cells` vs
+//! `hier_full_cells`). One coarsening serves every query and every
+//! distinct constraint against that host snapshot, which is exactly
+//! the amortization the filter cache cannot offer (its key includes
+//! the query fingerprint and constraint). Hierarchical runs bypass
+//! the filter cache on purpose: the restricted matrix is a product of
+//! per-query refinement, and memoizing it under the flat key would
+//! collide full and restricted builds.
+//!
 //! Underneath the four request layers sits the **FEED** layer: the
 //! model side of every request. In production shape, registry
 //! mutations arrive from an external watch stream consumed by a
@@ -220,7 +242,7 @@ pub use admission::{
     AdmissionPolicy, FaultPlan, Priority, ServiceConfig, ShedCounters, ShedMode, ShedReason,
     StalenessPolicy,
 };
-pub use cache::{FilterCache, FilterKey};
+pub use cache::{FilterCache, FilterKey, HierarchyCache, HierarchyKey};
 pub use feed::{
     DeltaMutation, DeltaStream, FeedConfig, FeedSnapshot, FeedState, FeedStatus, FeedTelemetry,
     RegistryDelta, RegistryFeed, SnapshotSource,
@@ -428,6 +450,11 @@ fn resolve_planner_shards(config: &ServiceConfig) -> usize {
 pub struct NetEmbedService {
     registry: ModelRegistry,
     cache: FilterCache,
+    /// Coarsened-substrate memo, keyed `(host, epoch, spec)`: one
+    /// hierarchy build serves every hierarchical query against that
+    /// model snapshot, across the prepared, planner and direct submit
+    /// paths alike.
+    hierarchies: HierarchyCache,
     /// Leasable warm scratches; [`NetEmbedService::prepare`] checks one
     /// out, [`PreparedQuery`]'s drop checks it back in. Concurrent
     /// prepared queries each hold their own, so nothing serializes on a
@@ -469,6 +496,7 @@ impl NetEmbedService {
         NetEmbedService {
             registry: ModelRegistry::new(),
             cache: FilterCache::new().with_max_waiters(config.admission.max_dedup_waiters),
+            hierarchies: HierarchyCache::new(),
             scratches: Mutex::new(Vec::new()),
             config,
             planner_shards,
@@ -490,6 +518,40 @@ impl NetEmbedService {
     /// The shared filter cache (hit/miss counters live here).
     pub fn cache(&self) -> &FilterCache {
         &self.cache
+    }
+
+    /// The shared coarsened-substrate cache (hit/miss counters live
+    /// here). Populated lazily by hierarchical runs, or eagerly via
+    /// [`NetEmbedService::warm_hierarchy`].
+    pub fn hierarchy_cache(&self) -> &HierarchyCache {
+        &self.hierarchies
+    }
+
+    /// Coarsen `host`'s current model snapshot under `spec` and memoize
+    /// the result, so a later hierarchical submit pays refinement and
+    /// the restricted filter build only — not construction. Returns the
+    /// cached hierarchy when one already exists for the current epoch.
+    /// This is the warm-up path for latency-sensitive callers on large
+    /// substrates (construction at 10^5+ nodes is seconds of work that
+    /// should not land on the first query's budget).
+    pub fn warm_hierarchy(
+        &self,
+        host: &str,
+        spec: netembed::HierarchySpec,
+    ) -> Result<std::sync::Arc<netembed::SubstrateHierarchy>, ServiceError> {
+        let (net, epoch) = self
+            .registry
+            .get(host)
+            .ok_or_else(|| ServiceError::UnknownHost(host.to_string()))?;
+        let key = HierarchyKey {
+            host: host.to_string(),
+            epoch,
+            spec,
+        };
+        let (hier, _hit) = self
+            .hierarchies
+            .fetch_or_build(&key, || netembed::SubstrateHierarchy::build(&net, &spec));
+        Ok(hier)
     }
 
     /// The service's configuration (admission policy, parking caps).
@@ -538,6 +600,7 @@ impl NetEmbedService {
         let model = self.registry.remove(name);
         if model.is_some() {
             self.cache.invalidate_host(name);
+            self.hierarchies.invalidate_host(name);
         }
         model
     }
@@ -777,6 +840,15 @@ pub struct ServiceTelemetry {
     /// Fixed-bucket histogram of per-member dispatch (run) latencies
     /// (merged across shards).
     pub dispatch_latency: HistogramSnapshot,
+    /// Coarsened substrates currently memoized in the
+    /// [`HierarchyCache`].
+    pub hierarchies_resident: usize,
+    /// Lifetime [`HierarchyCache`] lookup hits — hierarchical runs
+    /// that skipped substrate coarsening entirely.
+    pub hierarchy_cache_hits: u64,
+    /// Lifetime [`HierarchyCache`] lookup misses (each one coarsened
+    /// the substrate once).
+    pub hierarchy_cache_misses: u64,
     /// Feed health: state, delta counters (balanced per the
     /// [`feed`]-module ledger identity), resync counters, last applied
     /// sequence and the staleness-lag gauge. All zero /
@@ -829,6 +901,9 @@ impl NetEmbedService {
             shed,
             queue_wait,
             dispatch_latency,
+            hierarchies_resident: self.hierarchies.len(),
+            hierarchy_cache_hits: self.hierarchies.hits(),
+            hierarchy_cache_misses: self.hierarchies.misses(),
             feed: self.feed.snapshot(),
             shards,
         }

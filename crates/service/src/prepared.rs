@@ -24,7 +24,7 @@
 //!   ([`SearchStats::pool_reuse`](netembed::SearchStats) shows it).
 
 use crate::admission::{FaultInjector, ShedMode, ShedReason};
-use crate::cache::{FilterCache, FilterFetch, FilterKey};
+use crate::cache::{FilterCache, FilterFetch, FilterKey, HierarchyCache, HierarchyKey};
 use crate::{NetEmbedService, QueryResponse, ServiceError};
 use cexpr::Expr;
 use netembed::{
@@ -227,6 +227,9 @@ impl std::fmt::Debug for PreparedQuery<'_> {
 /// fault injection, no cancellation.
 pub(crate) struct RunCtx<'a> {
     cache: &'a FilterCache,
+    /// Coarsened-substrate memo for hierarchical runs; `None` makes a
+    /// hierarchical run coarsen per-call (the bare scheduler path).
+    hierarchies: Option<&'a HierarchyCache>,
     faults: Option<&'a FaultInjector>,
     cancel: Option<&'a dyn Fn() -> bool>,
 }
@@ -235,6 +238,7 @@ impl<'a> RunCtx<'a> {
     pub(crate) fn service(svc: &'a NetEmbedService, cancel: Option<&'a dyn Fn() -> bool>) -> Self {
         Self {
             cache: svc.cache(),
+            hierarchies: Some(svc.hierarchy_cache()),
             faults: Some(svc.faults()),
             cancel,
         }
@@ -243,6 +247,7 @@ impl<'a> RunCtx<'a> {
     pub(crate) fn bare(cache: &'a FilterCache) -> Self {
         Self {
             cache,
+            hierarchies: None,
             faults: None,
             cancel: None,
         }
@@ -294,6 +299,37 @@ pub(crate) fn run_cached(
         // LNS keeps no filter state (that is its point, §V-C); it only
         // shares the scratch.
         return Ok(Engine::run_with_scratch(problem, options, scratch)?);
+    }
+    if let Some(spec) = options.hierarchy {
+        // Hierarchical runs bypass the filter cache on purpose: their
+        // restricted matrix is a product of this run's refinement, and
+        // memoizing it under the flat key would let a later flat run
+        // serve (correct but pointlessly narrow) restricted cells — or
+        // a hierarchical run hit a full matrix and skip the very
+        // pruning it asked for. The expensive shared artifact here is
+        // the *coarsening*, which is per-`(host, epoch, spec)` and
+        // memoized in the service's `HierarchyCache`; both building and
+        // inserting run outside any lock, and a duplicate build race is
+        // benign (deterministic construction, last insert wins).
+        let (hier, hit) = match ctx.hierarchies {
+            Some(hierarchies) => {
+                let hkey = HierarchyKey {
+                    host: key.host.clone(),
+                    epoch: key.epoch,
+                    spec,
+                };
+                hierarchies.fetch_or_build(&hkey, || {
+                    netembed::SubstrateHierarchy::build(problem.host, &spec)
+                })
+            }
+            None => (
+                Arc::new(netembed::SubstrateHierarchy::build(problem.host, &spec)),
+                false,
+            ),
+        };
+        let mut result = Engine::run_hier(problem, &hier, options, scratch)?;
+        result.stats.hierarchy_cache_hits = u64::from(hit);
+        return Ok(result);
     }
     if let Some(filter) = pinned.as_ref().cloned() {
         let mut result = Engine::run_prebuilt(problem, &filter, options, scratch)?;

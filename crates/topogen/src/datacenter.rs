@@ -1,0 +1,259 @@
+//! Datacenter-scale hosting substrates: fat-tree/Clos fabrics and
+//! power-law (Barabási–Albert-style) graphs at 10⁴–10⁶ nodes.
+//!
+//! These are the demo substrates for the multilevel hierarchy
+//! (`netembed::hierarchy`): far past the paper's N=2500 BRITE runs,
+//! where a flat `O(|VQ|·|VR|)` filter build is the bottleneck. Both
+//! generators plant attribute structure the hierarchy can prune on —
+//! the fat-tree tags every node with its `tier` and `pod`, the
+//! power-law graph plants a small connected `region = "hot"` cluster —
+//! so a region- or tier-constrained query eliminates whole super-node
+//! subtrees at the coarsest levels.
+//!
+//! Deterministic given a seed, like every generator in this crate.
+
+use netgraph::{Direction, Network, NodeId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Parameters of a [`fat_tree`] Clos fabric.
+#[derive(Debug, Clone)]
+pub struct FatTreeParams {
+    /// Switch radix `k` (even, ≥ 2): `(k/2)²` core switches, `k` pods
+    /// of `k/2` aggregation and `k/2` edge switches each.
+    pub k: usize,
+    /// Hosts attached to every edge switch (the classic fat-tree uses
+    /// `k/2`; scale this to hit a node budget).
+    pub hosts_per_edge: usize,
+}
+
+impl FatTreeParams {
+    /// A `k`-ary fat-tree with the classic `k/2` hosts per edge switch.
+    pub fn classic(k: usize) -> Self {
+        FatTreeParams {
+            k,
+            hosts_per_edge: k / 2,
+        }
+    }
+
+    /// Total node count this parameterization produces.
+    pub fn node_count(&self) -> usize {
+        let k = self.k;
+        (k / 2) * (k / 2) + k * (k / 2) * 2 + k * (k / 2) * self.hosts_per_edge
+    }
+}
+
+/// Generate a fat-tree/Clos hosting network.
+///
+/// Node attributes: `tier` (`"core"`/`"agg"`/`"edge"`/`"host"`), `pod`
+/// (pod index; -1 for core), `cpu` (hosts only carry real capacity,
+/// switches get 0). Edge attributes: `bw` (40 core↔agg, 10 agg↔edge,
+/// 1 edge↔host, with a small jitter) and `delay` (sub-millisecond,
+/// longer across tiers).
+pub fn fat_tree(params: &FatTreeParams, rng: &mut StdRng) -> Network {
+    let k = params.k;
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree radix must be even and >= 2"
+    );
+    let half = k / 2;
+    let mut g = Network::new(Direction::Undirected);
+    g.set_name(format!("fattree-k{}-h{}", k, params.hosts_per_edge));
+
+    let link = |g: &mut Network, u: NodeId, v: NodeId, bw: f64, delay: f64, rng: &mut StdRng| {
+        let e = g.add_edge(u, v);
+        g.set_edge_attr(e, "bw", bw * (1.0 - rng.random_range(0.0..0.05)));
+        g.set_edge_attr(e, "delay", delay + rng.random_range(0.0..0.02));
+    };
+
+    // Core switches: (k/2)² of them.
+    let mut core = Vec::with_capacity(half * half);
+    for i in 0..half * half {
+        let id = g.add_node(format!("core{i}"));
+        g.set_node_attr(id, "tier", "core");
+        g.set_node_attr(id, "pod", -1.0);
+        g.set_node_attr(id, "cpu", 0.0);
+        core.push(id);
+    }
+    // Pods.
+    for p in 0..k {
+        let mut agg = Vec::with_capacity(half);
+        for a in 0..half {
+            let id = g.add_node(format!("agg{p}-{a}"));
+            g.set_node_attr(id, "tier", "agg");
+            g.set_node_attr(id, "pod", p as f64);
+            g.set_node_attr(id, "cpu", 0.0);
+            // Aggregation switch `a` uplinks to core group `a`.
+            for c in 0..half {
+                link(&mut g, id, core[a * half + c], 40.0, 0.05, rng);
+            }
+            agg.push(id);
+        }
+        for e in 0..half {
+            let edge_sw = g.add_node(format!("edge{p}-{e}"));
+            g.set_node_attr(edge_sw, "tier", "edge");
+            g.set_node_attr(edge_sw, "pod", p as f64);
+            g.set_node_attr(edge_sw, "cpu", 0.0);
+            for &a in &agg {
+                link(&mut g, edge_sw, a, 10.0, 0.03, rng);
+            }
+            for h in 0..params.hosts_per_edge {
+                let host = g.add_node(format!("h{p}-{e}-{h}"));
+                g.set_node_attr(host, "tier", "host");
+                g.set_node_attr(host, "pod", p as f64);
+                g.set_node_attr(host, "cpu", rng.random_range(4..=64) as f64);
+                link(&mut g, host, edge_sw, 1.0, 0.01, rng);
+            }
+        }
+    }
+    g
+}
+
+/// Parameters of a [`power_law`] substrate.
+#[derive(Debug, Clone)]
+pub struct PowerLawParams {
+    /// Number of nodes.
+    pub n: usize,
+    /// Links added per new node (preferential attachment).
+    pub m: usize,
+    /// Size of the planted `region = "hot"` cluster: the first
+    /// `hot_nodes` nodes of the growth process. Connected by
+    /// construction (every BA node attaches to an earlier one), and
+    /// high-degree (early nodes accumulate attachment), so a
+    /// hot-region query is feasible while the remaining
+    /// `n - hot_nodes` nodes — the bulk — prune away at coarse levels.
+    pub hot_nodes: usize,
+}
+
+impl PowerLawParams {
+    /// `n` nodes, m=2 growth, a 64-node hot region.
+    pub fn paper_default(n: usize) -> Self {
+        PowerLawParams {
+            n,
+            m: 2,
+            hot_nodes: 64.min(n / 2),
+        }
+    }
+}
+
+/// Generate a power-law (Barabási–Albert-style) hosting network with a
+/// planted hot region.
+///
+/// Node attributes: `region` (`"hot"` for the first
+/// [`PowerLawParams::hot_nodes`] nodes, `"bulk"` otherwise), `cpu`
+/// (1–32). Edge attributes: `bw` (heavy-tailed, hubs get fatter
+/// links), `delay` (0.1–5 ms).
+pub fn power_law(params: &PowerLawParams, rng: &mut StdRng) -> Network {
+    let n = params.n;
+    let m = params.m.max(1);
+    assert!(n > m, "need n > m");
+    let mut g = Network::new(Direction::Undirected);
+    g.set_name(format!("powerlaw-{n}"));
+
+    for i in 0..n {
+        let id = g.add_node(format!("r{i}"));
+        g.set_node_attr(
+            id,
+            "region",
+            if i < params.hot_nodes { "hot" } else { "bulk" },
+        );
+        g.set_node_attr(id, "cpu", rng.random_range(1..=32) as f64);
+    }
+
+    let wire = |g: &mut Network, u: NodeId, v: NodeId, rng: &mut StdRng| {
+        let e = g.add_edge(u, v);
+        // Heavy-tailed bandwidth: most links thin, a few fat.
+        let bw = 1.0 / (1.0 - rng.random_range(0.0..0.99f64));
+        g.set_edge_attr(e, "bw", bw);
+        g.set_edge_attr(e, "delay", rng.random_range(0.1..5.0));
+    };
+
+    // Seed: a path over the first m+1 nodes (connected, minimal).
+    let mut targets: Vec<u32> = Vec::with_capacity(2 * n * m);
+    for i in 0..m {
+        wire(&mut g, NodeId(i as u32), NodeId(i as u32 + 1), rng);
+        targets.push(i as u32);
+        targets.push(i as u32 + 1);
+    }
+    // Growth: each new node attaches `m` links to endpoints sampled
+    // from the repeated-endpoint list (degree-proportional).
+    for i in (m + 1)..n {
+        let mut chosen: Vec<u32> = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let t = targets[rng.random_range(0..targets.len())];
+            if t as usize != i && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            wire(&mut g, NodeId(i as u32), NodeId(t), rng);
+            targets.push(i as u32);
+            targets.push(t);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn fat_tree_counts_match_formula() {
+        let params = FatTreeParams::classic(4);
+        let g = fat_tree(&params, &mut rng(1));
+        assert_eq!(g.node_count(), params.node_count());
+        // k=4: 4 core + 8 agg + 8 edge + 16 hosts.
+        assert_eq!(g.node_count(), 36);
+        // Links: core↔agg k·(k/2)·(k/2)=16, agg↔edge k·(k/2)·(k/2)=16,
+        // edge↔host 16.
+        assert_eq!(g.edge_count(), 48);
+    }
+
+    #[test]
+    fn fat_tree_is_deterministic() {
+        let params = FatTreeParams {
+            k: 4,
+            hosts_per_edge: 2,
+        };
+        let a = fat_tree(&params, &mut rng(7));
+        let b = fat_tree(&params, &mut rng(7));
+        assert_eq!(g_digest(&a), g_digest(&b));
+    }
+
+    #[test]
+    fn power_law_connected_hot_region() {
+        let params = PowerLawParams {
+            n: 500,
+            m: 2,
+            hot_nodes: 32,
+        };
+        let g = power_law(&params, &mut rng(3));
+        assert_eq!(g.node_count(), 500);
+        // Every node past the seed contributes exactly m edges.
+        assert_eq!(g.edge_count(), 2 + (500 - 3) * 2);
+        // The hot cluster is connected: every hot node (past node 0)
+        // has a neighbor with a smaller id, which by induction links
+        // the whole prefix.
+        let region = g.schema().get("region").unwrap();
+        for v in g.node_ids().take(32) {
+            assert_eq!(g.node_attr(v, region).and_then(|a| a.as_str()), Some("hot"));
+            if v.index() == 0 {
+                continue;
+            }
+            assert!(
+                g.neighbors(v).iter().any(|(w, _)| w.index() < v.index()),
+                "hot node {v:?} must attach to an earlier node"
+            );
+        }
+    }
+
+    fn g_digest(g: &Network) -> (usize, usize, Vec<(u32, u32)>) {
+        (
+            g.node_count(),
+            g.edge_count(),
+            g.edge_refs().map(|e| (e.src.0, e.dst.0)).collect(),
+        )
+    }
+}

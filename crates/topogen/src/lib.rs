@@ -13,6 +13,8 @@
 //! * [`brite`] — BRITE's Barabási–Albert mode (incremental growth with
 //!   preferential attachment, giving E ≈ m·N like the paper's
 //!   N=1500/E=3030) plus a Waxman mode.
+//! * [`datacenter`] — fat-tree/Clos fabrics and power-law graphs at
+//!   10⁴–10⁶ nodes, the demo substrates for the multilevel hierarchy.
 //! * [`regular`] — rings, stars, cliques, lines, trees, grids.
 //! * [`composite`] — the paper's two-level hierarchical queries (§VII-D).
 //! * [`workload`] — query samplers and constraint synthesis: random
@@ -23,6 +25,7 @@
 
 pub mod brite;
 pub mod composite;
+pub mod datacenter;
 pub mod hierarchical;
 pub mod planetlab;
 pub mod regular;
@@ -30,6 +33,7 @@ pub mod workload;
 
 pub use brite::{brite_like, BriteMode, BriteParams};
 pub use composite::{composite_query, CompositeSpec, Level};
+pub use datacenter::{fat_tree, power_law, FatTreeParams, PowerLawParams};
 pub use hierarchical::{transit_stub, TransitStubParams};
 pub use planetlab::{planetlab_like, PlanetlabParams};
 pub use regular::{clique, grid, line, ring, star, tree};
