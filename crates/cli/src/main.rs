@@ -561,7 +561,7 @@ fn planner_demo(
     if !quiet {
         let telemetry = svc.telemetry();
         eprintln!(
-            "# planner: shards: {}, peak concurrent dispatchers: {}, groups dispatched: {}, coalesced total: {}, cache hits: {} misses: {} dedup waits: {}",
+            "# planner: shards: {}, peak concurrent dispatchers: {}, groups dispatched: {}, coalesced total: {}, cache hits: {} misses: {} dedup waits: {} patches: {} patch rebuilds: {} promotions: {}",
             planner.shard_count(),
             planner.peak_concurrent_dispatchers(),
             planner.groups_dispatched(),
@@ -569,6 +569,9 @@ fn planner_demo(
             svc.cache().hits(),
             svc.cache().misses(),
             svc.cache().dedup_waits(),
+            svc.cache().patches(),
+            svc.cache().patch_rebuilds(),
+            svc.cache().promotions(),
         );
         eprintln!(
             "# pool telemetry: parked scratches: {}, threads: {}, spawned total: {}",

@@ -71,6 +71,7 @@ use crate::deadline::Deadline;
 use crate::problem::{Problem, ProblemError};
 use crate::stats::SearchStats;
 use netgraph::{EdgeRef, NodeBitSet, NodeId};
+use rustc_hash::FxHashSet;
 
 /// Cells with at least this many candidates also materialize a bitset
 /// mirror for word-level intersection. Below it, staging the (short)
@@ -94,7 +95,7 @@ pub struct CellView<'a> {
 /// mirrors) — two tables are equal only when they are laid out
 /// identically, which is what the parallel-build determinism property
 /// asserts.
-#[derive(PartialEq)]
+#[derive(Clone, PartialEq)]
 struct CellTable {
     nq: usize,
     nr: usize,
@@ -153,6 +154,90 @@ impl CellTable {
     /// hash layout's map length).
     fn cell_count(&self) -> usize {
         self.ncells
+    }
+
+    /// Pair slots in this table (rows per slot: `nr`).
+    fn nslots(&self) -> usize {
+        self.offsets.len() / (self.nr + 1)
+    }
+
+    /// In-place removal pass of [`FilterMatrix::patch`]: drop every
+    /// dirty-incident arena entry (anchor `rj` or candidate dirty) that
+    /// the re-scan did not confirm, compact the arena tail-forward, and
+    /// rebuild offsets, bitset mirrors and the cell count canonically —
+    /// the surviving layout is exactly what [`CellTable::from_hits`]
+    /// would produce from the surviving hit stream, which is what keeps
+    /// a patched table `PartialEq`-identical to a fresh build.
+    fn retain_confirmed(&mut self, dirty: &NodeBitSet, keep: &FxHashSet<(u64, u32)>) {
+        let nslots = self.nslots();
+        let mut new_offsets = vec![0u32; self.offsets.len()];
+        let mut write = 0usize;
+        let mut ncells = 0usize;
+        for s in 0..nslots {
+            let obase = s * (self.nr + 1);
+            for rj in 0..self.nr {
+                let (lo, hi) = (
+                    self.offsets[obase + rj] as usize,
+                    self.offsets[obase + rj + 1] as usize,
+                );
+                new_offsets[obase + rj] = write as u32;
+                let rj_dirty = dirty.contains(NodeId(rj as u32));
+                for k in lo..hi {
+                    let r2 = self.arena[k];
+                    let affected = rj_dirty || dirty.contains(r2);
+                    if !affected || keep.contains(&(s as u64 * self.nr as u64 + rj as u64, r2.0)) {
+                        self.arena[write] = r2;
+                        write += 1;
+                    }
+                }
+                if write as u32 > new_offsets[obase + rj] {
+                    ncells += 1;
+                }
+            }
+            new_offsets[obase + self.nr] = write as u32;
+        }
+        self.arena.truncate(write);
+        self.offsets = new_offsets;
+        // Re-derive the bitset mirrors from scratch: a shrunken span may
+        // have crossed the density threshold, and `from_hits` assigns
+        // mirror indices in row order — reproduce that exactly.
+        self.bits.clear();
+        self.bit_idx.fill(u32::MAX);
+        for s in 0..nslots {
+            let obase = s * (self.nr + 1);
+            for rj in 0..self.nr {
+                let (lo, hi) = (
+                    self.offsets[obase + rj] as usize,
+                    self.offsets[obase + rj + 1] as usize,
+                );
+                let span = &self.arena[lo..hi];
+                if span.len() >= CELL_DENSE_MIN {
+                    self.bit_idx[s * self.nr + rj] = self.bits.len() as u32;
+                    self.bits
+                        .push(NodeBitSet::from_iter(self.nr, span.iter().copied()));
+                }
+            }
+        }
+        self.ncells = ncells;
+    }
+
+    /// OR into `out` every anchor `rj` of a non-empty cell keyed
+    /// `(vj, rj, ·)` — the scan-derived base-set contribution of this
+    /// table for query node `vj` (a hit `(vj, rj, vi) ← r2` always
+    /// inserted `rj` into `base[vj]`).
+    fn collect_anchors(&self, vj: NodeId, out: &mut NodeBitSet) {
+        for vi in 0..self.nq {
+            let s = self.slot[vj.index() * self.nq + vi];
+            if s == u32::MAX {
+                continue;
+            }
+            let obase = s as usize * (self.nr + 1);
+            for rj in 0..self.nr {
+                if self.offsets[obase + rj] < self.offsets[obase + rj + 1] {
+                    out.insert(NodeId(rj as u32));
+                }
+            }
+        }
     }
 }
 
@@ -361,7 +446,7 @@ impl CellTable {
 /// base sets — equality means the two matrices are laid out
 /// bitwise-identically, the property `tests/prop_layout.rs` asserts for
 /// [`FilterMatrix::build`] vs [`FilterMatrix::build_par`].
-#[derive(PartialEq)]
+#[derive(Clone, PartialEq)]
 pub struct FilterMatrix {
     /// `fwd[(vj, rj, vi)]`: candidates for `vi` via query edge `vj → vi`
     /// (for undirected problems this holds both orientations).
@@ -378,6 +463,76 @@ pub struct FilterMatrix {
     /// Whether construction was cut short by the deadline. A truncated
     /// filter must not be searched (results would be incomplete).
     truncated: bool,
+}
+
+/// How [`FilterMatrix::patch`] resolved a dirty window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatchOutcome {
+    /// The matrix was repaired in place and is now bitwise-identical to
+    /// a fresh build against the patched host.
+    Patched,
+    /// Re-evaluation discovered a *newly admissible* candidate (or the
+    /// patch preconditions failed: truncated matrix, host shape change,
+    /// deadline expiry). Additions cannot be spliced into the frozen
+    /// CSR arena — the caller must fall back to a full rebuild.
+    NeedsRebuild,
+}
+
+/// Memoized node-admissibility probe for [`FilterMatrix::patch`]: the
+/// tri-state `memo` (0 unknown / 1 admissible / 2 not) caches verdicts
+/// per `(v, r)` so repeated probes of the same pair across host edges
+/// evaluate the node constraint once, exactly mirroring the gate in
+/// [`node_admissible_within`].
+#[allow(clippy::too_many_arguments)]
+fn admit_memo(
+    problem: &Problem<'_>,
+    qdeg: &[(usize, usize)],
+    memo: &mut [u8],
+    nr: usize,
+    v: NodeId,
+    r: NodeId,
+    stats: &mut SearchStats,
+) -> Result<bool, ProblemError> {
+    let idx = v.index() * nr + r.index();
+    match memo[idx] {
+        1 => return Ok(true),
+        2 => return Ok(false),
+        _ => {}
+    }
+    let (v_out, v_in) = qdeg[v.index()];
+    let mut ok =
+        problem.host.neighbors(r).len() >= v_out && problem.host.in_neighbors(r).len() >= v_in;
+    if ok && problem.has_node_expr() {
+        stats.constraint_evals += 1;
+        ok = problem.node_ok(v, r)?;
+    }
+    memo[idx] = if ok { 1 } else { 2 };
+    Ok(ok)
+}
+
+/// Confirm one re-scanned hit against the frozen table: present → record
+/// it in `keep` (so the removal pass retains it) and report `true`;
+/// absent → the mutation *added* a candidate, which the arena cannot
+/// absorb — the caller must rebuild.
+fn confirm_hit(
+    table: &CellTable,
+    keep: &mut FxHashSet<(u64, u32)>,
+    vj: NodeId,
+    rj: NodeId,
+    vi: NodeId,
+    r2: NodeId,
+) -> bool {
+    let s = table.pair(vj, vi);
+    if s == u32::MAX {
+        return false;
+    }
+    let row = s as usize * (table.nr + 1) + rj.index();
+    let span = &table.arena[table.offsets[row] as usize..table.offsets[row + 1] as usize];
+    if span.binary_search(&r2).is_err() {
+        return false;
+    }
+    keep.insert((s as u64 * table.nr as u64 + rj.index() as u64, r2.0));
+    true
 }
 
 /// Node-admissibility prefilter: which `(v, r)` pairs can possibly map.
@@ -751,6 +906,172 @@ impl FilterMatrix {
     /// Total number of candidate entries across cells.
     pub fn entry_count(&self) -> usize {
         self.fwd.arena.len() + self.rev.arena.len()
+    }
+
+    /// Repair this matrix in place against a host that mutated since it
+    /// was built, re-evaluating only what `dirty` can have changed.
+    ///
+    /// `problem` must be the *same query and constraint* compiled
+    /// against the host **at the new epoch**, and `dirty` must cover
+    /// every mutated host node plus both endpoints of every mutated
+    /// host edge (the feed's `DirtySet` contract) — then a host edge
+    /// with no dirty endpoint has unchanged attributes *and* unchanged
+    /// endpoint admissibility, so every hit it ever produced is
+    /// epoch-invariant. The patch therefore re-scans only dirty-incident
+    /// host edges (and, for edge-less query nodes, dirty base rows):
+    ///
+    /// * a previously-recorded hit the re-scan still produces is kept;
+    /// * a previously-recorded dirty-incident hit the re-scan no longer
+    ///   produces is removed in place (arena compaction, offsets/bitset
+    ///   mirrors/`counts` re-derived canonically);
+    /// * a re-scanned hit **absent** from the frozen arena is an
+    ///   addition — the method returns [`PatchOutcome::NeedsRebuild`]
+    ///   without completing the mutation, and the caller must discard
+    ///   this matrix and build fresh (additions cannot be spliced into
+    ///   a frozen CSR arena).
+    ///
+    /// On [`PatchOutcome::Patched`] the matrix is `PartialEq`-identical
+    /// to a fresh [`FilterMatrix::build`] at the new epoch: the
+    /// counting-sort layout is a pure function of the per-cell sorted
+    /// candidate sets, which the removal pass reproduces exactly. Host
+    /// shape changes (`nq`/`nr` mismatch, dirty id out of range), a
+    /// truncated matrix, and deadline expiry mid-scan all resolve as
+    /// `NeedsRebuild` — never a partial repair. `stats` accrues
+    /// `constraint_evals` for the re-scan and `filter_cells` on
+    /// success.
+    pub fn patch(
+        &mut self,
+        problem: &Problem<'_>,
+        dirty: &[NodeId],
+        deadline: &mut Deadline,
+        stats: &mut SearchStats,
+    ) -> Result<PatchOutcome, ProblemError> {
+        let nq = problem.nq();
+        let nr = problem.nr();
+        if self.truncated || self.fwd.nq != nq || self.fwd.nr != nr {
+            return Ok(PatchOutcome::NeedsRebuild);
+        }
+        if dirty.iter().any(|d| d.index() >= nr) {
+            return Ok(PatchOutcome::NeedsRebuild);
+        }
+        if dirty.is_empty() {
+            return Ok(PatchOutcome::Patched);
+        }
+        if deadline.check_now() {
+            return Ok(PatchOutcome::NeedsRebuild);
+        }
+        let mut dirty_set = NodeBitSet::new(nr);
+        for &d in dirty {
+            dirty_set.insert(d);
+        }
+        let undirected = problem.query.is_undirected();
+        let qdeg: Vec<(usize, usize)> = problem
+            .query
+            .node_ids()
+            .map(|v| {
+                (
+                    problem.query.neighbors(v).len(),
+                    problem.query.in_neighbors(v).len(),
+                )
+            })
+            .collect();
+        let mut memo = vec![0u8; nq * nr];
+        let mut keep_fwd: FxHashSet<(u64, u32)> = FxHashSet::default();
+        let mut keep_rev: FxHashSet<(u64, u32)> = FxHashSet::default();
+
+        // Re-scan pass: regenerate the hits of every dirty-incident host
+        // edge under the new epoch, mirroring `scan_query_edges` exactly
+        // (orientations, admissibility gate, eval accounting). Any
+        // regenerated hit missing from the frozen arena is an addition.
+        for qe in problem.query.edge_refs() {
+            let (a, b) = (qe.src, qe.dst);
+            for he in problem.host.edge_refs() {
+                let (u, v) = (he.src, he.dst);
+                if !dirty_set.contains(u) && !dirty_set.contains(v) {
+                    continue;
+                }
+                if deadline.expired() {
+                    return Ok(PatchOutcome::NeedsRebuild);
+                }
+                // Orientation 1: a→u, b→v.
+                if admit_memo(problem, &qdeg, &mut memo, nr, a, u, stats)?
+                    && admit_memo(problem, &qdeg, &mut memo, nr, b, v, stats)?
+                {
+                    stats.constraint_evals += 1;
+                    if problem.edge_ok(qe.id, a, b, he.id, u, v)? {
+                        if !confirm_hit(&self.fwd, &mut keep_fwd, a, u, b, v) {
+                            return Ok(PatchOutcome::NeedsRebuild);
+                        }
+                        let kept = if undirected {
+                            confirm_hit(&self.fwd, &mut keep_fwd, b, v, a, u)
+                        } else {
+                            confirm_hit(&self.rev, &mut keep_rev, b, v, a, u)
+                        };
+                        if !kept {
+                            return Ok(PatchOutcome::NeedsRebuild);
+                        }
+                    }
+                }
+                // Orientation 2: a→v, b→u (a recorded hit only when
+                // undirected, exactly as in the build scan).
+                if admit_memo(problem, &qdeg, &mut memo, nr, a, v, stats)?
+                    && admit_memo(problem, &qdeg, &mut memo, nr, b, u, stats)?
+                {
+                    stats.constraint_evals += 1;
+                    if undirected
+                        && problem.edge_ok(qe.id, a, b, he.id, v, u)?
+                        && (!confirm_hit(&self.fwd, &mut keep_fwd, a, v, b, u)
+                            || !confirm_hit(&self.fwd, &mut keep_fwd, b, u, a, v))
+                    {
+                        return Ok(PatchOutcome::NeedsRebuild);
+                    }
+                }
+            }
+        }
+
+        // Edge-less query nodes: their base set is the node-admissible
+        // set, so a dirty host node re-admits per the new constraint —
+        // newly admissible is an addition, newly inadmissible a removal.
+        let mut deg0_removals: Vec<(NodeId, NodeId)> = Vec::new();
+        for v in problem.query.node_ids() {
+            if problem.query.total_degree(v) != 0 {
+                continue;
+            }
+            for r in dirty_set.iter() {
+                let now = admit_memo(problem, &qdeg, &mut memo, nr, v, r, stats)?;
+                let was = self.base[v.index()].contains(r);
+                if now && !was {
+                    return Ok(PatchOutcome::NeedsRebuild);
+                }
+                if !now && was {
+                    deg0_removals.push((v, r));
+                }
+            }
+        }
+
+        // Every addition check passed — mutate. Removal pass: compact
+        // both tables, then re-derive bases and counts from the
+        // surviving cells so the result is layout-identical to a fresh
+        // build.
+        self.fwd.retain_confirmed(&dirty_set, &keep_fwd);
+        self.rev.retain_confirmed(&dirty_set, &keep_rev);
+        for (v, r) in deg0_removals {
+            self.base[v.index()].remove(r);
+        }
+        for v in problem.query.node_ids() {
+            if problem.query.total_degree(v) == 0 {
+                continue;
+            }
+            let base = &mut self.base[v.index()];
+            base.clear();
+            self.fwd.collect_anchors(v, base);
+            self.rev.collect_anchors(v, base);
+        }
+        for (count, base) in self.counts.iter_mut().zip(&self.base) {
+            *count = base.len();
+        }
+        stats.filter_cells = (self.fwd.cell_count() + self.rev.cell_count()) as u64;
+        Ok(PatchOutcome::Patched)
     }
 }
 
@@ -1314,6 +1635,183 @@ mod tests {
         assert_eq!(f.cell_count(), 0);
         assert_eq!(s.constraint_evals, 0, "no evaluation before the check");
         assert_eq!(s.filter_cells, 0);
+    }
+
+    /// Patch `f` (built against the pre-mutation host) with `dirty`
+    /// against the post-mutation host, returning the outcome.
+    fn patch(
+        f: &mut FilterMatrix,
+        q: &Network,
+        h: &Network,
+        c: &str,
+        dirty: &[NodeId],
+    ) -> PatchOutcome {
+        let p = Problem::new(q, h, c).unwrap();
+        let mut d = Deadline::unlimited();
+        let mut s = SearchStats::default();
+        f.patch(&p, dirty, &mut d, &mut s).unwrap()
+    }
+
+    #[test]
+    fn patch_removal_matches_fresh_build() {
+        let (q, mut h) = fixture();
+        let c = "rEdge.d < 60.0";
+        let (mut patched, _) = build(&q, &h, c);
+        // Edge (v, w) leaves the constraint: its candidates must go.
+        h.set_edge_attr(netgraph::EdgeId(1), "d", 100.0);
+        let outcome = patch(&mut patched, &q, &h, c, &[NodeId(1), NodeId(2)]);
+        assert_eq!(outcome, PatchOutcome::Patched);
+        let (fresh, _) = build(&q, &h, c);
+        assert!(patched == fresh, "patched layout diverges from fresh build");
+        assert_eq!(patched.candidate_count(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn patch_with_empty_dirty_is_a_noop() {
+        let (q, h) = fixture();
+        let (mut f, _) = build(&q, &h, "rEdge.d < 60.0");
+        let (orig, _) = build(&q, &h, "rEdge.d < 60.0");
+        assert_eq!(
+            patch(&mut f, &q, &h, "rEdge.d < 60.0", &[]),
+            PatchOutcome::Patched
+        );
+        assert!(f == orig);
+    }
+
+    #[test]
+    fn patch_detects_an_added_candidate() {
+        let (q, mut h) = fixture();
+        let c = "rEdge.d < 10.0";
+        // Only (u, v) matches at build time. Edge (v, w) then drops under
+        // the bound: its endpoints gain hits the frozen arena never held —
+        // a patch must refuse.
+        let (mut f, _) = build(&q, &h, c);
+        h.set_edge_attr(netgraph::EdgeId(1), "d", 5.0);
+        assert_eq!(
+            patch(&mut f, &q, &h, c, &[NodeId(1), NodeId(2)]),
+            PatchOutcome::NeedsRebuild
+        );
+    }
+
+    #[test]
+    fn patch_handles_degree_zero_base_rows() {
+        let mut q = Network::new(Direction::Undirected);
+        q.add_node("lone");
+        let (_, mut h) = fixture();
+        for r in 0..3 {
+            h.set_node_attr(NodeId(r), "cpu", 8.0);
+        }
+        let c = "rNode.cpu >= 4.0";
+        let (f, _) = build(&q, &h, c);
+        assert_eq!(f.candidate_count(NodeId(0)), 3);
+        // Removal: node w drops below the bound.
+        h.set_node_attr(NodeId(2), "cpu", 1.0);
+        let mut f2 = f.clone();
+        assert_eq!(
+            patch(&mut f2, &q, &h, c, &[NodeId(2)]),
+            PatchOutcome::Patched
+        );
+        let (fresh, _) = build(&q, &h, c);
+        assert!(f2 == fresh);
+        assert_eq!(f2.candidate_count(NodeId(0)), 2);
+        // Addition: it climbs back up — the base row cannot grow in place.
+        let mut h3 = h.clone();
+        h3.set_node_attr(NodeId(2), "cpu", 9.0);
+        assert_eq!(
+            patch(&mut f2, &q, &h3, c, &[NodeId(2)]),
+            PatchOutcome::NeedsRebuild
+        );
+    }
+
+    #[test]
+    fn patch_refuses_truncated_and_reshaped_inputs() {
+        let (q, h) = fixture();
+        let p = Problem::new(&q, &h, "true").unwrap();
+        let mut d = Deadline::new(Some(std::time::Duration::ZERO));
+        d.check_now();
+        let mut s = SearchStats::default();
+        let mut truncated = FilterMatrix::build(&p, &mut d, &mut s).unwrap();
+        assert!(truncated.truncated());
+        assert_eq!(
+            patch(&mut truncated, &q, &h, "true", &[NodeId(0)]),
+            PatchOutcome::NeedsRebuild
+        );
+        // A host that grew a node is a shape change, not a patch.
+        let (mut f, _) = build(&q, &h, "true");
+        let mut grown = h.clone();
+        grown.add_node("x");
+        assert_eq!(
+            patch(&mut f, &q, &grown, "true", &[NodeId(3)]),
+            PatchOutcome::NeedsRebuild
+        );
+    }
+
+    #[test]
+    fn patch_directed_rev_table_matches_fresh_build() {
+        let mut q = Network::new(Direction::Directed);
+        let qa = q.add_node("a");
+        let qb = q.add_node("b");
+        q.add_edge(qa, qb);
+        let mut h = Network::new(Direction::Directed);
+        let hs: Vec<NodeId> = (0..4).map(|i| h.add_node(format!("h{i}"))).collect();
+        for i in 0..4usize {
+            for j in 0..4usize {
+                if i != j {
+                    let e = h.add_edge(hs[i], hs[j]);
+                    h.set_edge_attr(e, "d", 5.0);
+                }
+            }
+        }
+        let c = "rEdge.d < 10.0";
+        let (mut f, _) = build(&q, &h, c);
+        // Every edge incident to h3 leaves the constraint.
+        let edges: Vec<_> = h.edge_refs().collect();
+        for e in edges {
+            if e.src == hs[3] || e.dst == hs[3] {
+                h.set_edge_attr(e.id, "d", 50.0);
+            }
+        }
+        let dirty: Vec<NodeId> = hs.clone();
+        assert_eq!(patch(&mut f, &q, &h, c, &dirty), PatchOutcome::Patched);
+        let (fresh, _) = build(&q, &h, c);
+        assert!(
+            f == fresh,
+            "directed patch layout diverges from fresh build"
+        );
+    }
+
+    #[test]
+    fn patch_recrosses_the_dense_cell_threshold() {
+        // Hub cell starts dense (bitset mirror); removals push it below
+        // CELL_DENSE_MIN and the mirror must disappear exactly as in a
+        // fresh build.
+        let mut h = Network::new(Direction::Undirected);
+        let hub = h.add_node("hub");
+        let leaves: Vec<NodeId> = (0..CELL_DENSE_MIN + 2)
+            .map(|i| h.add_node(format!("l{i}")))
+            .collect();
+        for &l in &leaves {
+            let e = h.add_edge(hub, l);
+            h.set_edge_attr(e, "d", 5.0);
+        }
+        let mut q = Network::new(Direction::Undirected);
+        let a = q.add_node("a");
+        let b = q.add_node("b");
+        q.add_edge(a, b);
+        let c = "rEdge.d < 10.0";
+        let (mut f, _) = build(&q, &h, c);
+        assert!(f.fwd_view(a, hub, b).bits.is_some(), "starts dense");
+        // Cut enough leaves to drop below the density threshold.
+        let mut dirty = vec![hub];
+        let edges: Vec<_> = h.edge_refs().take(4).collect();
+        for e in edges {
+            h.set_edge_attr(e.id, "d", 50.0);
+            dirty.push(e.dst);
+        }
+        assert_eq!(patch(&mut f, &q, &h, c, &dirty), PatchOutcome::Patched);
+        let (fresh, _) = build(&q, &h, c);
+        assert!(f == fresh);
+        assert!(f.fwd_view(a, hub, b).bits.is_none(), "mirror dropped");
     }
 
     #[test]

@@ -105,7 +105,7 @@ pub mod verify;
 
 pub use deadline::Deadline;
 pub use engine::{Algorithm, EmbedResult, Engine, Options, SearchMode};
-pub use filter::FilterMatrix;
+pub use filter::{FilterMatrix, PatchOutcome};
 pub use hierarchy::{HierarchySpec, Refinement, SubstrateHierarchy};
 pub use mapping::Mapping;
 pub use order::NodeOrder;

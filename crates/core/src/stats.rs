@@ -88,6 +88,17 @@ pub struct SearchStats {
     /// hierarchy construction entirely (0 for engine-level runs and
     /// cache misses).
     pub hierarchy_cache_hits: u64,
+    /// 1 when a superseded cached filter was repaired **in place** to
+    /// this run's epoch ([`FilterMatrix::patch`](crate::FilterMatrix)):
+    /// only the dirty-set rows were re-evaluated and the run then hit
+    /// the patched entry instead of rebuilding. 0 for engine-level
+    /// runs; the service's prepared-query path sets it.
+    pub patches: u64,
+    /// 1 when an in-place patch was *attempted* but had to fall back to
+    /// a full rebuild — the delta admitted a new candidate (an addition
+    /// a subtractive patch cannot express) or the patch budget expired.
+    /// Such a run pays a normal cache miss.
+    pub patch_rebuilds: u64,
     /// Wall-clock time of the whole run (filter construction + search).
     ///
     /// This is always the *caller-observed* duration: the parallel search
@@ -134,6 +145,8 @@ impl SearchStats {
         self.hier_expanded_cells = self.hier_expanded_cells.max(other.hier_expanded_cells);
         self.hier_full_cells = self.hier_full_cells.max(other.hier_full_cells);
         self.hierarchy_cache_hits += other.hierarchy_cache_hits;
+        self.patches += other.patches;
+        self.patch_rebuilds += other.patch_rebuilds;
         self.elapsed = self.elapsed.max(other.elapsed);
         self.cpu_time += other.cpu_time;
         self.timed_out |= other.timed_out;
@@ -409,6 +422,8 @@ mod tests {
             hier_expanded_cells: 12,
             hier_full_cells: 120,
             hierarchy_cache_hits: 1,
+            patches: 1,
+            patch_rebuilds: 0,
             elapsed: Duration::from_millis(20),
             cpu_time: Duration::from_millis(20),
             timed_out: false,
@@ -431,6 +446,8 @@ mod tests {
             hier_expanded_cells: 0,
             hier_full_cells: 0,
             hierarchy_cache_hits: 1,
+            patches: 1,
+            patch_rebuilds: 1,
             elapsed: Duration::from_millis(35),
             cpu_time: Duration::from_millis(35),
             timed_out: true,
@@ -453,6 +470,8 @@ mod tests {
         assert_eq!(a.hier_expanded_cells, 12); // max, shared restriction
         assert_eq!(a.hier_full_cells, 120); // max, one shared matrix size
         assert_eq!(a.hierarchy_cache_hits, 2); // sum, per-run hits
+        assert_eq!(a.patches, 2); // sum, per-run in-place repairs
+        assert_eq!(a.patch_rebuilds, 1); // sum, per-run patch fallbacks
         assert_eq!(a.elapsed, Duration::from_millis(35)); // max, wall-clock
         assert_eq!(a.cpu_time, Duration::from_millis(55)); // sum, cpu-time
         assert!(a.timed_out);

@@ -40,6 +40,27 @@
 //! verdict runs *outside* the cache lock; the re-key re-checks that the
 //! candidate survived and that nobody filled the new key meanwhile.
 //!
+//! ## Epoch patching
+//!
+//! Promotion only helps when the dirty window misses the filter
+//! entirely. [`FilterCache::try_patch`] covers the common middle
+//! ground — the window *does* touch cached candidates, but only to
+//! remove them (attribute churn, logical edge/node removals): the
+//! caller's decide hook clones the superseded matrix, repairs it with
+//! [`FilterMatrix::patch`](netembed::FilterMatrix::patch) **outside the
+//! cache lock**, and hands back [`PatchDecision::Replace`]; the cache
+//! memoizes the repaired clone under the new key (counted under
+//! [`FilterCache::patches`]) and the next fetch is a plain hit. A
+//! mutation that *adds* a feasible candidate cannot be spliced into the
+//! frozen arena — `patch` reports `NeedsRebuild`, the hook returns
+//! [`PatchDecision::Rebuild`] (counted under
+//! [`FilterCache::patch_rebuilds`]) and the caller falls through to the
+//! normal miss/build path. This is also what makes promotion *sound*
+//! for additive mutations: every non-empty dirty window re-evaluates
+//! through `patch`'s addition detection instead of trusting the
+//! touched-host intersection alone (which cannot see a dirty node
+//! becoming newly admissible *outside* the cached candidate set).
+//!
 //! ## Concurrent-miss deduplication
 //!
 //! Two threads missing on the same key at the same time used to both
@@ -72,7 +93,7 @@ use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
@@ -120,6 +141,14 @@ struct InFlight {
     /// exit path (shared, expired, cancelled, abandoned-retry), so the
     /// waiter cap can never leak a slot.
     waiters: AtomicU64,
+    /// Set by [`FilterCache::invalidate_host`] while the build is still
+    /// in flight: the key's namespace died (model removed), so
+    /// [`BuildTicket::complete`] must *not* memoize the result — doing
+    /// so would resurrect an entry for the dead host after the
+    /// invalidation purge. Waiters still receive the built filter (the
+    /// answer is correct for the epoch they asked about); it just is
+    /// not cached.
+    poisoned: AtomicBool,
 }
 
 enum BuildState {
@@ -136,6 +165,7 @@ impl InFlight {
             state: StdMutex::new(BuildState::Building),
             cv: StdCondvar::new(),
             waiters: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
         }
     }
 }
@@ -197,9 +227,25 @@ impl BuildTicket<'_> {
     /// Publish a finished build: memoize it under the ticket's key and
     /// wake every waiter with the same `Arc`. Callers must only
     /// complete *complete* builds (see [`FilterCache::insert`]).
+    ///
+    /// The memo insert and the in-flight-table removal happen under one
+    /// hold of the in-flight lock, and the insert is skipped when
+    /// [`FilterCache::invalidate_host`] poisoned this build meanwhile —
+    /// otherwise a builder racing a model removal would complete its
+    /// register-then-reprobe insert *after* the invalidation purge and
+    /// resurrect an entry for the dead host. Waiters are woken with the
+    /// filter either way.
     pub fn complete(mut self, filter: Arc<FilterMatrix>) {
-        self.cache.insert(self.key.clone(), filter.clone());
-        self.resolve(BuildState::Done(filter));
+        self.resolved = true;
+        {
+            let mut fl = self.cache.inflight.lock().unwrap();
+            if !self.slot.poisoned.load(Ordering::Relaxed) {
+                self.cache.insert(self.key.clone(), filter.clone());
+            }
+            fl.remove(&self.key);
+        }
+        *self.slot.state.lock().unwrap() = BuildState::Done(filter);
+        self.slot.cv.notify_all();
     }
 
     /// Give the key up without publishing (truncated or failed build):
@@ -251,6 +297,29 @@ pub struct FilterCache {
     dedup_waits: AtomicU64,
     dedup_shed: AtomicU64,
     promotions: AtomicU64,
+    patches: AtomicU64,
+    patch_rebuilds: AtomicU64,
+}
+
+/// The caller's verdict for one [`FilterCache::try_patch`] window,
+/// produced by the decide hook *outside* the cache lock (module docs,
+/// "Epoch patching").
+pub enum PatchDecision {
+    /// The window cannot be classified (broken delta chain, no registry
+    /// history): leave the cache untouched and fall through to the
+    /// normal miss/build path. No counter moves.
+    Skip,
+    /// The composed dirty window is provably empty: the superseded
+    /// matrix is still exact — re-key it in place (a promotion).
+    Promote,
+    /// The dirty window only removed candidates: memoize this repaired
+    /// clone under the new key (counted under [`FilterCache::patches`]).
+    Replace(Arc<FilterMatrix>),
+    /// The window added a feasible candidate
+    /// ([`PatchOutcome::NeedsRebuild`](netembed::PatchOutcome)): the
+    /// frozen arena cannot absorb it — fall through to a full rebuild
+    /// (counted under [`FilterCache::patch_rebuilds`]).
+    Rebuild,
 }
 
 impl FilterCache {
@@ -274,6 +343,8 @@ impl FilterCache {
             dedup_waits: AtomicU64::new(0),
             dedup_shed: AtomicU64::new(0),
             promotions: AtomicU64::new(0),
+            patches: AtomicU64::new(0),
+            patch_rebuilds: AtomicU64::new(0),
         }
     }
 
@@ -523,13 +594,21 @@ impl FilterCache {
         if !verdict(old_key.epoch, &filter) {
             return false;
         }
+        self.rekey(&old_key, key)
+    }
+
+    /// Re-key `old_key`'s slot to `key`, re-checking (under the lock)
+    /// that the candidate survived and that nobody filled `key`
+    /// meanwhile. Shared tail of [`FilterCache::try_promote`] and the
+    /// promote arm of [`FilterCache::try_patch`].
+    fn rekey(&self, old_key: &FilterKey, key: &FilterKey) -> bool {
         let mut st = self.state.lock();
         if st.map.contains_key(key) {
             // A concurrent builder landed the fresh epoch first; its
             // `insert` purged the candidate. The goal state holds.
             return true;
         }
-        let Some(slot) = st.map.remove(&old_key) else {
+        let Some(slot) = st.map.remove(old_key) else {
             // Evicted while the verdict ran; nothing left to promote.
             return false;
         };
@@ -546,12 +625,77 @@ impl FilterCache {
         true
     }
 
+    /// Repair-or-promote a superseded entry to `key` (module docs,
+    /// "Epoch patching"). The candidate is selected exactly as in
+    /// [`FilterCache::try_promote`] (newest same-identity entry with an
+    /// older epoch; an already-memoized `key` short-circuits `true`);
+    /// `decide(old_epoch, filter)` then classifies the dirty window
+    /// *outside* the cache lock — typically by cloning the matrix and
+    /// running [`FilterMatrix::patch`](netembed::FilterMatrix::patch)
+    /// against the new-epoch model. Returns `true` when `key` is
+    /// memoized afterwards; on `false` the caller falls through to the
+    /// normal miss/build path.
+    pub fn try_patch(
+        &self,
+        key: &FilterKey,
+        decide: impl FnOnce(ModelEpoch, &FilterMatrix) -> PatchDecision,
+    ) -> bool {
+        let candidate = {
+            let st = self.state.lock();
+            if st.map.contains_key(key) {
+                return true;
+            }
+            st.map
+                .iter()
+                .filter(|(k, _)| {
+                    k.host == key.host
+                        && k.query_hash == key.query_hash
+                        && k.constraint == key.constraint
+                        && k.epoch < key.epoch
+                })
+                .max_by_key(|(k, _)| k.epoch)
+                .map(|(k, slot)| (k.clone(), slot.filter.clone()))
+        };
+        let Some((old_key, filter)) = candidate else {
+            return false;
+        };
+        match decide(old_key.epoch, &filter) {
+            PatchDecision::Skip => false,
+            PatchDecision::Promote => self.rekey(&old_key, key),
+            PatchDecision::Replace(patched) => {
+                debug_assert!(!patched.truncated(), "caching a truncated patch");
+                // `insert`'s same-host staleness purge drops the
+                // superseded candidate in the same lock hold.
+                self.insert(key.clone(), patched);
+                self.patches.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            PatchDecision::Rebuild => {
+                self.patch_rebuilds.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
     /// Drop every entry for `host` (any epoch) — eager invalidation for
     /// callers that know a namespace is dead (e.g. a removed model).
     /// Epoch keying already guarantees stale entries are never *served*;
     /// this only reclaims their memory early.
+    ///
+    /// In-flight builds for the host are *poisoned* under the same hold
+    /// of the in-flight lock that shields the memo purge, so a builder
+    /// completing concurrently cannot re-insert a dead-host entry after
+    /// the purge ([`BuildTicket::complete`] checks the poison flag under
+    /// that lock before memoizing).
     pub fn invalidate_host(&self, host: &str) {
+        let fl = self.inflight.lock().unwrap();
+        for (k, slot) in fl.iter() {
+            if k.host == host {
+                slot.poisoned.store(true, Ordering::Relaxed);
+            }
+        }
         self.state.lock().map.retain(|k, _| k.host != host);
+        drop(fl);
     }
 
     /// Entries currently memoized.
@@ -596,6 +740,21 @@ impl FilterCache {
     /// rebuild the dirty-set bookkeeping saved.
     pub fn promotions(&self) -> u64 {
         self.promotions.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of superseded entries repaired in place by
+    /// [`FilterCache::try_patch`]'s `Replace` arm — each one turned a
+    /// full O(|EQ|·|ER|) rebuild into a dirty-window re-scan.
+    pub fn patches(&self) -> u64 {
+        self.patches.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of patch attempts that fell back to a full
+    /// rebuild because the dirty window *added* a feasible candidate
+    /// ([`PatchDecision::Rebuild`]) — the soundness valve that keeps
+    /// additive mutations from being served a stale filter.
+    pub fn patch_rebuilds(&self) -> u64 {
+        self.patch_rebuilds.load(Ordering::Relaxed)
     }
 
     /// Keys currently being built (observability; racy by nature).
@@ -660,6 +819,7 @@ pub struct HierarchyCache {
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    promotions: AtomicU64,
 }
 
 impl HierarchyCache {
@@ -678,6 +838,7 @@ impl HierarchyCache {
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
         }
     }
 
@@ -741,6 +902,58 @@ impl HierarchyCache {
         }
     }
 
+    /// Re-key a superseded hierarchy to `key` when `verdict(old_epoch)`
+    /// certifies nothing changed between the epochs — mirroring
+    /// [`FilterCache::try_promote`]. The candidate is the newest
+    /// memoized entry sharing `key`'s host and coarsening spec with an
+    /// older epoch; the typical verdict checks that the registry's
+    /// composed dirty window between the epochs is `Some` *and empty*
+    /// (a hierarchy aggregates every node, so any non-empty window can
+    /// change the coarsening). Returns `true` when `key` is memoized
+    /// afterwards — the next fetch is a hit, no re-coarsening.
+    pub fn try_promote(
+        &self,
+        key: &HierarchyKey,
+        verdict: impl FnOnce(crate::registry::ModelEpoch) -> bool,
+    ) -> bool {
+        let candidate = {
+            let st = self.state.lock();
+            if st.map.contains_key(key) {
+                return true;
+            }
+            st.map
+                .iter()
+                .filter(|(k, _)| k.host == key.host && k.spec == key.spec && k.epoch < key.epoch)
+                .max_by_key(|(k, _)| k.epoch)
+                .map(|(k, _)| k.clone())
+        };
+        let Some(old_key) = candidate else {
+            return false;
+        };
+        // The verdict consults the registry — run it outside the lock.
+        if !verdict(old_key.epoch) {
+            return false;
+        }
+        let mut st = self.state.lock();
+        if st.map.contains_key(key) {
+            return true;
+        }
+        let Some(slot) = st.map.remove(&old_key) else {
+            return false;
+        };
+        st.tick += 1;
+        let tick = st.tick;
+        st.map.insert(
+            key.clone(),
+            HierarchySlot {
+                hierarchy: slot.hierarchy,
+                last_used: tick,
+            },
+        );
+        self.promotions.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
     /// Drop every hierarchy for `host` (any epoch) — eager invalidation
     /// for removed models, mirroring [`FilterCache::invalidate_host`].
     pub fn invalidate_host(&self, host: &str) {
@@ -766,6 +979,13 @@ impl HierarchyCache {
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Lifetime count of superseded hierarchies re-keyed to a newer
+    /// epoch by [`HierarchyCache::try_promote`] — each one is a full
+    /// substrate re-coarsening the empty-window check saved.
+    pub fn promotions(&self) -> u64 {
+        self.promotions.load(Ordering::Relaxed)
+    }
 }
 
 impl Default for HierarchyCache {
@@ -781,6 +1001,7 @@ impl std::fmt::Debug for HierarchyCache {
             .field("capacity", &self.capacity)
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("promotions", &self.promotions())
             .finish()
     }
 }
@@ -795,6 +1016,8 @@ impl std::fmt::Debug for FilterCache {
             .field("dedup_waits", &self.dedup_waits())
             .field("dedup_shed", &self.dedup_shed())
             .field("promotions", &self.promotions())
+            .field("patches", &self.patches())
+            .field("patch_rebuilds", &self.patch_rebuilds())
             .field("in_flight", &self.in_flight())
             .finish()
     }
@@ -1247,6 +1470,147 @@ mod tests {
         assert_eq!(ticket.slot.waiters.load(Ordering::Relaxed), 0);
         drop(ticket);
         assert_eq!(cache.dedup_waits(), 0, "a cancelled wait saved nothing");
+    }
+
+    #[test]
+    fn invalidate_host_poisons_in_flight_builds() {
+        // The satellite-1 race: a builder registered before
+        // `invalidate_host` (model removal) must not resurrect an entry
+        // for the dead host when it completes afterwards.
+        let cache = FilterCache::new();
+        let host = path_host(4);
+        let k = key("h", 1, "true");
+        let FilterFetch::MustBuild(ticket) = cache.fetch_or_build(&k, None) else {
+            panic!("empty cache must hand out a build ticket");
+        };
+        cache.invalidate_host("h");
+        // Waiters joined before the poison still get the filter — the
+        // answer is correct for the epoch they asked about.
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| match cache.fetch_or_build(&k, None) {
+                FilterFetch::Waited(f) => f,
+                _ => panic!("joiner must share the in-flight build"),
+            });
+            ticket.complete(build(&host));
+            waiter.join().unwrap();
+        });
+        assert_eq!(cache.len(), 0, "poisoned completion must not memoize");
+        let misses = cache.misses();
+        assert!(cache.lookup(&k).is_none(), "dead-host entry resurrected");
+        assert_eq!(cache.misses(), misses + 1);
+    }
+
+    #[test]
+    fn invalidate_host_leaves_other_hosts_in_flight() {
+        let cache = FilterCache::new();
+        let host = path_host(4);
+        let k = key("g", 1, "true");
+        let FilterFetch::MustBuild(ticket) = cache.fetch_or_build(&k, None) else {
+            panic!("empty cache must hand out a build ticket");
+        };
+        cache.invalidate_host("h");
+        ticket.complete(build(&host));
+        assert!(cache.lookup(&k).is_some(), "other host must memoize");
+    }
+
+    #[test]
+    fn try_patch_replaces_with_the_repaired_clone() {
+        let cache = FilterCache::new();
+        let host = path_host(4);
+        let f = build(&host);
+        cache.insert(key("h", 1, "a"), f.clone());
+        let repaired = build(&host);
+        let mut seen = None;
+        assert!(cache.try_patch(&key("h", 3, "a"), |old, _| {
+            seen = Some(old);
+            PatchDecision::Replace(repaired.clone())
+        }));
+        assert_eq!(seen, Some(ModelEpoch(1)));
+        assert_eq!(cache.patches(), 1);
+        assert_eq!(cache.promotions(), 0);
+        assert_eq!(cache.len(), 1, "insert purged the superseded entry");
+        let got = cache.lookup(&key("h", 3, "a")).expect("patched entry");
+        assert!(Arc::ptr_eq(&got, &repaired));
+        assert!(cache.lookup(&key("h", 1, "a")).is_none());
+    }
+
+    #[test]
+    fn try_patch_promote_arm_rekeys_in_place() {
+        let cache = FilterCache::new();
+        let host = path_host(4);
+        let f = build(&host);
+        cache.insert(key("h", 1, "a"), f.clone());
+        assert!(cache.try_patch(&key("h", 3, "a"), |_, _| PatchDecision::Promote));
+        assert_eq!(cache.promotions(), 1);
+        assert_eq!(cache.patches(), 0);
+        let got = cache.lookup(&key("h", 3, "a")).expect("promoted entry");
+        assert!(Arc::ptr_eq(&got, &f), "promotion re-keys the same Arc");
+    }
+
+    #[test]
+    fn try_patch_rebuild_and_skip_fall_through() {
+        let cache = FilterCache::new();
+        let host = path_host(4);
+        let f = build(&host);
+        cache.insert(key("h", 1, "a"), f.clone());
+        assert!(!cache.try_patch(&key("h", 3, "a"), |_, _| PatchDecision::Rebuild));
+        assert_eq!(cache.patch_rebuilds(), 1);
+        assert!(!cache.try_patch(&key("h", 3, "a"), |_, _| PatchDecision::Skip));
+        assert_eq!(cache.patch_rebuilds(), 1, "skip moves no counter");
+        assert!(
+            cache.lookup(&key("h", 1, "a")).is_some(),
+            "fall-through leaves the candidate resident"
+        );
+        // No candidate at all (different identity): decide never runs.
+        assert!(!cache.try_patch(&key("h", 3, "b"), |_, _| panic!(
+            "decide must not run without a candidate"
+        )));
+        // An already-memoized key short-circuits without deciding.
+        cache.insert(key("h", 3, "a"), f);
+        assert!(cache.try_patch(&key("h", 3, "a"), |_, _| panic!(
+            "decide must not run when the key is already present"
+        )));
+    }
+
+    fn hkey(host: &str, epoch: u64) -> HierarchyKey {
+        HierarchyKey {
+            host: host.to_string(),
+            epoch: ModelEpoch(epoch),
+            spec: netembed::HierarchySpec::default(),
+        }
+    }
+
+    #[test]
+    fn hierarchy_promotion_rekeys_the_superseded_entry() {
+        let cache = HierarchyCache::new();
+        let host = path_host(8);
+        let spec = netembed::HierarchySpec::default();
+        let h = Arc::new(netembed::SubstrateHierarchy::build(&host, &spec));
+        cache.insert(hkey("h", 1), h.clone());
+        let mut seen = None;
+        assert!(cache.try_promote(&hkey("h", 3), |old| {
+            seen = Some(old);
+            true
+        }));
+        assert_eq!(seen, Some(ModelEpoch(1)));
+        assert_eq!(cache.promotions(), 1);
+        let got = cache.lookup(&hkey("h", 3)).expect("promoted");
+        assert!(Arc::ptr_eq(&got, &h));
+        assert!(cache.lookup(&hkey("h", 1)).is_none(), "old key re-keyed");
+        // Refusal and identity mismatches fall through.
+        assert!(!cache.try_promote(&hkey("h", 5), |_| false));
+        assert!(!cache.try_promote(&hkey("g", 5), |_| true));
+        let mut wider = hkey("h", 5);
+        wider.spec.min_nodes += 1;
+        assert!(
+            !cache.try_promote(&wider, |_| true),
+            "other spec, other key"
+        );
+        assert_eq!(cache.promotions(), 1);
+        // Already-memoized target short-circuits without a verdict.
+        assert!(cache.try_promote(&hkey("h", 3), |_| panic!(
+            "verdict must not run when the key is already present"
+        )));
     }
 
     #[test]

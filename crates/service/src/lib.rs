@@ -102,11 +102,15 @@
 //! resync with backoff — see [`feed`]) and records each applied
 //! delta's dirty-node set per epoch transition
 //! ([`ModelRegistry::dirty_between`]). The request layers consume the
-//! feed twice: the [`cache::FilterCache`] *promotes* a superseded
-//! cached filter instead of rebuilding when the accumulated dirty
-//! window provably misses the filter's touched host nodes
-//! ([`FilterCache::try_promote`]), and the admission layer reads the
-//! feed's health for the staleness gate below.
+//! feed twice: before resolving a filter key, the service classifies
+//! the accumulated dirty window against the superseded cached filter —
+//! an empty window *promotes* the entry in place, a removal-only window
+//! *patches* a clone with
+//! [`FilterMatrix::patch`](netembed::FilterMatrix::patch) and re-keys
+//! it, and a window that adds a feasible candidate falls back to a full
+//! rebuild ([`FilterCache::try_patch`]; see the cache module's "Epoch
+//! patching" docs) — and the admission layer reads the feed's health
+//! for the staleness gate below.
 //!
 //! ### Staleness and degradation
 //!
@@ -242,7 +246,7 @@ pub use admission::{
     AdmissionPolicy, FaultPlan, Priority, ServiceConfig, ShedCounters, ShedMode, ShedReason,
     StalenessPolicy,
 };
-pub use cache::{FilterCache, FilterKey, HierarchyCache, HierarchyKey};
+pub use cache::{FilterCache, FilterKey, HierarchyCache, HierarchyKey, PatchDecision};
 pub use feed::{
     DeltaMutation, DeltaStream, FeedConfig, FeedSnapshot, FeedState, FeedStatus, FeedTelemetry,
     RegistryDelta, RegistryFeed, SnapshotSource,
@@ -257,12 +261,27 @@ pub use reservation::{Reservation, ReservationError, ReservationManager};
 pub use schedule::{Allocation, ScheduleError, ScheduledEmbedding, Scheduler, Tick};
 
 use netembed::{
-    EmbedScratch, HistogramSnapshot, Mapping, Options, Outcome, ProblemError, SearchStats,
+    Deadline, EmbedScratch, HistogramSnapshot, Mapping, Options, Outcome, PatchOutcome, Problem,
+    ProblemError, SearchStats,
 };
 use netgraph::Network;
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Outcome bits of one [`NetEmbedService::repair_filter`] call, stamped
+/// into the requesting batch's [`SearchStats`] (`patches` /
+/// `patch_rebuilds`) so per-request telemetry shows which epoch windows
+/// were repaired in place and which forced a rebuild.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct FilterRepair {
+    /// A superseded cached filter was cloned, patched in place and
+    /// re-keyed for this window (a full rebuild saved).
+    pub patched: bool,
+    /// The window added a feasible candidate (or the patch could not
+    /// run): the normal miss/build path follows.
+    pub patch_rebuild: bool,
+}
 
 /// A query submitted to the service.
 #[derive(Debug, Clone)]
@@ -548,6 +567,14 @@ impl NetEmbedService {
             epoch,
             spec,
         };
+        // Empty-window promotion: an epoch bump that provably changed
+        // no node re-keys the superseded hierarchy instead of
+        // re-coarsening the whole substrate.
+        self.hierarchies.try_promote(&key, |old| {
+            self.registry
+                .dirty_between(host, old, epoch)
+                .is_some_and(|dirty| dirty.is_empty())
+        });
         let (hier, _hit) = self
             .hierarchies
             .fetch_or_build(&key, || netembed::SubstrateHierarchy::build(&net, &spec));
@@ -630,17 +657,51 @@ impl NetEmbedService {
         })
     }
 
-    /// Dirty-set cache promotion (see
-    /// [`FilterCache::try_promote`]): before resolving `key` through
-    /// the cache, try to re-key a superseded same-identity entry whose
-    /// accumulated dirty window misses the filter's touched host nodes
-    /// — turning an epoch-bump rebuild into a plain hit.
-    pub(crate) fn promote_filter(&self, key: &FilterKey) {
-        self.cache.try_promote(key, |old, filter| {
-            self.registry
-                .dirty_between(&key.host, old, key.epoch)
-                .is_some_and(|dirty| !dirty.intersects(&filter.touched_hosts()))
+    /// Dirty-window cache repair (see [`FilterCache::try_patch`] and
+    /// the cache module's "Epoch patching" docs): before resolving
+    /// `key` through the cache, classify the accumulated dirty window
+    /// against the newest superseded same-identity entry —
+    ///
+    /// * window unknowable (broken delta chain, plain `update`) →
+    ///   skip, normal miss/build;
+    /// * window provably empty → *promote* the entry in place;
+    /// * otherwise → clone the superseded matrix and repair it with
+    ///   [`FilterMatrix::patch`](netembed::FilterMatrix::patch) under
+    ///   `problem` (compiled at `key.epoch`); a removal-only window
+    ///   re-keys the repaired clone, while a window that *added* a
+    ///   feasible candidate falls back to a full rebuild.
+    ///
+    /// Routing every non-empty window through the patch path is what
+    /// makes epoch reuse sound for additive mutations: the old
+    /// touched-host intersection could not see a dirty node becoming
+    /// newly admissible outside the cached candidate set, and would
+    /// promote a filter that silently misses solutions.
+    pub(crate) fn repair_filter(&self, key: &FilterKey, problem: &Problem<'_>) -> FilterRepair {
+        let mut repair = FilterRepair::default();
+        let outcome = &mut repair;
+        self.cache.try_patch(key, |old, filter| {
+            match self.registry.dirty_between(&key.host, old, key.epoch) {
+                None => PatchDecision::Skip,
+                Some(dirty) if dirty.is_empty() => PatchDecision::Promote,
+                Some(dirty) => {
+                    let ids: Vec<netgraph::NodeId> = dirty.iter().map(netgraph::NodeId).collect();
+                    let mut repaired = (*filter).clone();
+                    let mut dl = Deadline::unlimited();
+                    let mut stats = SearchStats::default();
+                    match repaired.patch(problem, &ids, &mut dl, &mut stats) {
+                        Ok(PatchOutcome::Patched) => {
+                            outcome.patched = true;
+                            PatchDecision::Replace(std::sync::Arc::new(repaired))
+                        }
+                        Ok(PatchOutcome::NeedsRebuild) | Err(_) => {
+                            outcome.patch_rebuild = true;
+                            PatchDecision::Rebuild
+                        }
+                    }
+                }
+            }
         });
+        repair
     }
 
     /// The parked-scratch cap in force right now: an explicit
@@ -849,6 +910,21 @@ pub struct ServiceTelemetry {
     /// Lifetime [`HierarchyCache`] lookup misses (each one coarsened
     /// the substrate once).
     pub hierarchy_cache_misses: u64,
+    /// Lifetime superseded hierarchies re-keyed across an empty dirty
+    /// window ([`HierarchyCache::try_promote`]) — re-coarsenings saved.
+    pub hierarchy_promotions: u64,
+    /// Lifetime [`FilterCache`] entries re-keyed across an empty dirty
+    /// window ([`FilterCache::try_promote`]) — filter rebuilds saved
+    /// without touching a single cell.
+    pub filter_cache_promotions: u64,
+    /// Lifetime [`FilterCache`] entries repaired in place across a
+    /// removal-only dirty window ([`FilterCache::try_patch`]) — filter
+    /// rebuilds turned into dirty-window re-scans.
+    pub filter_cache_patches: u64,
+    /// Lifetime patch attempts that fell back to a full rebuild
+    /// because the window added a feasible candidate (the additive-
+    /// mutation soundness valve).
+    pub filter_cache_patch_rebuilds: u64,
     /// Feed health: state, delta counters (balanced per the
     /// [`feed`]-module ledger identity), resync counters, last applied
     /// sequence and the staleness-lag gauge. All zero /
@@ -904,6 +980,10 @@ impl NetEmbedService {
             hierarchies_resident: self.hierarchies.len(),
             hierarchy_cache_hits: self.hierarchies.hits(),
             hierarchy_cache_misses: self.hierarchies.misses(),
+            hierarchy_promotions: self.hierarchies.promotions(),
+            filter_cache_promotions: self.cache.promotions(),
+            filter_cache_patches: self.cache.patches(),
+            filter_cache_patch_rebuilds: self.cache.patch_rebuilds(),
             feed: self.feed.snapshot(),
             shards,
         }

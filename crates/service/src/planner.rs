@@ -817,11 +817,13 @@ impl<'svc> Planner<'svc> {
             }
         };
         let mut scratch = self.svc.checkout_scratch();
-        // Epoch promotion: a superseded-epoch cached filter whose
-        // touched nodes the accumulated dirty set missed is re-keyed to
-        // this group's epoch instead of rebuilt (same check as the
-        // prepared path).
-        self.svc.promote_filter(&key);
+        // Epoch repair: a superseded-epoch cached filter is re-keyed
+        // across a clean window, patched in place across a subtractive
+        // one, or left to the miss below to rebuild (same
+        // classification as the prepared path); the cache's
+        // `patches`/`promotions` counters carry the evidence into
+        // telemetry.
+        self.svc.repair_filter(&key, &problem);
         // Stamped once per group: every member dispatches against the
         // same epoch, so they share one staleness verdict.
         let staleness = self.svc.current_staleness(key.epoch);

@@ -149,10 +149,12 @@ impl<'svc> PreparedQuery<'svc> {
             query_hash: self.query_hash,
             constraint: self.constraint.clone(),
         };
-        // Epoch bump since the last cached build? Try the dirty-set
-        // promotion before the fetch below can miss.
-        self.svc.promote_filter(&key);
         let problem = Problem::from_parsed(&self.query, &host, &self.expr)?;
+        // Epoch bump since the last cached build? Classify the dirty
+        // window before the fetch below can miss: empty → promote the
+        // old entry, subtractive → patch it in place, additive or
+        // unknown → let the miss rebuild.
+        let repair = self.svc.repair_filter(&key, &problem);
         let scratch = self.scratch.as_mut().expect("scratch leased until drop");
         let mut responses = Vec::with_capacity(runs.len());
         // Batch-local pin: once a filter is obtained (hit or build), the
@@ -198,6 +200,13 @@ impl<'svc> PreparedQuery<'svc> {
                 staleness,
             });
         }
+        // The repair ran once, before the batch: credit it to the first
+        // response so a submit loop can sum `patches`/`patch_rebuilds`
+        // across responses, mirroring `filter_cache_hits`.
+        if let Some(first) = responses.first_mut() {
+            first.stats.patches += u64::from(repair.patched);
+            first.stats.patch_rebuilds += u64::from(repair.patch_rebuild);
+        }
         Ok(responses)
     }
 }
@@ -230,6 +239,11 @@ pub(crate) struct RunCtx<'a> {
     /// Coarsened-substrate memo for hierarchical runs; `None` makes a
     /// hierarchical run coarsen per-call (the bare scheduler path).
     hierarchies: Option<&'a HierarchyCache>,
+    /// The delta-feed registry, for classifying epoch windows: a
+    /// hierarchical run consults it to promote a superseded coarsening
+    /// across a provably-clean epoch bump before paying a rebuild.
+    /// `None` (the bare scheduler) always rebuilds on an epoch move.
+    registry: Option<&'a crate::registry::ModelRegistry>,
     faults: Option<&'a FaultInjector>,
     cancel: Option<&'a dyn Fn() -> bool>,
 }
@@ -239,6 +253,7 @@ impl<'a> RunCtx<'a> {
         Self {
             cache: svc.cache(),
             hierarchies: Some(svc.hierarchy_cache()),
+            registry: Some(svc.registry()),
             faults: Some(svc.faults()),
             cancel,
         }
@@ -248,6 +263,7 @@ impl<'a> RunCtx<'a> {
         Self {
             cache,
             hierarchies: None,
+            registry: None,
             faults: None,
             cancel: None,
         }
@@ -318,6 +334,17 @@ pub(crate) fn run_cached(
                     epoch: key.epoch,
                     spec,
                 };
+                // Coarsenings depend only on topology and attributes:
+                // an epoch bump whose dirty window is provably empty
+                // (a tracked no-op delta) re-keys the superseded
+                // coarsening instead of rebuilding it.
+                if let Some(registry) = ctx.registry {
+                    hierarchies.try_promote(&hkey, |old| {
+                        registry
+                            .dirty_between(&hkey.host, old, hkey.epoch)
+                            .is_some_and(|dirty| dirty.is_empty())
+                    });
+                }
                 hierarchies.fetch_or_build(&hkey, || {
                     netembed::SubstrateHierarchy::build(problem.host, &spec)
                 })

@@ -784,6 +784,89 @@ fn feed_chaos_round(seed: u64) {
         network_fingerprint(states.last().unwrap()),
         "seed {seed}: converged state diverges from the clean stream"
     );
+
+    // Repair soundness sweep: one more (single-threaded) submit per
+    // constraint classifies its epoch window — promote, patch in
+    // place, or fall back to a rebuild — with the per-submit
+    // accounting holding exactly, and whatever the cache then serves
+    // at the converged epoch must be bitwise-identical to a fresh
+    // build against the converged model.
+    let final_model = svc.registry().model("plab").unwrap();
+    let final_epoch = svc.registry().epoch("plab").unwrap();
+    for constraint in CONSTRAINTS {
+        let query = edge_query();
+        let req = PlannedRequest {
+            host: "plab".into(),
+            query: query.clone(),
+            constraint: constraint.into(),
+            options: Options {
+                mode: SearchMode::UpTo(8),
+                ..Options::default()
+            },
+        };
+        let misses_before = svc.cache().misses();
+        let resp = svc.submit(&req).expect("no admission bounds: never sheds");
+        assert!(
+            resp.stats.patches + resp.stats.patch_rebuilds <= 1,
+            "seed {seed}: one submit classifies at most one window"
+        );
+        if resp.stats.patches == 1 {
+            assert_eq!(
+                resp.stats.filter_cache_hits, 1,
+                "seed {seed}: a patched entry must serve the hit"
+            );
+            assert_eq!(
+                svc.cache().misses(),
+                misses_before,
+                "seed {seed}: a patched submit must not also rebuild"
+            );
+        }
+        if resp.stats.patch_rebuilds == 1 {
+            assert_eq!(
+                svc.cache().misses(),
+                misses_before + 1,
+                "seed {seed}: a patch fallback must pay exactly one miss"
+            );
+        }
+        let key = service::FilterKey {
+            host: "plab".into(),
+            epoch: final_epoch,
+            query_hash: network_fingerprint(&query),
+            constraint: constraint.into(),
+        };
+        let cached = svc
+            .cache()
+            .lookup(&key)
+            .expect("sweep submit caches at the converged epoch");
+        let problem =
+            netembed::Problem::new(&query, &final_model, constraint).expect("valid constraint");
+        let mut deadline = netembed::Deadline::unlimited();
+        let mut build_stats = netembed::SearchStats::default();
+        let fresh = netembed::FilterMatrix::build(&problem, &mut deadline, &mut build_stats)
+            .expect("unlimited build");
+        assert!(
+            *cached == fresh,
+            "seed {seed}: the filter served at the converged epoch diverges from a fresh build \
+             under {constraint:?}"
+        );
+    }
+    // The repair ledger surfaces in telemetry alongside hits/misses.
+    let tl = svc.telemetry();
+    assert_eq!(
+        tl.filter_cache_patches,
+        svc.cache().patches(),
+        "seed {seed}"
+    );
+    assert_eq!(
+        tl.filter_cache_patch_rebuilds,
+        svc.cache().patch_rebuilds(),
+        "seed {seed}"
+    );
+    assert_eq!(
+        tl.filter_cache_promotions,
+        svc.cache().promotions(),
+        "seed {seed}"
+    );
 }
 
 #[test]

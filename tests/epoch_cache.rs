@@ -187,6 +187,107 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// An epoch bump whose tracked delta only ever *shrinks* the model
+    /// (every edge delay rises, so candidates can only leave) is
+    /// repaired **in place**: the warm submit hits the patched entry
+    /// with zero new misses, and that entry is bitwise-identical to a
+    /// filter freshly built against the mutated snapshot.
+    #[test]
+    fn patched_entry_is_bitwise_identical_to_fresh_build(
+        nr in 3usize..8,
+        hedges in proptest::collection::vec((0u32..8, 0u32..8, 0u32..50), 1..20),
+        nq in 2usize..5,
+        qedges in proptest::collection::vec((0u32..5, 0u32..5), 1..8),
+        thr in 5u32..45,
+        bump in 1u32..60,
+    ) {
+        let (host, query) = build_nets(nr, &hedges, nq, &qedges);
+        let constraint = format!("rEdge.d <= {thr}.0");
+        for threads in test_workers() {
+            let svc = NetEmbedService::new();
+            svc.registry().register("h", host.clone());
+            let cold = svc.submit(&request("h", &query, &constraint, threads)).unwrap();
+            prop_assert_eq!(cold.stats.filter_cache_hits, 0);
+
+            // Every edge's delay rises: a purely subtractive delta
+            // touching every node.
+            let all_nodes = service::DirtySet::from_ids(0..nr as u32);
+            let (_, new_epoch) = svc
+                .registry()
+                .update_dirty("h", all_nodes, |net| {
+                    for e in net.edge_refs().collect::<Vec<_>>() {
+                        if let Some(d) = net
+                            .edge_attr_by_name(e.id, "d")
+                            .and_then(netgraph::AttrValue::as_num)
+                        {
+                            net.set_edge_attr(e.id, "d", d + bump as f64);
+                        }
+                    }
+                })
+                .unwrap();
+
+            let misses_before = svc.cache().misses();
+            let warm = svc.submit(&request("h", &query, &constraint, threads)).unwrap();
+            prop_assert_eq!(warm.stats.filter_cache_hits, 1, "patched entry must hit");
+            prop_assert_eq!(warm.stats.patches, 1);
+            prop_assert_eq!(svc.cache().misses(), misses_before, "subtractive delta rebuilt");
+            let key = FilterKey {
+                host: "h".into(),
+                epoch: new_epoch,
+                query_hash: network_fingerprint(&query),
+                constraint: constraint.clone(),
+            };
+            let cached = svc.cache().lookup(&key).expect("patched entry re-keyed");
+            let new_model = svc.registry().model("h").unwrap();
+            let fresh = fresh_filter(&query, &new_model, &constraint);
+            prop_assert!(
+                *cached == fresh,
+                "patched filter diverged from the fresh build at {} threads",
+                threads
+            );
+        }
+    }
+}
+
+/// Regression: a designated in-flight build racing `remove_model` must
+/// not resurrect the dead host's cache entry. The removal poisons the
+/// host's in-flight slots, so a builder completing *after* the model
+/// died publishes nothing.
+#[test]
+fn inflight_build_completed_after_remove_model_stays_dead() {
+    let (host, query) = build_nets(4, &[(0, 1, 5), (1, 2, 5), (2, 3, 5)], 2, &[(0, 1)]);
+    let constraint = "rEdge.d <= 10.0";
+    let svc = NetEmbedService::new();
+    let epoch = svc.registry().register("h", host.clone());
+    let key = FilterKey {
+        host: "h".into(),
+        epoch,
+        query_hash: network_fingerprint(&query),
+        constraint: constraint.into(),
+    };
+    let ticket = match svc.cache().fetch_or_build(&key, None) {
+        service::cache::FilterFetch::MustBuild(ticket) => ticket,
+        _ => panic!("cold fetch must designate a builder"),
+    };
+
+    // The model dies while the build is in flight.
+    assert!(svc.remove_model("h").is_some());
+    assert_eq!(svc.cache().len(), 0);
+
+    // The late builder completes anyway: the poisoned slot must swallow
+    // the publish instead of resurrecting a filter for a dead host.
+    ticket.complete(std::sync::Arc::new(fresh_filter(&query, &host, constraint)));
+    assert_eq!(
+        svc.cache().len(),
+        0,
+        "a completed in-flight build resurrected a removed host's entry"
+    );
+    assert!(svc.cache().lookup(&key).is_none());
+}
+
 /// A reservation commit is a registry update: it must invalidate the
 /// reserved host's filters (capacity dropped — cached candidates would
 /// be wrong) while leaving other hosts' entries hot.

@@ -4,8 +4,14 @@
 //! what the reorder buffer can absorb — with a balanced delivery
 //! ledger; degraded feeds must honour the per-service
 //! [`StalenessPolicy`] (marked stale answers within the lag budget,
-//! deterministic `StaleModel` sheds past it); and a non-touching epoch
-//! bump must *promote* the cached filter instead of rebuilding it.
+//! deterministic `StaleModel` sheds past it); and an epoch bump must
+//! repair the cached filter instead of rebuilding it — *promoted*
+//! across a provably-empty dirty window, *patched in place* across a
+//! subtractive one, and rebuilt only when the delta admitted a new
+//! candidate. The removal-only churn gate
+//! ([`removal_only_churn_patches_without_a_single_rebuild`]) is the CI
+//! smoke for the patch path; `NETEMBED_CHURN_FULL=1` lengthens it for
+//! the nightly soak.
 
 use netgraph::{AttrValue, Direction, Network, NodeId};
 use service::cache::network_fingerprint;
@@ -324,14 +330,76 @@ fn block_policy_sheds_any_degraded_answer() {
     assert!(svc.submit(&req).is_ok(), "recovered feed serves again");
 }
 
-/// The promotion acceptance gate: an epoch bump whose dirty set does
-/// not touch the filter's candidate hosts re-keys the cached filter in
-/// place — the warm resubmit hits with **zero** new cache misses — while
-/// a bump that does touch a candidate rebuilds.
+/// Build a fresh filter for `req` against the registry's *current*
+/// model of `host` — the ground truth a repaired cache entry must be
+/// bitwise equal to.
+fn fresh_filter(svc: &NetEmbedService, req: &QueryRequest) -> netembed::FilterMatrix {
+    let model = svc.registry().model(&req.host).expect("host registered");
+    let problem =
+        netembed::Problem::new(&req.query, &model, &req.constraint).expect("valid constraint");
+    let mut deadline = netembed::Deadline::unlimited();
+    let mut stats = netembed::SearchStats::default();
+    netembed::FilterMatrix::build(&problem, &mut deadline, &mut stats).expect("fresh build")
+}
+
+/// The cache entry for `req` at the registry's current epoch.
+fn cached_filter(
+    svc: &NetEmbedService,
+    req: &QueryRequest,
+) -> std::sync::Arc<netembed::FilterMatrix> {
+    let key = service::FilterKey {
+        host: req.host.clone(),
+        epoch: svc.registry().epoch(&req.host).unwrap(),
+        query_hash: network_fingerprint(&req.query),
+        constraint: req.constraint.clone(),
+    };
+    svc.cache()
+        .lookup(&key)
+        .expect("entry cached at head epoch")
+}
+
+/// The promotion acceptance gate: an epoch bump whose dirty window is
+/// provably *empty* (a tracked no-op delta) re-keys the cached filter
+/// — the warm resubmit hits with zero new misses and zero patch work.
 #[test]
-fn non_touching_epoch_bump_promotes_instead_of_rebuilding() {
+fn empty_window_epoch_bump_promotes_instead_of_rebuilding() {
+    let svc = NetEmbedService::new();
+    svc.registry().register("h", path_host());
+    let req = request("h");
+
+    let cold = svc.submit(&req).unwrap();
+    assert_eq!(cold.stats.filter_cache_hits, 0);
+    let epoch_before = svc.registry().epoch("h").unwrap();
+
+    // Bump the epoch with an empty (but tracked) dirty set: nothing
+    // about the model a filter can see changed.
+    svc.registry()
+        .update_dirty("h", DirtySet::new(), |_net| {})
+        .unwrap();
+    assert_ne!(svc.registry().epoch("h").unwrap(), epoch_before);
+
+    let misses_before = svc.cache().misses();
+    let warm = svc.submit(&req).unwrap();
+    assert_eq!(
+        warm.stats.filter_cache_hits, 1,
+        "promotion must serve a hit"
+    );
+    assert_eq!(warm.stats.patches, 0, "an empty window needs no patch");
+    assert_eq!(svc.cache().misses(), misses_before, "no rebuild");
+    assert_eq!(svc.cache().promotions(), 1);
+    assert_eq!(svc.cache().patches(), 0);
+}
+
+/// The patch acceptance gate: an epoch bump with a *non-empty* tracked
+/// dirty window repairs the cached filter in place — the warm resubmit
+/// hits with zero new misses whether or not the delta touched a
+/// candidate — while a delta that *admits* a new candidate is detected
+/// and falls back to a full rebuild, so a repaired entry can never
+/// under-approximate the fresh build.
+#[test]
+fn tracked_epoch_bump_patches_in_place_and_detects_additions() {
     let mut host = path_host();
-    // Node 4 is too weak to ever be a candidate for the cpu-3 query.
+    // Node 4 is too weak to be a candidate for the cpu-3 query.
     host.set_node_attr(NodeId(4), "cpu", 1.0);
     let svc = NetEmbedService::new();
     svc.registry().register("h", host);
@@ -339,59 +407,192 @@ fn non_touching_epoch_bump_promotes_instead_of_rebuilding() {
 
     let cold = svc.submit(&req).unwrap();
     assert_eq!(cold.stats.filter_cache_hits, 0);
-    let touched = {
-        let key = service::FilterKey {
-            host: "h".into(),
-            epoch: svc.registry().epoch("h").unwrap(),
-            query_hash: network_fingerprint(&req.query),
-            constraint: req.constraint.clone(),
-        };
-        svc.cache()
-            .lookup(&key)
-            .expect("cold submit cached")
-            .touched_hosts()
-    };
-    assert!(
-        !touched.contains(NodeId(4)),
-        "scenario needs an untouched host node for the promotion to be sound"
-    );
+    assert_eq!((cold.stats.patches, cold.stats.patch_rebuilds), (0, 0));
+    let misses_before = svc.cache().misses();
 
-    // Bump the epoch via a mutation confined to the untouched node.
+    // A bump confined to the inadmissible node 4 (cpu 1 → 2, still
+    // short of the query's 3): the patch re-checks exactly that node,
+    // removes nothing, and re-keys the matrix.
     svc.registry()
         .update_dirty("h", DirtySet::from_ids([4]), |net| {
             net.set_node_attr(NodeId(4), "cpu", 2.0);
         })
         .unwrap();
-    let misses_before = svc.cache().misses();
     let warm = svc.submit(&req).unwrap();
+    assert_eq!(warm.stats.filter_cache_hits, 1, "patch must serve a hit");
+    assert_eq!(warm.stats.patches, 1);
+    assert_eq!(svc.cache().misses(), misses_before, "no rebuild");
+    assert_eq!(svc.cache().patches(), 1);
     assert_eq!(
-        warm.stats.filter_cache_hits, 1,
-        "promotion must serve a hit"
+        svc.cache().promotions(),
+        0,
+        "a non-empty window is patched, never blindly promoted"
     );
-    assert_eq!(
-        svc.cache().misses(),
-        misses_before,
-        "a non-touching epoch bump must not miss"
-    );
-    assert_eq!(svc.cache().promotions(), 1);
+    assert!(*cached_filter(&svc, &req) == fresh_filter(&svc, &req));
 
-    // A bump that dirties a candidate host node must rebuild.
+    // A bump that touches a *candidate* but keeps it admissible
+    // (cpu 8 → 7 ≥ 3) also patches: under the old promote-or-rebuild
+    // split this was a guaranteed full rebuild.
     svc.registry()
         .update_dirty("h", DirtySet::from_ids([0]), |net| {
             net.set_node_attr(NodeId(0), "cpu", 7.0);
         })
         .unwrap();
+    let warm = svc.submit(&req).unwrap();
+    assert_eq!(warm.stats.filter_cache_hits, 1, "touching bump patches too");
+    assert_eq!(warm.stats.patches, 1);
+    assert_eq!(svc.cache().misses(), misses_before);
+    assert_eq!(svc.cache().patches(), 2);
+    assert!(*cached_filter(&svc, &req) == fresh_filter(&svc, &req));
+
+    // Regression (additive soundness): a delta that makes node 4
+    // *admissible* cannot be expressed by in-place removal — the patch
+    // must detect the addition and fall back to a rebuild whose
+    // solution set actually contains the new candidate. The old epoch
+    // promotion would have re-keyed the stale matrix here and silently
+    // dropped these mappings.
+    svc.registry()
+        .update_dirty("h", DirtySet::from_ids([4]), |net| {
+            net.set_node_attr(NodeId(4), "cpu", 9.0);
+        })
+        .unwrap();
     let rebuilt = svc.submit(&req).unwrap();
     assert_eq!(
         rebuilt.stats.filter_cache_hits, 0,
-        "touching bump must rebuild"
+        "an additive delta must rebuild"
+    );
+    assert_eq!(rebuilt.stats.patch_rebuilds, 1);
+    assert_eq!(svc.cache().patch_rebuilds(), 1);
+    assert_eq!(svc.cache().misses(), misses_before + 1);
+    let mappings = match &rebuilt.outcome {
+        netembed::Outcome::Complete(m) => m,
+        other => panic!("expected a complete run, got {other:?}"),
+    };
+    assert!(
+        mappings
+            .iter()
+            .any(|m| m.iter().any(|(_, r)| r == NodeId(4))),
+        "the rebuild must see the newly admissible node"
+    );
+}
+
+/// Churn rounds for the removal-only gate: CI smoke by default, the
+/// long nightly soak when `NETEMBED_CHURN_FULL` is set.
+fn churn_rounds() -> usize {
+    if std::env::var("NETEMBED_CHURN_FULL").is_ok_and(|v| !v.is_empty() && v != "0") {
+        400
+    } else {
+        40
+    }
+}
+
+/// The churn acceptance gate (CI smoke; `NETEMBED_CHURN_FULL=1` for
+/// the nightly soak): a sustained stream of removal-only deltas —
+/// host capacities only ever shrink — against a warm service keeps the
+/// filter cache repaired **in place**: every warm resubmit hits, the
+/// miss counter never moves after the cold build, every round is a
+/// patch (zero fallbacks), and the patched matrix stays bitwise equal
+/// to a from-scratch build at that epoch.
+#[test]
+fn removal_only_churn_patches_without_a_single_rebuild() {
+    let mut host = Network::new(Direction::Undirected);
+    let n = 24;
+    let ids: Vec<_> = (0..n).map(|i| host.add_node(format!("h{i}"))).collect();
+    for w in ids.windows(2) {
+        host.add_edge(w[0], w[1]);
+    }
+    // Close the ring so stripping nodes never disconnects the ends.
+    host.add_edge(ids[n - 1], ids[0]);
+    for &id in &ids {
+        host.set_node_attr(id, "cpu", 8.0);
+    }
+    let svc = NetEmbedService::new();
+    svc.registry().register("h", host);
+    let req = request("h");
+
+    let cold = svc.submit(&req).unwrap();
+    assert_eq!(cold.stats.filter_cache_hits, 0);
+    let misses_after_cold = svc.cache().misses();
+
+    let rounds = churn_rounds();
+    for round in 0..rounds {
+        // Degrade one node per round, round-robin, each time lower
+        // than before: the first lap drops each node below the query's
+        // cpu-3 floor (a real candidate removal), later laps keep
+        // shrinking already-infeasible nodes (a no-op repair). Leave
+        // two adjacent nodes untouched so the query stays feasible.
+        let victim = round % (n - 2);
+        let value = 2.0 / (1.0 + (round / (n - 2)) as f64);
+        svc.registry()
+            .update_dirty("h", DirtySet::from_ids([victim as u32]), |net| {
+                net.set_node_attr(NodeId(victim as u32), "cpu", value);
+            })
+            .unwrap();
+        let warm = svc.submit(&req).unwrap();
+        assert_eq!(
+            warm.stats.filter_cache_hits, 1,
+            "round {round}: churn under removal-only deltas must stay warm"
+        );
+        assert_eq!(warm.stats.patches, 1, "round {round}: every bump patches");
+        assert_eq!(
+            svc.cache().misses(),
+            misses_after_cold,
+            "round {round}: a removal-only delta must never rebuild"
+        );
+        match &warm.outcome {
+            netembed::Outcome::Complete(m) => assert!(
+                !m.is_empty(),
+                "round {round}: the untouched ring segment keeps the query feasible"
+            ),
+            other => panic!("round {round}: expected a complete run, got {other:?}"),
+        }
+    }
+    assert_eq!(svc.cache().patches(), rounds as u64);
+    assert_eq!(svc.cache().patch_rebuilds(), 0);
+    assert_eq!(svc.cache().promotions(), 0);
+    // The end state of the whole churn run is exactly what a cold
+    // build at the final epoch produces.
+    assert!(
+        *cached_filter(&svc, &req) == fresh_filter(&svc, &req),
+        "patched matrix diverged from the fresh build"
+    );
+    let telemetry = svc.telemetry();
+    assert_eq!(telemetry.filter_cache_patches, rounds as u64);
+    assert_eq!(telemetry.filter_cache_patch_rebuilds, 0);
+}
+
+/// The hierarchy promotion gate: a coarsened substrate memoized under
+/// a superseded epoch is re-keyed across a provably-empty dirty window
+/// instead of being rebuilt — the warm hierarchical resubmit hits.
+#[test]
+fn empty_window_epoch_bump_promotes_the_hierarchy() {
+    let svc = NetEmbedService::new();
+    svc.registry().register("h", path_host());
+    let mut req = request("h");
+    req.options.hierarchy = Some(netembed::HierarchySpec {
+        min_nodes: 2,
+        ..netembed::HierarchySpec::default()
+    });
+
+    let cold = svc.submit(&req).unwrap();
+    assert_eq!(cold.stats.hierarchy_cache_hits, 0);
+    assert_eq!(svc.hierarchy_cache().misses(), 1);
+
+    svc.registry()
+        .update_dirty("h", DirtySet::new(), |_net| {})
+        .unwrap();
+    let warm = svc.submit(&req).unwrap();
+    assert_eq!(
+        warm.stats.hierarchy_cache_hits, 1,
+        "promoted coarsening must serve a hit"
     );
     assert_eq!(
-        svc.cache().promotions(),
+        svc.hierarchy_cache().misses(),
         1,
-        "no promotion on a touching bump"
+        "an empty window must not rebuild the coarsening"
     );
-    assert_eq!(svc.cache().misses(), misses_before + 1);
+    assert_eq!(svc.hierarchy_cache().promotions(), 1);
+    assert_eq!(svc.telemetry().hierarchy_promotions, 1);
 }
 
 /// Regression: removing a model must drop its cached filters with it —
